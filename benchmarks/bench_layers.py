@@ -1,0 +1,113 @@
+"""E1 — Figure 1: the layered interaction model, costed per layer.
+
+Figure 1 stratifies interoperability into technical, syntactic, semantic
+and governance layers. This bench attributes the measurable cost of one
+cross-network query to those layers: transport framing (technical), wire
+serialization (syntactic), proof generation/validation and policy
+evaluation (semantic), and the consensus-recorded configuration reads the
+governance layer prescribes.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.interop.policy import parse_verification_policy
+from repro.interop.proofs import AttestationProofScheme, ProofBundle, decrypt_attestation
+from repro.proto.messages import NetworkQuery, RelayEnvelope
+from repro.sim import format_table
+
+POLICY = "AND(org:seller-org, org:carrier-org)"
+
+
+def _timed(fn, repeat=50):
+    start = time.perf_counter()
+    for _ in range(repeat):
+        result = fn()
+    return (time.perf_counter() - start) / repeat, result
+
+
+def test_layer_cost_breakdown(benchmark, scenario):
+    client = scenario.swt_seller_client
+    fetched = client.fetch_bill_of_lading(scenario.po_ref)
+    response = fetched.response
+    envelope = RelayEnvelope(version=1, kind=2, request_id="r", payload=response.encode())
+    envelope_bytes = envelope.encode()
+
+    # Syntactic: wire encode/decode of the full response envelope.
+    syntactic, _ = _timed(lambda: RelayEnvelope.decode(envelope_bytes).encode())
+
+    # Technical: transport dispatch through the relay (minus driver work) —
+    # approximated by an error-path round trip (decode + route + encode).
+    technical, _ = _timed(lambda: scenario.stl_relay.handle_request(b"\x00"))
+
+    # Semantic: proof validation against the recorded configuration.
+    scheme = AttestationProofScheme()
+    org_roots = {
+        org_id: org.msp.root_certificate
+        for org_id, org in scenario.stl.organizations.items()
+    }
+    from repro.proto.address import parse_address
+
+    address = parse_address(fetched.address)
+    policy = parse_verification_policy(POLICY)
+
+    def validate():
+        return scheme.validate_bundle(
+            fetched.proof,
+            expected_network="stl",
+            expected_address=address,
+            expected_args=fetched.args,
+            expected_nonce=fetched.nonce,
+            expected_data_hash=fetched.data_hash,
+            policy=policy,
+            org_roots=org_roots,
+        )
+
+    semantic, attesters = _timed(validate, repeat=10)
+    assert len(attesters) == 2
+
+    # Governance: reading consensus-recorded config + policy via the CMDAC.
+    seller = scenario.swt.org("seller-bank-org").member("seller")
+
+    def governance_read():
+        scenario.swt.gateway.evaluate(seller, "cmdac", "GetVerificationPolicy", ["stl"])
+        scenario.swt.gateway.evaluate(seller, "cmdac", "GetNetworkConfig", ["stl"])
+
+    governance, _ = _timed(governance_read, repeat=10)
+
+    rows = [
+        ("technical (relay transport/framing)", f"{technical * 1e6:9.1f} us"),
+        ("syntactic (wire serialization)", f"{syntactic * 1e6:9.1f} us"),
+        ("semantic (proof validation, 2 attesters)", f"{semantic * 1e6:9.1f} us"),
+        ("governance (CMDAC config + policy reads)", f"{governance * 1e6:9.1f} us"),
+    ]
+    print("\nE1 / Figure 1 — per-layer cost of one cross-network query")
+    print(format_table(rows, headers=["layer", "mean cost"]))
+    # Shape: the semantic layer (signature checks) dominates serialization.
+    assert semantic > syntactic
+
+    benchmark(validate)
+
+
+def test_bench_wire_roundtrip(benchmark, scenario):
+    """Serialization micro-benchmark: query encode+decode."""
+    client = scenario.swt_seller_client
+    fetched = client.fetch_bill_of_lading(scenario.po_ref)
+    payload = fetched.response.encode()
+
+    from repro.proto.messages import QueryResponse
+
+    benchmark(lambda: QueryResponse.decode(payload))
+
+
+def test_bench_attestation_decrypt(benchmark, scenario):
+    """Client-side metadata decryption cost per attestation."""
+    client = scenario.swt_seller_client
+    fetched = client.fetch_bill_of_lading(scenario.po_ref)
+    wire_attestation = fetched.response.attestations[0]
+    identity = scenario.swt.org("seller-bank-org").member("seller")
+    result = benchmark(
+        lambda: decrypt_attestation(wire_attestation, identity.keypair.private)
+    )
+    assert result.metadata().network == "stl"

@@ -1,0 +1,76 @@
+"""E2 — Figure 2: the ten-step message flow with per-step latency.
+
+Regenerates the architecture walk-through of §3.3 as a measured table:
+each protocol step is executed for real (in-process) and additionally
+charged its modeled network/consensus latency, giving the shape of a
+deployed two-network interaction. The pytest-benchmark entries measure
+the real end-to-end cross-network query on this machine.
+"""
+
+from __future__ import annotations
+
+from repro.sim import LatencyModel, LatencyProfile, StepTimer, format_table
+from repro.utils.clock import SimulatedClock
+
+
+def test_figure2_step_latency_table(benchmark, scenario):
+    """Execute steps (1)-(10) of Figure 2, charging modeled latencies."""
+    po_ref = scenario.po_ref
+    clock = SimulatedClock()
+    model = LatencyModel(clock, profile=LatencyProfile(), seed=11)
+    timer = StepTimer(clock)
+    client = scenario.swt_seller_client
+
+    # Steps 1-9 are an idempotent query; the benchmark measures their real
+    # in-process cost (proof collection, encryption, validation included).
+    benchmark(lambda: client.fetch_bill_of_lading(po_ref))
+
+    with timer.step("1.  app -> local relay: submit request"):
+        model.charge("lan_hop")
+    with timer.step("2.  local relay: discovery lookup"):
+        model.charge("lan_hop")
+        scenario.discovery.lookup("stl")
+    with timer.step("3.  serialize + forward to source relay (WAN)"):
+        model.charge("wan_hop")
+    with timer.step("4.  source relay: deserialize + route to driver"):
+        model.charge("lan_hop")
+    with timer.step("5-7. driver: policy-driven proof collection (2 peers)"):
+        fetched = client.fetch_bill_of_lading(po_ref)
+        model.charge("lan_hop", count=2)
+        model.charge("chaincode_exec", count=2)
+        model.charge("crypto_op", count=4)  # seal + sign per peer
+    with timer.step("8.  source relay -> destination relay (WAN)"):
+        model.charge("wan_hop")
+    with timer.step("9.  relay -> app: decrypt result + proof"):
+        model.charge("lan_hop")
+        model.charge("crypto_op", count=3)
+    with timer.step("10. proof-carrying transaction commit (endorse+order)"):
+        lc = client.upload_dispatch_docs(po_ref, fetched)
+        model.charge("chaincode_exec", count=2)
+        model.charge("crypto_op", count=2)
+        model.charge("ordering")
+
+    assert lc["status"] == "DOCS_UPLOADED"
+    print("\nE2 / Figure 2 — ten-step message flow, modeled two-DC deployment")
+    print(format_table(timer.rows(), headers=["step", "latency", "share"]))
+    rows = {record.name: record.seconds for record in timer.records}
+    # Shape: the consensus-backed commit (step 10) dominates a lookup hop.
+    assert rows["10. proof-carrying transaction commit (endorse+order)"] > rows[
+        "2.  local relay: discovery lookup"
+    ]
+
+
+def test_bench_end_to_end_query(benchmark, scenario):
+    """Real wall-clock of one trusted cross-network query (steps 1-9)."""
+    client = scenario.swt_seller_client
+    fetched = benchmark(lambda: client.fetch_bill_of_lading(scenario.po_ref))
+    assert b"BL-" in fetched.data
+
+
+def test_bench_query_without_confidentiality(benchmark, scenario):
+    """Ablation: the same query with encryption disabled (lower crypto cost)."""
+    client = scenario.swt_seller_client
+    fetched = benchmark(
+        lambda: client.fetch_bill_of_lading(scenario.po_ref, confidential=False)
+    )
+    assert b"BL-" in fetched.data

@@ -1,0 +1,163 @@
+"""E10 — ablation: proof size and cost vs verification-policy strictness.
+
+The paper leaves "construction of an optimal verification policy from a
+network's consensus policy" to future work (§7); this bench maps the
+trade-off space on a 4-org source network: stricter policies (more
+required attesting orgs) buy stronger trust at linearly growing proof
+size, collection cost, and validation cost.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.fabric import Chaincode, NetworkBuilder
+from repro.fabric.identity import Organization
+from repro.interop.bootstrap import create_fabric_relay, enable_fabric_interop
+from repro.interop.client import InteropClient
+from repro.interop.contracts.cmdac import CMDAC_NAME
+from repro.interop.discovery import InMemoryRegistry
+from repro.interop.relay import RelayService
+from repro.proto.messages import NetworkConfigMsg, OrganizationConfigMsg
+from repro.sim import format_table
+
+ORG_COUNT = 4
+
+
+class RegistryChaincode(Chaincode):
+    name = "registry"
+
+    def invoke(self, stub):
+        if stub.function == "init":
+            return b"ok"
+        if stub.function == "Put":
+            stub.put_state(stub.args[0], stub.args[1].encode())
+            return b"ok"
+        if stub.function == "Get":
+            interop_raw = stub.get_transient("interop")
+            value = stub.get_state(stub.args[0]) or b""
+            if interop_raw is not None:
+                import json
+
+                ctx = json.loads(interop_raw)
+                stub.invoke_chaincode(
+                    "ecc",
+                    "CheckAccess",
+                    [ctx["requesting_network"], ctx["requesting_org"], self.name, "Get"],
+                )
+                return stub.invoke_chaincode(
+                    "ecc",
+                    "SealResponse",
+                    [value.hex(), ctx["client_pubkey"], "true" if ctx["confidential"] else "false"],
+                )
+            return value
+        raise Exception("unknown function")
+
+
+@pytest.fixture(scope="module")
+def big_source():
+    """A 4-org source network with one peer per org and one document."""
+    builder = NetworkBuilder("bignet", channel="main")
+    for index in range(ORG_COUNT):
+        builder.add_org(f"org{index}")
+        builder.add_peer("peer0", f"org{index}")
+    builder.add_client("admin", "org0")
+    network = builder.build()
+    admin = network.org("org0").member("admin")
+    policy = "AND(" + ", ".join(f"'org{i}.peer'" for i in range(ORG_COUNT)) + ")"
+    network.deploy_chaincode(RegistryChaincode(), policy, initializer=admin)
+    enable_fabric_interop(network, admin)
+    network.gateway.submit(admin, "registry", "Put", ["doc", '{"payload": "x"}'])
+
+    registry = InMemoryRegistry()
+    create_fabric_relay(network, registry)
+
+    dest_org = Organization("dest-org", network="destnet")
+    identity = dest_org.enroll("app", role="client")
+    dest_config = NetworkConfigMsg(
+        network_id="destnet",
+        platform="fabric",
+        organizations=[
+            OrganizationConfigMsg(
+                org_id="dest-org",
+                msp_id="dest-orgMSP",
+                root_certificate=dest_org.msp.root_certificate.to_bytes(),
+            )
+        ],
+    )
+    network.gateway.submit(
+        admin, CMDAC_NAME, "RecordNetworkConfig", ["destnet", dest_config.encode().hex()]
+    )
+    network.gateway.submit(
+        admin, "ecc", "AddAccessRule", ["destnet", "dest-org", "registry", "Get"]
+    )
+    dest_relay = RelayService("destnet", registry)
+    client = InteropClient(identity, dest_relay, "destnet")
+    return network, client
+
+
+def _policy_for(orgs: int) -> str:
+    if orgs == 1:
+        return "org:org0"
+    return "AND(" + ", ".join(f"org:org{i}" for i in range(orgs)) + ")"
+
+
+def test_policy_strictness_sweep(benchmark, big_source):
+    network, client = big_source
+    rows = []
+    sizes = []
+    for orgs in range(1, ORG_COUNT + 1):
+        policy = _policy_for(orgs)
+        start = time.perf_counter()
+        result = client.remote_query("bignet/main/registry/Get", ["doc"], policy=policy)
+        elapsed = time.perf_counter() - start
+        proof_bytes = len(result.proof_json)
+        sizes.append(proof_bytes)
+        rows.append(
+            (
+                str(orgs),
+                str(len(result.proof)),
+                f"{proof_bytes}",
+                f"{elapsed * 1e3:7.2f} ms",
+            )
+        )
+        assert len(result.proof) == orgs
+    print("\nE10 — proof cost vs verification-policy strictness (4-org network)")
+    print(
+        format_table(
+            rows,
+            headers=["required orgs", "attestations", "proof bytes", "query latency"],
+        )
+    )
+    # Shape: proof size grows monotonically (≈ linearly) with strictness.
+    assert sizes == sorted(sizes)
+    assert sizes[-1] > sizes[0] * (ORG_COUNT - 1) * 0.5
+
+    benchmark(
+        lambda: client.remote_query(
+            "bignet/main/registry/Get", ["doc"], policy=_policy_for(ORG_COUNT)
+        )
+    )
+
+
+def test_bench_loosest_policy(benchmark, big_source):
+    """Baseline: single-org policy (cheapest proof)."""
+    network, client = big_source
+    result = benchmark(
+        lambda: client.remote_query(
+            "bignet/main/registry/Get", ["doc"], policy=_policy_for(1)
+        )
+    )
+    assert len(result.proof) == 1
+
+
+def test_bench_outof_threshold_policy(benchmark, big_source):
+    """OutOf(2, ...) policies: strictness between OR and AND."""
+    network, client = big_source
+    policy = "OutOf(2, " + ", ".join(f"org:org{i}" for i in range(ORG_COUNT)) + ")"
+    result = benchmark(
+        lambda: client.remote_query("bignet/main/registry/Get", ["doc"], policy=policy)
+    )
+    assert len(result.proof) == 2

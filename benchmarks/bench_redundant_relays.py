@@ -1,0 +1,65 @@
+"""E9 — §5 availability: query success under relay failure vs redundancy.
+
+"The effects of DoS attacks can be mitigated by adding redundant relays."
+This bench deploys k = 1..3 relays for the source network, fails a
+growing number of them, and reports the query success rate — the
+crossover (success iff at least one relay survives) is the reproduced
+shape.
+"""
+
+from __future__ import annotations
+
+from repro.apps import build_trade_scenario
+from repro.errors import RelayUnavailableError
+from repro.sim import format_table
+
+PO = "PO-AVAIL"
+
+
+def _scenario_with_relays(k: int):
+    scenario = build_trade_scenario(stl_relay_count=k)
+    scenario.stl_seller_app.create_shipment(PO, "goods")
+    scenario.carrier_app.accept_shipment(PO)
+    scenario.carrier_app.record_handover(PO)
+    scenario.carrier_app.issue_bill_of_lading(PO, "MV A")
+    return scenario
+
+
+def _query_succeeds(scenario) -> bool:
+    try:
+        scenario.swt_seller_client.fetch_bill_of_lading(PO)
+    except RelayUnavailableError:
+        return False
+    return True
+
+
+def test_success_vs_relay_failures(benchmark):
+    rows = []
+    for total_relays in (1, 2, 3):
+        for failed in range(0, total_relays + 1):
+            scenario = _scenario_with_relays(total_relays)
+            for relay in scenario.stl_relays[:failed]:
+                relay.available = False
+            ok = _query_succeeds(scenario)
+            rows.append(
+                (
+                    str(total_relays),
+                    str(failed),
+                    "served" if ok else "UNAVAILABLE",
+                )
+            )
+            assert ok == (failed < total_relays)
+    print("\nE9 / §5 — availability under relay failure")
+    print(format_table(rows, headers=["relays deployed", "relays failed", "query outcome"]))
+
+    # Benchmark the failover cost: first relay dead, second serves.
+    scenario = _scenario_with_relays(2)
+    scenario.stl_relays[0].available = False
+    benchmark(lambda: scenario.swt_seller_client.fetch_bill_of_lading(PO))
+    assert scenario.swt_relay.stats.failovers > 0
+
+
+def test_bench_no_failover_baseline(benchmark):
+    """Baseline for the failover bench: all relays healthy."""
+    scenario = _scenario_with_relays(2)
+    benchmark(lambda: scenario.swt_seller_client.fetch_bill_of_lading(PO))

@@ -1,0 +1,123 @@
+"""Substrate ablations: ordering service and CMDAC-combination choices.
+
+Two design-choice studies DESIGN.md calls out:
+
+- solo vs Raft ordering (cluster sizes 1/3/5): the fault-tolerance tax on
+  destination-side commit latency;
+- combined CMDAC vs hypothetical split contracts: counts the
+  chaincode-to-chaincode invocations per proof validation that §4.3's
+  "combined for runtime efficiency" decision saves.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+
+from repro.fabric import Chaincode, NetworkBuilder
+from repro.fabric.chaincode import require_args
+from repro.sim import format_table
+
+_COUNTER = itertools.count()
+
+
+class KV(Chaincode):
+    name = "kv"
+
+    def invoke(self, stub):
+        if stub.function == "init":
+            return b"ok"
+        if stub.function == "put":
+            key, value = require_args(stub, 2)
+            stub.put_state(key, value.encode())
+            return b"ok"
+        raise Exception("unknown")
+
+
+def _network(orderer: str, cluster_size: int = 3):
+    builder = (
+        NetworkBuilder(f"abl-{next(_COUNTER)}")
+        .add_org("org1")
+        .add_peer("peer0", "org1")
+        .add_client("app", "org1")
+    )
+    if orderer == "raft":
+        builder.with_raft_orderer(cluster_size=cluster_size)
+    net = builder.build()
+    app = net.org("org1").member("app")
+    net.deploy_chaincode(KV(), "'org1.peer'", initializer=app)
+    return net, app
+
+
+def test_ordering_service_ablation(benchmark):
+    rows = []
+    configs = [("solo", 1), ("raft", 1), ("raft", 3), ("raft", 5)]
+    for kind, size in configs:
+        net, app = _network(kind, cluster_size=size)
+        start = time.perf_counter()
+        count = 20
+        for index in range(count):
+            net.gateway.submit(app, "kv", "put", [f"k{index}", "v"])
+        elapsed = time.perf_counter() - start
+        rows.append(
+            (
+                f"{kind} (n={size})" if kind == "raft" else "solo",
+                f"{elapsed / count * 1e3:8.3f} ms/tx",
+            )
+        )
+    print("\nAblation — ordering service choice vs commit latency")
+    print(format_table(rows, headers=["orderer", "mean commit latency"]))
+
+    net, app = _network("solo")
+    benchmark(lambda: net.gateway.submit(app, "kv", "put", ["bench", "v"]))
+
+
+def test_raft_commit_latency(benchmark):
+    net, app = _network("raft", cluster_size=3)
+    benchmark(lambda: net.gateway.submit(app, "kv", "put", ["bench", "v"]))
+
+
+def test_cmdac_combination_ablation(benchmark, scenario):
+    """Count cross-contract invocations per destination-side validation.
+
+    With the combined CMDAC, UploadDispatchDocs makes exactly one cc2cc
+    call; split Config-Management / Data-Acceptance contracts would need
+    at least three (policy read, config read, acceptance check) — the
+    §4.3 "runtime efficiency" rationale, quantified.
+    """
+    from repro.fabric.chaincode import ChaincodeStub
+
+    calls: list[tuple[str, str]] = []
+    original = ChaincodeStub.invoke_chaincode
+
+    def counting(self, chaincode_name, function, args):
+        calls.append((chaincode_name, function))
+        return original(self, chaincode_name, function, args)
+
+    po_ref = f"PO-ABL-{next(_COUNTER)}"
+    scenario.buyer_app.request_lc(po_ref, "b", "s", 10.0)
+    scenario.buyer_bank_app.issue_lc(po_ref)
+    scenario.stl_seller_app.create_shipment(po_ref, "goods")
+    scenario.carrier_app.accept_shipment(po_ref)
+    scenario.carrier_app.record_handover(po_ref)
+    scenario.carrier_app.issue_bill_of_lading(po_ref, "MV Abl")
+    fetched = scenario.swt_seller_client.fetch_bill_of_lading(po_ref)
+
+    ChaincodeStub.invoke_chaincode = counting  # type: ignore[method-assign]
+    try:
+        scenario.swt_seller_client.upload_dispatch_docs(po_ref, fetched)
+    finally:
+        ChaincodeStub.invoke_chaincode = original  # type: ignore[method-assign]
+
+    cmdac_calls_per_peer = [c for c in calls if c[0] == "cmdac"]
+    # Two endorsing peers each make exactly one combined-CMDAC call.
+    per_peer = len(cmdac_calls_per_peer) / 2
+    rows = [
+        ("combined CMDAC (this repo, per endorsing peer)", f"{per_peer:.0f} cc2cc call"),
+        ("split CM + DA contracts (hypothetical minimum)", "3 cc2cc calls"),
+    ]
+    print("\nAblation — §4.3 combined-CMDAC decision, cross-contract calls")
+    print(format_table(rows, headers=["design", "invocations per validation"]))
+    assert per_peer == 1
+
+    benchmark(lambda: scenario.swt_seller_client.fetch_bill_of_lading(po_ref))

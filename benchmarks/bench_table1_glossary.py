@@ -1,0 +1,18 @@
+"""E5 — Table 1: the use-case acronym glossary.
+
+Regenerates the paper's only table verbatim (it is a glossary, not a
+measurement; included for completeness of the per-artifact index).
+"""
+
+from __future__ import annotations
+
+from repro.apps.glossary import GLOSSARY, render_glossary
+
+
+def test_table1_glossary(benchmark):
+    text = benchmark(render_glossary)
+    print("\nE5 / Table 1 — common use case acronyms")
+    print(text)
+    assert len(GLOSSARY) == 7
+    for acronym in ("L/C", "B/L", "(S)TL", "(S)WT", "SWT-SC", "ECC", "CMDAC"):
+        assert acronym in text

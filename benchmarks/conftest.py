@@ -1,0 +1,28 @@
+"""Shared fixtures for the benchmark/experiment harness.
+
+Each ``bench_*.py`` file regenerates one artifact of the paper (see the
+experiment index in DESIGN.md). Benchmarks print their experiment tables
+to stdout; run with ``pytest benchmarks/ --benchmark-only -s`` to see them
+alongside the timing statistics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import build_trade_scenario
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    """A ready STL+SWT interop deployment with one issued B/L and L/C."""
+    scenario = build_trade_scenario()
+    po_ref = "PO-BENCH-001"
+    scenario.buyer_app.request_lc(po_ref, "buyer-corp", "seller-corp", 50_000.0)
+    scenario.buyer_bank_app.issue_lc(po_ref)
+    scenario.stl_seller_app.create_shipment(po_ref, "bench goods")
+    scenario.carrier_app.accept_shipment(po_ref)
+    scenario.carrier_app.record_handover(po_ref)
+    scenario.carrier_app.issue_bill_of_lading(po_ref, vessel="MV Bench")
+    scenario.po_ref = po_ref  # type: ignore[attr-defined]
+    return scenario

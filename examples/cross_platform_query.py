@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""§5 generalization demo: one client querying three DLT platforms.
+
+The same relay protocol and client code fetch proof-carrying data from a
+Fabric-like network, a Corda-like network (with the notary in the
+verification policy), and a Quorum-like network — only the per-platform
+drivers and system-contract ports differ.
+
+Run::
+
+    python examples/cross_platform_query.py
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.corda import CordaNetwork, LinearState
+from repro.fabric.identity import Organization
+from repro.interop import InMemoryRegistry, InteropClient, RelayService
+from repro.interop.contracts.ports import InteropPort
+from repro.interop.drivers.corda_driver import CordaDriver
+from repro.interop.drivers.quorum_driver import QuorumDriver
+from repro.proto.messages import NetworkConfigMsg, OrganizationConfigMsg
+from repro.quorum import DocumentRegistryContract, QuorumNetwork
+
+DOCUMENT = {"po_ref": "PO-XP-1", "commodity": "coffee", "weight_kg": 18_000}
+
+
+def main() -> None:
+    registry = InMemoryRegistry()
+
+    # --- The requesting side: one identity, one local relay, one client ----
+    dest_org = Organization("dest-org", network="dest-net")
+    identity = dest_org.enroll("analyst", role="client")
+    dest_config = NetworkConfigMsg(
+        network_id="dest-net",
+        platform="fabric",
+        organizations=[
+            OrganizationConfigMsg(
+                org_id="dest-org",
+                msp_id="dest-orgMSP",
+                root_certificate=dest_org.msp.root_certificate.to_bytes(),
+            )
+        ],
+    )
+    client = InteropClient(identity, RelayService("dest-net", registry), "dest-net")
+
+    # --- Source 1: Corda-like network with a notary --------------------------
+    corda = CordaNetwork("corda-net")
+    node_a = corda.add_node("nodeA")
+    corda.add_node("nodeB")
+    node_a.propose(
+        [],
+        [
+            LinearState(
+                linear_id="DOC-XP",
+                kind="trade-doc",
+                data=DOCUMENT,
+                participants=("nodeA", "nodeB"),
+            )
+        ],
+        "Record",
+    )
+    corda_port = InteropPort("corda-net")
+    corda_port.record_network_config(dest_config)
+    corda_port.add_access_rule("dest-net", "dest-org", "vault", "GetState")
+    corda_relay = RelayService("corda-net", registry)
+    corda_relay.register_driver(CordaDriver(corda, corda_port))
+    registry.register("corda-net", corda_relay)
+
+    # --- Source 2: Quorum-like network ---------------------------------------
+    quorum = QuorumNetwork("quorum-net")
+    quorum.deploy_contract(DocumentRegistryContract())
+    quorum.add_peer("peer1", "operator-1")
+    quorum.add_peer("peer2", "operator-2")
+    q_admin = quorum.enroll_client("admin", "operator-1")
+    quorum.submit_transaction(
+        q_admin,
+        "document-registry",
+        "RegisterDocument",
+        ["DOC-XP", json.dumps(DOCUMENT, sort_keys=True)],
+    )
+    quorum_port = InteropPort("quorum-net")
+    quorum_port.record_network_config(dest_config)
+    quorum_port.add_access_rule(
+        "dest-net", "dest-org", "document-registry", "GetDocument"
+    )
+    quorum_relay = RelayService("quorum-net", registry)
+    quorum_relay.register_driver(QuorumDriver(quorum, quorum_port))
+    registry.register("quorum-net", quorum_relay)
+
+    # --- Identical client code against both platforms -------------------------
+    queries = [
+        ("corda-net/vault/vault/GetState", ["DOC-XP"], "AND(org:nodeA, org:notary-org)"),
+        (
+            "quorum-net/state/document-registry/GetDocument",
+            ["DOC-XP"],
+            "AND(org:operator-1, org:operator-2)",
+        ),
+    ]
+    for address, args, policy in queries:
+        result = client.remote_query(address, args, policy=policy)
+        attesters = sorted(a.metadata().org for a in result.proof.attestations)
+        platform = address.split("/", 1)[0]
+        print(f"{platform:12s} -> data fetched, {len(result.proof)} attestations "
+              f"from {attesters}")
+        payload = json.loads(result.data)
+        document = payload.get("data", payload)
+        assert document["po_ref"] == "PO-XP-1"
+
+    print("\nSame relay protocol, same client, same proof format — only the")
+    print("network drivers and system-contract ports are platform-specific,")
+    print("exactly as §5 of the paper argues.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""Use-case applications (paper §4).
+
+Scaled-down versions of two industry blockchain consortium networks:
+
+- :mod:`repro.apps.stl` — Simplified TradeLens, a trade-logistics network
+  with a Seller and a Carrier organization; its chaincode manages shipment
+  state and documentation (bills of lading).
+- :mod:`repro.apps.swt` — Simplified We.Trade, a trade-finance network
+  with a Buyer's Bank and a Seller's Bank organization; its chaincode
+  manages letters of credit and payments.
+- :mod:`repro.apps.trade_workflow` — assembles both networks, augments
+  them for interoperation, and runs the full Figure 3 use case, including
+  the cross-network bill-of-lading query (step 9).
+- :mod:`repro.apps.glossary` — Table 1's acronym glossary.
+"""
+
+from repro.apps.trade_workflow import (
+    TradeScenario,
+    UseCaseResult,
+    build_trade_scenario,
+    run_full_use_case,
+)
+
+__all__ = [
+    "TradeScenario",
+    "UseCaseResult",
+    "build_trade_scenario",
+    "run_full_use_case",
+]

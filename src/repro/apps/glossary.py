@@ -1,0 +1,23 @@
+"""Table 1 of the paper: common use-case acronyms."""
+
+from __future__ import annotations
+
+GLOSSARY: list[tuple[str, str]] = [
+    ("L/C", "Letter of Credit: Trade Financing Instrument"),
+    ("B/L", "Bill of Lading: Carrier Acknowledgement of Shipment Receipt"),
+    ("(S)TL", "(Simplified) TradeLens: Trade Logistics Network"),
+    ("(S)WT", "(Simplified) We.Trade: Trade Finance Network"),
+    ("SWT-SC", "Simplified We.Trade-Seller Client"),
+    ("ECC", "Exposure Control Chaincode"),
+    ("CMDAC", "Configuration Management & Data Acceptance Chaincode"),
+]
+
+
+def render_glossary() -> str:
+    """Render Table 1 as aligned text."""
+    width = max(len(acronym) for acronym, _ in GLOSSARY)
+    lines = [f"{'Acronym':<{width}}  Expansion & Description"]
+    lines.append("-" * (width + 2 + max(len(d) for _, d in GLOSSARY)))
+    for acronym, description in GLOSSARY:
+        lines.append(f"{acronym:<{width}}  {description}")
+    return "\n".join(lines)

@@ -1,0 +1,27 @@
+"""Simplified TradeLens (STL): the trade-logistics source network.
+
+"STL retains just a Seller and a Carrier negotiating the export of a
+shipment. ... The STL network on Fabric consists of 2 peers: one belongs
+to a Seller organization and the other to a Carrier organization. A
+single chaincode manages shipment state and documentation" (§4.2).
+"""
+
+from repro.apps.stl.chaincode import (
+    STL_CHAINCODE_NAME,
+    STL_NETWORK_ID,
+    STL_CARRIER_ORG,
+    STL_SELLER_ORG,
+    TradeLensChaincode,
+)
+from repro.apps.stl.applications import CarrierApp, StlSellerApp, build_stl_network
+
+__all__ = [
+    "TradeLensChaincode",
+    "STL_CHAINCODE_NAME",
+    "STL_NETWORK_ID",
+    "STL_SELLER_ORG",
+    "STL_CARRIER_ORG",
+    "StlSellerApp",
+    "CarrierApp",
+    "build_stl_network",
+]

@@ -1,0 +1,85 @@
+"""STL service applications: the Seller's and Carrier's front ends.
+
+"Independent applications were developed for the Seller and Carrier,
+invoking chaincode below and offering web UIs above" (§4.2). Here each
+application is the service tier: it owns an identity and drives the
+chaincode through the gateway.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.apps.stl.chaincode import (
+    STL_CARRIER_ORG,
+    STL_CHAINCODE_NAME,
+    STL_NETWORK_ID,
+    STL_SELLER_ORG,
+    TradeLensChaincode,
+)
+from repro.fabric.gateway import SubmitResult
+from repro.fabric.identity import Identity
+from repro.fabric.network import FabricNetwork, NetworkBuilder
+from repro.utils.clock import Clock
+
+
+def build_stl_network(clock: Clock | None = None) -> FabricNetwork:
+    """Assemble STL exactly as §4.2 describes: one peer per organization."""
+    builder = NetworkBuilder(STL_NETWORK_ID, channel="trade-logistics", clock=clock)
+    builder.add_org(STL_SELLER_ORG).add_org(STL_CARRIER_ORG)
+    builder.add_peer("peer0", STL_SELLER_ORG)
+    builder.add_peer("peer0", STL_CARRIER_ORG)
+    builder.add_client("seller-app", STL_SELLER_ORG)
+    builder.add_client("carrier-app", STL_CARRIER_ORG)
+    builder.add_client("admin", STL_SELLER_ORG)
+    return builder.build()
+
+
+def deploy_stl_chaincode(network: FabricNetwork, admin: Identity) -> None:
+    """Deploy the STL chaincode under a both-orgs endorsement policy."""
+    network.deploy_chaincode(
+        TradeLensChaincode(),
+        f"AND('{STL_SELLER_ORG}.peer', '{STL_CARRIER_ORG}.peer')",
+        initializer=admin,
+    )
+
+
+class _StlApp:
+    def __init__(self, network: FabricNetwork, identity: Identity) -> None:
+        self._network = network
+        self._identity = identity
+
+    def _submit(self, function: str, args: list[str]) -> SubmitResult:
+        return self._network.gateway.submit(
+            self._identity, STL_CHAINCODE_NAME, function, args
+        )
+
+    def _evaluate(self, function: str, args: list[str]) -> bytes:
+        return self._network.gateway.evaluate(
+            self._identity, STL_CHAINCODE_NAME, function, args
+        )
+
+    def get_shipment(self, po_ref: str) -> dict:
+        return json.loads(self._evaluate("GetShipment", [po_ref]))
+
+
+class StlSellerApp(_StlApp):
+    """The Seller's application on STL."""
+
+    def create_shipment(self, po_ref: str, goods_description: str) -> dict:
+        result = self._submit("CreateShipment", [po_ref, goods_description])
+        return json.loads(result.result)
+
+
+class CarrierApp(_StlApp):
+    """The Carrier's application on STL."""
+
+    def accept_shipment(self, po_ref: str) -> dict:
+        return json.loads(self._submit("AcceptShipment", [po_ref]).result)
+
+    def record_handover(self, po_ref: str) -> dict:
+        return json.loads(self._submit("RecordHandover", [po_ref]).result)
+
+    def issue_bill_of_lading(self, po_ref: str, vessel: str) -> dict:
+        result = self._submit("IssueBillOfLading", [po_ref, vessel])
+        return json.loads(result.result)

@@ -1,0 +1,208 @@
+"""The STL chaincode: shipment state and documentation.
+
+Shipment lifecycle (Figure 3, steps 1 and 5-8)::
+
+    CREATED -> ACCEPTED -> IN_POSSESSION -> BL_ISSUED
+
+The interoperation modification (§4.3, §5 "ease of adaptation") is the
+pair of ECC invocations inside ``GetBillOfLading``: an access-control
+check before query execution, and a response-sealing (encryption) call
+after — the paper's ~35 SLOC one-time change. Incoming relay queries are
+detected through the interop transient field ("STL Chaincode was also
+modified to check if an incoming query is from a relay").
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import ChaincodeError
+from repro.fabric.chaincode import Chaincode, ChaincodeStub, require_args
+from repro.interop.contracts.ecc import ECC_NAME
+from repro.interop.drivers.fabric_driver import INTEROP_TRANSIENT_KEY
+from repro.utils.encoding import canonical_json, from_canonical_json
+
+STL_NETWORK_ID = "stl"
+STL_CHAINCODE_NAME = "TradeLensCC"
+STL_SELLER_ORG = "seller-org"
+STL_CARRIER_ORG = "carrier-org"
+
+_SHIPMENT_PREFIX = "shipment/"
+_BL_PREFIX = "bl/"
+
+STATUS_CREATED = "CREATED"
+STATUS_ACCEPTED = "ACCEPTED"
+STATUS_IN_POSSESSION = "IN_POSSESSION"
+STATUS_BL_ISSUED = "BL_ISSUED"
+
+
+class TradeLensChaincode(Chaincode):
+    """Shipment and bill-of-lading management for STL.
+
+    Functions:
+
+    - ``CreateShipment(po_ref, goods_description)`` (Seller org)
+    - ``AcceptShipment(po_ref)`` (Carrier org)
+    - ``RecordHandover(po_ref)`` (Carrier org, takes possession)
+    - ``IssueBillOfLading(po_ref, vessel)`` (Carrier org)
+    - ``GetShipment(po_ref)`` -> shipment JSON
+    - ``GetBillOfLading(po_ref)`` -> B/L JSON (interop-enabled)
+    """
+
+    name = STL_CHAINCODE_NAME
+
+    def invoke(self, stub: ChaincodeStub) -> bytes:
+        function = stub.function
+        if function == "init":
+            return b"ok"
+        handler = {
+            "CreateShipment": self._create_shipment,
+            "AcceptShipment": self._accept_shipment,
+            "RecordHandover": self._record_handover,
+            "IssueBillOfLading": self._issue_bill_of_lading,
+            "GetShipment": self._get_shipment,
+            "GetBillOfLading": self._get_bill_of_lading,
+        }.get(function)
+        if handler is None:
+            raise ChaincodeError(f"{self.name} has no function {function!r}")
+        # [interop-begin] §4.3 one-time adaptation: if the query comes from a
+        # relay, (1) consult the ECC before execution and (2) seal the
+        # response after execution. Exposing further functions "only
+        # requires the addition of a policy rule, and no further chaincode
+        # modification" (§5) because the wrapping is dispatch-wide.
+        interop_raw = stub.get_transient(INTEROP_TRANSIENT_KEY)
+        if interop_raw is not None:
+            interop_ctx = json.loads(interop_raw)
+            stub.invoke_chaincode(
+                ECC_NAME,
+                "CheckAccess",
+                [
+                    interop_ctx["requesting_network"],
+                    interop_ctx["requesting_org"],
+                    self.name,
+                    function,
+                ],
+            )
+            result = handler(stub)
+            return stub.invoke_chaincode(
+                ECC_NAME,
+                "SealResponse",
+                [
+                    result.hex(),
+                    interop_ctx["client_pubkey"],
+                    "true" if interop_ctx["confidential"] else "false",
+                ],
+            )
+        # [interop-end]
+        return handler(stub)
+
+    # -- helpers -------------------------------------------------------------
+
+    @staticmethod
+    def _creator_org(stub: ChaincodeStub) -> str:
+        creator = stub.get_creator()
+        if creator is None:
+            raise ChaincodeError("transaction carries no creator certificate")
+        return creator.subject.organization
+
+    @staticmethod
+    def _require_org(stub: ChaincodeStub, org: str) -> None:
+        actual = TradeLensChaincode._creator_org(stub)
+        if actual != org:
+            raise ChaincodeError(
+                f"{stub.function} may only be invoked by members of {org!r}, "
+                f"not {actual!r}"
+            )
+
+    def _load_shipment(self, stub: ChaincodeStub, po_ref: str) -> dict:
+        raw = stub.get_state(_SHIPMENT_PREFIX + po_ref)
+        if raw is None:
+            raise ChaincodeError(f"no shipment for purchase order {po_ref!r}")
+        return from_canonical_json(raw)
+
+    def _store_shipment(self, stub: ChaincodeStub, shipment: dict) -> None:
+        stub.put_state(
+            _SHIPMENT_PREFIX + shipment["po_ref"], canonical_json(shipment)
+        )
+
+    # -- shipment lifecycle -----------------------------------------------------
+
+    def _create_shipment(self, stub: ChaincodeStub) -> bytes:
+        po_ref, goods_description = require_args(stub, 2)
+        self._require_org(stub, STL_SELLER_ORG)
+        if stub.get_state(_SHIPMENT_PREFIX + po_ref) is not None:
+            raise ChaincodeError(f"shipment for {po_ref!r} already exists")
+        shipment = {
+            "po_ref": po_ref,
+            "goods_description": goods_description,
+            "status": STATUS_CREATED,
+            "seller": self._creator_org(stub),
+            "carrier": "",
+            "created_at": stub.timestamp,
+        }
+        self._store_shipment(stub, shipment)
+        stub.set_event("ShipmentCreated", po_ref.encode("utf-8"))
+        return canonical_json(shipment)
+
+    def _accept_shipment(self, stub: ChaincodeStub) -> bytes:
+        (po_ref,) = require_args(stub, 1)
+        self._require_org(stub, STL_CARRIER_ORG)
+        shipment = self._load_shipment(stub, po_ref)
+        if shipment["status"] != STATUS_CREATED:
+            raise ChaincodeError(
+                f"shipment {po_ref!r} is {shipment['status']}, cannot accept"
+            )
+        shipment["status"] = STATUS_ACCEPTED
+        shipment["carrier"] = self._creator_org(stub)
+        self._store_shipment(stub, shipment)
+        return canonical_json(shipment)
+
+    def _record_handover(self, stub: ChaincodeStub) -> bytes:
+        (po_ref,) = require_args(stub, 1)
+        self._require_org(stub, STL_CARRIER_ORG)
+        shipment = self._load_shipment(stub, po_ref)
+        if shipment["status"] != STATUS_ACCEPTED:
+            raise ChaincodeError(
+                f"shipment {po_ref!r} is {shipment['status']}, cannot hand over"
+            )
+        shipment["status"] = STATUS_IN_POSSESSION
+        self._store_shipment(stub, shipment)
+        return canonical_json(shipment)
+
+    def _issue_bill_of_lading(self, stub: ChaincodeStub) -> bytes:
+        po_ref, vessel = require_args(stub, 2)
+        self._require_org(stub, STL_CARRIER_ORG)
+        shipment = self._load_shipment(stub, po_ref)
+        if shipment["status"] != STATUS_IN_POSSESSION:
+            raise ChaincodeError(
+                f"a B/L can only be issued once the carrier has possession; "
+                f"shipment {po_ref!r} is {shipment['status']}"
+            )
+        bill_of_lading = {
+            "document": "bill-of-lading",
+            "po_ref": po_ref,
+            "goods_description": shipment["goods_description"],
+            "shipper": shipment["seller"],
+            "carrier": shipment["carrier"],
+            "vessel": vessel,
+            "issued_at": stub.timestamp,
+            "bl_id": f"BL-{po_ref}",
+        }
+        stub.put_state(_BL_PREFIX + po_ref, canonical_json(bill_of_lading))
+        shipment["status"] = STATUS_BL_ISSUED
+        self._store_shipment(stub, shipment)
+        stub.set_event("BillOfLadingIssued", po_ref.encode("utf-8"))
+        return canonical_json(bill_of_lading)
+
+    # -- queries --------------------------------------------------------------
+
+    def _get_shipment(self, stub: ChaincodeStub) -> bytes:
+        (po_ref,) = require_args(stub, 1)
+        return canonical_json(self._load_shipment(stub, po_ref))
+
+    def _get_bill_of_lading(self, stub: ChaincodeStub) -> bytes:
+        (po_ref,) = require_args(stub, 1)
+        raw = stub.get_state(_BL_PREFIX + po_ref)
+        if raw is None:
+            raise ChaincodeError(f"no bill of lading recorded for {po_ref!r}")
+        return raw

@@ -1,0 +1,35 @@
+"""Simplified We.Trade (SWT): the trade-finance destination network.
+
+"The SWT network consists of 4 peers: 2 in a Buyer's Bank organization
+and 2 in a Seller's Bank organization; a Buyer and a Seller are clients
+of their respective banks' organizations. A single chaincode manages
+letters of credits and payments" (§4.2).
+"""
+
+from repro.apps.swt.chaincode import (
+    SWT_BUYER_BANK_ORG,
+    SWT_CHAINCODE_NAME,
+    SWT_NETWORK_ID,
+    SWT_SELLER_BANK_ORG,
+    WeTradeChaincode,
+)
+from repro.apps.swt.applications import (
+    BuyerApp,
+    BuyerBankApp,
+    SellerBankApp,
+    SwtSellerClient,
+    build_swt_network,
+)
+
+__all__ = [
+    "WeTradeChaincode",
+    "SWT_CHAINCODE_NAME",
+    "SWT_NETWORK_ID",
+    "SWT_BUYER_BANK_ORG",
+    "SWT_SELLER_BANK_ORG",
+    "BuyerApp",
+    "BuyerBankApp",
+    "SellerBankApp",
+    "SwtSellerClient",
+    "build_swt_network",
+]

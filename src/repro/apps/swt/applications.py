@@ -1,0 +1,154 @@
+"""SWT service applications: buyer, banks, and the interop-enabled seller.
+
+The Seller's client (SWT-SC in Table 1) carries the paper's destination-
+side adaptation (~80 SLOC, §5): "(i) inserted a remote query call using
+the relay service API before an UploadDispatchDocs transaction submission
+... and (ii) added calls to decrypt and validate the response and
+metadata, and run the transaction using the decrypted data and proof as
+arguments."
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.apps.swt.chaincode import (
+    SWT_BUYER_BANK_ORG,
+    SWT_CHAINCODE_NAME,
+    SWT_NETWORK_ID,
+    SWT_SELLER_BANK_ORG,
+    WeTradeChaincode,
+)
+from repro.fabric.gateway import SubmitResult
+from repro.fabric.identity import Identity
+from repro.fabric.network import FabricNetwork, NetworkBuilder
+from repro.interop.client import InteropClient, RemoteQueryResult
+from repro.interop.relay import RelayService
+from repro.utils.clock import Clock
+
+
+def build_swt_network(clock: Clock | None = None) -> FabricNetwork:
+    """Assemble SWT exactly as §4.2 describes: two peers per bank org."""
+    builder = NetworkBuilder(SWT_NETWORK_ID, channel="trade-finance", clock=clock)
+    builder.add_org(SWT_BUYER_BANK_ORG).add_org(SWT_SELLER_BANK_ORG)
+    builder.add_peer("peer0", SWT_BUYER_BANK_ORG)
+    builder.add_peer("peer1", SWT_BUYER_BANK_ORG)
+    builder.add_peer("peer0", SWT_SELLER_BANK_ORG)
+    builder.add_peer("peer1", SWT_SELLER_BANK_ORG)
+    builder.add_client("buyer", SWT_BUYER_BANK_ORG)
+    builder.add_client("seller", SWT_SELLER_BANK_ORG)
+    builder.add_client("buyer-bank-app", SWT_BUYER_BANK_ORG)
+    builder.add_client("seller-bank-app", SWT_SELLER_BANK_ORG)
+    builder.add_client("admin", SWT_BUYER_BANK_ORG)
+    return builder.build()
+
+
+def deploy_swt_chaincode(network: FabricNetwork, admin: Identity) -> None:
+    """Deploy the SWT chaincode: "2 endorsements: one from a peer each in
+    the Buyer's Bank and Seller's Bank organizations" (§4.3)."""
+    network.deploy_chaincode(
+        WeTradeChaincode(),
+        f"AND('{SWT_BUYER_BANK_ORG}.peer', '{SWT_SELLER_BANK_ORG}.peer')",
+        initializer=admin,
+    )
+
+
+class _SwtApp:
+    def __init__(self, network: FabricNetwork, identity: Identity) -> None:
+        self._network = network
+        self._identity = identity
+
+    def _submit(self, function: str, args: list[str]) -> SubmitResult:
+        return self._network.gateway.submit(
+            self._identity, SWT_CHAINCODE_NAME, function, args
+        )
+
+    def _evaluate(self, function: str, args: list[str]) -> bytes:
+        return self._network.gateway.evaluate(
+            self._identity, SWT_CHAINCODE_NAME, function, args
+        )
+
+    def get_lc(self, po_ref: str) -> dict:
+        return json.loads(self._evaluate("GetLC", [po_ref]))
+
+
+class BuyerApp(_SwtApp):
+    """The Buyer's application (client of the Buyer's Bank org)."""
+
+    def request_lc(self, po_ref: str, buyer: str, seller: str, amount: float) -> dict:
+        result = self._submit("RequestLC", [po_ref, buyer, seller, str(amount)])
+        return json.loads(result.result)
+
+
+class BuyerBankApp(_SwtApp):
+    """The Buyer's Bank application."""
+
+    def issue_lc(self, po_ref: str) -> dict:
+        return json.loads(self._submit("IssueLC", [po_ref]).result)
+
+    def make_payment(self, po_ref: str) -> dict:
+        return json.loads(self._submit("MakePayment", [po_ref]).result)
+
+
+class SellerBankApp(_SwtApp):
+    """The Seller's Bank application."""
+
+    def request_payment(self, po_ref: str) -> dict:
+        return json.loads(self._submit("RequestPayment", [po_ref]).result)
+
+
+class SwtSellerClient(_SwtApp):
+    """SWT-SC: the seller's interop-enabled client application.
+
+    Beyond ordinary SWT operations it can fetch the bill of lading from
+    STL through the relay (step 9 of Figure 3) and submit it with proof.
+    """
+
+    def __init__(
+        self,
+        network: FabricNetwork,
+        identity: Identity,
+        relay: RelayService,
+        bl_address: str,
+    ) -> None:
+        super().__init__(network, identity)
+        # [interop-begin] application adaptation: relay client + remote query,
+        # response/metadata decryption, and proof-carrying submission (§5)
+        self._interop = InteropClient(
+            identity=identity,
+            relay=relay,
+            network_id=SWT_NETWORK_ID,
+            gateway=network.gateway,
+        )
+        self._bl_address = bl_address
+
+    @property
+    def interop_client(self) -> InteropClient:
+        return self._interop
+
+    def fetch_bill_of_lading(
+        self, po_ref: str, confidential: bool = True
+    ) -> RemoteQueryResult:
+        """Step 9: cross-network query for the B/L, returning data + proof."""
+        return self._interop.remote_query(
+            self._bl_address, [po_ref], confidential=confidential
+        )
+
+    def upload_dispatch_docs(self, po_ref: str, fetched: RemoteQueryResult) -> dict:
+        """Submit UploadDispatchDocs with the decrypted B/L and proof (§4.3)."""
+        result = self._submit(
+            "UploadDispatchDocs",
+            [
+                po_ref,
+                fetched.data.decode("utf-8"),
+                fetched.nonce,
+                fetched.proof_json,
+            ],
+        )
+        return json.loads(result.result)
+
+    def fetch_and_upload(self, po_ref: str, confidential: bool = True) -> dict:
+        """The full destination-side interop sequence in one call."""
+        fetched = self.fetch_bill_of_lading(po_ref, confidential=confidential)
+        return self.upload_dispatch_docs(po_ref, fetched)
+    # [interop-end]

@@ -1,0 +1,218 @@
+"""The SWT chaincode: letters of credit and payments.
+
+Letter-of-credit lifecycle (Figure 3, steps 2-4 and 9-10)::
+
+    REQUESTED -> ISSUED -> DOCS_UPLOADED -> PAYMENT_REQUESTED -> PAID
+
+The interoperation modification (§4.3) lives in ``UploadDispatchDocs``:
+the chaincode unmarshals the proof accompanying the bill of lading and
+invokes the CMDAC to validate it against the recorded STL configuration
+and verification policy before accepting the document — the paper's
+~20 SLOC one-time change. "L/C terms mandate payment upon dispatch ...
+but it must have proof of existence of a valid B/L" — the proof check is
+what "lets SWT avoid dependence on the seller, who has incentive to forge
+a B/L and claim payment."
+"""
+
+from __future__ import annotations
+
+from repro.crypto.hashing import sha256
+from repro.errors import ChaincodeError
+from repro.fabric.chaincode import Chaincode, ChaincodeStub, require_args
+from repro.interop.contracts.cmdac import CMDAC_NAME
+from repro.utils.encoding import canonical_json, from_canonical_json
+
+SWT_NETWORK_ID = "swt"
+SWT_CHAINCODE_NAME = "WeTradeCC"
+SWT_BUYER_BANK_ORG = "buyer-bank-org"
+SWT_SELLER_BANK_ORG = "seller-bank-org"
+
+_LC_PREFIX = "lc/"
+_DOCS_PREFIX = "docs/"
+
+STATUS_REQUESTED = "REQUESTED"
+STATUS_ISSUED = "ISSUED"
+STATUS_DOCS_UPLOADED = "DOCS_UPLOADED"
+STATUS_PAYMENT_REQUESTED = "PAYMENT_REQUESTED"
+STATUS_PAID = "PAID"
+
+# The cross-network source address of the B/L query; a governance-time
+# constant of the interop configuration (network/ledger/contract/function).
+STL_BL_ADDRESS = "stl/trade-logistics/TradeLensCC/GetBillOfLading"
+
+
+class WeTradeChaincode(Chaincode):
+    """Letter-of-credit management for SWT.
+
+    Functions:
+
+    - ``RequestLC(po_ref, buyer, seller, amount)`` (Buyer's Bank org client)
+    - ``IssueLC(po_ref)`` (Buyer's Bank org)
+    - ``UploadDispatchDocs(po_ref, bl_json, nonce, proof_json)``
+      (Seller's Bank org; interop-enabled)
+    - ``RequestPayment(po_ref)`` (Seller's Bank org)
+    - ``MakePayment(po_ref)`` (Buyer's Bank org)
+    - ``GetLC(po_ref)`` / ``GetDispatchDocs(po_ref)``
+    """
+
+    name = SWT_CHAINCODE_NAME
+
+    def invoke(self, stub: ChaincodeStub) -> bytes:
+        function = stub.function
+        if function == "init":
+            return b"ok"
+        handler = {
+            "RequestLC": self._request_lc,
+            "IssueLC": self._issue_lc,
+            "UploadDispatchDocs": self._upload_dispatch_docs,
+            "RequestPayment": self._request_payment,
+            "MakePayment": self._make_payment,
+            "GetLC": self._get_lc,
+            "GetDispatchDocs": self._get_dispatch_docs,
+        }.get(function)
+        if handler is None:
+            raise ChaincodeError(f"{self.name} has no function {function!r}")
+        return handler(stub)
+
+    # -- helpers ---------------------------------------------------------------
+
+    @staticmethod
+    def _creator_org(stub: ChaincodeStub) -> str:
+        creator = stub.get_creator()
+        if creator is None:
+            raise ChaincodeError("transaction carries no creator certificate")
+        return creator.subject.organization
+
+    @staticmethod
+    def _require_org(stub: ChaincodeStub, org: str) -> None:
+        actual = WeTradeChaincode._creator_org(stub)
+        if actual != org:
+            raise ChaincodeError(
+                f"{stub.function} may only be invoked by members of {org!r}, "
+                f"not {actual!r}"
+            )
+
+    def _load_lc(self, stub: ChaincodeStub, po_ref: str) -> dict:
+        raw = stub.get_state(_LC_PREFIX + po_ref)
+        if raw is None:
+            raise ChaincodeError(f"no letter of credit for purchase order {po_ref!r}")
+        return from_canonical_json(raw)
+
+    def _store_lc(self, stub: ChaincodeStub, lc: dict) -> None:
+        stub.put_state(_LC_PREFIX + lc["po_ref"], canonical_json(lc))
+
+    # -- L/C lifecycle -------------------------------------------------------------
+
+    def _request_lc(self, stub: ChaincodeStub) -> bytes:
+        po_ref, buyer, seller, amount = require_args(stub, 4)
+        self._require_org(stub, SWT_BUYER_BANK_ORG)
+        if stub.get_state(_LC_PREFIX + po_ref) is not None:
+            raise ChaincodeError(f"a letter of credit for {po_ref!r} already exists")
+        try:
+            amount_value = float(amount)
+        except ValueError as exc:
+            raise ChaincodeError(f"amount {amount!r} is not a number") from exc
+        if amount_value <= 0:
+            raise ChaincodeError(f"amount must be positive, got {amount_value}")
+        lc = {
+            "po_ref": po_ref,
+            "buyer": buyer,
+            "seller": seller,
+            "amount": amount_value,
+            "status": STATUS_REQUESTED,
+            "issuing_bank": "",
+            "requested_at": stub.timestamp,
+        }
+        self._store_lc(stub, lc)
+        stub.set_event("LCRequested", po_ref.encode("utf-8"))
+        return canonical_json(lc)
+
+    def _issue_lc(self, stub: ChaincodeStub) -> bytes:
+        (po_ref,) = require_args(stub, 1)
+        self._require_org(stub, SWT_BUYER_BANK_ORG)
+        lc = self._load_lc(stub, po_ref)
+        if lc["status"] != STATUS_REQUESTED:
+            raise ChaincodeError(
+                f"letter of credit {po_ref!r} is {lc['status']}, cannot issue"
+            )
+        lc["status"] = STATUS_ISSUED
+        lc["issuing_bank"] = self._creator_org(stub)
+        self._store_lc(stub, lc)
+        stub.set_event("LCIssued", po_ref.encode("utf-8"))
+        return canonical_json(lc)
+
+    def _upload_dispatch_docs(self, stub: ChaincodeStub) -> bytes:
+        po_ref, bl_json, nonce, proof_json = require_args(stub, 4)
+        self._require_org(stub, SWT_SELLER_BANK_ORG)
+        lc = self._load_lc(stub, po_ref)
+        if lc["status"] != STATUS_ISSUED:
+            raise ChaincodeError(
+                f"letter of credit {po_ref!r} is {lc['status']}, cannot upload docs"
+            )
+        bill_of_lading = from_canonical_json(bl_json.encode("utf-8"))
+        if bill_of_lading.get("po_ref") != po_ref:
+            raise ChaincodeError(
+                f"bill of lading references {bill_of_lading.get('po_ref')!r}, "
+                f"not this letter of credit's {po_ref!r}"
+            )
+        # [interop-begin] unmarshal the proof and validate it via the CMDAC (§4.3)
+        data_hash = sha256(bl_json.encode("utf-8")).hex()
+        stub.invoke_chaincode(
+            CMDAC_NAME,
+            "ValidateProof",
+            [
+                "stl",
+                STL_BL_ADDRESS,
+                canonical_json([po_ref]).decode("ascii"),
+                nonce,
+                data_hash,
+                proof_json,
+            ],
+        )
+        # [interop-end]
+        stub.put_state(_DOCS_PREFIX + po_ref, bl_json.encode("utf-8"))
+        lc["status"] = STATUS_DOCS_UPLOADED
+        self._store_lc(stub, lc)
+        stub.set_event("DispatchDocsUploaded", po_ref.encode("utf-8"))
+        return canonical_json(lc)
+
+    def _request_payment(self, stub: ChaincodeStub) -> bytes:
+        (po_ref,) = require_args(stub, 1)
+        self._require_org(stub, SWT_SELLER_BANK_ORG)
+        lc = self._load_lc(stub, po_ref)
+        if lc["status"] != STATUS_DOCS_UPLOADED:
+            raise ChaincodeError(
+                f"payment requires uploaded dispatch docs; letter of credit "
+                f"{po_ref!r} is {lc['status']}"
+            )
+        lc["status"] = STATUS_PAYMENT_REQUESTED
+        self._store_lc(stub, lc)
+        stub.set_event("PaymentRequested", po_ref.encode("utf-8"))
+        return canonical_json(lc)
+
+    def _make_payment(self, stub: ChaincodeStub) -> bytes:
+        (po_ref,) = require_args(stub, 1)
+        self._require_org(stub, SWT_BUYER_BANK_ORG)
+        lc = self._load_lc(stub, po_ref)
+        if lc["status"] != STATUS_PAYMENT_REQUESTED:
+            raise ChaincodeError(
+                f"letter of credit {po_ref!r} is {lc['status']}, cannot pay"
+            )
+        lc["status"] = STATUS_PAID
+        lc["paid_at"] = stub.timestamp
+        self._store_lc(stub, lc)
+        stub.set_event("PaymentMade", po_ref.encode("utf-8"))
+        return canonical_json(lc)
+
+    # -- queries --------------------------------------------------------------------
+
+    def _get_lc(self, stub: ChaincodeStub) -> bytes:
+        (po_ref,) = require_args(stub, 1)
+        return canonical_json(self._load_lc(stub, po_ref))
+
+    def _get_dispatch_docs(self, stub: ChaincodeStub) -> bytes:
+        (po_ref,) = require_args(stub, 1)
+        raw = stub.get_state(_DOCS_PREFIX + po_ref)
+        if raw is None:
+            raise ChaincodeError(f"no dispatch docs uploaded for {po_ref!r}")
+        return raw

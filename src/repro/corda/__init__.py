@@ -1,0 +1,27 @@
+"""Corda-like permissioned DLT substrate.
+
+A minimal but behaviourally-real Corda model for the paper's §5
+generalization claim ("the relay service ... can be directly reused in
+networks built on Corda or Quorum ... In Corda, a verification policy can
+be specified to include signatures from notaries"):
+
+- UTXO-style :class:`LinearState` records held in per-node vaults;
+- transactions signed by all participants and by a :class:`Notary`
+  providing uniqueness consensus (double-spend prevention);
+- a doorman-rooted identity scheme (one MSP-style root per node org).
+"""
+
+from repro.corda.states import LinearState, StateRef
+from repro.corda.transactions import CordaTransaction
+from repro.corda.notary import Notary
+from repro.corda.node import CordaNode
+from repro.corda.network import CordaNetwork
+
+__all__ = [
+    "LinearState",
+    "StateRef",
+    "CordaTransaction",
+    "Notary",
+    "CordaNode",
+    "CordaNetwork",
+]

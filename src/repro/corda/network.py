@@ -1,0 +1,130 @@
+"""The Corda-like network: nodes, notary, contracts, config export."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import LedgerError, MembershipError
+from repro.fabric.identity import Organization
+from repro.corda.node import CordaNode
+from repro.corda.notary import Notary
+from repro.corda.states import LinearState
+from repro.corda.transactions import CordaTransaction
+from repro.proto.messages import NetworkConfigMsg, OrganizationConfigMsg, PeerConfigMsg
+from repro.utils.clock import Clock, SystemClock
+
+ContractVerifier = Callable[[list[LinearState], list[LinearState], str], None]
+
+
+def _default_contract(
+    inputs: list[LinearState], outputs: list[LinearState], command: str
+) -> None:
+    """Permissive default: any well-formed transition is acceptable."""
+    if not outputs and not inputs:
+        raise LedgerError("a transaction must consume or produce at least one state")
+
+
+class CordaNetwork:
+    """A set of Corda nodes sharing a notary and a doorman-style identity root.
+
+    Each node is modeled as its own one-node organization (as Corda
+    identities are per-node), which maps cleanly onto the interop
+    protocol's ``org:`` verification-policy leaves.
+    """
+
+    def __init__(self, name: str, clock: Clock | None = None) -> None:
+        self.name = name
+        self.clock = clock or SystemClock()
+        self._nodes: dict[str, CordaNode] = {}
+        self._orgs: dict[str, Organization] = {}
+        self._contracts: dict[str, ContractVerifier] = {}
+        self.transactions: dict[str, CordaTransaction] = {}
+        notary_org = Organization("notary-org", network=name)
+        self._orgs["notary-org"] = notary_org
+        self.notary = Notary(notary_org.enroll("notary", role="peer"))
+
+    # -- membership ---------------------------------------------------------------
+
+    def add_node(self, node_name: str) -> CordaNode:
+        if node_name in self._nodes:
+            raise MembershipError(f"node {node_name!r} already exists")
+        org = Organization(node_name, network=self.name)
+        self._orgs[node_name] = org
+        identity = org.enroll(node_name, role="peer")
+        node = CordaNode(identity, self)
+        self._nodes[node_name] = node
+        return node
+
+    def node(self, node_name: str) -> CordaNode:
+        try:
+            return self._nodes[node_name]
+        except KeyError:
+            raise MembershipError(
+                f"corda network {self.name!r} has no node {node_name!r}"
+            ) from None
+
+    @property
+    def nodes(self) -> list[CordaNode]:
+        return list(self._nodes.values())
+
+    # -- contracts -------------------------------------------------------------------
+
+    def register_contract(self, command: str, verifier: ContractVerifier) -> None:
+        self._contracts[command] = verifier
+
+    def verify_contract(
+        self, inputs: list[LinearState], outputs: list[LinearState], command: str
+    ) -> None:
+        verifier = self._contracts.get(command, _default_contract)
+        verifier(inputs, outputs, command)
+
+    # -- transaction resolution ---------------------------------------------------------
+
+    def record_transaction(self, transaction: CordaTransaction) -> None:
+        self.transactions[transaction.tx_id] = transaction
+
+    def resolve_inputs(self, transaction: CordaTransaction) -> list[LinearState]:
+        resolved = []
+        for ref in transaction.inputs:
+            source = self.transactions.get(ref.tx_id)
+            if source is None:
+                raise LedgerError(f"unknown input transaction {ref.tx_id!r}")
+            if not (0 <= ref.index < len(source.outputs)):
+                raise LedgerError(f"input {ref.key()} is out of range")
+            resolved.append(source.outputs[ref.index])
+        return resolved
+
+    # -- interop configuration export -----------------------------------------------------
+
+    def export_config(self) -> NetworkConfigMsg:
+        """Identity configuration for recording on foreign ledgers (§3.3).
+
+        Includes the notary as an attesting organization, since Corda
+        verification policies may require notary signatures (§5).
+        """
+        organizations = []
+        for org_id in sorted(self._orgs):
+            org = self._orgs[org_id]
+            members = org.members(role="peer")
+            organizations.append(
+                OrganizationConfigMsg(
+                    org_id=org_id,
+                    msp_id=org.msp.msp_id,
+                    root_certificate=org.msp.root_certificate.to_bytes(),
+                    peers=[
+                        PeerConfigMsg(
+                            peer_id=member.id,
+                            org=org_id,
+                            endpoint=f"sim://{self.name}/{member.id}",
+                            certificate=member.certificate.to_bytes(),
+                        )
+                        for member in members
+                    ],
+                )
+            )
+        return NetworkConfigMsg(
+            network_id=self.name,
+            platform="corda",
+            organizations=organizations,
+            ledgers=["vault"],
+        )

@@ -1,0 +1,112 @@
+"""Corda nodes: vaults and the signature-gathering flow."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import LedgerError
+from repro.fabric.identity import Identity
+from repro.corda.states import LinearState, StateRef
+from repro.corda.transactions import CordaTransaction
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.corda.network import CordaNetwork
+
+# A contract verifier: raises on an invalid (inputs, outputs, command) triple.
+ContractVerifier = Callable[[list[LinearState], list[LinearState], str], None]
+
+
+class CordaNode:
+    """One Corda node: identity, vault, and flow participation."""
+
+    def __init__(self, identity: Identity, network: "CordaNetwork") -> None:
+        self.identity = identity
+        self._network = network
+        # vault: unconsumed states visible to this node
+        self._vault: dict[str, tuple[StateRef, LinearState]] = {}
+        self.transactions: dict[str, CordaTransaction] = {}
+
+    @property
+    def name(self) -> str:
+        return self.identity.name
+
+    @property
+    def org(self) -> str:
+        return self.identity.org
+
+    # -- vault -----------------------------------------------------------------
+
+    def vault_states(self, kind: str | None = None) -> list[LinearState]:
+        states = [state for _, state in self._vault.values()]
+        if kind is not None:
+            states = [state for state in states if state.kind == kind]
+        return states
+
+    def lookup(self, linear_id: str) -> tuple[StateRef, LinearState]:
+        entry = self._vault.get(linear_id)
+        if entry is None:
+            raise LedgerError(
+                f"node {self.name!r} holds no unconsumed state {linear_id!r}"
+            )
+        return entry
+
+    def _record(self, transaction: CordaTransaction) -> None:
+        self.transactions[transaction.tx_id] = transaction
+        consumed_ids = set()
+        for ref in transaction.inputs:
+            for linear_id, (held_ref, _) in list(self._vault.items()):
+                if held_ref.key() == ref.key():
+                    consumed_ids.add(linear_id)
+        for linear_id in consumed_ids:
+            del self._vault[linear_id]
+        for index, output in enumerate(transaction.outputs):
+            if self.name in output.participants:
+                self._vault[output.linear_id] = (transaction.output_ref(index), output)
+
+    # -- flows -----------------------------------------------------------------
+
+    def sign_if_valid(self, transaction: CordaTransaction) -> None:
+        """Counterparty half of the flow: verify the contract, then sign."""
+        inputs = self._network.resolve_inputs(transaction)
+        self._network.verify_contract(inputs, transaction.outputs, transaction.command)
+        transaction.add_signature(
+            self.name, self.identity.sign(transaction.signable_bytes()).to_bytes()
+        )
+
+    def propose(
+        self,
+        inputs: list[StateRef],
+        outputs: list[LinearState],
+        command: str,
+    ) -> CordaTransaction:
+        """Initiate a flow: build, self-sign, gather signatures, notarize.
+
+        Every participant of every output (plus this node) must sign; the
+        notary then checks uniqueness and countersigns; finally all
+        participants record the transaction in their vaults.
+        """
+        signers = {self.name}
+        for output in outputs:
+            signers.update(output.participants)
+        transaction = CordaTransaction(
+            inputs=inputs,
+            outputs=outputs,
+            command=command,
+            proposer=self.name,
+            required_signers=sorted(signers),
+            timestamp=self._network.clock.now(),
+        )
+        resolved_inputs = self._network.resolve_inputs(transaction)
+        self._network.verify_contract(resolved_inputs, outputs, command)
+        transaction.add_signature(
+            self.name, self.identity.sign(transaction.signable_bytes()).to_bytes()
+        )
+        for signer in transaction.required_signers:
+            if signer == self.name:
+                continue
+            self._network.node(signer).sign_if_valid(transaction)
+        self._network.notary.notarize(transaction)
+        for participant in transaction.required_signers:
+            self._network.node(participant)._record(transaction)
+        self._network.record_transaction(transaction)
+        return transaction

@@ -1,0 +1,43 @@
+"""Corda-style states and state references."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.encoding import canonical_json
+
+
+@dataclass(frozen=True)
+class StateRef:
+    """A pointer to one output of a previous transaction."""
+
+    tx_id: str
+    index: int
+
+    def key(self) -> str:
+        return f"{self.tx_id}:{self.index}"
+
+
+@dataclass(frozen=True)
+class LinearState:
+    """A fact shared among ``participants``, evolving under a ``linear_id``.
+
+    Corda linear states keep a stable identity across updates: consuming a
+    state and producing a successor with the same ``linear_id`` models an
+    update to the same real-world fact (here: a trade document).
+    """
+
+    linear_id: str
+    kind: str
+    data: dict = field(default_factory=dict)
+    participants: tuple[str, ...] = ()
+
+    def to_bytes(self) -> bytes:
+        return canonical_json(
+            {
+                "linear_id": self.linear_id,
+                "kind": self.kind,
+                "data": self.data,
+                "participants": list(self.participants),
+            }
+        )

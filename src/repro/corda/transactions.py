@@ -1,0 +1,70 @@
+"""Corda-style transactions: consume input states, produce output states."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.ecdsa import Signature, verify
+from repro.crypto.keys import PublicKey
+from repro.errors import LedgerError
+from repro.corda.states import LinearState, StateRef
+from repro.utils.encoding import canonical_json
+from repro.utils.ids import deterministic_id
+
+
+@dataclass
+class CordaTransaction:
+    """A signed state transition.
+
+    ``signatures`` maps node name -> signature over :meth:`signable_bytes`;
+    ``notary_signature`` is the uniqueness attestation added last.
+    """
+
+    inputs: list[StateRef]
+    outputs: list[LinearState]
+    command: str
+    proposer: str
+    required_signers: list[str]
+    timestamp: float = 0.0
+    signatures: dict[str, bytes] = field(default_factory=dict)
+    notary_signature: bytes | None = None
+
+    @property
+    def tx_id(self) -> str:
+        return deterministic_id(self.signable_bytes(), prefix="corda-tx-")
+
+    def signable_bytes(self) -> bytes:
+        return canonical_json(
+            {
+                "inputs": [ref.key() for ref in self.inputs],
+                "outputs": [output.to_bytes().hex() for output in self.outputs],
+                "command": self.command,
+                "proposer": self.proposer,
+                "required_signers": sorted(self.required_signers),
+                "timestamp": self.timestamp,
+            }
+        )
+
+    def add_signature(self, signer: str, signature_bytes: bytes) -> None:
+        self.signatures[signer] = signature_bytes
+
+    def verify_signature(self, signer: str, public_key: PublicKey) -> bool:
+        raw = self.signatures.get(signer)
+        if raw is None:
+            return False
+        return verify(public_key, self.signable_bytes(), Signature.from_bytes(raw))
+
+    def is_fully_signed(self) -> bool:
+        return all(signer in self.signatures for signer in self.required_signers)
+
+    def require_fully_signed(self) -> None:
+        missing = [s for s in self.required_signers if s not in self.signatures]
+        if missing:
+            raise LedgerError(
+                f"transaction {self.tx_id} is missing signatures from {missing}"
+            )
+
+    def output_ref(self, index: int) -> StateRef:
+        if not (0 <= index < len(self.outputs)):
+            raise LedgerError(f"transaction {self.tx_id} has no output {index}")
+        return StateRef(tx_id=self.tx_id, index=index)

@@ -1,0 +1,41 @@
+"""Cryptographic substrate.
+
+Pure-Python implementations of the primitives the interoperability protocol
+relies on:
+
+- SHA-256 hashing and Merkle trees (:mod:`repro.crypto.hashing`,
+  :mod:`repro.crypto.merkle`)
+- NIST P-256 elliptic-curve arithmetic (:mod:`repro.crypto.ec`)
+- ECDSA with RFC 6979 deterministic nonces (:mod:`repro.crypto.ecdsa`)
+- HKDF key derivation (:mod:`repro.crypto.kdf`)
+- ChaCha20 + HMAC-SHA256 authenticated encryption (:mod:`repro.crypto.aead`)
+- ECIES-style hybrid public-key encryption (:mod:`repro.crypto.ecies`)
+- Simplified X.509-style certificates and CAs (:mod:`repro.crypto.certs`)
+
+These play the roles that Fabric's MSP X.509/ECDSA stack plays in the
+paper: CA-rooted identities, endorsement signatures, and end-to-end
+encryption of query results and proof metadata.
+"""
+
+from repro.crypto.hashing import sha256, hmac_sha256
+from repro.crypto.keys import KeyPair, PrivateKey, PublicKey, generate_keypair
+from repro.crypto.ecdsa import sign, verify
+from repro.crypto.ecies import ecies_decrypt, ecies_encrypt
+from repro.crypto.certs import Certificate, CertificateAuthority
+from repro.crypto.merkle import MerkleTree
+
+__all__ = [
+    "sha256",
+    "hmac_sha256",
+    "KeyPair",
+    "PrivateKey",
+    "PublicKey",
+    "generate_keypair",
+    "sign",
+    "verify",
+    "ecies_encrypt",
+    "ecies_decrypt",
+    "Certificate",
+    "CertificateAuthority",
+    "MerkleTree",
+]

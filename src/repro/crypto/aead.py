@@ -1,0 +1,75 @@
+"""Authenticated encryption: ChaCha20 + HMAC-SHA256, encrypt-then-MAC.
+
+Layout of a sealed box::
+
+    nonce (12) || ciphertext (len(plaintext)) || tag (32)
+
+The MAC covers ``nonce || associated_data_length || associated_data ||
+ciphertext`` so truncation and AD-swapping are both detected.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.crypto.chacha20 import chacha20_xor
+from repro.crypto.hashing import constant_time_equal, hmac_sha256
+from repro.errors import DecryptionError
+
+NONCE_LEN = 12
+TAG_LEN = 32
+KEY_LEN = 64  # 32 bytes cipher key || 32 bytes MAC key
+
+
+def _split_key(key: bytes) -> tuple[bytes, bytes]:
+    if len(key) != KEY_LEN:
+        raise ValueError(f"AEAD key must be {KEY_LEN} bytes, got {len(key)}")
+    return key[:32], key[32:]
+
+
+def _mac_input(nonce: bytes, associated_data: bytes, ciphertext: bytes) -> tuple[bytes, ...]:
+    return (
+        nonce,
+        len(associated_data).to_bytes(8, "big"),
+        associated_data,
+        ciphertext,
+    )
+
+
+def seal(
+    key: bytes,
+    plaintext: bytes,
+    associated_data: bytes = b"",
+    nonce: bytes | None = None,
+) -> bytes:
+    """Encrypt and authenticate ``plaintext``.
+
+    A random nonce is drawn unless one is supplied (tests only — reusing a
+    nonce under the same key breaks confidentiality of a stream cipher).
+    """
+    cipher_key, mac_key = _split_key(key)
+    if nonce is None:
+        nonce = os.urandom(NONCE_LEN)
+    if len(nonce) != NONCE_LEN:
+        raise ValueError(f"nonce must be {NONCE_LEN} bytes, got {len(nonce)}")
+    ciphertext = chacha20_xor(cipher_key, nonce, plaintext)
+    tag = hmac_sha256(mac_key, *_mac_input(nonce, associated_data, ciphertext))
+    return nonce + ciphertext + tag
+
+
+def open_(key: bytes, box: bytes, associated_data: bytes = b"") -> bytes:
+    """Authenticate and decrypt a box produced by :func:`seal`.
+
+    Raises :class:`DecryptionError` on any authentication failure; the error
+    is deliberately uninformative to avoid oracle behaviour.
+    """
+    cipher_key, mac_key = _split_key(key)
+    if len(box) < NONCE_LEN + TAG_LEN:
+        raise DecryptionError("ciphertext too short")
+    nonce = box[:NONCE_LEN]
+    ciphertext = box[NONCE_LEN:-TAG_LEN]
+    tag = box[-TAG_LEN:]
+    expected = hmac_sha256(mac_key, *_mac_input(nonce, associated_data, ciphertext))
+    if not constant_time_equal(tag, expected):
+        raise DecryptionError("authentication tag mismatch")
+    return chacha20_xor(cipher_key, nonce, ciphertext)

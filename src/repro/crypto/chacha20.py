@@ -1,0 +1,67 @@
+"""ChaCha20 stream cipher (RFC 8439).
+
+A compact pure-Python implementation. Encryption and decryption are the
+same XOR-keystream operation. Used only through the AEAD construction in
+:mod:`repro.crypto.aead`; never use a raw stream cipher without a MAC.
+"""
+
+from __future__ import annotations
+
+import struct
+
+_MASK32 = 0xFFFFFFFF
+_CONSTANTS = (0x61707865, 0x3320646E, 0x79622D32, 0x6B206574)  # "expand 32-byte k"
+
+
+def _rotl32(value: int, count: int) -> int:
+    value &= _MASK32
+    return ((value << count) | (value >> (32 - count))) & _MASK32
+
+
+def _quarter_round(state: list[int], a: int, b: int, c: int, d: int) -> None:
+    state[a] = (state[a] + state[b]) & _MASK32
+    state[d] = _rotl32(state[d] ^ state[a], 16)
+    state[c] = (state[c] + state[d]) & _MASK32
+    state[b] = _rotl32(state[b] ^ state[c], 12)
+    state[a] = (state[a] + state[b]) & _MASK32
+    state[d] = _rotl32(state[d] ^ state[a], 8)
+    state[c] = (state[c] + state[d]) & _MASK32
+    state[b] = _rotl32(state[b] ^ state[c], 7)
+
+
+def _chacha20_block(key_words: tuple[int, ...], counter: int, nonce_words: tuple[int, ...]) -> bytes:
+    state = list(_CONSTANTS) + list(key_words) + [counter] + list(nonce_words)
+    working = state.copy()
+    for _ in range(10):  # 20 rounds: 10 column+diagonal double-rounds
+        _quarter_round(working, 0, 4, 8, 12)
+        _quarter_round(working, 1, 5, 9, 13)
+        _quarter_round(working, 2, 6, 10, 14)
+        _quarter_round(working, 3, 7, 11, 15)
+        _quarter_round(working, 0, 5, 10, 15)
+        _quarter_round(working, 1, 6, 11, 12)
+        _quarter_round(working, 2, 7, 8, 13)
+        _quarter_round(working, 3, 4, 9, 14)
+    output = [(w + s) & _MASK32 for w, s in zip(working, state)]
+    return struct.pack("<16I", *output)
+
+
+def chacha20_xor(key: bytes, nonce: bytes, data: bytes, initial_counter: int = 1) -> bytes:
+    """XOR ``data`` with the ChaCha20 keystream (encrypts and decrypts).
+
+    ``key`` must be 32 bytes, ``nonce`` 12 bytes (RFC 8439 layout).
+    """
+    if len(key) != 32:
+        raise ValueError(f"ChaCha20 key must be 32 bytes, got {len(key)}")
+    if len(nonce) != 12:
+        raise ValueError(f"ChaCha20 nonce must be 12 bytes, got {len(nonce)}")
+    key_words = struct.unpack("<8I", key)
+    nonce_words = struct.unpack("<3I", nonce)
+    out = bytearray(len(data))
+    counter = initial_counter
+    for offset in range(0, len(data), 64):
+        block = _chacha20_block(key_words, counter, nonce_words)
+        chunk = data[offset : offset + 64]
+        for i, byte in enumerate(chunk):
+            out[offset + i] = byte ^ block[i]
+        counter = (counter + 1) & _MASK32
+    return bytes(out)

@@ -1,0 +1,162 @@
+"""NIST P-256 (secp256r1) elliptic-curve arithmetic.
+
+A small, self-contained implementation of the curve group used by
+Hyperledger Fabric MSP identities. Points are exposed as affine
+``(x, y)`` tuples with ``None`` representing the point at infinity;
+internally, scalar multiplication uses Jacobian coordinates to avoid a
+modular inversion per addition.
+
+This module implements *math only*; key handling and signatures live in
+:mod:`repro.crypto.keys` and :mod:`repro.crypto.ecdsa`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.errors import InvalidKeyError
+
+# Curve parameters for NIST P-256 (FIPS 186-4, D.1.2.3).
+P = 0xFFFFFFFF00000001000000000000000000000000FFFFFFFFFFFFFFFFFFFFFFFF
+A = P - 3
+B = 0x5AC635D8AA3A93E7B3EBBD55769886BC651D06B0CC53B0F63BCE3C3E27D2604B
+GX = 0x6B17D1F2E12C4247F8BCE6E563A440F277037D812DEB33A0F4A13945D898C296
+GY = 0x4FE342E2FE1A7F9B8EE7EB4A7C0F9E162BCE33576B315ECECBB6406837BF51F5
+N = 0xFFFFFFFF00000000FFFFFFFFFFFFFFFFBCE6FAADA7179E84F3B9CAC2FC632551
+
+AffinePoint = Optional[Tuple[int, int]]
+_JacobianPoint = Tuple[int, int, int]
+
+_INFINITY_J: _JacobianPoint = (1, 1, 0)
+
+GENERATOR: AffinePoint = (GX, GY)
+
+
+def inverse_mod(value: int, modulus: int) -> int:
+    """Modular inverse via Python's built-in extended-gcd ``pow``."""
+    if value % modulus == 0:
+        raise ZeroDivisionError("no inverse for 0")
+    return pow(value, -1, modulus)
+
+
+def is_on_curve(point: AffinePoint) -> bool:
+    """Check that ``point`` satisfies the curve equation (or is infinity)."""
+    if point is None:
+        return True
+    x, y = point
+    if not (0 <= x < P and 0 <= y < P):
+        return False
+    return (y * y - (x * x * x + A * x + B)) % P == 0
+
+
+def _to_jacobian(point: AffinePoint) -> _JacobianPoint:
+    if point is None:
+        return _INFINITY_J
+    return (point[0], point[1], 1)
+
+
+def _from_jacobian(point: _JacobianPoint) -> AffinePoint:
+    x, y, z = point
+    if z == 0:
+        return None
+    z_inv = inverse_mod(z, P)
+    z_inv2 = (z_inv * z_inv) % P
+    return ((x * z_inv2) % P, (y * z_inv2 * z_inv) % P)
+
+
+def _jacobian_double(point: _JacobianPoint) -> _JacobianPoint:
+    x, y, z = point
+    if z == 0 or y == 0:
+        return _INFINITY_J
+    ysq = (y * y) % P
+    s = (4 * x * ysq) % P
+    m = (3 * x * x + A * z * z * z * z) % P
+    nx = (m * m - 2 * s) % P
+    ny = (m * (s - nx) - 8 * ysq * ysq) % P
+    nz = (2 * y * z) % P
+    return (nx, ny, nz)
+
+
+def _jacobian_add(p1: _JacobianPoint, p2: _JacobianPoint) -> _JacobianPoint:
+    x1, y1, z1 = p1
+    x2, y2, z2 = p2
+    if z1 == 0:
+        return p2
+    if z2 == 0:
+        return p1
+    z1z1 = (z1 * z1) % P
+    z2z2 = (z2 * z2) % P
+    u1 = (x1 * z2z2) % P
+    u2 = (x2 * z1z1) % P
+    s1 = (y1 * z2 * z2z2) % P
+    s2 = (y2 * z1 * z1z1) % P
+    if u1 == u2:
+        if s1 != s2:
+            return _INFINITY_J
+        return _jacobian_double(p1)
+    h = (u2 - u1) % P
+    i = (4 * h * h) % P
+    j = (h * i) % P
+    r = (2 * (s2 - s1)) % P
+    v = (u1 * i) % P
+    nx = (r * r - j - 2 * v) % P
+    ny = (r * (v - nx) - 2 * s1 * j) % P
+    nz = (2 * h * z1 * z2) % P
+    return (nx, ny, nz)
+
+
+def point_add(p1: AffinePoint, p2: AffinePoint) -> AffinePoint:
+    """Group addition on affine points."""
+    return _from_jacobian(_jacobian_add(_to_jacobian(p1), _to_jacobian(p2)))
+
+
+def point_double(point: AffinePoint) -> AffinePoint:
+    """Group doubling on an affine point."""
+    return _from_jacobian(_jacobian_double(_to_jacobian(point)))
+
+
+def point_neg(point: AffinePoint) -> AffinePoint:
+    """Group negation on an affine point."""
+    if point is None:
+        return None
+    x, y = point
+    return (x, (-y) % P)
+
+
+def scalar_mult(scalar: int, point: AffinePoint = GENERATOR) -> AffinePoint:
+    """Compute ``scalar * point`` with double-and-add in Jacobian space."""
+    if point is None or scalar % N == 0:
+        return None
+    if not is_on_curve(point):
+        raise InvalidKeyError("point is not on the P-256 curve")
+    k = scalar % N
+    result = _INFINITY_J
+    addend = _to_jacobian(point)
+    while k:
+        if k & 1:
+            result = _jacobian_add(result, addend)
+        addend = _jacobian_double(addend)
+        k >>= 1
+    return _from_jacobian(result)
+
+
+def encode_point(point: AffinePoint) -> bytes:
+    """Serialize a point to 65-byte uncompressed SEC1 form (0x04 || X || Y)."""
+    if point is None:
+        raise InvalidKeyError("cannot encode the point at infinity")
+    x, y = point
+    return b"\x04" + x.to_bytes(32, "big") + y.to_bytes(32, "big")
+
+
+def decode_point(data: bytes) -> AffinePoint:
+    """Parse a 65-byte uncompressed SEC1 point, validating curve membership."""
+    if len(data) != 65 or data[0] != 0x04:
+        raise InvalidKeyError(
+            f"expected 65-byte uncompressed point, got {len(data)} bytes"
+        )
+    x = int.from_bytes(data[1:33], "big")
+    y = int.from_bytes(data[33:65], "big")
+    point = (x, y)
+    if not is_on_curve(point):
+        raise InvalidKeyError("decoded point is not on the P-256 curve")
+    return point

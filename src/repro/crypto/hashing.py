@@ -1,0 +1,32 @@
+"""Hash and MAC helpers used across the library."""
+
+from __future__ import annotations
+
+import hashlib
+import hmac as _hmac
+
+
+def sha256(*chunks: bytes) -> bytes:
+    """SHA-256 over the concatenation of ``chunks``."""
+    digest = hashlib.sha256()
+    for chunk in chunks:
+        digest.update(chunk)
+    return digest.digest()
+
+
+def sha256_hex(*chunks: bytes) -> str:
+    """Hex-encoded :func:`sha256`."""
+    return sha256(*chunks).hex()
+
+
+def hmac_sha256(key: bytes, *chunks: bytes) -> bytes:
+    """HMAC-SHA256 of ``chunks`` under ``key``."""
+    mac = _hmac.new(key, digestmod=hashlib.sha256)
+    for chunk in chunks:
+        mac.update(chunk)
+    return mac.digest()
+
+
+def constant_time_equal(a: bytes, b: bytes) -> bool:
+    """Timing-safe byte comparison (wraps :func:`hmac.compare_digest`)."""
+    return _hmac.compare_digest(a, b)

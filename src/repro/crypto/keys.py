@@ -1,0 +1,106 @@
+"""P-256 key handling.
+
+Thin, immutable wrappers over the raw curve math in :mod:`repro.crypto.ec`
+with stable byte serializations. Public keys serialize to uncompressed
+SEC1 (65 bytes); private keys to 32 big-endian bytes.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.crypto import ec
+from repro.errors import InvalidKeyError
+
+
+@dataclass(frozen=True)
+class PublicKey:
+    """An affine P-256 point acting as a verification/encryption key."""
+
+    x: int
+    y: int
+
+    def __post_init__(self) -> None:
+        if not ec.is_on_curve((self.x, self.y)):
+            raise InvalidKeyError("public key point is not on the P-256 curve")
+
+    @property
+    def point(self) -> tuple[int, int]:
+        return (self.x, self.y)
+
+    def to_bytes(self) -> bytes:
+        """Uncompressed SEC1 encoding (65 bytes)."""
+        return ec.encode_point(self.point)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "PublicKey":
+        point = ec.decode_point(data)
+        assert point is not None
+        return cls(point[0], point[1])
+
+    def fingerprint(self) -> str:
+        """Short stable identifier for logs and registries."""
+        from repro.crypto.hashing import sha256
+
+        return sha256(self.to_bytes()).hex()[:16]
+
+
+@dataclass(frozen=True)
+class PrivateKey:
+    """A P-256 scalar acting as a signing/decryption key."""
+
+    d: int = field(repr=False)
+
+    def __post_init__(self) -> None:
+        if not (1 <= self.d < ec.N):
+            raise InvalidKeyError("private scalar out of range [1, n)")
+
+    def public_key(self) -> PublicKey:
+        point = ec.scalar_mult(self.d)
+        assert point is not None
+        return PublicKey(point[0], point[1])
+
+    def to_bytes(self) -> bytes:
+        return self.d.to_bytes(32, "big")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "PrivateKey":
+        if len(data) != 32:
+            raise InvalidKeyError(f"expected 32-byte scalar, got {len(data)}")
+        return cls(int.from_bytes(data, "big"))
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """A private key together with its derived public key."""
+
+    private: PrivateKey
+    public: PublicKey
+
+    @classmethod
+    def from_private(cls, private: PrivateKey) -> "KeyPair":
+        return cls(private=private, public=private.public_key())
+
+
+def generate_keypair(seed: bytes | None = None) -> KeyPair:
+    """Generate a fresh P-256 key pair.
+
+    ``seed`` makes generation deterministic (used by tests and the seeded
+    simulators); without it, ``os.urandom`` supplies entropy. Rejection
+    sampling keeps the scalar uniform in ``[1, n)``.
+    """
+    from repro.crypto.hashing import sha256
+
+    counter = 0
+    while True:
+        if seed is None:
+            material = os.urandom(32)
+        else:
+            material = sha256(seed, counter.to_bytes(4, "big"))
+        candidate = int.from_bytes(material, "big")
+        if 1 <= candidate < ec.N:
+            return KeyPair.from_private(PrivateKey(candidate))
+        counter += 1
+        if seed is None and counter > 100:  # pragma: no cover - astronomically unlikely
+            raise InvalidKeyError("could not sample a valid private scalar")

@@ -1,0 +1,91 @@
+"""Binary Merkle trees.
+
+Used by the block structure in the ledger substrates: a block's data hash
+is the Merkle root over its transactions, and audit paths let a verifier
+check transaction inclusion without the full block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.hashing import sha256
+
+_LEAF_PREFIX = b"\x00"
+_NODE_PREFIX = b"\x01"
+
+
+def _leaf_hash(data: bytes) -> bytes:
+    return sha256(_LEAF_PREFIX, data)
+
+
+def _node_hash(left: bytes, right: bytes) -> bytes:
+    return sha256(_NODE_PREFIX, left, right)
+
+
+@dataclass(frozen=True)
+class AuditStep:
+    """One step of a Merkle audit path: a sibling hash and its side."""
+
+    sibling: bytes
+    sibling_is_left: bool
+
+
+class MerkleTree:
+    """A Merkle tree over a fixed list of byte-string leaves.
+
+    Leaf and interior hashes use distinct domain-separation prefixes so a
+    leaf cannot be confused with an encoded interior node (second-preimage
+    hardening, as in RFC 6962).
+    """
+
+    def __init__(self, leaves: list[bytes]) -> None:
+        if not leaves:
+            raise ValueError("a Merkle tree requires at least one leaf")
+        self._leaves = [bytes(leaf) for leaf in leaves]
+        self._levels: list[list[bytes]] = [[_leaf_hash(leaf) for leaf in self._leaves]]
+        while len(self._levels[-1]) > 1:
+            current = self._levels[-1]
+            next_level = []
+            for i in range(0, len(current), 2):
+                left = current[i]
+                right = current[i + 1] if i + 1 < len(current) else current[i]
+                next_level.append(_node_hash(left, right))
+            self._levels.append(next_level)
+
+    @property
+    def root(self) -> bytes:
+        return self._levels[-1][0]
+
+    def __len__(self) -> int:
+        return len(self._leaves)
+
+    def audit_path(self, index: int) -> list[AuditStep]:
+        """Return the sibling path proving inclusion of leaf ``index``."""
+        if not (0 <= index < len(self._leaves)):
+            raise IndexError(f"leaf index {index} out of range")
+        path = []
+        position = index
+        for level in self._levels[:-1]:
+            sibling_index = position ^ 1
+            if sibling_index >= len(level):
+                sibling_index = position  # odd node duplicated
+            path.append(
+                AuditStep(
+                    sibling=level[sibling_index],
+                    sibling_is_left=sibling_index < position,
+                )
+            )
+            position //= 2
+        return path
+
+
+def verify_audit_path(leaf: bytes, path: list[AuditStep], root: bytes) -> bool:
+    """Check that ``leaf`` is included under ``root`` via ``path``."""
+    current = _leaf_hash(leaf)
+    for step in path:
+        if step.sibling_is_left:
+            current = _node_hash(step.sibling, current)
+        else:
+            current = _node_hash(current, step.sibling)
+    return current == root

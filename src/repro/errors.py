@@ -1,0 +1,156 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch a single base class. Sub-hierarchies mirror the package
+layout: crypto, wire/proto, ledger substrates, and the interoperability
+layer.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+# ---------------------------------------------------------------------------
+# Crypto
+# ---------------------------------------------------------------------------
+
+
+class CryptoError(ReproError):
+    """Base class for cryptographic failures."""
+
+
+class InvalidSignatureError(CryptoError):
+    """A digital signature failed verification."""
+
+
+class InvalidKeyError(CryptoError):
+    """A key is malformed, off-curve, or otherwise unusable."""
+
+
+class DecryptionError(CryptoError):
+    """Ciphertext could not be authenticated or decrypted."""
+
+
+class CertificateError(CryptoError):
+    """A certificate is malformed, expired, or not trusted."""
+
+
+# ---------------------------------------------------------------------------
+# Wire / protocol
+# ---------------------------------------------------------------------------
+
+
+class WireError(ReproError):
+    """Base class for wire-format (serialization) failures."""
+
+
+class EncodeError(WireError):
+    """A message could not be serialized."""
+
+
+class DecodeError(WireError):
+    """A byte stream could not be parsed into a message."""
+
+
+class ProtocolError(ReproError):
+    """A relay protocol message violated the protocol contract."""
+
+
+class AddressError(ProtocolError):
+    """A cross-network address string is malformed."""
+
+
+# ---------------------------------------------------------------------------
+# Ledger substrates (Fabric / Corda / Quorum simulators)
+# ---------------------------------------------------------------------------
+
+
+class LedgerError(ReproError):
+    """Base class for ledger-substrate failures."""
+
+
+class ChaincodeError(LedgerError):
+    """A chaincode (smart contract) invocation failed."""
+
+
+class EndorsementError(LedgerError):
+    """A transaction failed to gather a valid set of endorsements."""
+
+
+class EndorsementPolicyError(LedgerError):
+    """An endorsement policy expression is invalid or unsatisfiable."""
+
+class ValidationError(LedgerError):
+    """A transaction failed commit-time validation (e.g. MVCC conflict)."""
+
+
+class OrderingError(LedgerError):
+    """The ordering service could not order a transaction."""
+
+
+class MembershipError(LedgerError):
+    """An identity is not a member of the required organization/network."""
+
+
+class StateError(LedgerError):
+    """World-state access failed (missing key, bad composite key, ...)."""
+
+
+class NotaryError(LedgerError):
+    """A Corda-style notary rejected a transaction (e.g. double spend)."""
+
+
+class EVMError(LedgerError):
+    """A Quorum-style contract execution failed."""
+
+
+# ---------------------------------------------------------------------------
+# Interoperability layer
+# ---------------------------------------------------------------------------
+
+
+class InteropError(ReproError):
+    """Base class for interoperability-layer failures."""
+
+
+class RelayError(InteropError):
+    """A relay could not serve a request."""
+
+
+class RelayUnavailableError(RelayError):
+    """No relay for the target network is reachable."""
+
+
+class DiscoveryError(InteropError):
+    """Network discovery/lookup failed."""
+
+
+class DriverError(InteropError):
+    """A network driver could not translate or execute a request."""
+
+
+class AccessDeniedError(InteropError):
+    """The source network's exposure-control policy denied the request."""
+
+
+class ProofError(InteropError):
+    """A proof is malformed or fails verification-policy validation."""
+
+
+class PolicyError(InteropError):
+    """A verification policy is malformed or cannot be satisfied."""
+
+
+class ConfigurationError(InteropError):
+    """Foreign-network configuration is missing or inconsistent."""
+
+
+class ReplayError(InteropError):
+    """A proof/nonce was already consumed (replay attack detected)."""
+
+
+class DoSError(RelayError):
+    """A relay shed load due to rate limiting (availability protection)."""

@@ -1,0 +1,207 @@
+"""Chaincode (smart contract) runtime.
+
+Chaincodes subclass :class:`Chaincode` and implement ``invoke``; the
+:class:`ChaincodeStub` gives them the same surface Fabric's shim gives Go
+or Node chaincode: state access, composite keys, chaincode-to-chaincode
+invocation, the creator's certificate, transient data, and event emission.
+
+Simulation happens against a :class:`~repro.fabric.state.SimulatedState`
+overlay, so invoking a chaincode never mutates committed state directly —
+that is the job of block commit.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping
+
+from repro.crypto.certs import Certificate
+from repro.errors import ChaincodeError
+from repro.fabric.state import (
+    SimulatedState,
+    make_composite_key,
+    namespaced,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.fabric.peer import Peer
+
+
+@dataclass
+class ChaincodeEventRecord:
+    """An event set by chaincode during simulation."""
+
+    chaincode: str
+    name: str
+    payload: bytes
+
+
+class Chaincode(ABC):
+    """Base class for smart contracts deployed on the Fabric substrate."""
+
+    name: str = ""
+
+    def init(self, stub: "ChaincodeStub") -> bytes:
+        """One-time initialization hook (optional)."""
+        return b""
+
+    @abstractmethod
+    def invoke(self, stub: "ChaincodeStub") -> bytes:
+        """Dispatch ``stub.function`` with ``stub.args``; return result bytes."""
+
+
+@dataclass
+class InvocationContext:
+    """Everything a single chaincode invocation can see."""
+
+    tx_id: str
+    channel: str
+    function: str
+    args: list[str]
+    creator: Certificate | None
+    transient: Mapping[str, bytes] = field(default_factory=dict)
+    timestamp: float = 0.0
+
+
+class ChaincodeStub:
+    """The API surface chaincode uses to interact with the ledger."""
+
+    def __init__(
+        self,
+        peer: "Peer",
+        chaincode_name: str,
+        context: InvocationContext,
+        state: SimulatedState,
+        events: list[ChaincodeEventRecord],
+        call_depth: int = 0,
+    ) -> None:
+        self._peer = peer
+        self._chaincode_name = chaincode_name
+        self._context = context
+        self._state = state
+        self._events = events
+        self._call_depth = call_depth
+
+    # -- invocation metadata -------------------------------------------------
+
+    @property
+    def tx_id(self) -> str:
+        return self._context.tx_id
+
+    @property
+    def channel(self) -> str:
+        return self._context.channel
+
+    @property
+    def function(self) -> str:
+        return self._context.function
+
+    @property
+    def args(self) -> list[str]:
+        return list(self._context.args)
+
+    @property
+    def timestamp(self) -> float:
+        return self._context.timestamp
+
+    def get_creator(self) -> Certificate | None:
+        """The certificate of the identity that created the proposal."""
+        return self._context.creator
+
+    def get_transient(self, key: str) -> bytes | None:
+        """Transient data travels with the proposal but is never written to
+        the ledger — Fabric's channel for secrets like encryption keys."""
+        return self._context.transient.get(key)
+
+    # -- state access ---------------------------------------------------------
+
+    def _ns(self, key: str) -> str:
+        return namespaced(self._chaincode_name, key)
+
+    def get_state(self, key: str) -> bytes | None:
+        return self._state.get(self._ns(key))
+
+    def put_state(self, key: str, value: bytes) -> None:
+        self._state.put(self._ns(key), value)
+
+    def del_state(self, key: str) -> None:
+        self._state.delete(self._ns(key))
+
+    def get_state_by_range(self, start: str, end: str) -> list[tuple[str, bytes]]:
+        """Range scan within this chaincode's namespace."""
+        ns_prefix = namespaced(self._chaincode_name, "")
+        ns_start = self._ns(start)
+        ns_end = self._ns(end) if end else ns_prefix + "￿"
+        return [
+            (key[len(ns_prefix):], value)
+            for key, value in self._state.range_scan(ns_start, ns_end)
+        ]
+
+    def create_composite_key(self, object_type: str, attributes: list[str]) -> str:
+        return make_composite_key(object_type, attributes)
+
+    def get_state_by_partial_composite_key(
+        self, object_type: str, attributes: list[str]
+    ) -> list[tuple[str, bytes]]:
+        prefix = make_composite_key(object_type, attributes)
+        # Composite keys are prefix-ordered, so a range scan over the prefix
+        # (up to the next possible byte) returns exactly the matches.
+        return self.get_state_by_range(prefix, prefix + "￿")
+
+    # -- chaincode-to-chaincode -----------------------------------------------
+
+    def invoke_chaincode(self, chaincode_name: str, function: str, args: list[str]) -> bytes:
+        """Invoke another chaincode within the same transaction simulation.
+
+        Reads/writes of the callee are folded into the caller's read/write
+        set, as in Fabric same-channel cc2cc invocation. This is how
+        application chaincode consults the ECC and CMDAC system contracts.
+        """
+        if self._call_depth >= 8:
+            raise ChaincodeError("chaincode call depth exceeded (possible recursion)")
+        callee = self._peer.get_chaincode(chaincode_name)
+        sub_context = InvocationContext(
+            tx_id=self._context.tx_id,
+            channel=self._context.channel,
+            function=function,
+            args=list(args),
+            creator=self._context.creator,
+            transient=self._context.transient,
+            timestamp=self._context.timestamp,
+        )
+        sub_stub = ChaincodeStub(
+            peer=self._peer,
+            chaincode_name=chaincode_name,
+            context=sub_context,
+            state=self._state,
+            events=self._events,
+            call_depth=self._call_depth + 1,
+        )
+        return callee.invoke(sub_stub)
+
+    # -- events ----------------------------------------------------------------
+
+    def set_event(self, name: str, payload: bytes) -> None:
+        """Register a chaincode event, delivered after the block commits."""
+        if not name:
+            raise ChaincodeError("event name must be non-empty")
+        self._events.append(
+            ChaincodeEventRecord(
+                chaincode=self._chaincode_name, name=name, payload=payload
+            )
+        )
+
+
+def require_args(stub: ChaincodeStub, count: int) -> list[str]:
+    """Validate the argument count of an invocation; returns the args.
+
+    A convenience used by every chaincode in :mod:`repro.apps` and the
+    system contracts.
+    """
+    args = stub.args
+    if len(args) != count:
+        raise ChaincodeError(
+            f"{stub.function} expects {count} argument(s), got {len(args)}"
+        )
+    return args

@@ -1,0 +1,53 @@
+"""Channel configuration shared by peers, orderers and gateways.
+
+A channel's config names its member organizations (with their MSP root
+certificates) and the endorsement policy of each deployed chaincode —
+the information commit-time validation needs to check signatures and
+policies without consulting any central party.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.certs import Certificate, validate_chain
+from repro.errors import MembershipError
+from repro.fabric.policy import EndorsementPolicy
+
+
+@dataclass
+class ChannelConfig:
+    """Shared, consensus-governed channel metadata."""
+
+    channel: str
+    org_roots: dict[str, Certificate] = field(default_factory=dict)
+    endorsement_policies: dict[str, EndorsementPolicy] = field(default_factory=dict)
+
+    def add_org(self, org_id: str, root: Certificate) -> None:
+        self.org_roots[org_id] = root
+
+    def set_policy(self, chaincode: str, policy: EndorsementPolicy) -> None:
+        self.endorsement_policies[chaincode] = policy
+
+    def policy_for(self, chaincode: str) -> EndorsementPolicy:
+        try:
+            return self.endorsement_policies[chaincode]
+        except KeyError:
+            raise MembershipError(
+                f"no endorsement policy registered for chaincode {chaincode!r}"
+            ) from None
+
+    def validate_member(self, certificate: Certificate) -> str:
+        """Validate a member certificate against all org roots.
+
+        Returns the org id that anchored trust; raises
+        :class:`MembershipError` if no channel org issued the certificate.
+        """
+        org_id = certificate.subject.organization
+        root = self.org_roots.get(org_id)
+        if root is None:
+            raise MembershipError(
+                f"organization {org_id!r} is not a member of channel {self.channel!r}"
+            )
+        validate_chain(certificate, [root])
+        return org_id

@@ -1,0 +1,83 @@
+"""Block and chaincode event delivery.
+
+Applications "publish and subscribe to events" as one of the three interop
+primitives the paper lists (§2). The hub delivers block events and named
+chaincode events to registered callbacks after commit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.fabric.ledger import Block, TxValidationCode
+
+
+@dataclass(frozen=True)
+class BlockEvent:
+    """Emitted once per committed block."""
+
+    channel: str
+    block_number: int
+    tx_ids: tuple[str, ...]
+    validation_codes: tuple[TxValidationCode, ...]
+
+
+@dataclass(frozen=True)
+class ChaincodeEvent:
+    """Emitted for each event set by a *valid* transaction's chaincode."""
+
+    channel: str
+    block_number: int
+    tx_id: str
+    chaincode: str
+    name: str
+    payload: bytes
+
+
+BlockListener = Callable[[BlockEvent], None]
+ChaincodeListener = Callable[[ChaincodeEvent], None]
+
+
+class EventHub:
+    """Fan-out of commit events to application listeners."""
+
+    def __init__(self) -> None:
+        self._block_listeners: list[BlockListener] = []
+        self._chaincode_listeners: list[tuple[str, str, ChaincodeListener]] = []
+        self.history: list[ChaincodeEvent] = []
+
+    def on_block(self, listener: BlockListener) -> None:
+        self._block_listeners.append(listener)
+
+    def on_chaincode_event(
+        self, chaincode: str, name: str, listener: ChaincodeListener
+    ) -> None:
+        """Subscribe to events from ``chaincode`` named ``name`` ('*' matches any)."""
+        self._chaincode_listeners.append((chaincode, name, listener))
+
+    def publish_block(self, block: Block, channel: str) -> None:
+        event = BlockEvent(
+            channel=channel,
+            block_number=block.number,
+            tx_ids=tuple(tx.tx_id for tx in block.transactions),
+            validation_codes=tuple(block.validation_codes),
+        )
+        for listener in self._block_listeners:
+            listener(event)
+        for position, tx in enumerate(block.transactions):
+            if block.validation_codes[position] is not TxValidationCode.VALID:
+                continue
+            for chaincode, name, payload in tx.events:
+                cc_event = ChaincodeEvent(
+                    channel=channel,
+                    block_number=block.number,
+                    tx_id=tx.tx_id,
+                    chaincode=chaincode,
+                    name=name,
+                    payload=payload,
+                )
+                self.history.append(cc_event)
+                for sub_cc, sub_name, listener in self._chaincode_listeners:
+                    if sub_cc == chaincode and sub_name in (name, "*"):
+                        listener(cc_event)

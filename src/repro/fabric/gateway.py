@@ -1,0 +1,206 @@
+"""Gateway: the client SDK for the Fabric substrate.
+
+Applications interact with the network through a gateway, which hides the
+execute-order-validate choreography: it collects endorsements satisfying
+the chaincode's policy, checks that all endorsers simulated identical
+results, submits the endorsed transaction for ordering, and reports the
+commit verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.errors import EndorsementError
+from repro.fabric.channel import ChannelConfig
+from repro.fabric.identity import Identity
+from repro.fabric.ledger import Transaction, TxValidationCode
+from repro.fabric.orderer import OrderingService
+from repro.fabric.peer import Peer, Proposal, ProposalResponse
+from repro.utils.clock import Clock, SystemClock
+from repro.utils.ids import random_id
+
+
+@dataclass
+class SubmitResult:
+    """Outcome of a submitted transaction."""
+
+    tx_id: str
+    result: bytes
+    validation_code: TxValidationCode
+    block_number: int
+
+    @property
+    def committed(self) -> bool:
+        return self.validation_code is TxValidationCode.VALID
+
+
+class Gateway:
+    """Submits and evaluates transactions on behalf of client identities."""
+
+    def __init__(
+        self,
+        peers: Sequence[Peer],
+        orderer: OrderingService,
+        channel_config: ChannelConfig,
+        clock: Clock | None = None,
+    ) -> None:
+        if not peers:
+            raise EndorsementError("a gateway needs at least one peer")
+        self._peers = list(peers)
+        self._orderer = orderer
+        self._config = channel_config
+        self._clock = clock or SystemClock()
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _peers_with_chaincode(self, chaincode: str) -> list[Peer]:
+        peers = [peer for peer in self._peers if peer.has_chaincode(chaincode)]
+        if not peers:
+            raise EndorsementError(f"no peer has chaincode {chaincode!r} installed")
+        return peers
+
+    def _select_endorsers(self, chaincode: str) -> list[Peer]:
+        """Choose a minimal peer set whose signatures satisfy the policy."""
+        policy = self._config.policy_for(chaincode)
+        candidates = self._peers_with_chaincode(chaincode)
+        available = [(peer.org, peer.identity.role) for peer in candidates]
+        chosen_signers = policy.minimal_satisfying_orgs(available)
+        if chosen_signers is None:
+            raise EndorsementError(
+                f"endorsement policy {policy.expression()} cannot be satisfied by "
+                f"available peers {sorted(peer.peer_id for peer in candidates)}"
+            )
+        endorsers: list[Peer] = []
+        remaining = list(candidates)
+        for org, role in chosen_signers:
+            for peer in remaining:
+                if peer.org == org and peer.identity.role == role:
+                    endorsers.append(peer)
+                    remaining.remove(peer)
+                    break
+        return endorsers
+
+    @staticmethod
+    def _check_consistency(responses: list[ProposalResponse]) -> None:
+        """All endorsers must report byte-identical results and effects."""
+        first = responses[0]
+        for response in responses[1:]:
+            if (
+                response.result != first.result
+                or response.rwset.to_dict() != first.rwset.to_dict()
+            ):
+                raise EndorsementError(
+                    f"endorsement mismatch between {first.peer_id!r} and "
+                    f"{response.peer_id!r}: peers simulated divergent results"
+                )
+
+    # -- public API -----------------------------------------------------------------
+
+    def evaluate(
+        self,
+        identity: Identity,
+        chaincode: str,
+        function: str,
+        args: Sequence[str],
+        transient: Mapping[str, bytes] | None = None,
+    ) -> bytes:
+        """Run a read-only query against one peer; nothing is ordered."""
+        peer = self._peers_with_chaincode(chaincode)[0]
+        proposal = Proposal(
+            tx_id=random_id("query-"),
+            channel=self._config.channel,
+            chaincode=chaincode,
+            function=function,
+            args=tuple(args),
+            creator=identity.certificate.to_bytes(),
+            transient=dict(transient or {}),
+            timestamp=self._clock.now(),
+        )
+        response = peer.endorse(proposal)
+        if not response.success:
+            raise EndorsementError(
+                f"query {chaincode}.{function} failed on {peer.peer_id}: "
+                f"{response.message}"
+            )
+        return response.result
+
+    def submit(
+        self,
+        identity: Identity,
+        chaincode: str,
+        function: str,
+        args: Sequence[str],
+        transient: Mapping[str, bytes] | None = None,
+        wait: bool = True,
+    ) -> SubmitResult:
+        """Endorse, order, and commit a transaction.
+
+        With ``wait`` (the default) any partial ordering batch is flushed so
+        the verdict is available on return.
+        """
+        endorsers = self._select_endorsers(chaincode)
+        proposal = Proposal(
+            tx_id=random_id("tx-"),
+            channel=self._config.channel,
+            chaincode=chaincode,
+            function=function,
+            args=tuple(args),
+            creator=identity.certificate.to_bytes(),
+            transient=dict(transient or {}),
+            timestamp=self._clock.now(),
+        )
+        responses = [peer.endorse(proposal) for peer in endorsers]
+        failures = [r for r in responses if not r.success]
+        if failures:
+            raise EndorsementError(
+                f"{chaincode}.{function} endorsement failed on "
+                f"{failures[0].peer_id}: {failures[0].message}"
+            )
+        self._check_consistency(responses)
+        first = responses[0]
+        transaction = Transaction(
+            tx_id=proposal.tx_id,
+            channel=proposal.channel,
+            chaincode=chaincode,
+            function=function,
+            args=list(args),
+            creator=proposal.creator,
+            rwset=first.rwset,
+            result=first.result,
+            endorsements=[r.endorsement for r in responses if r.endorsement],
+            events=[(e.chaincode, e.name, e.payload) for e in first.events],
+            timestamp=proposal.timestamp,
+        )
+        self._orderer.submit(transaction)
+        if wait:
+            self._orderer.flush()
+        reference = self._peers[0].ledger
+        if not reference.contains_tx(proposal.tx_id):
+            # Batched ordering without wait: verdict not yet known.
+            return SubmitResult(
+                tx_id=proposal.tx_id,
+                result=first.result,
+                validation_code=TxValidationCode.VALID,
+                block_number=-1,
+            )
+        committed, code = reference.get_transaction(proposal.tx_id)
+        block_number = reference.height - 1
+        for block in reference.blocks():
+            if any(tx.tx_id == proposal.tx_id for tx in block.transactions):
+                block_number = block.number
+                break
+        if wait and code is not TxValidationCode.VALID:
+            return SubmitResult(
+                tx_id=proposal.tx_id,
+                result=committed.result,
+                validation_code=code,
+                block_number=block_number,
+            )
+        return SubmitResult(
+            tx_id=proposal.tx_id,
+            result=committed.result,
+            validation_code=code,
+            block_number=block_number,
+        )

@@ -1,0 +1,116 @@
+"""Organizations, identities, and Membership Service Providers.
+
+Fabric classifies peers and clients into organizations, "each typically
+having its own Membership Service Provider (MSP) for identity management
+and certificate authorization" (§4.1). An :class:`Identity` bundles a key
+pair with its CA-issued certificate; an MSP validates presented
+certificates against the organization's root.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.certs import Certificate, CertificateAuthority, validate_chain
+from repro.crypto.ecdsa import Signature, sign, verify
+from repro.crypto.keys import KeyPair
+from repro.errors import MembershipError
+
+
+@dataclass(frozen=True)
+class Identity:
+    """A network member: key pair plus CA-issued certificate."""
+
+    name: str
+    org: str
+    role: str
+    keypair: KeyPair = field(repr=False)
+    certificate: Certificate = field(repr=False)
+
+    def sign(self, message: bytes) -> Signature:
+        return sign(self.keypair.private, message)
+
+    def verify_own(self, message: bytes, signature: Signature) -> bool:
+        return verify(self.keypair.public, message, signature)
+
+    @property
+    def id(self) -> str:
+        """Stable qualified identifier, e.g. ``peer0.seller-org``."""
+        return f"{self.name}.{self.org}"
+
+
+class MembershipServiceProvider:
+    """One organization's identity authority.
+
+    Wraps a :class:`CertificateAuthority`: enrolls members, and validates
+    certificates presented by (possibly remote) parties against the org
+    root.
+    """
+
+    def __init__(self, org_id: str, network: str = "") -> None:
+        self.org_id = org_id
+        self.msp_id = f"{org_id}MSP"
+        self._ca = CertificateAuthority(org_id, network=network)
+
+    @property
+    def root_certificate(self) -> Certificate:
+        return self._ca.root_certificate
+
+    def enroll(self, name: str, role: str = "client") -> Identity:
+        """Generate keys and a certificate for a new member."""
+        keypair, certificate = self._ca.enroll(name, role=role)
+        return Identity(
+            name=name,
+            org=self.org_id,
+            role=role,
+            keypair=keypair,
+            certificate=certificate,
+        )
+
+    def validate(self, certificate: Certificate, at_time: float = 0.0) -> Certificate:
+        """Validate that ``certificate`` chains to this org's root.
+
+        Returns the root on success; raises
+        :class:`repro.errors.CertificateError` otherwise.
+        """
+        return validate_chain(certificate, [self.root_certificate], at_time=at_time)
+
+    def is_member(self, certificate: Certificate) -> bool:
+        """True iff the certificate chains to this org's root."""
+        try:
+            self.validate(certificate)
+        except Exception:
+            return False
+        return True
+
+
+class Organization:
+    """A business entity in the consortium: an MSP plus its members."""
+
+    def __init__(self, org_id: str, network: str = "") -> None:
+        self.org_id = org_id
+        self.network = network
+        self.msp = MembershipServiceProvider(org_id, network=network)
+        self._members: dict[str, Identity] = {}
+
+    def enroll(self, name: str, role: str = "client") -> Identity:
+        if name in self._members:
+            raise MembershipError(
+                f"{name!r} is already enrolled in organization {self.org_id!r}"
+            )
+        identity = self.msp.enroll(name, role=role)
+        self._members[name] = identity
+        return identity
+
+    def member(self, name: str) -> Identity:
+        try:
+            return self._members[name]
+        except KeyError:
+            raise MembershipError(
+                f"no member {name!r} in organization {self.org_id!r}"
+            ) from None
+
+    def members(self, role: str | None = None) -> list[Identity]:
+        if role is None:
+            return list(self._members.values())
+        return [m for m in self._members.values() if m.role == role]

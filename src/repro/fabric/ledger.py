@@ -1,0 +1,213 @@
+"""Transactions, blocks, and the hash-chained ledger.
+
+"These transactions are approved and ordered by a consensus protocol into
+a cryptographically linked chain of blocks distributed across multiple
+peers, thereby ensuring immutability of the ledger data" (§2). Blocks
+here carry a Merkle data hash over their transactions and chain by header
+hash; each peer keeps a full replica.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.crypto.ecdsa import Signature
+from repro.crypto.hashing import sha256
+from repro.crypto.merkle import MerkleTree
+from repro.errors import LedgerError
+from repro.fabric.state import ReadWriteSet
+from repro.utils.encoding import canonical_json
+
+
+class TxValidationCode(enum.Enum):
+    """Commit-time verdict for a transaction (subset of Fabric's codes)."""
+
+    VALID = "VALID"
+    MVCC_READ_CONFLICT = "MVCC_READ_CONFLICT"
+    ENDORSEMENT_POLICY_FAILURE = "ENDORSEMENT_POLICY_FAILURE"
+    BAD_SIGNATURE = "BAD_SIGNATURE"
+    DUPLICATE_TXID = "DUPLICATE_TXID"
+
+
+@dataclass(frozen=True)
+class Endorsement:
+    """One endorsing peer's signature over a proposal's simulation results."""
+
+    peer_id: str
+    org: str
+    role: str
+    certificate: bytes  # serialized repro.crypto.certs.Certificate
+    signature: bytes  # serialized repro.crypto.ecdsa.Signature
+
+    def decoded_signature(self) -> Signature:
+        return Signature.from_bytes(self.signature)
+
+    def to_dict(self) -> dict:
+        return {
+            "peer_id": self.peer_id,
+            "org": self.org,
+            "role": self.role,
+            "certificate": self.certificate.hex(),
+            "signature": self.signature.hex(),
+        }
+
+
+@dataclass
+class Transaction:
+    """An endorsed transaction as submitted to the ordering service."""
+
+    tx_id: str
+    channel: str
+    chaincode: str
+    function: str
+    args: list[str]
+    creator: bytes  # serialized certificate of the submitting client
+    rwset: ReadWriteSet
+    result: bytes
+    endorsements: list[Endorsement]
+    events: list[tuple[str, str, bytes]] = field(default_factory=list)
+    timestamp: float = 0.0
+
+    def signed_payload(self) -> bytes:
+        """The bytes every endorser signs: proposal identity + effects.
+
+        All endorsers must produce an identical simulation for their
+        signatures to cover the same payload — result divergence between
+        peers therefore surfaces as an endorsement mismatch, as in Fabric.
+        """
+        return canonical_json(
+            {
+                "tx_id": self.tx_id,
+                "channel": self.channel,
+                "chaincode": self.chaincode,
+                "function": self.function,
+                "args": self.args,
+                "rwset": self.rwset.to_dict(),
+                "result": self.result.hex(),
+            }
+        )
+
+    def to_bytes(self) -> bytes:
+        return canonical_json(
+            {
+                "tx_id": self.tx_id,
+                "channel": self.channel,
+                "chaincode": self.chaincode,
+                "function": self.function,
+                "args": self.args,
+                "creator": self.creator.hex(),
+                "rwset": self.rwset.to_dict(),
+                "result": self.result.hex(),
+                "endorsements": [e.to_dict() for e in self.endorsements],
+                "timestamp": self.timestamp,
+            }
+        )
+
+
+@dataclass
+class Block:
+    """A block: header linking to the previous block, plus ordered txs."""
+
+    number: int
+    previous_hash: bytes
+    transactions: list[Transaction]
+    data_hash: bytes = b""
+    validation_codes: list[TxValidationCode] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.data_hash:
+            self.data_hash = self.compute_data_hash()
+
+    def compute_data_hash(self) -> bytes:
+        if not self.transactions:
+            return sha256(b"empty-block")
+        tree = MerkleTree([tx.to_bytes() for tx in self.transactions])
+        return tree.root
+
+    def header_bytes(self) -> bytes:
+        return canonical_json(
+            {
+                "number": self.number,
+                "previous_hash": self.previous_hash.hex(),
+                "data_hash": self.data_hash.hex(),
+            }
+        )
+
+    def hash(self) -> bytes:
+        return sha256(self.header_bytes())
+
+
+class Ledger:
+    """An append-only, hash-verified chain of blocks."""
+
+    def __init__(self, channel: str) -> None:
+        self.channel = channel
+        self._blocks: list[Block] = []
+        self._tx_index: dict[str, tuple[int, int]] = {}
+
+    @property
+    def height(self) -> int:
+        return len(self._blocks)
+
+    def last_hash(self) -> bytes:
+        if not self._blocks:
+            return sha256(b"genesis:" + self.channel.encode("utf-8"))
+        return self._blocks[-1].hash()
+
+    def append(self, block: Block) -> None:
+        """Append a block after verifying the hash chain and data hash."""
+        if block.number != self.height:
+            raise LedgerError(
+                f"block number {block.number} does not extend ledger at height "
+                f"{self.height}"
+            )
+        if block.previous_hash != self.last_hash():
+            raise LedgerError(
+                f"block {block.number} previous-hash mismatch: chain is broken"
+            )
+        if block.data_hash != block.compute_data_hash():
+            raise LedgerError(f"block {block.number} data hash does not match contents")
+        self._blocks.append(block)
+        for position, tx in enumerate(block.transactions):
+            self._tx_index.setdefault(tx.tx_id, (block.number, position))
+
+    def block(self, number: int) -> Block:
+        try:
+            return self._blocks[number]
+        except IndexError:
+            raise LedgerError(
+                f"no block {number}; ledger height is {self.height}"
+            ) from None
+
+    def blocks(self) -> Iterator[Block]:
+        return iter(self._blocks)
+
+    def get_transaction(self, tx_id: str) -> tuple[Transaction, TxValidationCode]:
+        """Look up a committed transaction and its validation verdict."""
+        location = self._tx_index.get(tx_id)
+        if location is None:
+            raise LedgerError(f"transaction {tx_id!r} not found on channel {self.channel!r}")
+        block_num, position = location
+        block = self._blocks[block_num]
+        code = (
+            block.validation_codes[position]
+            if position < len(block.validation_codes)
+            else TxValidationCode.VALID
+        )
+        return block.transactions[position], code
+
+    def contains_tx(self, tx_id: str) -> bool:
+        return tx_id in self._tx_index
+
+    def verify_chain(self) -> bool:
+        """Recompute and verify every hash link; True iff intact."""
+        previous = sha256(b"genesis:" + self.channel.encode("utf-8"))
+        for block in self._blocks:
+            if block.previous_hash != previous:
+                return False
+            if block.data_hash != block.compute_data_hash():
+                return False
+            previous = block.hash()
+        return True

@@ -1,0 +1,294 @@
+"""Peers: chaincode execution, endorsement, validation, and commit.
+
+"Though every peer node maintains shared ledger replicas and commits
+transactions, only a subset run smart contract code (chaincode) as
+endorsers" (§4.1). A :class:`Peer` here does both jobs:
+
+- **endorse**: simulate a proposal against its current state, capture the
+  read/write set, and sign the results;
+- **commit**: validate each transaction in an ordered block (endorsement
+  signatures, endorsement policy, MVCC read conflicts) and apply the
+  writes of valid transactions.
+
+Peers also support *pluggable endorsement* — the mechanism the paper's
+§4.3 uses ("the normal peer endorsement process ... is replaced with
+custom logic that signs the metadata (including the result) and then
+encrypts it"). The interop layer registers such a plugin on source-network
+peers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from repro.crypto.certs import Certificate
+from repro.crypto.ecdsa import Signature, verify
+from repro.errors import ChaincodeError, EndorsementError, ReproError
+from repro.fabric.chaincode import (
+    Chaincode,
+    ChaincodeEventRecord,
+    ChaincodeStub,
+    InvocationContext,
+)
+from repro.fabric.channel import ChannelConfig
+from repro.fabric.events import EventHub
+from repro.fabric.identity import Identity
+from repro.fabric.ledger import Block, Endorsement, Ledger, Transaction, TxValidationCode
+from repro.fabric.state import ReadWriteSet, SimulatedState, Version, VersionedKV
+from repro.utils.encoding import canonical_json
+
+
+@dataclass(frozen=True)
+class Proposal:
+    """A client's request that endorsing peers simulate a transaction."""
+
+    tx_id: str
+    channel: str
+    chaincode: str
+    function: str
+    args: tuple[str, ...]
+    creator: bytes  # serialized client certificate
+    transient: Mapping[str, bytes] = field(default_factory=dict)
+    timestamp: float = 0.0
+
+    def signed_payload(self, rwset: ReadWriteSet, result: bytes) -> bytes:
+        """The canonical bytes an endorser signs for this proposal."""
+        return canonical_json(
+            {
+                "tx_id": self.tx_id,
+                "channel": self.channel,
+                "chaincode": self.chaincode,
+                "function": self.function,
+                "args": list(self.args),
+                "rwset": rwset.to_dict(),
+                "result": result.hex(),
+            }
+        )
+
+
+@dataclass
+class ProposalResponse:
+    """An endorsing peer's reply to a proposal."""
+
+    peer_id: str
+    org: str
+    success: bool
+    message: str
+    result: bytes
+    rwset: ReadWriteSet
+    events: list[ChaincodeEventRecord]
+    endorsement: Endorsement | None
+
+
+# An endorsement plugin maps (peer, proposal, result, rwset) to opaque
+# endorsement bytes, replacing the default signature scheme.
+EndorsementPlugin = Callable[["Peer", Proposal, bytes, ReadWriteSet], bytes]
+
+
+class Peer:
+    """One peer node: ledger replica, world state, installed chaincodes."""
+
+    def __init__(
+        self,
+        identity: Identity,
+        channel_config: ChannelConfig,
+        event_hub: EventHub | None = None,
+    ) -> None:
+        if identity.role != "peer":
+            raise EndorsementError(
+                f"identity {identity.id!r} has role {identity.role!r}, expected 'peer'"
+            )
+        self.identity = identity
+        self.channel_config = channel_config
+        self.ledger = Ledger(channel_config.channel)
+        self.state = VersionedKV()
+        self.event_hub = event_hub or EventHub()
+        self._chaincodes: dict[str, Chaincode] = {}
+        self._endorsement_plugins: dict[str, EndorsementPlugin] = {}
+        self.endorsement_count = 0
+        self.commit_count = 0
+
+    @property
+    def peer_id(self) -> str:
+        return self.identity.id
+
+    @property
+    def org(self) -> str:
+        return self.identity.org
+
+    # -- chaincode lifecycle ---------------------------------------------------
+
+    def install_chaincode(self, chaincode: Chaincode) -> None:
+        if not chaincode.name:
+            raise ChaincodeError("chaincode must declare a non-empty name")
+        self._chaincodes[chaincode.name] = chaincode
+
+    def get_chaincode(self, name: str) -> Chaincode:
+        try:
+            return self._chaincodes[name]
+        except KeyError:
+            raise ChaincodeError(
+                f"chaincode {name!r} is not installed on peer {self.peer_id!r}"
+            ) from None
+
+    def has_chaincode(self, name: str) -> bool:
+        return name in self._chaincodes
+
+    def register_endorsement_plugin(self, name: str, plugin: EndorsementPlugin) -> None:
+        """Register custom endorsement logic (Fabric 'pluggable endorsement')."""
+        self._endorsement_plugins[name] = plugin
+
+    # -- endorsement (the EXECUTE phase) ----------------------------------------
+
+    def simulate(self, proposal: Proposal) -> tuple[bytes, ReadWriteSet, list[ChaincodeEventRecord]]:
+        """Run the chaincode against current state; nothing is committed."""
+        chaincode = self.get_chaincode(proposal.chaincode)
+        simulated = SimulatedState(self.state)
+        events: list[ChaincodeEventRecord] = []
+        creator = (
+            Certificate.from_bytes(proposal.creator) if proposal.creator else None
+        )
+        context = InvocationContext(
+            tx_id=proposal.tx_id,
+            channel=proposal.channel,
+            function=proposal.function,
+            args=list(proposal.args),
+            creator=creator,
+            transient=proposal.transient,
+            timestamp=proposal.timestamp,
+        )
+        stub = ChaincodeStub(
+            peer=self,
+            chaincode_name=proposal.chaincode,
+            context=context,
+            state=simulated,
+            events=events,
+        )
+        result = chaincode.invoke(stub)
+        if result is None:
+            result = b""
+        return result, simulated.rwset, events
+
+    def endorse(self, proposal: Proposal, plugin: str | None = None) -> ProposalResponse:
+        """Simulate and sign a proposal.
+
+        With ``plugin`` set, the named endorsement plugin produces the
+        endorsement bytes instead of the default ECDSA-over-payload scheme.
+        """
+        self.endorsement_count += 1
+        try:
+            result, rwset, events = self.simulate(proposal)
+        except ReproError as exc:
+            # Any library-level failure inside chaincode (including access
+            # denials and proof rejections from the system contracts) yields
+            # a failed proposal rather than an endorsement. The error type
+            # is carried in the message so callers (gateways, drivers) can
+            # classify failures without string matching on free text.
+            return ProposalResponse(
+                peer_id=self.peer_id,
+                org=self.org,
+                success=False,
+                message=f"{type(exc).__name__}: {exc}",
+                result=b"",
+                rwset=ReadWriteSet(),
+                events=[],
+                endorsement=None,
+            )
+        if plugin is not None:
+            custom = self._endorsement_plugins.get(plugin)
+            if custom is None:
+                raise EndorsementError(
+                    f"no endorsement plugin {plugin!r} on peer {self.peer_id!r}"
+                )
+            signature_bytes = custom(self, proposal, result, rwset)
+        else:
+            payload = proposal.signed_payload(rwset, result)
+            signature_bytes = self.identity.sign(payload).to_bytes()
+        endorsement = Endorsement(
+            peer_id=self.peer_id,
+            org=self.org,
+            role=self.identity.role,
+            certificate=self.identity.certificate.to_bytes(),
+            signature=signature_bytes,
+        )
+        return ProposalResponse(
+            peer_id=self.peer_id,
+            org=self.org,
+            success=True,
+            message="",
+            result=result,
+            rwset=rwset,
+            events=events,
+            endorsement=endorsement,
+        )
+
+    # -- validation and commit (the VALIDATE phase) ------------------------------
+
+    def _validate_transaction(self, tx: Transaction) -> TxValidationCode:
+        if self.ledger.contains_tx(tx.tx_id):
+            return TxValidationCode.DUPLICATE_TXID
+
+        payload = tx.signed_payload()
+        valid_signers: list[tuple[str, str]] = []
+        for endorsement in tx.endorsements:
+            try:
+                certificate = Certificate.from_bytes(endorsement.certificate)
+                org_id = self.channel_config.validate_member(certificate)
+            except Exception:
+                return TxValidationCode.BAD_SIGNATURE
+            if org_id != endorsement.org:
+                return TxValidationCode.BAD_SIGNATURE
+            if not verify(
+                certificate.public_key,
+                payload,
+                Signature.from_bytes(endorsement.signature),
+            ):
+                return TxValidationCode.BAD_SIGNATURE
+            valid_signers.append((org_id, certificate.subject.role))
+
+        policy = self.channel_config.policy_for(tx.chaincode)
+        if not policy.satisfied_by(valid_signers):
+            return TxValidationCode.ENDORSEMENT_POLICY_FAILURE
+        return TxValidationCode.VALID
+
+    def _check_mvcc(self, tx: Transaction) -> bool:
+        """True iff every key the tx read is still at the observed version."""
+        for key, observed in tx.rwset.reads.items():
+            current = self.state.get_version(key)
+            if current != observed:
+                return False
+        return True
+
+    def commit_block(self, block: Block) -> list[TxValidationCode]:
+        """Validate and commit an ordered block; returns per-tx verdicts.
+
+        MVCC validation is sequential within the block, exactly as Fabric
+        does it: a write by tx *i* invalidates a conflicting read by tx
+        *j > i* in the same block.
+        """
+        codes: list[TxValidationCode] = []
+        pending_writes: list[tuple[int, dict[str, bytes | None]]] = []
+        # Track intra-block writes for MVCC: a later tx reading a key written
+        # earlier in this block must be invalidated (its read version is stale).
+        written_this_block: set[str] = set()
+        for tx_num, tx in enumerate(block.transactions):
+            code = self._validate_transaction(tx)
+            if code is TxValidationCode.VALID:
+                stale_read = any(key in written_this_block for key in tx.rwset.reads)
+                if stale_read or not self._check_mvcc(tx):
+                    code = TxValidationCode.MVCC_READ_CONFLICT
+            if code is TxValidationCode.VALID:
+                pending_writes.append((tx_num, dict(tx.rwset.writes)))
+                written_this_block.update(tx.rwset.writes)
+            codes.append(code)
+
+        block.validation_codes = codes
+        self.ledger.append(block)
+        for tx_num, writes in pending_writes:
+            version = Version(block_num=block.number, tx_num=tx_num)
+            for key, value in writes.items():
+                self.state.apply_write(key, value, version)
+        self.commit_count += 1
+        self.event_hub.publish_block(block, self.channel_config.channel)
+        return codes

@@ -1,0 +1,188 @@
+"""Versioned world state and read/write sets.
+
+Fabric's execute-order-validate model relies on multi-version concurrency
+control: endorsement *simulates* a transaction against current state and
+records the version of every key read; commit-time validation re-checks
+those versions so that conflicting transactions ordered later in a block
+are invalidated rather than applied.
+
+Keys are namespaced by chaincode (``namespace`` below) exactly as Fabric
+namespaces state by chaincode id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import StateError
+
+# Composite keys use the same 0x00 delimiter trick as Fabric.
+_COMPOSITE_DELIMITER = "\x00"
+
+
+@dataclass(frozen=True, order=True)
+class Version:
+    """The (block, transaction-within-block) coordinate of a key's last write."""
+
+    block_num: int
+    tx_num: int
+
+
+@dataclass(frozen=True)
+class KeyValue:
+    """One world-state entry."""
+
+    key: str
+    value: bytes
+    version: Version
+
+
+@dataclass
+class ReadWriteSet:
+    """The effects captured while simulating one transaction.
+
+    ``reads`` maps namespaced key -> version observed (None if the key was
+    absent); ``writes`` maps namespaced key -> new value, with ``None``
+    meaning delete.
+    """
+
+    reads: dict[str, Version | None] = field(default_factory=dict)
+    writes: dict[str, bytes | None] = field(default_factory=dict)
+
+    def merge(self, other: "ReadWriteSet") -> None:
+        """Fold a nested (chaincode-to-chaincode) simulation into this one."""
+        for key, version in other.reads.items():
+            self.reads.setdefault(key, version)
+        self.writes.update(other.writes)
+
+    def to_dict(self) -> dict:
+        return {
+            "reads": {
+                key: None if version is None else [version.block_num, version.tx_num]
+                for key, version in sorted(self.reads.items())
+            },
+            "writes": {
+                key: None if value is None else value.hex()
+                for key, value in sorted(self.writes.items())
+            },
+        }
+
+
+def namespaced(namespace: str, key: str) -> str:
+    """Join a chaincode namespace and a key into a state-store key."""
+    if not namespace:
+        raise StateError("state namespace must be non-empty")
+    return f"{namespace}{_COMPOSITE_DELIMITER}{key}"
+
+
+def make_composite_key(object_type: str, attributes: list[str]) -> str:
+    """Build a Fabric-style composite key from a type and attribute list."""
+    if not object_type:
+        raise StateError("composite key object_type must be non-empty")
+    parts = [object_type, *attributes]
+    for part in parts:
+        if _COMPOSITE_DELIMITER in part:
+            raise StateError("composite key parts must not contain NUL")
+    return _COMPOSITE_DELIMITER.join(parts) + _COMPOSITE_DELIMITER
+
+
+def split_composite_key(composite: str) -> tuple[str, list[str]]:
+    """Inverse of :func:`make_composite_key`."""
+    parts = composite.split(_COMPOSITE_DELIMITER)
+    if len(parts) < 2 or parts[-1] != "":
+        raise StateError(f"not a composite key: {composite!r}")
+    return parts[0], parts[1:-1]
+
+
+class VersionedKV:
+    """The world state: a key/value store with per-key write versions."""
+
+    def __init__(self) -> None:
+        self._store: dict[str, KeyValue] = {}
+
+    def get(self, key: str) -> KeyValue | None:
+        return self._store.get(key)
+
+    def get_version(self, key: str) -> Version | None:
+        entry = self._store.get(key)
+        return entry.version if entry else None
+
+    def apply_write(self, key: str, value: bytes | None, version: Version) -> None:
+        """Apply one committed write (``None`` deletes the key)."""
+        if value is None:
+            self._store.pop(key, None)
+        else:
+            self._store[key] = KeyValue(key=key, value=value, version=version)
+
+    def range_scan(self, start: str, end: str) -> Iterator[KeyValue]:
+        """Yield entries with ``start <= key < end`` in key order.
+
+        An empty ``end`` means "to the end of the keyspace", matching
+        Fabric's ``GetStateByRange`` convention.
+        """
+        for key in sorted(self._store):
+            if key < start:
+                continue
+            if end and key >= end:
+                break
+            yield self._store[key]
+
+    def keys(self) -> list[str]:
+        return sorted(self._store)
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def snapshot(self) -> dict[str, bytes]:
+        """Copy of current key -> value (for assertions and debugging)."""
+        return {key: entry.value for key, entry in self._store.items()}
+
+
+class SimulatedState:
+    """A read-through overlay used during transaction simulation.
+
+    Reads consult local writes first (read-your-writes within a
+    simulation), then the underlying committed state, recording versions
+    into the :class:`ReadWriteSet`. Nothing touches committed state until
+    the block commits.
+    """
+
+    def __init__(self, committed: VersionedKV) -> None:
+        self._committed = committed
+        self.rwset = ReadWriteSet()
+
+    def get(self, key: str) -> bytes | None:
+        if key in self.rwset.writes:
+            return self.rwset.writes[key]
+        entry = self._committed.get(key)
+        self.rwset.reads.setdefault(key, entry.version if entry else None)
+        return entry.value if entry else None
+
+    def put(self, key: str, value: bytes) -> None:
+        if not isinstance(value, (bytes, bytearray)):
+            raise StateError(f"state values must be bytes, got {type(value).__name__}")
+        self.rwset.writes[key] = bytes(value)
+
+    def delete(self, key: str) -> None:
+        self.rwset.writes[key] = None
+
+    def range_scan(self, start: str, end: str) -> list[tuple[str, bytes]]:
+        """Range read over committed state merged with local writes.
+
+        Every committed key touched is recorded in the read set (phantom
+        protection is deliberately not modeled, as in Fabric's default
+        validation).
+        """
+        merged: dict[str, bytes] = {}
+        for entry in self._committed.range_scan(start, end):
+            self.rwset.reads.setdefault(entry.key, entry.version)
+            merged[entry.key] = entry.value
+        for key, value in self.rwset.writes.items():
+            if key < start or (end and key >= end):
+                continue
+            if value is None:
+                merged.pop(key, None)
+            else:
+                merged[key] = value
+        return sorted(merged.items())

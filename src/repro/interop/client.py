@@ -1,0 +1,231 @@
+"""The application-facing interop client.
+
+Wraps the relay service API the way the paper's adapted SWT Seller
+application uses it (§4.3/§5): issue a remote query via the local relay,
+decrypt the response and proof metadata, and hand back the data plus a
+proof bundle ready to be passed as transaction arguments to an
+application chaincode (which will have the CMDAC validate it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AccessDeniedError, ProofError, ProtocolError, RelayError
+from repro.fabric.gateway import Gateway
+from repro.fabric.identity import Identity
+from repro.interop.contracts.cmdac import CMDAC_NAME
+from repro.interop.policy import parse_verification_policy
+from repro.interop.proofs import (
+    AttestationProofScheme,
+    ProofBundle,
+    decrypt_attestation,
+    unseal_result,
+)
+from repro.interop.relay import RelayService
+from repro.crypto.hashing import sha256
+from repro.proto.address import CrossNetworkAddress, parse_address
+from repro.proto.messages import (
+    PROTOCOL_VERSION,
+    STATUS_ACCESS_DENIED,
+    STATUS_OK,
+    AuthInfo,
+    NetworkAddressMsg,
+    NetworkQuery,
+    QueryResponse,
+    VerificationPolicyMsg,
+)
+from repro.utils.ids import random_id
+
+
+@dataclass
+class RemoteQueryResult:
+    """Decrypted outcome of a cross-network query.
+
+    ``data`` is the plaintext remote result; ``proof`` / ``proof_json`` is
+    the decrypted proof bundle to pass into the destination transaction;
+    ``nonce`` must accompany the transaction so the CMDAC can bind proof to
+    request and enforce replay protection.
+    """
+
+    address: str
+    args: list[str]
+    data: bytes
+    proof: ProofBundle
+    nonce: str
+    response: QueryResponse
+
+    @property
+    def proof_json(self) -> str:
+        return self.proof.to_json()
+
+    @property
+    def data_hash(self) -> str:
+        return sha256(self.data).hex()
+
+
+class InteropClient:
+    """Issues trusted cross-network queries on behalf of one identity.
+
+    The client's MSP-issued key pair doubles as its decryption key pair:
+    "the SWT-SC generates an asymmetric key pair and gets a certificate
+    from the Seller organization's MSP" (§4.3).
+    """
+
+    def __init__(
+        self,
+        identity: Identity,
+        relay: RelayService,
+        network_id: str,
+        gateway: Gateway | None = None,
+    ) -> None:
+        self._identity = identity
+        self._relay = relay
+        self._network_id = network_id
+        self._gateway = gateway
+        self._scheme = AttestationProofScheme()
+
+    @property
+    def identity(self) -> Identity:
+        return self._identity
+
+    def _lookup_policy(self, target_network: str) -> str:
+        """Fetch the locally-recorded verification policy for a network.
+
+        Verification policies are governance decisions recorded on the
+        local ledger via the CMDAC (§3.3), so by default the client reads
+        them from there rather than inventing its own.
+        """
+        if self._gateway is None:
+            raise ProtocolError(
+                "no verification policy given and no gateway available to "
+                "read one from the CMDAC"
+            )
+        raw = self._gateway.evaluate(
+            self._identity, CMDAC_NAME, "GetVerificationPolicy", [target_network]
+        )
+        return raw.decode("utf-8")
+
+    def remote_query(
+        self,
+        address_text: str,
+        args: list[str],
+        policy: str | None = None,
+        confidential: bool = True,
+        verify_locally: bool = True,
+    ) -> RemoteQueryResult:
+        """Execute steps (1)-(9) of the message flow and decrypt the reply.
+
+        Raises :class:`AccessDeniedError` if the source network's exposure
+        control denied the request, :class:`RelayError` for relay-level
+        failures, and :class:`ProofError` if the response or proof fails
+        client-side checks.
+        """
+        address = parse_address(address_text)
+        policy_expression = policy if policy is not None else self._lookup_policy(
+            address.network
+        )
+        parsed_policy = parse_verification_policy(policy_expression)
+        nonce = random_id("nonce-")
+        query = NetworkQuery(
+            version=PROTOCOL_VERSION,
+            address=NetworkAddressMsg(
+                network=address.network,
+                ledger=address.ledger,
+                contract=address.contract,
+                function=address.function,
+            ),
+            args=list(args),
+            nonce=nonce,
+            auth=AuthInfo(
+                requesting_network=self._network_id,
+                requesting_org=self._identity.org,
+                requestor=self._identity.name,
+                certificate=self._identity.certificate.to_bytes(),
+                public_key=self._identity.keypair.public.to_bytes(),
+            ),
+            policy=VerificationPolicyMsg(expression=policy_expression),
+            confidential=confidential,
+        )
+        response = self._relay.remote_query(query)
+        if response.status == STATUS_ACCESS_DENIED:
+            raise AccessDeniedError(
+                f"source network denied the query {address_text!r}: "
+                f"{response.error}"
+            )
+        if response.status != STATUS_OK:
+            raise RelayError(
+                f"remote query {address_text!r} failed: {response.error}"
+            )
+        if response.nonce != nonce:
+            raise ProofError(
+                f"response nonce {response.nonce!r} does not match the query "
+                f"nonce {nonce!r} (possible replay or relay confusion)"
+            )
+        envelope = response.result_cipher if confidential else response.result_plain
+        if not envelope:
+            raise ProofError("response carries no result envelope")
+        private_key = self._identity.keypair.private if confidential else None
+        data = unseal_result(envelope, private_key)
+        attestations = tuple(
+            decrypt_attestation(attestation, self._identity.keypair.private)
+            for attestation in response.attestations
+        )
+        bundle = ProofBundle(attestations=attestations)
+        if verify_locally:
+            self._verify_locally(address, args, nonce, data, bundle, parsed_policy)
+        return RemoteQueryResult(
+            address=address_text,
+            args=list(args),
+            data=data,
+            proof=bundle,
+            nonce=nonce,
+            response=response,
+        )
+
+    def _verify_locally(
+        self,
+        address: CrossNetworkAddress,
+        args: list[str],
+        nonce: str,
+        data: bytes,
+        bundle: ProofBundle,
+        parsed_policy,
+    ) -> None:
+        """Client-side pre-validation (signatures + consistency + policy).
+
+        This cannot replace the consensual CMDAC validation — the client
+        has no ledger-recorded org roots, so it checks internal consistency
+        against the certificates embedded in the proof — but it fails fast
+        before a doomed transaction is submitted.
+        """
+        if not bundle.attestations:
+            raise ProofError("response proof is empty")
+        from repro.crypto.ecdsa import Signature, verify as verify_sig
+
+        data_hash = sha256(data).hex()
+        attesters = []
+        for position, attestation in enumerate(bundle.attestations):
+            metadata = attestation.metadata()
+            certificate = attestation.decoded_certificate()
+            if not verify_sig(
+                certificate.public_key,
+                attestation.metadata_bytes,
+                Signature.from_bytes(attestation.signature),
+            ):
+                raise ProofError(f"attestation[{position}]: bad signature")
+            if metadata.nonce != nonce:
+                raise ProofError(f"attestation[{position}]: nonce mismatch")
+            from repro.interop.proofs import envelope_plaintext_hash
+
+            if envelope_plaintext_hash(metadata.result) != data_hash:
+                raise ProofError(
+                    f"attestation[{position}]: attested hash does not cover the "
+                    f"decrypted data"
+                )
+            attesters.append((metadata.org, metadata.peer_id))
+        if not parsed_policy.satisfied_by(attesters):
+            raise ProofError(
+                f"attesters {sorted(attesters)} do not satisfy the requested "
+                f"policy {parsed_policy.expression()}"
+            )

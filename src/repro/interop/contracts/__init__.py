@@ -1,0 +1,26 @@
+"""System contracts for interoperability (paper §3.2).
+
+"A set of special system contracts, independent of application business
+logic and deployed on all the peers of the interoperating networks,
+enforces network rules for data exposure and acceptance."
+
+- :class:`~repro.interop.contracts.ecc.ExposureControlChaincode` (ECC) —
+  enforces access-control policy against incoming remote requests and
+  seals (encrypts) responses for the requesting client.
+- :class:`~repro.interop.contracts.cmdac.ConfigAndDataAcceptanceChaincode`
+  (CMDAC) — maintains foreign-network identity/configuration records and
+  verification policies, validates proofs, and tracks nonces for replay
+  protection. The paper combines Configuration Management and Data
+  Acceptance into one chaincode "for runtime efficiency, as proof
+  verification depends on foreign networks' configurations" (§4.3).
+"""
+
+from repro.interop.contracts.ecc import ECC_NAME, ExposureControlChaincode
+from repro.interop.contracts.cmdac import CMDAC_NAME, ConfigAndDataAcceptanceChaincode
+
+__all__ = [
+    "ExposureControlChaincode",
+    "ConfigAndDataAcceptanceChaincode",
+    "ECC_NAME",
+    "CMDAC_NAME",
+]

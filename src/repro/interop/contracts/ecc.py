@@ -1,0 +1,161 @@
+"""ECC: Exposure Control Chaincode.
+
+"The Exposure Control contract enforces access control policy rules
+against incoming requests, determining which data items in the local
+ledger and smart contract functions can be exposed" (§3.2).
+
+Rules follow the paper's §4.3 tuple form
+``<network ID, organization ID, chaincode name, chaincode function>``:
+the subject is a member of a (foreign) network organization, the object
+is a local chaincode function. The example rule recorded on STL is
+``<"we-trade", "seller-org", "TradeLensCC", "GetBillOfLading">``.
+
+Application chaincode on a source network inserts exactly two calls
+(the paper's ~35 SLOC adaptation): ``CheckAccess`` before query execution
+and ``SealResponse`` after. Certificate authentication of the foreign
+requestor delegates to the CMDAC's recorded configuration, as in the
+paper ("the ECC validates the SWT-SC's certificate using the recorded
+SWT configuration (managed by the CMDAC)").
+"""
+
+from __future__ import annotations
+
+from repro.crypto.keys import PublicKey
+from repro.errors import AccessDeniedError, ChaincodeError
+from repro.fabric.chaincode import Chaincode, ChaincodeStub, require_args
+from repro.interop.contracts.cmdac import CMDAC_NAME
+from repro.interop.proofs import seal_result
+from repro.utils.encoding import canonical_json
+
+ECC_NAME = "ecc"
+
+_RULE_PREFIX = "rule/"
+_WILDCARD = "*"
+
+
+def _rule_key(network: str, org: str, chaincode: str, function: str) -> str:
+    return f"{_RULE_PREFIX}{network}/{org}/{chaincode}/{function}"
+
+
+class ExposureControlChaincode(Chaincode):
+    """The ECC system contract.
+
+    Functions:
+
+    - ``init()``
+    - ``AddAccessRule(network, org, chaincode, function)`` — ``org`` and
+      ``function`` accept ``*`` wildcards
+    - ``RemoveAccessRule(network, org, chaincode, function)``
+    - ``ListAccessRules()`` -> JSON array of rule tuples
+    - ``CheckAccess(requesting_network, requesting_org, chaincode, function)``
+      -> b"OK"; authenticates the proposal creator's certificate against
+      the CMDAC-recorded foreign configuration, then matches rules.
+      Raises :class:`AccessDeniedError` otherwise.
+    - ``SealResponse(result_hex, client_pubkey_hex, confidential)`` ->
+      seal-envelope bytes (the result channel of the proof format, §4.3).
+    """
+
+    name = ECC_NAME
+
+    def invoke(self, stub: ChaincodeStub) -> bytes:
+        function = stub.function
+        if function == "init":
+            return b"ok"
+        handler = {
+            "AddAccessRule": self._add_rule,
+            "RemoveAccessRule": self._remove_rule,
+            "ListAccessRules": self._list_rules,
+            "CheckAccess": self._check_access,
+            "SealResponse": self._seal_response,
+        }.get(function)
+        if handler is None:
+            raise ChaincodeError(f"ECC has no function {function!r}")
+        return handler(stub)
+
+    # -- rule management -----------------------------------------------------------
+
+    def _add_rule(self, stub: ChaincodeStub) -> bytes:
+        network, org, chaincode, function = require_args(stub, 4)
+        if not network or network == _WILDCARD:
+            raise ChaincodeError("access rules must name a specific network")
+        if not chaincode or chaincode == _WILDCARD:
+            raise ChaincodeError("access rules must name a specific chaincode")
+        stub.put_state(_rule_key(network, org, chaincode, function), b"allow")
+        stub.set_event(
+            "AccessRuleAdded",
+            canonical_json([network, org, chaincode, function]),
+        )
+        return b"ok"
+
+    def _remove_rule(self, stub: ChaincodeStub) -> bytes:
+        network, org, chaincode, function = require_args(stub, 4)
+        key = _rule_key(network, org, chaincode, function)
+        if stub.get_state(key) is None:
+            raise ChaincodeError(
+                f"no access rule <{network}, {org}, {chaincode}, {function}>"
+            )
+        stub.del_state(key)
+        return b"ok"
+
+    def _list_rules(self, stub: ChaincodeStub) -> bytes:
+        entries = stub.get_state_by_range(_RULE_PREFIX, _RULE_PREFIX + "￿")
+        rules = [key[len(_RULE_PREFIX):].split("/") for key, _ in entries]
+        return canonical_json(rules)
+
+    # -- access decisions --------------------------------------------------------------
+
+    def _check_access(self, stub: ChaincodeStub) -> bytes:
+        requesting_network, requesting_org, chaincode, function = require_args(stub, 4)
+
+        # 1. Authenticate the requestor: the proposal creator must present a
+        #    certificate chaining to the recorded configuration of the
+        #    requesting network (delegated to the CMDAC, §4.3).
+        creator = stub.get_creator()
+        if creator is None:
+            raise AccessDeniedError("interop request carries no creator certificate")
+        if creator.subject.organization != requesting_org:
+            raise AccessDeniedError(
+                f"creator certificate belongs to org "
+                f"{creator.subject.organization!r}, but the request claims org "
+                f"{requesting_org!r}"
+            )
+        stub.invoke_chaincode(
+            CMDAC_NAME,
+            "ValidateForeignCertificate",
+            [requesting_network, creator.to_bytes().hex()],
+        )
+
+        # 2. Match access rules at decreasing granularity (§3.3 allows
+        #    policies at network, organization, or entity level).
+        candidates = [
+            _rule_key(requesting_network, requesting_org, chaincode, function),
+            _rule_key(requesting_network, requesting_org, chaincode, _WILDCARD),
+            _rule_key(requesting_network, _WILDCARD, chaincode, function),
+            _rule_key(requesting_network, _WILDCARD, chaincode, _WILDCARD),
+        ]
+        for key in candidates:
+            if stub.get_state(key) is not None:
+                return b"OK"
+        raise AccessDeniedError(
+            f"exposure control denied <{requesting_network}, {requesting_org}, "
+            f"{chaincode}, {function}>: no matching access rule"
+        )
+
+    # -- response sealing ---------------------------------------------------------------
+
+    def _seal_response(self, stub: ChaincodeStub) -> bytes:
+        result_hex, client_pubkey_hex, confidential_text = require_args(stub, 3)
+        confidential = confidential_text.lower() == "true"
+        client_key: PublicKey | None = None
+        if confidential:
+            try:
+                client_key = PublicKey.from_bytes(bytes.fromhex(client_pubkey_hex))
+            except Exception as exc:
+                raise ChaincodeError(
+                    f"invalid client public key for response sealing: {exc}"
+                ) from exc
+        try:
+            plaintext = bytes.fromhex(result_hex)
+        except ValueError as exc:
+            raise ChaincodeError(f"result_hex is not valid hex: {exc}") from exc
+        return seal_result(plaintext, client_key, confidential)

@@ -1,0 +1,132 @@
+"""Platform ports of the system contracts for Corda-like and Quorum-like networks.
+
+"To extend our protocol to other permissioned blockchains, the relay
+service ... can be directly reused ... The system contracts need
+platform-specific implementations. ... The functions served by these
+contracts will remain the same" (§5).
+
+:class:`InteropPort` re-implements the ECC + CMDAC *functions* (access
+rules over ``<network, org, contract, function>`` tuples, foreign-config
+records, verification policies, foreign-certificate validation, response
+sealing) as a node-attached service, which is how a platform without
+Fabric-style chaincode would host them. The Fabric implementation lives in
+:mod:`repro.interop.contracts.ecc` / ``cmdac`` as real chaincode.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.certs import Certificate, validate_chain
+from repro.crypto.keys import PublicKey
+from repro.errors import AccessDeniedError, ConfigurationError
+from repro.interop.contracts.cmdac import org_roots_from_config
+from repro.interop.policy import parse_verification_policy
+from repro.interop.proofs import seal_result
+from repro.proto.messages import NetworkConfigMsg
+
+_WILDCARD = "*"
+
+
+class InteropPort:
+    """Exposure-control + configuration-management state for one network.
+
+    The same rule granularity and semantics as the Fabric ECC/CMDAC, held
+    in platform-native service state (e.g. Corda network parameters or a
+    Quorum precompile) rather than chaincode world state.
+    """
+
+    def __init__(self, network_id: str) -> None:
+        self.network_id = network_id
+        self._rules: set[tuple[str, str, str, str]] = set()
+        self._foreign_configs: dict[str, NetworkConfigMsg] = {}
+        self._verification_policies: dict[str, str] = {}
+
+    # -- configuration management (CMDAC functions) ------------------------------
+
+    def record_network_config(self, config: NetworkConfigMsg) -> None:
+        if not config.network_id:
+            raise ConfigurationError("network config carries no network id")
+        org_roots_from_config(config)  # reject malformed roots early
+        self._foreign_configs[config.network_id] = config
+
+    def get_network_config(self, network_id: str) -> NetworkConfigMsg:
+        config = self._foreign_configs.get(network_id)
+        if config is None:
+            raise ConfigurationError(
+                f"no configuration recorded for foreign network {network_id!r}"
+            )
+        return config
+
+    def set_verification_policy(self, network_id: str, expression: str) -> None:
+        parse_verification_policy(expression)
+        self._verification_policies[network_id] = expression
+
+    def get_verification_policy(self, network_id: str) -> str:
+        expression = self._verification_policies.get(network_id)
+        if expression is None:
+            raise ConfigurationError(
+                f"no verification policy recorded for network {network_id!r}"
+            )
+        return expression
+
+    def validate_foreign_certificate(
+        self, network_id: str, certificate: Certificate
+    ) -> None:
+        config = self.get_network_config(network_id)
+        roots = org_roots_from_config(config)
+        root = roots.get(certificate.subject.organization)
+        if root is None:
+            raise ConfigurationError(
+                f"organization {certificate.subject.organization!r} is not part "
+                f"of the recorded configuration for network {network_id!r}"
+            )
+        validate_chain(certificate, [root])
+
+    # -- exposure control (ECC functions) --------------------------------------------
+
+    def add_access_rule(
+        self, network: str, org: str, contract: str, function: str
+    ) -> None:
+        self._rules.add((network, org, contract, function))
+
+    def remove_access_rule(
+        self, network: str, org: str, contract: str, function: str
+    ) -> None:
+        self._rules.discard((network, org, contract, function))
+
+    def list_access_rules(self) -> list[tuple[str, str, str, str]]:
+        return sorted(self._rules)
+
+    def check_access(
+        self,
+        requesting_network: str,
+        requesting_org: str,
+        contract: str,
+        function: str,
+        creator: Certificate | None,
+    ) -> None:
+        if creator is None:
+            raise AccessDeniedError("interop request carries no creator certificate")
+        if creator.subject.organization != requesting_org:
+            raise AccessDeniedError(
+                f"creator certificate belongs to org "
+                f"{creator.subject.organization!r}, not {requesting_org!r}"
+            )
+        self.validate_foreign_certificate(requesting_network, creator)
+        candidates = [
+            (requesting_network, requesting_org, contract, function),
+            (requesting_network, requesting_org, contract, _WILDCARD),
+            (requesting_network, _WILDCARD, contract, function),
+            (requesting_network, _WILDCARD, contract, _WILDCARD),
+        ]
+        if not any(candidate in self._rules for candidate in candidates):
+            raise AccessDeniedError(
+                f"exposure control denied <{requesting_network}, "
+                f"{requesting_org}, {contract}, {function}>: no matching rule"
+            )
+
+    # -- response sealing (ECC SealResponse) --------------------------------------------
+
+    def seal(
+        self, plaintext: bytes, client_key: PublicKey | None, confidential: bool
+    ) -> bytes:
+        return seal_result(plaintext, client_key, confidential)

@@ -1,0 +1,133 @@
+"""Network discovery and relay lookup.
+
+"The local relay, designed to support pluggable discovery services,
+performs a lookup using such a service for the address of the destination
+relay based on the remote network's name" (§3.3, step 2). Two services
+are provided, matching the paper's PoC ("a local file-based registry was
+plugged into the SWT Relay", §4.3):
+
+- :class:`InMemoryRegistry` — direct network-id -> relay registration.
+- :class:`FileRegistry` — a JSON file maps network ids to relay addresses;
+  an :class:`AddressResolver` (the transport) maps addresses to live relay
+  endpoints.
+
+A lookup returns *all* known relays for a network so callers can fail over
+across redundant relays — the paper's DoS mitigation (§5).
+"""
+
+from __future__ import annotations
+
+import json
+from abc import ABC, abstractmethod
+from pathlib import Path
+from typing import Protocol
+
+from repro.errors import DiscoveryError
+
+
+class RelayEndpoint(Protocol):
+    """Anything that can serve a serialized relay request."""
+
+    def handle_request(self, data: bytes) -> bytes:  # pragma: no cover - protocol
+        ...
+
+
+class DiscoveryService(ABC):
+    """Pluggable lookup of relay endpoints by network id."""
+
+    @abstractmethod
+    def lookup(self, network_id: str) -> list[RelayEndpoint]:
+        """All known relay endpoints for ``network_id`` (raises
+        :class:`DiscoveryError` when none are registered)."""
+
+
+class InMemoryRegistry(DiscoveryService):
+    """A process-local registry of relays."""
+
+    def __init__(self) -> None:
+        self._relays: dict[str, list[RelayEndpoint]] = {}
+
+    def register(self, network_id: str, relay: RelayEndpoint) -> None:
+        self._relays.setdefault(network_id, []).append(relay)
+
+    def unregister(self, network_id: str, relay: RelayEndpoint) -> None:
+        endpoints = self._relays.get(network_id, [])
+        if relay in endpoints:
+            endpoints.remove(relay)
+
+    def lookup(self, network_id: str) -> list[RelayEndpoint]:
+        endpoints = self._relays.get(network_id)
+        if not endpoints:
+            raise DiscoveryError(
+                f"no relay registered for network {network_id!r}"
+            )
+        return list(endpoints)
+
+
+class AddressResolver:
+    """The 'transport': resolves relay address strings to live endpoints.
+
+    In a deployment this would be DNS + gRPC dialing; in the simulation it
+    is an explicit table, which keeps the address indirection (and its
+    failure modes) observable.
+    """
+
+    def __init__(self) -> None:
+        self._endpoints: dict[str, RelayEndpoint] = {}
+
+    def bind(self, address: str, endpoint: RelayEndpoint) -> None:
+        self._endpoints[address] = endpoint
+
+    def resolve(self, address: str) -> RelayEndpoint:
+        endpoint = self._endpoints.get(address)
+        if endpoint is None:
+            raise DiscoveryError(f"relay address {address!r} does not resolve")
+        return endpoint
+
+
+class FileRegistry(DiscoveryService):
+    """A local file-based registry (as plugged into the paper's SWT relay).
+
+    The file holds JSON of the form::
+
+        {"stl": ["relay://stl-1", "relay://stl-2"], "swt": ["relay://swt-1"]}
+
+    The file is re-read on every lookup, so operators can edit it while the
+    relay is running.
+    """
+
+    def __init__(self, path: str | Path, resolver: AddressResolver) -> None:
+        self._path = Path(path)
+        self._resolver = resolver
+
+    def _load(self) -> dict[str, list[str]]:
+        try:
+            raw = self._path.read_text(encoding="utf-8")
+        except FileNotFoundError as exc:
+            raise DiscoveryError(f"registry file {self._path} does not exist") from exc
+        try:
+            table = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise DiscoveryError(f"registry file {self._path} is not valid JSON") from exc
+        if not isinstance(table, dict):
+            raise DiscoveryError(f"registry file {self._path} must hold a JSON object")
+        return table
+
+    def register(self, network_id: str, address: str) -> None:
+        """Append an address to the registry file (creating it if needed)."""
+        table: dict[str, list[str]] = {}
+        if self._path.exists():
+            table = self._load()
+        table.setdefault(network_id, [])
+        if address not in table[network_id]:
+            table[network_id].append(address)
+        self._path.write_text(json.dumps(table, indent=2, sort_keys=True))
+
+    def lookup(self, network_id: str) -> list[RelayEndpoint]:
+        table = self._load()
+        addresses = table.get(network_id)
+        if not addresses:
+            raise DiscoveryError(
+                f"network {network_id!r} not present in registry {self._path}"
+            )
+        return [self._resolver.resolve(address) for address in addresses]

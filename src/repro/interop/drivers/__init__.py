@@ -1,0 +1,14 @@
+"""Pluggable network drivers.
+
+"The relay also includes a set of pluggable network drivers that
+translates the network-neutral protocol messages into calls to the
+underlying network implementation" (§3.2). One driver per platform:
+
+- :class:`~repro.interop.drivers.fabric_driver.FabricDriver`
+- :class:`~repro.interop.drivers.corda_driver.CordaDriver`
+- :class:`~repro.interop.drivers.quorum_driver.QuorumDriver`
+"""
+
+from repro.interop.drivers.base import NetworkDriver
+
+__all__ = ["NetworkDriver"]

@@ -1,0 +1,50 @@
+"""Driver interface: network-neutral protocol -> platform calls."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.proto.messages import (
+    PROTOCOL_VERSION,
+    STATUS_ACCESS_DENIED,
+    STATUS_ERROR,
+    NetworkQuery,
+    QueryResponse,
+)
+
+
+class NetworkDriver(ABC):
+    """Translates :class:`NetworkQuery` into calls on one concrete network.
+
+    A driver runs *inside* the source network's trust domain (it is part of
+    the relay deployment) but holds no signing keys of its own: proofs come
+    from peers, so a compromised driver can deny service but cannot forge
+    consensus-backed data.
+    """
+
+    platform: str = ""
+
+    def __init__(self, network_id: str) -> None:
+        self.network_id = network_id
+
+    @abstractmethod
+    def execute_query(self, query: NetworkQuery) -> QueryResponse:
+        """Orchestrate proof collection for one query (§3.3 steps 5-7)."""
+
+    # -- shared error helpers ---------------------------------------------------
+
+    def _denied(self, query: NetworkQuery, message: str) -> QueryResponse:
+        return QueryResponse(
+            version=PROTOCOL_VERSION,
+            nonce=query.nonce,
+            status=STATUS_ACCESS_DENIED,
+            error=message,
+        )
+
+    def _error(self, query: NetworkQuery, message: str) -> QueryResponse:
+        return QueryResponse(
+            version=PROTOCOL_VERSION,
+            nonce=query.nonce,
+            status=STATUS_ERROR,
+            error=message,
+        )

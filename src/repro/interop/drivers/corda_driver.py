@@ -1,0 +1,171 @@
+"""Corda driver: the network-neutral protocol against a Corda-like network.
+
+Queries address states in node vaults; proofs are attestations from the
+nodes the verification policy selects — which may include the notary, as
+§5 anticipates ("a verification policy can be specified to include
+signatures from notaries").
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable
+
+from repro.corda.network import CordaNetwork
+from repro.corda.node import CordaNode
+from repro.crypto.certs import Certificate
+from repro.crypto.keys import PublicKey
+from repro.errors import AccessDeniedError, PolicyError, ReproError
+from repro.interop.contracts.ports import InteropPort
+from repro.interop.drivers.base import NetworkDriver
+from repro.interop.policy import parse_verification_policy
+from repro.interop.proofs import AttestationProofScheme
+from repro.proto.address import CrossNetworkAddress
+from repro.proto.messages import (
+    PROTOCOL_VERSION,
+    STATUS_OK,
+    Attestation,
+    NetworkQuery,
+    QueryResponse,
+)
+
+# A query handler resolves (node, args) -> plaintext result bytes.
+QueryHandler = Callable[[CordaNode, list[str]], bytes]
+
+
+def default_vault_query(node: CordaNode, args: list[str]) -> bytes:
+    """Built-in handler ``vault/GetState``: fetch a state by linear id."""
+    if len(args) != 1:
+        raise ReproError("GetState expects exactly one argument (linear_id)")
+    _, state = node.lookup(args[0])
+    return json.dumps(
+        {"linear_id": state.linear_id, "kind": state.kind, "data": state.data},
+        sort_keys=True,
+        separators=(",", ":"),
+    ).encode("utf-8")
+
+
+class CordaDriver(NetworkDriver):
+    """Drives queries against an in-process :class:`CordaNetwork`."""
+
+    platform = "corda"
+
+    def __init__(self, network: CordaNetwork, port: InteropPort) -> None:
+        super().__init__(network.name)
+        self._network = network
+        self._port = port
+        self._scheme = AttestationProofScheme()
+        self._handlers: dict[tuple[str, str], QueryHandler] = {
+            ("vault", "GetState"): default_vault_query,
+        }
+
+    def register_handler(
+        self, contract: str, function: str, handler: QueryHandler
+    ) -> None:
+        self._handlers[(contract, function)] = handler
+
+    def _attesting_identity(self, peer_id: str):
+        if peer_id == self._network.notary.identity.id:
+            return self._network.notary.identity
+        return self._network.node(peer_id.split(".", 1)[0]).identity
+
+    def execute_query(self, query: NetworkQuery) -> QueryResponse:
+        address_msg = query.address
+        if address_msg is None:
+            return self._error(query, "query has no address")
+        address = CrossNetworkAddress(
+            network=address_msg.network,
+            ledger=address_msg.ledger,
+            contract=address_msg.contract,
+            function=address_msg.function,
+        )
+        handler = self._handlers.get((address.contract, address.function))
+        if handler is None:
+            return self._error(
+                query,
+                f"corda network {self.network_id!r} serves no query "
+                f"{address.contract}/{address.function}",
+            )
+        try:
+            policy = parse_verification_policy(query.policy.expression)
+        except (PolicyError, AttributeError) as exc:
+            return self._error(query, f"malformed verification policy: {exc}")
+
+        available = [
+            (node.org, node.identity.id) for node in self._network.nodes
+        ]
+        available.append(
+            (self._network.notary.identity.org, self._network.notary.identity.id)
+        )
+        selection = policy.select_attesters(available)
+        if selection is None:
+            return self._error(
+                query,
+                f"policy {policy.expression()} cannot be satisfied by corda "
+                f"network {self.network_id!r}",
+            )
+
+        auth = query.auth
+        try:
+            creator = (
+                Certificate.from_bytes(auth.certificate)
+                if auth and auth.certificate
+                else None
+            )
+            self._port.check_access(
+                auth.requesting_network if auth else "",
+                auth.requesting_org if auth else "",
+                address.contract,
+                address.function,
+                creator,
+            )
+        except AccessDeniedError as exc:
+            return self._denied(query, str(exc))
+        except ReproError as exc:
+            return self._error(query, str(exc))
+
+        client_key = None
+        if query.confidential:
+            client_key = PublicKey.from_bytes(auth.public_key)
+
+        attestations: list[Attestation] = []
+        result_envelope = b""
+        for org, peer_id in selection:
+            identity = self._attesting_identity(peer_id)
+            if peer_id == self._network.notary.identity.id:
+                # The notary attests over the proposing node's view.
+                source_node = self._network.nodes[0]
+            else:
+                source_node = self._network.node(identity.name)
+            try:
+                plaintext = handler(source_node, list(query.args))
+            except ReproError as exc:
+                return self._error(query, f"node {peer_id!r} query failed: {exc}")
+            envelope = self._port.seal(plaintext, client_key, query.confidential)
+            attestations.append(
+                self._scheme.generate_attestation(
+                    peer_identity=identity,
+                    network=self.network_id,
+                    address=address,
+                    args=list(query.args),
+                    nonce=query.nonce,
+                    result_envelope=envelope,
+                    client_key=client_key,
+                    confidential=query.confidential,
+                    timestamp=self._network.clock.now(),
+                )
+            )
+            if not result_envelope:
+                result_envelope = envelope
+
+        response = QueryResponse(
+            version=PROTOCOL_VERSION,
+            nonce=query.nonce,
+            status=STATUS_OK,
+            attestations=attestations,
+        )
+        if query.confidential:
+            response.result_cipher = result_envelope
+        else:
+            response.result_plain = result_envelope
+        return response

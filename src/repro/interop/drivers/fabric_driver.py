@@ -1,0 +1,136 @@
+"""Fabric driver: proof orchestration against a Fabric-like network.
+
+Implements §3.3 steps (5)-(7): "[the relay] uses the appropriate network
+driver to orchestrate the query against the respective peers in the
+network based on the specified verification policy. Each peer executing
+the contract function refers to the Exposure Control contract ... The
+results from each of the selected peers collectively form the proof
+satisfying the verification policy."
+"""
+
+from __future__ import annotations
+
+from repro.errors import PolicyError
+from repro.fabric.network import FabricNetwork
+from repro.fabric.peer import Proposal
+from repro.interop.drivers.base import NetworkDriver
+from repro.interop.policy import parse_verification_policy
+from repro.proto.messages import (
+    PROTOCOL_VERSION,
+    STATUS_OK,
+    Attestation,
+    NetworkQuery,
+    QueryResponse,
+)
+from repro.utils.encoding import canonical_json
+from repro.utils.ids import random_id
+
+INTEROP_TRANSIENT_KEY = "interop"
+INTEROP_PLUGIN = "interop"
+
+_ACCESS_DENIED_MARKER = "AccessDeniedError"
+
+
+def build_interop_context(query: NetworkQuery) -> bytes:
+    """The transient payload that travels into chaincode with a relay query.
+
+    Source chaincode uses it to detect "an incoming query is from a relay"
+    (§4.3) and to learn the requestor's identity and encryption key; the
+    interop endorsement plugin uses it to build and protect the proof
+    metadata.
+    """
+    address = query.address
+    auth = query.auth
+    return canonical_json(
+        {
+            "address": {
+                "network": address.network if address else "",
+                "ledger": address.ledger if address else "",
+                "contract": address.contract if address else "",
+                "function": address.function if address else "",
+            },
+            "args": list(query.args),
+            "nonce": query.nonce,
+            "requesting_network": auth.requesting_network if auth else "",
+            "requesting_org": auth.requesting_org if auth else "",
+            "requestor": auth.requestor if auth else "",
+            "client_pubkey": auth.public_key.hex() if auth else "",
+            "confidential": query.confidential,
+        }
+    )
+
+
+class FabricDriver(NetworkDriver):
+    """Drives queries against an in-process :class:`FabricNetwork`."""
+
+    platform = "fabric"
+
+    def __init__(self, network: FabricNetwork) -> None:
+        super().__init__(network.name)
+        self._network = network
+
+    def execute_query(self, query: NetworkQuery) -> QueryResponse:
+        address = query.address
+        if address is None or address.ledger != self._network.channel:
+            return self._error(
+                query,
+                f"network {self.network_id!r} has no ledger "
+                f"{address.ledger if address else ''!r}",
+            )
+        if query.policy is None or not query.policy.expression:
+            return self._error(query, "query carries no verification policy")
+        try:
+            policy = parse_verification_policy(query.policy.expression)
+        except PolicyError as exc:
+            return self._error(query, f"malformed verification policy: {exc}")
+
+        available = [(peer.org, peer.peer_id) for peer in self._network.peers]
+        selection = policy.select_attesters(available)
+        if selection is None:
+            return self._error(
+                query,
+                f"verification policy {policy.expression()} cannot be satisfied "
+                f"by the peers of network {self.network_id!r}",
+            )
+
+        transient = {INTEROP_TRANSIENT_KEY: build_interop_context(query)}
+        creator = query.auth.certificate if query.auth else b""
+        attestations: list[Attestation] = []
+        result_envelope = b""
+        for org, peer_id in selection:
+            peer = self._network.peer(peer_id)
+            proposal = Proposal(
+                tx_id=random_id("interop-"),
+                channel=self._network.channel,
+                chaincode=address.contract,
+                function=address.function,
+                args=tuple(query.args),
+                creator=creator,
+                transient=transient,
+                timestamp=self._network.clock.now(),
+            )
+            response = peer.endorse(proposal, plugin=INTEROP_PLUGIN)
+            if not response.success:
+                if response.message.startswith(_ACCESS_DENIED_MARKER):
+                    return self._denied(query, response.message)
+                return self._error(
+                    query,
+                    f"peer {peer_id!r} failed to execute the query: "
+                    f"{response.message}",
+                )
+            assert response.endorsement is not None
+            attestations.append(Attestation.decode(response.endorsement.signature))
+            if not result_envelope:
+                result_envelope = response.result
+
+        response_msg = QueryResponse(
+            version=PROTOCOL_VERSION,
+            nonce=query.nonce,
+            status=STATUS_OK,
+            attestations=attestations,
+        )
+        if query.confidential:
+            response_msg.result_cipher = result_envelope
+        else:
+            response_msg.result_plain = result_envelope
+        return response_msg

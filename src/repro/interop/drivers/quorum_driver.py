@@ -1,0 +1,131 @@
+"""Quorum driver: the network-neutral protocol against a Quorum-like network.
+
+Queries address contract view functions; each selected peer executes the
+view against its replica and returns a *signed query response* — the §5
+peer augmentation — which the attestation proof scheme packages exactly as
+for Fabric.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.certs import Certificate
+from repro.crypto.keys import PublicKey
+from repro.errors import AccessDeniedError, PolicyError, ReproError
+from repro.interop.contracts.ports import InteropPort
+from repro.interop.drivers.base import NetworkDriver
+from repro.interop.policy import parse_verification_policy
+from repro.interop.proofs import AttestationProofScheme
+from repro.proto.address import CrossNetworkAddress
+from repro.proto.messages import (
+    PROTOCOL_VERSION,
+    STATUS_OK,
+    Attestation,
+    NetworkQuery,
+    QueryResponse,
+)
+from repro.quorum.contracts import CallContext
+from repro.quorum.network import QuorumNetwork
+
+
+class QuorumDriver(NetworkDriver):
+    """Drives queries against an in-process :class:`QuorumNetwork`."""
+
+    platform = "quorum"
+
+    def __init__(self, network: QuorumNetwork, port: InteropPort) -> None:
+        super().__init__(network.name)
+        self._network = network
+        self._port = port
+        self._scheme = AttestationProofScheme()
+
+    def execute_query(self, query: NetworkQuery) -> QueryResponse:
+        address_msg = query.address
+        if address_msg is None:
+            return self._error(query, "query has no address")
+        address = CrossNetworkAddress(
+            network=address_msg.network,
+            ledger=address_msg.ledger,
+            contract=address_msg.contract,
+            function=address_msg.function,
+        )
+        try:
+            policy = parse_verification_policy(query.policy.expression)
+        except (PolicyError, AttributeError) as exc:
+            return self._error(query, f"malformed verification policy: {exc}")
+
+        available = [(peer.org, peer.peer_id) for peer in self._network.peers]
+        selection = policy.select_attesters(available)
+        if selection is None:
+            return self._error(
+                query,
+                f"policy {policy.expression()} cannot be satisfied by quorum "
+                f"network {self.network_id!r}",
+            )
+
+        auth = query.auth
+        try:
+            creator = (
+                Certificate.from_bytes(auth.certificate)
+                if auth and auth.certificate
+                else None
+            )
+            self._port.check_access(
+                auth.requesting_network if auth else "",
+                auth.requesting_org if auth else "",
+                address.contract,
+                address.function,
+                creator,
+            )
+        except AccessDeniedError as exc:
+            return self._denied(query, str(exc))
+        except ReproError as exc:
+            return self._error(query, str(exc))
+
+        client_key = None
+        if query.confidential:
+            client_key = PublicKey.from_bytes(auth.public_key)
+
+        requestor = auth.requestor if auth else "remote"
+        attestations: list[Attestation] = []
+        result_envelope = b""
+        for org, peer_id in selection:
+            peer = self._network.peer(peer_id)
+            ctx = CallContext(
+                sender=requestor,
+                sender_org=auth.requesting_org if auth else "",
+                timestamp=self._network.clock.now(),
+            )
+            try:
+                plaintext = peer.view(
+                    address.contract, address.function, list(query.args), ctx
+                )
+            except ReproError as exc:
+                return self._error(query, f"peer {peer_id!r} query failed: {exc}")
+            envelope = self._port.seal(plaintext, client_key, query.confidential)
+            attestations.append(
+                self._scheme.generate_attestation(
+                    peer_identity=peer.identity,
+                    network=self.network_id,
+                    address=address,
+                    args=list(query.args),
+                    nonce=query.nonce,
+                    result_envelope=envelope,
+                    client_key=client_key,
+                    confidential=query.confidential,
+                    timestamp=self._network.clock.now(),
+                )
+            )
+            if not result_envelope:
+                result_envelope = envelope
+
+        response = QueryResponse(
+            version=PROTOCOL_VERSION,
+            nonce=query.nonce,
+            status=STATUS_OK,
+            attestations=attestations,
+        )
+        if query.confidential:
+            response.result_cipher = result_envelope
+        else:
+            response.result_plain = result_envelope
+        return response

@@ -1,0 +1,193 @@
+"""Cross-network event publish/subscribe (the §2 third primitive).
+
+Networks "should expose the following operations for interoperability:
+(i) query ... (ii) carry out transactions ... and (iii) publish and
+subscribe to events" (§2); cross-network events are named future work in
+§7. This module implements the notify-then-verify pattern:
+
+- A destination application *subscribes* through its local relay to named
+  chaincode events of a remote network. The subscription is access-
+  controlled by the source ECC (rule object ``event:<name>``).
+- The source relay bridges its network's event hub to remote subscribers,
+  forwarding compact, *unauthenticated* notifications (block number,
+  transaction id, payload).
+- Because notifications are not consensus-backed, the subscriber turns a
+  notification into *trusted* data with a follow-up proof-carrying query —
+  the helper :meth:`RemoteEventSubscription.verify_with_query` wires that
+  up. This keeps the trust argument identical to the paper's: only
+  attestation proofs are believed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import AccessDeniedError, DiscoveryError
+from repro.fabric.events import ChaincodeEvent
+from repro.fabric.network import FabricNetwork
+from repro.interop.client import InteropClient, RemoteQueryResult
+from repro.utils.encoding import canonical_json, from_canonical_json
+from repro.utils.ids import random_id
+
+
+@dataclass(frozen=True)
+class RemoteEventNotification:
+    """An unauthenticated event notification from a remote network."""
+
+    source_network: str
+    chaincode: str
+    name: str
+    payload: bytes
+    block_number: int
+    tx_id: str
+
+    def to_bytes(self) -> bytes:
+        return canonical_json(
+            {
+                "source_network": self.source_network,
+                "chaincode": self.chaincode,
+                "name": self.name,
+                "payload": self.payload.hex(),
+                "block_number": self.block_number,
+                "tx_id": self.tx_id,
+            }
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "RemoteEventNotification":
+        decoded = from_canonical_json(data)
+        return cls(
+            source_network=decoded["source_network"],
+            chaincode=decoded["chaincode"],
+            name=decoded["name"],
+            payload=bytes.fromhex(decoded["payload"]),
+            block_number=int(decoded["block_number"]),
+            tx_id=decoded["tx_id"],
+        )
+
+
+EventCallback = Callable[[RemoteEventNotification], None]
+
+
+@dataclass
+class RemoteEventSubscription:
+    """A live subscription held by a destination application."""
+
+    subscription_id: str
+    source_network: str
+    chaincode: str
+    event_name: str
+    notifications: list[RemoteEventNotification] = field(default_factory=list)
+    callback: EventCallback | None = None
+
+    def deliver(self, notification: RemoteEventNotification) -> None:
+        self.notifications.append(notification)
+        if self.callback is not None:
+            self.callback(notification)
+
+    def verify_with_query(
+        self,
+        client: InteropClient,
+        address: str,
+        args: list[str],
+        policy: str | None = None,
+    ) -> RemoteQueryResult:
+        """Turn a notification into trusted data via a proof-backed query."""
+        return client.remote_query(address, args, policy=policy)
+
+
+class EventBridge:
+    """Source-side: bridges a Fabric network's event hub to remote relays.
+
+    Attached next to the network's relay. Subscriptions are checked
+    against the ECC (rule ``<network, org, chaincode, event:<name>>``) at
+    subscribe time, mirroring data-exposure governance.
+    """
+
+    def __init__(self, network: FabricNetwork, admin_reader) -> None:
+        self._network = network
+        self._reader = admin_reader  # identity used for ECC rule reads
+        self._active: set[str] = set()  # live subscription ids
+
+    def _check_exposure(
+        self, requesting_network: str, requesting_org: str, chaincode: str, name: str
+    ) -> None:
+        rules_raw = self._network.gateway.evaluate(
+            self._reader, "ecc", "ListAccessRules", []
+        )
+        rules = {tuple(rule) for rule in json.loads(rules_raw)}
+        candidates = {
+            (requesting_network, requesting_org, chaincode, f"event:{name}"),
+            (requesting_network, requesting_org, chaincode, "event:*"),
+            (requesting_network, "*", chaincode, f"event:{name}"),
+            (requesting_network, "*", chaincode, "event:*"),
+        }
+        if not candidates & rules:
+            raise AccessDeniedError(
+                f"exposure control denied event subscription "
+                f"<{requesting_network}, {requesting_org}, {chaincode}, "
+                f"event:{name}>"
+            )
+
+    def subscribe(
+        self,
+        requesting_network: str,
+        requesting_org: str,
+        chaincode: str,
+        event_name: str,
+        callback: EventCallback | None = None,
+    ) -> RemoteEventSubscription:
+        """Register a remote subscriber (raises on exposure denial)."""
+        self._check_exposure(requesting_network, requesting_org, chaincode, event_name)
+        subscription = RemoteEventSubscription(
+            subscription_id=random_id("sub-"),
+            source_network=self._network.name,
+            chaincode=chaincode,
+            event_name=event_name,
+            callback=callback,
+        )
+        # Register the concrete (chaincode, name) listener on the hub.
+        self._active.add(subscription.subscription_id)
+        self._network.event_hub.on_chaincode_event(
+            chaincode,
+            event_name,
+            lambda event: self._fan_out_single(event, subscription),
+        )
+        return subscription
+
+    def _fan_out_single(
+        self, event: ChaincodeEvent, subscription: RemoteEventSubscription
+    ) -> None:
+        if subscription.subscription_id not in self._active:
+            return  # unsubscribed; the hub listener is inert
+        subscription.deliver(
+            RemoteEventNotification(
+                source_network=self._network.name,
+                chaincode=event.chaincode,
+                name=event.name,
+                payload=event.payload,
+                block_number=event.block_number,
+                tx_id=event.tx_id,
+            )
+        )
+
+    def unsubscribe(self, subscription: RemoteEventSubscription) -> None:
+        self._active.discard(subscription.subscription_id)
+
+
+class EventBridgeRegistry:
+    """Destination-side lookup of source event bridges (like discovery)."""
+
+    def __init__(self) -> None:
+        self._bridges: dict[str, EventBridge] = {}
+
+    def register(self, network_id: str, bridge: EventBridge) -> None:
+        self._bridges[network_id] = bridge
+
+    def lookup(self, network_id: str) -> EventBridge:
+        bridge = self._bridges.get(network_id)
+        if bridge is None:
+            raise DiscoveryError(f"no event bridge registered for {network_id!r}")
+        return bridge

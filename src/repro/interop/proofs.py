@@ -1,0 +1,438 @@
+"""Attestation-based proofs: generation, packaging, validation.
+
+The paper's proof format (§4.3): each source peer produces
+``<encrypted result, encrypted metadata, signature>``; the array of
+``<encrypted metadata, signature>`` pairs constitutes the proof. The
+signature is over the *plaintext* metadata (peers sign, then encrypt), so
+after the requesting client decrypts the metadata, anyone holding the
+source network's recorded configuration can validate the signatures —
+which is exactly what the destination's Data Acceptance contract does.
+
+Result confidentiality uses a *seal envelope*: canonical JSON carrying the
+SHA-256 hash of the plaintext plus either the ECIES ciphertext
+(confidential mode) or the plaintext itself. Because the envelope — hash
+included — is embedded in the signed metadata, the proof binds the
+plaintext data to the source network's consensus view even though peers
+encrypted their responses.
+
+The architecture "allows any suitable proof scheme to be plugged in" (§6);
+:class:`ProofScheme` is that plug point and
+:class:`AttestationProofScheme` is the paper's scheme.
+"""
+
+from __future__ import annotations
+
+import json
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.crypto.certs import Certificate, validate_chain
+from repro.crypto.ecdsa import Signature, verify
+from repro.crypto.ecies import ecies_decrypt, ecies_encrypt
+from repro.crypto.hashing import sha256
+from repro.crypto.keys import PrivateKey, PublicKey
+from repro.errors import DecryptionError, ProofError
+from repro.fabric.identity import Identity
+from repro.interop.policy import Attester, VerificationPolicy
+from repro.proto.address import CrossNetworkAddress
+from repro.proto.messages import Attestation, NetworkAddressMsg, ProofMetadata
+from repro.utils.encoding import canonical_json, from_canonical_json
+
+
+# ---------------------------------------------------------------------------
+# Seal envelopes (result channel)
+# ---------------------------------------------------------------------------
+
+
+def seal_result(
+    plaintext: bytes,
+    client_key: PublicKey | None,
+    confidential: bool,
+) -> bytes:
+    """Package a query result for the response channel.
+
+    Confidential mode encrypts under the requesting client's public key so
+    "an untrusted relay cannot read or exfiltrate the information" (§5);
+    either way the envelope carries the plaintext hash that the signed
+    metadata will bind to.
+    """
+    envelope: dict[str, str] = {"hash": sha256(plaintext).hex()}
+    if confidential:
+        if client_key is None:
+            raise ProofError("confidential responses require the client public key")
+        envelope["cipher"] = ecies_encrypt(client_key, plaintext).hex()
+    else:
+        envelope["plain"] = plaintext.hex()
+    return canonical_json(envelope)
+
+
+def unseal_result(envelope_bytes: bytes, client_key: PrivateKey | None = None) -> bytes:
+    """Recover and integrity-check the plaintext from a seal envelope."""
+    envelope = _parse_envelope(envelope_bytes)
+    try:
+        if "cipher" in envelope:
+            if client_key is None:
+                raise ProofError(
+                    "envelope is confidential but no private key was supplied"
+                )
+            plaintext = ecies_decrypt(client_key, bytes.fromhex(envelope["cipher"]))
+        elif "plain" in envelope:
+            plaintext = bytes.fromhex(envelope["plain"])
+        else:
+            raise ProofError("seal envelope carries neither cipher nor plain payload")
+    except (ValueError, DecryptionError) as exc:
+        raise ProofError(
+            f"seal envelope payload is corrupt or undecryptable: {exc}"
+        ) from exc
+    if sha256(plaintext).hex() != envelope.get("hash"):
+        raise ProofError("seal envelope hash does not match its payload")
+    return plaintext
+
+
+def envelope_plaintext_hash(envelope_bytes: bytes) -> str:
+    """Extract the plaintext hash a seal envelope commits to (hex)."""
+    return _parse_envelope(envelope_bytes)["hash"]
+
+
+def _parse_envelope(envelope_bytes: bytes) -> dict:
+    try:
+        envelope = from_canonical_json(envelope_bytes)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProofError(f"malformed seal envelope: {exc}") from exc
+    if not isinstance(envelope, dict) or "hash" not in envelope:
+        raise ProofError("seal envelope must be an object with a 'hash' field")
+    return envelope
+
+
+# ---------------------------------------------------------------------------
+# Signed attestations and proof bundles
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SignedAttestation:
+    """One peer's decrypted attestation: plaintext metadata + signature."""
+
+    metadata_bytes: bytes
+    signature: bytes
+    certificate: bytes
+
+    def metadata(self) -> ProofMetadata:
+        return ProofMetadata.decode(self.metadata_bytes)
+
+    def decoded_certificate(self) -> Certificate:
+        return Certificate.from_bytes(self.certificate)
+
+    def attester(self) -> Attester:
+        meta = self.metadata()
+        return (meta.org, meta.peer_id)
+
+    def to_dict(self) -> dict:
+        return {
+            "metadata": self.metadata_bytes.hex(),
+            "signature": self.signature.hex(),
+            "certificate": self.certificate.hex(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "SignedAttestation":
+        try:
+            return cls(
+                metadata_bytes=bytes.fromhex(data["metadata"]),
+                signature=bytes.fromhex(data["signature"]),
+                certificate=bytes.fromhex(data["certificate"]),
+            )
+        except (KeyError, ValueError) as exc:
+            raise ProofError(f"malformed attestation record: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class ProofBundle:
+    """The decrypted proof a destination transaction carries as an argument."""
+
+    attestations: tuple[SignedAttestation, ...]
+
+    def to_json(self) -> str:
+        return json.dumps(
+            [attestation.to_dict() for attestation in self.attestations],
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ProofBundle":
+        try:
+            records = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ProofError(f"proof bundle is not valid JSON: {exc}") from exc
+        if not isinstance(records, list):
+            raise ProofError("proof bundle must be a JSON array")
+        return cls(
+            attestations=tuple(
+                SignedAttestation.from_dict(record) for record in records
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self.attestations)
+
+
+# ---------------------------------------------------------------------------
+# Proof schemes
+# ---------------------------------------------------------------------------
+
+
+class ProofScheme(ABC):
+    """Plug point for proof mechanisms (§6: attestations, SPV, NIPoPoW...)."""
+
+    name: str = ""
+
+    @abstractmethod
+    def generate_attestation(
+        self,
+        peer_identity: Identity,
+        network: str,
+        address: CrossNetworkAddress,
+        args: Sequence[str],
+        nonce: str,
+        result_envelope: bytes,
+        client_key: PublicKey | None,
+        confidential: bool,
+        timestamp: float,
+    ) -> Attestation:
+        """Peer-side: sign (and optionally encrypt) an attestation."""
+
+    @abstractmethod
+    def validate_bundle(
+        self,
+        bundle: ProofBundle,
+        *,
+        expected_network: str,
+        expected_address: CrossNetworkAddress,
+        expected_args: Sequence[str],
+        expected_nonce: str,
+        expected_data_hash: str,
+        policy: VerificationPolicy,
+        org_roots: Mapping[str, Certificate],
+    ) -> list[Attester]:
+        """Destination-side: validate a decrypted proof bundle.
+
+        Returns the attesters on success; raises :class:`ProofError` with a
+        specific reason otherwise.
+        """
+
+
+class AttestationProofScheme(ProofScheme):
+    """The paper's scheme: per-peer signatures under a verification policy."""
+
+    name = "attestation"
+
+    def build_metadata(
+        self,
+        peer_identity: Identity,
+        network: str,
+        address: CrossNetworkAddress,
+        args: Sequence[str],
+        nonce: str,
+        result_envelope: bytes,
+        timestamp: float,
+    ) -> ProofMetadata:
+        return ProofMetadata(
+            address=NetworkAddressMsg(
+                network=address.network,
+                ledger=address.ledger,
+                contract=address.contract,
+                function=address.function,
+            ),
+            args=list(args),
+            nonce=nonce,
+            result_hash=sha256(result_envelope),
+            peer_id=peer_identity.id,
+            org=peer_identity.org,
+            network=network,
+            timestamp=timestamp,
+            result=result_envelope,
+        )
+
+    def generate_attestation(
+        self,
+        peer_identity: Identity,
+        network: str,
+        address: CrossNetworkAddress,
+        args: Sequence[str],
+        nonce: str,
+        result_envelope: bytes,
+        client_key: PublicKey | None,
+        confidential: bool,
+        timestamp: float,
+    ) -> Attestation:
+        metadata = self.build_metadata(
+            peer_identity, network, address, args, nonce, result_envelope, timestamp
+        )
+        metadata_bytes = metadata.encode()
+        signature = peer_identity.sign(metadata_bytes).to_bytes()
+        attestation = Attestation(
+            signature=signature,
+            certificate=peer_identity.certificate.to_bytes(),
+            peer_id=peer_identity.id,
+            org=peer_identity.org,
+        )
+        if confidential:
+            if client_key is None:
+                raise ProofError("confidential attestations require the client key")
+            attestation.metadata_cipher = ecies_encrypt(client_key, metadata_bytes)
+        else:
+            attestation.metadata_plain = metadata_bytes
+        return attestation
+
+    # -- validation ------------------------------------------------------------
+
+    def validate_bundle(
+        self,
+        bundle: ProofBundle,
+        *,
+        expected_network: str,
+        expected_address: CrossNetworkAddress,
+        expected_args: Sequence[str],
+        expected_nonce: str,
+        expected_data_hash: str,
+        policy: VerificationPolicy,
+        org_roots: Mapping[str, Certificate],
+    ) -> list[Attester]:
+        if not bundle.attestations:
+            raise ProofError("proof bundle is empty")
+        attesters: list[Attester] = []
+        for position, attestation in enumerate(bundle.attestations):
+            attesters.append(
+                self._validate_attestation(
+                    position,
+                    attestation,
+                    expected_network=expected_network,
+                    expected_address=expected_address,
+                    expected_args=expected_args,
+                    expected_nonce=expected_nonce,
+                    expected_data_hash=expected_data_hash,
+                    org_roots=org_roots,
+                )
+            )
+        if not policy.satisfied_by(attesters):
+            raise ProofError(
+                f"verification policy {policy.expression()} not satisfied by "
+                f"attesters {sorted(attesters)}"
+            )
+        return attesters
+
+    def _validate_attestation(
+        self,
+        position: int,
+        attestation: SignedAttestation,
+        *,
+        expected_network: str,
+        expected_address: CrossNetworkAddress,
+        expected_args: Sequence[str],
+        expected_nonce: str,
+        expected_data_hash: str,
+        org_roots: Mapping[str, Certificate],
+    ) -> Attester:
+        label = f"attestation[{position}]"
+        try:
+            certificate = attestation.decoded_certificate()
+        except Exception as exc:
+            raise ProofError(f"{label}: unparseable certificate: {exc}") from exc
+        org_id = certificate.subject.organization
+        root = org_roots.get(org_id)
+        if root is None:
+            raise ProofError(
+                f"{label}: organization {org_id!r} is not in the recorded "
+                f"configuration of network {expected_network!r}"
+            )
+        try:
+            validate_chain(certificate, [root])
+        except Exception as exc:
+            raise ProofError(f"{label}: signer certificate not trusted: {exc}") from exc
+        if certificate.subject.role != "peer":
+            raise ProofError(
+                f"{label}: signer role {certificate.subject.role!r} is not a peer"
+            )
+        try:
+            metadata = attestation.metadata()
+        except Exception as exc:
+            raise ProofError(f"{label}: unparseable metadata: {exc}") from exc
+        if metadata.network != expected_network:
+            raise ProofError(
+                f"{label}: attests network {metadata.network!r}, expected "
+                f"{expected_network!r}"
+            )
+        if metadata.org != org_id:
+            raise ProofError(
+                f"{label}: metadata org {metadata.org!r} does not match "
+                f"certificate org {org_id!r}"
+            )
+        address = metadata.address
+        if address is None or (
+            address.network,
+            address.ledger,
+            address.contract,
+            address.function,
+        ) != (
+            expected_address.network,
+            expected_address.ledger,
+            expected_address.contract,
+            expected_address.function,
+        ):
+            raise ProofError(f"{label}: attested address does not match the query")
+        if list(metadata.args) != list(expected_args):
+            raise ProofError(f"{label}: attested arguments do not match the query")
+        if metadata.nonce != expected_nonce:
+            raise ProofError(
+                f"{label}: attested nonce {metadata.nonce!r} does not match "
+                f"{expected_nonce!r}"
+            )
+        if sha256(metadata.result).hex() != metadata.result_hash.hex():
+            raise ProofError(f"{label}: result hash does not match embedded result")
+        try:
+            inner_hash = envelope_plaintext_hash(metadata.result)
+        except ProofError as exc:
+            raise ProofError(f"{label}: {exc}") from exc
+        if inner_hash != expected_data_hash:
+            raise ProofError(
+                f"{label}: attested data hash {inner_hash} does not match the "
+                f"transaction data hash {expected_data_hash}"
+            )
+        if not verify(
+            certificate.public_key,
+            attestation.metadata_bytes,
+            Signature.from_bytes(attestation.signature),
+        ):
+            raise ProofError(f"{label}: signature verification failed")
+        return (metadata.org, metadata.peer_id)
+
+
+def decrypt_attestation(
+    attestation: Attestation, client_key: PrivateKey | None
+) -> SignedAttestation:
+    """Client-side: decrypt one wire attestation into its signed plaintext.
+
+    "Only the SWT-SC possesses a decryption key" (§4.3) — this is the step
+    where the requesting client turns the exfiltration-proof wire form into
+    the validatable plaintext form it submits on-ledger.
+    """
+    if attestation.metadata_cipher:
+        if client_key is None:
+            raise ProofError("attestation metadata is encrypted; private key required")
+        try:
+            metadata_bytes = ecies_decrypt(client_key, attestation.metadata_cipher)
+        except DecryptionError as exc:
+            raise ProofError(
+                f"attestation metadata is corrupt or undecryptable: {exc}"
+            ) from exc
+    elif attestation.metadata_plain:
+        metadata_bytes = attestation.metadata_plain
+    else:
+        raise ProofError("attestation carries no metadata")
+    return SignedAttestation(
+        metadata_bytes=metadata_bytes,
+        signature=attestation.signature,
+        certificate=attestation.certificate,
+    )

@@ -1,0 +1,229 @@
+"""The relay service.
+
+"Deployed within, and acting on behalf of, each network is a relay
+service ... [it] serves requests for authentic data from applications by
+fetching the data along with verifiable proofs from remote networks"
+(§3.2). Design points reproduced here:
+
+- relays exchange only *serialized* protocol messages
+  (:class:`repro.proto.RelayEnvelope` framing);
+- a relay holds *pluggable network drivers* for the network(s) it fronts
+  and a *pluggable discovery service* for finding remote relays;
+- the architecture "assumes minimal trust in the relay": a relay never
+  sees plaintext results or decryptable proofs in confidential mode;
+- availability: rate limiting sheds DoS load, and destination-side lookup
+  returns all redundant relays of a network so callers fail over (§5).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import (
+    DiscoveryError,
+    DoSError,
+    ProtocolError,
+    RelayError,
+    RelayUnavailableError,
+)
+from repro.interop.discovery import DiscoveryService, RelayEndpoint
+from repro.interop.drivers.base import NetworkDriver
+from repro.proto.messages import (
+    MSG_KIND_ERROR,
+    MSG_KIND_QUERY_REQUEST,
+    MSG_KIND_QUERY_RESPONSE,
+    PROTOCOL_VERSION,
+    NetworkQuery,
+    QueryResponse,
+    RelayEnvelope,
+)
+from repro.utils.clock import Clock, SystemClock
+from repro.utils.ids import random_id
+
+
+class RateLimiter:
+    """A sliding-window request limiter (the relay's DoS self-protection).
+
+    "DoS protection can also be built into the relay service, protecting
+    the peers themselves from such attacks" (§5).
+    """
+
+    def __init__(self, max_requests: int, window_seconds: float, clock: Clock | None = None) -> None:
+        if max_requests < 1:
+            raise ValueError("max_requests must be >= 1")
+        self.max_requests = max_requests
+        self.window_seconds = window_seconds
+        self._clock = clock or SystemClock()
+        self._timestamps: deque[float] = deque()
+        self.rejected = 0
+
+    def allow(self) -> bool:
+        now = self._clock.now()
+        while self._timestamps and now - self._timestamps[0] > self.window_seconds:
+            self._timestamps.popleft()
+        if len(self._timestamps) >= self.max_requests:
+            self.rejected += 1
+            return False
+        self._timestamps.append(now)
+        return True
+
+
+class RelayStats:
+    """Operational counters for a relay."""
+
+    def __init__(self) -> None:
+        self.requests_served = 0
+        self.requests_rejected = 0
+        self.requests_failed = 0
+        self.queries_sent = 0
+        self.failovers = 0
+
+
+class RelayService:
+    """One network's relay: serves local apps and answers remote relays."""
+
+    def __init__(
+        self,
+        network_id: str,
+        discovery: DiscoveryService,
+        clock: Clock | None = None,
+        rate_limiter: RateLimiter | None = None,
+        relay_id: str | None = None,
+    ) -> None:
+        self.network_id = network_id
+        self.relay_id = relay_id or f"relay-{network_id}"
+        self._discovery = discovery
+        self._clock = clock or SystemClock()
+        self._rate_limiter = rate_limiter
+        self._drivers: dict[str, NetworkDriver] = {}
+        self.stats = RelayStats()
+        self.available = True  # toggled by availability experiments
+
+    def register_driver(self, driver: NetworkDriver) -> None:
+        """Attach a driver for a network this relay fronts (usually its own)."""
+        self._drivers[driver.network_id] = driver
+
+    # -- source side: serve incoming requests -----------------------------------
+
+    def _error_envelope(self, request_id: str, message: str, retryable: bool) -> bytes:
+        return RelayEnvelope(
+            version=PROTOCOL_VERSION,
+            kind=MSG_KIND_ERROR,
+            request_id=request_id,
+            source_network=self.network_id,
+            payload=message.encode("utf-8"),
+            headers={"retryable": "true" if retryable else "false"},
+        ).encode()
+
+    def handle_request(self, data: bytes) -> bytes:
+        """Serve one serialized request from a remote relay.
+
+        Always returns serialized bytes (an error envelope on failure) —
+        a remote relay cannot catch our exceptions across the wire.
+        Raises :class:`RelayUnavailableError` only to model a dead relay.
+        """
+        if not self.available:
+            raise RelayUnavailableError(f"relay {self.relay_id!r} is down")
+        if self._rate_limiter is not None and not self._rate_limiter.allow():
+            self.stats.requests_rejected += 1
+            return self._error_envelope("", "rate limit exceeded: request shed", True)
+        try:
+            envelope = RelayEnvelope.decode(data)
+        except Exception as exc:
+            self.stats.requests_failed += 1
+            return self._error_envelope("", f"undecodable envelope: {exc}", False)
+        if envelope.kind != MSG_KIND_QUERY_REQUEST:
+            self.stats.requests_failed += 1
+            return self._error_envelope(
+                envelope.request_id, f"unexpected message kind {envelope.kind}", False
+            )
+        try:
+            query = NetworkQuery.decode(envelope.payload)
+        except Exception as exc:
+            self.stats.requests_failed += 1
+            return self._error_envelope(
+                envelope.request_id, f"undecodable query: {exc}", False
+            )
+        target = query.address.network if query.address else ""
+        driver = self._drivers.get(target)
+        if driver is None:
+            self.stats.requests_failed += 1
+            return self._error_envelope(
+                envelope.request_id,
+                f"relay {self.relay_id!r} has no driver for network {target!r}",
+                False,
+            )
+        response = driver.execute_query(query)
+        self.stats.requests_served += 1
+        return RelayEnvelope(
+            version=PROTOCOL_VERSION,
+            kind=MSG_KIND_QUERY_RESPONSE,
+            request_id=envelope.request_id,
+            source_network=self.network_id,
+            destination_network=envelope.source_network,
+            payload=response.encode(),
+        ).encode()
+
+    # -- destination side: query remote networks -----------------------------------
+
+    def remote_query(self, query: NetworkQuery) -> QueryResponse:
+        """Send a query to the target network's relay(s) and return the reply.
+
+        Implements steps (2), (3) and (9) of the message flow: discovery
+        lookup, serialized forwarding, and response return — with failover
+        across redundant remote relays on transport failure or shedding.
+        """
+        if query.address is None or not query.address.network:
+            raise ProtocolError("query has no target network address")
+        target = query.address.network
+        endpoints = self._discovery.lookup(target)  # may raise DiscoveryError
+        request_id = random_id("req-")
+        envelope_bytes = RelayEnvelope(
+            version=PROTOCOL_VERSION,
+            kind=MSG_KIND_QUERY_REQUEST,
+            request_id=request_id,
+            source_network=self.network_id,
+            destination_network=target,
+            payload=query.encode(),
+        ).encode()
+        self.stats.queries_sent += 1
+        failures: list[str] = []
+        for position, endpoint in enumerate(endpoints):
+            if position > 0:
+                self.stats.failovers += 1
+            try:
+                reply_bytes = endpoint.handle_request(envelope_bytes)
+            except (RelayError, DoSError, DiscoveryError) as exc:
+                failures.append(str(exc))
+                continue
+            try:
+                reply = RelayEnvelope.decode(reply_bytes)
+            except Exception as exc:
+                failures.append(f"undecodable reply envelope: {exc}")
+                continue
+            if reply.kind == MSG_KIND_ERROR:
+                message = reply.payload.decode("utf-8", errors="replace")
+                if reply.headers.get("retryable") == "true":
+                    failures.append(message)
+                    continue
+                raise RelayError(
+                    f"relay for network {target!r} rejected the request: {message}"
+                )
+            if reply.kind != MSG_KIND_QUERY_RESPONSE:
+                failures.append(f"unexpected reply kind {reply.kind}")
+                continue
+            if reply.request_id != request_id:
+                failures.append(
+                    f"reply correlates to {reply.request_id!r}, expected "
+                    f"{request_id!r}"
+                )
+                continue
+            try:
+                return QueryResponse.decode(reply.payload)
+            except Exception as exc:
+                failures.append(f"undecodable query response: {exc}")
+                continue
+        raise RelayUnavailableError(
+            f"all {len(endpoints)} relay(s) for network {target!r} failed: "
+            + "; ".join(failures)
+        )

@@ -1,0 +1,55 @@
+"""Network-neutral interoperability protocol messages.
+
+These are the message schemas the relays exchange (paper §3.2): addressing
+of a network/ledger/contract/function, remote-query arguments, the
+verification policy the source relay must satisfy, authentication details
+of the requesting entity, and responses carrying data plus proof.
+
+Schemas are defined with :mod:`repro.wire`, the library's protobuf-style
+codec, so relay-to-relay traffic is honest-to-goodness serialized bytes.
+"""
+
+from repro.proto.address import CrossNetworkAddress, parse_address
+from repro.proto.messages import (
+    Attestation,
+    AuthInfo,
+    NetworkAddressMsg,
+    NetworkConfigMsg,
+    NetworkQuery,
+    OrganizationConfigMsg,
+    PeerConfigMsg,
+    ProofMetadata,
+    QueryResponse,
+    RelayEnvelope,
+    VerificationPolicyMsg,
+    PROTOCOL_VERSION,
+    MSG_KIND_QUERY_REQUEST,
+    MSG_KIND_QUERY_RESPONSE,
+    MSG_KIND_ERROR,
+    STATUS_OK,
+    STATUS_ACCESS_DENIED,
+    STATUS_ERROR,
+)
+
+__all__ = [
+    "CrossNetworkAddress",
+    "parse_address",
+    "NetworkQuery",
+    "QueryResponse",
+    "Attestation",
+    "AuthInfo",
+    "ProofMetadata",
+    "RelayEnvelope",
+    "NetworkAddressMsg",
+    "VerificationPolicyMsg",
+    "NetworkConfigMsg",
+    "OrganizationConfigMsg",
+    "PeerConfigMsg",
+    "PROTOCOL_VERSION",
+    "MSG_KIND_QUERY_REQUEST",
+    "MSG_KIND_QUERY_RESPONSE",
+    "MSG_KIND_ERROR",
+    "STATUS_OK",
+    "STATUS_ACCESS_DENIED",
+    "STATUS_ERROR",
+]

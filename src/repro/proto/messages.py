@@ -1,0 +1,192 @@
+"""Wire schemas for relay-to-relay communication.
+
+The field layout mirrors what §3.2 of the paper requires the protocol to
+carry: network/ledger/contract addressing, function arguments, a
+verification policy for the source relay to satisfy, authentication
+details of the requesting entity, and — in responses — the queried data
+along with a proof satisfying that policy.
+
+Proofs follow §4.3: each source peer contributes an
+``<encrypted result, encrypted metadata, signature>`` triple; the array of
+``<encrypted metadata, signature>`` pairs constitutes the proof.
+"""
+
+from __future__ import annotations
+
+from repro.wire import (
+    BoolField,
+    BytesField,
+    DoubleField,
+    MapField,
+    Message,
+    MessageField,
+    RepeatedBytesField,
+    RepeatedMessageField,
+    RepeatedStringField,
+    StringField,
+    UintField,
+)
+
+PROTOCOL_VERSION = 1
+
+# RelayEnvelope.kind values.
+MSG_KIND_QUERY_REQUEST = 1
+MSG_KIND_QUERY_RESPONSE = 2
+MSG_KIND_ERROR = 3
+
+# QueryResponse.status values.
+STATUS_OK = 0
+STATUS_ACCESS_DENIED = 1
+STATUS_ERROR = 2
+
+
+class NetworkAddressMsg(Message):
+    """Wire form of :class:`repro.proto.address.CrossNetworkAddress`."""
+
+    network = StringField(1)
+    ledger = StringField(2)
+    contract = StringField(3)
+    function = StringField(4)
+
+
+class VerificationPolicyMsg(Message):
+    """A verification policy as a portable expression string.
+
+    ``expression`` uses the policy algebra of
+    :mod:`repro.interop.policy`, e.g. ``AND(org:SellerOrg, org:CarrierOrg)``
+    — "proof from a peer in both the Seller and Carrier organizations"
+    (§4.3). Carrying the expression rather than a platform-specific
+    structure keeps the protocol network-neutral.
+    """
+
+    expression = StringField(1)
+
+
+class AuthInfo(Message):
+    """Authentication details of the requesting entity (§3.2).
+
+    ``certificate`` is the requesting client's member certificate issued by
+    its organization's MSP; ``public_key`` duplicates the encryption key so
+    source peers can encrypt without parsing the certificate format of a
+    foreign platform.
+    """
+
+    requesting_network = StringField(1)
+    requesting_org = StringField(2)
+    requestor = StringField(3)
+    certificate = BytesField(4)
+    public_key = BytesField(5)
+
+
+class NetworkQuery(Message):
+    """A cross-network query request (message-flow step 1)."""
+
+    version = UintField(1)
+    address = MessageField(2, NetworkAddressMsg)
+    args = RepeatedStringField(3)
+    nonce = StringField(4)
+    auth = MessageField(5, AuthInfo)
+    policy = MessageField(6, VerificationPolicyMsg)
+    confidential = BoolField(7)
+
+
+class ProofMetadata(Message):
+    """The metadata a source peer signs over a query result (§4.3).
+
+    Binds together the query (address + args + nonce), the result hash and
+    the responding peer's identity, so a signature over the encoded
+    metadata attests "this peer executed this query and got this result".
+    """
+
+    address = MessageField(1, NetworkAddressMsg)
+    args = RepeatedStringField(2)
+    nonce = StringField(3)
+    result_hash = BytesField(4)
+    peer_id = StringField(5)
+    org = StringField(6)
+    network = StringField(7)
+    timestamp = DoubleField(8)
+    result = BytesField(9)  # included so the proof is self-contained (§4.3)
+
+
+class Attestation(Message):
+    """One peer's contribution to a proof.
+
+    ``metadata_cipher`` is the ECIES encryption (under the requesting
+    client's public key) of the encoded :class:`ProofMetadata`;
+    ``signature`` is the peer's ECDSA signature over the *plaintext*
+    encoded metadata; ``certificate`` identifies the signer for validation
+    against the source network's recorded configuration. When
+    confidentiality is disabled, ``metadata_plain`` carries the metadata
+    unencrypted instead.
+    """
+
+    metadata_cipher = BytesField(1)
+    metadata_plain = BytesField(2)
+    signature = BytesField(3)
+    certificate = BytesField(4)
+    peer_id = StringField(5)
+    org = StringField(6)
+
+
+class QueryResponse(Message):
+    """A cross-network query response (message-flow step 8).
+
+    ``result_cipher`` is the query result encrypted with the requesting
+    client's public key; ``attestations`` is the proof. Errors carry a
+    status code plus human-readable detail.
+    """
+
+    version = UintField(1)
+    nonce = StringField(2)
+    status = UintField(3)
+    error = StringField(4)
+    result_cipher = BytesField(5)
+    result_plain = BytesField(6)
+    attestations = RepeatedMessageField(7, Attestation)
+
+
+class RelayEnvelope(Message):
+    """Framing for relay-to-relay transport.
+
+    Relays route on the envelope alone (kind + destination network) and
+    treat ``payload`` as opaque bytes — which is precisely what makes
+    tampering by a malicious relay detectable rather than preventable,
+    and why results and proofs are protected end-to-end.
+    """
+
+    version = UintField(1)
+    kind = UintField(2)
+    request_id = StringField(3)
+    source_network = StringField(4)
+    destination_network = StringField(5)
+    payload = BytesField(6)
+    headers = MapField(7)
+
+
+class PeerConfigMsg(Message):
+    """A foreign peer's identity record (shared network configuration)."""
+
+    peer_id = StringField(1)
+    org = StringField(2)
+    endpoint = StringField(3)
+    certificate = BytesField(4)
+
+
+class OrganizationConfigMsg(Message):
+    """A foreign organization's identity record: its MSP root certificate."""
+
+    org_id = StringField(1)
+    msp_id = StringField(2)
+    root_certificate = BytesField(3)
+    peers = RepeatedMessageField(4, PeerConfigMsg)
+
+
+class NetworkConfigMsg(Message):
+    """A foreign network's full configuration, recorded on the local ledger
+    by the Configuration Management contract (§3.3)."""
+
+    network_id = StringField(1)
+    platform = StringField(2)  # e.g. "fabric", "corda", "quorum"
+    organizations = RepeatedMessageField(3, OrganizationConfigMsg)
+    ledgers = RepeatedStringField(4)

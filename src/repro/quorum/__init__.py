@@ -1,0 +1,22 @@
+"""Quorum-like permissioned EVM-style substrate.
+
+A minimal account/contract platform for the paper's §5 generalization
+claim: "In Quorum, proof generation may require augmenting a peer to
+return a signed query response in addition to implementing our system
+contracts." Peers here carry identities and sign query responses; state
+evolves through proposer-signed blocks applied deterministically by every
+peer.
+"""
+
+from repro.quorum.contracts import DocumentRegistryContract, QuorumContract
+from repro.quorum.node import QuorumPeer
+from repro.quorum.network import QuorumBlock, QuorumNetwork, QuorumTransaction
+
+__all__ = [
+    "QuorumContract",
+    "DocumentRegistryContract",
+    "QuorumPeer",
+    "QuorumNetwork",
+    "QuorumBlock",
+    "QuorumTransaction",
+]

@@ -1,0 +1,87 @@
+"""Quorum-style contracts: deterministic state machines over a KV storage."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.errors import EVMError
+
+
+@dataclass
+class CallContext:
+    """Execution context a contract sees (who called, when)."""
+
+    sender: str
+    sender_org: str
+    timestamp: float
+
+
+class QuorumContract(ABC):
+    """A contract deployed at an address.
+
+    ``execute`` mutates storage (transaction functions); ``call`` must be
+    read-only (view functions). All peers run ``execute`` deterministically
+    when applying blocks.
+    """
+
+    address: str = ""
+
+    @abstractmethod
+    def execute(
+        self, function: str, args: list[str], storage: dict[str, bytes], ctx: CallContext
+    ) -> bytes:
+        """Apply a state-changing function."""
+
+    @abstractmethod
+    def call(
+        self, function: str, args: list[str], storage: dict[str, bytes], ctx: CallContext
+    ) -> bytes:
+        """Evaluate a read-only (view) function."""
+
+
+class DocumentRegistryContract(QuorumContract):
+    """A registry of business documents (the cross-network query target).
+
+    Functions:
+
+    - ``RegisterDocument(doc_id, content_json)`` (transaction)
+    - ``GetDocument(doc_id)`` (view)
+    - ``ListDocuments()`` (view)
+    """
+
+    address = "document-registry"
+
+    def execute(
+        self, function: str, args: list[str], storage: dict[str, bytes], ctx: CallContext
+    ) -> bytes:
+        if function == "RegisterDocument":
+            if len(args) != 2:
+                raise EVMError("RegisterDocument expects (doc_id, content_json)")
+            doc_id, content = args
+            key = f"doc/{doc_id}"
+            if key in storage:
+                raise EVMError(f"document {doc_id!r} already registered")
+            storage[key] = content.encode("utf-8")
+            storage[f"meta/{doc_id}"] = (
+                f"{ctx.sender}@{ctx.timestamp}".encode("utf-8")
+            )
+            return b"ok"
+        raise EVMError(f"unknown transaction function {function!r}")
+
+    def call(
+        self, function: str, args: list[str], storage: dict[str, bytes], ctx: CallContext
+    ) -> bytes:
+        if function == "GetDocument":
+            if len(args) != 1:
+                raise EVMError("GetDocument expects (doc_id,)")
+            value = storage.get(f"doc/{args[0]}")
+            if value is None:
+                raise EVMError(f"no document {args[0]!r}")
+            return value
+        if function == "ListDocuments":
+            doc_ids = sorted(
+                key[len("doc/"):] for key in storage if key.startswith("doc/")
+            )
+            return (",".join(doc_ids)).encode("utf-8")
+        raise EVMError(f"unknown view function {function!r}")

@@ -1,0 +1,195 @@
+"""The Quorum-like network: round-robin proposers, replicated blocks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.ecdsa import Signature, verify
+from repro.crypto.hashing import sha256
+from repro.errors import LedgerError, MembershipError
+from repro.fabric.identity import Identity, Organization
+from repro.quorum.contracts import CallContext, QuorumContract
+from repro.quorum.node import QuorumPeer
+from repro.proto.messages import NetworkConfigMsg, OrganizationConfigMsg, PeerConfigMsg
+from repro.utils.clock import Clock, SystemClock
+from repro.utils.encoding import canonical_json
+from repro.utils.ids import random_id
+
+
+@dataclass(frozen=True)
+class QuorumTransaction:
+    """A signed state-changing call."""
+
+    tx_id: str
+    address: str
+    function: str
+    args: tuple[str, ...]
+    sender: str
+    sender_org: str
+    timestamp: float
+
+    def to_bytes(self) -> bytes:
+        return canonical_json(
+            {
+                "tx_id": self.tx_id,
+                "address": self.address,
+                "function": self.function,
+                "args": list(self.args),
+                "sender": self.sender,
+                "sender_org": self.sender_org,
+                "timestamp": self.timestamp,
+            }
+        )
+
+
+@dataclass
+class QuorumBlock:
+    """A proposer-signed block."""
+
+    number: int
+    previous_hash: bytes
+    transactions: list[QuorumTransaction]
+    proposer: str
+    proposer_signature: bytes = b""
+
+    def signable_bytes(self) -> bytes:
+        return canonical_json(
+            {
+                "number": self.number,
+                "previous_hash": self.previous_hash.hex(),
+                "transactions": [tx.to_bytes().hex() for tx in self.transactions],
+                "proposer": self.proposer,
+            }
+        )
+
+    def hash(self) -> bytes:
+        return sha256(self.signable_bytes())
+
+
+class QuorumNetwork:
+    """Peers run by operator organizations; blocks rotate among proposers."""
+
+    def __init__(self, name: str, clock: Clock | None = None) -> None:
+        self.name = name
+        self.clock = clock or SystemClock()
+        self._orgs: dict[str, Organization] = {}
+        self._peers: list[QuorumPeer] = []
+        self._contracts: dict[str, QuorumContract] = {}
+        self.blocks: list[QuorumBlock] = []
+        self._next_proposer = 0
+
+    # -- membership --------------------------------------------------------------
+
+    def add_peer(self, peer_name: str, org_id: str) -> QuorumPeer:
+        org = self._orgs.get(org_id)
+        if org is None:
+            org = Organization(org_id, network=self.name)
+            self._orgs[org_id] = org
+        identity = org.enroll(peer_name, role="peer")
+        peer = QuorumPeer(identity)
+        for contract in self._contracts.values():
+            peer.deploy(contract)
+        self._peers.append(peer)
+        return peer
+
+    def enroll_client(self, name: str, org_id: str) -> Identity:
+        org = self._orgs.get(org_id)
+        if org is None:
+            raise MembershipError(f"no organization {org_id!r} in {self.name!r}")
+        return org.enroll(name, role="client")
+
+    @property
+    def peers(self) -> list[QuorumPeer]:
+        return list(self._peers)
+
+    def peer(self, peer_id: str) -> QuorumPeer:
+        for peer in self._peers:
+            if peer.peer_id == peer_id or peer.identity.name == peer_id:
+                return peer
+        raise MembershipError(f"quorum network {self.name!r} has no peer {peer_id!r}")
+
+    # -- contracts -----------------------------------------------------------------
+
+    def deploy_contract(self, contract: QuorumContract) -> None:
+        self._contracts[contract.address] = contract
+        for peer in self._peers:
+            peer.deploy(contract)
+
+    # -- block production --------------------------------------------------------------
+
+    def submit_transaction(
+        self, sender: Identity, address: str, function: str, args: list[str]
+    ) -> QuorumTransaction:
+        """Order one transaction into a block and apply it on every peer."""
+        if not self._peers:
+            raise LedgerError("network has no peers")
+        tx = QuorumTransaction(
+            tx_id=random_id("qtx-"),
+            address=address,
+            function=function,
+            args=tuple(args),
+            sender=sender.id,
+            sender_org=sender.org,
+            timestamp=self.clock.now(),
+        )
+        proposer = self._peers[self._next_proposer % len(self._peers)]
+        self._next_proposer += 1
+        previous_hash = self.blocks[-1].hash() if self.blocks else b""
+        block = QuorumBlock(
+            number=len(self.blocks),
+            previous_hash=previous_hash,
+            transactions=[tx],
+            proposer=proposer.peer_id,
+        )
+        block.proposer_signature = proposer.identity.sign(
+            block.signable_bytes()
+        ).to_bytes()
+        for peer in self._peers:
+            if not verify(
+                proposer.identity.keypair.public,
+                block.signable_bytes(),
+                Signature.from_bytes(block.proposer_signature),
+            ):
+                raise LedgerError("invalid proposer signature on block")
+            peer.apply_block(block)
+        self.blocks.append(block)
+        return tx
+
+    def view(
+        self, peer: QuorumPeer, sender: Identity, address: str, function: str, args: list[str]
+    ) -> bytes:
+        ctx = CallContext(
+            sender=sender.id, sender_org=sender.org, timestamp=self.clock.now()
+        )
+        return peer.view(address, function, args, ctx)
+
+    # -- interop configuration export ------------------------------------------------------
+
+    def export_config(self) -> NetworkConfigMsg:
+        organizations = []
+        for org_id in sorted(self._orgs):
+            org = self._orgs[org_id]
+            peers = [
+                PeerConfigMsg(
+                    peer_id=peer.peer_id,
+                    org=org_id,
+                    endpoint=f"sim://{self.name}/{peer.peer_id}",
+                    certificate=peer.identity.certificate.to_bytes(),
+                )
+                for peer in self._peers
+                if peer.org == org_id
+            ]
+            organizations.append(
+                OrganizationConfigMsg(
+                    org_id=org_id,
+                    msp_id=org.msp.msp_id,
+                    root_certificate=org.msp.root_certificate.to_bytes(),
+                    peers=peers,
+                )
+            )
+        return NetworkConfigMsg(
+            network_id=self.name,
+            platform="quorum",
+            organizations=organizations,
+            ledgers=["state"],
+        )

@@ -1,0 +1,77 @@
+"""Quorum peers: replicated contract state plus signed query responses."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import EVMError, LedgerError
+from repro.fabric.identity import Identity
+from repro.quorum.contracts import CallContext, QuorumContract
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.quorum.network import QuorumBlock
+
+
+class QuorumPeer:
+    """One Quorum node: contract storage replica + block validation.
+
+    The §5 interop augmentation is that a peer carries a network identity
+    and can sign query responses — here that identity is ``self.identity``
+    and signing happens through the shared attestation proof scheme in the
+    Quorum driver.
+    """
+
+    def __init__(self, identity: Identity) -> None:
+        self.identity = identity
+        self._storage: dict[str, dict[str, bytes]] = {}
+        self._contracts: dict[str, QuorumContract] = {}
+        self.block_height = 0
+        self.last_block_hash = b""
+
+    @property
+    def peer_id(self) -> str:
+        return self.identity.id
+
+    @property
+    def org(self) -> str:
+        return self.identity.org
+
+    def deploy(self, contract: QuorumContract) -> None:
+        if not contract.address:
+            raise EVMError("contract must declare an address")
+        self._contracts[contract.address] = contract
+        self._storage.setdefault(contract.address, {})
+
+    def _contract(self, address: str) -> QuorumContract:
+        contract = self._contracts.get(address)
+        if contract is None:
+            raise EVMError(f"no contract at address {address!r}")
+        return contract
+
+    def apply_block(self, block: "QuorumBlock") -> None:
+        """Validate chain linkage and apply every transaction."""
+        if block.number != self.block_height:
+            raise LedgerError(
+                f"peer {self.peer_id}: block {block.number} does not extend "
+                f"height {self.block_height}"
+            )
+        if block.number > 0 and block.previous_hash != self.last_block_hash:
+            raise LedgerError(f"peer {self.peer_id}: broken hash chain")
+        for tx in block.transactions:
+            contract = self._contract(tx.address)
+            ctx = CallContext(
+                sender=tx.sender, sender_org=tx.sender_org, timestamp=tx.timestamp
+            )
+            contract.execute(
+                tx.function, list(tx.args), self._storage[tx.address], ctx
+            )
+        self.block_height += 1
+        self.last_block_hash = block.hash()
+
+    def view(self, address: str, function: str, args: list[str], ctx: CallContext) -> bytes:
+        """Execute a read-only call against this peer's replica."""
+        contract = self._contract(address)
+        return contract.call(function, list(args), self._storage[address], ctx)
+
+    def storage_snapshot(self, address: str) -> dict[str, bytes]:
+        return dict(self._storage.get(address, {}))

@@ -1,0 +1,15 @@
+"""Simulation utilities: latency modeling, step metrics, SLOC accounting."""
+
+from repro.sim.latency import LatencyModel, LatencyProfile
+from repro.sim.metrics import StepTimer, format_table
+from repro.sim.sloc import count_sloc, interop_sloc_of, measure_adaptation
+
+__all__ = [
+    "LatencyModel",
+    "LatencyProfile",
+    "StepTimer",
+    "format_table",
+    "count_sloc",
+    "interop_sloc_of",
+    "measure_adaptation",
+]

@@ -1,0 +1,85 @@
+"""Step timing and table rendering for the experiment harnesses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.clock import Clock, SystemClock
+
+
+@dataclass
+class StepRecord:
+    name: str
+    seconds: float
+
+
+@dataclass
+class StepTimer:
+    """Records named step durations against any clock.
+
+    Usage::
+
+        timer = StepTimer(clock)
+        with timer.step("proof collection"):
+            ...
+        print(format_table(timer.rows()))
+    """
+
+    clock: Clock = field(default_factory=SystemClock)
+    records: list[StepRecord] = field(default_factory=list)
+
+    def step(self, name: str) -> "_StepContext":
+        return _StepContext(self, name)
+
+    def add(self, name: str, seconds: float) -> None:
+        self.records.append(StepRecord(name=name, seconds=seconds))
+
+    def total(self) -> float:
+        return sum(record.seconds for record in self.records)
+
+    def rows(self) -> list[tuple[str, str, str]]:
+        """(step, milliseconds, percent-of-total) rows for display."""
+        total = self.total() or 1.0
+        rows = []
+        for record in self.records:
+            rows.append(
+                (
+                    record.name,
+                    f"{record.seconds * 1000:.2f} ms",
+                    f"{100 * record.seconds / total:5.1f}%",
+                )
+            )
+        rows.append(("TOTAL", f"{self.total() * 1000:.2f} ms", "100.0%"))
+        return rows
+
+
+class _StepContext:
+    def __init__(self, timer: StepTimer, name: str) -> None:
+        self._timer = timer
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_StepContext":
+        self._start = self._timer.clock.now()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        elapsed = self._timer.clock.now() - self._start
+        self._timer.add(self._name, elapsed)
+
+
+def format_table(rows: list[tuple], headers: list[str] | None = None) -> str:
+    """Render rows (tuples of strings) as an aligned text table."""
+    if headers:
+        rows = [tuple(headers)] + [tuple(str(c) for c in row) for row in rows]
+    else:
+        rows = [tuple(str(c) for c in row) for row in rows]
+    if not rows:
+        return ""
+    widths = [max(len(row[i]) for row in rows) for i in range(len(rows[0]))]
+    lines = []
+    for index, row in enumerate(rows):
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+        if headers and index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)

@@ -1,0 +1,24 @@
+"""Shared low-level utilities: canonical encoding, identifiers, clocks."""
+
+from repro.utils.encoding import (
+    canonical_json,
+    from_canonical_json,
+    from_hex,
+    to_hex,
+    utf8,
+)
+from repro.utils.ids import deterministic_id, random_id
+from repro.utils.clock import Clock, SimulatedClock, SystemClock
+
+__all__ = [
+    "canonical_json",
+    "from_canonical_json",
+    "from_hex",
+    "to_hex",
+    "utf8",
+    "deterministic_id",
+    "random_id",
+    "Clock",
+    "SimulatedClock",
+    "SystemClock",
+]

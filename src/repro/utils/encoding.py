@@ -1,0 +1,47 @@
+"""Canonical byte encodings.
+
+Signatures and hashes in this library are always computed over *canonical*
+byte strings so that two peers serializing the same logical value sign the
+same bytes. Canonical JSON (sorted keys, no whitespace, UTF-8) plays the
+role that deterministic protobuf marshaling plays in Hyperledger Fabric.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+
+def utf8(text: str) -> bytes:
+    """Encode ``text`` as UTF-8 bytes."""
+    return text.encode("utf-8")
+
+
+def to_hex(data: bytes) -> str:
+    """Render ``data`` as a lowercase hex string."""
+    return data.hex()
+
+
+def from_hex(text: str) -> bytes:
+    """Parse a hex string produced by :func:`to_hex`."""
+    return bytes.fromhex(text)
+
+
+def canonical_json(value: Any) -> bytes:
+    """Serialize ``value`` to canonical JSON bytes.
+
+    Keys are sorted, separators carry no whitespace, and non-ASCII text is
+    escaped, so the output is byte-stable across platforms and Python
+    versions. Raises ``TypeError`` for values JSON cannot represent.
+    """
+    return json.dumps(
+        value,
+        sort_keys=True,
+        separators=(",", ":"),
+        ensure_ascii=True,
+    ).encode("utf-8")
+
+
+def from_canonical_json(data: bytes) -> Any:
+    """Parse bytes produced by :func:`canonical_json`."""
+    return json.loads(data.decode("utf-8"))

@@ -1,0 +1,36 @@
+"""Identifier helpers.
+
+Transaction ids, block hashes and nonces in the simulators are derived from
+SHA-256 so they are reproducible under a seeded RNG, while still being
+unique in practice.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+
+
+def random_id(prefix: str = "", nbytes: int = 16) -> str:
+    """Return a fresh random identifier, optionally prefixed.
+
+    Uses ``os.urandom`` — suitable for nonces and transaction ids where
+    unpredictability matters (e.g. replay protection).
+    """
+    token = os.urandom(nbytes).hex()
+    return f"{prefix}{token}" if prefix else token
+
+
+def deterministic_id(*parts: bytes | str, prefix: str = "", nbytes: int = 16) -> str:
+    """Derive a stable identifier from ``parts``.
+
+    Used where reproducibility matters more than unpredictability (block
+    hashes, composite keys). ``parts`` may mix ``str`` and ``bytes``.
+    """
+    digest = hashlib.sha256()
+    for part in parts:
+        raw = part.encode("utf-8") if isinstance(part, str) else part
+        digest.update(len(raw).to_bytes(8, "big"))
+        digest.update(raw)
+    token = digest.hexdigest()[: nbytes * 2]
+    return f"{prefix}{token}" if prefix else token

@@ -1,0 +1,48 @@
+"""Protobuf-style binary wire format.
+
+The paper's relays "communicate using a shared network-neutral protocol
+specified using Protocol Buffers which enables efficient wire
+communication" (§3.2). This package implements that serialization layer
+from scratch: varint/zig-zag primitives, a tag-length-value codec, and a
+declarative message-schema system with forward-compatible unknown-field
+handling.
+
+The concrete interop message schemas live in :mod:`repro.proto`.
+"""
+
+from repro.wire.varint import decode_varint, encode_varint, zigzag_decode, zigzag_encode
+from repro.wire.message import (
+    BoolField,
+    BytesField,
+    DoubleField,
+    Field,
+    MapField,
+    Message,
+    MessageField,
+    RepeatedBytesField,
+    RepeatedMessageField,
+    RepeatedStringField,
+    SintField,
+    StringField,
+    UintField,
+)
+
+__all__ = [
+    "encode_varint",
+    "decode_varint",
+    "zigzag_encode",
+    "zigzag_decode",
+    "Message",
+    "Field",
+    "UintField",
+    "SintField",
+    "BoolField",
+    "DoubleField",
+    "StringField",
+    "BytesField",
+    "MessageField",
+    "MapField",
+    "RepeatedStringField",
+    "RepeatedBytesField",
+    "RepeatedMessageField",
+]

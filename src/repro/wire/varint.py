@@ -1,0 +1,63 @@
+"""Varint and zig-zag integer encodings (protobuf-compatible).
+
+Unsigned integers are encoded 7 bits at a time, least-significant group
+first, with the high bit of each byte flagging continuation. Signed
+integers are zig-zag mapped first so small negative numbers stay small on
+the wire.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DecodeError
+
+MAX_VARINT_LEN = 10  # enough for a 64-bit value
+_UINT64_MASK = (1 << 64) - 1
+
+
+def encode_varint(value: int) -> bytes:
+    """Encode a non-negative integer (< 2**64) as a varint."""
+    if value < 0:
+        raise ValueError(f"varint cannot encode negative value {value}")
+    if value > _UINT64_MASK:
+        raise ValueError(f"varint value {value} exceeds 64 bits")
+    out = bytearray()
+    while True:
+        bits = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(bits | 0x80)
+        else:
+            out.append(bits)
+            return bytes(out)
+
+
+def decode_varint(data: bytes, offset: int = 0) -> tuple[int, int]:
+    """Decode a varint at ``offset``; return ``(value, next_offset)``."""
+    result = 0
+    shift = 0
+    position = offset
+    while True:
+        if position >= len(data):
+            raise DecodeError("truncated varint")
+        if position - offset >= MAX_VARINT_LEN:
+            raise DecodeError("varint longer than 10 bytes")
+        byte = data[position]
+        result |= (byte & 0x7F) << shift
+        position += 1
+        if not byte & 0x80:
+            if result > _UINT64_MASK:
+                raise DecodeError("varint overflows 64 bits")
+            return result, position
+        shift += 7
+
+
+def zigzag_encode(value: int) -> int:
+    """Map a signed 64-bit integer onto unsigned zig-zag space."""
+    if not (-(1 << 63) <= value < (1 << 63)):
+        raise ValueError(f"zig-zag value {value} outside signed 64-bit range")
+    return ((value << 1) ^ (value >> 63)) & _UINT64_MASK
+
+
+def zigzag_decode(value: int) -> int:
+    """Inverse of :func:`zigzag_encode`."""
+    return (value >> 1) ^ -(value & 1)

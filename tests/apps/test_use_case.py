@@ -1,0 +1,142 @@
+"""Tests for the STL/SWT chaincodes and the full Figure 3 use case."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.apps import run_full_use_case
+from repro.errors import EndorsementError
+
+
+class TestStlLifecycle:
+    def test_full_shipment_lifecycle(self, trade_scenario):
+        scenario = trade_scenario
+        shipment = scenario.stl_seller_app.create_shipment("PO-1", "widgets")
+        assert shipment["status"] == "CREATED"
+        assert scenario.carrier_app.accept_shipment("PO-1")["status"] == "ACCEPTED"
+        assert scenario.carrier_app.record_handover("PO-1")["status"] == "IN_POSSESSION"
+        bl = scenario.carrier_app.issue_bill_of_lading("PO-1", "MV X")
+        assert bl["bl_id"] == "BL-PO-1"
+        assert scenario.stl_seller_app.get_shipment("PO-1")["status"] == "BL_ISSUED"
+
+    def test_only_seller_creates(self, trade_scenario):
+        with pytest.raises(EndorsementError, match="seller-org"):
+            trade_scenario.carrier_app._submit("CreateShipment", ["PO-X", "g"])
+
+    def test_only_carrier_accepts(self, trade_scenario):
+        trade_scenario.stl_seller_app.create_shipment("PO-1", "g")
+        with pytest.raises(EndorsementError, match="carrier-org"):
+            trade_scenario.stl_seller_app._submit("AcceptShipment", ["PO-1"])
+
+    def test_duplicate_shipment_rejected(self, trade_scenario):
+        trade_scenario.stl_seller_app.create_shipment("PO-1", "g")
+        with pytest.raises(EndorsementError, match="already exists"):
+            trade_scenario.stl_seller_app.create_shipment("PO-1", "g")
+
+    def test_bl_requires_possession(self, trade_scenario):
+        trade_scenario.stl_seller_app.create_shipment("PO-1", "g")
+        trade_scenario.carrier_app.accept_shipment("PO-1")
+        with pytest.raises(EndorsementError, match="possession"):
+            trade_scenario.carrier_app.issue_bill_of_lading("PO-1", "MV X")
+
+    def test_status_transitions_enforced(self, trade_scenario):
+        trade_scenario.stl_seller_app.create_shipment("PO-1", "g")
+        with pytest.raises(EndorsementError, match="cannot hand over"):
+            trade_scenario.carrier_app.record_handover("PO-1")
+
+
+class TestSwtLifecycle:
+    def test_lc_request_and_issue(self, trade_scenario):
+        lc = trade_scenario.buyer_app.request_lc("PO-1", "b", "s", 500.0)
+        assert lc["status"] == "REQUESTED"
+        lc = trade_scenario.buyer_bank_app.issue_lc("PO-1")
+        assert lc["status"] == "ISSUED"
+        assert lc["issuing_bank"] == "buyer-bank-org"
+
+    def test_amount_validation(self, trade_scenario):
+        with pytest.raises(EndorsementError, match="positive"):
+            trade_scenario.buyer_app.request_lc("PO-1", "b", "s", -5.0)
+        with pytest.raises(EndorsementError, match="not a number"):
+            trade_scenario.buyer_app._submit("RequestLC", ["PO-2", "b", "s", "NaN-ish"])
+
+    def test_only_buyer_bank_issues(self, trade_scenario):
+        trade_scenario.buyer_app.request_lc("PO-1", "b", "s", 500.0)
+        with pytest.raises(EndorsementError, match="buyer-bank-org"):
+            trade_scenario.seller_bank_app._submit("IssueLC", ["PO-1"])
+
+    def test_payment_requires_docs(self, trade_scenario):
+        trade_scenario.buyer_app.request_lc("PO-1", "b", "s", 500.0)
+        trade_scenario.buyer_bank_app.issue_lc("PO-1")
+        with pytest.raises(EndorsementError, match="uploaded dispatch docs"):
+            trade_scenario.seller_bank_app.request_payment("PO-1")
+
+    def test_docs_upload_requires_issued_lc(self, shipped_scenario):
+        scenario, po_ref = shipped_scenario
+        fetched = scenario.swt_seller_client.fetch_bill_of_lading(po_ref)
+        scenario.swt_seller_client.upload_dispatch_docs(po_ref, fetched)
+        # Second upload: L/C no longer in ISSUED state.
+        fetched2 = scenario.swt_seller_client.fetch_bill_of_lading(po_ref)
+        with pytest.raises(EndorsementError, match="cannot upload"):
+            scenario.swt_seller_client.upload_dispatch_docs(po_ref, fetched2)
+
+    def test_bl_po_ref_must_match(self, shipped_scenario):
+        scenario, po_ref = shipped_scenario
+        fetched = scenario.swt_seller_client.fetch_bill_of_lading(po_ref)
+        scenario.buyer_app.request_lc("PO-OTHER", "b", "s", 10.0)
+        scenario.buyer_bank_app.issue_lc("PO-OTHER")
+        with pytest.raises(EndorsementError, match="references"):
+            scenario.swt.gateway.submit(
+                scenario.swt.org("seller-bank-org").member("seller"),
+                "WeTradeCC",
+                "UploadDispatchDocs",
+                ["PO-OTHER", fetched.data.decode(), fetched.nonce, fetched.proof_json],
+            )
+
+
+class TestFullUseCase:
+    def test_ten_steps_complete(self, completed_use_case):
+        scenario, result = completed_use_case
+        assert result.final_lc["status"] == "PAID"
+        assert len(result.steps) == 11
+        assert result.bill_of_lading["bl_id"] == "BL-PO-MODULE-001"
+
+    def test_dispatch_docs_stored_on_swt_ledger(self, completed_use_case):
+        scenario, result = completed_use_case
+        seller = scenario.swt.org("seller-bank-org").member("seller")
+        raw = scenario.swt.gateway.evaluate(
+            seller, "WeTradeCC", "GetDispatchDocs", [result.po_ref]
+        )
+        assert json.loads(raw)["bl_id"] == result.bill_of_lading["bl_id"]
+
+    def test_ledgers_consistent_across_peers(self, completed_use_case):
+        scenario, _ = completed_use_case
+        for network in (scenario.stl, scenario.swt):
+            snapshots = [peer.state.snapshot() for peer in network.peers]
+            assert all(snapshot == snapshots[0] for snapshot in snapshots)
+            assert all(peer.ledger.verify_chain() for peer in network.peers)
+
+    def test_use_case_repeatable_with_new_po(self, completed_use_case):
+        scenario, _ = completed_use_case
+        result = run_full_use_case(scenario, po_ref="PO-MODULE-002")
+        assert result.final_lc["status"] == "PAID"
+
+    def test_non_confidential_variant(self, trade_scenario):
+        result = run_full_use_case(
+            trade_scenario, po_ref="PO-PLAIN", confidential=False
+        )
+        assert result.final_lc["status"] == "PAID"
+
+    def test_chaincode_events_emitted(self, completed_use_case):
+        scenario, result = completed_use_case
+        names = [event.name for event in scenario.swt.event_hub.history]
+        for expected in ("LCRequested", "LCIssued", "DispatchDocsUploaded", "PaymentMade"):
+            assert expected in names
+
+    def test_glossary_renders(self):
+        from repro.apps.glossary import GLOSSARY, render_glossary
+
+        text = render_glossary()
+        for acronym, _ in GLOSSARY:
+            assert acronym in text

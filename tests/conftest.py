@@ -1,0 +1,41 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import build_trade_scenario, run_full_use_case
+from repro.crypto.keys import generate_keypair
+
+
+@pytest.fixture(scope="session")
+def session_keypair():
+    """One deterministic key pair for read-only crypto assertions."""
+    return generate_keypair(seed=b"test-suite")
+
+
+@pytest.fixture()
+def trade_scenario():
+    """A freshly-assembled STL+SWT interop scenario (mutable per test)."""
+    return build_trade_scenario()
+
+
+@pytest.fixture()
+def shipped_scenario(trade_scenario):
+    """A scenario advanced to 'B/L issued and L/C issued' (pre step 9)."""
+    po_ref = "PO-TEST-001"
+    trade_scenario.buyer_app.request_lc(po_ref, "buyer-corp", "seller-corp", 1000.0)
+    trade_scenario.buyer_bank_app.issue_lc(po_ref)
+    trade_scenario.stl_seller_app.create_shipment(po_ref, "test goods")
+    trade_scenario.carrier_app.accept_shipment(po_ref)
+    trade_scenario.carrier_app.record_handover(po_ref)
+    trade_scenario.carrier_app.issue_bill_of_lading(po_ref, vessel="MV Test")
+    return trade_scenario, po_ref
+
+
+@pytest.fixture(scope="module")
+def completed_use_case():
+    """A full use-case run (module-scoped: read-only assertions only)."""
+    scenario = build_trade_scenario()
+    result = run_full_use_case(scenario, po_ref="PO-MODULE-001")
+    return scenario, result

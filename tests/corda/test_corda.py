@@ -1,0 +1,155 @@
+"""Tests for the Corda-like substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corda import CordaNetwork, CordaTransaction, LinearState, StateRef
+from repro.errors import LedgerError, MembershipError, NotaryError
+
+
+@pytest.fixture()
+def network():
+    net = CordaNetwork("corda-test")
+    net.add_node("alice")
+    net.add_node("bob")
+    net.add_node("carol")
+    return net
+
+
+def doc_state(linear_id: str, participants, version=1) -> LinearState:
+    return LinearState(
+        linear_id=linear_id,
+        kind="doc",
+        data={"version": version},
+        participants=tuple(participants),
+    )
+
+
+class TestStatesAndVaults:
+    def test_issue_state_lands_in_participant_vaults(self, network):
+        alice = network.node("alice")
+        tx = alice.propose([], [doc_state("D1", ["alice", "bob"])], "Issue")
+        assert tx.notary_signature is not None
+        assert network.node("bob").vault_states("doc")
+        assert not network.node("carol").vault_states("doc")
+
+    def test_update_consumes_previous_state(self, network):
+        alice = network.node("alice")
+        tx1 = alice.propose([], [doc_state("D1", ["alice", "bob"])], "Issue")
+        ref = tx1.output_ref(0)
+        alice.propose([ref], [doc_state("D1", ["alice", "bob"], version=2)], "Update")
+        _, state = network.node("bob").lookup("D1")
+        assert state.data["version"] == 2
+
+    def test_lookup_missing_state(self, network):
+        with pytest.raises(LedgerError, match="no unconsumed state"):
+            network.node("alice").lookup("GHOST")
+
+    def test_unknown_node(self, network):
+        with pytest.raises(MembershipError):
+            network.node("mallory")
+
+    def test_duplicate_node_rejected(self, network):
+        with pytest.raises(MembershipError):
+            network.add_node("alice")
+
+
+class TestSignaturesAndNotary:
+    def test_all_participants_sign(self, network):
+        alice = network.node("alice")
+        tx = alice.propose([], [doc_state("D1", ["alice", "bob", "carol"])], "Issue")
+        assert set(tx.signatures) == {"alice", "bob", "carol"}
+        for name in tx.signatures:
+            node = network.node(name)
+            assert tx.verify_signature(name, node.identity.keypair.public)
+
+    def test_notary_signature_verifies(self, network):
+        alice = network.node("alice")
+        tx = alice.propose([], [doc_state("D1", ["alice"])], "Issue")
+        assert network.notary.verify_notarization(tx)
+
+    def test_double_spend_rejected(self, network):
+        alice = network.node("alice")
+        tx1 = alice.propose([], [doc_state("D1", ["alice", "bob"])], "Issue")
+        ref = tx1.output_ref(0)
+        alice.propose([ref], [doc_state("D1", ["alice", "bob"], 2)], "Update")
+        spend_again = CordaTransaction(
+            inputs=[ref],
+            outputs=[doc_state("D1", ["alice"], 3)],
+            command="Update",
+            proposer="alice",
+            required_signers=["alice"],
+        )
+        spend_again.add_signature(
+            "alice", alice.identity.sign(spend_again.signable_bytes()).to_bytes()
+        )
+        with pytest.raises(NotaryError, match="double spend"):
+            network.notary.notarize(spend_again)
+
+    def test_notary_requires_full_signatures(self, network):
+        tx = CordaTransaction(
+            inputs=[],
+            outputs=[doc_state("D2", ["alice", "bob"])],
+            command="Issue",
+            proposer="alice",
+            required_signers=["alice", "bob"],
+        )
+        with pytest.raises(LedgerError, match="missing signatures"):
+            network.notary.notarize(tx)
+
+    def test_contract_verifier_enforced(self, network):
+        def only_v1(inputs, outputs, command):
+            for output in outputs:
+                if output.data.get("version") != 1:
+                    raise LedgerError("contract: only version 1 may be issued")
+
+        network.register_contract("Issue", only_v1)
+        alice = network.node("alice")
+        with pytest.raises(LedgerError, match="only version 1"):
+            alice.propose([], [doc_state("D1", ["alice"], version=9)], "Issue")
+        alice.propose([], [doc_state("D1", ["alice"], version=1)], "Issue")
+
+
+class TestTransactions:
+    def test_tx_id_depends_on_content(self, network):
+        tx_a = CordaTransaction(
+            inputs=[], outputs=[doc_state("A", ["alice"])], command="Issue",
+            proposer="alice", required_signers=["alice"],
+        )
+        tx_b = CordaTransaction(
+            inputs=[], outputs=[doc_state("B", ["alice"])], command="Issue",
+            proposer="alice", required_signers=["alice"],
+        )
+        assert tx_a.tx_id != tx_b.tx_id
+
+    def test_output_ref_bounds(self, network):
+        tx = CordaTransaction(
+            inputs=[], outputs=[doc_state("A", ["alice"])], command="Issue",
+            proposer="alice", required_signers=["alice"],
+        )
+        assert tx.output_ref(0) == StateRef(tx.tx_id, 0)
+        with pytest.raises(LedgerError):
+            tx.output_ref(1)
+
+    def test_resolve_inputs_unknown_tx(self, network):
+        tx = CordaTransaction(
+            inputs=[StateRef("ghost-tx", 0)],
+            outputs=[],
+            command="Consume",
+            proposer="alice",
+            required_signers=["alice"],
+        )
+        with pytest.raises(LedgerError, match="unknown input"):
+            network.resolve_inputs(tx)
+
+
+class TestConfigExport:
+    def test_export_includes_all_nodes_and_notary(self, network):
+        config = network.export_config()
+        org_ids = {org.org_id for org in config.organizations}
+        assert org_ids == {"alice", "bob", "carol", "notary-org"}
+        assert config.platform == "corda"
+        for org in config.organizations:
+            assert org.root_certificate
+            assert len(org.peers) == 1

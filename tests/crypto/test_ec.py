@@ -1,0 +1,114 @@
+"""Tests for P-256 curve arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto import ec
+from repro.errors import InvalidKeyError
+
+scalars = st.integers(min_value=1, max_value=ec.N - 1)
+
+
+class TestCurveBasics:
+    def test_generator_is_on_curve(self):
+        assert ec.is_on_curve(ec.GENERATOR)
+
+    def test_infinity_is_on_curve(self):
+        assert ec.is_on_curve(None)
+
+    def test_off_curve_point_rejected(self):
+        assert not ec.is_on_curve((1, 1))
+
+    def test_out_of_range_coordinates_rejected(self):
+        assert not ec.is_on_curve((ec.P + 1, 2))
+
+    def test_generator_has_order_n(self):
+        assert ec.scalar_mult(ec.N) is None
+
+    def test_known_scalar_multiple(self):
+        # 2G for P-256 (published test value).
+        point = ec.scalar_mult(2)
+        assert point is not None
+        assert point[0] == int(
+            "7CF27B188D034F7E8A52380304B51AC3C08969E277F21B35A60B48FC47669978", 16
+        )
+        assert point[1] == int(
+            "07775510DB8ED040293D9AC69F7430DBBA7DADE63CE982299E04B79D227873D1", 16
+        )
+
+
+class TestGroupLaws:
+    def test_add_identity(self):
+        assert ec.point_add(ec.GENERATOR, None) == ec.GENERATOR
+        assert ec.point_add(None, ec.GENERATOR) == ec.GENERATOR
+
+    def test_add_inverse_is_infinity(self):
+        assert ec.point_add(ec.GENERATOR, ec.point_neg(ec.GENERATOR)) is None
+
+    def test_double_matches_add(self):
+        assert ec.point_double(ec.GENERATOR) == ec.point_add(
+            ec.GENERATOR, ec.GENERATOR
+        )
+
+    def test_associativity_sample(self):
+        p2 = ec.scalar_mult(2)
+        p3 = ec.scalar_mult(3)
+        left = ec.point_add(ec.point_add(ec.GENERATOR, p2), p3)
+        right = ec.point_add(ec.GENERATOR, ec.point_add(p2, p3))
+        assert left == right
+
+    @settings(max_examples=20, deadline=None)
+    @given(a=scalars, b=scalars)
+    def test_scalar_mult_distributes_over_addition(self, a, b):
+        combined = ec.scalar_mult((a + b) % ec.N)
+        separate = ec.point_add(ec.scalar_mult(a), ec.scalar_mult(b))
+        assert combined == separate
+
+    @settings(max_examples=10, deadline=None)
+    @given(k=scalars)
+    def test_scalar_mult_results_stay_on_curve(self, k):
+        assert ec.is_on_curve(ec.scalar_mult(k))
+
+    def test_scalar_mult_zero_is_infinity(self):
+        assert ec.scalar_mult(0) is None
+
+    def test_scalar_mult_rejects_off_curve_point(self):
+        with pytest.raises(InvalidKeyError):
+            ec.scalar_mult(2, (1, 1))
+
+
+class TestEncoding:
+    def test_roundtrip(self):
+        encoded = ec.encode_point(ec.GENERATOR)
+        assert len(encoded) == 65
+        assert encoded[0] == 0x04
+        assert ec.decode_point(encoded) == ec.GENERATOR
+
+    def test_cannot_encode_infinity(self):
+        with pytest.raises(InvalidKeyError):
+            ec.encode_point(None)
+
+    def test_decode_rejects_wrong_length(self):
+        with pytest.raises(InvalidKeyError):
+            ec.decode_point(b"\x04" + b"\x00" * 10)
+
+    def test_decode_rejects_wrong_prefix(self):
+        encoded = bytearray(ec.encode_point(ec.GENERATOR))
+        encoded[0] = 0x02
+        with pytest.raises(InvalidKeyError):
+            ec.decode_point(bytes(encoded))
+
+    def test_decode_rejects_off_curve(self):
+        bogus = b"\x04" + (5).to_bytes(32, "big") + (7).to_bytes(32, "big")
+        with pytest.raises(InvalidKeyError):
+            ec.decode_point(bogus)
+
+    def test_inverse_mod(self):
+        for value in (1, 2, 12345, ec.N - 1):
+            assert (value * ec.inverse_mod(value, ec.N)) % ec.N == 1
+
+    def test_inverse_of_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            ec.inverse_mod(0, ec.P)

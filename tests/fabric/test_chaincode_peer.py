@@ -1,0 +1,278 @@
+"""Tests for the chaincode runtime, endorsement, and commit validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ChaincodeError, EndorsementError
+from repro.fabric import Chaincode, NetworkBuilder
+from repro.fabric.chaincode import require_args
+from repro.fabric.ledger import Block, TxValidationCode
+from repro.fabric.peer import Proposal
+
+
+class CounterChaincode(Chaincode):
+    """Test chaincode: counters with events, transient echo, cc2cc calls."""
+
+    name = "counter"
+
+    def invoke(self, stub):
+        if stub.function == "init":
+            return b"ok"
+        if stub.function == "increment":
+            (key,) = require_args(stub, 1)
+            raw = stub.get_state(key)
+            value = int(raw) + 1 if raw else 1
+            stub.put_state(key, str(value).encode())
+            stub.set_event("incremented", key.encode())
+            return str(value).encode()
+        if stub.function == "get":
+            (key,) = require_args(stub, 1)
+            raw = stub.get_state(key)
+            if raw is None:
+                raise ChaincodeError(f"no counter {key!r}")
+            return raw
+        if stub.function == "whoami":
+            creator = stub.get_creator()
+            return creator.subject.common_name.encode()
+        if stub.function == "echo_transient":
+            value = stub.get_transient("secret")
+            return value or b"(none)"
+        if stub.function == "scan":
+            prefix_pairs = stub.get_state_by_range("", "")
+            return str(len(prefix_pairs)).encode()
+        if stub.function == "call_helper":
+            return stub.invoke_chaincode("helper", "shout", stub.args)
+        if stub.function == "recurse":
+            return stub.invoke_chaincode("counter", "recurse", [])
+        raise ChaincodeError(f"unknown function {stub.function!r}")
+
+
+class HelperChaincode(Chaincode):
+    name = "helper"
+
+    def invoke(self, stub):
+        if stub.function == "init":
+            return b"ok"
+        if stub.function == "shout":
+            stub.put_state("called", b"yes")
+            return (" ".join(stub.args)).upper().encode()
+        raise ChaincodeError(f"unknown function {stub.function!r}")
+
+
+@pytest.fixture()
+def network():
+    net = (
+        NetworkBuilder("cc-test")
+        .add_org("org1")
+        .add_org("org2")
+        .add_peer("peer0", "org1")
+        .add_peer("peer0", "org2")
+        .add_client("app", "org1")
+        .build()
+    )
+    app = net.org("org1").member("app")
+    net.deploy_chaincode(CounterChaincode(), "AND('org1.peer', 'org2.peer')", initializer=app)
+    net.deploy_chaincode(HelperChaincode(), "OR('org1.peer', 'org2.peer')", initializer=app)
+    return net
+
+
+@pytest.fixture()
+def app(network):
+    return network.org("org1").member("app")
+
+
+class TestChaincodeRuntime:
+    def test_submit_and_query(self, network, app):
+        result = network.gateway.submit(app, "counter", "increment", ["c1"])
+        assert result.committed
+        assert network.gateway.evaluate(app, "counter", "get", ["c1"]) == b"1"
+
+    def test_increments_accumulate(self, network, app):
+        for expected in (b"1", b"2", b"3"):
+            result = network.gateway.submit(app, "counter", "increment", ["c"])
+            assert result.result == expected
+
+    def test_creator_visible_to_chaincode(self, network, app):
+        assert network.gateway.evaluate(app, "counter", "whoami", []) == b"app"
+
+    def test_transient_data_passed(self, network, app):
+        result = network.gateway.evaluate(
+            app, "counter", "echo_transient", [], transient={"secret": b"s3cret"}
+        )
+        assert result == b"s3cret"
+
+    def test_transient_not_on_ledger(self, network, app):
+        network.gateway.submit(app, "counter", "increment", ["k"], transient={"secret": b"s3cret"})
+        for peer in network.peers:
+            for block in peer.ledger.blocks():
+                assert b"s3cret" not in block.transactions[0].to_bytes()
+
+    def test_chaincode_to_chaincode(self, network, app):
+        result = network.gateway.submit(app, "counter", "call_helper", ["hello", "world"])
+        assert result.result == b"HELLO WORLD"
+        # the callee's write landed under the callee's namespace
+        assert network.gateway.evaluate(app, "helper", "shout", ["x"]) == b"X"
+        entry = network.peers[0].state.get("helper\x00called")
+        assert entry is not None and entry.value == b"yes"
+
+    def test_recursion_depth_limited(self, network, app):
+        with pytest.raises(EndorsementError, match="call depth"):
+            network.gateway.submit(app, "counter", "recurse", [])
+
+    def test_unknown_function_fails_endorsement(self, network, app):
+        with pytest.raises(EndorsementError, match="unknown function"):
+            network.gateway.submit(app, "counter", "nope", [])
+
+    def test_wrong_arg_count_fails(self, network, app):
+        with pytest.raises(EndorsementError, match="expects 1 argument"):
+            network.gateway.submit(app, "counter", "increment", [])
+
+    def test_events_delivered_after_commit(self, network, app):
+        seen = []
+        network.event_hub.on_chaincode_event("counter", "incremented", seen.append)
+        network.gateway.submit(app, "counter", "increment", ["ev"])
+        assert len(seen) == 1
+        assert seen[0].payload == b"ev"
+
+    def test_chaincode_must_declare_name(self, network):
+        class Nameless(Chaincode):
+            def invoke(self, stub):
+                return b""
+
+        with pytest.raises(ChaincodeError):
+            network.peers[0].install_chaincode(Nameless())
+
+
+class TestCommitValidation:
+    def test_all_peers_converge(self, network, app):
+        for index in range(5):
+            network.gateway.submit(app, "counter", "increment", [f"k{index}"])
+        snapshots = [peer.state.snapshot() for peer in network.peers]
+        assert all(snapshot == snapshots[0] for snapshot in snapshots)
+        assert all(peer.ledger.verify_chain() for peer in network.peers)
+
+    def test_mvcc_conflict_within_block(self, network, app):
+        """Two txs reading+writing the same key in one block: second invalidated."""
+        peer_a = network.peers[0]
+        peer_b = network.peers[1]
+        proposals = []
+        for tag in ("tx-a", "tx-b"):
+            proposal = Proposal(
+                tx_id=tag,
+                channel="main",
+                chaincode="counter",
+                function="increment",
+                args=("shared",),
+                creator=app.certificate.to_bytes(),
+            )
+            responses = [peer_a.endorse(proposal), peer_b.endorse(proposal)]
+            proposals.append((proposal, responses))
+        from repro.fabric.ledger import Transaction
+
+        txs = []
+        for proposal, responses in proposals:
+            first = responses[0]
+            txs.append(
+                Transaction(
+                    tx_id=proposal.tx_id,
+                    channel=proposal.channel,
+                    chaincode=proposal.chaincode,
+                    function=proposal.function,
+                    args=list(proposal.args),
+                    creator=proposal.creator,
+                    rwset=first.rwset,
+                    result=first.result,
+                    endorsements=[r.endorsement for r in responses],
+                )
+            )
+        block = Block(
+            number=peer_a.ledger.height,
+            previous_hash=peer_a.ledger.last_hash(),
+            transactions=txs,
+        )
+        codes = peer_a.commit_block(block)
+        assert codes == [TxValidationCode.VALID, TxValidationCode.MVCC_READ_CONFLICT]
+        assert peer_a.state.get("counter\x00shared").value == b"1"
+
+    def test_endorsement_policy_failure(self, network, app):
+        """A tx endorsed by only one org fails the AND policy at commit."""
+        peer_a = network.peers[0]
+        proposal = Proposal(
+            tx_id="underendorsed",
+            channel="main",
+            chaincode="counter",
+            function="increment",
+            args=("k",),
+            creator=app.certificate.to_bytes(),
+        )
+        response = peer_a.endorse(proposal)
+        from repro.fabric.ledger import Transaction
+
+        tx = Transaction(
+            tx_id=proposal.tx_id,
+            channel="main",
+            chaincode="counter",
+            function="increment",
+            args=["k"],
+            creator=proposal.creator,
+            rwset=response.rwset,
+            result=response.result,
+            endorsements=[response.endorsement],
+        )
+        block = Block(
+            number=peer_a.ledger.height,
+            previous_hash=peer_a.ledger.last_hash(),
+            transactions=[tx],
+        )
+        codes = peer_a.commit_block(block)
+        assert codes == [TxValidationCode.ENDORSEMENT_POLICY_FAILURE]
+
+    def test_tampered_result_invalidates_signature(self, network, app):
+        peer_a, peer_b = network.peers[0], network.peers[1]
+        proposal = Proposal(
+            tx_id="tampered",
+            channel="main",
+            chaincode="counter",
+            function="increment",
+            args=("k",),
+            creator=app.certificate.to_bytes(),
+        )
+        responses = [peer_a.endorse(proposal), peer_b.endorse(proposal)]
+        from repro.fabric.ledger import Transaction
+
+        tx = Transaction(
+            tx_id="tampered",
+            channel="main",
+            chaincode="counter",
+            function="increment",
+            args=["k"],
+            creator=proposal.creator,
+            rwset=responses[0].rwset,
+            result=b"FORGED",  # differs from what endorsers signed
+            endorsements=[r.endorsement for r in responses],
+        )
+        block = Block(
+            number=peer_a.ledger.height,
+            previous_hash=peer_a.ledger.last_hash(),
+            transactions=[tx],
+        )
+        codes = peer_a.commit_block(block)
+        assert codes == [TxValidationCode.BAD_SIGNATURE]
+
+    def test_duplicate_txid_rejected(self, network, app):
+        result = network.gateway.submit(app, "counter", "increment", ["dup"])
+        peer = network.peers[0]
+        committed, _ = peer.ledger.get_transaction(result.tx_id)
+        block = Block(
+            number=peer.ledger.height,
+            previous_hash=peer.ledger.last_hash(),
+            transactions=[committed],
+        )
+        codes = peer.commit_block(block)
+        assert codes == [TxValidationCode.DUPLICATE_TXID]
+
+    def test_endorsement_counts_tracked(self, network, app):
+        before = network.peers[0].endorsement_count
+        network.gateway.submit(app, "counter", "increment", ["stat"])
+        assert network.peers[0].endorsement_count == before + 1

@@ -1,0 +1,115 @@
+"""Tests for event delivery and channel configuration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.certs import CertificateAuthority
+from repro.errors import CertificateError, MembershipError
+from repro.fabric.channel import ChannelConfig
+from repro.fabric.events import BlockEvent, ChaincodeEvent, EventHub
+from repro.fabric.identity import Organization
+from repro.fabric.ledger import Block, Transaction, TxValidationCode
+from repro.fabric.policy import parse_endorsement_policy
+from repro.fabric.state import ReadWriteSet
+
+
+def _block_with_events(valid: bool = True) -> Block:
+    tx = Transaction(
+        tx_id="t1",
+        channel="main",
+        chaincode="cc",
+        function="fn",
+        args=[],
+        creator=b"",
+        rwset=ReadWriteSet(),
+        result=b"",
+        endorsements=[],
+        events=[("cc", "Created", b"payload")],
+    )
+    block = Block(number=0, previous_hash=b"\x00" * 32, transactions=[tx])
+    block.validation_codes = [
+        TxValidationCode.VALID if valid else TxValidationCode.MVCC_READ_CONFLICT
+    ]
+    return block
+
+
+class TestEventHub:
+    def test_block_events_delivered(self):
+        hub = EventHub()
+        seen: list[BlockEvent] = []
+        hub.on_block(seen.append)
+        hub.publish_block(_block_with_events(), "main")
+        assert len(seen) == 1
+        assert seen[0].tx_ids == ("t1",)
+        assert seen[0].validation_codes == (TxValidationCode.VALID,)
+
+    def test_chaincode_event_name_filter(self):
+        hub = EventHub()
+        created: list[ChaincodeEvent] = []
+        other: list[ChaincodeEvent] = []
+        hub.on_chaincode_event("cc", "Created", created.append)
+        hub.on_chaincode_event("cc", "Deleted", other.append)
+        hub.publish_block(_block_with_events(), "main")
+        assert len(created) == 1 and not other
+        assert created[0].payload == b"payload"
+
+    def test_wildcard_subscription(self):
+        hub = EventHub()
+        seen: list[ChaincodeEvent] = []
+        hub.on_chaincode_event("cc", "*", seen.append)
+        hub.publish_block(_block_with_events(), "main")
+        assert len(seen) == 1
+
+    def test_invalid_tx_events_suppressed(self):
+        hub = EventHub()
+        seen: list[ChaincodeEvent] = []
+        hub.on_chaincode_event("cc", "*", seen.append)
+        hub.publish_block(_block_with_events(valid=False), "main")
+        assert not seen
+        assert not hub.history
+
+    def test_history_accumulates(self):
+        hub = EventHub()
+        hub.publish_block(_block_with_events(), "main")
+        assert [event.name for event in hub.history] == ["Created"]
+
+    def test_other_chaincode_not_matched(self):
+        hub = EventHub()
+        seen: list[ChaincodeEvent] = []
+        hub.on_chaincode_event("different-cc", "*", seen.append)
+        hub.publish_block(_block_with_events(), "main")
+        assert not seen
+
+
+class TestChannelConfig:
+    def test_validate_member_happy_path(self):
+        org = Organization("org1")
+        config = ChannelConfig(channel="main")
+        config.add_org("org1", org.msp.root_certificate)
+        member = org.enroll("alice")
+        assert config.validate_member(member.certificate) == "org1"
+
+    def test_unknown_org_rejected(self):
+        config = ChannelConfig(channel="main")
+        org = Organization("outsider")
+        member = org.enroll("bob")
+        with pytest.raises(MembershipError, match="not a member"):
+            config.validate_member(member.certificate)
+
+    def test_forged_cert_rejected(self):
+        org = Organization("org1")
+        impostor_ca = CertificateAuthority("org1")  # same name, different keys
+        config = ChannelConfig(channel="main")
+        config.add_org("org1", org.msp.root_certificate)
+        _, forged = impostor_ca.enroll("mallory")
+        with pytest.raises(CertificateError):
+            config.validate_member(forged)
+
+    def test_policy_registry(self):
+        config = ChannelConfig(channel="main")
+        policy = parse_endorsement_policy("'org1.peer'")
+        config.set_policy("cc", policy)
+        assert config.policy_for("cc") is policy
+        with pytest.raises(MembershipError, match="no endorsement policy"):
+            config.policy_for("ghost")

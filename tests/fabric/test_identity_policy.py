@@ -1,0 +1,168 @@
+"""Tests for organizations/MSPs and endorsement policies."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import EndorsementPolicyError, MembershipError
+from repro.fabric.identity import Identity, MembershipServiceProvider, Organization
+from repro.fabric.policy import (
+    OutOf,
+    SignedBy,
+    parse_endorsement_policy,
+    policy_and,
+    policy_or,
+)
+
+
+class TestOrganizations:
+    def test_enroll_and_lookup(self):
+        org = Organization("org1", network="net")
+        member = org.enroll("alice", role="client")
+        assert org.member("alice") is member
+        assert member.org == "org1"
+        assert member.id == "alice.org1"
+
+    def test_duplicate_enrollment_rejected(self):
+        org = Organization("org1")
+        org.enroll("alice")
+        with pytest.raises(MembershipError):
+            org.enroll("alice")
+
+    def test_unknown_member_rejected(self):
+        with pytest.raises(MembershipError):
+            Organization("org1").member("ghost")
+
+    def test_members_filtered_by_role(self):
+        org = Organization("org1")
+        org.enroll("p0", role="peer")
+        org.enroll("c0", role="client")
+        assert [m.name for m in org.members(role="peer")] == ["p0"]
+        assert len(org.members()) == 2
+
+    def test_msp_validates_own_members_only(self):
+        org_a = Organization("a")
+        org_b = Organization("b")
+        member_a = org_a.enroll("m")
+        assert org_a.msp.is_member(member_a.certificate)
+        assert not org_b.msp.is_member(member_a.certificate)
+
+    def test_identity_signs_verifiably(self):
+        member = Organization("org1").enroll("signer")
+        signature = member.sign(b"hello")
+        assert member.verify_own(b"hello", signature)
+        assert not member.verify_own(b"other", signature)
+
+
+class TestPolicyEvaluation:
+    def test_signed_by_role_match(self):
+        policy = SignedBy("org1", "peer")
+        assert policy.satisfied_by([("org1", "peer")])
+        assert not policy.satisfied_by([("org1", "client")])
+        assert not policy.satisfied_by([("org2", "peer")])
+
+    def test_member_role_matches_any(self):
+        policy = SignedBy("org1", "member")
+        assert policy.satisfied_by([("org1", "client")])
+        assert policy.satisfied_by([("org1", "peer")])
+
+    def test_and_requires_all(self):
+        policy = policy_and(SignedBy("a", "peer"), SignedBy("b", "peer"))
+        assert policy.satisfied_by([("a", "peer"), ("b", "peer")])
+        assert not policy.satisfied_by([("a", "peer")])
+
+    def test_or_requires_any(self):
+        policy = policy_or(SignedBy("a", "peer"), SignedBy("b", "peer"))
+        assert policy.satisfied_by([("b", "peer")])
+        assert not policy.satisfied_by([("c", "peer")])
+
+    def test_outof_threshold(self):
+        policy = OutOf(2, (SignedBy("a", "peer"), SignedBy("b", "peer"), SignedBy("c", "peer")))
+        assert policy.satisfied_by([("a", "peer"), ("c", "peer")])
+        assert not policy.satisfied_by([("a", "peer")])
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(EndorsementPolicyError):
+            OutOf(0, (SignedBy("a"),))
+        with pytest.raises(EndorsementPolicyError):
+            OutOf(3, (SignedBy("a"), SignedBy("b")))
+
+    def test_minimal_satisfying_orgs(self):
+        policy = policy_and(SignedBy("a", "peer"), SignedBy("b", "peer"))
+        available = [("a", "peer"), ("b", "peer"), ("c", "peer")]
+        selection = policy.minimal_satisfying_orgs(available)
+        assert sorted(selection) == [("a", "peer"), ("b", "peer")]
+
+    def test_minimal_selection_unsatisfiable(self):
+        policy = SignedBy("z", "peer")
+        assert policy.minimal_satisfying_orgs([("a", "peer")]) is None
+
+    def test_principals(self):
+        policy = policy_and(SignedBy("a", "peer"), policy_or(SignedBy("b", "peer"), SignedBy("c", "admin")))
+        assert policy.principals() == {"a.peer", "b.peer", "c.admin"}
+
+
+class TestPolicyParser:
+    def test_single_principal(self):
+        policy = parse_endorsement_policy("'org1.peer'")
+        assert policy == SignedBy("org1", "peer")
+
+    def test_and_expression(self):
+        policy = parse_endorsement_policy("AND('a.peer', 'b.peer')")
+        assert policy.satisfied_by([("a", "peer"), ("b", "peer")])
+        assert policy.expression() == "AND('a.peer', 'b.peer')"
+
+    def test_nested_expression(self):
+        policy = parse_endorsement_policy("OR('a.member', AND('b.peer', 'c.peer'))")
+        assert policy.satisfied_by([("a", "client")])
+        assert policy.satisfied_by([("b", "peer"), ("c", "peer")])
+        assert not policy.satisfied_by([("b", "peer")])
+
+    def test_outof_expression(self):
+        policy = parse_endorsement_policy("OutOf(2, 'a.peer', 'b.peer', 'c.peer')")
+        assert policy.satisfied_by([("a", "peer"), ("b", "peer")])
+        assert not policy.satisfied_by([("c", "peer")])
+
+    def test_expression_roundtrips_through_parser(self):
+        source = "OutOf(2, 'a.peer', AND('b.peer', 'c.admin'), 'd.member')"
+        policy = parse_endorsement_policy(source)
+        assert parse_endorsement_policy(policy.expression()).expression() == policy.expression()
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "AND(",
+            "AND()",
+            "'noRole'",
+            "AND('a.peer' 'b.peer')",
+            "XOR('a.peer')",
+            "OutOf(5, 'a.peer')",
+            "'a.wizard'",
+            "AND('a.peer',) garbage",
+        ],
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(EndorsementPolicyError):
+            parse_endorsement_policy(bad)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        orgs=st.lists(
+            st.sampled_from(["orgA", "orgB", "orgC", "orgD"]), min_size=1, max_size=4, unique=True
+        )
+    )
+    def test_and_of_orgs_requires_exactly_those(self, orgs):
+        expr = (
+            f"'{orgs[0]}.peer'"
+            if len(orgs) == 1
+            else "AND(" + ", ".join(f"'{o}.peer'" for o in orgs) + ")"
+        )
+        policy = parse_endorsement_policy(expr)
+        full = [(org, "peer") for org in orgs]
+        assert policy.satisfied_by(full)
+        for missing in range(len(orgs)):
+            subset = [s for i, s in enumerate(full) if i != missing]
+            if subset:
+                assert not policy.satisfied_by(subset)

@@ -1,0 +1,194 @@
+"""Tests for ordering services (solo + Raft) and the gateway SDK."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EndorsementError, OrderingError
+from repro.fabric import Chaincode, NetworkBuilder, RaftOrderer, SoloOrderer
+from repro.fabric.chaincode import require_args
+from repro.fabric.orderer import LEADER
+
+
+class EchoChaincode(Chaincode):
+    name = "echo"
+
+    def invoke(self, stub):
+        if stub.function == "init":
+            return b"ok"
+        if stub.function == "put":
+            key, value = require_args(stub, 2)
+            stub.put_state(key, value.encode())
+            return b"ok"
+        if stub.function == "get":
+            (key,) = require_args(stub, 1)
+            return stub.get_state(key) or b""
+        raise Exception("unknown")
+
+
+def build_network(orderer_kind: str = "solo", **kwargs):
+    builder = (
+        NetworkBuilder("order-test")
+        .add_org("org1")
+        .add_peer("peer0", "org1")
+        .add_peer("peer1", "org1")
+        .add_client("app", "org1")
+    )
+    if orderer_kind == "raft":
+        builder.with_raft_orderer(**kwargs)
+    else:
+        builder.with_solo_orderer(**kwargs)
+    net = builder.build()
+    app = net.org("org1").member("app")
+    net.deploy_chaincode(EchoChaincode(), "'org1.peer'", initializer=app)
+    return net, app
+
+
+class TestSoloOrderer:
+    def test_batching_cuts_at_size(self, *, batch=3):
+        net, app = build_network(batch_size=batch)
+        start_height = net.peers[0].ledger.height
+        for index in range(batch - 1):
+            net.gateway.submit(app, "echo", "put", [f"k{index}", "v"], wait=False)
+        assert net.peers[0].ledger.height == start_height
+        net.gateway.submit(app, "echo", "put", ["last", "v"], wait=False)
+        assert net.peers[0].ledger.height == start_height + 1
+        block = net.peers[0].ledger.block(start_height)
+        assert len(block.transactions) == batch
+
+    def test_flush_forces_partial_batch(self):
+        net, app = build_network(batch_size=10)
+        start_height = net.peers[0].ledger.height
+        net.gateway.submit(app, "echo", "put", ["k", "v"], wait=False)
+        assert net.peers[0].ledger.height == start_height
+        net.orderer.flush()
+        assert net.peers[0].ledger.height == start_height + 1
+
+    def test_flush_with_nothing_pending_is_noop(self):
+        net, _ = build_network()
+        height = net.peers[0].ledger.height
+        net.orderer.flush()
+        assert net.peers[0].ledger.height == height
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(OrderingError):
+            SoloOrderer("ch", batch_size=0)
+
+
+class TestRaftOrderer:
+    def test_basic_ordering(self):
+        net, app = build_network("raft", cluster_size=3)
+        result = net.gateway.submit(app, "echo", "put", ["k", "v1"])
+        assert result.committed
+        assert net.gateway.evaluate(app, "echo", "get", ["k"]) == b"v1"
+
+    def test_leader_election_happens(self):
+        orderer = RaftOrderer("ch", cluster_size=5)
+        orderer.run_until_leader()
+        leaders = [n for n in orderer.nodes if n.state == LEADER]
+        assert len(leaders) == 1
+
+    def test_leader_crash_failover(self):
+        net, app = build_network("raft", cluster_size=3)
+        net.gateway.submit(app, "echo", "put", ["k", "v1"])
+        old_leader = net.orderer.leader()
+        net.orderer.crash(old_leader.node_id)
+        result = net.gateway.submit(app, "echo", "put", ["k2", "v2"])
+        assert result.committed
+        new_leader = net.orderer.leader()
+        assert new_leader.node_id != old_leader.node_id
+
+    def test_crashed_follower_does_not_block(self):
+        net, app = build_network("raft", cluster_size=3)
+        net.gateway.submit(app, "echo", "put", ["a", "1"])
+        leader = net.orderer.leader()
+        follower = next(n for n in net.orderer.nodes if n.node_id != leader.node_id)
+        net.orderer.crash(follower.node_id)
+        assert net.gateway.submit(app, "echo", "put", ["b", "2"]).committed
+
+    def test_recovered_node_catches_up(self):
+        net, app = build_network("raft", cluster_size=3)
+        net.gateway.submit(app, "echo", "put", ["a", "1"])
+        leader = net.orderer.leader()
+        follower_id = next(
+            n.node_id for n in net.orderer.nodes if n.node_id != leader.node_id
+        )
+        net.orderer.crash(follower_id)
+        net.gateway.submit(app, "echo", "put", ["b", "2"])
+        net.orderer.recover(follower_id)
+        net.gateway.submit(app, "echo", "put", ["c", "3"])
+        recovered = net.orderer.nodes[follower_id]
+        lead = net.orderer.leader()
+        assert recovered.last_log_index == lead.last_log_index
+
+    def test_quorum_loss_detected(self):
+        net, app = build_network("raft", cluster_size=3)
+        net.gateway.submit(app, "echo", "put", ["a", "1"])
+        net.orderer.crash(0)
+        net.orderer.crash(1)
+        with pytest.raises(OrderingError, match="quorum|leader|converge"):
+            net.gateway.submit(app, "echo", "put", ["b", "2"])
+
+    def test_logs_identical_across_live_nodes(self):
+        net, app = build_network("raft", cluster_size=5)
+        for index in range(4):
+            net.gateway.submit(app, "echo", "put", [f"k{index}", "v"])
+        live = [n for n in net.orderer.nodes if not n.crashed]
+        reference = [(e.term, [t.tx_id for t in e.batch]) for e in live[0].log]
+        for node in live[1:]:
+            log = [(e.term, [t.tx_id for t in e.batch]) for e in node.log]
+            assert log[: len(reference)] == reference[: len(log)]
+
+
+class TestGateway:
+    def test_evaluate_does_not_commit(self):
+        net, app = build_network()
+        height = net.peers[0].ledger.height
+        net.gateway.evaluate(app, "echo", "get", ["missing"])
+        assert net.peers[0].ledger.height == height
+
+    def test_unknown_chaincode(self):
+        net, app = build_network()
+        with pytest.raises(EndorsementError, match="no peer has chaincode"):
+            net.gateway.evaluate(app, "ghost", "fn", [])
+
+    def test_divergent_endorsements_detected(self):
+        """If peers simulate different results, the gateway must refuse."""
+        net, app = build_network()
+
+        class NondeterministicCC(Chaincode):
+            name = "chaos"
+
+            def __init__(self):
+                self.calls = 0
+
+            def invoke(self, stub):
+                if stub.function == "init":
+                    return b"ok"
+                self.calls += 1
+                return str(self.calls).encode()  # differs per endorsement
+
+        cc = NondeterministicCC()
+        for peer in net.peers:
+            peer.install_chaincode(cc)
+        from repro.fabric.gateway import Gateway
+        from repro.fabric.peer import Proposal
+
+        proposal = Proposal(
+            tx_id="chaos-1",
+            channel="main",
+            chaincode="chaos",
+            function="go",
+            args=(),
+            creator=app.certificate.to_bytes(),
+        )
+        responses = [peer.endorse(proposal) for peer in net.peers[:2]]
+        assert responses[0].result != responses[1].result
+        with pytest.raises(EndorsementError, match="mismatch|divergent"):
+            Gateway._check_consistency(responses)
+
+    def test_submit_reports_block_number(self):
+        net, app = build_network()
+        result = net.gateway.submit(app, "echo", "put", ["k", "v"])
+        block = net.peers[0].ledger.block(result.block_number)
+        assert any(tx.tx_id == result.tx_id for tx in block.transactions)

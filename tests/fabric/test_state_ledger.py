@@ -1,0 +1,217 @@
+"""Tests for world state, read/write sets, and the block-chained ledger."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import LedgerError, StateError
+from repro.fabric.ledger import Block, Endorsement, Ledger, Transaction, TxValidationCode
+from repro.fabric.state import (
+    ReadWriteSet,
+    SimulatedState,
+    Version,
+    VersionedKV,
+    make_composite_key,
+    namespaced,
+    split_composite_key,
+)
+
+
+class TestVersionedKV:
+    def test_apply_and_get(self):
+        kv = VersionedKV()
+        kv.apply_write("k", b"v", Version(1, 0))
+        entry = kv.get("k")
+        assert entry.value == b"v"
+        assert entry.version == Version(1, 0)
+
+    def test_delete_via_none(self):
+        kv = VersionedKV()
+        kv.apply_write("k", b"v", Version(1, 0))
+        kv.apply_write("k", None, Version(2, 0))
+        assert kv.get("k") is None
+        assert kv.get_version("k") is None
+
+    def test_range_scan_ordering_and_bounds(self):
+        kv = VersionedKV()
+        for key in ["a", "b", "c", "d"]:
+            kv.apply_write(key, key.encode(), Version(0, 0))
+        assert [e.key for e in kv.range_scan("b", "d")] == ["b", "c"]
+        assert [e.key for e in kv.range_scan("b", "")] == ["b", "c", "d"]
+
+    def test_snapshot(self):
+        kv = VersionedKV()
+        kv.apply_write("k", b"v", Version(0, 0))
+        assert kv.snapshot() == {"k": b"v"}
+
+
+class TestSimulatedState:
+    def test_reads_record_versions(self):
+        kv = VersionedKV()
+        kv.apply_write("k", b"v", Version(3, 1))
+        sim = SimulatedState(kv)
+        assert sim.get("k") == b"v"
+        assert sim.rwset.reads["k"] == Version(3, 1)
+
+    def test_missing_read_records_none(self):
+        sim = SimulatedState(VersionedKV())
+        assert sim.get("missing") is None
+        assert sim.rwset.reads["missing"] is None
+
+    def test_read_your_writes(self):
+        sim = SimulatedState(VersionedKV())
+        sim.put("k", b"new")
+        assert sim.get("k") == b"new"
+        assert "k" not in sim.rwset.reads  # local write, no committed read
+
+    def test_delete_then_read(self):
+        kv = VersionedKV()
+        kv.apply_write("k", b"v", Version(0, 0))
+        sim = SimulatedState(kv)
+        sim.delete("k")
+        assert sim.get("k") is None
+
+    def test_writes_do_not_touch_committed(self):
+        kv = VersionedKV()
+        sim = SimulatedState(kv)
+        sim.put("k", b"v")
+        assert kv.get("k") is None
+
+    def test_non_bytes_value_rejected(self):
+        sim = SimulatedState(VersionedKV())
+        with pytest.raises(StateError):
+            sim.put("k", "string")  # type: ignore[arg-type]
+
+    def test_range_scan_merges_local_writes(self):
+        kv = VersionedKV()
+        kv.apply_write("a", b"1", Version(0, 0))
+        kv.apply_write("b", b"2", Version(0, 0))
+        sim = SimulatedState(kv)
+        sim.put("c", b"3")
+        sim.delete("a")
+        assert sim.range_scan("a", "z") == [("b", b"2"), ("c", b"3")]
+
+    def test_rwset_merge(self):
+        outer = ReadWriteSet(reads={"a": Version(0, 0)}, writes={"x": b"1"})
+        inner = ReadWriteSet(reads={"a": Version(9, 9), "b": None}, writes={"y": b"2"})
+        outer.merge(inner)
+        assert outer.reads["a"] == Version(0, 0)  # first read wins
+        assert outer.reads["b"] is None
+        assert outer.writes == {"x": b"1", "y": b"2"}
+
+
+class TestCompositeKeys:
+    def test_roundtrip(self):
+        key = make_composite_key("Shipment", ["po-1", "v2"])
+        object_type, attributes = split_composite_key(key)
+        assert object_type == "Shipment"
+        assert attributes == ["po-1", "v2"]
+
+    def test_prefix_ordering(self):
+        base = make_composite_key("T", ["a"])
+        extended = make_composite_key("T", ["a", "b"])
+        assert extended.startswith(base)
+
+    def test_nul_in_parts_rejected(self):
+        with pytest.raises(StateError):
+            make_composite_key("T", ["bad\x00part"])
+
+    def test_empty_object_type_rejected(self):
+        with pytest.raises(StateError):
+            make_composite_key("", ["a"])
+
+    def test_split_rejects_plain_key(self):
+        with pytest.raises(StateError):
+            split_composite_key("plain")
+
+    def test_namespacing(self):
+        assert namespaced("cc", "key") == "cc\x00key"
+        with pytest.raises(StateError):
+            namespaced("", "key")
+
+
+def _tx(tx_id: str, writes: dict[str, bytes] | None = None) -> Transaction:
+    return Transaction(
+        tx_id=tx_id,
+        channel="main",
+        chaincode="cc",
+        function="fn",
+        args=["a"],
+        creator=b"",
+        rwset=ReadWriteSet(writes=writes or {}),
+        result=b"r",
+        endorsements=[
+            Endorsement(peer_id="p", org="o", role="peer", certificate=b"c", signature=b"s")
+        ],
+    )
+
+
+class TestLedger:
+    def test_genesis_and_append(self):
+        ledger = Ledger("main")
+        block = Block(number=0, previous_hash=ledger.last_hash(), transactions=[_tx("t1")])
+        block.validation_codes = [TxValidationCode.VALID]
+        ledger.append(block)
+        assert ledger.height == 1
+        assert ledger.verify_chain()
+
+    def test_wrong_number_rejected(self):
+        ledger = Ledger("main")
+        block = Block(number=5, previous_hash=ledger.last_hash(), transactions=[_tx("t1")])
+        with pytest.raises(LedgerError, match="does not extend"):
+            ledger.append(block)
+
+    def test_broken_chain_rejected(self):
+        ledger = Ledger("main")
+        block = Block(number=0, previous_hash=b"\x00" * 32, transactions=[_tx("t1")])
+        with pytest.raises(LedgerError, match="previous-hash"):
+            ledger.append(block)
+
+    def test_tampered_data_hash_rejected(self):
+        ledger = Ledger("main")
+        block = Block(number=0, previous_hash=ledger.last_hash(), transactions=[_tx("t1")])
+        block.transactions.append(_tx("t2"))  # mutate after hash computed
+        with pytest.raises(LedgerError, match="data hash"):
+            ledger.append(block)
+
+    def test_tx_lookup(self):
+        ledger = Ledger("main")
+        block = Block(number=0, previous_hash=ledger.last_hash(), transactions=[_tx("t1")])
+        block.validation_codes = [TxValidationCode.VALID]
+        ledger.append(block)
+        tx, code = ledger.get_transaction("t1")
+        assert tx.tx_id == "t1"
+        assert code is TxValidationCode.VALID
+        assert ledger.contains_tx("t1")
+        with pytest.raises(LedgerError):
+            ledger.get_transaction("missing")
+
+    def test_verify_chain_detects_post_hoc_tampering(self):
+        ledger = Ledger("main")
+        for number in range(3):
+            block = Block(
+                number=number,
+                previous_hash=ledger.last_hash(),
+                transactions=[_tx(f"t{number}")],
+            )
+            block.validation_codes = [TxValidationCode.VALID]
+            ledger.append(block)
+        assert ledger.verify_chain()
+        ledger.block(1).transactions[0].args.append("tampered")
+        assert not ledger.verify_chain()
+
+    @settings(max_examples=15, deadline=None)
+    @given(count=st.integers(1, 6))
+    def test_chain_of_n_blocks_verifies(self, count):
+        ledger = Ledger("prop")
+        for number in range(count):
+            block = Block(
+                number=number,
+                previous_hash=ledger.last_hash(),
+                transactions=[_tx(f"tx-{number}")],
+            )
+            block.validation_codes = [TxValidationCode.VALID]
+            ledger.append(block)
+        assert ledger.height == count
+        assert ledger.verify_chain()

@@ -1,0 +1,204 @@
+"""End-to-end tests of the cross-network query flow (message-flow §3.3)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import AccessDeniedError, EndorsementError, ProofError
+from repro.interop.client import InteropClient
+from repro.interop.contracts.ecc import ECC_NAME
+
+BL_ADDRESS = "stl/trade-logistics/TradeLensCC/GetBillOfLading"
+POLICY = "AND(org:seller-org, org:carrier-org)"
+
+
+class TestHappyPath:
+    def test_confidential_query(self, shipped_scenario):
+        scenario, po_ref = shipped_scenario
+        fetched = scenario.swt_seller_client.fetch_bill_of_lading(po_ref)
+        document = json.loads(fetched.data)
+        assert document["bl_id"] == f"BL-{po_ref}"
+        assert document["po_ref"] == po_ref
+        assert len(fetched.proof) == 2
+        orgs = {attestation.metadata().org for attestation in fetched.proof.attestations}
+        assert orgs == {"seller-org", "carrier-org"}
+
+    def test_plain_query(self, shipped_scenario):
+        scenario, po_ref = shipped_scenario
+        fetched = scenario.swt_seller_client.fetch_bill_of_lading(
+            po_ref, confidential=False
+        )
+        assert json.loads(fetched.data)["po_ref"] == po_ref
+
+    def test_policy_defaults_from_cmdac(self, shipped_scenario):
+        """Without an explicit policy the client reads the recorded one."""
+        scenario, po_ref = shipped_scenario
+        client = scenario.swt_seller_client.interop_client
+        result = client.remote_query(BL_ADDRESS, [po_ref])
+        assert len(result.proof) == 2
+
+    def test_fresh_nonce_per_query(self, shipped_scenario):
+        scenario, po_ref = shipped_scenario
+        first = scenario.swt_seller_client.fetch_bill_of_lading(po_ref)
+        second = scenario.swt_seller_client.fetch_bill_of_lading(po_ref)
+        assert first.nonce != second.nonce
+
+    def test_full_upload_after_fetch(self, shipped_scenario):
+        scenario, po_ref = shipped_scenario
+        lc = scenario.swt_seller_client.fetch_and_upload(po_ref)
+        assert lc["status"] == "DOCS_UPLOADED"
+
+    def test_relay_stats_updated(self, shipped_scenario):
+        scenario, po_ref = shipped_scenario
+        served_before = scenario.stl_relay.stats.requests_served
+        scenario.swt_seller_client.fetch_bill_of_lading(po_ref)
+        assert scenario.stl_relay.stats.requests_served == served_before + 1
+
+    def test_wider_policy_collects_more_attestations(self, shipped_scenario):
+        scenario, po_ref = shipped_scenario
+        client = scenario.swt_seller_client.interop_client
+        narrow = client.remote_query(BL_ADDRESS, [po_ref], policy="org:carrier-org")
+        wide = client.remote_query(BL_ADDRESS, [po_ref], policy=POLICY)
+        assert len(narrow.proof) == 1
+        assert len(wide.proof) == 2
+
+
+class TestExposureControl:
+    def test_unlisted_function_denied(self, shipped_scenario):
+        """Only GetBillOfLading is exposed; GetShipment must be denied."""
+        scenario, po_ref = shipped_scenario
+        client = scenario.swt_seller_client.interop_client
+        with pytest.raises(AccessDeniedError, match="no matching access rule"):
+            client.remote_query(
+                "stl/trade-logistics/TradeLensCC/GetShipment",
+                [po_ref],
+                policy=POLICY,
+            )
+
+    def test_unlisted_org_denied(self, shipped_scenario):
+        """A buyer-bank member has no access rule for the B/L."""
+        scenario, po_ref = shipped_scenario
+        buyer = scenario.swt.org("buyer-bank-org").member("buyer")
+        intruder = InteropClient(
+            buyer, scenario.swt_relay, "swt", gateway=scenario.swt.gateway
+        )
+        with pytest.raises(AccessDeniedError):
+            intruder.remote_query(BL_ADDRESS, [po_ref], policy=POLICY)
+
+    def test_policy_rule_addition_unlocks_function(self, shipped_scenario):
+        """'Permitting access to functions other than GetBillOfLading only
+        requires the addition of a policy rule' (§5)."""
+        scenario, po_ref = shipped_scenario
+        admin = scenario.stl.org("seller-org").member("admin")
+        scenario.stl.gateway.submit(
+            admin,
+            ECC_NAME,
+            "AddAccessRule",
+            ["swt", "seller-bank-org", "TradeLensCC", "GetShipment"],
+        )
+        client = scenario.swt_seller_client.interop_client
+        result = client.remote_query(
+            "stl/trade-logistics/TradeLensCC/GetShipment", [po_ref], policy=POLICY
+        )
+        assert json.loads(result.data)["status"] == "BL_ISSUED"
+
+    def test_forged_org_claim_denied(self, shipped_scenario):
+        """Claiming seller-bank-org with a buyer-bank certificate fails."""
+        scenario, po_ref = shipped_scenario
+        buyer = scenario.swt.org("buyer-bank-org").member("buyer")
+
+        class LyingClient(InteropClient):
+            pass
+
+        lying = LyingClient(buyer, scenario.swt_relay, "swt")
+        # Monkeypatch the org claim: build the query manually.
+        from repro.proto.messages import (
+            AuthInfo,
+            NetworkAddressMsg,
+            NetworkQuery,
+            VerificationPolicyMsg,
+        )
+
+        query = NetworkQuery(
+            version=1,
+            address=NetworkAddressMsg(
+                network="stl",
+                ledger="trade-logistics",
+                contract="TradeLensCC",
+                function="GetBillOfLading",
+            ),
+            args=[po_ref],
+            nonce="forged-nonce",
+            auth=AuthInfo(
+                requesting_network="swt",
+                requesting_org="seller-bank-org",  # lie
+                requestor="buyer",
+                certificate=buyer.certificate.to_bytes(),
+                public_key=buyer.keypair.public.to_bytes(),
+            ),
+            policy=VerificationPolicyMsg(expression=POLICY),
+            confidential=True,
+        )
+        response = scenario.swt_relay.remote_query(query)
+        from repro.proto.messages import STATUS_ACCESS_DENIED
+
+        assert response.status == STATUS_ACCESS_DENIED
+        assert "belongs to org" in response.error
+
+
+class TestErrorPaths:
+    def test_missing_document_is_error(self, trade_scenario):
+        client = trade_scenario.swt_seller_client.interop_client
+        from repro.errors import RelayError
+
+        with pytest.raises(RelayError, match="no bill of lading"):
+            client.remote_query(BL_ADDRESS, ["PO-GHOST"], policy=POLICY)
+
+    def test_unsatisfiable_policy_is_error(self, shipped_scenario):
+        scenario, po_ref = shipped_scenario
+        client = scenario.swt_seller_client.interop_client
+        from repro.errors import RelayError
+
+        with pytest.raises(RelayError, match="cannot be satisfied"):
+            client.remote_query(BL_ADDRESS, [po_ref], policy="org:mars-org")
+
+    def test_wrong_ledger_is_error(self, shipped_scenario):
+        scenario, po_ref = shipped_scenario
+        client = scenario.swt_seller_client.interop_client
+        from repro.errors import RelayError
+
+        with pytest.raises(RelayError, match="no ledger"):
+            client.remote_query(
+                "stl/wrong-ledger/TradeLensCC/GetBillOfLading",
+                [po_ref],
+                policy=POLICY,
+            )
+
+    def test_forged_upload_rejected_without_query(self, shipped_scenario):
+        """A seller cannot upload a self-made B/L without a proof —
+        the exact fraud §4.2 motivates ('the seller ... has incentive to
+        forge a B/L and claim payment')."""
+        scenario, po_ref = shipped_scenario
+        forged_bl = json.dumps({"po_ref": po_ref, "bl_id": "BL-FORGED"})
+        with pytest.raises(EndorsementError):
+            scenario.swt.gateway.submit(
+                scenario.swt.org("seller-bank-org").member("seller"),
+                "WeTradeCC",
+                "UploadDispatchDocs",
+                [po_ref, forged_bl, "fresh-nonce", "[]"],
+            )
+
+    def test_data_swap_after_fetch_rejected(self, shipped_scenario):
+        """Fetching a real proof but uploading different data must fail."""
+        scenario, po_ref = shipped_scenario
+        fetched = scenario.swt_seller_client.fetch_bill_of_lading(po_ref)
+        forged = json.dumps({"po_ref": po_ref, "bl_id": "BL-SWAPPED"})
+        with pytest.raises(EndorsementError, match="data hash"):
+            scenario.swt.gateway.submit(
+                scenario.swt.org("seller-bank-org").member("seller"),
+                "WeTradeCC",
+                "UploadDispatchDocs",
+                [po_ref, forged, fetched.nonce, fetched.proof_json],
+            )

@@ -1,0 +1,199 @@
+"""§5 generalization: the same relay protocol over Corda-like and
+Quorum-like networks, with destination-side acceptance on Fabric."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.corda import CordaNetwork, LinearState
+from repro.errors import AccessDeniedError
+from repro.fabric.identity import Organization
+from repro.interop.client import InteropClient
+from repro.interop.contracts.ports import InteropPort
+from repro.interop.discovery import InMemoryRegistry
+from repro.interop.drivers.corda_driver import CordaDriver
+from repro.interop.drivers.quorum_driver import QuorumDriver
+from repro.interop.relay import RelayService
+from repro.proto.messages import NetworkConfigMsg, OrganizationConfigMsg
+from repro.quorum import DocumentRegistryContract, QuorumNetwork
+
+
+@pytest.fixture()
+def destination():
+    """A destination-side org + client + relay (network-agnostic)."""
+    org = Organization("dest-org", network="destnet")
+    client_identity = org.enroll("app", role="client")
+    registry = InMemoryRegistry()
+    relay = RelayService("destnet", registry)
+    config = NetworkConfigMsg(
+        network_id="destnet",
+        platform="fabric",
+        organizations=[
+            OrganizationConfigMsg(
+                org_id="dest-org",
+                msp_id="dest-orgMSP",
+                root_certificate=org.msp.root_certificate.to_bytes(),
+            )
+        ],
+    )
+    client = InteropClient(client_identity, relay, "destnet")
+    return {
+        "org": org,
+        "identity": client_identity,
+        "registry": registry,
+        "relay": relay,
+        "config": config,
+        "client": client,
+    }
+
+
+@pytest.fixture()
+def corda_source(destination):
+    network = CordaNetwork("cordanet")
+    node_a = network.add_node("nodeA")
+    network.add_node("nodeB")
+    state = LinearState(
+        linear_id="DOC-1",
+        kind="trade-doc",
+        data={"po_ref": "PO-C", "value": 7},
+        participants=("nodeA", "nodeB"),
+    )
+    node_a.propose([], [state], "Record")
+    port = InteropPort("cordanet")
+    port.record_network_config(destination["config"])
+    port.add_access_rule("destnet", "dest-org", "vault", "GetState")
+    relay = RelayService("cordanet", destination["registry"])
+    relay.register_driver(CordaDriver(network, port))
+    destination["registry"].register("cordanet", relay)
+    return network, port
+
+
+@pytest.fixture()
+def quorum_source(destination):
+    network = QuorumNetwork("quorumnet")
+    network.deploy_contract(DocumentRegistryContract())
+    network.add_peer("peer1", "op-org-1")
+    network.add_peer("peer2", "op-org-2")
+    admin = network.enroll_client("admin", "op-org-1")
+    network.submit_transaction(
+        admin, "document-registry", "RegisterDocument", ["DOC-9", '{"po_ref": "PO-Q"}']
+    )
+    port = InteropPort("quorumnet")
+    port.record_network_config(destination["config"])
+    port.add_access_rule("destnet", "dest-org", "document-registry", "GetDocument")
+    relay = RelayService("quorumnet", destination["registry"])
+    relay.register_driver(QuorumDriver(network, port))
+    destination["registry"].register("quorumnet", relay)
+    return network, port
+
+
+class TestCordaSource:
+    def test_query_with_two_node_policy(self, destination, corda_source):
+        result = destination["client"].remote_query(
+            "cordanet/vault/vault/GetState",
+            ["DOC-1"],
+            policy="AND(org:nodeA, org:nodeB)",
+        )
+        assert json.loads(result.data)["data"]["po_ref"] == "PO-C"
+        assert len(result.proof) == 2
+
+    def test_notary_in_verification_policy(self, destination, corda_source):
+        """§5: Corda policies can include notary signatures."""
+        result = destination["client"].remote_query(
+            "cordanet/vault/vault/GetState",
+            ["DOC-1"],
+            policy="AND(org:nodeA, org:notary-org)",
+        )
+        orgs = {a.metadata().org for a in result.proof.attestations}
+        assert orgs == {"nodeA", "notary-org"}
+
+    def test_exposure_control_enforced(self, destination, corda_source):
+        network, port = corda_source
+        port.remove_access_rule("destnet", "dest-org", "vault", "GetState")
+        with pytest.raises(AccessDeniedError):
+            destination["client"].remote_query(
+                "cordanet/vault/vault/GetState", ["DOC-1"], policy="org:nodeA"
+            )
+
+    def test_unknown_state_is_error(self, destination, corda_source):
+        from repro.errors import RelayError
+
+        with pytest.raises(RelayError, match="no unconsumed state"):
+            destination["client"].remote_query(
+                "cordanet/vault/vault/GetState", ["DOC-GHOST"], policy="org:nodeA"
+            )
+
+
+class TestQuorumSource:
+    def test_query_with_two_org_policy(self, destination, quorum_source):
+        result = destination["client"].remote_query(
+            "quorumnet/state/document-registry/GetDocument",
+            ["DOC-9"],
+            policy="AND(org:op-org-1, org:op-org-2)",
+        )
+        assert json.loads(result.data)["po_ref"] == "PO-Q"
+        assert len(result.proof) == 2
+
+    def test_access_denied_without_rule(self, destination, quorum_source):
+        with pytest.raises(AccessDeniedError):
+            destination["client"].remote_query(
+                "quorumnet/state/document-registry/ListDocuments",
+                [],
+                policy="org:op-org-1",
+            )
+
+    def test_plain_mode(self, destination, quorum_source):
+        result = destination["client"].remote_query(
+            "quorumnet/state/document-registry/GetDocument",
+            ["DOC-9"],
+            policy="org:op-org-2",
+            confidential=False,
+        )
+        assert json.loads(result.data)["po_ref"] == "PO-Q"
+
+
+class TestFabricDestinationAcceptsForeignPlatformProofs:
+    """The destination's CMDAC is source-platform-agnostic: record the
+    Corda network's config on a Fabric ledger and ValidateProof passes."""
+
+    def test_corda_proof_accepted_by_fabric_cmdac(self, trade_scenario, destination, corda_source):
+        corda_network, _ = corda_source
+        swt = trade_scenario.swt
+        admin = swt.org("buyer-bank-org").member("admin")
+        config_hex = corda_network.export_config().encode().hex()
+        swt.gateway.submit(
+            admin, "cmdac", "RecordNetworkConfig", ["cordanet", config_hex]
+        )
+        swt.gateway.submit(
+            admin,
+            "cmdac",
+            "SetVerificationPolicy",
+            ["cordanet", "AND(org:nodeA, org:nodeB)"],
+        )
+        # Destination-side client fetches from Corda...
+        fetched = destination["client"].remote_query(
+            "cordanet/vault/vault/GetState",
+            ["DOC-1"],
+            policy="AND(org:nodeA, org:nodeB)",
+        )
+        # ...and the Fabric CMDAC validates the proof end to end.
+        from repro.crypto.hashing import sha256
+        from repro.utils.encoding import canonical_json
+
+        result = swt.gateway.submit(
+            admin,
+            "cmdac",
+            "ValidateProof",
+            [
+                "cordanet",
+                "cordanet/vault/vault/GetState",
+                canonical_json(["DOC-1"]).decode("ascii"),
+                fetched.nonce,
+                sha256(fetched.data).hex(),
+                fetched.proof_json,
+            ],
+        )
+        assert result.committed
+        assert result.result == b"OK"

@@ -1,0 +1,160 @@
+"""Tests for the verification-policy algebra."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import PolicyError
+from repro.interop.policy import (
+    OrgAttestation,
+    PeerAttestation,
+    ThresholdPolicy,
+    all_orgs_policy,
+    parse_verification_policy,
+    policy_all_of,
+    policy_any_of,
+)
+
+
+class TestLeaves:
+    def test_org_leaf(self):
+        policy = OrgAttestation("seller-org")
+        assert policy.satisfied_by([("seller-org", "peer0.seller-org")])
+        assert not policy.satisfied_by([("carrier-org", "peer0.carrier-org")])
+        assert policy.expression() == "org:seller-org"
+
+    def test_peer_leaf(self):
+        policy = PeerAttestation("peer0.carrier-org")
+        assert policy.satisfied_by([("carrier-org", "peer0.carrier-org")])
+        assert not policy.satisfied_by([("carrier-org", "peer1.carrier-org")])
+        assert policy.mentioned_orgs() == {"carrier-org"}
+
+
+class TestCombinators:
+    def test_and_of_two_orgs(self):
+        """The paper's §4.3 policy shape."""
+        policy = parse_verification_policy("AND(org:seller-org, org:carrier-org)")
+        assert policy.satisfied_by(
+            [("seller-org", "p0.seller-org"), ("carrier-org", "p0.carrier-org")]
+        )
+        assert not policy.satisfied_by([("seller-org", "p0.seller-org")])
+
+    def test_or(self):
+        policy = parse_verification_policy("OR(org:a, org:b)")
+        assert policy.satisfied_by([("b", "p.b")])
+        assert not policy.satisfied_by([("c", "p.c")])
+
+    def test_outof(self):
+        policy = parse_verification_policy("OutOf(2, org:a, org:b, org:c)")
+        assert policy.satisfied_by([("a", "p.a"), ("c", "p.c")])
+        assert not policy.satisfied_by([("b", "p.b")])
+
+    def test_nested(self):
+        policy = parse_verification_policy("OR(AND(org:a, org:b), peer:special.c)")
+        assert policy.satisfied_by([("c", "special.c")])
+        assert policy.satisfied_by([("a", "p.a"), ("b", "p.b")])
+        assert not policy.satisfied_by([("a", "p.a")])
+
+    def test_threshold_bounds(self):
+        with pytest.raises(PolicyError):
+            ThresholdPolicy(0, (OrgAttestation("a"),))
+        with pytest.raises(PolicyError):
+            ThresholdPolicy(3, (OrgAttestation("a"), OrgAttestation("b")))
+
+    def test_expression_roundtrip(self):
+        source = "OutOf(2, org:a, AND(org:b, peer:p0.c), org:d)"
+        policy = parse_verification_policy(source)
+        assert parse_verification_policy(policy.expression()) == policy
+
+    def test_equality_by_expression(self):
+        assert parse_verification_policy("AND(org:a, org:b)") == policy_all_of(
+            OrgAttestation("a"), OrgAttestation("b")
+        )
+
+
+class TestSelection:
+    AVAILABLE = [
+        ("seller-org", "peer0.seller-org"),
+        ("carrier-org", "peer0.carrier-org"),
+        ("carrier-org", "peer1.carrier-org"),
+    ]
+
+    def test_minimal_selection(self):
+        policy = parse_verification_policy("AND(org:seller-org, org:carrier-org)")
+        selection = policy.select_attesters(self.AVAILABLE)
+        assert len(selection) == 2
+        assert {org for org, _ in selection} == {"seller-org", "carrier-org"}
+
+    def test_single_org_selects_one_peer(self):
+        policy = parse_verification_policy("org:carrier-org")
+        selection = policy.select_attesters(self.AVAILABLE)
+        assert len(selection) == 1
+
+    def test_unsatisfiable_returns_none(self):
+        policy = parse_verification_policy("org:bank-org")
+        assert policy.select_attesters(self.AVAILABLE) is None
+
+    def test_specific_peer_selected(self):
+        policy = parse_verification_policy("peer:peer1.carrier-org")
+        assert policy.select_attesters(self.AVAILABLE) == [
+            ("carrier-org", "peer1.carrier-org")
+        ]
+
+    def test_selection_satisfies_policy_property(self):
+        for expression in (
+            "OR(org:seller-org, org:carrier-org)",
+            "OutOf(2, org:seller-org, org:carrier-org, peer:peer1.carrier-org)",
+            "AND(org:carrier-org, peer:peer0.seller-org)",
+        ):
+            policy = parse_verification_policy(expression)
+            selection = policy.select_attesters(self.AVAILABLE)
+            assert selection is not None
+            assert policy.satisfied_by(selection)
+
+
+class TestParserErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "   ",
+            "org:",
+            "AND()",
+            "AND(org:a",
+            "AND(org:a org:b)",
+            "NOT(org:a)",
+            "OutOf(9, org:a)",
+            "org:a extra",
+            "peer:p; DROP TABLE",
+        ],
+    )
+    def test_rejected(self, bad):
+        with pytest.raises(PolicyError):
+            parse_verification_policy(bad)
+
+
+class TestAllOrgsPolicy:
+    def test_multiple_orgs(self):
+        policy = all_orgs_policy(["b", "a"])
+        assert policy.expression() == "AND(org:a, org:b)"
+
+    def test_single_org(self):
+        assert all_orgs_policy(["only"]).expression() == "org:only"
+
+    def test_empty_rejected(self):
+        with pytest.raises(PolicyError):
+            all_orgs_policy([])
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        orgs=st.lists(
+            st.sampled_from(["a", "b", "c", "d", "e"]), min_size=1, max_size=5, unique=True
+        )
+    )
+    def test_requires_every_org(self, orgs):
+        policy = all_orgs_policy(orgs)
+        full = [(org, f"p.{org}") for org in orgs]
+        assert policy.satisfied_by(full)
+        if len(full) > 1:
+            assert not policy.satisfied_by(full[1:])

@@ -1,0 +1,131 @@
+"""Tests for the Quorum-like substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EVMError, LedgerError, MembershipError
+from repro.quorum import DocumentRegistryContract, QuorumNetwork
+from repro.quorum.contracts import CallContext
+
+
+@pytest.fixture()
+def network():
+    net = QuorumNetwork("quorum-test")
+    net.deploy_contract(DocumentRegistryContract())
+    net.add_peer("peer1", "org-a")
+    net.add_peer("peer2", "org-b")
+    net.add_peer("peer3", "org-a")
+    return net
+
+
+@pytest.fixture()
+def admin(network):
+    return network.enroll_client("admin", "org-a")
+
+
+class TestTransactionsAndBlocks:
+    def test_register_and_get(self, network, admin):
+        network.submit_transaction(
+            admin, "document-registry", "RegisterDocument", ["D1", '{"x": 1}']
+        )
+        peer = network.peers[0]
+        result = network.view(peer, admin, "document-registry", "GetDocument", ["D1"])
+        assert result == b'{"x": 1}'
+
+    def test_state_replicated_to_all_peers(self, network, admin):
+        network.submit_transaction(
+            admin, "document-registry", "RegisterDocument", ["D1", "{}"]
+        )
+        snapshots = [
+            peer.storage_snapshot("document-registry") for peer in network.peers
+        ]
+        assert all(snapshot == snapshots[0] for snapshot in snapshots)
+        assert all(peer.block_height == 1 for peer in network.peers)
+
+    def test_proposer_rotates(self, network, admin):
+        for index in range(3):
+            network.submit_transaction(
+                admin, "document-registry", "RegisterDocument", [f"D{index}", "{}"]
+            )
+        proposers = [block.proposer for block in network.blocks]
+        assert len(set(proposers)) == 3
+
+    def test_hash_chain_links(self, network, admin):
+        for index in range(3):
+            network.submit_transaction(
+                admin, "document-registry", "RegisterDocument", [f"D{index}", "{}"]
+            )
+        for previous, current in zip(network.blocks, network.blocks[1:]):
+            assert current.previous_hash == previous.hash()
+
+    def test_duplicate_registration_rejected(self, network, admin):
+        network.submit_transaction(
+            admin, "document-registry", "RegisterDocument", ["D1", "{}"]
+        )
+        with pytest.raises(EVMError, match="already registered"):
+            network.submit_transaction(
+                admin, "document-registry", "RegisterDocument", ["D1", "{}"]
+            )
+
+    def test_unknown_contract(self, network, admin):
+        with pytest.raises(EVMError, match="no contract"):
+            network.submit_transaction(admin, "ghost", "Do", [])
+
+    def test_block_replay_rejected_by_peer(self, network, admin):
+        network.submit_transaction(
+            admin, "document-registry", "RegisterDocument", ["D1", "{}"]
+        )
+        with pytest.raises(LedgerError, match="does not extend"):
+            network.peers[0].apply_block(network.blocks[0])
+
+
+class TestViews:
+    def test_view_does_not_mutate(self, network, admin):
+        peer = network.peers[0]
+        with pytest.raises(EVMError):
+            network.view(peer, admin, "document-registry", "GetDocument", ["missing"])
+        assert peer.storage_snapshot("document-registry") == {}
+
+    def test_list_documents(self, network, admin):
+        for doc in ("B", "A"):
+            network.submit_transaction(
+                admin, "document-registry", "RegisterDocument", [doc, "{}"]
+            )
+        result = network.view(
+            network.peers[0], admin, "document-registry", "ListDocuments", []
+        )
+        assert result == b"A,B"
+
+    def test_view_args_validated(self, network, admin):
+        with pytest.raises(EVMError, match="expects"):
+            network.view(
+                network.peers[0], admin, "document-registry", "GetDocument", ["a", "b"]
+            )
+
+    def test_contract_context_passed(self):
+        contract = DocumentRegistryContract()
+        storage: dict[str, bytes] = {}
+        ctx = CallContext(sender="alice.org", sender_org="org", timestamp=5.0)
+        contract.execute("RegisterDocument", ["D", "{}"], storage, ctx)
+        assert b"alice.org" in storage["meta/D"]
+
+
+class TestMembership:
+    def test_client_enrollment_requires_org(self, network):
+        with pytest.raises(MembershipError):
+            network.enroll_client("c", "no-such-org")
+
+    def test_peer_lookup(self, network):
+        assert network.peer("peer1").identity.name == "peer1"
+        assert network.peer("peer2.org-b").org == "org-b"
+        with pytest.raises(MembershipError):
+            network.peer("ghost")
+
+    def test_export_config_groups_by_org(self, network):
+        config = network.export_config()
+        assert config.platform == "quorum"
+        orgs = {org.org_id: org for org in config.organizations}
+        assert set(orgs) == {"org-a", "org-b"}
+        assert len(orgs["org-a"].peers) == 2
+        assert len(orgs["org-b"].peers) == 1

@@ -1,0 +1,148 @@
+"""Tests for simulation utilities: clocks, latency, metrics, SLOC."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import (
+    LatencyModel,
+    LatencyProfile,
+    StepTimer,
+    count_sloc,
+    format_table,
+    interop_sloc_of,
+    measure_adaptation,
+)
+from repro.sim.sloc import interop_regions
+from repro.utils.clock import SimulatedClock, SystemClock
+from repro.utils.ids import deterministic_id, random_id
+
+
+class TestClocks:
+    def test_simulated_clock_advances_only_on_sleep(self):
+        clock = SimulatedClock(start=10.0)
+        assert clock.now() == 10.0
+        clock.sleep(2.5)
+        assert clock.now() == 12.5
+        clock.advance(0.5)
+        assert clock.now() == 13.0
+
+    def test_negative_sleep_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedClock().sleep(-1)
+
+    def test_system_clock_monotonic(self):
+        clock = SystemClock()
+        a = clock.now()
+        b = clock.now()
+        assert b >= a
+
+
+class TestIds:
+    def test_random_ids_unique(self):
+        assert random_id() != random_id()
+        assert random_id("p-").startswith("p-")
+
+    def test_deterministic_ids_stable(self):
+        assert deterministic_id("a", b"b") == deterministic_id("a", b"b")
+        assert deterministic_id("a", "b") != deterministic_id("ab")
+
+
+class TestLatencyModel:
+    def test_charges_advance_clock(self):
+        clock = SimulatedClock()
+        model = LatencyModel(clock, seed=1)
+        charged = model.charge("wan_hop")
+        assert clock.now() == pytest.approx(charged)
+        assert charged > 0
+
+    def test_deterministic_under_seed(self):
+        a = LatencyModel(SimulatedClock(), seed=5)
+        b = LatencyModel(SimulatedClock(), seed=5)
+        assert [a.charge("lan_hop") for _ in range(5)] == [
+            b.charge("lan_hop") for _ in range(5)
+        ]
+
+    def test_count_multiplies(self):
+        clock = SimulatedClock()
+        model = LatencyModel(clock, seed=2)
+        model.charge("crypto_op", count=10)
+        single = LatencyModel(SimulatedClock(), seed=2)
+        assert clock.now() > single.charge("crypto_op")
+
+    def test_unknown_category(self):
+        with pytest.raises(KeyError):
+            LatencyModel(SimulatedClock()).charge("warp_drive")
+
+    def test_profiles_ordered_by_distance(self):
+        colocated = LatencyProfile.colocated()
+        wan = LatencyProfile()
+        intercontinental = LatencyProfile.intercontinental()
+        assert colocated.wan_hop < wan.wan_hop < intercontinental.wan_hop
+
+
+class TestMetrics:
+    def test_step_timer_records(self):
+        clock = SimulatedClock()
+        timer = StepTimer(clock)
+        with timer.step("one"):
+            clock.advance(1.0)
+        with timer.step("two"):
+            clock.advance(3.0)
+        assert timer.total() == pytest.approx(4.0)
+        rows = timer.rows()
+        assert rows[0][0] == "one"
+        assert rows[-1][0] == "TOTAL"
+
+    def test_format_table_aligns(self):
+        text = format_table(
+            [("a", "1"), ("long-name", "2")], headers=["col", "val"]
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("col")
+
+
+class TestSloc:
+    def test_count_ignores_blanks_and_comments(self):
+        source = "\n".join(["x = 1", "", "# comment", "   # indented comment", "y = 2"])
+        assert count_sloc(source) == 2
+
+    def test_regions_extracted(self):
+        source = "\n".join(
+            [
+                "a = 1",
+                "# [interop-begin]",
+                "b = 2",
+                "c = 3",
+                "# [interop-end]",
+                "d = 4",
+            ]
+        )
+        regions = interop_regions(source)
+        assert len(regions) == 1
+        assert count_sloc(regions[0]) == 2
+
+    def test_unterminated_region_rejected(self):
+        with pytest.raises(ValueError):
+            interop_regions("# [interop-begin]\nx = 1")
+
+    def test_end_without_begin_rejected(self):
+        with pytest.raises(ValueError):
+            interop_regions("# [interop-end]")
+
+    def test_measured_adaptation_matches_paper_shape(self):
+        """The §5 claim: adaptation is tens of lines, one-time."""
+        report = measure_adaptation()
+        assert 0 < report.source_chaincode_sloc <= 60
+        assert 0 < report.destination_chaincode_sloc <= 40
+        assert 0 < report.destination_app_sloc <= 120
+        # Destination app adaptation is the largest, as in the paper.
+        assert report.destination_app_sloc > report.destination_chaincode_sloc
+
+    def test_interop_sloc_of_chaincodes_positive(self):
+        from repro.apps.stl.chaincode import TradeLensChaincode
+        from repro.apps.swt.chaincode import WeTradeChaincode
+
+        assert interop_sloc_of(TradeLensChaincode) > 0
+        assert interop_sloc_of(WeTradeChaincode) > 0

@@ -1,0 +1,83 @@
+"""Tests for varint and zig-zag encodings."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import DecodeError
+from repro.wire.varint import (
+    decode_varint,
+    encode_varint,
+    zigzag_decode,
+    zigzag_encode,
+)
+
+
+class TestVarint:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (0, b"\x00"),
+            (1, b"\x01"),
+            (127, b"\x7f"),
+            (128, b"\x80\x01"),
+            (300, b"\xac\x02"),  # protobuf documentation example
+            (2**64 - 1, b"\xff\xff\xff\xff\xff\xff\xff\xff\xff\x01"),
+        ],
+    )
+    def test_known_encodings(self, value, expected):
+        assert encode_varint(value) == expected
+        decoded, offset = decode_varint(expected)
+        assert decoded == value
+        assert offset == len(expected)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            encode_varint(-1)
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            encode_varint(2**64)
+
+    def test_truncated_rejected(self):
+        with pytest.raises(DecodeError):
+            decode_varint(b"\x80")
+
+    def test_overlong_rejected(self):
+        with pytest.raises(DecodeError):
+            decode_varint(b"\x80" * 11)
+
+    def test_decode_at_offset(self):
+        data = b"\xff" + encode_varint(300)
+        value, offset = decode_varint(data, 1)
+        assert value == 300
+        assert offset == len(data)
+
+    @given(value=st.integers(min_value=0, max_value=2**64 - 1))
+    def test_roundtrip_property(self, value):
+        decoded, offset = decode_varint(encode_varint(value))
+        assert decoded == value
+
+
+class TestZigZag:
+    @pytest.mark.parametrize(
+        "signed,unsigned",
+        [(0, 0), (-1, 1), (1, 2), (-2, 3), (2, 4), (2147483647, 4294967294)],
+    )
+    def test_known_mappings(self, signed, unsigned):
+        assert zigzag_encode(signed) == unsigned
+        assert zigzag_decode(unsigned) == signed
+
+    def test_extremes(self):
+        lo, hi = -(1 << 63), (1 << 63) - 1
+        assert zigzag_decode(zigzag_encode(lo)) == lo
+        assert zigzag_decode(zigzag_encode(hi)) == hi
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            zigzag_encode(1 << 63)
+
+    @given(value=st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1))
+    def test_roundtrip_property(self, value):
+        assert zigzag_decode(zigzag_encode(value)) == value
