@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import json
 
+from repro.api import InteropGateway
 from repro.fabric import Chaincode, NetworkBuilder
 from repro.fabric.chaincode import require_args
 from repro.interop import (
@@ -129,6 +130,32 @@ def main() -> None:
     print("\nEach attestation is a source-peer signature over the query, the")
     print("nonce, and the result hash — validated against the source network's")
     print("MSP roots recorded on the destination ledger. No trusted mediator.")
+
+    # --- 5. Batched, pipelined queries via the unified gateway ---------------
+    # The repro.api façade wraps the same machinery with a fluent builder and
+    # future-style handles: every submit() below is pipelined, and all three
+    # queries travel to source-net in ONE batch envelope — one discovery
+    # lookup, one round-trip, one failover loop, with the source driver
+    # fanning the members concurrently.
+    for key, value in [
+        ("invoice-8", '{"amount": 760, "currency": "EUR"}'),
+        ("invoice-9", '{"amount": 90, "currency": "GBP"}'),
+    ]:
+        source.gateway.submit(source_admin, "docs", "Put", [key, value])
+
+    gateway = InteropGateway.from_client(client)
+    handles = [
+        gateway.query("source-net/main/docs/Get").with_args(key).submit()
+        for key in ("invoice-7", "invoice-8", "invoice-9")
+    ]
+    print("\nbatched fetch via InteropGateway (one envelope round-trip):")
+    for key, handle in zip(("invoice-7", "invoice-8", "invoice-9"), handles):
+        document = handle.result()  # first result() flushes the whole set
+        print(f"  {key}: {document.data.decode()}  "
+              f"[{len(document.proof)} attestations]")
+    source_relay_stats = registry.lookup("source-net")[0].stats
+    print(f"source relay totals: {source_relay_stats.requests_served} queries "
+          f"served, {source_relay_stats.batches_served} batch envelope(s)")
 
 
 if __name__ == "__main__":

@@ -25,6 +25,8 @@ Package map:
 - :mod:`repro.corda`, :mod:`repro.quorum` -- alternative platforms
 - :mod:`repro.interop` -- relays, drivers, system contracts, proofs (the
   paper's contribution)
+- :mod:`repro.api` -- the unified application-facing gateway: fluent
+  queries, batched pipelined execution, relay middleware chain
 - :mod:`repro.apps` -- the STL/SWT trade use case
 - :mod:`repro.sim` -- latency models, metrics, SLOC accounting
 """

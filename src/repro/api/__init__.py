@@ -1,0 +1,47 @@
+"""repro.api: the unified application-facing gateway layer.
+
+This package is the production surface over the paper's relay machinery
+(:mod:`repro.interop`): one façade object, fluent query building, batched
+pipelined execution, and a composable relay middleware chain.
+
+- :class:`InteropGateway` — the façade: ``gateway.query(addr)...`` for
+  fluent singles, ``gateway.batch()`` / ``submit()`` handles for pipelined
+  batches that share one envelope round-trip per target network.
+- :class:`QueryBuilder` / :class:`QuerySpec` — fluent query description.
+- :class:`QuerySet` / :class:`QueryHandle` — future-style pipelining with
+  partial-failure semantics (one bad member never poisons the rest).
+- :mod:`repro.api.middleware` — relay interceptors: rate limiting
+  (refactored from the relay core), metrics, request logging, response
+  caching. Install with ``relay.use(...)``.
+
+The legacy entry points (``InteropClient.remote_query``, the
+``RelayService`` constructor's ``rate_limiter=``) keep working unchanged;
+they are thin shims over this layer's machinery.
+"""
+
+from repro.api.batch import BatchExecutor, QueryHandle, QuerySet, QuerySpec
+from repro.api.builder import QueryBuilder
+from repro.api.gateway import InteropGateway
+from repro.api.middleware import (
+    Interceptor,
+    MetricsInterceptor,
+    RateLimitInterceptor,
+    RelayContext,
+    RequestLoggingInterceptor,
+    ResponseCacheInterceptor,
+)
+
+__all__ = [
+    "InteropGateway",
+    "QueryBuilder",
+    "QuerySpec",
+    "QuerySet",
+    "QueryHandle",
+    "BatchExecutor",
+    "Interceptor",
+    "RelayContext",
+    "RateLimitInterceptor",
+    "MetricsInterceptor",
+    "RequestLoggingInterceptor",
+    "ResponseCacheInterceptor",
+]

@@ -1,0 +1,176 @@
+"""Pipelined query execution: specs, handles, query sets, batch executor.
+
+The pipeline model: applications *submit* any number of queries (getting a
+:class:`QueryHandle` each, future-style), and the whole set is *flushed* in
+one go — members sharing a target network travel in a single
+``MSG_KIND_BATCH_REQUEST`` envelope, so N queries cost one discovery
+lookup, one round-trip, and one failover loop per target instead of N.
+
+Partial-failure semantics hold end to end: one failed member (bad address,
+denied access, unsatisfiable policy, driver error) surfaces on *its*
+handle; the rest complete normally. Only a transport-level failure (no
+relay reachable for a target) poisons that target's members.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import InteropError
+from repro.interop.client import InteropClient, RemoteQueryResult
+from repro.proto.address import parse_address
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.api.builder import QueryBuilder
+
+
+@dataclass
+class QuerySpec:
+    """One fully-specified member of a batch (what a builder produces)."""
+
+    address: str
+    args: list[str] = field(default_factory=list)
+    policy: str | None = None
+    confidential: bool = True
+    verify_locally: bool = True
+
+
+class QueryHandle:
+    """Future-style handle for one submitted query.
+
+    ``result()`` flushes the owning :class:`QuerySet` on first use, then
+    returns the :class:`RemoteQueryResult` or re-raises the member's
+    failure. ``exception()`` inspects the failure without raising.
+    """
+
+    def __init__(self, queryset: "QuerySet", spec: QuerySpec) -> None:
+        self._queryset = queryset
+        self.spec = spec
+        self._done = False
+        self._result: RemoteQueryResult | None = None
+        self._exception: BaseException | None = None
+
+    def done(self) -> bool:
+        return self._done
+
+    def result(self) -> RemoteQueryResult:
+        if not self._done:
+            self._queryset.flush()
+        if self._exception is not None:
+            raise self._exception
+        assert self._result is not None
+        return self._result
+
+    def exception(self) -> BaseException | None:
+        if not self._done:
+            self._queryset.flush()
+        return self._exception
+
+    def _resolve(self, result: RemoteQueryResult | None, exception: BaseException | None) -> None:
+        self._result = result
+        self._exception = exception
+        self._done = True
+
+
+class QuerySet:
+    """A set of queries flushed together as per-target batch envelopes."""
+
+    def __init__(self, client: InteropClient) -> None:
+        self._client = client
+        self._pending: list[QueryHandle] = []
+        self._flushed = False
+
+    @property
+    def flushed(self) -> bool:
+        """True once :meth:`flush` has run (until a new member is added)."""
+        return self._flushed
+
+    def query(self, address: str) -> "QueryBuilder":
+        """Start a fluent builder whose ``submit()`` lands in this set."""
+        from repro.api.builder import QueryBuilder
+
+        return QueryBuilder(self._client, address, queryset=self)
+
+    def add(self, spec: QuerySpec) -> QueryHandle:
+        """Enqueue one spec; returns its handle (resolved on flush)."""
+        handle = QueryHandle(self, spec)
+        self._pending.append(handle)
+        self._flushed = False
+        return handle
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    @property
+    def pending(self) -> tuple[QueryHandle, ...]:
+        return tuple(self._pending)
+
+    def flush(self) -> list[QueryHandle]:
+        """Execute every pending member in batched envelopes.
+
+        Returns the flushed handles (all resolved); never raises for a
+        member failure — inspect each handle.
+        """
+        handles, self._pending = self._pending, []
+        self._flushed = True
+        if handles:
+            BatchExecutor(self._client).execute(handles)
+        return handles
+
+    def results(self) -> list[RemoteQueryResult]:
+        """Flush and return every result, raising on the first failure."""
+        return [handle.result() for handle in self.flush()]
+
+
+class BatchExecutor:
+    """Prepares, ships, and finalizes a set of handles.
+
+    Amortizes per-target costs: the CMDAC verification-policy lookup is
+    resolved once per target network (members with an explicit policy skip
+    it), and the relay groups members per target into single batch
+    envelopes (:meth:`RelayService.remote_query_batch`).
+    """
+
+    def __init__(self, client: InteropClient) -> None:
+        self._client = client
+
+    def execute(self, handles: list[QueryHandle]) -> None:
+        policy_cache: dict[str, str] = {}
+        by_target: dict[str, list[tuple[QueryHandle, object]]] = {}
+        for handle in handles:
+            spec = handle.spec
+            try:
+                policy = spec.policy
+                if policy is None:
+                    target = parse_address(spec.address).network
+                    if target not in policy_cache:
+                        policy_cache[target] = self._client.lookup_policy(target)
+                    policy = policy_cache[target]
+                prepared = self._client.prepare_query(
+                    spec.address,
+                    list(spec.args),
+                    policy=policy,
+                    confidential=spec.confidential,
+                    verify_locally=spec.verify_locally,
+                )
+            except Exception as exc:  # noqa: BLE001 - resolves onto the handle
+                handle._resolve(None, exc)
+                continue
+            by_target.setdefault(prepared.target_network, []).append((handle, prepared))
+        for target, members in by_target.items():
+            try:
+                responses = self._client.relay.remote_query_batch(
+                    [prepared.query for _, prepared in members]
+                )
+            except InteropError as exc:
+                for handle, _ in members:
+                    handle._resolve(None, exc)
+                continue
+            for (handle, prepared), response in zip(members, responses):
+                try:
+                    handle._resolve(
+                        self._client.finalize_response(prepared, response), None
+                    )
+                except Exception as exc:  # noqa: BLE001 - resolves onto the handle
+                    handle._resolve(None, exc)

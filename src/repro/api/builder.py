@@ -1,0 +1,106 @@
+"""The fluent query builder.
+
+One builder describes one cross-network query::
+
+    gateway.query("stl/trade-logistics/TradeLensCC/GetBillOfLading") \\
+        .with_args("PO-1") \\
+        .with_policy("AND(org:seller-org, org:carrier-org)") \\
+        .confidential() \\
+        .submit()            # -> QueryHandle, pipelined with its QuerySet
+
+``submit()`` enqueues the query into the builder's :class:`QuerySet` (the
+gateway's ambient set, unless the builder came from an explicit
+``gateway.batch()`` set) and returns a future-style handle; ``execute()``
+bypasses batching and runs the query immediately.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.api.batch import QueryHandle, QuerySpec
+from repro.interop.client import InteropClient, RemoteQueryResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.batch import QuerySet
+
+
+class QueryBuilder:
+    """Accumulates one query's parameters; immutable-feeling fluent API.
+
+    Every mutator returns ``self``, so calls chain; a builder can be
+    submitted or executed once per configuration (re-submitting enqueues a
+    fresh copy of the current spec).
+    """
+
+    def __init__(
+        self,
+        client: InteropClient,
+        address: str,
+        queryset: "QuerySet | None" = None,
+    ) -> None:
+        self._client = client
+        self._queryset = queryset
+        self._address = address
+        self._args: list[str] = []
+        self._policy: str | None = None
+        self._confidential = True
+        self._verify_locally = True
+
+    # -- fluent mutators ----------------------------------------------------------
+
+    def with_args(self, *args: str) -> "QueryBuilder":
+        """Set the remote function's arguments (replaces prior args)."""
+        self._args = [str(arg) for arg in args]
+        return self
+
+    def with_policy(self, expression: str) -> "QueryBuilder":
+        """Pin an explicit verification policy instead of the CMDAC's."""
+        self._policy = expression
+        return self
+
+    def confidential(self, flag: bool = True) -> "QueryBuilder":
+        """Request end-to-end encryption of result and proof (default)."""
+        self._confidential = flag
+        return self
+
+    def plain(self) -> "QueryBuilder":
+        """Disable confidentiality (results travel unencrypted)."""
+        return self.confidential(False)
+
+    def verify_locally(self, flag: bool = True) -> "QueryBuilder":
+        """Toggle client-side pre-validation of the returned proof."""
+        self._verify_locally = flag
+        return self
+
+    # -- terminal operations ------------------------------------------------------
+
+    def build(self) -> QuerySpec:
+        """The spec this builder currently describes."""
+        return QuerySpec(
+            address=self._address,
+            args=list(self._args),
+            policy=self._policy,
+            confidential=self._confidential,
+            verify_locally=self._verify_locally,
+        )
+
+    def submit(self) -> QueryHandle:
+        """Enqueue into the bound query set; returns a pipelined handle."""
+        if self._queryset is None:
+            raise RuntimeError(
+                "this builder is not bound to a QuerySet; create it via "
+                "gateway.query(...) or queryset.query(...)"
+            )
+        return self._queryset.add(self.build())
+
+    def execute(self) -> RemoteQueryResult:
+        """Run the query immediately (no batching), returning its result."""
+        spec = self.build()
+        return self._client.remote_query(
+            spec.address,
+            spec.args,
+            policy=spec.policy,
+            confidential=spec.confidential,
+            verify_locally=spec.verify_locally,
+        )

@@ -1,0 +1,130 @@
+"""The unified application-facing gateway façade.
+
+:class:`InteropGateway` is the one entry point a production application
+needs: fluent single queries, pipelined/batched query sets, and access to
+the relay's middleware chain — all over the same trusted-data-transfer
+machinery the paper specifies (the gateway never weakens the protocol; it
+only changes how requests are *composed*).
+
+Example::
+
+    gateway = InteropGateway(app_identity, relay, "swt",
+                             ledger_gateway=network.gateway)
+
+    # one-shot fluent query
+    result = gateway.query(ADDR).with_args("PO-1").confidential().execute()
+
+    # pipelined batch: one envelope round-trip per target network
+    handles = [
+        gateway.query(ADDR).with_args(ref).submit() for ref in refs
+    ]
+    documents = [handle.result() for handle in handles]
+
+The legacy surface (:class:`repro.interop.InteropClient`) remains fully
+supported; the gateway wraps a client and exposes it via :attr:`client`.
+"""
+
+from __future__ import annotations
+
+from repro.api.batch import QueryHandle, QuerySet
+from repro.api.builder import QueryBuilder
+from repro.fabric.gateway import Gateway
+from repro.fabric.identity import Identity
+from repro.interop.client import InteropClient, RemoteQueryResult
+from repro.interop.relay import RelayInterceptor, RelayService
+
+
+class InteropGateway:
+    """Façade over one identity's cross-network query capabilities."""
+
+    def __init__(
+        self,
+        identity: Identity | None = None,
+        relay: RelayService | None = None,
+        network_id: str | None = None,
+        ledger_gateway: Gateway | None = None,
+        client: InteropClient | None = None,
+    ) -> None:
+        if client is None:
+            if identity is None or relay is None or network_id is None:
+                raise TypeError(
+                    "InteropGateway needs either a ready InteropClient or "
+                    "(identity, relay, network_id)"
+                )
+            client = InteropClient(identity, relay, network_id, gateway=ledger_gateway)
+        self._client = client
+        self._ambient: QuerySet | None = None
+
+    @classmethod
+    def from_client(cls, client: InteropClient) -> "InteropGateway":
+        """Wrap an existing legacy client without rebuilding it."""
+        return cls(client=client)
+
+    # -- composition --------------------------------------------------------------
+
+    @property
+    def client(self) -> InteropClient:
+        return self._client
+
+    @property
+    def relay(self) -> RelayService:
+        return self._client.relay
+
+    @property
+    def identity(self) -> Identity:
+        return self._client.identity
+
+    @property
+    def network_id(self) -> str:
+        return self._client.network_id
+
+    def use(self, *interceptors: RelayInterceptor) -> "InteropGateway":
+        """Install middleware on the underlying relay; returns ``self``."""
+        self.relay.use(*interceptors)
+        return self
+
+    # -- query surface ------------------------------------------------------------
+
+    def query(self, address: str) -> QueryBuilder:
+        """Fluent builder whose ``submit()`` joins the ambient query set.
+
+        The ambient set flushes when any of its handles is awaited (or via
+        :meth:`dispatch`); submissions after a flush start a fresh set.
+        Builders created before any ``submit()`` all bind to the same set —
+        only a flush retires it.
+        """
+        if self._ambient is None or self._ambient.flushed:
+            self._ambient = QuerySet(self._client)
+        return self._ambient.query(address)
+
+    def batch(self) -> QuerySet:
+        """An explicit, independently-flushed query set."""
+        return QuerySet(self._client)
+
+    def dispatch(self) -> list[QueryHandle]:
+        """Flush the ambient query set now; returns the resolved handles."""
+        if self._ambient is None:
+            return []
+        ambient, self._ambient = self._ambient, None
+        return ambient.flush()
+
+    # -- legacy passthroughs ------------------------------------------------------
+
+    def remote_query(
+        self,
+        address_text: str,
+        args: list[str],
+        policy: str | None = None,
+        confidential: bool = True,
+        verify_locally: bool = True,
+    ) -> RemoteQueryResult:
+        """Synchronous single query (same contract as the legacy client)."""
+        return self._client.remote_query(
+            address_text, args, policy, confidential, verify_locally
+        )
+
+    def remote_query_batch(
+        self, requests: list[tuple[str, list[str]]], **options
+    ) -> list[RemoteQueryResult]:
+        """Batched convenience that raises on the first failed member."""
+        return self._client.remote_query_batch(requests, **options)

@@ -1,0 +1,206 @@
+"""Composable relay interceptors (the gateway-side middleware chain).
+
+A relay's request path is a chain of interceptors terminated by the kind
+dispatcher (:meth:`RelayService._dispatch`). Each interceptor is a callable
+``(ctx, call_next) -> bytes`` installed with :meth:`RelayService.use`; the
+first installed runs outermost. The chain machinery and the
+:class:`RateLimitInterceptor` (the paper's §5 DoS shedding, refactored out
+of the relay core) live in :mod:`repro.interop.relay` and are re-exported
+here; this module adds the operational interceptors a production gateway
+needs: metrics, request logging, and response caching.
+
+Example::
+
+    relay = RelayService("stl", registry)
+    metrics = MetricsInterceptor()
+    relay.use(
+        RateLimitInterceptor(RateLimiter(100, 1.0)),
+        metrics,
+        RequestLoggingInterceptor(),
+        ResponseCacheInterceptor(ttl_seconds=0.5),
+    )
+"""
+
+from __future__ import annotations
+
+import logging
+from collections import OrderedDict, deque
+
+from repro.crypto.hashing import sha256
+from repro.interop.relay import (  # noqa: F401 - re-exported chain primitives
+    RateLimiter,
+    RateLimitInterceptor,
+    RelayContext,
+    RelayHandler,
+    RelayInterceptor,
+)
+from repro.proto.messages import MSG_KIND_ERROR, RelayEnvelope
+from repro.utils.clock import Clock, SystemClock
+
+logger = logging.getLogger("repro.relay")
+
+
+class Interceptor:
+    """Optional base class: subclass and override :meth:`handle`.
+
+    Plain callables work just as well — this base only adds the
+    ``__call__``/``handle`` indirection for subclasses that want instance
+    state (counters, caches).
+    """
+
+    def __call__(self, ctx: RelayContext, call_next: RelayHandler) -> bytes:
+        return self.handle(ctx, call_next)
+
+    def handle(self, ctx: RelayContext, call_next: RelayHandler) -> bytes:
+        return call_next(ctx)
+
+
+_REPLY_VERDICT_KEY = "_repro.reply_is_error"
+
+
+def _reply_is_error(ctx: RelayContext, reply: bytes) -> bool:
+    """Whether ``reply`` is an error envelope, decoded once per request.
+
+    Stacked interceptors inspect the same reply object on the way out;
+    the verdict is memoized on the context so the envelope is decoded at
+    most once per chain traversal.
+    """
+    cached = ctx.metadata.get(_REPLY_VERDICT_KEY)
+    if isinstance(cached, tuple) and cached[0] is reply:
+        return cached[1]
+    try:
+        verdict = RelayEnvelope.decode(reply).kind == MSG_KIND_ERROR
+    except Exception:
+        verdict = True
+    ctx.metadata[_REPLY_VERDICT_KEY] = (reply, verdict)
+    return verdict
+
+
+class MetricsInterceptor(Interceptor):
+    """Per-kind request counters, byte counts, and latency accumulation."""
+
+    def __init__(self, clock: Clock | None = None) -> None:
+        self._clock = clock or SystemClock()
+        self.requests_total = 0
+        self.errors_total = 0
+        self.bytes_in = 0
+        self.bytes_out = 0
+        self.seconds_total = 0.0
+        self.seconds_max = 0.0
+        self.by_kind: dict[int, int] = {}
+
+    def handle(self, ctx: RelayContext, call_next: RelayHandler) -> bytes:
+        started = self._clock.now()
+        reply = call_next(ctx)
+        elapsed = self._clock.now() - started
+        self.requests_total += 1
+        self.bytes_in += len(ctx.raw)
+        self.bytes_out += len(reply)
+        self.seconds_total += elapsed
+        self.seconds_max = max(self.seconds_max, elapsed)
+        self.by_kind[ctx.kind] = self.by_kind.get(ctx.kind, 0) + 1
+        if _reply_is_error(ctx, reply):
+            self.errors_total += 1
+        return reply
+
+    def snapshot(self) -> dict:
+        """A plain-dict rendering suitable for export/printing."""
+        mean = self.seconds_total / self.requests_total if self.requests_total else 0.0
+        return {
+            "requests_total": self.requests_total,
+            "errors_total": self.errors_total,
+            "bytes_in": self.bytes_in,
+            "bytes_out": self.bytes_out,
+            "seconds_total": self.seconds_total,
+            "seconds_mean": mean,
+            "seconds_max": self.seconds_max,
+            "by_kind": dict(self.by_kind),
+        }
+
+
+class RequestLoggingInterceptor(Interceptor):
+    """Structured per-request records, kept in memory and mirrored to
+    the ``repro.relay`` :mod:`logging` logger."""
+
+    def __init__(
+        self,
+        log: logging.Logger | None = None,
+        max_records: int = 1024,
+        clock: Clock | None = None,
+    ) -> None:
+        self._log = log or logger
+        self._clock = clock or SystemClock()
+        self.records: deque[dict] = deque(maxlen=max_records)
+
+    def handle(self, ctx: RelayContext, call_next: RelayHandler) -> bytes:
+        started = self._clock.now()
+        reply = call_next(ctx)
+        record = {
+            "relay_id": ctx.relay.relay_id,
+            "request_id": ctx.request_id,
+            "kind": ctx.kind,
+            "outcome": "error" if _reply_is_error(ctx, reply) else "ok",
+            "seconds": self._clock.now() - started,
+            "bytes_in": len(ctx.raw),
+            "bytes_out": len(reply),
+        }
+        self.records.append(record)
+        self._log.debug(
+            "%s served %s request %s: %s in %.6fs",
+            record["relay_id"],
+            record["kind"],
+            record["request_id"] or "<unknown>",
+            record["outcome"],
+            record["seconds"],
+        )
+        return reply
+
+
+class ResponseCacheInterceptor(Interceptor):
+    """Short-TTL cache of successful replies, keyed by the raw request.
+
+    Because every client query carries a fresh nonce, identical raw bytes
+    only occur on retries and failover replays — exactly the traffic a
+    gateway wants to absorb without re-driving proof collection. Error
+    envelopes are never cached.
+    """
+
+    def __init__(
+        self,
+        ttl_seconds: float = 1.0,
+        max_entries: int = 256,
+        clock: Clock | None = None,
+    ) -> None:
+        if ttl_seconds <= 0:
+            raise ValueError("ttl_seconds must be positive")
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.ttl_seconds = ttl_seconds
+        self.max_entries = max_entries
+        self._clock = clock or SystemClock()
+        self._entries: OrderedDict[bytes, tuple[float, bytes]] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def handle(self, ctx: RelayContext, call_next: RelayHandler) -> bytes:
+        key = sha256(ctx.raw)
+        now = self._clock.now()
+        entry = self._entries.get(key)
+        if entry is not None:
+            expires, reply = entry
+            if now < expires:
+                self.hits += 1
+                self._entries.move_to_end(key)
+                return reply
+            del self._entries[key]
+        self.misses += 1
+        reply = call_next(ctx)
+        if not _reply_is_error(ctx, reply):
+            self._entries[key] = (now + self.ttl_seconds, reply)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+        return reply
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -32,10 +32,16 @@ from repro.interop.discovery import (
     FileRegistry,
     InMemoryRegistry,
 )
-from repro.interop.relay import RelayService, RateLimiter
-from repro.interop.client import InteropClient, RemoteQueryResult
+from repro.interop.relay import (
+    RateLimiter,
+    RateLimitInterceptor,
+    RelayContext,
+    RelayService,
+)
+from repro.interop.client import InteropClient, PreparedQuery, RemoteQueryResult
 from repro.interop.bootstrap import (
     create_fabric_relay,
+    create_interop_gateway,
     enable_fabric_interop,
     link_networks,
 )
@@ -52,9 +58,13 @@ __all__ = [
     "FileRegistry",
     "RelayService",
     "RateLimiter",
+    "RateLimitInterceptor",
+    "RelayContext",
     "InteropClient",
+    "PreparedQuery",
     "RemoteQueryResult",
     "enable_fabric_interop",
     "create_fabric_relay",
+    "create_interop_gateway",
     "link_networks",
 ]

@@ -16,6 +16,8 @@ is that adaptation path:
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.fabric.identity import Identity
 from repro.fabric.network import FabricNetwork
 from repro.fabric.peer import Peer, Proposal
@@ -115,12 +117,15 @@ def create_fabric_relay(
     rate_limiter: RateLimiter | None = None,
     relay_id: str | None = None,
     register: bool = True,
+    middleware: Sequence | None = None,
 ) -> RelayService:
     """Stand up a relay service fronting ``network``.
 
     With ``register`` (and an :class:`InMemoryRegistry`), the relay is
     registered for discovery; deploy several relays for one network to get
-    the paper's redundant-relay DoS mitigation.
+    the paper's redundant-relay DoS mitigation. ``middleware`` installs
+    interceptors (see :mod:`repro.api.middleware`) after the legacy
+    ``rate_limiter`` shim, in the given order.
     """
     relay = RelayService(
         network_id=network.name,
@@ -129,10 +134,31 @@ def create_fabric_relay(
         rate_limiter=rate_limiter,
         relay_id=relay_id,
     )
+    if middleware:
+        relay.use(*middleware)
     relay.register_driver(FabricDriver(network))
     if register and isinstance(discovery, InMemoryRegistry):
         discovery.register(network.name, relay)
     return relay
+
+
+def create_interop_gateway(
+    identity: Identity,
+    relay: RelayService,
+    network_id: str,
+    ledger_gateway=None,
+):
+    """Stand up the application-facing :class:`repro.api.InteropGateway`.
+
+    Convenience mirror of :func:`create_fabric_relay` for the destination
+    side; imports lazily so :mod:`repro.interop` stays importable without
+    the api layer.
+    """
+    from repro.api.gateway import InteropGateway
+
+    return InteropGateway(
+        identity, relay, network_id, ledger_gateway=ledger_gateway
+    )
 
 
 def record_foreign_network(

@@ -64,6 +64,30 @@ class RemoteQueryResult:
         return sha256(self.data).hex()
 
 
+@dataclass
+class PreparedQuery:
+    """A fully-built wire query awaiting transport.
+
+    Produced by :meth:`InteropClient.prepare_query` and consumed by
+    :meth:`InteropClient.finalize_response`; carries everything the client
+    needs to check and decrypt the eventual reply (nonce binding, parsed
+    policy, confidentiality mode).
+    """
+
+    address_text: str
+    address: CrossNetworkAddress
+    args: list[str]
+    nonce: str
+    query: NetworkQuery
+    parsed_policy: object
+    confidential: bool
+    verify_locally: bool
+
+    @property
+    def target_network(self) -> str:
+        return self.address.network
+
+
 class InteropClient:
     """Issues trusted cross-network queries on behalf of one identity.
 
@@ -89,6 +113,14 @@ class InteropClient:
     def identity(self) -> Identity:
         return self._identity
 
+    @property
+    def relay(self) -> RelayService:
+        return self._relay
+
+    @property
+    def network_id(self) -> str:
+        return self._network_id
+
     def _lookup_policy(self, target_network: str) -> str:
         """Fetch the locally-recorded verification policy for a network.
 
@@ -106,20 +138,26 @@ class InteropClient:
         )
         return raw.decode("utf-8")
 
-    def remote_query(
+    def lookup_policy(self, target_network: str) -> str:
+        """Public form of the CMDAC policy lookup (used by batch executors
+        to resolve the policy once per target network instead of once per
+        member query)."""
+        return self._lookup_policy(target_network)
+
+    def prepare_query(
         self,
         address_text: str,
         args: list[str],
         policy: str | None = None,
         confidential: bool = True,
         verify_locally: bool = True,
-    ) -> RemoteQueryResult:
-        """Execute steps (1)-(9) of the message flow and decrypt the reply.
+    ) -> PreparedQuery:
+        """Build the wire query for one request without sending it.
 
-        Raises :class:`AccessDeniedError` if the source network's exposure
-        control denied the request, :class:`RelayError` for relay-level
-        failures, and :class:`ProofError` if the response or proof fails
-        client-side checks.
+        This is the front half of :meth:`remote_query`, exposed so batch
+        and pipelined executors (:mod:`repro.api`) can prepare many queries
+        up front, ship them in one envelope, and finish each reply with
+        :meth:`finalize_response`.
         """
         address = parse_address(address_text)
         policy_expression = policy if policy is not None else self._lookup_policy(
@@ -147,7 +185,27 @@ class InteropClient:
             policy=VerificationPolicyMsg(expression=policy_expression),
             confidential=confidential,
         )
-        response = self._relay.remote_query(query)
+        return PreparedQuery(
+            address_text=address_text,
+            address=address,
+            args=list(args),
+            nonce=nonce,
+            query=query,
+            parsed_policy=parsed_policy,
+            confidential=confidential,
+            verify_locally=verify_locally,
+        )
+
+    def finalize_response(
+        self, prepared: PreparedQuery, response: QueryResponse
+    ) -> RemoteQueryResult:
+        """Decrypt, check, and (optionally) locally verify one reply.
+
+        The back half of :meth:`remote_query`; raises exactly the same
+        errors (:class:`AccessDeniedError`, :class:`RelayError`,
+        :class:`ProofError`).
+        """
+        address_text = prepared.address_text
         if response.status == STATUS_ACCESS_DENIED:
             raise AccessDeniedError(
                 f"source network denied the query {address_text!r}: "
@@ -157,31 +215,83 @@ class InteropClient:
             raise RelayError(
                 f"remote query {address_text!r} failed: {response.error}"
             )
-        if response.nonce != nonce:
+        if response.nonce != prepared.nonce:
             raise ProofError(
                 f"response nonce {response.nonce!r} does not match the query "
-                f"nonce {nonce!r} (possible replay or relay confusion)"
+                f"nonce {prepared.nonce!r} (possible replay or relay confusion)"
             )
-        envelope = response.result_cipher if confidential else response.result_plain
+        envelope = (
+            response.result_cipher if prepared.confidential else response.result_plain
+        )
         if not envelope:
             raise ProofError("response carries no result envelope")
-        private_key = self._identity.keypair.private if confidential else None
+        private_key = self._identity.keypair.private if prepared.confidential else None
         data = unseal_result(envelope, private_key)
         attestations = tuple(
             decrypt_attestation(attestation, self._identity.keypair.private)
             for attestation in response.attestations
         )
         bundle = ProofBundle(attestations=attestations)
-        if verify_locally:
-            self._verify_locally(address, args, nonce, data, bundle, parsed_policy)
+        if prepared.verify_locally:
+            self._verify_locally(
+                prepared.address,
+                prepared.args,
+                prepared.nonce,
+                data,
+                bundle,
+                prepared.parsed_policy,
+            )
         return RemoteQueryResult(
             address=address_text,
-            args=list(args),
+            args=list(prepared.args),
             data=data,
             proof=bundle,
-            nonce=nonce,
+            nonce=prepared.nonce,
             response=response,
         )
+
+    def remote_query(
+        self,
+        address_text: str,
+        args: list[str],
+        policy: str | None = None,
+        confidential: bool = True,
+        verify_locally: bool = True,
+    ) -> RemoteQueryResult:
+        """Execute steps (1)-(9) of the message flow and decrypt the reply.
+
+        Raises :class:`AccessDeniedError` if the source network's exposure
+        control denied the request, :class:`RelayError` for relay-level
+        failures, and :class:`ProofError` if the response or proof fails
+        client-side checks.
+        """
+        prepared = self.prepare_query(
+            address_text, args, policy, confidential, verify_locally
+        )
+        response = self._relay.remote_query(prepared.query)
+        return self.finalize_response(prepared, response)
+
+    def remote_query_batch(
+        self, requests: list[tuple[str, list[str]]], **options
+    ) -> list[RemoteQueryResult]:
+        """Execute N queries as batch envelopes (one per target network).
+
+        ``requests`` is a list of ``(address, args)`` pairs; ``options``
+        are forwarded to each member (``policy``, ``confidential``,
+        ``verify_locally``). Unlike the :class:`repro.api.InteropGateway`
+        pipeline, this convenience raises on the *first* failed member —
+        use the gateway's :class:`~repro.api.QuerySet` for per-member
+        partial-failure handling.
+        """
+        prepared = [
+            self.prepare_query(address_text, args, **options)
+            for address_text, args in requests
+        ]
+        responses = self._relay.remote_query_batch([p.query for p in prepared])
+        return [
+            self.finalize_response(p, response)
+            for p, response in zip(prepared, responses)
+        ]
 
     def _verify_locally(
         self,

@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from concurrent.futures import ThreadPoolExecutor
+from typing import Sequence
 
 from repro.proto.messages import (
     PROTOCOL_VERSION,
@@ -24,12 +26,42 @@ class NetworkDriver(ABC):
 
     platform: str = ""
 
+    #: Upper bound on concurrent in-flight queries when serving a batch.
+    #: Drivers fronting networks whose client stack is not thread-safe can
+    #: set this to 1 to force sequential execution.
+    batch_concurrency: int = 4
+
     def __init__(self, network_id: str) -> None:
         self.network_id = network_id
 
     @abstractmethod
     def execute_query(self, query: NetworkQuery) -> QueryResponse:
         """Orchestrate proof collection for one query (§3.3 steps 5-7)."""
+
+    def execute_batch(self, queries: Sequence[NetworkQuery]) -> list[QueryResponse]:
+        """Serve every query of a batch, fanning across the driver.
+
+        Partial-failure semantics: a member that raises is answered with a
+        ``STATUS_ERROR`` response in its slot; the remaining members are
+        unaffected. Responses are positional (``result[i]`` answers
+        ``queries[i]``).
+        """
+        queries = list(queries)
+        if not queries:
+            return []
+        workers = min(self.batch_concurrency, len(queries))
+        if workers <= 1:
+            return [self._execute_guarded(query) for query in queries]
+        with ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix=f"driver-{self.network_id}"
+        ) as executor:
+            return list(executor.map(self._execute_guarded, queries))
+
+    def _execute_guarded(self, query: NetworkQuery) -> QueryResponse:
+        try:
+            return self.execute_query(query)
+        except Exception as exc:  # noqa: BLE001 - a batch member must not escape
+            return self._error(query, f"driver failed to execute the query: {exc}")
 
     # -- shared error helpers ---------------------------------------------------
 

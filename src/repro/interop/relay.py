@@ -12,12 +12,22 @@ fetching the data along with verifiable proofs from remote networks"
 - the architecture "assumes minimal trust in the relay": a relay never
   sees plaintext results or decryptable proofs in confidential mode;
 - availability: rate limiting sheds DoS load, and destination-side lookup
-  returns all redundant relays of a network so callers fail over (§5).
+  returns all redundant relays of a network so callers fail over (§5);
+- cross-cutting concerns (rate limiting, metrics, logging, caching) are
+  *composable interceptors* installed with :meth:`RelayService.use`
+  rather than hardwired into the request path — see
+  :mod:`repro.api.middleware` for the stock interceptors.
+
+Batching: a :data:`~repro.proto.messages.MSG_KIND_BATCH_REQUEST` envelope
+carries N queries to one target network in a single round-trip, sharing one
+discovery lookup and one failover loop, with the serving driver fanning the
+members concurrently (:meth:`NetworkDriver.execute_batch`).
 """
 
 from __future__ import annotations
 
 from collections import deque
+from typing import Callable, Sequence
 
 from repro.errors import (
     DiscoveryError,
@@ -26,13 +36,18 @@ from repro.errors import (
     RelayError,
     RelayUnavailableError,
 )
-from repro.interop.discovery import DiscoveryService, RelayEndpoint
+from repro.interop.discovery import DiscoveryService
 from repro.interop.drivers.base import NetworkDriver
 from repro.proto.messages import (
+    MSG_KIND_BATCH_REQUEST,
+    MSG_KIND_BATCH_RESPONSE,
     MSG_KIND_ERROR,
     MSG_KIND_QUERY_REQUEST,
     MSG_KIND_QUERY_RESPONSE,
     PROTOCOL_VERSION,
+    STATUS_ERROR,
+    BatchQueryRequest,
+    BatchQueryResponse,
     NetworkQuery,
     QueryResponse,
     RelayEnvelope,
@@ -77,6 +92,78 @@ class RelayStats:
         self.requests_failed = 0
         self.queries_sent = 0
         self.failovers = 0
+        self.batches_served = 0
+        self.batches_sent = 0
+
+
+class RelayContext:
+    """One inbound request as it travels the interceptor chain.
+
+    Interceptors see the raw serialized request plus a best-effort decoded
+    view: :attr:`envelope` is the parsed :class:`RelayEnvelope` (or ``None``
+    when the bytes do not decode), so even a request that is about to be
+    shed can be answered with a correlatable ``request_id``.
+    """
+
+    _UNSET = object()
+
+    def __init__(self, relay: "RelayService", raw: bytes) -> None:
+        self.relay = relay
+        self.raw = raw
+        #: Scratch space for interceptors to pass notes down the chain.
+        self.metadata: dict[str, object] = {}
+        self._envelope: object = self._UNSET
+        self.decode_error: Exception | None = None
+
+    @property
+    def envelope(self) -> RelayEnvelope | None:
+        """The decoded request envelope, or ``None`` if undecodable."""
+        if self._envelope is self._UNSET:
+            try:
+                self._envelope = RelayEnvelope.decode(self.raw)
+            except Exception as exc:
+                self._envelope = None
+                self.decode_error = exc
+        return self._envelope  # type: ignore[return-value]
+
+    @property
+    def request_id(self) -> str:
+        """The peeked request id ('' when the envelope is undecodable)."""
+        envelope = self.envelope
+        return envelope.request_id if envelope is not None else ""
+
+    @property
+    def kind(self) -> int:
+        envelope = self.envelope
+        return envelope.kind if envelope is not None else 0
+
+    def error_reply(self, message: str, retryable: bool) -> bytes:
+        """A serialized error envelope correlated to this request."""
+        return self.relay._error_envelope(self.request_id, message, retryable)
+
+
+# An interceptor wraps the rest of the chain: it receives the request
+# context and a continuation, and returns serialized response bytes.
+RelayHandler = Callable[[RelayContext], bytes]
+RelayInterceptor = Callable[[RelayContext, RelayHandler], bytes]
+
+
+class RateLimitInterceptor:
+    """The relay's DoS self-protection as a chain interceptor.
+
+    Sheds load before any further processing, but answers with an error
+    envelope that carries the peeked ``request_id`` so the caller can
+    correlate the rejection to its in-flight request.
+    """
+
+    def __init__(self, limiter: RateLimiter) -> None:
+        self.limiter = limiter
+
+    def __call__(self, ctx: RelayContext, call_next: RelayHandler) -> bytes:
+        if not self.limiter.allow():
+            ctx.relay.stats.requests_rejected += 1
+            return ctx.error_reply("rate limit exceeded: request shed", retryable=True)
+        return call_next(ctx)
 
 
 class RelayService:
@@ -96,12 +183,54 @@ class RelayService:
         self._clock = clock or SystemClock()
         self._rate_limiter = rate_limiter
         self._drivers: dict[str, NetworkDriver] = {}
+        self._interceptors: list[RelayInterceptor] = []
+        self._chain: RelayHandler | None = None
         self.stats = RelayStats()
         self.available = True  # toggled by availability experiments
+        if rate_limiter is not None:
+            # Legacy shim: the constructor-injected limiter becomes the
+            # first interceptor of the chain.
+            self.use(RateLimitInterceptor(rate_limiter))
+
+    @property
+    def clock(self) -> Clock:
+        return self._clock
 
     def register_driver(self, driver: NetworkDriver) -> None:
         """Attach a driver for a network this relay fronts (usually its own)."""
         self._drivers[driver.network_id] = driver
+
+    # -- middleware chain ---------------------------------------------------------
+
+    def use(self, *interceptors: RelayInterceptor) -> "RelayService":
+        """Append interceptor(s) to the request chain; returns ``self``.
+
+        Interceptors run in registration order (the first registered is the
+        outermost); each receives ``(ctx, call_next)`` and must return
+        serialized response bytes.
+        """
+        self._interceptors.extend(interceptors)
+        self._chain = None
+        return self
+
+    @property
+    def interceptors(self) -> tuple[RelayInterceptor, ...]:
+        return tuple(self._interceptors)
+
+    def _handler_chain(self) -> RelayHandler:
+        if self._chain is None:
+            handler: RelayHandler = self._dispatch
+            for interceptor in reversed(self._interceptors):
+                handler = self._bind(interceptor, handler)
+            self._chain = handler
+        return self._chain
+
+    @staticmethod
+    def _bind(interceptor: RelayInterceptor, call_next: RelayHandler) -> RelayHandler:
+        def handler(ctx: RelayContext) -> bytes:
+            return interceptor(ctx, call_next)
+
+        return handler
 
     # -- source side: serve incoming requests -----------------------------------
 
@@ -118,25 +247,34 @@ class RelayService:
     def handle_request(self, data: bytes) -> bytes:
         """Serve one serialized request from a remote relay.
 
-        Always returns serialized bytes (an error envelope on failure) —
-        a remote relay cannot catch our exceptions across the wire.
-        Raises :class:`RelayUnavailableError` only to model a dead relay.
+        The request runs through the interceptor chain and then the kind
+        dispatcher. Always returns serialized bytes (an error envelope on
+        failure) — a remote relay cannot catch our exceptions across the
+        wire. Raises :class:`RelayUnavailableError` only to model a dead
+        relay.
         """
         if not self.available:
             raise RelayUnavailableError(f"relay {self.relay_id!r} is down")
-        if self._rate_limiter is not None and not self._rate_limiter.allow():
-            self.stats.requests_rejected += 1
-            return self._error_envelope("", "rate limit exceeded: request shed", True)
-        try:
-            envelope = RelayEnvelope.decode(data)
-        except Exception as exc:
-            self.stats.requests_failed += 1
-            return self._error_envelope("", f"undecodable envelope: {exc}", False)
-        if envelope.kind != MSG_KIND_QUERY_REQUEST:
+        return self._handler_chain()(RelayContext(self, data))
+
+    def _dispatch(self, ctx: RelayContext) -> bytes:
+        """Terminal chain handler: route the context's envelope by kind."""
+        envelope = ctx.envelope  # one decode, shared with the interceptors
+        if envelope is None:
             self.stats.requests_failed += 1
             return self._error_envelope(
-                envelope.request_id, f"unexpected message kind {envelope.kind}", False
+                "", f"undecodable envelope: {ctx.decode_error}", False
             )
+        if envelope.kind == MSG_KIND_QUERY_REQUEST:
+            return self._serve_query(envelope)
+        if envelope.kind == MSG_KIND_BATCH_REQUEST:
+            return self._serve_batch(envelope)
+        self.stats.requests_failed += 1
+        return self._error_envelope(
+            envelope.request_id, f"unexpected message kind {envelope.kind}", False
+        )
+
+    def _serve_query(self, envelope: RelayEnvelope) -> bytes:
         try:
             query = NetworkQuery.decode(envelope.payload)
         except Exception as exc:
@@ -164,6 +302,63 @@ class RelayService:
             payload=response.encode(),
         ).encode()
 
+    def _serve_batch(self, envelope: RelayEnvelope) -> bytes:
+        """Serve a batch envelope with partial-failure semantics.
+
+        Members are grouped per driver and fanned via
+        :meth:`NetworkDriver.execute_batch`; a member with no driver (or a
+        failing member) is answered with an error *response* in its slot —
+        only an undecodable batch fails as a whole.
+        """
+        try:
+            batch = BatchQueryRequest.decode(envelope.payload)
+        except Exception as exc:
+            self.stats.requests_failed += 1
+            return self._error_envelope(
+                envelope.request_id, f"undecodable batch: {exc}", False
+            )
+        queries = list(batch.queries)
+        responses: list[QueryResponse | None] = [None] * len(queries)
+        groups: dict[str, list[int]] = {}
+        for position, query in enumerate(queries):
+            target = query.address.network if query.address else ""
+            groups.setdefault(target, []).append(position)
+        for target, positions in groups.items():
+            driver = self._drivers.get(target)
+            if driver is None:
+                # Stat parity with the singleton path: a member this relay
+                # cannot route counts as failed, not served.
+                self.stats.requests_failed += len(positions)
+                for position in positions:
+                    responses[position] = QueryResponse(
+                        version=PROTOCOL_VERSION,
+                        nonce=queries[position].nonce,
+                        status=STATUS_ERROR,
+                        error=(
+                            f"relay {self.relay_id!r} has no driver for "
+                            f"network {target!r}"
+                        ),
+                    )
+                continue
+            for position, response in zip(
+                positions, driver.execute_batch([queries[p] for p in positions])
+            ):
+                responses[position] = response
+            self.stats.requests_served += len(positions)
+        self.stats.batches_served += 1
+        reply = BatchQueryResponse(
+            version=PROTOCOL_VERSION,
+            responses=[r for r in responses if r is not None],
+        )
+        return RelayEnvelope(
+            version=PROTOCOL_VERSION,
+            kind=MSG_KIND_BATCH_RESPONSE,
+            request_id=envelope.request_id,
+            source_network=self.network_id,
+            destination_network=envelope.source_network,
+            payload=reply.encode(),
+        ).encode()
+
     # -- destination side: query remote networks -----------------------------------
 
     def remote_query(self, query: NetworkQuery) -> QueryResponse:
@@ -173,27 +368,98 @@ class RelayService:
         lookup, serialized forwarding, and response return — with failover
         across redundant remote relays on transport failure or shedding.
         """
+        target = self._require_target(query)
+        self.stats.queries_sent += 1
+        return self._exchange(
+            target,
+            MSG_KIND_QUERY_REQUEST,
+            query.encode(),
+            MSG_KIND_QUERY_RESPONSE,
+            QueryResponse.decode,
+        )
+
+    def remote_query_batch(self, queries: Sequence[NetworkQuery]) -> list[QueryResponse]:
+        """Send N queries, batching the members that share a target network.
+
+        Each distinct target costs one discovery lookup, one batch envelope
+        round-trip, and one failover loop regardless of how many member
+        queries address it. Responses come back positionally aligned with
+        ``queries``. Raises like :meth:`remote_query` — but note that a
+        transport-level failure only poisons the members of the affected
+        target; query-level failures arrive as error *responses* in their
+        slots.
+        """
+        queries = list(queries)
+        if not queries:
+            return []
+        groups: dict[str, list[int]] = {}
+        for position, query in enumerate(queries):
+            groups.setdefault(self._require_target(query), []).append(position)
+        responses: list[QueryResponse | None] = [None] * len(queries)
+        for target, positions in groups.items():
+            members = [queries[p] for p in positions]
+            request = BatchQueryRequest(version=PROTOCOL_VERSION, queries=members)
+
+            def decode_batch(payload: bytes, expected: int = len(members)) -> BatchQueryResponse:
+                reply = BatchQueryResponse.decode(payload)
+                if len(reply.responses) != expected:
+                    raise ProtocolError(
+                        f"batch reply carries {len(reply.responses)} responses, "
+                        f"expected {expected}"
+                    )
+                return reply
+
+            self.stats.queries_sent += len(members)
+            self.stats.batches_sent += 1
+            reply = self._exchange(
+                target,
+                MSG_KIND_BATCH_REQUEST,
+                request.encode(),
+                MSG_KIND_BATCH_RESPONSE,
+                decode_batch,
+            )
+            for position, response in zip(positions, reply.responses):
+                responses[position] = response
+        return [response for response in responses if response is not None]
+
+    def _require_target(self, query: NetworkQuery) -> str:
         if query.address is None or not query.address.network:
             raise ProtocolError("query has no target network address")
-        target = query.address.network
+        return query.address.network
+
+    def _exchange(
+        self,
+        target: str,
+        kind: int,
+        payload: bytes,
+        expect_reply_kind: int,
+        decode_reply: Callable[[bytes], object],
+    ):
+        """One request/reply round with failover across redundant relays.
+
+        Retryable failures (transport errors — including a dead endpoint's
+        :class:`RelayUnavailableError` —, shed load, malformed or
+        mis-correlated replies) advance to the next endpoint; a
+        non-retryable error envelope raises :class:`RelayError`
+        immediately.
+        """
         endpoints = self._discovery.lookup(target)  # may raise DiscoveryError
         request_id = random_id("req-")
         envelope_bytes = RelayEnvelope(
             version=PROTOCOL_VERSION,
-            kind=MSG_KIND_QUERY_REQUEST,
+            kind=kind,
             request_id=request_id,
             source_network=self.network_id,
             destination_network=target,
-            payload=query.encode(),
+            payload=payload,
         ).encode()
-        self.stats.queries_sent += 1
         failures: list[str] = []
         for position, endpoint in enumerate(endpoints):
             if position > 0:
                 self.stats.failovers += 1
             try:
                 reply_bytes = endpoint.handle_request(envelope_bytes)
-            except (RelayError, DoSError, DiscoveryError) as exc:
+            except (RelayUnavailableError, DoSError, RelayError, DiscoveryError) as exc:
                 failures.append(str(exc))
                 continue
             try:
@@ -209,7 +475,7 @@ class RelayService:
                 raise RelayError(
                     f"relay for network {target!r} rejected the request: {message}"
                 )
-            if reply.kind != MSG_KIND_QUERY_RESPONSE:
+            if reply.kind != expect_reply_kind:
                 failures.append(f"unexpected reply kind {reply.kind}")
                 continue
             if reply.request_id != request_id:
@@ -219,9 +485,9 @@ class RelayService:
                 )
                 continue
             try:
-                return QueryResponse.decode(reply.payload)
+                return decode_reply(reply.payload)
             except Exception as exc:
-                failures.append(f"undecodable query response: {exc}")
+                failures.append(f"undecodable reply payload: {exc}")
                 continue
         raise RelayUnavailableError(
             f"all {len(endpoints)} relay(s) for network {target!r} failed: "

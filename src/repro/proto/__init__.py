@@ -13,6 +13,8 @@ from repro.proto.address import CrossNetworkAddress, parse_address
 from repro.proto.messages import (
     Attestation,
     AuthInfo,
+    BatchQueryRequest,
+    BatchQueryResponse,
     NetworkAddressMsg,
     NetworkConfigMsg,
     NetworkQuery,
@@ -26,6 +28,8 @@ from repro.proto.messages import (
     MSG_KIND_QUERY_REQUEST,
     MSG_KIND_QUERY_RESPONSE,
     MSG_KIND_ERROR,
+    MSG_KIND_BATCH_REQUEST,
+    MSG_KIND_BATCH_RESPONSE,
     STATUS_OK,
     STATUS_ACCESS_DENIED,
     STATUS_ERROR,
@@ -36,6 +40,8 @@ __all__ = [
     "parse_address",
     "NetworkQuery",
     "QueryResponse",
+    "BatchQueryRequest",
+    "BatchQueryResponse",
     "Attestation",
     "AuthInfo",
     "ProofMetadata",
@@ -49,6 +55,8 @@ __all__ = [
     "MSG_KIND_QUERY_REQUEST",
     "MSG_KIND_QUERY_RESPONSE",
     "MSG_KIND_ERROR",
+    "MSG_KIND_BATCH_REQUEST",
+    "MSG_KIND_BATCH_RESPONSE",
     "STATUS_OK",
     "STATUS_ACCESS_DENIED",
     "STATUS_ERROR",

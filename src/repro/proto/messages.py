@@ -33,6 +33,8 @@ PROTOCOL_VERSION = 1
 MSG_KIND_QUERY_REQUEST = 1
 MSG_KIND_QUERY_RESPONSE = 2
 MSG_KIND_ERROR = 3
+MSG_KIND_BATCH_REQUEST = 4
+MSG_KIND_BATCH_RESPONSE = 5
 
 # QueryResponse.status values.
 STATUS_OK = 0
@@ -144,6 +146,32 @@ class QueryResponse(Message):
     result_cipher = BytesField(5)
     result_plain = BytesField(6)
     attestations = RepeatedMessageField(7, Attestation)
+
+
+class BatchQueryRequest(Message):
+    """N queries to one target network in a single envelope round-trip.
+
+    Batching lets the destination relay amortize discovery, framing, and
+    failover across all member queries; the source relay fans the members
+    across its network driver. Each member query keeps its own nonce, so
+    end-to-end confidentiality and replay protection are per query exactly
+    as in the singleton flow.
+    """
+
+    version = UintField(1)
+    queries = RepeatedMessageField(2, NetworkQuery)
+
+
+class BatchQueryResponse(Message):
+    """The positional responses to a :class:`BatchQueryRequest`.
+
+    ``responses[i]`` answers ``queries[i]``; a member that failed carries a
+    non-OK status in its own :class:`QueryResponse` rather than poisoning
+    the batch (partial-failure semantics).
+    """
+
+    version = UintField(1)
+    responses = RepeatedMessageField(2, QueryResponse)
 
 
 class RelayEnvelope(Message):

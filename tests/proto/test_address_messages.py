@@ -154,3 +154,79 @@ class TestInteropMessages:
     def test_query_without_optionals_roundtrips(self):
         query = NetworkQuery(version=1, nonce="n")
         assert NetworkQuery.decode(query.encode()) == query
+
+
+class TestBatchMessages:
+    """The MSG_KIND_BATCH_REQUEST/MSG_KIND_BATCH_RESPONSE envelope pair."""
+
+    def _query(self, nonce: str) -> NetworkQuery:
+        return NetworkQuery(
+            version=PROTOCOL_VERSION,
+            address=NetworkAddressMsg(
+                network="stl", ledger="main", contract="cc", function="fn"
+            ),
+            args=["a", "b"],
+            nonce=nonce,
+            policy=VerificationPolicyMsg(expression="org:seller-org"),
+            confidential=True,
+        )
+
+    def test_batch_request_roundtrip(self):
+        from repro.proto import BatchQueryRequest
+
+        batch = BatchQueryRequest(
+            version=PROTOCOL_VERSION,
+            queries=[self._query("n-1"), self._query("n-2")],
+        )
+        decoded = BatchQueryRequest.decode(batch.encode())
+        assert decoded == batch
+        assert [q.nonce for q in decoded.queries] == ["n-1", "n-2"]
+
+    def test_batch_response_roundtrip_preserves_order(self):
+        from repro.proto import BatchQueryResponse
+
+        batch = BatchQueryResponse(
+            version=PROTOCOL_VERSION,
+            responses=[
+                QueryResponse(version=1, nonce="n-1", status=STATUS_OK),
+                QueryResponse(version=1, nonce="n-2", status=2, error="boom"),
+            ],
+        )
+        decoded = BatchQueryResponse.decode(batch.encode())
+        assert decoded == batch
+        assert [r.nonce for r in decoded.responses] == ["n-1", "n-2"]
+
+    def test_batch_kinds_are_distinct(self):
+        from repro.proto import (
+            MSG_KIND_BATCH_REQUEST,
+            MSG_KIND_BATCH_RESPONSE,
+            MSG_KIND_ERROR,
+            MSG_KIND_QUERY_RESPONSE,
+        )
+
+        kinds = {
+            MSG_KIND_QUERY_REQUEST,
+            MSG_KIND_QUERY_RESPONSE,
+            MSG_KIND_ERROR,
+            MSG_KIND_BATCH_REQUEST,
+            MSG_KIND_BATCH_RESPONSE,
+        }
+        assert len(kinds) == 5
+
+    def test_batch_envelope_roundtrip(self):
+        from repro.proto import BatchQueryRequest, MSG_KIND_BATCH_REQUEST
+
+        payload = BatchQueryRequest(
+            version=PROTOCOL_VERSION, queries=[self._query("n-1")]
+        ).encode()
+        envelope = RelayEnvelope(
+            version=PROTOCOL_VERSION,
+            kind=MSG_KIND_BATCH_REQUEST,
+            request_id="req-1",
+            source_network="swt",
+            destination_network="stl",
+            payload=payload,
+        )
+        decoded = RelayEnvelope.decode(envelope.encode())
+        assert decoded.kind == MSG_KIND_BATCH_REQUEST
+        assert BatchQueryRequest.decode(decoded.payload).queries[0].nonce == "n-1"
