@@ -16,12 +16,40 @@ from __future__ import annotations
 
 import time
 
-from repro.api import InteropGateway
+import pytest
+
+from repro.api import InteropGateway, MetricsInterceptor
 from repro.sim import format_table
 
 BL_ADDRESS = "stl/trade-logistics/TradeLensCC/GetBillOfLading"
 N_QUERIES = 8
 ROUNDS = 3
+
+
+@pytest.fixture(scope="module")
+def source_metrics(scenario) -> MetricsInterceptor:
+    """Per-kind metrics on the source relay, shared by every run here."""
+    metrics = MetricsInterceptor()
+    scenario.stl_relay.use(metrics)
+    return metrics
+
+
+def print_kind_breakdown(metrics: MetricsInterceptor, title: str) -> None:
+    """Render snapshot()'s per-message-kind breakdown as a table."""
+    snapshot = metrics.snapshot()
+    rows = [
+        (
+            name,
+            str(detail["requests"]),
+            str(detail["errors"]),
+            f"{detail['seconds_mean'] * 1e3:8.3f} ms",
+            f"{detail['seconds_max'] * 1e3:8.3f} ms",
+        )
+        for name, detail in snapshot["kinds"].items()
+    ]
+    print(f"\n{title} — source relay per-kind metrics "
+          f"({snapshot['requests_total']} requests total)")
+    print(format_table(rows, headers=["kind", "requests", "errors", "mean", "max"]))
 
 
 def _run_sequential(client, po_ref: str):
@@ -46,7 +74,7 @@ def _best_of(rounds: int, fn) -> tuple[float, object]:
     return best, last
 
 
-def test_batched_beats_sequential(scenario):
+def test_batched_beats_sequential(scenario, source_metrics):
     """Acceptance: batched N-query latency < N sequential queries."""
     client = scenario.swt_seller_client.interop_client
     gateway = InteropGateway.from_client(client)
@@ -79,21 +107,24 @@ def test_batched_beats_sequential(scenario):
         f"batched path ({batched_s:.4f}s) must beat {N_QUERIES} sequential "
         f"queries ({sequential_s:.4f}s)"
     )
+    print_kind_breakdown(source_metrics, "E-batch acceptance")
 
 
-def test_bench_batched_query_flush(benchmark, scenario):
+def test_bench_batched_query_flush(benchmark, scenario, source_metrics):
     """Wall-clock of one batched flush of N member queries."""
     gateway = InteropGateway.from_client(scenario.swt_seller_client.interop_client)
     results = benchmark.pedantic(
         lambda: _run_batched(gateway, scenario.po_ref), rounds=3, iterations=1
     )
     assert all(b"BL-" in result.data for result in results)
+    print_kind_breakdown(source_metrics, "batched flush")
 
 
-def test_bench_sequential_query_baseline(benchmark, scenario):
+def test_bench_sequential_query_baseline(benchmark, scenario, source_metrics):
     """Wall-clock of the same N queries through the legacy client."""
     client = scenario.swt_seller_client.interop_client
     results = benchmark.pedantic(
         lambda: _run_sequential(client, scenario.po_ref), rounds=3, iterations=1
     )
     assert all(b"BL-" in result.data for result in results)
+    print_kind_breakdown(source_metrics, "sequential baseline")

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import json
 
-from repro.api import InteropGateway
+from repro.api import EventVerifier, InteropGateway
 from repro.fabric import Chaincode, NetworkBuilder
 from repro.fabric.chaincode import require_args
 from repro.interop import (
@@ -25,6 +25,8 @@ from repro.interop import (
     enable_fabric_interop,
     link_networks,
 )
+from repro.interop.events import enable_relay_events
+from repro.interop.transactions import enable_remote_transactions
 
 
 class DocumentChaincode(Chaincode):
@@ -43,6 +45,7 @@ class DocumentChaincode(Chaincode):
         if stub.function == "Put":
             key, value = require_args(stub, 2)
             stub.put_state(key, value.encode())
+            stub.set_event("DocumentStored", key.encode())
             return b"ok"
         if stub.function == "Get":
             (key,) = require_args(stub, 1)
@@ -114,7 +117,7 @@ def main() -> None:
 
     # --- 3. Relays + discovery ---------------------------------------------
     registry = InMemoryRegistry()
-    create_fabric_relay(source, registry)
+    source_relay = create_fabric_relay(source, registry)
     dest_relay = RelayService("dest-net", registry)
 
     # --- 4. A trusted cross-network query -----------------------------------
@@ -156,6 +159,56 @@ def main() -> None:
     source_relay_stats = registry.lookup("source-net")[0].stats
     print(f"source relay totals: {source_relay_stats.requests_served} queries "
           f"served, {source_relay_stats.batches_served} batch envelope(s)")
+
+    # --- 6. Transact and subscribe through the gateway -----------------------
+    # The other two §2 primitives ride the same relay machinery. A remote
+    # *transaction* runs through the source network's endorse-order-commit
+    # pipeline under a designated local invoker, and its attestations cover
+    # the committed tx id/block. A *subscription* taps the source event hub
+    # via relay envelopes; because notifications are unauthenticated, the
+    # VerifiedEventStream upgrades each one with a follow-up proof-carrying
+    # query before the application sees it (notify-then-verify).
+    invoker = source.org("producer-org").enroll("interop-invoker", role="client")
+    enable_remote_transactions(source, source_relay, invoker, discovery=registry)
+    enable_relay_events(source, source_relay, source_admin)
+    # Events invert the flow: the *source* relay must be able to discover
+    # the subscriber's relay to push notifications to it.
+    registry.register("dest-net", dest_relay)
+    source.gateway.submit(
+        source_admin, "ecc", "AddAccessRule", ["dest-net", "consumer-org", "docs", "Put"]
+    )
+    source.gateway.submit(
+        source_admin, "ecc", "AddAccessRule",
+        ["dest-net", "consumer-org", "docs", "event:DocumentStored"],
+    )
+
+    verifier = EventVerifier(
+        address="source-net/main/docs/Get",
+        # The notification payload is the stored key; fetching it with a
+        # proof-carrying query IS the verification (a forged key fails the
+        # query), so the consistency check just requires a non-empty doc.
+        args=lambda notification: [notification.payload.decode()],
+        check=lambda notification, result: result.data != b"",
+    )
+    stream = gateway.subscribe("source-net/main/docs", "DocumentStored",
+                               verifier=verifier)
+
+    outcome = (
+        gateway.transact("source-net/main/docs/Put")
+        .with_args("invoice-10", '{"amount": 3400, "currency": "CHF"}')
+        .execute()
+    )
+    print(f"\nremote transaction: committed as {outcome.tx_id} in block "
+          f"{outcome.block_number}, attested by "
+          f"{', '.join(outcome.attesting_orgs)}")
+
+    event = stream.take()  # verifies via a proof-carrying query
+    print(f"verified event    : {event.notification.name} for "
+          f"{event.notification.payload.decode()} -> trusted data "
+          f"{event.data.decode()} [{len(event.verification.proof)} attestations]")
+    print("the notification itself is untrusted; a tampered one would fail")
+    print("its follow-up query and land in stream.rejected instead.")
+    stream.close()
 
 
 if __name__ == "__main__":

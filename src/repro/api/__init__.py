@@ -1,27 +1,57 @@
 """repro.api: the unified application-facing gateway layer.
 
 This package is the production surface over the paper's relay machinery
-(:mod:`repro.interop`): one façade object, fluent query building, batched
-pipelined execution, and a composable relay middleware chain.
+(:mod:`repro.interop`): one façade object exposing all three §2
+interoperability primitives — query, transact, and publish/subscribe —
+with fluent building, batched pipelined execution, verified event
+streaming, and a composable relay middleware chain.
 
-- :class:`InteropGateway` — the façade: ``gateway.query(addr)...`` for
-  fluent singles, ``gateway.batch()`` / ``submit()`` handles for pipelined
-  batches that share one envelope round-trip per target network.
-- :class:`QueryBuilder` / :class:`QuerySpec` — fluent query description.
-- :class:`QuerySet` / :class:`QueryHandle` — future-style pipelining with
+- :class:`InteropGateway` — the façade: ``gateway.query(addr)...`` and
+  ``gateway.transact(addr)...`` for fluent singles, ``batch()`` /
+  ``transaction_batch()`` / ``submit()`` handles for pipelined batches
+  that share one envelope round-trip per target network, and
+  ``gateway.subscribe(...)`` for relay-envelope event delivery.
+- :class:`GatewaySession` — multiplexes the three primitives over one
+  relay connection state: per-session auth, shared interceptor chain,
+  shared CMDAC policy cache, subscription lifecycle.
+- :class:`QueryBuilder` / :class:`TransactionBuilder` and their specs —
+  fluent request description.
+- :class:`QuerySet` / :class:`QueryHandle`, :class:`TransactionSet` /
+  :class:`TransactionHandle` — future-style pipelining with
   partial-failure semantics (one bad member never poisons the rest).
+- :class:`VerifiedEventStream` / :class:`EventVerifier` — notify-then-
+  verify: every unauthenticated notification is upgraded to trusted data
+  via a proof-carrying query before it reaches the application iterator.
 - :mod:`repro.api.middleware` — relay interceptors: rate limiting
   (refactored from the relay core), metrics, request logging, response
-  caching. Install with ``relay.use(...)``.
+  caching (which never serves side-effecting envelopes). Install with
+  ``relay.use(...)``.
 
-The legacy entry points (``InteropClient.remote_query``, the
-``RelayService`` constructor's ``rate_limiter=``) keep working unchanged;
-they are thin shims over this layer's machinery.
+The legacy entry points (``InteropClient.remote_query``,
+``RemoteTransactionClient.remote_transact``, ``EventBridge.subscribe``,
+the ``RelayService`` constructor's ``rate_limiter=``) keep working
+unchanged; they are thin shims over this layer's machinery.
 """
 
-from repro.api.batch import BatchExecutor, QueryHandle, QuerySet, QuerySpec
-from repro.api.builder import QueryBuilder
+from repro.api.batch import (
+    BatchExecutor,
+    QueryHandle,
+    QuerySet,
+    QuerySpec,
+    TransactionExecutor,
+    TransactionHandle,
+    TransactionSet,
+    TransactionSpec,
+)
+from repro.api.builder import QueryBuilder, TransactionBuilder
 from repro.api.gateway import InteropGateway
+from repro.api.session import GatewaySession
+from repro.api.streams import (
+    EventVerifier,
+    RejectedEvent,
+    VerifiedEvent,
+    VerifiedEventStream,
+)
 from repro.api.middleware import (
     Interceptor,
     MetricsInterceptor,
@@ -33,11 +63,21 @@ from repro.api.middleware import (
 
 __all__ = [
     "InteropGateway",
+    "GatewaySession",
     "QueryBuilder",
     "QuerySpec",
     "QuerySet",
     "QueryHandle",
     "BatchExecutor",
+    "TransactionBuilder",
+    "TransactionSpec",
+    "TransactionSet",
+    "TransactionHandle",
+    "TransactionExecutor",
+    "EventVerifier",
+    "VerifiedEvent",
+    "VerifiedEventStream",
+    "RejectedEvent",
     "Interceptor",
     "RelayContext",
     "RateLimitInterceptor",

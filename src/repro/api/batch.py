@@ -1,15 +1,19 @@
-"""Pipelined query execution: specs, handles, query sets, batch executor.
+"""Pipelined execution: specs, handles, sets, and batch executors.
 
-The pipeline model: applications *submit* any number of queries (getting a
-:class:`QueryHandle` each, future-style), and the whole set is *flushed* in
-one go — members sharing a target network travel in a single
-``MSG_KIND_BATCH_REQUEST`` envelope, so N queries cost one discovery
+The pipeline model: applications *submit* any number of queries or
+transactions (getting a future-style handle each), and the whole set is
+*flushed* in one go — members sharing a target network travel in a single
+``MSG_KIND_BATCH_REQUEST`` envelope, so N requests cost one discovery
 lookup, one round-trip, and one failover loop per target instead of N.
+Transaction members are marked with the wire-level ``invocation``
+discriminator and served sequentially by the source's transaction driver
+(commit ordering); query members fan concurrently.
 
 Partial-failure semantics hold end to end: one failed member (bad address,
-denied access, unsatisfiable policy, driver error) surfaces on *its*
-handle; the rest complete normally. Only a transport-level failure (no
-relay reachable for a target) poisons that target's members.
+denied access, unsatisfiable policy, driver error, invalidated commit)
+surfaces on *its* handle; the rest complete normally. Only a
+transport-level failure (no relay reachable for a target) poisons that
+target's members.
 """
 
 from __future__ import annotations
@@ -19,10 +23,14 @@ from typing import TYPE_CHECKING
 
 from repro.errors import InteropError
 from repro.interop.client import InteropClient, RemoteQueryResult
+from repro.interop.transactions import (
+    RemoteTransactionClient,
+    RemoteTransactionResult,
+)
 from repro.proto.address import parse_address
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
-    from repro.api.builder import QueryBuilder
+    from repro.api.builder import QueryBuilder, TransactionBuilder
 
 
 @dataclass
@@ -74,10 +82,18 @@ class QueryHandle:
 
 
 class QuerySet:
-    """A set of queries flushed together as per-target batch envelopes."""
+    """A set of queries flushed together as per-target batch envelopes.
 
-    def __init__(self, client: InteropClient) -> None:
+    ``policy_cache`` (optional) shares resolved CMDAC verification
+    policies across sets — a :class:`~repro.api.GatewaySession` passes its
+    own so queries, transactions, and re-flushes all amortize the lookup.
+    """
+
+    def __init__(
+        self, client: InteropClient, policy_cache: dict[str, str] | None = None
+    ) -> None:
         self._client = client
+        self._policy_cache = policy_cache
         self._pending: list[QueryHandle] = []
         self._flushed = False
 
@@ -115,7 +131,9 @@ class QuerySet:
         handles, self._pending = self._pending, []
         self._flushed = True
         if handles:
-            BatchExecutor(self._client).execute(handles)
+            BatchExecutor(self._client, policy_cache=self._policy_cache).execute(
+                handles
+            )
         return handles
 
     def results(self) -> list[RemoteQueryResult]:
@@ -132,11 +150,14 @@ class BatchExecutor:
     envelopes (:meth:`RelayService.remote_query_batch`).
     """
 
-    def __init__(self, client: InteropClient) -> None:
+    def __init__(
+        self, client: InteropClient, policy_cache: dict[str, str] | None = None
+    ) -> None:
         self._client = client
+        self._policy_cache = policy_cache
 
     def execute(self, handles: list[QueryHandle]) -> None:
-        policy_cache: dict[str, str] = {}
+        policy_cache = self._policy_cache if self._policy_cache is not None else {}
         by_target: dict[str, list[tuple[QueryHandle, object]]] = {}
         for handle in handles:
             spec = handle.spec
@@ -171,6 +192,174 @@ class BatchExecutor:
                 try:
                     handle._resolve(
                         self._client.finalize_response(prepared, response), None
+                    )
+                except Exception as exc:  # noqa: BLE001 - resolves onto the handle
+                    handle._resolve(None, exc)
+
+
+@dataclass
+class TransactionSpec:
+    """One fully-specified cross-network transaction (builder output)."""
+
+    address: str
+    args: list[str] = field(default_factory=list)
+    policy: str | None = None
+    confidential: bool = True
+
+
+class TransactionHandle:
+    """Future-style handle for one submitted cross-network transaction.
+
+    Same contract as :class:`QueryHandle`: ``result()`` flushes the owning
+    :class:`TransactionSet` on first use, then returns the
+    :class:`RemoteTransactionResult` — whose attestations cover the
+    committed tx id/block — or re-raises the member's failure.
+    """
+
+    def __init__(self, txset: "TransactionSet", spec: TransactionSpec) -> None:
+        self._txset = txset
+        self.spec = spec
+        self._done = False
+        self._result: RemoteTransactionResult | None = None
+        self._exception: BaseException | None = None
+
+    def done(self) -> bool:
+        return self._done
+
+    def result(self) -> RemoteTransactionResult:
+        if not self._done:
+            self._txset.flush()
+        if self._exception is not None:
+            raise self._exception
+        assert self._result is not None
+        return self._result
+
+    def exception(self) -> BaseException | None:
+        if not self._done:
+            self._txset.flush()
+        return self._exception
+
+    def _resolve(
+        self,
+        result: RemoteTransactionResult | None,
+        exception: BaseException | None,
+    ) -> None:
+        self._result = result
+        self._exception = exception
+        self._done = True
+
+
+class TransactionSet:
+    """Transactions flushed together as per-target batch envelopes.
+
+    Members sharing a target travel in one ``MSG_KIND_BATCH_REQUEST``
+    envelope marked side-effecting; the source commits them sequentially
+    in submission order and each member's attestations cover its own
+    committed outcome.
+    """
+
+    def __init__(
+        self,
+        transaction_client: RemoteTransactionClient,
+        policy_cache: dict[str, str] | None = None,
+    ) -> None:
+        self._tx_client = transaction_client
+        self._policy_cache = policy_cache
+        self._pending: list[TransactionHandle] = []
+        self._flushed = False
+
+    @property
+    def flushed(self) -> bool:
+        return self._flushed
+
+    def transact(self, address: str) -> "TransactionBuilder":
+        """Start a fluent builder whose ``submit()`` lands in this set."""
+        from repro.api.builder import TransactionBuilder
+
+        return TransactionBuilder(self._tx_client, address, txset=self)
+
+    def add(self, spec: TransactionSpec) -> TransactionHandle:
+        handle = TransactionHandle(self, spec)
+        self._pending.append(handle)
+        self._flushed = False
+        return handle
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    @property
+    def pending(self) -> tuple[TransactionHandle, ...]:
+        return tuple(self._pending)
+
+    def flush(self) -> list[TransactionHandle]:
+        handles, self._pending = self._pending, []
+        self._flushed = True
+        if handles:
+            TransactionExecutor(
+                self._tx_client, policy_cache=self._policy_cache
+            ).execute(handles)
+        return handles
+
+    def results(self) -> list[RemoteTransactionResult]:
+        """Flush and return every result, raising on the first failure."""
+        return [handle.result() for handle in self.flush()]
+
+
+class TransactionExecutor:
+    """Prepares, ships, and finalizes a set of transaction handles.
+
+    Mirrors :class:`BatchExecutor`: CMDAC policy lookups resolve once per
+    target, and members group into per-target batch envelopes through
+    :meth:`RelayService.remote_query_batch` (whose members are marked with
+    the transaction ``invocation`` so the serving relay routes them to its
+    transaction driver and never serves them from cache).
+    """
+
+    def __init__(
+        self,
+        transaction_client: RemoteTransactionClient,
+        policy_cache: dict[str, str] | None = None,
+    ) -> None:
+        self._tx_client = transaction_client
+        self._policy_cache = policy_cache
+
+    def execute(self, handles: list[TransactionHandle]) -> None:
+        policy_cache = self._policy_cache if self._policy_cache is not None else {}
+        client = self._tx_client.client
+        by_target: dict[str, list[tuple[TransactionHandle, object]]] = {}
+        for handle in handles:
+            spec = handle.spec
+            try:
+                policy = spec.policy
+                if policy is None:
+                    target = parse_address(spec.address).network
+                    if target not in policy_cache:
+                        policy_cache[target] = client.lookup_policy(target)
+                    policy = policy_cache[target]
+                prepared = self._tx_client.prepare_transaction(
+                    spec.address,
+                    list(spec.args),
+                    policy=policy,
+                    confidential=spec.confidential,
+                )
+            except Exception as exc:  # noqa: BLE001 - resolves onto the handle
+                handle._resolve(None, exc)
+                continue
+            by_target.setdefault(prepared.target_network, []).append((handle, prepared))
+        for target, members in by_target.items():
+            try:
+                responses = self._tx_client.relay.remote_query_batch(
+                    [prepared.query for _, prepared in members]
+                )
+            except InteropError as exc:
+                for handle, _ in members:
+                    handle._resolve(None, exc)
+                continue
+            for (handle, prepared), response in zip(members, responses):
+                try:
+                    handle._resolve(
+                        self._tx_client.finalize_transaction(prepared, response),
+                        None,
                     )
                 except Exception as exc:  # noqa: BLE001 - resolves onto the handle
                     handle._resolve(None, exc)

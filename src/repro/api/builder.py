@@ -1,6 +1,6 @@
-"""The fluent query builder.
+"""The fluent query and transaction builders.
 
-One builder describes one cross-network query::
+One builder describes one cross-network request::
 
     gateway.query("stl/trade-logistics/TradeLensCC/GetBillOfLading") \\
         .with_args("PO-1") \\
@@ -8,21 +8,34 @@ One builder describes one cross-network query::
         .confidential() \\
         .submit()            # -> QueryHandle, pipelined with its QuerySet
 
-``submit()`` enqueues the query into the builder's :class:`QuerySet` (the
-gateway's ambient set, unless the builder came from an explicit
-``gateway.batch()`` set) and returns a future-style handle; ``execute()``
-bypasses batching and runs the query immediately.
+    gateway.transact("stl/trade-logistics/TradeLensCC/CreateShipment") \\
+        .with_args("PO-2", "goods") \\
+        .submit()            # -> TransactionHandle, same pipeline model
+
+``submit()`` enqueues the request into the builder's set (the session's
+ambient set, unless the builder came from an explicit ``batch()`` /
+``transaction_batch()`` set) and returns a future-style handle;
+``execute()`` bypasses batching and runs the request immediately.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.api.batch import QueryHandle, QuerySpec
+from repro.api.batch import (
+    QueryHandle,
+    QuerySpec,
+    TransactionHandle,
+    TransactionSpec,
+)
 from repro.interop.client import InteropClient, RemoteQueryResult
+from repro.interop.transactions import (
+    RemoteTransactionClient,
+    RemoteTransactionResult,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.api.batch import QuerySet
+    from repro.api.batch import QuerySet, TransactionSet
 
 
 class QueryBuilder:
@@ -103,4 +116,77 @@ class QueryBuilder:
             policy=spec.policy,
             confidential=spec.confidential,
             verify_locally=spec.verify_locally,
+        )
+
+
+class TransactionBuilder:
+    """Accumulates one cross-network transaction's parameters.
+
+    Same fluent contract as :class:`QueryBuilder`; the terminal operations
+    return proof-verified :class:`RemoteTransactionResult` values whose
+    attestations cover the committed transaction id and block.
+    """
+
+    def __init__(
+        self,
+        transaction_client: RemoteTransactionClient,
+        address: str,
+        txset: "TransactionSet | None" = None,
+    ) -> None:
+        self._tx_client = transaction_client
+        self._txset = txset
+        self._address = address
+        self._args: list[str] = []
+        self._policy: str | None = None
+        self._confidential = True
+
+    # -- fluent mutators ----------------------------------------------------------
+
+    def with_args(self, *args: str) -> "TransactionBuilder":
+        """Set the remote function's arguments (replaces prior args)."""
+        self._args = [str(arg) for arg in args]
+        return self
+
+    def with_policy(self, expression: str) -> "TransactionBuilder":
+        """Pin an explicit verification policy instead of the CMDAC's."""
+        self._policy = expression
+        return self
+
+    def confidential(self, flag: bool = True) -> "TransactionBuilder":
+        """Request end-to-end encryption of outcome and proof (default)."""
+        self._confidential = flag
+        return self
+
+    def plain(self) -> "TransactionBuilder":
+        """Disable confidentiality (outcomes travel unencrypted)."""
+        return self.confidential(False)
+
+    # -- terminal operations ------------------------------------------------------
+
+    def build(self) -> TransactionSpec:
+        """The spec this builder currently describes."""
+        return TransactionSpec(
+            address=self._address,
+            args=list(self._args),
+            policy=self._policy,
+            confidential=self._confidential,
+        )
+
+    def submit(self) -> TransactionHandle:
+        """Enqueue into the bound transaction set; returns a handle."""
+        if self._txset is None:
+            raise RuntimeError(
+                "this builder is not bound to a TransactionSet; create it "
+                "via gateway.transact(...) or transaction_set.transact(...)"
+            )
+        return self._txset.add(self.build())
+
+    def execute(self) -> RemoteTransactionResult:
+        """Run the transaction immediately (no batching)."""
+        spec = self.build()
+        return self._tx_client.remote_transact(
+            spec.address,
+            spec.args,
+            policy=spec.policy,
+            confidential=spec.confidential,
         )

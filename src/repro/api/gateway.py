@@ -1,10 +1,12 @@
 """The unified application-facing gateway façade.
 
 :class:`InteropGateway` is the one entry point a production application
-needs: fluent single queries, pipelined/batched query sets, and access to
-the relay's middleware chain — all over the same trusted-data-transfer
-machinery the paper specifies (the gateway never weakens the protocol; it
-only changes how requests are *composed*).
+needs: all three §2 interoperability primitives — fluent single and
+pipelined/batched *queries*, proof-verified *transactions*, and verified
+*event subscriptions* — plus access to the relay's middleware chain, all
+over the same trusted-data-transfer machinery the paper specifies (the
+gateway never weakens the protocol; it only changes how requests are
+*composed*).
 
 Example::
 
@@ -20,14 +22,26 @@ Example::
     ]
     documents = [handle.result() for handle in handles]
 
-The legacy surface (:class:`repro.interop.InteropClient`) remains fully
-supported; the gateway wraps a client and exposes it via :attr:`client`.
+    # cross-network transaction, attested over the committed tx id/block
+    outcome = gateway.transact(TX_ADDR).with_args("PO-2", "goods").execute()
+
+    # notify-then-verify event stream over relay envelopes
+    stream = gateway.subscribe("stl/trade-logistics/TradeLensCC",
+                               "BillOfLadingIssued", verifier=verifier)
+
+The primitives multiplex over a default :class:`GatewaySession` (one
+identity, one relay chain, one shared policy cache); ``session()`` opens
+independent sessions. The legacy surface
+(:class:`repro.interop.InteropClient`) remains fully supported; the
+gateway wraps a client and exposes it via :attr:`client`.
 """
 
 from __future__ import annotations
 
-from repro.api.batch import QueryHandle, QuerySet
-from repro.api.builder import QueryBuilder
+from repro.api.batch import QueryHandle, QuerySet, TransactionSet
+from repro.api.builder import QueryBuilder, TransactionBuilder
+from repro.api.session import GatewaySession
+from repro.api.streams import EventVerifier, VerifiedEventStream
 from repro.fabric.gateway import Gateway
 from repro.fabric.identity import Identity
 from repro.interop.client import InteropClient, RemoteQueryResult
@@ -35,7 +49,7 @@ from repro.interop.relay import RelayInterceptor, RelayService
 
 
 class InteropGateway:
-    """Façade over one identity's cross-network query capabilities."""
+    """Façade over one identity's cross-network capabilities."""
 
     def __init__(
         self,
@@ -53,7 +67,7 @@ class InteropGateway:
                 )
             client = InteropClient(identity, relay, network_id, gateway=ledger_gateway)
         self._client = client
-        self._ambient: QuerySet | None = None
+        self._session = GatewaySession(client)
 
     @classmethod
     def from_client(cls, client: InteropClient) -> "InteropGateway":
@@ -83,7 +97,19 @@ class InteropGateway:
         self.relay.use(*interceptors)
         return self
 
-    # -- query surface ------------------------------------------------------------
+    # -- sessions -----------------------------------------------------------------
+
+    @property
+    def default_session(self) -> GatewaySession:
+        """The session backing the gateway's one-liner surface."""
+        return self._session
+
+    def session(self) -> GatewaySession:
+        """Open an independent multiplexed session (own ambient sets,
+        policy cache, and subscription lifecycle) over the same client."""
+        return GatewaySession(self._client)
+
+    # -- primitive i: query -------------------------------------------------------
 
     def query(self, address: str) -> QueryBuilder:
         """Fluent builder whose ``submit()`` joins the ambient query set.
@@ -93,20 +119,46 @@ class InteropGateway:
         Builders created before any ``submit()`` all bind to the same set —
         only a flush retires it.
         """
-        if self._ambient is None or self._ambient.flushed:
-            self._ambient = QuerySet(self._client)
-        return self._ambient.query(address)
+        return self._session.query(address)
 
     def batch(self) -> QuerySet:
         """An explicit, independently-flushed query set."""
-        return QuerySet(self._client)
+        return self._session.batch()
 
     def dispatch(self) -> list[QueryHandle]:
-        """Flush the ambient query set now; returns the resolved handles."""
-        if self._ambient is None:
-            return []
-        ambient, self._ambient = self._ambient, None
-        return ambient.flush()
+        """Flush the ambient sets now; returns the resolved handles."""
+        return self._session.dispatch()
+
+    # -- primitive ii: transact ---------------------------------------------------
+
+    def transact(self, address: str) -> TransactionBuilder:
+        """Fluent builder for a cross-network transaction (§5 extension).
+
+        Same pipeline model as :meth:`query`: ``submit()`` joins the
+        ambient transaction set, ``execute()`` runs immediately. Results
+        carry attestations over the committed transaction id and block.
+        """
+        return self._session.transact(address)
+
+    def transaction_batch(self) -> TransactionSet:
+        """An explicit, independently-flushed transaction set."""
+        return self._session.transaction_batch()
+
+    # -- primitive iii: subscribe -------------------------------------------------
+
+    def subscribe(
+        self,
+        address: str,
+        event_name: str,
+        verifier: EventVerifier | None = None,
+    ) -> VerifiedEventStream:
+        """Subscribe to a remote chaincode event via relay envelopes.
+
+        ``address`` is ``network/ledger/chaincode`` (three segments);
+        ``verifier`` configures the notify-then-verify upgrade each
+        notification goes through before reaching the stream's iterator.
+        """
+        return self._session.subscribe(address, event_name, verifier=verifier)
 
     # -- legacy passthroughs ------------------------------------------------------
 
@@ -128,3 +180,16 @@ class InteropGateway:
     ) -> list[RemoteQueryResult]:
         """Batched convenience that raises on the first failed member."""
         return self._client.remote_query_batch(requests, **options)
+
+    def remote_transact(
+        self,
+        address_text: str,
+        args: list[str],
+        policy: str | None = None,
+        confidential: bool = True,
+    ):
+        """Synchronous single transaction (same contract as the legacy
+        :class:`~repro.interop.transactions.RemoteTransactionClient`)."""
+        return self._session.transaction_client.remote_transact(
+            address_text, args, policy=policy, confidential=confidential
+        )

@@ -34,10 +34,45 @@ from repro.interop.relay import (  # noqa: F401 - re-exported chain primitives
     RelayHandler,
     RelayInterceptor,
 )
-from repro.proto.messages import MSG_KIND_ERROR, RelayEnvelope
+from repro.proto.messages import (
+    MSG_KIND_BATCH_REQUEST,
+    MSG_KIND_BATCH_RESPONSE,
+    MSG_KIND_ERROR,
+    MSG_KIND_EVENT_ACK,
+    MSG_KIND_EVENT_PUBLISH,
+    MSG_KIND_EVENT_SUBSCRIBE,
+    MSG_KIND_EVENT_UNSUBSCRIBE,
+    MSG_KIND_QUERY_REQUEST,
+    MSG_KIND_QUERY_RESPONSE,
+    MSG_KIND_TRANSACT_REQUEST,
+    MSG_KIND_TRANSACT_RESPONSE,
+    SIDE_EFFECTING_HEADER,
+    SIDE_EFFECTING_KINDS,
+    RelayEnvelope,
+)
 from repro.utils.clock import Clock, SystemClock
 
 logger = logging.getLogger("repro.relay")
+
+#: Human-readable envelope-kind labels for metrics/log rendering.
+KIND_NAMES = {
+    0: "undecodable",
+    MSG_KIND_QUERY_REQUEST: "query",
+    MSG_KIND_QUERY_RESPONSE: "query_response",
+    MSG_KIND_ERROR: "error",
+    MSG_KIND_BATCH_REQUEST: "batch",
+    MSG_KIND_BATCH_RESPONSE: "batch_response",
+    MSG_KIND_TRANSACT_REQUEST: "transact",
+    MSG_KIND_TRANSACT_RESPONSE: "transact_response",
+    MSG_KIND_EVENT_SUBSCRIBE: "event_subscribe",
+    MSG_KIND_EVENT_PUBLISH: "event_publish",
+    MSG_KIND_EVENT_UNSUBSCRIBE: "event_unsubscribe",
+    MSG_KIND_EVENT_ACK: "event_ack",
+}
+
+
+def kind_name(kind: int) -> str:
+    return KIND_NAMES.get(kind, f"kind-{kind}")
 
 
 class Interceptor:
@@ -88,6 +123,11 @@ class MetricsInterceptor(Interceptor):
         self.seconds_total = 0.0
         self.seconds_max = 0.0
         self.by_kind: dict[int, int] = {}
+        #: Per-kind detail: kind -> {requests, errors, seconds_total,
+        #: seconds_max} — so an operator can tell at a glance whether it
+        #: is queries, batches, transactions, or event traffic that is
+        #: slow or failing.
+        self.kind_detail: dict[int, dict[str, float]] = {}
 
     def handle(self, ctx: RelayContext, call_next: RelayHandler) -> bytes:
         started = self._clock.now()
@@ -99,13 +139,38 @@ class MetricsInterceptor(Interceptor):
         self.seconds_total += elapsed
         self.seconds_max = max(self.seconds_max, elapsed)
         self.by_kind[ctx.kind] = self.by_kind.get(ctx.kind, 0) + 1
+        detail = self.kind_detail.setdefault(
+            ctx.kind,
+            {"requests": 0, "errors": 0, "seconds_total": 0.0, "seconds_max": 0.0},
+        )
+        detail["requests"] += 1
+        detail["seconds_total"] += elapsed
+        detail["seconds_max"] = max(detail["seconds_max"], elapsed)
         if _reply_is_error(ctx, reply):
             self.errors_total += 1
+            detail["errors"] += 1
         return reply
 
     def snapshot(self) -> dict:
-        """A plain-dict rendering suitable for export/printing."""
+        """A plain-dict rendering suitable for export/printing.
+
+        ``by_kind`` keeps the historical ``{kind: count}`` shape;
+        ``kinds`` adds the per-message-kind breakdown keyed by readable
+        name, each with request/error counts and latency stats.
+        """
         mean = self.seconds_total / self.requests_total if self.requests_total else 0.0
+        kinds = {}
+        for kind, detail in sorted(self.kind_detail.items()):
+            requests = int(detail["requests"])
+            kinds[kind_name(kind)] = {
+                "requests": requests,
+                "errors": int(detail["errors"]),
+                "seconds_total": detail["seconds_total"],
+                "seconds_mean": (
+                    detail["seconds_total"] / requests if requests else 0.0
+                ),
+                "seconds_max": detail["seconds_max"],
+            }
         return {
             "requests_total": self.requests_total,
             "errors_total": self.errors_total,
@@ -115,6 +180,7 @@ class MetricsInterceptor(Interceptor):
             "seconds_mean": mean,
             "seconds_max": self.seconds_max,
             "by_kind": dict(self.by_kind),
+            "kinds": kinds,
         }
 
 
@@ -163,6 +229,15 @@ class ResponseCacheInterceptor(Interceptor):
     only occur on retries and failover replays — exactly the traffic a
     gateway wants to absorb without re-driving proof collection. Error
     envelopes are never cached.
+
+    Side-effecting envelopes are never cached *or served from cache*:
+    serving a stored reply to a replayed transaction would claim a commit
+    that never re-happened, and a replayed (un)subscribe or event push
+    must actually mutate subscription state. The check routes on the
+    envelope alone — the kind (:data:`SIDE_EFFECTING_KINDS`) plus the
+    :data:`SIDE_EFFECTING_HEADER` marker that the sending relay sets on
+    batch envelopes carrying transaction members — so the cache never
+    needs to decode payloads.
     """
 
     def __init__(
@@ -181,8 +256,27 @@ class ResponseCacheInterceptor(Interceptor):
         self._entries: OrderedDict[bytes, tuple[float, bytes]] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.bypassed = 0
+
+    @staticmethod
+    def _cacheable(ctx: RelayContext) -> bool:
+        envelope = ctx.envelope
+        if envelope is None:
+            # Undecodable bytes take the normal path: they always answer
+            # with an error envelope, which is never stored anyway.
+            return True
+        if envelope.kind in SIDE_EFFECTING_KINDS:
+            return False
+        if envelope.destination_network.endswith("#tx"):
+            # Legacy wire shape: a QUERY_REQUEST addressed to the
+            # '<net>#tx' pseudo-network executes a transaction.
+            return False
+        return envelope.headers.get(SIDE_EFFECTING_HEADER) != "true"
 
     def handle(self, ctx: RelayContext, call_next: RelayHandler) -> bytes:
+        if not self._cacheable(ctx):
+            self.bypassed += 1
+            return call_next(ctx)
         key = sha256(ctx.raw)
         now = self._clock.now()
         entry = self._entries.get(key)

@@ -1,0 +1,208 @@
+"""Verified event streams: notify-then-verify as an iterator.
+
+A cross-network event notification is *unauthenticated* — it travels as a
+compact ``MSG_KIND_EVENT_PUBLISH`` envelope with no proof, because events
+are hints, not data. The paper's trust argument ("only attestation proofs
+are believed") is preserved by upgrading every notification to trusted
+data before the application sees it: a :class:`VerifiedEventStream` runs
+a follow-up proof-carrying query per notification (the
+:class:`EventVerifier` describes how), and only notifications whose
+verified result passes the consistency check reach the iterator. A
+tampered or fabricated notification — one whose follow-up query fails or
+whose verified data does not cover it — lands in :attr:`rejected` instead.
+
+Verification is deliberately *lazy* (at iteration, not delivery):
+delivery happens synchronously inside the source network's block commit,
+and re-entering the relay machinery mid-commit to verify would nest one
+network's consensus inside another's.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.errors import ProtocolError
+from repro.interop.client import InteropClient, RemoteQueryResult
+from repro.interop.events import RemoteEventNotification
+from repro.proto.messages import EventNotificationMsg
+
+
+def _default_check(
+    notification: RemoteEventNotification, result: RemoteQueryResult
+) -> bool:
+    """The verified document must cover the notification payload."""
+    return notification.payload in result.data
+
+
+@dataclass
+class EventVerifier:
+    """How to upgrade one notification into trusted data.
+
+    ``address`` is the proof-carrying query to run; ``args`` maps the
+    notification to the query's arguments (e.g. extract a document ref
+    from the payload); ``check`` decides whether the verified result
+    really covers the notification (default: payload containment). The
+    query runs with the full trusted-transfer machinery — attestation
+    proof, client-side verification — under ``policy`` (``None`` = the
+    locally-recorded CMDAC policy).
+    """
+
+    address: str
+    args: Callable[[RemoteEventNotification], list[str]]
+    policy: str | None = None
+    confidential: bool = True
+    check: Callable[[RemoteEventNotification, RemoteQueryResult], bool] | None = None
+
+
+@dataclass(frozen=True)
+class VerifiedEvent:
+    """A notification plus the proof-backed query result that vouches for it."""
+
+    notification: RemoteEventNotification
+    verification: RemoteQueryResult
+
+    @property
+    def data(self) -> bytes:
+        """The *trusted* data (from the verification query, not the push)."""
+        return self.verification.data
+
+
+@dataclass(frozen=True)
+class RejectedEvent:
+    """A notification that failed its upgrade to trusted data."""
+
+    notification: RemoteEventNotification
+    reason: str
+
+
+class VerifiedEventStream:
+    """One live subscription's application-facing iterator.
+
+    The relay pushes raw notifications into the stream as matching events
+    commit on the source network; iterating (or :meth:`take`) verifies
+    each pending notification with the configured :class:`EventVerifier`
+    and yields only :class:`VerifiedEvent` values. Rejections accumulate
+    in :attr:`rejected` with their reason.
+    """
+
+    def __init__(
+        self,
+        client: InteropClient,
+        source_network: str,
+        chaincode: str,
+        event_name: str,
+        verifier: EventVerifier | None = None,
+        on_close: Callable[["VerifiedEventStream"], None] | None = None,
+    ) -> None:
+        self._client = client
+        self.source_network = source_network
+        self.chaincode = chaincode
+        self.event_name = event_name
+        self.verifier = verifier
+        self._on_close = on_close
+        #: Assigned by the session once the subscribe round-trip completes.
+        self.subscription_id = ""
+        self._pending: deque[RemoteEventNotification] = deque()
+        self.rejected: list[RejectedEvent] = []
+        self.closed = False
+
+    # -- delivery (called by the relay's event sink) -------------------------------
+
+    def _deliver(self, message: EventNotificationMsg) -> None:
+        self._pending.append(
+            RemoteEventNotification(
+                source_network=message.source_network,
+                chaincode=message.chaincode,
+                name=message.name,
+                payload=message.payload,
+                block_number=message.block_number,
+                tx_id=message.tx_id,
+            )
+        )
+
+    # -- consumption ---------------------------------------------------------------
+
+    @property
+    def pending_count(self) -> int:
+        """Raw notifications delivered but not yet verified."""
+        return len(self._pending)
+
+    @property
+    def raw_pending(self) -> tuple[RemoteEventNotification, ...]:
+        """The unverified backlog — *untrusted*; for introspection only."""
+        return tuple(self._pending)
+
+    def take(self) -> VerifiedEvent | None:
+        """Verify and return the next pending notification.
+
+        Skips (and records) rejected notifications; returns ``None`` when
+        the pending backlog is drained.
+        """
+        if self.verifier is None:
+            raise ProtocolError(
+                "stream has no EventVerifier; configure one at subscribe "
+                "time (raw notifications are untrusted by design)"
+            )
+        while self._pending:
+            notification = self._pending.popleft()
+            try:
+                event = self._verify(notification)
+            except Exception as exc:  # noqa: BLE001 - a forged notification
+                # must never crash the consumer: verifier.args/check choking
+                # on malformed payloads (e.g. undecodable bytes) is itself
+                # evidence of tampering, and lands in rejected like any
+                # failed verification query.
+                self.rejected.append(
+                    RejectedEvent(notification, f"verification failed: {exc}")
+                )
+                continue
+            if event is None:
+                self.rejected.append(
+                    RejectedEvent(
+                        notification,
+                        "verified data does not cover the notification",
+                    )
+                )
+                continue
+            return event
+        return None
+
+    def __iter__(self) -> Iterator[VerifiedEvent]:
+        """Drain the current backlog, yielding verified events."""
+        while True:
+            event = self.take()
+            if event is None:
+                return
+            yield event
+
+    def _verify(self, notification: RemoteEventNotification) -> VerifiedEvent | None:
+        verifier = self.verifier
+        assert verifier is not None  # guarded by take()
+        result = self._client.remote_query(
+            verifier.address,
+            verifier.args(notification),
+            policy=verifier.policy,
+            confidential=verifier.confidential,
+        )
+        check = verifier.check or _default_check
+        if not check(notification, result):
+            return None
+        return VerifiedEvent(notification=notification, verification=result)
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def close(self) -> None:
+        """Unsubscribe on the source relay and stop delivery."""
+        if self.closed:
+            return
+        self.closed = True
+        if self._on_close is not None:
+            self._on_close(self)
+
+    def __enter__(self) -> "VerifiedEventStream":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -4,12 +4,14 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from concurrent.futures import ThreadPoolExecutor
-from typing import Sequence
+from typing import Callable, Sequence
 
+from repro.errors import DriverError
 from repro.proto.messages import (
     PROTOCOL_VERSION,
     STATUS_ACCESS_DENIED,
     STATUS_ERROR,
+    EventSubscribeRequest,
     NetworkQuery,
     QueryResponse,
 )
@@ -31,12 +33,76 @@ class NetworkDriver(ABC):
     #: set this to 1 to force sequential execution.
     batch_concurrency: int = 4
 
+    #: Capability flags — the relay routes transact/subscribe envelopes
+    #: only to drivers that declare support (§2 lists query, transact, and
+    #: publish/subscribe as the three interoperability primitives).
+    supports_transactions: bool = False
+    supports_events: bool = False
+
     def __init__(self, network_id: str) -> None:
         self.network_id = network_id
 
     @abstractmethod
     def execute_query(self, query: NetworkQuery) -> QueryResponse:
         """Orchestrate proof collection for one query (§3.3 steps 5-7)."""
+
+    # -- transaction capability ---------------------------------------------------
+
+    def execute_transaction(self, query: NetworkQuery) -> QueryResponse:
+        """Run one request through the network's commit pipeline (§5).
+
+        The default declines: a driver opts in by setting
+        :attr:`supports_transactions` and overriding this with an
+        implementation whose attestations cover the *committed* outcome
+        (tx id, block number, validation code).
+        """
+        return self._error(
+            query,
+            f"driver for network {self.network_id!r} does not support "
+            f"cross-network transactions",
+        )
+
+    def execute_transaction_batch(
+        self, queries: Sequence[NetworkQuery]
+    ) -> list[QueryResponse]:
+        """Serve a batch of transactions with partial-failure semantics.
+
+        Unlike :meth:`execute_batch`, members run *sequentially*: commit
+        ordering within one envelope is part of the contract (a batch of
+        transactions replays deterministically), and concurrent submission
+        would race MVCC validation for overlapping keys.
+        """
+        return [self._execute_transaction_guarded(query) for query in queries]
+
+    def _execute_transaction_guarded(self, query: NetworkQuery) -> QueryResponse:
+        try:
+            return self.execute_transaction(query)
+        except Exception as exc:  # noqa: BLE001 - a batch member must not escape
+            return self._error(query, f"driver failed to execute the transaction: {exc}")
+
+    # -- event capability ---------------------------------------------------------
+
+    def open_event_tap(
+        self,
+        request: EventSubscribeRequest,
+        listener: Callable[..., None],
+    ) -> object:
+        """Tap the network's event hub for one remote subscription.
+
+        ``listener`` is called with a
+        :class:`repro.interop.events.RemoteEventNotification` for each
+        matching committed event. Returns an opaque tap handle for
+        :meth:`close_event_tap`. Raises :class:`AccessDeniedError` when the
+        source network's exposure control denies the subscription, and
+        :class:`DriverError` when the driver has no event capability.
+        """
+        raise DriverError(
+            f"driver for network {self.network_id!r} does not support "
+            f"event subscriptions"
+        )
+
+    def close_event_tap(self, tap: object) -> None:
+        """Deactivate a tap returned by :meth:`open_event_tap`."""
 
     def execute_batch(self, queries: Sequence[NetworkQuery]) -> list[QueryResponse]:
         """Serve every query of a batch, fanning across the driver.

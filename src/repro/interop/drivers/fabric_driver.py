@@ -65,9 +65,48 @@ class FabricDriver(NetworkDriver):
 
     platform = "fabric"
 
-    def __init__(self, network: FabricNetwork) -> None:
+    def __init__(self, network: FabricNetwork, event_reader=None) -> None:
         super().__init__(network.name)
         self._network = network
+        # Event capability is opt-in: subscribe-time ECC rule reads need a
+        # designated local reader identity (see enable_relay_events).
+        self._event_reader = event_reader
+        self.supports_events = event_reader is not None
+
+    def enable_events(self, reader) -> None:
+        """Grant the event capability with ``reader`` for ECC rule reads."""
+        self._event_reader = reader
+        self.supports_events = True
+
+    def open_event_tap(self, request, listener):
+        """Exposure-check and tap the network's event hub (§2 primitive iii)."""
+        from repro.errors import DriverError
+        from repro.interop.events import check_event_exposure, open_hub_tap
+
+        if self._event_reader is None:
+            raise DriverError(
+                f"driver for network {self.network_id!r} has no event "
+                f"capability enabled (no ECC reader identity)"
+            )
+        auth = request.auth
+        address = request.address
+        check_event_exposure(
+            self._network,
+            self._event_reader,
+            auth.requesting_network if auth else "",
+            auth.requesting_org if auth else "",
+            address.contract if address else "",
+            request.event_name,
+        )
+        return open_hub_tap(
+            self._network,
+            address.contract if address else "",
+            request.event_name,
+            listener,
+        )
+
+    def close_event_tap(self, tap) -> None:
+        tap.close()
 
     def execute_query(self, query: NetworkQuery) -> QueryResponse:
         address = query.address

@@ -16,6 +16,16 @@ subscribe to events" (§2); cross-network events are named future work in
   the helper :meth:`RemoteEventSubscription.verify_with_query` wires that
   up. This keeps the trust argument identical to the paper's: only
   attestation proofs are believed.
+
+Since the gateway redesign, remote delivery rides relay envelopes
+(``MSG_KIND_EVENT_SUBSCRIBE`` / ``MSG_KIND_EVENT_PUBLISH`` /
+``MSG_KIND_EVENT_UNSUBSCRIBE``) through the same discovery, failover, and
+interceptor chain as queries — see :meth:`RelayService.remote_subscribe`
+and the :class:`repro.api.GatewaySession` / ``VerifiedEventStream``
+surface. :func:`enable_relay_events` switches a network's relay driver on
+for that path. The in-process :class:`EventBridge` below predates it and
+is kept as a thin shim over the same exposure check
+(:func:`check_event_exposure`) and hub tap (:func:`open_hub_tap`).
 """
 
 from __future__ import annotations
@@ -26,6 +36,7 @@ from typing import Callable
 
 from repro.errors import AccessDeniedError, DiscoveryError
 from repro.fabric.events import ChaincodeEvent
+from repro.fabric.identity import Identity
 from repro.fabric.network import FabricNetwork
 from repro.interop.client import InteropClient, RemoteQueryResult
 from repro.utils.encoding import canonical_json, from_canonical_json
@@ -71,6 +82,107 @@ class RemoteEventNotification:
 EventCallback = Callable[[RemoteEventNotification], None]
 
 
+def check_event_exposure(
+    network: FabricNetwork,
+    reader: Identity,
+    requesting_network: str,
+    requesting_org: str,
+    chaincode: str,
+    name: str,
+) -> None:
+    """Gate one event subscription on the source ECC.
+
+    Subscriptions use the same ``<network, org, chaincode, object>`` rule
+    shape as queries and transactions, with the object ``event:<name>``
+    (or ``event:*``) — a governance decision must whitelist each remotely
+    observable event, mirroring data-exposure control.
+    """
+    rules_raw = network.gateway.evaluate(reader, "ecc", "ListAccessRules", [])
+    rules = {tuple(rule) for rule in json.loads(rules_raw)}
+    candidates = {
+        (requesting_network, requesting_org, chaincode, f"event:{name}"),
+        (requesting_network, requesting_org, chaincode, "event:*"),
+        (requesting_network, "*", chaincode, f"event:{name}"),
+        (requesting_network, "*", chaincode, "event:*"),
+    }
+    if not candidates & rules:
+        raise AccessDeniedError(
+            f"exposure control denied event subscription "
+            f"<{requesting_network}, {requesting_org}, {chaincode}, "
+            f"event:{name}>"
+        )
+
+
+@dataclass
+class HubTap:
+    """A closeable listener registration on a network's event hub.
+
+    The hub offers no unregistration, so closing flips a flag the
+    listener closure checks — the registration stays but goes inert.
+    """
+
+    network_id: str
+    chaincode: str
+    event_name: str
+    active: bool = True
+
+    def close(self) -> None:
+        self.active = False
+
+
+def open_hub_tap(
+    network: FabricNetwork,
+    chaincode: str,
+    event_name: str,
+    listener: EventCallback,
+) -> HubTap:
+    """Tap ``network``'s event hub, delivering wire-shape notifications.
+
+    Each matching committed :class:`ChaincodeEvent` is normalized into a
+    :class:`RemoteEventNotification` and handed to ``listener`` while the
+    returned tap is open. Exposure control is the caller's job
+    (:func:`check_event_exposure`) — the tap is mechanism, not policy.
+    """
+    tap = HubTap(network_id=network.name, chaincode=chaincode, event_name=event_name)
+
+    def _fan_out(event: ChaincodeEvent) -> None:
+        if not tap.active:
+            return
+        listener(
+            RemoteEventNotification(
+                source_network=network.name,
+                chaincode=event.chaincode,
+                name=event.name,
+                payload=event.payload,
+                block_number=event.block_number,
+                tx_id=event.tx_id,
+            )
+        )
+
+    network.event_hub.on_chaincode_event(chaincode, event_name, _fan_out)
+    return tap
+
+
+def enable_relay_events(
+    network: FabricNetwork, relay, reader: Identity
+) -> None:
+    """Switch ``network``'s relay driver on for relay-side subscriptions.
+
+    ``reader`` is the local identity the driver uses for ECC rule reads at
+    subscribe time (a governance choice, like the transaction invoker).
+    After this call the relay serves ``MSG_KIND_EVENT_SUBSCRIBE``
+    envelopes for the network and pushes ``MSG_KIND_EVENT_PUBLISH``
+    notifications to subscriber networks through discovery + failover.
+    """
+    driver = relay.driver_for(network.name)
+    if driver is None:
+        raise DiscoveryError(
+            f"relay {relay.relay_id!r} has no driver for network "
+            f"{network.name!r} to enable events on"
+        )
+    driver.enable_events(reader)
+
+
 @dataclass
 class RemoteEventSubscription:
     """A live subscription held by a destination application."""
@@ -99,37 +211,20 @@ class RemoteEventSubscription:
 
 
 class EventBridge:
-    """Source-side: bridges a Fabric network's event hub to remote relays.
+    """Legacy in-process bridge from a network's event hub to subscribers.
 
-    Attached next to the network's relay. Subscriptions are checked
-    against the ECC (rule ``<network, org, chaincode, event:<name>>``) at
-    subscribe time, mirroring data-exposure governance.
+    Predates the relay-envelope subscription path; kept as a thin shim
+    over the shared exposure check (:func:`check_event_exposure`) and hub
+    tap (:func:`open_hub_tap`) for callers wired before the
+    :class:`~repro.api.GatewaySession` surface existed. New code should
+    subscribe through the gateway so delivery rides discovery, failover,
+    and the interceptor chain.
     """
 
     def __init__(self, network: FabricNetwork, admin_reader) -> None:
         self._network = network
         self._reader = admin_reader  # identity used for ECC rule reads
-        self._active: set[str] = set()  # live subscription ids
-
-    def _check_exposure(
-        self, requesting_network: str, requesting_org: str, chaincode: str, name: str
-    ) -> None:
-        rules_raw = self._network.gateway.evaluate(
-            self._reader, "ecc", "ListAccessRules", []
-        )
-        rules = {tuple(rule) for rule in json.loads(rules_raw)}
-        candidates = {
-            (requesting_network, requesting_org, chaincode, f"event:{name}"),
-            (requesting_network, requesting_org, chaincode, "event:*"),
-            (requesting_network, "*", chaincode, f"event:{name}"),
-            (requesting_network, "*", chaincode, "event:*"),
-        }
-        if not candidates & rules:
-            raise AccessDeniedError(
-                f"exposure control denied event subscription "
-                f"<{requesting_network}, {requesting_org}, {chaincode}, "
-                f"event:{name}>"
-            )
+        self._taps: dict[str, HubTap] = {}  # subscription id -> live tap
 
     def subscribe(
         self,
@@ -140,7 +235,10 @@ class EventBridge:
         callback: EventCallback | None = None,
     ) -> RemoteEventSubscription:
         """Register a remote subscriber (raises on exposure denial)."""
-        self._check_exposure(requesting_network, requesting_org, chaincode, event_name)
+        check_event_exposure(
+            self._network, self._reader,
+            requesting_network, requesting_org, chaincode, event_name,
+        )
         subscription = RemoteEventSubscription(
             subscription_id=random_id("sub-"),
             source_network=self._network.name,
@@ -148,33 +246,15 @@ class EventBridge:
             event_name=event_name,
             callback=callback,
         )
-        # Register the concrete (chaincode, name) listener on the hub.
-        self._active.add(subscription.subscription_id)
-        self._network.event_hub.on_chaincode_event(
-            chaincode,
-            event_name,
-            lambda event: self._fan_out_single(event, subscription),
+        self._taps[subscription.subscription_id] = open_hub_tap(
+            self._network, chaincode, event_name, subscription.deliver
         )
         return subscription
 
-    def _fan_out_single(
-        self, event: ChaincodeEvent, subscription: RemoteEventSubscription
-    ) -> None:
-        if subscription.subscription_id not in self._active:
-            return  # unsubscribed; the hub listener is inert
-        subscription.deliver(
-            RemoteEventNotification(
-                source_network=self._network.name,
-                chaincode=event.chaincode,
-                name=event.name,
-                payload=event.payload,
-                block_number=event.block_number,
-                tx_id=event.tx_id,
-            )
-        )
-
     def unsubscribe(self, subscription: RemoteEventSubscription) -> None:
-        self._active.discard(subscription.subscription_id)
+        tap = self._taps.pop(subscription.subscription_id, None)
+        if tap is not None:
+            tap.close()
 
 
 class EventBridgeRegistry:

@@ -22,6 +22,14 @@ Batching: a :data:`~repro.proto.messages.MSG_KIND_BATCH_REQUEST` envelope
 carries N queries to one target network in a single round-trip, sharing one
 discovery lookup and one failover loop, with the serving driver fanning the
 members concurrently (:meth:`NetworkDriver.execute_batch`).
+
+All three §2 primitives ride the same machinery: transactions travel as
+``MSG_KIND_TRANSACT_REQUEST`` envelopes (and as ``invocation`` -marked
+batch members) routed to a transaction-capable driver, and event
+subscriptions as ``MSG_KIND_EVENT_SUBSCRIBE`` / ``_PUBLISH`` /
+``_UNSUBSCRIBE`` envelopes — the source relay taps its network's event hub
+and pushes notifications to the subscriber's relay through the very same
+discovery lookup and failover loop used for queries.
 """
 
 from __future__ import annotations
@@ -30,6 +38,7 @@ from collections import deque
 from typing import Callable, Sequence
 
 from repro.errors import (
+    AccessDeniedError,
     DiscoveryError,
     DoSError,
     ProtocolError,
@@ -39,15 +48,29 @@ from repro.errors import (
 from repro.interop.discovery import DiscoveryService
 from repro.interop.drivers.base import NetworkDriver
 from repro.proto.messages import (
+    INVOCATION_TRANSACTION,
     MSG_KIND_BATCH_REQUEST,
     MSG_KIND_BATCH_RESPONSE,
     MSG_KIND_ERROR,
+    MSG_KIND_EVENT_ACK,
+    MSG_KIND_EVENT_PUBLISH,
+    MSG_KIND_EVENT_SUBSCRIBE,
+    MSG_KIND_EVENT_UNSUBSCRIBE,
     MSG_KIND_QUERY_REQUEST,
     MSG_KIND_QUERY_RESPONSE,
+    MSG_KIND_TRANSACT_REQUEST,
+    MSG_KIND_TRANSACT_RESPONSE,
     PROTOCOL_VERSION,
+    SIDE_EFFECTING_HEADER,
+    STATUS_ACCESS_DENIED,
     STATUS_ERROR,
+    STATUS_OK,
     BatchQueryRequest,
     BatchQueryResponse,
+    EventAck,
+    EventNotificationMsg,
+    EventSubscribeRequest,
+    EventUnsubscribeRequest,
     NetworkQuery,
     QueryResponse,
     RelayEnvelope,
@@ -94,6 +117,13 @@ class RelayStats:
         self.failovers = 0
         self.batches_served = 0
         self.batches_sent = 0
+        self.transactions_sent = 0
+        self.transactions_served = 0
+        self.subscriptions_opened = 0  # destination side: live remote subs
+        self.subscriptions_served = 0  # source side: subs this relay feeds
+        self.events_published = 0  # source side: notifications pushed out
+        self.events_delivered = 0  # destination side: notifications sunk
+        self.events_dropped = 0  # source side: undeliverable notifications
 
 
 class RelayContext:
@@ -148,6 +178,22 @@ RelayHandler = Callable[[RelayContext], bytes]
 RelayInterceptor = Callable[[RelayContext, RelayHandler], bytes]
 
 
+class _ServedSubscription:
+    """Source-side record of one remote subscription this relay feeds."""
+
+    def __init__(
+        self,
+        subscription_id: str,
+        subscriber_network: str,
+        driver: NetworkDriver,
+        tap: object | None = None,
+    ) -> None:
+        self.subscription_id = subscription_id
+        self.subscriber_network = subscriber_network
+        self.driver = driver
+        self.tap = tap
+
+
 class RateLimitInterceptor:
     """The relay's DoS self-protection as a chain interceptor.
 
@@ -185,6 +231,11 @@ class RelayService:
         self._drivers: dict[str, NetworkDriver] = {}
         self._interceptors: list[RelayInterceptor] = []
         self._chain: RelayHandler | None = None
+        #: Source side: live subscriptions this relay feeds, by id.
+        self._served_subscriptions: dict[str, _ServedSubscription] = {}
+        #: Destination side: local delivery callbacks for subscriptions
+        #: opened by this relay's applications, by subscription id.
+        self._event_sinks: dict[str, Callable[[EventNotificationMsg], None]] = {}
         self.stats = RelayStats()
         self.available = True  # toggled by availability experiments
         if rate_limiter is not None:
@@ -199,6 +250,25 @@ class RelayService:
     def register_driver(self, driver: NetworkDriver) -> None:
         """Attach a driver for a network this relay fronts (usually its own)."""
         self._drivers[driver.network_id] = driver
+
+    def driver_for(self, network_id: str) -> NetworkDriver | None:
+        """The registered driver for ``network_id`` (``None`` if absent)."""
+        return self._drivers.get(network_id)
+
+    def _transaction_driver(self, target: str) -> NetworkDriver | None:
+        """The transaction-capable driver for ``target``.
+
+        Checks the plainly-registered driver first, then the legacy
+        ``<target>#tx`` pseudo-network registration kept by
+        :func:`~repro.interop.transactions.enable_remote_transactions`.
+        """
+        driver = self._drivers.get(target)
+        if driver is not None and driver.supports_transactions:
+            return driver
+        driver = self._drivers.get(target + "#tx")
+        if driver is not None and driver.supports_transactions:
+            return driver
+        return None
 
     # -- middleware chain ---------------------------------------------------------
 
@@ -269,6 +339,14 @@ class RelayService:
             return self._serve_query(envelope)
         if envelope.kind == MSG_KIND_BATCH_REQUEST:
             return self._serve_batch(envelope)
+        if envelope.kind == MSG_KIND_TRANSACT_REQUEST:
+            return self._serve_transact(envelope)
+        if envelope.kind == MSG_KIND_EVENT_SUBSCRIBE:
+            return self._serve_event_subscribe(envelope)
+        if envelope.kind == MSG_KIND_EVENT_PUBLISH:
+            return self._serve_event_publish(envelope)
+        if envelope.kind == MSG_KIND_EVENT_UNSUBSCRIBE:
+            return self._serve_event_unsubscribe(envelope)
         self.stats.requests_failed += 1
         return self._error_envelope(
             envelope.request_id, f"unexpected message kind {envelope.kind}", False
@@ -305,8 +383,10 @@ class RelayService:
     def _serve_batch(self, envelope: RelayEnvelope) -> bytes:
         """Serve a batch envelope with partial-failure semantics.
 
-        Members are grouped per driver and fanned via
-        :meth:`NetworkDriver.execute_batch`; a member with no driver (or a
+        Members are grouped per (driver, invocation) and fanned via
+        :meth:`NetworkDriver.execute_batch` (queries, concurrent) or
+        :meth:`NetworkDriver.execute_transaction_batch` (transactions,
+        sequential — commit ordering); a member with no driver (or a
         failing member) is answered with an error *response* in its slot —
         only an undecodable batch fails as a whole.
         """
@@ -319,30 +399,40 @@ class RelayService:
             )
         queries = list(batch.queries)
         responses: list[QueryResponse | None] = [None] * len(queries)
-        groups: dict[str, list[int]] = {}
+        groups: dict[tuple[str, bool], list[int]] = {}
         for position, query in enumerate(queries):
             target = query.address.network if query.address else ""
-            groups.setdefault(target, []).append(position)
-        for target, positions in groups.items():
-            driver = self._drivers.get(target)
+            is_transaction = query.invocation == INVOCATION_TRANSACTION
+            groups.setdefault((target, is_transaction), []).append(position)
+        for (target, is_transaction), positions in groups.items():
+            driver = (
+                self._transaction_driver(target)
+                if is_transaction
+                else self._drivers.get(target)
+            )
             if driver is None:
                 # Stat parity with the singleton path: a member this relay
                 # cannot route counts as failed, not served.
                 self.stats.requests_failed += len(positions)
+                capability = "transaction-capable driver" if is_transaction else "driver"
                 for position in positions:
                     responses[position] = QueryResponse(
                         version=PROTOCOL_VERSION,
                         nonce=queries[position].nonce,
                         status=STATUS_ERROR,
                         error=(
-                            f"relay {self.relay_id!r} has no driver for "
+                            f"relay {self.relay_id!r} has no {capability} for "
                             f"network {target!r}"
                         ),
                     )
                 continue
-            for position, response in zip(
-                positions, driver.execute_batch([queries[p] for p in positions])
-            ):
+            members = [queries[p] for p in positions]
+            if is_transaction:
+                served = driver.execute_transaction_batch(members)
+                self.stats.transactions_served += len(positions)
+            else:
+                served = driver.execute_batch(members)
+            for position, response in zip(positions, served):
                 responses[position] = response
             self.stats.requests_served += len(positions)
         self.stats.batches_served += 1
@@ -358,6 +448,221 @@ class RelayService:
             destination_network=envelope.source_network,
             payload=reply.encode(),
         ).encode()
+
+    def _serve_transact(self, envelope: RelayEnvelope) -> bytes:
+        """Serve a cross-network transaction envelope (§5 extension).
+
+        Routed to the network's transaction-capable driver, which submits
+        under its designated local invoker identity and attests the
+        *committed* outcome (tx id, block number, validation code).
+        """
+        try:
+            query = NetworkQuery.decode(envelope.payload)
+        except Exception as exc:
+            self.stats.requests_failed += 1
+            return self._error_envelope(
+                envelope.request_id, f"undecodable transaction: {exc}", False
+            )
+        target = query.address.network if query.address else ""
+        driver = self._transaction_driver(target)
+        if driver is None:
+            self.stats.requests_failed += 1
+            return self._error_envelope(
+                envelope.request_id,
+                f"relay {self.relay_id!r} has no transaction-capable driver "
+                f"for network {target!r}",
+                False,
+            )
+        response = driver._execute_transaction_guarded(query)
+        self.stats.requests_served += 1
+        self.stats.transactions_served += 1
+        return RelayEnvelope(
+            version=PROTOCOL_VERSION,
+            kind=MSG_KIND_TRANSACT_RESPONSE,
+            request_id=envelope.request_id,
+            source_network=self.network_id,
+            destination_network=envelope.source_network,
+            payload=response.encode(),
+        ).encode()
+
+    # -- source side: event subscriptions ----------------------------------------
+
+    def _event_ack(
+        self,
+        envelope: RelayEnvelope,
+        subscription_id: str,
+        status: int = STATUS_OK,
+        error: str = "",
+    ) -> bytes:
+        ack = EventAck(
+            version=PROTOCOL_VERSION,
+            subscription_id=subscription_id,
+            status=status,
+            error=error,
+        )
+        return RelayEnvelope(
+            version=PROTOCOL_VERSION,
+            kind=MSG_KIND_EVENT_ACK,
+            request_id=envelope.request_id,
+            source_network=self.network_id,
+            destination_network=envelope.source_network,
+            payload=ack.encode(),
+        ).encode()
+
+    def _serve_event_subscribe(self, envelope: RelayEnvelope) -> bytes:
+        """Open a subscription: ECC-gate it, tap the hub, record the feed.
+
+        The ack carries the assigned subscription id; exposure denial comes
+        back as a ``STATUS_ACCESS_DENIED`` ack (not an error envelope) so
+        the subscriber can distinguish governance denial from transport
+        failure.
+        """
+        try:
+            request = EventSubscribeRequest.decode(envelope.payload)
+        except Exception as exc:
+            self.stats.requests_failed += 1
+            return self._error_envelope(
+                envelope.request_id, f"undecodable subscription: {exc}", False
+            )
+        target = request.address.network if request.address else ""
+        driver = self._drivers.get(target)
+        if driver is None or not driver.supports_events:
+            self.stats.requests_failed += 1
+            return self._error_envelope(
+                envelope.request_id,
+                f"relay {self.relay_id!r} has no event-capable driver for "
+                f"network {target!r}",
+                False,
+            )
+        subscription_id = request.subscription_id or random_id("sub-")
+        if subscription_id in self._served_subscriptions:
+            self.stats.requests_failed += 1
+            return self._event_ack(
+                envelope,
+                "",
+                status=STATUS_ERROR,
+                error=f"subscription id {subscription_id!r} already in use",
+            )
+        subscriber_network = envelope.source_network
+        record = _ServedSubscription(
+            subscription_id=subscription_id,
+            subscriber_network=subscriber_network,
+            driver=driver,
+        )
+
+        def push(notification) -> None:
+            self._publish_event(record, notification)
+
+        try:
+            record.tap = driver.open_event_tap(request, push)
+        except AccessDeniedError as exc:
+            self.stats.requests_failed += 1
+            return self._event_ack(
+                envelope, "", status=STATUS_ACCESS_DENIED, error=str(exc)
+            )
+        except Exception as exc:  # noqa: BLE001 - answered, not raised
+            self.stats.requests_failed += 1
+            return self._event_ack(envelope, "", status=STATUS_ERROR, error=str(exc))
+        self._served_subscriptions[subscription_id] = record
+        self.stats.requests_served += 1
+        self.stats.subscriptions_served += 1
+        return self._event_ack(envelope, subscription_id)
+
+    def _serve_event_unsubscribe(self, envelope: RelayEnvelope) -> bytes:
+        try:
+            request = EventUnsubscribeRequest.decode(envelope.payload)
+        except Exception as exc:
+            self.stats.requests_failed += 1
+            return self._error_envelope(
+                envelope.request_id, f"undecodable unsubscribe: {exc}", False
+            )
+        self._drop_served_subscription(request.subscription_id)
+        self.stats.requests_served += 1
+        return self._event_ack(envelope, request.subscription_id)
+
+    def _drop_served_subscription(self, subscription_id: str) -> None:
+        record = self._served_subscriptions.pop(subscription_id, None)
+        if record is not None and record.tap is not None:
+            record.driver.close_event_tap(record.tap)
+
+    def _publish_event(self, record: "_ServedSubscription", notification) -> None:
+        """Push one notification to the subscriber's network relay(s).
+
+        Rides the same discovery lookup and failover loop as queries.
+        Delivery is at-most-once by design: an undeliverable notification
+        is counted and dropped (the subscriber reconciles by querying —
+        notifications are hints, trusted data comes from proofs), and a
+        sink that reports the subscription gone prunes it here.
+        """
+        message = EventNotificationMsg(
+            version=PROTOCOL_VERSION,
+            subscription_id=record.subscription_id,
+            source_network=self.network_id,
+            chaincode=notification.chaincode,
+            name=notification.name,
+            payload=notification.payload,
+            block_number=notification.block_number,
+            tx_id=notification.tx_id,
+        )
+        try:
+            ack = self._exchange(
+                record.subscriber_network,
+                MSG_KIND_EVENT_PUBLISH,
+                message.encode(),
+                MSG_KIND_EVENT_ACK,
+                EventAck.decode,
+            )
+        except (RelayError, DiscoveryError):
+            self.stats.events_dropped += 1
+            return
+        if ack.status != STATUS_OK:
+            # The subscriber side no longer knows this subscription.
+            self.stats.events_dropped += 1
+            self._drop_served_subscription(record.subscription_id)
+            return
+        self.stats.events_published += 1
+
+    # -- destination side: local event sinks --------------------------------------
+
+    def register_event_sink(
+        self,
+        subscription_id: str,
+        callback: Callable[[EventNotificationMsg], None],
+    ) -> None:
+        """Route inbound ``MSG_KIND_EVENT_PUBLISH`` for ``subscription_id``
+        to ``callback`` (installed by :class:`repro.api.GatewaySession`)."""
+        self._event_sinks[subscription_id] = callback
+
+    def unregister_event_sink(self, subscription_id: str) -> None:
+        self._event_sinks.pop(subscription_id, None)
+
+    def _serve_event_publish(self, envelope: RelayEnvelope) -> bytes:
+        try:
+            message = EventNotificationMsg.decode(envelope.payload)
+        except Exception as exc:
+            self.stats.requests_failed += 1
+            return self._error_envelope(
+                envelope.request_id, f"undecodable notification: {exc}", False
+            )
+        sink = self._event_sinks.get(message.subscription_id)
+        if sink is None:
+            # Answered with a non-OK ack (not an error envelope) so the
+            # source relay prunes the dead subscription instead of failing
+            # over to another relay of this network.
+            self.stats.requests_failed += 1
+            return self._event_ack(
+                envelope,
+                message.subscription_id,
+                status=STATUS_ERROR,
+                error=(
+                    f"relay {self.relay_id!r} has no sink for subscription "
+                    f"{message.subscription_id!r}"
+                ),
+            )
+        sink(message)
+        self.stats.requests_served += 1
+        self.stats.events_delivered += 1
+        return self._event_ack(envelope, message.subscription_id)
 
     # -- destination side: query remote networks -----------------------------------
 
@@ -409,18 +714,113 @@ class RelayService:
                     )
                 return reply
 
-            self.stats.queries_sent += len(members)
+            transactions = sum(
+                1 for member in members
+                if member.invocation == INVOCATION_TRANSACTION
+            )
+            self.stats.queries_sent += len(members) - transactions
+            self.stats.transactions_sent += transactions
             self.stats.batches_sent += 1
+            # Mark envelopes carrying committed work so caching layers
+            # (which route on the envelope alone) never replay them.
+            headers = {SIDE_EFFECTING_HEADER: "true"} if transactions else None
             reply = self._exchange(
                 target,
                 MSG_KIND_BATCH_REQUEST,
                 request.encode(),
                 MSG_KIND_BATCH_RESPONSE,
                 decode_batch,
+                headers=headers,
             )
             for position, response in zip(positions, reply.responses):
                 responses[position] = response
         return [response for response in responses if response is not None]
+
+    def remote_transact(self, query: NetworkQuery) -> QueryResponse:
+        """Send a cross-network transaction to the target network's relay(s).
+
+        Same discovery, framing, and failover as :meth:`remote_query`, under
+        the dedicated ``MSG_KIND_TRANSACT_REQUEST`` envelope kind — distinct
+        on the wire because a replayed transaction re-commits, so caches and
+        other intermediaries must be able to tell it apart without decoding
+        the payload.
+        """
+        target = self._require_target(query)
+        self.stats.transactions_sent += 1
+        return self._exchange(
+            target,
+            MSG_KIND_TRANSACT_REQUEST,
+            query.encode(),
+            MSG_KIND_TRANSACT_RESPONSE,
+            QueryResponse.decode,
+        )
+
+    # -- destination side: subscribe to remote events ------------------------------
+
+    def remote_subscribe(
+        self,
+        request: EventSubscribeRequest,
+        sink: Callable[[EventNotificationMsg], None],
+    ) -> str:
+        """Open a subscription on the remote network; returns its id.
+
+        The subscription id is proposed by this side and the sink installed
+        *before* the subscribe round-trip, so there is no window in which
+        the source's first push (which can race the ack in a concurrent
+        deployment — the tap opens server-side before the ack travels
+        back) finds no sink. Raises :class:`AccessDeniedError` on exposure
+        denial and :class:`RelayError` / :class:`RelayUnavailableError`
+        like a query.
+        """
+        target = request.address.network if request.address else ""
+        if not target:
+            raise ProtocolError("subscription has no target network address")
+        if not request.subscription_id:
+            request.subscription_id = random_id("sub-")
+        self._event_sinks[request.subscription_id] = sink
+        try:
+            ack = self._exchange(
+                target,
+                MSG_KIND_EVENT_SUBSCRIBE,
+                request.encode(),
+                MSG_KIND_EVENT_ACK,
+                EventAck.decode,
+            )
+            if ack.status == STATUS_ACCESS_DENIED:
+                raise AccessDeniedError(ack.error)
+            if ack.status != STATUS_OK or not ack.subscription_id:
+                raise RelayError(
+                    f"subscription to network {target!r} failed: {ack.error}"
+                )
+        except BaseException:
+            self._event_sinks.pop(request.subscription_id, None)
+            raise
+        if ack.subscription_id != request.subscription_id:
+            # A source predating subscriber-proposed ids assigned its own.
+            self._event_sinks[ack.subscription_id] = self._event_sinks.pop(
+                request.subscription_id
+            )
+        self.stats.subscriptions_opened += 1
+        return ack.subscription_id
+
+    def remote_unsubscribe(self, source_network: str, subscription_id: str) -> None:
+        """Tear down a subscription on the source relay and drop the sink."""
+        self.unregister_event_sink(subscription_id)
+        request = EventUnsubscribeRequest(
+            version=PROTOCOL_VERSION, subscription_id=subscription_id
+        )
+        try:
+            self._exchange(
+                source_network,
+                MSG_KIND_EVENT_UNSUBSCRIBE,
+                request.encode(),
+                MSG_KIND_EVENT_ACK,
+                EventAck.decode,
+            )
+        except (RelayError, DiscoveryError):
+            # The source relay being unreachable leaves a dangling remote
+            # subscription; its next push gets a no-sink ack and is pruned.
+            pass
 
     def _require_target(self, query: NetworkQuery) -> str:
         if query.address is None or not query.address.network:
@@ -434,6 +834,7 @@ class RelayService:
         payload: bytes,
         expect_reply_kind: int,
         decode_reply: Callable[[bytes], object],
+        headers: dict[str, str] | None = None,
     ):
         """One request/reply round with failover across redundant relays.
 
@@ -452,6 +853,7 @@ class RelayService:
             source_network=self.network_id,
             destination_network=target,
             payload=payload,
+            headers=headers or {},
         ).encode()
         failures: list[str] = []
         for position, endpoint in enumerate(endpoints):

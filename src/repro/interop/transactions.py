@@ -50,9 +50,11 @@ from repro.proto.messages import (
 from repro.utils.encoding import canonical_json, from_canonical_json
 from repro.utils.ids import random_id
 
-# NetworkQuery.invocation kinds (carried in the headers of the transient
-# context; the wire message stays unchanged for forward compatibility).
-INVOKE_TRANSACTION = "transaction"
+from repro.proto.messages import INVOCATION_TRANSACTION
+
+# Legacy alias: the invocation discriminator now lives on the wire
+# (NetworkQuery.invocation) so batch envelopes can mix members.
+INVOKE_TRANSACTION = INVOCATION_TRANSACTION
 
 
 @dataclass
@@ -77,6 +79,11 @@ class FabricTransactionDriver(NetworkDriver):
     """
 
     platform = "fabric"
+    supports_transactions = True
+    #: Transactions in one batch commit sequentially: concurrent submission
+    #: would race MVCC validation for overlapping keys, and envelope-level
+    #: ordering is part of the batch contract.
+    batch_concurrency = 1
 
     def __init__(self, network: FabricNetwork, invoker: Identity) -> None:
         super().__init__(network.name + "#tx")
@@ -129,6 +136,11 @@ class FabricTransactionDriver(NetworkDriver):
         validate_chain(creator, [root])
 
     def execute_query(self, query: NetworkQuery) -> QueryResponse:
+        """Legacy route: ``MSG_KIND_QUERY_REQUEST`` to the ``#tx``
+        pseudo-network executes the transaction (pre-gateway wire shape)."""
+        return self.execute_transaction(query)
+
+    def execute_transaction(self, query: NetworkQuery) -> QueryResponse:
         address_msg = query.address
         if address_msg is None:
             return self._error(query, "transaction request has no address")
@@ -214,32 +226,76 @@ class FabricTransactionDriver(NetworkDriver):
         return response
 
 
+@dataclass
+class PreparedTransaction:
+    """A fully-built wire transaction awaiting transport.
+
+    The front half of a cross-network transaction, mirroring
+    :class:`repro.interop.client.PreparedQuery` so the gateway's pipelined
+    executors can prepare many transactions, ship them (singly or as batch
+    members), and finish each reply with
+    :meth:`RemoteTransactionClient.finalize_transaction`.
+    """
+
+    address_text: str
+    address: CrossNetworkAddress
+    args: list[str]
+    nonce: str
+    query: NetworkQuery
+    policy_expression: str
+    confidential: bool
+
+    @property
+    def target_network(self) -> str:
+        return self.address.network
+
+
 class RemoteTransactionClient:
     """Application-facing API for cross-network transactions.
 
     Reuses the interop client's relay, identity, and decryption machinery
     ("the relay service, system contracts, and application client support
-    ... can be reused directly", §5).
+    ... can be reused directly", §5). Split into
+    :meth:`prepare_transaction` / :meth:`finalize_transaction` halves so
+    the gateway can pipeline and batch transactions exactly like queries;
+    :meth:`remote_transact` remains as the synchronous shim over them.
     """
 
-    def __init__(self, interop_client: InteropClient, relay) -> None:
+    def __init__(self, interop_client: InteropClient, relay=None) -> None:
         self._client = interop_client
-        self._relay = relay
+        self._relay = relay if relay is not None else interop_client.relay
 
-    def remote_transact(
+    @property
+    def client(self) -> InteropClient:
+        return self._client
+
+    @property
+    def relay(self):
+        return self._relay
+
+    def prepare_transaction(
         self,
         address_text: str,
         args: list[str],
-        policy: str,
+        policy: str | None = None,
         confidential: bool = True,
-    ) -> RemoteTransactionResult:
+    ) -> PreparedTransaction:
+        """Build the wire transaction without sending it.
+
+        With ``policy=None`` the locally-recorded CMDAC verification policy
+        for the target network is used, exactly as for queries.
+        """
         address = parse_address(address_text)
+        policy_expression = (
+            policy if policy is not None
+            else self._client.lookup_policy(address.network)
+        )
         identity = self._client.identity
         nonce = random_id("txnonce-")
         query = NetworkQuery(
             version=PROTOCOL_VERSION,
             address=NetworkAddressMsg(
-                network=address.network + "#tx",
+                network=address.network,
                 ledger=address.ledger,
                 contract=address.contract,
                 function=address.function,
@@ -247,25 +303,45 @@ class RemoteTransactionClient:
             args=list(args),
             nonce=nonce,
             auth=AuthInfo(
-                requesting_network=self._client._network_id,
+                requesting_network=self._client.network_id,
                 requesting_org=identity.org,
                 requestor=identity.name,
                 certificate=identity.certificate.to_bytes(),
                 public_key=identity.keypair.public.to_bytes(),
             ),
-            policy=VerificationPolicyMsg(expression=policy),
+            policy=VerificationPolicyMsg(expression=policy_expression),
+            confidential=confidential,
+            invocation=INVOCATION_TRANSACTION,
+        )
+        return PreparedTransaction(
+            address_text=address_text,
+            address=address,
+            args=list(args),
+            nonce=nonce,
+            query=query,
+            policy_expression=policy_expression,
             confidential=confidential,
         )
-        response = self._relay.remote_query(query)
+
+    def finalize_transaction(
+        self, prepared: PreparedTransaction, response: QueryResponse
+    ) -> RemoteTransactionResult:
+        """Decrypt and verify one transaction reply.
+
+        Checks that the source committed the transaction (validation code),
+        that every attestation binds to this request's nonce, and that the
+        attesting organizations satisfy the verification policy.
+        """
+        from repro.interop.proofs import unseal_result
         from repro.proto.messages import STATUS_ACCESS_DENIED
 
+        identity = self._client.identity
+        confidential = prepared.confidential
         if response.status == STATUS_ACCESS_DENIED:
             raise AccessDeniedError(response.error)
         if response.status != STATUS_OK:
             raise RelayError(f"remote transaction failed: {response.error}")
         envelope = response.result_cipher if confidential else response.result_plain
-        from repro.interop.proofs import unseal_result
-
         outcome_bytes = unseal_result(
             envelope, identity.keypair.private if confidential else None
         )
@@ -281,24 +357,37 @@ class RemoteTransactionClient:
                 attestation, identity.keypair.private if confidential else None
             )
             metadata = signed.metadata()
-            if metadata.nonce != nonce:
+            if metadata.nonce != prepared.nonce:
                 raise ProofError("attestation nonce mismatch on remote transaction")
             attesting_orgs.append(metadata.org)
-        if not parse_verification_policy(policy).satisfied_by(
+        if not parse_verification_policy(prepared.policy_expression).satisfied_by(
             [(org, f"?.{org}") for org in attesting_orgs]
         ):
             raise ProofError(
-                f"attesting orgs {sorted(attesting_orgs)} do not satisfy {policy}"
+                f"attesting orgs {sorted(attesting_orgs)} do not satisfy "
+                f"{prepared.policy_expression}"
             )
         return RemoteTransactionResult(
-            address=address_text,
-            args=list(args),
+            address=prepared.address_text,
+            args=list(prepared.args),
             result=bytes.fromhex(outcome["result"]),
             tx_id=outcome["tx_id"],
             block_number=int(outcome["block_number"]),
-            nonce=nonce,
+            nonce=prepared.nonce,
             attesting_orgs=sorted(attesting_orgs),
         )
+
+    def remote_transact(
+        self,
+        address_text: str,
+        args: list[str],
+        policy: str | None = None,
+        confidential: bool = True,
+    ) -> RemoteTransactionResult:
+        """Synchronous single transaction (legacy shim over the halves)."""
+        prepared = self.prepare_transaction(address_text, args, policy, confidential)
+        response = self._relay.remote_transact(prepared.query)
+        return self.finalize_transaction(prepared, response)
 
 
 def enable_remote_transactions(

@@ -35,6 +35,36 @@ MSG_KIND_QUERY_RESPONSE = 2
 MSG_KIND_ERROR = 3
 MSG_KIND_BATCH_REQUEST = 4
 MSG_KIND_BATCH_RESPONSE = 5
+MSG_KIND_TRANSACT_REQUEST = 6
+MSG_KIND_TRANSACT_RESPONSE = 7
+MSG_KIND_EVENT_SUBSCRIBE = 8
+MSG_KIND_EVENT_PUBLISH = 9
+MSG_KIND_EVENT_UNSUBSCRIBE = 10
+MSG_KIND_EVENT_ACK = 11
+
+#: Envelope kinds whose serving has side effects on the source network (a
+#: committed transaction, a registered/removed subscription, an event
+#: delivery). Caching layers must never replay these from a stored reply.
+SIDE_EFFECTING_KINDS = frozenset(
+    {
+        MSG_KIND_TRANSACT_REQUEST,
+        MSG_KIND_EVENT_SUBSCRIBE,
+        MSG_KIND_EVENT_PUBLISH,
+        MSG_KIND_EVENT_UNSUBSCRIBE,
+    }
+)
+
+#: Envelope header marking a (batch) request that carries side-effecting
+#: members; set by the sending relay so intermediaries need not decode the
+#: payload to know the request is unsafe to serve from cache.
+SIDE_EFFECTING_HEADER = "side-effecting"
+
+# NetworkQuery.invocation values: how the source network must run the
+# addressed function. The empty string (the wire default) means a
+# read-only evaluation; "transaction" routes through the source network's
+# endorse-order-commit pipeline (§5 extension).
+INVOCATION_QUERY = ""
+INVOCATION_TRANSACTION = "transaction"
 
 # QueryResponse.status values.
 STATUS_OK = 0
@@ -90,6 +120,10 @@ class NetworkQuery(Message):
     auth = MessageField(5, AuthInfo)
     policy = MessageField(6, VerificationPolicyMsg)
     confidential = BoolField(7)
+    #: :data:`INVOCATION_QUERY` (default) or :data:`INVOCATION_TRANSACTION`.
+    #: Carried per member so batch envelopes can mix read-only queries with
+    #: committed transactions while each member routes to the right driver.
+    invocation = StringField(8)
 
 
 class ProofMetadata(Message):
@@ -172,6 +206,71 @@ class BatchQueryResponse(Message):
 
     version = UintField(1)
     responses = RepeatedMessageField(2, QueryResponse)
+
+
+class EventSubscribeRequest(Message):
+    """A cross-network event subscription (the §2 third primitive).
+
+    ``address`` names the source network/ledger/chaincode; ``event_name``
+    is the chaincode event to subscribe to (``*`` matches any). The
+    subscription is access-controlled by the source ECC under the rule
+    object ``event:<name>``, authenticated by ``auth`` exactly like a
+    query. The source relay assigns the subscription id (returned in the
+    :class:`EventAck`) and pushes :class:`EventNotificationMsg` envelopes
+    to the subscriber's network as matching events commit.
+    """
+
+    version = UintField(1)
+    address = MessageField(2, NetworkAddressMsg)
+    event_name = StringField(3)
+    auth = MessageField(4, AuthInfo)
+    #: Subscriber-proposed subscription id. Letting the subscriber pick the
+    #: id (a random token) means its delivery sink can be installed
+    #: *before* the subscribe round-trip, so no window exists in which the
+    #: source's first push finds no sink. Empty = source assigns (legacy).
+    subscription_id = StringField(5)
+
+
+class EventNotificationMsg(Message):
+    """One *unauthenticated* event notification pushed by a source relay.
+
+    Deliberately carries no proof: notifications are compact and fast, and
+    the paper's trust argument is preserved by the notify-then-verify
+    pattern — the subscriber upgrades a notification to trusted data with
+    a follow-up proof-carrying query before acting on it.
+    """
+
+    version = UintField(1)
+    subscription_id = StringField(2)
+    source_network = StringField(3)
+    chaincode = StringField(4)
+    name = StringField(5)
+    payload = BytesField(6)
+    block_number = UintField(7)
+    tx_id = StringField(8)
+
+
+class EventUnsubscribeRequest(Message):
+    """Tears down one subscription on the source relay."""
+
+    version = UintField(1)
+    subscription_id = StringField(2)
+    auth = MessageField(3, AuthInfo)
+
+
+class EventAck(Message):
+    """The reply to any event-kind envelope.
+
+    Subscribe acks carry the assigned ``subscription_id``; publish acks
+    confirm sink delivery (a non-OK status tells the source relay the
+    subscription is gone and can be pruned); unsubscribe acks confirm
+    teardown. Statuses reuse the ``STATUS_*`` codes.
+    """
+
+    version = UintField(1)
+    subscription_id = StringField(2)
+    status = UintField(3)
+    error = StringField(4)
 
 
 class RelayEnvelope(Message):

@@ -238,6 +238,141 @@ class TestResponseCacheInterceptor:
         assert len(cache) == 0
         assert cache.misses == 2
 
+    def test_repeated_transact_envelope_is_re_executed(self):
+        """Regression: a replayed transaction must re-run, never be served
+        from cache — a cached reply would claim a commit that never
+        re-happened."""
+        from repro.proto.messages import (
+            INVOCATION_TRANSACTION,
+            MSG_KIND_TRANSACT_REQUEST,
+            MSG_KIND_TRANSACT_RESPONSE,
+        )
+
+        class EchoTransactionDriver(EchoDriver):
+            supports_transactions = True
+
+            def execute_transaction(self, query):
+                return self.execute_query(query)
+
+        cache = ResponseCacheInterceptor(ttl_seconds=60.0, clock=SimulatedClock())
+        relay = RelayService("stl", InMemoryRegistry())
+        driver = EchoTransactionDriver()
+        relay.register_driver(driver)
+        relay.use(cache)
+        query = NetworkQuery(
+            version=1,
+            address=NetworkAddressMsg(
+                network="stl", ledger="ledger", contract="cc", function="fn"
+            ),
+            nonce="txn-1",
+            policy=VerificationPolicyMsg(expression="org:x"),
+            invocation=INVOCATION_TRANSACTION,
+        )
+        request = RelayEnvelope(
+            version=1,
+            kind=MSG_KIND_TRANSACT_REQUEST,
+            request_id="req-txn-1",
+            source_network="swt",
+            destination_network="stl",
+            payload=query.encode(),
+        ).encode()
+        first = relay.handle_request(request)
+        second = relay.handle_request(request)  # identical raw bytes
+        assert RelayEnvelope.decode(first).kind == MSG_KIND_TRANSACT_RESPONSE
+        assert driver.executed == 2  # re-executed, not replayed from cache
+        assert len(cache) == 0
+        assert (cache.hits, cache.misses, cache.bypassed) == (0, 0, 2)
+
+    def test_side_effecting_header_bypasses_cache(self):
+        """A batch envelope carrying transaction members is marked by the
+        sender and must bypass the cache even though its kind is BATCH."""
+        from repro.proto.messages import SIDE_EFFECTING_HEADER
+
+        cache = ResponseCacheInterceptor(ttl_seconds=60.0, clock=SimulatedClock())
+        relay, driver = make_relay(cache)
+        query = NetworkQuery(
+            version=1,
+            address=NetworkAddressMsg(
+                network="stl", ledger="ledger", contract="cc", function="fn"
+            ),
+            nonce="n-h",
+            policy=VerificationPolicyMsg(expression="org:x"),
+        )
+        request = RelayEnvelope(
+            version=1,
+            kind=MSG_KIND_QUERY_REQUEST,
+            request_id="req-h",
+            source_network="swt",
+            destination_network="stl",
+            payload=query.encode(),
+            headers={SIDE_EFFECTING_HEADER: "true"},
+        ).encode()
+        relay.handle_request(request)
+        relay.handle_request(request)
+        assert driver.executed == 2
+        assert cache.bypassed == 2 and len(cache) == 0
+
+    def test_legacy_tx_pseudo_network_bypasses_cache(self):
+        """The pre-gateway transaction wire shape — a QUERY_REQUEST envelope
+        addressed to '<net>#tx' — commits on the source and must never be
+        served from cache either."""
+        cache = ResponseCacheInterceptor(ttl_seconds=60.0, clock=SimulatedClock())
+        relay = RelayService("stl", InMemoryRegistry())
+        driver = EchoDriver(network_id="stl#tx")
+        relay.register_driver(driver)
+        relay.use(cache)
+        request = make_request(network="stl#tx", nonce="txn-legacy")
+        relay.handle_request(request)
+        relay.handle_request(request)
+        assert driver.executed == 2
+        assert cache.bypassed == 2 and len(cache) == 0
+
+    def test_event_kinds_bypass_cache(self):
+        from repro.proto.messages import (
+            MSG_KIND_EVENT_SUBSCRIBE,
+            PROTOCOL_VERSION,
+            EventSubscribeRequest,
+        )
+
+        cache = ResponseCacheInterceptor(ttl_seconds=60.0, clock=SimulatedClock())
+        relay, _ = make_relay(cache)
+        request = RelayEnvelope(
+            version=PROTOCOL_VERSION,
+            kind=MSG_KIND_EVENT_SUBSCRIBE,
+            request_id="req-sub",
+            source_network="swt",
+            destination_network="stl",
+            payload=EventSubscribeRequest(version=PROTOCOL_VERSION).encode(),
+        ).encode()
+        relay.handle_request(request)
+        relay.handle_request(request)
+        assert cache.bypassed == 2 and len(cache) == 0
+
+
+class TestMetricsKindBreakdown:
+    def test_snapshot_breaks_down_by_kind(self):
+        clock = SimulatedClock()
+        metrics = MetricsInterceptor(clock=clock)
+
+        def slow(ctx, call_next):
+            clock.advance(0.5)
+            return call_next(ctx)
+
+        relay, _ = make_relay(metrics, slow)
+        relay.handle_request(make_request(nonce="n-1"))
+        relay.handle_request(make_request(nonce="n-2"))
+        relay.handle_request(b"garbage")
+        snapshot = metrics.snapshot()
+        kinds = snapshot["kinds"]
+        assert kinds["query"]["requests"] == 2
+        assert kinds["query"]["errors"] == 0
+        assert kinds["query"]["seconds_mean"] == pytest.approx(0.5)
+        assert kinds["query"]["seconds_max"] == pytest.approx(0.5)
+        assert kinds["undecodable"]["requests"] == 1
+        assert kinds["undecodable"]["errors"] == 1
+        # The historical flat counter keeps its shape.
+        assert snapshot["by_kind"] == {MSG_KIND_QUERY_REQUEST: 2, 0: 1}
+
     def test_eviction_respects_max_entries(self):
         cache = ResponseCacheInterceptor(
             ttl_seconds=60.0, max_entries=2, clock=SimulatedClock()

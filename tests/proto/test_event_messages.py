@@ -1,0 +1,169 @@
+"""Round-trips for the event envelope family and the unknown-kind path."""
+
+from __future__ import annotations
+
+from repro.interop.discovery import InMemoryRegistry
+from repro.interop.relay import RelayService
+from repro.proto import (
+    EventAck,
+    EventNotificationMsg,
+    EventSubscribeRequest,
+    EventUnsubscribeRequest,
+    AuthInfo,
+    NetworkAddressMsg,
+    RelayEnvelope,
+    MSG_KIND_BATCH_REQUEST,
+    MSG_KIND_BATCH_RESPONSE,
+    MSG_KIND_ERROR,
+    MSG_KIND_EVENT_ACK,
+    MSG_KIND_EVENT_PUBLISH,
+    MSG_KIND_EVENT_SUBSCRIBE,
+    MSG_KIND_EVENT_UNSUBSCRIBE,
+    MSG_KIND_QUERY_REQUEST,
+    MSG_KIND_QUERY_RESPONSE,
+    MSG_KIND_TRANSACT_REQUEST,
+    MSG_KIND_TRANSACT_RESPONSE,
+    PROTOCOL_VERSION,
+    SIDE_EFFECTING_KINDS,
+    STATUS_OK,
+)
+
+
+def _auth() -> AuthInfo:
+    return AuthInfo(
+        requesting_network="swt",
+        requesting_org="seller-bank-org",
+        requestor="seller",
+        certificate=b"\x01\x02",
+        public_key=b"\x03" * 65,
+    )
+
+
+class TestEventMessages:
+    def test_subscribe_roundtrip(self):
+        request = EventSubscribeRequest(
+            version=PROTOCOL_VERSION,
+            address=NetworkAddressMsg(
+                network="stl", ledger="trade-logistics", contract="TradeLensCC"
+            ),
+            event_name="BillOfLadingIssued",
+            auth=_auth(),
+        )
+        decoded = EventSubscribeRequest.decode(request.encode())
+        assert decoded == request
+        assert decoded.event_name == "BillOfLadingIssued"
+        assert decoded.auth.requesting_org == "seller-bank-org"
+
+    def test_subscribe_envelope_roundtrip(self):
+        request = EventSubscribeRequest(
+            version=PROTOCOL_VERSION,
+            address=NetworkAddressMsg(network="stl", ledger="l", contract="cc"),
+            event_name="*",
+        )
+        envelope = RelayEnvelope(
+            version=PROTOCOL_VERSION,
+            kind=MSG_KIND_EVENT_SUBSCRIBE,
+            request_id="req-sub-1",
+            source_network="swt",
+            destination_network="stl",
+            payload=request.encode(),
+        )
+        decoded = RelayEnvelope.decode(envelope.encode())
+        assert decoded.kind == MSG_KIND_EVENT_SUBSCRIBE
+        assert EventSubscribeRequest.decode(decoded.payload) == request
+
+    def test_publish_roundtrip(self):
+        message = EventNotificationMsg(
+            version=PROTOCOL_VERSION,
+            subscription_id="sub-1",
+            source_network="stl",
+            chaincode="TradeLensCC",
+            name="BillOfLadingIssued",
+            payload=b"PO-1",
+            block_number=9,
+            tx_id="tx-abc",
+        )
+        envelope = RelayEnvelope(
+            version=PROTOCOL_VERSION,
+            kind=MSG_KIND_EVENT_PUBLISH,
+            request_id="req-pub-1",
+            source_network="stl",
+            destination_network="swt",
+            payload=message.encode(),
+        )
+        decoded = RelayEnvelope.decode(envelope.encode())
+        assert decoded.kind == MSG_KIND_EVENT_PUBLISH
+        inner = EventNotificationMsg.decode(decoded.payload)
+        assert inner == message
+        assert inner.block_number == 9
+        assert inner.payload == b"PO-1"
+
+    def test_unsubscribe_roundtrip(self):
+        request = EventUnsubscribeRequest(
+            version=PROTOCOL_VERSION, subscription_id="sub-2", auth=_auth()
+        )
+        envelope = RelayEnvelope(
+            version=PROTOCOL_VERSION,
+            kind=MSG_KIND_EVENT_UNSUBSCRIBE,
+            request_id="req-unsub-1",
+            source_network="swt",
+            destination_network="stl",
+            payload=request.encode(),
+        )
+        decoded = RelayEnvelope.decode(envelope.encode())
+        assert decoded.kind == MSG_KIND_EVENT_UNSUBSCRIBE
+        assert EventUnsubscribeRequest.decode(decoded.payload) == request
+
+    def test_ack_roundtrip(self):
+        ack = EventAck(
+            version=PROTOCOL_VERSION,
+            subscription_id="sub-3",
+            status=STATUS_OK,
+            error="",
+        )
+        assert EventAck.decode(ack.encode()) == ack
+
+    def test_all_kinds_are_distinct(self):
+        kinds = {
+            MSG_KIND_QUERY_REQUEST,
+            MSG_KIND_QUERY_RESPONSE,
+            MSG_KIND_ERROR,
+            MSG_KIND_BATCH_REQUEST,
+            MSG_KIND_BATCH_RESPONSE,
+            MSG_KIND_TRANSACT_REQUEST,
+            MSG_KIND_TRANSACT_RESPONSE,
+            MSG_KIND_EVENT_SUBSCRIBE,
+            MSG_KIND_EVENT_PUBLISH,
+            MSG_KIND_EVENT_UNSUBSCRIBE,
+            MSG_KIND_EVENT_ACK,
+        }
+        assert len(kinds) == 11
+
+    def test_side_effecting_kinds_cover_writes_not_reads(self):
+        assert MSG_KIND_TRANSACT_REQUEST in SIDE_EFFECTING_KINDS
+        assert MSG_KIND_EVENT_SUBSCRIBE in SIDE_EFFECTING_KINDS
+        assert MSG_KIND_EVENT_PUBLISH in SIDE_EFFECTING_KINDS
+        assert MSG_KIND_EVENT_UNSUBSCRIBE in SIDE_EFFECTING_KINDS
+        assert MSG_KIND_QUERY_REQUEST not in SIDE_EFFECTING_KINDS
+        assert MSG_KIND_BATCH_REQUEST not in SIDE_EFFECTING_KINDS
+
+
+class TestUnknownKind:
+    def test_unknown_msg_kind_answered_with_error_envelope(self):
+        """A relay answers an unroutable kind with a correlatable,
+        non-retryable error envelope rather than an exception."""
+        relay = RelayService("stl", InMemoryRegistry())
+        bogus = RelayEnvelope(
+            version=PROTOCOL_VERSION,
+            kind=99,
+            request_id="req-bogus",
+            source_network="swt",
+            destination_network="stl",
+            payload=b"",
+        )
+        reply = RelayEnvelope.decode(relay.handle_request(bogus.encode()))
+        assert reply.kind == MSG_KIND_ERROR
+        assert reply.request_id == "req-bogus"
+        assert reply.headers.get("retryable") == "false"
+        assert b"unexpected message kind 99" in reply.payload
+        assert relay.stats.requests_failed == 1
