@@ -1,0 +1,200 @@
+"""E-assets — concurrent Fabric↔Quorum atomic exchanges through two relays.
+
+The HTLC subsystem's throughput experiment: N independent asset pairs
+(one on each network) swapped by N concurrent
+:class:`~repro.assets.AssetExchangeCoordinator` runs, every leg riding
+``MSG_KIND_ASSET_*`` envelopes plus two proof-carrying lock-verification
+queries per exchange. Reports exchanges/sec and the p50/p95/max
+lock→claim latency (first escrow to final claim, the window in which
+value is at risk), alongside the source relays' per-kind metrics.
+
+Each relay is fronted by a :class:`SerializingInterceptor` (the in-process
+substrates are not thread-safe), so concurrency buys overlap *across* the
+two networks — which is exactly where a real deployment's parallelism
+lives too.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.api import InteropGateway, MetricsInterceptor, SerializingInterceptor
+from repro.api.middleware import percentile
+from repro.assets import FabricAssetChaincode, QuorumAssetContract
+from repro.fabric import NetworkBuilder
+from repro.interop import InMemoryRegistry, InteropClient, RelayService
+from repro.interop.bootstrap import (
+    create_fabric_relay,
+    enable_fabric_interop,
+    record_foreign_network,
+)
+from repro.interop.contracts.ports import InteropPort
+from repro.interop.drivers.quorum_driver import QuorumDriver
+from repro.quorum import QuorumNetwork
+from repro.sim import format_table
+
+N_EXCHANGES = 8
+WORKERS = 4
+OFFER_POLICY = "AND(org:traders-org, org:audit-org)"
+ASK_POLICY = "AND(org:op-org-1, org:op-org-2)"
+
+
+@pytest.fixture(scope="module")
+def asset_scenario():
+    """Two mutually-configured networks with N asset pairs pre-issued."""
+    fabric = (
+        NetworkBuilder("fabnet", channel="trade")
+        .add_org("traders-org")
+        .add_org("audit-org")
+        .add_peer("peer0", "traders-org")
+        .add_peer("peer0", "audit-org")
+        .add_client("admin", "traders-org")
+        .add_client("alice", "traders-org")
+        .build()
+    )
+    fabric_admin = fabric.org("traders-org").member("admin")
+    alice = fabric.org("traders-org").member("alice")
+    enable_fabric_interop(fabric, fabric_admin)
+    fabric.deploy_chaincode(
+        FabricAssetChaincode(),
+        "AND('traders-org.peer', 'audit-org.peer')",
+        initializer=fabric_admin,
+    )
+
+    quorum = QuorumNetwork("quornet")
+    quorum.deploy_contract(QuorumAssetContract())
+    quorum.add_peer("peer1", "op-org-1")
+    quorum.add_peer("peer2", "op-org-2")
+    bob = quorum.enroll_client("bob", "op-org-1")
+    quorum_invoker = quorum.enroll_client("asset-invoker", "op-org-1")
+    quorum_port = InteropPort("quornet")
+    quorum_port.record_network_config(fabric.export_config())
+    for function in ("LockAsset", "ClaimAsset", "UnlockAsset", "GetLock"):
+        quorum_port.add_access_rule("fabnet", "traders-org", "asset-vault", function)
+
+    for index in range(N_EXCHANGES):
+        fabric.gateway.submit(
+            fabric_admin,
+            "assetscc",
+            "Issue",
+            [f"GOLD-{index}", "alice@fabnet", "{}"],
+        )
+        quorum.submit_transaction(
+            quorum_invoker,
+            "asset-vault",
+            "Issue",
+            [f"OIL-{index}", "bob@quornet", "{}"],
+        )
+
+    registry = InMemoryRegistry()
+    fabric_metrics = MetricsInterceptor()
+    fabric_relay = create_fabric_relay(
+        fabric, registry, middleware=[SerializingInterceptor(), fabric_metrics]
+    )
+    fabric_invoker = fabric.org("traders-org").enroll("asset-invoker", role="client")
+    fabric_relay.driver_for("fabnet").enable_assets(fabric_invoker)
+
+    quorum_metrics = MetricsInterceptor()
+    quorum_relay = RelayService("quornet", registry)
+    quorum_relay.use(SerializingInterceptor(), quorum_metrics)
+    quorum_driver = QuorumDriver(quorum, quorum_port)
+    quorum_driver.enable_assets(quorum_invoker)
+    quorum_relay.register_driver(quorum_driver)
+    registry.register("quornet", quorum_relay)
+
+    for function in ("ClaimAsset", "UnlockAsset", "GetLock"):
+        fabric.gateway.submit(
+            fabric_admin,
+            "ecc",
+            "AddAccessRule",
+            ["quornet", "op-org-1", "assetscc", function],
+        )
+    record_foreign_network(fabric, fabric_admin, quorum, verification_policy=ASK_POLICY)
+
+    alice_client = InteropClient(alice, fabric_relay, "fabnet", gateway=fabric.gateway)
+    bob_client = InteropClient(bob, quorum_relay, "quornet")
+    return {
+        "gateway": InteropGateway.from_client(alice_client),
+        "bob_client": bob_client,
+        "fabric_metrics": fabric_metrics,
+        "quorum_metrics": quorum_metrics,
+        "fabric_relay": fabric_relay,
+        "quorum_relay": quorum_relay,
+    }
+
+
+def _run_exchange(scenario, index: int) -> float:
+    """One full atomic exchange; returns its lock→claim latency (s)."""
+    exchange = (
+        scenario["gateway"]
+        .exchange()
+        .offer("fabnet/trade/assetscc", f"GOLD-{index}")
+        .ask("quornet/state/asset-vault", f"OIL-{index}")
+        .with_counterparty(scenario["bob_client"])
+        .with_timeouts(offer=600.0, counter=300.0)
+        .with_policies(offer=OFFER_POLICY, ask=ASK_POLICY)
+        .build()
+    )
+    started = time.perf_counter()
+    result = exchange.run()
+    elapsed = time.perf_counter() - started
+    assert result.completed
+    return elapsed
+
+
+def print_relay_kinds(metrics: MetricsInterceptor, title: str) -> None:
+    snapshot = metrics.snapshot()
+    rows = [
+        (
+            name,
+            str(detail["requests"]),
+            str(detail["errors"]),
+            f"{detail['seconds_p50'] * 1e3:8.3f} ms",
+            f"{detail['seconds_p95'] * 1e3:8.3f} ms",
+            f"{detail['seconds_max'] * 1e3:8.3f} ms",
+        )
+        for name, detail in snapshot["kinds"].items()
+    ]
+    print(f"\n{title} ({snapshot['requests_total']} requests)")
+    print(format_table(rows, headers=["kind", "requests", "errors", "p50", "p95", "max"]))
+
+
+def test_concurrent_exchanges_throughput(asset_scenario):
+    """Acceptance: N concurrent exchanges all complete; report throughput."""
+    started = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=WORKERS) as executor:
+        latencies = list(
+            executor.map(
+                lambda index: _run_exchange(asset_scenario, index),
+                range(N_EXCHANGES),
+            )
+        )
+    wall = time.perf_counter() - started
+    assert len(latencies) == N_EXCHANGES
+
+    latencies.sort()
+    rows = [
+        ("exchanges completed", str(N_EXCHANGES), ""),
+        ("workers", str(WORKERS), ""),
+        ("wall clock", f"{wall * 1e3:9.2f} ms", ""),
+        ("throughput", f"{N_EXCHANGES / wall:9.2f}", "exchanges/sec"),
+        ("lock→claim p50", f"{percentile(latencies, 0.50) * 1e3:9.2f} ms", ""),
+        ("lock→claim p95", f"{percentile(latencies, 0.95) * 1e3:9.2f} ms", ""),
+        ("lock→claim max", f"{latencies[-1] * 1e3:9.2f} ms", ""),
+    ]
+    print(f"\nE-assets — {N_EXCHANGES} concurrent Fabric↔Quorum atomic exchanges")
+    print(format_table(rows, headers=["metric", "value", "unit"]))
+
+    # Every exchange crossed both relays (2 fabric + 3 quorum commands each).
+    assert asset_scenario["fabric_relay"].stats.asset_commands_served == 2 * N_EXCHANGES
+    assert asset_scenario["quorum_relay"].stats.asset_commands_served == 3 * N_EXCHANGES
+
+    print_relay_kinds(
+        asset_scenario["fabric_metrics"], "fabnet relay per-kind metrics"
+    )
+    print_relay_kinds(
+        asset_scenario["quorum_metrics"], "quornet relay per-kind metrics"
+    )

@@ -43,13 +43,17 @@ def print_kind_breakdown(metrics: MetricsInterceptor, title: str) -> None:
             str(detail["requests"]),
             str(detail["errors"]),
             f"{detail['seconds_mean'] * 1e3:8.3f} ms",
+            f"{detail['seconds_p50'] * 1e3:8.3f} ms",
+            f"{detail['seconds_p95'] * 1e3:8.3f} ms",
             f"{detail['seconds_max'] * 1e3:8.3f} ms",
         )
         for name, detail in snapshot["kinds"].items()
     ]
     print(f"\n{title} — source relay per-kind metrics "
           f"({snapshot['requests_total']} requests total)")
-    print(format_table(rows, headers=["kind", "requests", "errors", "mean", "max"]))
+    print(format_table(
+        rows, headers=["kind", "requests", "errors", "mean", "p50", "p95", "max"]
+    ))
 
 
 def _run_sequential(client, po_ref: str):

@@ -210,6 +210,96 @@ def main() -> None:
     print("its follow-up query and land in stream.rejected instead.")
     stream.close()
 
+    # --- 7. Atomic asset exchange: Fabric <-> Quorum (HTLC) ------------------
+    # The same envelope + proof machinery now carries VALUE: a trader on the
+    # Fabric source network swaps GOLD-1 for OIL-9 held by a dealer on a
+    # Quorum network, atomically, with no shared trusted party. Each side
+    # escrows under a hash-time-lock; each verifies the other's escrow with
+    # a PROOF-CARRYING GetLock query before its irreversible step; the claim
+    # reveals the preimage on-ledger, which unlocks the other leg.
+    from repro.assets import FabricAssetChaincode, QuorumAssetContract
+    from repro.interop.bootstrap import record_foreign_network
+    from repro.interop.contracts.ports import InteropPort
+    from repro.interop.drivers.quorum_driver import QuorumDriver
+    from repro.quorum import QuorumNetwork
+
+    # The Fabric side hosts the HTLC vault as ordinary chaincode...
+    source.deploy_chaincode(
+        FabricAssetChaincode(),
+        "AND('producer-org.peer', 'auditor-org.peer')",
+        initializer=source_admin,
+    )
+    trader = source.org("producer-org").enroll("trader", role="client")
+    source.gateway.submit(
+        source_admin, "assetscc", "Issue", ["GOLD-1", "trader@source-net", "{}"]
+    )
+    # ...and a Quorum commodity network hosts it as a contract.
+    commodity = QuorumNetwork("commodity-net")
+    commodity.deploy_contract(QuorumAssetContract())
+    commodity.add_peer("peer1", "dealer-org")
+    commodity.add_peer("peer2", "exchange-org")
+    dealer = commodity.enroll_client("dealer", "dealer-org")
+    commodity_invoker = commodity.enroll_client("asset-invoker", "dealer-org")
+    commodity.submit_transaction(
+        commodity_invoker, "asset-vault", "Issue",
+        ["OIL-9", "dealer@commodity-net", "{}"],
+    )
+
+    # Mutual governance: each side whitelists the other's HTLC verbs and
+    # records the other's identity configuration for proof validation.
+    commodity_port = InteropPort("commodity-net")
+    commodity_port.record_network_config(source.export_config())
+    for fn in ("LockAsset", "ClaimAsset", "UnlockAsset", "GetLock"):
+        commodity_port.add_access_rule(
+            "source-net", "producer-org", "asset-vault", fn
+        )
+    for fn in ("ClaimAsset", "UnlockAsset", "GetLock"):
+        source.gateway.submit(
+            source_admin, "ecc", "AddAccessRule",
+            ["commodity-net", "dealer-org", "assetscc", fn],
+        )
+    record_foreign_network(
+        source, source_admin, commodity,
+        verification_policy="AND(org:dealer-org, org:exchange-org)",
+    )
+
+    # Asset capability on both relays (driver-level AssetLedgerPort).
+    asset_invoker = source.org("producer-org").enroll("asset-invoker", role="client")
+    source_relay.driver_for("source-net").enable_assets(asset_invoker)
+    commodity_relay = RelayService("commodity-net", registry)
+    commodity_driver = QuorumDriver(commodity, commodity_port)
+    commodity_driver.enable_assets(commodity_invoker)
+    commodity_relay.register_driver(commodity_driver)
+    registry.register("commodity-net", commodity_relay)
+
+    trader_client = InteropClient(trader, source_relay, "source-net",
+                                  gateway=source.gateway)
+    dealer_client = InteropClient(dealer, commodity_relay, "commodity-net")
+
+    exchange = (
+        InteropGateway.from_client(trader_client)
+        .exchange()
+        .offer("source-net/main/assetscc", "GOLD-1")
+        .ask("commodity-net/state/asset-vault", "OIL-9")
+        .with_counterparty(dealer_client)
+        .with_timeouts(offer=600.0, counter=300.0)
+        .with_policies(offer="AND(org:producer-org, org:auditor-org)",
+                       ask="AND(org:dealer-org, org:exchange-org)")
+        .build()
+    )
+    outcome = exchange.run()
+    gold = json.loads(source.gateway.evaluate(
+        source_admin, "assetscc", "GetAsset", ["GOLD-1"]))
+    oil = json.loads(commodity.peers[0].storage_snapshot(
+        "asset-vault")["asset/OIL-9"].decode())
+    print(f"\natomic exchange  : {outcome.state.value} "
+          f"(hashlock {outcome.hashlock.hex()[:16]}…)")
+    print(f"GOLD-1 owner     : {gold['owner']}  (was trader@source-net)")
+    print(f"OIL-9 owner      : {oil['owner']}  (was dealer@commodity-net)")
+    print("had either party walked away before the reveal, abort() + refund()")
+    print("would have unwound both escrows after their timelocks — the claim")
+    print("and refund windows partition time, so nothing double-spends.")
+
 
 if __name__ == "__main__":
     main()

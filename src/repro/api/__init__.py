@@ -22,6 +22,9 @@ streaming, and a composable relay middleware chain.
 - :class:`VerifiedEventStream` / :class:`EventVerifier` — notify-then-
   verify: every unauthenticated notification is upgraded to trusted data
   via a proof-carrying query before it reaches the application iterator.
+- :class:`ExchangeBuilder` — ``gateway.exchange()``: two-party atomic
+  asset exchange via hash-time-locked contracts (:mod:`repro.assets`),
+  with proof-verified lock confirmations riding the same query plane.
 - :mod:`repro.api.middleware` — relay interceptors: rate limiting
   (refactored from the relay core), metrics, request logging, response
   caching (which never serves side-effecting envelopes). Install with
@@ -43,7 +46,7 @@ from repro.api.batch import (
     TransactionSet,
     TransactionSpec,
 )
-from repro.api.builder import QueryBuilder, TransactionBuilder
+from repro.api.builder import ExchangeBuilder, QueryBuilder, TransactionBuilder
 from repro.api.gateway import InteropGateway
 from repro.api.session import GatewaySession
 from repro.api.streams import (
@@ -59,6 +62,7 @@ from repro.api.middleware import (
     RelayContext,
     RequestLoggingInterceptor,
     ResponseCacheInterceptor,
+    SerializingInterceptor,
 )
 
 __all__ = [
@@ -74,6 +78,7 @@ __all__ = [
     "TransactionSet",
     "TransactionHandle",
     "TransactionExecutor",
+    "ExchangeBuilder",
     "EventVerifier",
     "VerifiedEvent",
     "VerifiedEventStream",
@@ -84,4 +89,5 @@ __all__ = [
     "MetricsInterceptor",
     "RequestLoggingInterceptor",
     "ResponseCacheInterceptor",
+    "SerializingInterceptor",
 ]

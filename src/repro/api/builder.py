@@ -190,3 +190,95 @@ class TransactionBuilder:
             policy=spec.policy,
             confidential=spec.confidential,
         )
+
+
+class ExchangeBuilder:
+    """Fluent description of one cross-network atomic asset exchange.
+
+    Assembles an :class:`repro.assets.AssetExchangeCoordinator`::
+
+        exchange = (
+            gateway.exchange()
+            .offer("fabnet/trade/assetscc", "GOLD-1")       # my asset
+            .ask("quornet/state/asset-vault", "OIL-9")      # their asset
+            .with_counterparty(their_client)
+            .with_timeouts(offer=600.0, counter=300.0)
+            .with_policies(offer="AND(org:a, org:b)", ask="org:op-org-1")
+            .build()
+        )
+        result = exchange.run()    # or drive step() by step
+
+    Asset addresses are ``network/ledger/contract`` (three segments — the
+    HTLC verbs travel as envelope kinds, not function names). The offer
+    asset must live on this session's network; the counterparty is the
+    other party's :class:`~repro.interop.client.InteropClient` (or any
+    object exposing ``.client``, e.g. a :class:`GatewaySession`).
+    """
+
+    def __init__(self, client: InteropClient) -> None:
+        self._initiator = client
+        self._offer: "tuple[str, str] | None" = None
+        self._ask: "tuple[str, str] | None" = None
+        self._responder: InteropClient | None = None
+        self._offer_timeout = 600.0
+        self._counter_timeout = 300.0
+        self._offer_policy: str | None = None
+        self._ask_policy: str | None = None
+
+    # -- fluent mutators ----------------------------------------------------------
+
+    def offer(self, address: str, asset_id: str) -> "ExchangeBuilder":
+        """The asset this party escrows (on its own network)."""
+        self._offer = (address, asset_id)
+        return self
+
+    def ask(self, address: str, asset_id: str) -> "ExchangeBuilder":
+        """The counterparty asset received in return."""
+        self._ask = (address, asset_id)
+        return self
+
+    def with_counterparty(self, party) -> "ExchangeBuilder":
+        """The responder: an ``InteropClient`` or anything with ``.client``."""
+        self._responder = getattr(party, "client", party)
+        return self
+
+    def with_timeouts(self, offer: float, counter: float) -> "ExchangeBuilder":
+        """Lock lifetimes in seconds; ``counter`` must be < ``offer``."""
+        self._offer_timeout = float(offer)
+        self._counter_timeout = float(counter)
+        return self
+
+    def with_policies(
+        self, offer: str | None = None, ask: str | None = None
+    ) -> "ExchangeBuilder":
+        """Verification policies for the proof-carrying lock confirmations
+        (``offer`` verifies the offer-side lock, ``ask`` the counter lock;
+        ``None`` falls back to the CMDAC-recorded policy)."""
+        self._offer_policy = offer
+        self._ask_policy = ask
+        return self
+
+    # -- terminal operations ------------------------------------------------------
+
+    def build(self):
+        """Assemble the coordinator (validates both legs and timeouts)."""
+        from repro.assets.coordinator import AssetExchangeCoordinator, AssetSpec
+
+        if self._offer is None or self._ask is None:
+            raise RuntimeError("an exchange needs both offer(...) and ask(...)")
+        if self._responder is None:
+            raise RuntimeError("an exchange needs with_counterparty(...)")
+        return AssetExchangeCoordinator(
+            initiator=self._initiator,
+            responder=self._responder,
+            offer=AssetSpec.parse(*self._offer),
+            ask=AssetSpec.parse(*self._ask),
+            offer_timeout=self._offer_timeout,
+            counter_timeout=self._counter_timeout,
+            offer_policy=self._offer_policy,
+            ask_policy=self._ask_policy,
+        )
+
+    def run(self):
+        """Build and drive the full happy path; returns the result."""
+        return self.build().run()

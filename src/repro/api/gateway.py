@@ -39,7 +39,7 @@ gateway wraps a client and exposes it via :attr:`client`.
 from __future__ import annotations
 
 from repro.api.batch import QueryHandle, QuerySet, TransactionSet
-from repro.api.builder import QueryBuilder, TransactionBuilder
+from repro.api.builder import ExchangeBuilder, QueryBuilder, TransactionBuilder
 from repro.api.session import GatewaySession
 from repro.api.streams import EventVerifier, VerifiedEventStream
 from repro.fabric.gateway import Gateway
@@ -159,6 +159,19 @@ class InteropGateway:
         notification goes through before reaching the stream's iterator.
         """
         return self._session.subscribe(address, event_name, verifier=verifier)
+
+    # -- primitive iv: atomic asset exchange --------------------------------------
+
+    def exchange(self) -> ExchangeBuilder:
+        """Fluent builder for a two-party atomic asset exchange (HTLC).
+
+        The gateway's identity initiates: it offers an asset on its own
+        network, proof-verifies the counterparty's escrow, and reveals the
+        exchange secret only after that verification. Lock/claim/unlock
+        commands ride ``MSG_KIND_ASSET_*`` relay envelopes through the
+        same discovery, failover, and interceptor path as queries.
+        """
+        return self._session.exchange()
 
     # -- legacy passthroughs ------------------------------------------------------
 

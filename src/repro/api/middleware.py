@@ -35,6 +35,11 @@ from repro.interop.relay import (  # noqa: F401 - re-exported chain primitives
     RelayInterceptor,
 )
 from repro.proto.messages import (
+    MSG_KIND_ASSET_ACK,
+    MSG_KIND_ASSET_CLAIM,
+    MSG_KIND_ASSET_LOCK,
+    MSG_KIND_ASSET_STATUS,
+    MSG_KIND_ASSET_UNLOCK,
     MSG_KIND_BATCH_REQUEST,
     MSG_KIND_BATCH_RESPONSE,
     MSG_KIND_ERROR,
@@ -48,6 +53,8 @@ from repro.proto.messages import (
     MSG_KIND_TRANSACT_RESPONSE,
     SIDE_EFFECTING_HEADER,
     SIDE_EFFECTING_KINDS,
+    STATUS_OK,
+    AssetAckMsg,
     RelayEnvelope,
 )
 from repro.utils.clock import Clock, SystemClock
@@ -68,6 +75,11 @@ KIND_NAMES = {
     MSG_KIND_EVENT_PUBLISH: "event_publish",
     MSG_KIND_EVENT_UNSUBSCRIBE: "event_unsubscribe",
     MSG_KIND_EVENT_ACK: "event_ack",
+    MSG_KIND_ASSET_LOCK: "asset_lock",
+    MSG_KIND_ASSET_CLAIM: "asset_claim",
+    MSG_KIND_ASSET_UNLOCK: "asset_unlock",
+    MSG_KIND_ASSET_STATUS: "asset_status",
+    MSG_KIND_ASSET_ACK: "asset_ack",
 }
 
 
@@ -90,32 +102,87 @@ class Interceptor:
         return call_next(ctx)
 
 
+class SerializingInterceptor(Interceptor):
+    """Serializes the rest of the chain behind one lock.
+
+    The in-process ledger substrates are not thread-safe; installing this
+    interceptor outermost makes a relay safe to share across threads
+    (concurrent exchange legs, batch fan-outs) by making each served
+    request atomic per relay, while traffic to *different* networks'
+    relays still overlaps.
+    """
+
+    def __init__(self) -> None:
+        import threading
+
+        self._lock = threading.RLock()
+
+    def handle(self, ctx: RelayContext, call_next: RelayHandler) -> bytes:
+        with self._lock:
+            return call_next(ctx)
+
+
 _REPLY_VERDICT_KEY = "_repro.reply_is_error"
 
 
 def _reply_is_error(ctx: RelayContext, reply: bytes) -> bool:
-    """Whether ``reply`` is an error envelope, decoded once per request.
+    """Whether ``reply`` reports a failure, decoded once per request.
 
-    Stacked interceptors inspect the same reply object on the way out;
-    the verdict is memoized on the context so the envelope is decoded at
-    most once per chain traversal.
+    Error envelopes always do; asset acks carry their verdict *inside*
+    the ack (an on-ledger refusal is answered with a non-OK
+    ``MSG_KIND_ASSET_ACK``, not an error envelope, so the caller can tell
+    governance/contract refusals from transport failures) and are decoded
+    one level deeper. Stacked interceptors inspect the same reply object
+    on the way out; the verdict is memoized on the context so the
+    decoding happens at most once per chain traversal.
     """
     cached = ctx.metadata.get(_REPLY_VERDICT_KEY)
     if isinstance(cached, tuple) and cached[0] is reply:
         return cached[1]
     try:
-        verdict = RelayEnvelope.decode(reply).kind == MSG_KIND_ERROR
+        envelope = RelayEnvelope.decode(reply)
+        if envelope.kind == MSG_KIND_ASSET_ACK:
+            verdict = AssetAckMsg.decode(envelope.payload).status != STATUS_OK
+        else:
+            verdict = envelope.kind == MSG_KIND_ERROR
     except Exception:
         verdict = True
     ctx.metadata[_REPLY_VERDICT_KEY] = (reply, verdict)
     return verdict
 
 
-class MetricsInterceptor(Interceptor):
-    """Per-kind request counters, byte counts, and latency accumulation."""
+def percentile(sorted_samples: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample list.
 
-    def __init__(self, clock: Clock | None = None) -> None:
+    The single definition of "pNN" for the repo: the metrics snapshot and
+    the benchmarks both use it, so reported percentiles never diverge.
+    """
+    if not sorted_samples:
+        return 0.0
+    rank = max(0, min(len(sorted_samples) - 1, int(fraction * len(sorted_samples))))
+    return sorted_samples[rank]
+
+
+class MetricsInterceptor(Interceptor):
+    """Per-kind request counters, byte counts, and latency distribution.
+
+    Latency is kept as a bounded per-kind sample reservoir (the most
+    recent ``sample_window`` requests of each kind), from which
+    :meth:`snapshot` derives p50/p95/max — the operator-facing view of
+    whether queries, batches, transactions, event, or asset traffic is
+    slow, and how heavy its tail is.
+    """
+
+    def __init__(self, clock: Clock | None = None, sample_window: int = 2048) -> None:
+        import threading
+
+        if sample_window < 1:
+            raise ValueError("sample_window must be >= 1")
         self._clock = clock or SystemClock()
+        self._sample_window = sample_window
+        #: Guards counter/sample updates against concurrent handle() calls
+        #: and against snapshot() readers on other threads.
+        self._mutex = threading.Lock()
         self.requests_total = 0
         self.errors_total = 0
         self.bytes_in = 0
@@ -128,27 +195,34 @@ class MetricsInterceptor(Interceptor):
         #: is queries, batches, transactions, or event traffic that is
         #: slow or failing.
         self.kind_detail: dict[int, dict[str, float]] = {}
+        #: Per-kind latency samples (seconds), newest-last, bounded.
+        self.kind_samples: dict[int, deque[float]] = {}
 
     def handle(self, ctx: RelayContext, call_next: RelayHandler) -> bytes:
         started = self._clock.now()
         reply = call_next(ctx)
         elapsed = self._clock.now() - started
-        self.requests_total += 1
-        self.bytes_in += len(ctx.raw)
-        self.bytes_out += len(reply)
-        self.seconds_total += elapsed
-        self.seconds_max = max(self.seconds_max, elapsed)
-        self.by_kind[ctx.kind] = self.by_kind.get(ctx.kind, 0) + 1
-        detail = self.kind_detail.setdefault(
-            ctx.kind,
-            {"requests": 0, "errors": 0, "seconds_total": 0.0, "seconds_max": 0.0},
-        )
-        detail["requests"] += 1
-        detail["seconds_total"] += elapsed
-        detail["seconds_max"] = max(detail["seconds_max"], elapsed)
-        if _reply_is_error(ctx, reply):
-            self.errors_total += 1
-            detail["errors"] += 1
+        is_error = _reply_is_error(ctx, reply)
+        with self._mutex:
+            self.requests_total += 1
+            self.bytes_in += len(ctx.raw)
+            self.bytes_out += len(reply)
+            self.seconds_total += elapsed
+            self.seconds_max = max(self.seconds_max, elapsed)
+            self.by_kind[ctx.kind] = self.by_kind.get(ctx.kind, 0) + 1
+            detail = self.kind_detail.setdefault(
+                ctx.kind,
+                {"requests": 0, "errors": 0, "seconds_total": 0.0, "seconds_max": 0.0},
+            )
+            detail["requests"] += 1
+            detail["seconds_total"] += elapsed
+            detail["seconds_max"] = max(detail["seconds_max"], elapsed)
+            self.kind_samples.setdefault(
+                ctx.kind, deque(maxlen=self._sample_window)
+            ).append(elapsed)
+            if is_error:
+                self.errors_total += 1
+                detail["errors"] += 1
         return reply
 
     def snapshot(self) -> dict:
@@ -156,12 +230,27 @@ class MetricsInterceptor(Interceptor):
 
         ``by_kind`` keeps the historical ``{kind: count}`` shape;
         ``kinds`` adds the per-message-kind breakdown keyed by readable
-        name, each with request/error counts and latency stats.
+        name, each with request/error counts and latency stats including
+        p50/p95 over the kind's bounded sample window.
         """
-        mean = self.seconds_total / self.requests_total if self.requests_total else 0.0
+        with self._mutex:
+            totals = {
+                "requests_total": self.requests_total,
+                "errors_total": self.errors_total,
+                "bytes_in": self.bytes_in,
+                "bytes_out": self.bytes_out,
+                "seconds_total": self.seconds_total,
+                "seconds_max": self.seconds_max,
+                "by_kind": dict(self.by_kind),
+            }
+            details = {kind: dict(detail) for kind, detail in self.kind_detail.items()}
+            samples_by_kind = {
+                kind: list(samples) for kind, samples in self.kind_samples.items()
+            }
         kinds = {}
-        for kind, detail in sorted(self.kind_detail.items()):
+        for kind, detail in sorted(details.items()):
             requests = int(detail["requests"])
+            samples = sorted(samples_by_kind.get(kind, ()))
             kinds[kind_name(kind)] = {
                 "requests": requests,
                 "errors": int(detail["errors"]),
@@ -169,19 +258,17 @@ class MetricsInterceptor(Interceptor):
                 "seconds_mean": (
                     detail["seconds_total"] / requests if requests else 0.0
                 ),
+                "seconds_p50": percentile(samples, 0.50),
+                "seconds_p95": percentile(samples, 0.95),
                 "seconds_max": detail["seconds_max"],
             }
-        return {
-            "requests_total": self.requests_total,
-            "errors_total": self.errors_total,
-            "bytes_in": self.bytes_in,
-            "bytes_out": self.bytes_out,
-            "seconds_total": self.seconds_total,
-            "seconds_mean": mean,
-            "seconds_max": self.seconds_max,
-            "by_kind": dict(self.by_kind),
-            "kinds": kinds,
-        }
+        totals["seconds_mean"] = (
+            totals["seconds_total"] / totals["requests_total"]
+            if totals["requests_total"]
+            else 0.0
+        )
+        totals["kinds"] = kinds
+        return totals
 
 
 class RequestLoggingInterceptor(Interceptor):

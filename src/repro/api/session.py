@@ -31,7 +31,7 @@ from repro.api.batch import (
     TransactionHandle,
     TransactionSet,
 )
-from repro.api.builder import QueryBuilder, TransactionBuilder
+from repro.api.builder import ExchangeBuilder, QueryBuilder, TransactionBuilder
 from repro.api.streams import EventVerifier, VerifiedEventStream
 from repro.errors import AddressError
 from repro.interop.client import InteropClient
@@ -180,6 +180,17 @@ class GatewaySession:
         )
         self._streams.append(stream)
         return stream
+
+    # -- primitive iv: atomic asset exchange --------------------------------------
+
+    def exchange(self) -> ExchangeBuilder:
+        """Fluent builder for a two-party atomic asset exchange (HTLC).
+
+        This session's identity is the *initiator*: it offers an asset on
+        its own network and generates the exchange secret. See
+        :class:`repro.api.ExchangeBuilder` for the full surface.
+        """
+        return ExchangeBuilder(self._client)
 
     def _close_stream(self, stream: VerifiedEventStream) -> None:
         self.relay.remote_unsubscribe(

@@ -1,0 +1,70 @@
+"""repro.assets: cross-network atomic asset exchange (HTLC subsystem).
+
+The paper's relay architecture deliberately stops at trusted *data*
+transfer and names asset transfer as the next step (§6). This package is
+that step: two-party atomic exchange between heterogeneous networks via
+hash-time-locked contracts, riding the existing relay envelope protocol —
+discovery, failover, interceptors, and the proof plane all unchanged.
+
+- :mod:`repro.assets.htlc` — the platform-neutral vault state machine
+  (lock/claim/refund with strictly disjoint claim and refund windows).
+- :mod:`repro.assets.contracts` — the vault hosted as Fabric chaincode
+  and as a Quorum contract, exposing one function surface.
+- :mod:`repro.assets.ports` — :class:`AssetLedgerPort`, the driver
+  capability behind ``supports_assets``; commands are ECC-gated and
+  submitted under a designated local invoker, like §5 transactions.
+- :mod:`repro.assets.coordinator` — :class:`AssetExchangeCoordinator`,
+  the explicit exchange state machine: lock → proof-verify → counter-lock
+  → proof-verify → claim → claim, plus abort and timeout-refund paths.
+
+Applications reach it through ``gateway.exchange()`` (see
+:class:`repro.api.ExchangeBuilder`).
+"""
+
+from repro.assets.contracts import (
+    FABRIC_ASSET_CHAINCODE,
+    QUORUM_ASSET_CONTRACT,
+    FabricAssetChaincode,
+    QuorumAssetContract,
+)
+from repro.assets.coordinator import (
+    AssetExchangeCoordinator,
+    AssetSpec,
+    ExchangeResult,
+    ExchangeState,
+)
+from repro.assets.htlc import (
+    STATE_AVAILABLE,
+    STATE_CLAIMED,
+    STATE_LOCKED,
+    STATE_REFUNDED,
+    HtlcVault,
+    make_hashlock,
+    new_preimage,
+)
+from repro.assets.ports import (
+    AssetLedgerPort,
+    FabricAssetLedgerPort,
+    QuorumAssetLedgerPort,
+)
+
+__all__ = [
+    "AssetExchangeCoordinator",
+    "AssetLedgerPort",
+    "AssetSpec",
+    "ExchangeResult",
+    "ExchangeState",
+    "FabricAssetChaincode",
+    "FabricAssetLedgerPort",
+    "FABRIC_ASSET_CHAINCODE",
+    "HtlcVault",
+    "QuorumAssetContract",
+    "QuorumAssetLedgerPort",
+    "QUORUM_ASSET_CONTRACT",
+    "STATE_AVAILABLE",
+    "STATE_CLAIMED",
+    "STATE_LOCKED",
+    "STATE_REFUNDED",
+    "make_hashlock",
+    "new_preimage",
+]

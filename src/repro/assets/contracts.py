@@ -1,0 +1,179 @@
+"""Platform contracts hosting the HTLC vault on Fabric and Quorum.
+
+Both contracts expose the same function surface, so the network-neutral
+asset protocol addresses them identically:
+
+- ``Issue(asset_id, owner, metadata)``           (transaction, admin)
+- ``LockAsset(asset_id, sender, recipient, hashlock_hex, timeout)``
+- ``ClaimAsset(asset_id, claimer, preimage_hex)``
+- ``UnlockAsset(asset_id, sender)``
+- ``GetLock(asset_id)`` / ``GetAsset(asset_id)``  (views)
+
+The acting-party arguments (``sender``/``claimer``) are logical party ids
+of the form ``<requestor>@<network>``; they are supplied by the
+:class:`~repro.assets.ports.AssetLedgerPort` after it has authenticated
+the requesting entity (certificate + exposure control), mirroring how the
+§5 transaction extension submits under a designated local invoker.
+
+On Fabric, ``GetLock``/``GetAsset`` are interop-aware exactly like the
+paper's adapted application chaincode: an incoming relay query (detected
+via the ``interop`` transient) is ECC-gated and its response sealed, so
+lock records travel back with consensus-backed proofs. On Quorum the
+driver performs the equivalent port checks and sealing.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.assets.htlc import HtlcVault
+from repro.errors import EVMError
+from repro.fabric.chaincode import Chaincode, ChaincodeStub, require_args
+from repro.quorum.contracts import CallContext, QuorumContract
+
+#: Default deployment names for the two platforms.
+FABRIC_ASSET_CHAINCODE = "assetscc"
+QUORUM_ASSET_CONTRACT = "asset-vault"
+
+#: The vault's view functions (safe to serve from any single peer).
+VIEW_FUNCTIONS = frozenset({"GetLock", "GetAsset"})
+
+
+class _StubStorage:
+    """Adapts a :class:`ChaincodeStub` to the vault's storage protocol."""
+
+    def __init__(self, stub: ChaincodeStub) -> None:
+        self._stub = stub
+
+    def get(self, key: str) -> bytes | None:
+        return self._stub.get_state(key)
+
+    def put(self, key: str, value: bytes) -> None:
+        self._stub.put_state(key, value)
+
+
+class _DictStorage:
+    """Adapts Quorum's plain ``dict`` contract storage to the vault."""
+
+    def __init__(self, storage: dict[str, bytes]) -> None:
+        self._storage = storage
+
+    def get(self, key: str) -> bytes | None:
+        return self._storage.get(key)
+
+    def put(self, key: str, value: bytes) -> None:
+        self._storage[key] = value
+
+
+class FabricAssetChaincode(Chaincode):
+    """The HTLC vault as Fabric chaincode."""
+
+    name = FABRIC_ASSET_CHAINCODE
+
+    def invoke(self, stub: ChaincodeStub) -> bytes:
+        if stub.function == "init":
+            return b"ok"
+        vault = HtlcVault(_StubStorage(stub))
+        now = stub.timestamp
+        if stub.function == "Issue":
+            asset_id, owner, metadata = require_args(stub, 3)
+            return vault.issue(asset_id, owner, metadata)
+        if stub.function == "AuthorizeInvoker":
+            (name,) = require_args(stub, 1)
+            return vault.authorize_invoker(name)
+        creator = stub.get_creator()
+        creator_name = creator.subject.common_name if creator else ""
+        if stub.function == "LockAsset":
+            asset_id, sender, recipient, hashlock_hex, timeout = require_args(stub, 5)
+            vault.ensure_acting_authority(creator_name, sender)
+            return vault.lock(
+                asset_id, sender, recipient, hashlock_hex, float(timeout), now
+            )
+        if stub.function == "ClaimAsset":
+            asset_id, claimer, preimage_hex = require_args(stub, 3)
+            vault.ensure_acting_authority(creator_name, claimer)
+            return vault.claim(asset_id, claimer, preimage_hex, now)
+        if stub.function == "UnlockAsset":
+            asset_id, sender = require_args(stub, 2)
+            vault.ensure_acting_authority(creator_name, sender)
+            return vault.refund(asset_id, sender, now)
+        if stub.function in VIEW_FUNCTIONS:
+            (asset_id,) = require_args(stub, 1)
+            view = vault.get_lock if stub.function == "GetLock" else vault.get_asset
+            value = view(asset_id)
+            interop_raw = stub.get_transient("interop")
+            if interop_raw is None:
+                return value
+            # Incoming relay query: the paper's two-call adaptation —
+            # exposure-check the foreign requestor, then seal the response
+            # so the proof plane binds the lock record end to end.
+            ctx = json.loads(interop_raw)
+            stub.invoke_chaincode(
+                "ecc",
+                "CheckAccess",
+                [
+                    ctx["requesting_network"],
+                    ctx["requesting_org"],
+                    self.name,
+                    stub.function,
+                ],
+            )
+            return stub.invoke_chaincode(
+                "ecc",
+                "SealResponse",
+                [
+                    value.hex(),
+                    ctx["client_pubkey"],
+                    "true" if ctx["confidential"] else "false",
+                ],
+            )
+        raise ValueError(f"asset chaincode has no function {stub.function!r}")
+
+
+class QuorumAssetContract(QuorumContract):
+    """The HTLC vault as a Quorum-style contract."""
+
+    address = QUORUM_ASSET_CONTRACT
+
+    def execute(
+        self, function: str, args: list[str], storage: dict[str, bytes], ctx: CallContext
+    ) -> bytes:
+        vault = HtlcVault(_DictStorage(storage))
+        now = ctx.timestamp
+        if function == "Issue":
+            self._require(args, 3, function)
+            return vault.issue(args[0], args[1], args[2])
+        if function == "AuthorizeInvoker":
+            self._require(args, 1, function)
+            return vault.authorize_invoker(args[0])
+        # ctx.sender is the qualified id "<name>.<org>"; the name part is
+        # the creator the acting party must bind to.
+        creator_name = ctx.sender.split(".", 1)[0]
+        if function == "LockAsset":
+            self._require(args, 5, function)
+            vault.ensure_acting_authority(creator_name, args[1])
+            return vault.lock(args[0], args[1], args[2], args[3], float(args[4]), now)
+        if function == "ClaimAsset":
+            self._require(args, 3, function)
+            vault.ensure_acting_authority(creator_name, args[1])
+            return vault.claim(args[0], args[1], args[2], now)
+        if function == "UnlockAsset":
+            self._require(args, 2, function)
+            vault.ensure_acting_authority(creator_name, args[1])
+            return vault.refund(args[0], args[1], now)
+        raise EVMError(f"unknown transaction function {function!r}")
+
+    def call(
+        self, function: str, args: list[str], storage: dict[str, bytes], ctx: CallContext
+    ) -> bytes:
+        vault = HtlcVault(_DictStorage(storage))
+        if function in VIEW_FUNCTIONS:
+            self._require(args, 1, function)
+            view = vault.get_lock if function == "GetLock" else vault.get_asset
+            return view(args[0])
+        raise EVMError(f"unknown view function {function!r}")
+
+    @staticmethod
+    def _require(args: list[str], count: int, function: str) -> None:
+        if len(args) != count:
+            raise EVMError(f"{function} expects {count} argument(s), got {len(args)}")

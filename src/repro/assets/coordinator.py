@@ -1,0 +1,585 @@
+"""The two-party atomic exchange coordinator (HTLC choreography).
+
+Drives a cross-network asset swap between an *initiator* (offering an
+asset on its own network) and a *responder* (offering one on theirs) as
+an explicit state machine:
+
+.. code-block:: text
+
+    CREATED -> OFFER_LOCKED -> OFFER_VERIFIED -> COUNTER_LOCKED
+            -> COUNTER_VERIFIED -> COUNTER_CLAIMED -> COMPLETED
+
+    any pre-reveal state --abort()--> ABORTED --refund()--> REFUNDED
+    OFFER_LOCKED.. states ----------- refund() (post-timeout) --> REFUNDED
+
+Every ledger command travels as a ``MSG_KIND_ASSET_*`` relay envelope
+through the ordinary discovery/failover/interceptor path, and — the
+paper's trust argument, extended to value — each party verifies the
+*other side's lock* through a proof-carrying ``GetLock`` query validated
+by the :class:`~repro.interop.proofs.ProofScheme` plane before taking its
+next irreversible step: the responder before locking its own asset, the
+initiator before revealing the preimage. Timeouts are staggered
+(``counter_timeout < offer_timeout``) so the responder can always claim
+the offer with the revealed preimage before the initiator's refund window
+opens.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.assets.htlc import STATE_LOCKED, make_hashlock, new_preimage
+from repro.errors import AssetError, ExchangeStateError, ProtocolError
+from repro.interop.client import InteropClient
+from repro.proto.messages import (
+    MSG_KIND_ASSET_CLAIM,
+    MSG_KIND_ASSET_LOCK,
+    MSG_KIND_ASSET_STATUS,
+    MSG_KIND_ASSET_UNLOCK,
+    PROTOCOL_VERSION,
+    STATUS_OK,
+    AssetAckMsg,
+    AssetCommandMsg,
+    AuthInfo,
+    NetworkAddressMsg,
+)
+from repro.utils.ids import random_id
+
+
+class ExchangeState(Enum):
+    """Lifecycle of one two-party atomic exchange."""
+
+    CREATED = "created"
+    OFFER_LOCKED = "offer_locked"
+    OFFER_VERIFIED = "offer_verified"
+    COUNTER_LOCKED = "counter_locked"
+    COUNTER_VERIFIED = "counter_verified"
+    COUNTER_CLAIMED = "counter_claimed"  # preimage is now public
+    COMPLETED = "completed"
+    ABORTED = "aborted"
+    REFUNDED = "refunded"
+    FAILED = "failed"
+
+
+#: Legal transitions; anything else raises :class:`ExchangeStateError`.
+_TRANSITIONS: dict[ExchangeState, frozenset[ExchangeState]] = {
+    ExchangeState.CREATED: frozenset(
+        {ExchangeState.OFFER_LOCKED, ExchangeState.ABORTED, ExchangeState.FAILED}
+    ),
+    ExchangeState.OFFER_LOCKED: frozenset(
+        {
+            ExchangeState.OFFER_VERIFIED,
+            ExchangeState.ABORTED,
+            ExchangeState.REFUNDED,
+            ExchangeState.FAILED,
+        }
+    ),
+    ExchangeState.OFFER_VERIFIED: frozenset(
+        {
+            ExchangeState.COUNTER_LOCKED,
+            ExchangeState.ABORTED,
+            ExchangeState.REFUNDED,
+            ExchangeState.FAILED,
+        }
+    ),
+    ExchangeState.COUNTER_LOCKED: frozenset(
+        {
+            ExchangeState.COUNTER_VERIFIED,
+            ExchangeState.ABORTED,
+            ExchangeState.REFUNDED,
+            ExchangeState.FAILED,
+        }
+    ),
+    ExchangeState.COUNTER_VERIFIED: frozenset(
+        {
+            ExchangeState.COUNTER_CLAIMED,
+            ExchangeState.ABORTED,
+            ExchangeState.REFUNDED,
+            ExchangeState.FAILED,
+        }
+    ),
+    ExchangeState.COUNTER_CLAIMED: frozenset(
+        {ExchangeState.COMPLETED, ExchangeState.FAILED}
+    ),
+    ExchangeState.COMPLETED: frozenset(),
+    ExchangeState.ABORTED: frozenset({ExchangeState.REFUNDED, ExchangeState.FAILED}),
+    ExchangeState.REFUNDED: frozenset(),
+    # A failed exchange can still unwind its *unclaimed* escrows once
+    # their timelocks expire — a lock is refundable exactly when its
+    # claim window has closed unclaimed, whatever went wrong elsewhere.
+    ExchangeState.FAILED: frozenset({ExchangeState.REFUNDED}),
+}
+
+#: States in which the exchange can still be called off without loss
+#: (the preimage has not been revealed).
+_PRE_REVEAL_STATES = frozenset(
+    {
+        ExchangeState.CREATED,
+        ExchangeState.OFFER_LOCKED,
+        ExchangeState.OFFER_VERIFIED,
+        ExchangeState.COUNTER_LOCKED,
+        ExchangeState.COUNTER_VERIFIED,
+    }
+)
+
+
+@dataclass(frozen=True)
+class AssetSpec:
+    """One leg of the exchange: an asset on a network/ledger/contract.
+
+    No function segment — the HTLC verb travels as the envelope *kind*,
+    not as an addressed function.
+    """
+
+    network: str
+    ledger: str
+    contract: str
+    asset_id: str
+
+    @classmethod
+    def parse(cls, address_text: str, asset_id: str) -> "AssetSpec":
+        segments = address_text.split("/")
+        if len(segments) != 3 or not all(segments):
+            raise ProtocolError(
+                f"asset address {address_text!r} must be network/ledger/contract"
+            )
+        network, ledger, contract = segments
+        return cls(network=network, ledger=ledger, contract=contract, asset_id=asset_id)
+
+    def query_address(self, function: str) -> str:
+        return f"{self.network}/{self.ledger}/{self.contract}/{function}"
+
+
+@dataclass
+class ExchangeResult:
+    """What a finished (or unwound) exchange produced."""
+
+    state: ExchangeState
+    hashlock: bytes
+    preimage: bytes | None
+    offer_lock: AssetAckMsg | None = None
+    counter_lock: AssetAckMsg | None = None
+    counter_claim: AssetAckMsg | None = None
+    offer_claim: AssetAckMsg | None = None
+    refunds: list[AssetAckMsg] = field(default_factory=list)
+
+    @property
+    def completed(self) -> bool:
+        return self.state is ExchangeState.COMPLETED
+
+
+class AssetExchangeCoordinator:
+    """Drives one Fabric↔Quorum(↔anything) atomic exchange end to end.
+
+    ``initiator`` and ``responder`` are the two parties' interop clients;
+    the offer asset must live on the initiator's network and the ask asset
+    on the responder's (each party escrows locally, the counterparty
+    claims across networks). ``offer_policy`` / ``ask_policy`` are the
+    verification policies for the proof-carrying lock confirmations
+    (``None`` = look up the CMDAC-recorded policy, as for queries).
+    """
+
+    def __init__(
+        self,
+        initiator: InteropClient,
+        responder: InteropClient,
+        offer: AssetSpec,
+        ask: AssetSpec,
+        offer_timeout: float = 600.0,
+        counter_timeout: float = 300.0,
+        offer_policy: str | None = None,
+        ask_policy: str | None = None,
+        verify_margin: float | None = None,
+    ) -> None:
+        if offer.network != initiator.network_id:
+            raise ProtocolError(
+                f"offer asset lives on {offer.network!r} but the initiator "
+                f"belongs to {initiator.network_id!r}"
+            )
+        if ask.network != responder.network_id:
+            raise ProtocolError(
+                f"ask asset lives on {ask.network!r} but the responder "
+                f"belongs to {responder.network_id!r}"
+            )
+        if counter_timeout >= offer_timeout:
+            raise ProtocolError(
+                f"counter timeout ({counter_timeout}s) must be shorter than "
+                f"the offer timeout ({offer_timeout}s): the responder needs "
+                f"time to claim with the revealed preimage before the "
+                f"initiator's refund window opens"
+            )
+        self._initiator = initiator
+        self._responder = responder
+        self.offer = offer
+        self.ask = ask
+        self.offer_timeout = offer_timeout
+        self.counter_timeout = counter_timeout
+        self._offer_policy = offer_policy
+        self._ask_policy = ask_policy
+        #: Minimum remaining lock lifetime a party requires before acting.
+        self.verify_margin = (
+            verify_margin if verify_margin is not None else counter_timeout / 2
+        )
+        if offer_timeout < counter_timeout + self.verify_margin:
+            # Checked HERE, before anything is escrowed: verify_offer()
+            # will demand counter_timeout + verify_margin of remaining
+            # offer-lock lifetime, so a tighter configuration could only
+            # ever lock the offer asset and then fail.
+            raise ProtocolError(
+                f"offer timeout ({offer_timeout}s) must cover the counter "
+                f"timeout plus the verification margin "
+                f"({counter_timeout}s + {self.verify_margin}s); shorten the "
+                f"margin or lengthen the offer timelock"
+            )
+        self._clock = initiator.relay.clock
+        #: The initiator's secret; its hash is the exchange's hashlock.
+        self.preimage = new_preimage()
+        self.hashlock = make_hashlock(self.preimage)
+        self._verified_hashlock = b""
+        self._counter_refunded = False
+        self._offer_refunded = False
+        self.state = ExchangeState.CREATED
+        self.offer_deadline: float | None = None
+        self.counter_deadline: float | None = None
+        self.result = ExchangeResult(
+            state=self.state, hashlock=self.hashlock, preimage=None
+        )
+
+    # -- identity helpers ---------------------------------------------------------
+
+    @property
+    def initiator_party(self) -> str:
+        return f"{self._initiator.identity.name}@{self._initiator.network_id}"
+
+    @property
+    def responder_party(self) -> str:
+        return f"{self._responder.identity.name}@{self._responder.network_id}"
+
+    @staticmethod
+    def _auth(client: InteropClient) -> AuthInfo:
+        identity = client.identity
+        return AuthInfo(
+            requesting_network=client.network_id,
+            requesting_org=identity.org,
+            requestor=identity.name,
+            certificate=identity.certificate.to_bytes(),
+            public_key=identity.keypair.public.to_bytes(),
+        )
+
+    def _command(
+        self,
+        client: InteropClient,
+        spec: AssetSpec,
+        recipient: str = "",
+        hashlock: bytes = b"",
+        timeout: float = 0.0,
+        preimage: bytes = b"",
+    ) -> AssetCommandMsg:
+        return AssetCommandMsg(
+            version=PROTOCOL_VERSION,
+            address=NetworkAddressMsg(
+                network=spec.network,
+                ledger=spec.ledger,
+                contract=spec.contract,
+                function="",
+            ),
+            asset_id=spec.asset_id,
+            recipient=recipient,
+            hashlock=hashlock,
+            timeout=timeout,
+            preimage=preimage,
+            auth=self._auth(client),
+            nonce=random_id("asset-"),
+        )
+
+    # -- state machine core -------------------------------------------------------
+
+    def _advance(self, new_state: ExchangeState) -> None:
+        if new_state not in _TRANSITIONS[self.state]:
+            raise ExchangeStateError(
+                f"cannot move exchange from {self.state.value!r} to "
+                f"{new_state.value!r}"
+            )
+        self.state = new_state
+        self.result.state = new_state
+
+    def _require(self, *states: ExchangeState) -> None:
+        if self.state not in states:
+            expected = ", ".join(state.value for state in states)
+            raise ExchangeStateError(
+                f"step requires state {expected}; exchange is "
+                f"{self.state.value!r}"
+            )
+
+    def _checked(self, ack: AssetAckMsg, step: str) -> AssetAckMsg:
+        if ack.status != STATUS_OK:
+            self._advance(ExchangeState.FAILED)
+            raise AssetError(f"{step} failed: {ack.error}")
+        return ack
+
+    # -- protocol steps -----------------------------------------------------------
+
+    def lock_offer(self) -> AssetAckMsg:
+        """Initiator escrows the offer asset for the responder (step 1)."""
+        self._require(ExchangeState.CREATED)
+        deadline = self._clock.now() + self.offer_timeout
+        ack = self._checked(
+            self._initiator.relay.remote_asset(
+                MSG_KIND_ASSET_LOCK,
+                self._command(
+                    self._initiator,
+                    self.offer,
+                    recipient=self.responder_party,
+                    hashlock=self.hashlock,
+                    timeout=deadline,
+                ),
+            ),
+            "offer lock",
+        )
+        self.offer_deadline = deadline
+        self.result.offer_lock = ack
+        self._advance(ExchangeState.OFFER_LOCKED)
+        return ack
+
+    def verify_offer(self) -> dict:
+        """Responder proof-verifies the offer lock before escrowing (step 2).
+
+        The lock record comes back as trusted data — attested by the
+        offer network's peers under the verification policy — so a lying
+        relay cannot make the responder lock against a phantom escrow. The
+        responder takes the hashlock *from the verified record*, not from
+        out-of-band coordination.
+        """
+        self._require(ExchangeState.OFFER_LOCKED)
+        record = self._verify_lock(
+            self._responder,
+            self.offer,
+            self._offer_policy,
+            expected_recipient=self.responder_party,
+            minimum_lifetime=self.counter_timeout + self.verify_margin,
+        )
+        self._verified_hashlock = bytes.fromhex(record["hashlock"])
+        self._advance(ExchangeState.OFFER_VERIFIED)
+        return record
+
+    def lock_counter(self) -> AssetAckMsg:
+        """Responder escrows the ask asset under the same hashlock (step 3)."""
+        self._require(ExchangeState.OFFER_VERIFIED)
+        deadline = self._clock.now() + self.counter_timeout
+        ack = self._checked(
+            self._responder.relay.remote_asset(
+                MSG_KIND_ASSET_LOCK,
+                self._command(
+                    self._responder,
+                    self.ask,
+                    recipient=self.initiator_party,
+                    # The hashlock the responder escrows under is the one it
+                    # proof-verified on the offer ledger — never a value
+                    # relayed out-of-band.
+                    hashlock=self._verified_hashlock,
+                    timeout=deadline,
+                ),
+            ),
+            "counter lock",
+        )
+        self.counter_deadline = deadline
+        self.result.counter_lock = ack
+        self._advance(ExchangeState.COUNTER_LOCKED)
+        return ack
+
+    def verify_counter(self) -> dict:
+        """Initiator proof-verifies the counter lock before revealing (step 4)."""
+        self._require(ExchangeState.COUNTER_LOCKED)
+        record = self._verify_lock(
+            self._initiator,
+            self.ask,
+            self._ask_policy,
+            expected_recipient=self.initiator_party,
+            expected_hashlock=self.hashlock,
+            minimum_lifetime=self.verify_margin,
+        )
+        self._advance(ExchangeState.COUNTER_VERIFIED)
+        return record
+
+    def claim_counter(self) -> AssetAckMsg:
+        """Initiator claims the ask asset, revealing the preimage (step 5)."""
+        self._require(ExchangeState.COUNTER_VERIFIED)
+        ack = self._checked(
+            self._initiator.relay.remote_asset(
+                MSG_KIND_ASSET_CLAIM,
+                self._command(self._initiator, self.ask, preimage=self.preimage),
+            ),
+            "counter claim",
+        )
+        self.result.counter_claim = ack
+        self.result.preimage = self.preimage
+        self._advance(ExchangeState.COUNTER_CLAIMED)
+        return ack
+
+    def claim_offer(self) -> AssetAckMsg:
+        """Responder claims the offer with the now-public preimage (step 6).
+
+        The responder reads the revealed preimage from its *own* ledger's
+        lock record (where the initiator's claim published it) — it never
+        needs to trust the initiator or any relay for the secret.
+        """
+        self._require(ExchangeState.COUNTER_CLAIMED)
+        status = self._checked(
+            self._responder.relay.remote_asset(
+                MSG_KIND_ASSET_STATUS,
+                self._command(self._responder, self.ask),
+            ),
+            "preimage readback",
+        )
+        if not status.preimage:
+            self._advance(ExchangeState.FAILED)
+            raise AssetError(
+                f"ask-asset lock on {self.ask.network!r} carries no revealed "
+                f"preimage (state {status.state!r})"
+            )
+        ack = self._checked(
+            self._responder.relay.remote_asset(
+                MSG_KIND_ASSET_CLAIM,
+                self._command(
+                    self._responder, self.offer, preimage=status.preimage
+                ),
+            ),
+            "offer claim",
+        )
+        self.result.offer_claim = ack
+        self._advance(ExchangeState.COMPLETED)
+        return ack
+
+    def run(self) -> ExchangeResult:
+        """Drive the full happy path; returns the populated result."""
+        self.lock_offer()
+        self.verify_offer()
+        self.lock_counter()
+        self.verify_counter()
+        self.claim_counter()
+        self.claim_offer()
+        return self.result
+
+    # -- unhappy paths ------------------------------------------------------------
+
+    def abort(self) -> None:
+        """Call the exchange off before the preimage is revealed.
+
+        Safe by construction: the secret never left the initiator, so
+        neither escrow is claimable by anyone — both unwind through
+        :meth:`refund` once their timelocks expire.
+        """
+        self._require(*_PRE_REVEAL_STATES)
+        self._advance(ExchangeState.ABORTED)
+
+    def refund(self) -> list[AssetAckMsg]:
+        """Unwind every standing (locked, unclaimed) escrow after its
+        timelock expired.
+
+        Valid from any pre-reveal locked state, after :meth:`abort`, and
+        from ``FAILED`` — whatever broke the exchange, an unclaimed lock
+        must still be recoverable. Each leg's unlock is refused on-ledger
+        while its claim window is still open (the contracts enforce the
+        disjointness), so calling this early raises :class:`AssetError`
+        and leaves the state machine where it was.
+        """
+        refundable_from = _PRE_REVEAL_STATES | {
+            ExchangeState.ABORTED,
+            ExchangeState.FAILED,
+        }
+        if self.state not in refundable_from:
+            raise ExchangeStateError(
+                f"nothing to refund from state {self.state.value!r}"
+            )
+        if self.result.offer_lock is None and self.result.counter_lock is None:
+            raise ExchangeStateError("no escrow is standing; nothing to refund")
+        acks: list[AssetAckMsg] = []
+        # Counter leg first: its (shorter) timelock expires first. A non-OK
+        # ack (claim window still open) raises WITHOUT a terminal state
+        # change, so the refund can be retried once the timelock expires;
+        # legs already refunded or claimed are not touched.
+        if (
+            self.result.counter_lock is not None
+            and self.result.counter_claim is None
+            and not self._counter_refunded
+        ):
+            ack = self._responder.relay.remote_asset(
+                MSG_KIND_ASSET_UNLOCK, self._command(self._responder, self.ask)
+            )
+            if ack.status != STATUS_OK:
+                raise AssetError(f"counter refund refused: {ack.error}")
+            self._counter_refunded = True
+            self.result.refunds.append(ack)
+            acks.append(ack)
+        if (
+            self.result.offer_lock is not None
+            and self.result.offer_claim is None
+            and not self._offer_refunded
+        ):
+            ack = self._initiator.relay.remote_asset(
+                MSG_KIND_ASSET_UNLOCK, self._command(self._initiator, self.offer)
+            )
+            if ack.status != STATUS_OK:
+                raise AssetError(f"offer refund refused: {ack.error}")
+            self._offer_refunded = True
+            self.result.refunds.append(ack)
+            acks.append(ack)
+        self._advance(ExchangeState.REFUNDED)
+        return acks
+
+    # -- the proof plane ----------------------------------------------------------
+
+    def _verify_lock(
+        self,
+        verifier: InteropClient,
+        spec: AssetSpec,
+        policy: str | None,
+        expected_recipient: str,
+        minimum_lifetime: float,
+        expected_hashlock: bytes | None = None,
+    ) -> dict:
+        """Fetch + proof-verify a remote lock record; check its terms.
+
+        Runs the ordinary trusted-data-transfer query (attestations under
+        the verification policy, end-to-end sealed), then validates the
+        HTLC terms the verifying party depends on. Failure marks the
+        exchange FAILED and raises.
+        """
+        try:
+            fetched = verifier.remote_query(
+                spec.query_address("GetLock"), [spec.asset_id], policy=policy
+            )
+            record = json.loads(fetched.data)
+        except Exception:
+            self._advance(ExchangeState.FAILED)
+            raise
+        problems: list[str] = []
+        if record.get("state") != STATE_LOCKED:
+            problems.append(f"state is {record.get('state')!r}, not locked")
+        if record.get("asset_id") != spec.asset_id:
+            problems.append(
+                f"record covers asset {record.get('asset_id')!r}, expected "
+                f"{spec.asset_id!r}"
+            )
+        if record.get("recipient") != expected_recipient:
+            problems.append(
+                f"locked for {record.get('recipient')!r}, expected "
+                f"{expected_recipient!r}"
+            )
+        if expected_hashlock is not None and record.get("hashlock") != expected_hashlock.hex():
+            problems.append("hashlock does not match the exchange secret")
+        remaining = float(record.get("timeout", 0.0)) - self._clock.now()
+        if remaining < minimum_lifetime:
+            problems.append(
+                f"lock expires in {remaining:.1f}s, need at least "
+                f"{minimum_lifetime:.1f}s"
+            )
+        if problems:
+            self._advance(ExchangeState.FAILED)
+            raise AssetError(
+                f"verified lock on {spec.network!r} is unacceptable: "
+                + "; ".join(problems)
+            )
+        return record

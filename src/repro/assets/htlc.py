@@ -1,0 +1,268 @@
+"""Hash-time-locked asset vault: the shared on-ledger HTLC semantics.
+
+The paper stops at trusted *data* transfer and names asset transfer as
+the natural next step (§6); hash-time-locked contracts are the canonical
+trust-minimized building block for it. This module holds the platform-
+neutral contract logic — one :class:`HtlcVault` state machine over a
+key-value storage — so the Fabric chaincode and the Quorum contract in
+:mod:`repro.assets.contracts` enforce byte-identical rules.
+
+Invariants (the atomicity core):
+
+- an asset has exactly one owner and at most one *active* lock;
+- ``claim`` requires the preimage of the lock's SHA-256 hashlock and must
+  land **strictly before** the timeout;
+- ``refund`` returns the asset to its owner **at or after** the timeout;
+- the two deadlines partition time, so no asset is ever claimable and
+  refundable at once — whoever moves first within their window wins, and
+  the ledger's own consensus orders the winner.
+
+All mutations raise :class:`repro.errors.AssetError` on rule violations;
+platform adapters surface those through their native error channels.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Protocol
+
+from repro.crypto.hashing import sha256
+from repro.errors import AssetError
+
+#: Lock lifecycle states as stored on-ledger.
+STATE_AVAILABLE = "available"
+STATE_LOCKED = "locked"
+STATE_CLAIMED = "claimed"
+STATE_REFUNDED = "refunded"
+
+_ASSET_PREFIX = "asset/"
+_LOCK_PREFIX = "lock/"
+_INVOKER_PREFIX = "invoker/"
+
+
+def new_preimage(nbytes: int = 32) -> bytes:
+    """A fresh random secret whose hash becomes the exchange hashlock."""
+    return os.urandom(nbytes)
+
+
+def make_hashlock(preimage: bytes) -> bytes:
+    """The SHA-256 hashlock committing to ``preimage``."""
+    return sha256(preimage)
+
+
+class KeyValueStorage(Protocol):
+    """The minimal storage surface a platform must adapt for the vault."""
+
+    def get(self, key: str) -> bytes | None:  # pragma: no cover - protocol
+        ...
+
+    def put(self, key: str, value: bytes) -> None:  # pragma: no cover - protocol
+        ...
+
+
+class HtlcVault:
+    """The HTLC asset registry over one contract's storage namespace."""
+
+    def __init__(self, storage: KeyValueStorage) -> None:
+        self._storage = storage
+
+    # -- records ------------------------------------------------------------------
+
+    def _read(self, key: str) -> dict | None:
+        raw = self._storage.get(key)
+        if raw is None:
+            return None
+        return json.loads(raw.decode("utf-8"))
+
+    def _write(self, key: str, record: dict) -> bytes:
+        encoded = json.dumps(record, sort_keys=True).encode("utf-8")
+        self._storage.put(key, encoded)
+        return encoded
+
+    def _asset(self, asset_id: str) -> dict:
+        record = self._read(_ASSET_PREFIX + asset_id)
+        if record is None:
+            raise AssetError(f"no asset {asset_id!r} in this vault")
+        return record
+
+    # -- acting authority ---------------------------------------------------------
+
+    def authorize_invoker(self, name: str) -> bytes:
+        """Record ``name`` as a designated relay invoker (on-ledger).
+
+        A governance decision like the ECC's access rules: the write goes
+        through the contract's normal consensus (endorsement policy /
+        block application), and from then on transactions created by that
+        identity may act on behalf of port-authenticated foreign parties.
+        """
+        if not name:
+            raise AssetError("invoker authorization requires a name")
+        self._storage.put(_INVOKER_PREFIX + name, b"authorized")
+        return b"ok"
+
+    def is_invoker(self, name: str) -> bool:
+        return bool(name) and self._storage.get(_INVOKER_PREFIX + name) is not None
+
+    def ensure_acting_authority(self, creator_name: str, party: str) -> None:
+        """Bind a mutating verb's acting party to the transaction creator.
+
+        The creator may act as ``party`` iff it *is* that party
+        (self-submission by a local member: the party id's name component
+        matches the creator) or it is an authorized relay invoker — the
+        identity the :class:`~repro.assets.ports.AssetLedgerPort` submits
+        under after authenticating the real party's certificate. Anything
+        else is impersonation and is rejected on-ledger.
+        """
+        if self.is_invoker(creator_name):
+            return
+        if creator_name and party.split("@", 1)[0] == creator_name:
+            return
+        raise AssetError(
+            f"transaction creator {creator_name!r} may not act as {party!r}: "
+            f"not that party and not an authorized relay invoker"
+        )
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def issue(self, asset_id: str, owner: str, metadata: str) -> bytes:
+        """Mint ``asset_id`` to ``owner`` (a governance/admin operation)."""
+        if not asset_id or not owner:
+            raise AssetError("issue requires a non-empty asset id and owner")
+        if self._read(_ASSET_PREFIX + asset_id) is not None:
+            raise AssetError(f"asset {asset_id!r} already issued")
+        return self._write(
+            _ASSET_PREFIX + asset_id,
+            {"asset_id": asset_id, "owner": owner, "metadata": metadata},
+        )
+
+    def lock(
+        self,
+        asset_id: str,
+        sender: str,
+        recipient: str,
+        hashlock_hex: str,
+        timeout: float,
+        now: float,
+    ) -> bytes:
+        """Escrow ``asset_id`` for ``recipient`` under a hashlock until ``timeout``."""
+        asset = self._asset(asset_id)
+        if asset["owner"] != sender:
+            raise AssetError(
+                f"asset {asset_id!r} is owned by {asset['owner']!r}, not "
+                f"{sender!r}"
+            )
+        lock = self._read(_LOCK_PREFIX + asset_id)
+        if lock is not None and lock["state"] == STATE_LOCKED:
+            raise AssetError(f"asset {asset_id!r} is already locked")
+        if not recipient:
+            raise AssetError("lock requires a recipient")
+        try:
+            hashlock = bytes.fromhex(hashlock_hex)
+        except ValueError as exc:
+            raise AssetError(f"hashlock is not valid hex: {exc}") from exc
+        if len(hashlock) != 32:
+            raise AssetError("hashlock must be a 32-byte SHA-256 digest")
+        if timeout <= now:
+            raise AssetError(
+                f"lock timeout {timeout} is not in the future (ledger time {now})"
+            )
+        return self._write(
+            _LOCK_PREFIX + asset_id,
+            {
+                "asset_id": asset_id,
+                "owner": sender,
+                "recipient": recipient,
+                "hashlock": hashlock_hex,
+                "timeout": timeout,
+                "state": STATE_LOCKED,
+                "preimage": "",
+                "created_at": now,
+            },
+        )
+
+    def claim(self, asset_id: str, claimer: str, preimage_hex: str, now: float) -> bytes:
+        """Transfer a locked asset to its recipient by revealing the preimage.
+
+        Must land strictly before the timeout — at or after it, only
+        :meth:`refund` is possible (mutual exclusion of the two paths).
+        """
+        lock = self._read(_LOCK_PREFIX + asset_id)
+        if lock is None or lock["state"] != STATE_LOCKED:
+            state = lock["state"] if lock else STATE_AVAILABLE
+            raise AssetError(f"asset {asset_id!r} is not locked (state {state!r})")
+        if lock["recipient"] != claimer:
+            raise AssetError(
+                f"asset {asset_id!r} is locked for {lock['recipient']!r}, not "
+                f"{claimer!r}"
+            )
+        if now >= lock["timeout"]:
+            raise AssetError(
+                f"claim window for asset {asset_id!r} closed at ledger time "
+                f"{lock['timeout']} (now {now}); only a refund is possible"
+            )
+        try:
+            preimage = bytes.fromhex(preimage_hex)
+        except ValueError as exc:
+            raise AssetError(f"preimage is not valid hex: {exc}") from exc
+        if make_hashlock(preimage).hex() != lock["hashlock"]:
+            raise AssetError(
+                f"preimage does not hash to the lock's hashlock for asset "
+                f"{asset_id!r}"
+            )
+        asset = self._asset(asset_id)
+        asset["owner"] = claimer
+        self._write(_ASSET_PREFIX + asset_id, asset)
+        lock["state"] = STATE_CLAIMED
+        lock["preimage"] = preimage_hex  # public on-ledger, as in any HTLC
+        return self._write(_LOCK_PREFIX + asset_id, lock)
+
+    def refund(self, asset_id: str, sender: str, now: float) -> bytes:
+        """Release an expired lock back to the asset's owner.
+
+        Only valid at or after the timeout — strictly disjoint from the
+        claim window, so a claimable asset is never refundable.
+        """
+        lock = self._read(_LOCK_PREFIX + asset_id)
+        if lock is None or lock["state"] != STATE_LOCKED:
+            state = lock["state"] if lock else STATE_AVAILABLE
+            raise AssetError(f"asset {asset_id!r} is not locked (state {state!r})")
+        if lock["owner"] != sender:
+            raise AssetError(
+                f"lock on asset {asset_id!r} was placed by {lock['owner']!r}, "
+                f"not {sender!r}"
+            )
+        if now < lock["timeout"]:
+            raise AssetError(
+                f"lock on asset {asset_id!r} is refundable only from ledger "
+                f"time {lock['timeout']} (now {now}); the claim window is open"
+            )
+        lock["state"] = STATE_REFUNDED
+        return self._write(_LOCK_PREFIX + asset_id, lock)
+
+    # -- views --------------------------------------------------------------------
+
+    def get_asset(self, asset_id: str) -> bytes:
+        return json.dumps(self._asset(asset_id), sort_keys=True).encode("utf-8")
+
+    def get_lock(self, asset_id: str) -> bytes:
+        """The asset's lock record (state ``available`` if never locked).
+
+        This is the view a counterparty fetches with a *proof-carrying
+        query* before trusting a remote lock: the returned JSON is what the
+        source peers attest under the verification policy.
+        """
+        asset = self._asset(asset_id)
+        lock = self._read(_LOCK_PREFIX + asset_id)
+        if lock is None:
+            lock = {
+                "asset_id": asset_id,
+                "owner": asset["owner"],
+                "recipient": "",
+                "hashlock": "",
+                "timeout": 0.0,
+                "state": STATE_AVAILABLE,
+                "preimage": "",
+                "created_at": 0.0,
+            }
+        return json.dumps(lock, sort_keys=True).encode("utf-8")

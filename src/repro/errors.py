@@ -154,3 +154,16 @@ class ReplayError(InteropError):
 
 class DoSError(RelayError):
     """A relay shed load due to rate limiting (availability protection)."""
+
+
+# ---------------------------------------------------------------------------
+# Asset exchange (HTLC subsystem)
+# ---------------------------------------------------------------------------
+
+
+class AssetError(InteropError):
+    """An asset operation (lock/claim/unlock/status) failed."""
+
+
+class ExchangeStateError(AssetError):
+    """An exchange step was attempted from an incompatible state."""

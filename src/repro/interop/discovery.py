@@ -18,6 +18,7 @@ across redundant relays — the paper's DoS mitigation (§5).
 from __future__ import annotations
 
 import json
+import threading
 from abc import ABC, abstractmethod
 from pathlib import Path
 from typing import Protocol
@@ -42,26 +43,36 @@ class DiscoveryService(ABC):
 
 
 class InMemoryRegistry(DiscoveryService):
-    """A process-local registry of relays."""
+    """A process-local registry of relays.
+
+    Thread-safe: concurrent relays (batch fan-out, event pushes, asset
+    exchange legs running on different threads) share one registry, so
+    reads and mutations serialize on an internal lock and ``lookup``
+    returns a snapshot copy.
+    """
 
     def __init__(self) -> None:
+        self._lock = threading.RLock()
         self._relays: dict[str, list[RelayEndpoint]] = {}
 
     def register(self, network_id: str, relay: RelayEndpoint) -> None:
-        self._relays.setdefault(network_id, []).append(relay)
+        with self._lock:
+            self._relays.setdefault(network_id, []).append(relay)
 
     def unregister(self, network_id: str, relay: RelayEndpoint) -> None:
-        endpoints = self._relays.get(network_id, [])
-        if relay in endpoints:
-            endpoints.remove(relay)
+        with self._lock:
+            endpoints = self._relays.get(network_id, [])
+            if relay in endpoints:
+                endpoints.remove(relay)
 
     def lookup(self, network_id: str) -> list[RelayEndpoint]:
-        endpoints = self._relays.get(network_id)
-        if not endpoints:
-            raise DiscoveryError(
-                f"no relay registered for network {network_id!r}"
-            )
-        return list(endpoints)
+        with self._lock:
+            endpoints = self._relays.get(network_id)
+            if not endpoints:
+                raise DiscoveryError(
+                    f"no relay registered for network {network_id!r}"
+                )
+            return list(endpoints)
 
 
 class AddressResolver:
@@ -73,13 +84,16 @@ class AddressResolver:
     """
 
     def __init__(self) -> None:
+        self._lock = threading.RLock()
         self._endpoints: dict[str, RelayEndpoint] = {}
 
     def bind(self, address: str, endpoint: RelayEndpoint) -> None:
-        self._endpoints[address] = endpoint
+        with self._lock:
+            self._endpoints[address] = endpoint
 
     def resolve(self, address: str) -> RelayEndpoint:
-        endpoint = self._endpoints.get(address)
+        with self._lock:
+            endpoint = self._endpoints.get(address)
         if endpoint is None:
             raise DiscoveryError(f"relay address {address!r} does not resolve")
         return endpoint
@@ -93,10 +107,16 @@ class FileRegistry(DiscoveryService):
         {"stl": ["relay://stl-1", "relay://stl-2"], "swt": ["relay://swt-1"]}
 
     The file is re-read on every lookup, so operators can edit it while the
-    relay is running.
+    relay is running. Registrations (read-modify-write of the file) and
+    lookups serialize on an internal per-instance lock, so threads sharing
+    one ``FileRegistry`` object never interleave partial writes. Distinct
+    instances (or processes) pointing at the same file are NOT mutually
+    protected — that would need OS file locking; share the instance, or
+    treat the file as operator-edited configuration.
     """
 
     def __init__(self, path: str | Path, resolver: AddressResolver) -> None:
+        self._lock = threading.RLock()
         self._path = Path(path)
         self._resolver = resolver
 
@@ -115,16 +135,18 @@ class FileRegistry(DiscoveryService):
 
     def register(self, network_id: str, address: str) -> None:
         """Append an address to the registry file (creating it if needed)."""
-        table: dict[str, list[str]] = {}
-        if self._path.exists():
-            table = self._load()
-        table.setdefault(network_id, [])
-        if address not in table[network_id]:
-            table[network_id].append(address)
-        self._path.write_text(json.dumps(table, indent=2, sort_keys=True))
+        with self._lock:
+            table: dict[str, list[str]] = {}
+            if self._path.exists():
+                table = self._load()
+            table.setdefault(network_id, [])
+            if address not in table[network_id]:
+                table[network_id].append(address)
+            self._path.write_text(json.dumps(table, indent=2, sort_keys=True))
 
     def lookup(self, network_id: str) -> list[RelayEndpoint]:
-        table = self._load()
+        with self._lock:
+            table = self._load()
         addresses = table.get(network_id)
         if not addresses:
             raise DiscoveryError(

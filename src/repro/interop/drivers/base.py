@@ -33,14 +33,17 @@ class NetworkDriver(ABC):
     #: set this to 1 to force sequential execution.
     batch_concurrency: int = 4
 
-    #: Capability flags — the relay routes transact/subscribe envelopes
-    #: only to drivers that declare support (§2 lists query, transact, and
-    #: publish/subscribe as the three interoperability primitives).
+    #: Capability flags — the relay routes transact/subscribe/asset
+    #: envelopes only to drivers that declare support (§2 lists query,
+    #: transact, and publish/subscribe as the three interoperability
+    #: primitives; hash-time-locked asset exchange is the §6 extension).
     supports_transactions: bool = False
     supports_events: bool = False
+    supports_assets: bool = False
 
     def __init__(self, network_id: str) -> None:
         self.network_id = network_id
+        self._asset_port = None
 
     @abstractmethod
     def execute_query(self, query: NetworkQuery) -> QueryResponse:
@@ -103,6 +106,42 @@ class NetworkDriver(ABC):
 
     def close_event_tap(self, tap: object) -> None:
         """Deactivate a tap returned by :meth:`open_event_tap`."""
+
+    # -- asset capability ---------------------------------------------------------
+
+    def attach_asset_port(self, port) -> None:
+        """Grant the asset capability by attaching an
+        :class:`repro.assets.ports.AssetLedgerPort` for this driver's
+        network; the relay then routes ``MSG_KIND_ASSET_*`` envelopes here.
+        """
+        self._asset_port = port
+        self.supports_assets = True
+
+    @property
+    def asset_port(self):
+        port = self._asset_port
+        if port is None:
+            raise DriverError(
+                f"driver for network {self.network_id!r} does not support "
+                f"asset operations (no asset ledger port attached)"
+            )
+        return port
+
+    def lock_asset(self, command):
+        """Escrow an asset under a hashlock + timelock (HTLC lock)."""
+        return self.asset_port.lock_asset(command)
+
+    def claim_asset(self, command):
+        """Transfer a locked asset by revealing the preimage."""
+        return self.asset_port.claim_asset(command)
+
+    def unlock_asset(self, command):
+        """Refund an expired lock back to the asset's owner."""
+        return self.asset_port.unlock_asset(command)
+
+    def asset_status(self, command):
+        """Read an asset's current (unproven) lock record."""
+        return self.asset_port.asset_status(command)
 
     def execute_batch(self, queries: Sequence[NetworkQuery]) -> list[QueryResponse]:
         """Serve every query of a batch, fanning across the driver.

@@ -78,6 +78,21 @@ class FabricDriver(NetworkDriver):
         self._event_reader = reader
         self.supports_events = True
 
+    def enable_assets(self, invoker, contract: str | None = None) -> None:
+        """Grant the asset capability: HTLC commands submit under ``invoker``.
+
+        ``contract`` names the deployed asset chaincode (defaults to
+        :data:`repro.assets.contracts.FABRIC_ASSET_CHAINCODE`).
+        """
+        from repro.assets.contracts import FABRIC_ASSET_CHAINCODE
+        from repro.assets.ports import FabricAssetLedgerPort
+
+        self.attach_asset_port(
+            FabricAssetLedgerPort(
+                self._network, invoker, contract or FABRIC_ASSET_CHAINCODE
+            )
+        )
+
     def open_event_tap(self, request, listener):
         """Exposure-check and tap the network's event hub (§2 primitive iii)."""
         from repro.errors import DriverError

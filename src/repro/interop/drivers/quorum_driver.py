@@ -38,6 +38,23 @@ class QuorumDriver(NetworkDriver):
         self._port = port
         self._scheme = AttestationProofScheme()
 
+    def enable_assets(self, invoker, contract: str | None = None) -> None:
+        """Grant the asset capability: HTLC commands submit under ``invoker``.
+
+        Exposure control and foreign-certificate authentication reuse this
+        driver's :class:`InteropPort`; ``contract`` names the deployed
+        vault contract (defaults to
+        :data:`repro.assets.contracts.QUORUM_ASSET_CONTRACT`).
+        """
+        from repro.assets.contracts import QUORUM_ASSET_CONTRACT
+        from repro.assets.ports import QuorumAssetLedgerPort
+
+        self.attach_asset_port(
+            QuorumAssetLedgerPort(
+                self._network, self._port, invoker, contract or QUORUM_ASSET_CONTRACT
+            )
+        )
+
     def execute_query(self, query: NetworkQuery) -> QueryResponse:
         address_msg = query.address
         if address_msg is None:

@@ -30,6 +30,11 @@ subscriptions as ``MSG_KIND_EVENT_SUBSCRIBE`` / ``_PUBLISH`` /
 ``_UNSUBSCRIBE`` envelopes — the source relay taps its network's event hub
 and pushes notifications to the subscriber's relay through the very same
 discovery lookup and failover loop used for queries.
+
+Asset exchange (the §6 extension) adds the ``MSG_KIND_ASSET_LOCK`` /
+``_CLAIM`` / ``_UNLOCK`` / ``_STATUS`` family: hash-time-locked commands
+routed to an asset-capable driver (:mod:`repro.assets.ports`) and
+answered with ``MSG_KIND_ASSET_ACK``, again over the same path.
 """
 
 from __future__ import annotations
@@ -48,7 +53,13 @@ from repro.errors import (
 from repro.interop.discovery import DiscoveryService
 from repro.interop.drivers.base import NetworkDriver
 from repro.proto.messages import (
+    ASSET_COMMAND_KINDS,
     INVOCATION_TRANSACTION,
+    MSG_KIND_ASSET_ACK,
+    MSG_KIND_ASSET_CLAIM,
+    MSG_KIND_ASSET_LOCK,
+    MSG_KIND_ASSET_STATUS,
+    MSG_KIND_ASSET_UNLOCK,
     MSG_KIND_BATCH_REQUEST,
     MSG_KIND_BATCH_RESPONSE,
     MSG_KIND_ERROR,
@@ -65,6 +76,8 @@ from repro.proto.messages import (
     STATUS_ACCESS_DENIED,
     STATUS_ERROR,
     STATUS_OK,
+    AssetAckMsg,
+    AssetCommandMsg,
     BatchQueryRequest,
     BatchQueryResponse,
     EventAck,
@@ -124,6 +137,8 @@ class RelayStats:
         self.events_published = 0  # source side: notifications pushed out
         self.events_delivered = 0  # destination side: notifications sunk
         self.events_dropped = 0  # source side: undeliverable notifications
+        self.asset_commands_sent = 0  # destination side: HTLC verbs issued
+        self.asset_commands_served = 0  # source side: HTLC verbs executed
 
 
 class RelayContext:
@@ -347,6 +362,8 @@ class RelayService:
             return self._serve_event_publish(envelope)
         if envelope.kind == MSG_KIND_EVENT_UNSUBSCRIBE:
             return self._serve_event_unsubscribe(envelope)
+        if envelope.kind in ASSET_COMMAND_KINDS:
+            return self._serve_asset(envelope)
         self.stats.requests_failed += 1
         return self._error_envelope(
             envelope.request_id, f"unexpected message kind {envelope.kind}", False
@@ -483,6 +500,70 @@ class RelayService:
             source_network=self.network_id,
             destination_network=envelope.source_network,
             payload=response.encode(),
+        ).encode()
+
+    def _serve_asset(self, envelope: RelayEnvelope) -> bytes:
+        """Serve one HTLC asset-command envelope (lock/claim/unlock/status).
+
+        Routed to the network's asset-capable driver. Governance and
+        contract-rule violations are answered with a non-OK
+        :class:`AssetAckMsg` (not an error envelope), so the caller can
+        distinguish an on-ledger refusal — which is final — from a
+        transport failure worth failing over.
+        """
+        try:
+            command = AssetCommandMsg.decode(envelope.payload)
+        except Exception as exc:
+            self.stats.requests_failed += 1
+            return self._error_envelope(
+                envelope.request_id, f"undecodable asset command: {exc}", False
+            )
+        target = command.address.network if command.address else ""
+        driver = self._drivers.get(target)
+        if driver is None or not driver.supports_assets:
+            self.stats.requests_failed += 1
+            return self._error_envelope(
+                envelope.request_id,
+                f"relay {self.relay_id!r} has no asset-capable driver for "
+                f"network {target!r}",
+                False,
+            )
+        verbs = {
+            MSG_KIND_ASSET_LOCK: driver.lock_asset,
+            MSG_KIND_ASSET_CLAIM: driver.claim_asset,
+            MSG_KIND_ASSET_UNLOCK: driver.unlock_asset,
+            MSG_KIND_ASSET_STATUS: driver.asset_status,
+        }
+        try:
+            ack = verbs[envelope.kind](command)
+        except AccessDeniedError as exc:
+            self.stats.requests_failed += 1
+            ack = AssetAckMsg(
+                version=PROTOCOL_VERSION,
+                nonce=command.nonce,
+                status=STATUS_ACCESS_DENIED,
+                error=str(exc),
+                asset_id=command.asset_id,
+            )
+        except Exception as exc:  # noqa: BLE001 - answered, not raised
+            self.stats.requests_failed += 1
+            ack = AssetAckMsg(
+                version=PROTOCOL_VERSION,
+                nonce=command.nonce,
+                status=STATUS_ERROR,
+                error=str(exc),
+                asset_id=command.asset_id,
+            )
+        else:
+            self.stats.requests_served += 1
+            self.stats.asset_commands_served += 1
+        return RelayEnvelope(
+            version=PROTOCOL_VERSION,
+            kind=MSG_KIND_ASSET_ACK,
+            request_id=envelope.request_id,
+            source_network=self.network_id,
+            destination_network=envelope.source_network,
+            payload=ack.encode(),
         ).encode()
 
     # -- source side: event subscriptions ----------------------------------------
@@ -753,6 +834,36 @@ class RelayService:
             query.encode(),
             MSG_KIND_TRANSACT_RESPONSE,
             QueryResponse.decode,
+        )
+
+    def remote_asset(self, kind: int, command: AssetCommandMsg) -> AssetAckMsg:
+        """Send one HTLC asset command to the asset's network relay(s).
+
+        ``kind`` selects the verb (one of :data:`ASSET_COMMAND_KINDS`);
+        the command rides the same discovery lookup, interceptor chain,
+        and failover loop as queries. Side-effecting verbs (everything but
+        status) are header-marked so caching intermediaries never replay
+        them. Returns the ack even when non-OK — the caller maps statuses
+        to protocol decisions.
+        """
+        if kind not in ASSET_COMMAND_KINDS:
+            raise ProtocolError(f"kind {kind} is not an asset command kind")
+        target = command.address.network if command.address else ""
+        if not target:
+            raise ProtocolError("asset command has no target network address")
+        self.stats.asset_commands_sent += 1
+        headers = (
+            {SIDE_EFFECTING_HEADER: "true"}
+            if kind != MSG_KIND_ASSET_STATUS
+            else None
+        )
+        return self._exchange(
+            target,
+            kind,
+            command.encode(),
+            MSG_KIND_ASSET_ACK,
+            AssetAckMsg.decode,
+            headers=headers,
         )
 
     # -- destination side: subscribe to remote events ------------------------------

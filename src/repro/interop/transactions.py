@@ -70,6 +70,63 @@ class RemoteTransactionResult:
     attesting_orgs: list[str]
 
 
+def check_remote_invocation_exposure(
+    network: FabricNetwork,
+    invoker: Identity,
+    auth: AuthInfo | None,
+    contract: str,
+    function: str,
+) -> None:
+    """ECC-gate and authenticate one remote invocation on a Fabric network.
+
+    The same governance gate remote *queries* pass, applied to the other
+    side-effecting verbs (transactions, asset lock/claim/unlock): the
+    foreign requestor must present a certificate chaining to the
+    CMDAC-recorded configuration of its claimed network, and an ECC rule
+    must whitelist ``<network, org, contract, function>``. Raises
+    :class:`AccessDeniedError` otherwise. ``invoker`` is the designated
+    local identity used for the ledger reads.
+    """
+    if auth is None or not auth.certificate:
+        raise AccessDeniedError("remote invocation carries no certificate")
+    creator = Certificate.from_bytes(auth.certificate)
+    if creator.subject.organization != auth.requesting_org:
+        raise AccessDeniedError(
+            f"certificate org {creator.subject.organization!r} does not "
+            f"match claimed org {auth.requesting_org!r}"
+        )
+    rules_raw = network.gateway.evaluate(invoker, "ecc", "ListAccessRules", [])
+    rules = {tuple(rule) for rule in json.loads(rules_raw)}
+    candidates = {
+        (auth.requesting_network, auth.requesting_org, contract, function),
+        (auth.requesting_network, auth.requesting_org, contract, "*"),
+        (auth.requesting_network, "*", contract, function),
+        (auth.requesting_network, "*", contract, "*"),
+    }
+    if not candidates & rules:
+        raise AccessDeniedError(
+            f"exposure control denied remote invocation "
+            f"<{auth.requesting_network}, {auth.requesting_org}, "
+            f"{contract}, {function}>"
+        )
+    # Authenticate the foreign certificate against recorded config.
+    config_hex = network.gateway.evaluate(
+        invoker, "cmdac", "GetNetworkConfig", [auth.requesting_network]
+    )
+    from repro.interop.contracts.cmdac import org_roots_from_config
+    from repro.proto.messages import NetworkConfigMsg
+
+    config = NetworkConfigMsg.decode(bytes.fromhex(config_hex.decode("ascii")))
+    roots = org_roots_from_config(config)
+    root = roots.get(creator.subject.organization)
+    if root is None:
+        raise AccessDeniedError(
+            f"org {creator.subject.organization!r} not in recorded config "
+            f"of {auth.requesting_network!r}"
+        )
+    validate_chain(creator, [root])
+
+
 class FabricTransactionDriver(NetworkDriver):
     """Source-side driver for remote *transactions* on a Fabric network.
 
@@ -93,47 +150,9 @@ class FabricTransactionDriver(NetworkDriver):
 
     def _check_exposure(self, query: NetworkQuery, address: CrossNetworkAddress) -> None:
         """Remote transactions pass the same ECC gate as remote queries."""
-        auth = query.auth
-        if auth is None or not auth.certificate:
-            raise AccessDeniedError("remote transaction carries no certificate")
-        creator = Certificate.from_bytes(auth.certificate)
-        if creator.subject.organization != auth.requesting_org:
-            raise AccessDeniedError(
-                f"certificate org {creator.subject.organization!r} does not "
-                f"match claimed org {auth.requesting_org!r}"
-            )
-        rules_raw = self._network.gateway.evaluate(
-            self._invoker, "ecc", "ListAccessRules", []
+        check_remote_invocation_exposure(
+            self._network, self._invoker, query.auth, address.contract, address.function
         )
-        rules = {tuple(rule) for rule in json.loads(rules_raw)}
-        candidates = {
-            (auth.requesting_network, auth.requesting_org, address.contract, address.function),
-            (auth.requesting_network, auth.requesting_org, address.contract, "*"),
-            (auth.requesting_network, "*", address.contract, address.function),
-            (auth.requesting_network, "*", address.contract, "*"),
-        }
-        if not candidates & rules:
-            raise AccessDeniedError(
-                f"exposure control denied remote transaction "
-                f"<{auth.requesting_network}, {auth.requesting_org}, "
-                f"{address.contract}, {address.function}>"
-            )
-        # Authenticate the foreign certificate against recorded config.
-        config_hex = self._network.gateway.evaluate(
-            self._invoker, "cmdac", "GetNetworkConfig", [auth.requesting_network]
-        )
-        from repro.interop.contracts.cmdac import org_roots_from_config
-        from repro.proto.messages import NetworkConfigMsg
-
-        config = NetworkConfigMsg.decode(bytes.fromhex(config_hex.decode("ascii")))
-        roots = org_roots_from_config(config)
-        root = roots.get(creator.subject.organization)
-        if root is None:
-            raise AccessDeniedError(
-                f"org {creator.subject.organization!r} not in recorded config "
-                f"of {auth.requesting_network!r}"
-            )
-        validate_chain(creator, [root])
 
     def execute_query(self, query: NetworkQuery) -> QueryResponse:
         """Legacy route: ``MSG_KIND_QUERY_REQUEST`` to the ``#tx``

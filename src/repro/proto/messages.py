@@ -41,16 +41,37 @@ MSG_KIND_EVENT_SUBSCRIBE = 8
 MSG_KIND_EVENT_PUBLISH = 9
 MSG_KIND_EVENT_UNSUBSCRIBE = 10
 MSG_KIND_EVENT_ACK = 11
+MSG_KIND_ASSET_LOCK = 12
+MSG_KIND_ASSET_CLAIM = 13
+MSG_KIND_ASSET_UNLOCK = 14
+MSG_KIND_ASSET_STATUS = 15
+MSG_KIND_ASSET_ACK = 16
+
+#: The asset-exchange command family (hash-time-locked asset operations).
+#: All four requests are answered with a :data:`MSG_KIND_ASSET_ACK`
+#: envelope carrying an :class:`AssetAckMsg`.
+ASSET_COMMAND_KINDS = frozenset(
+    {
+        MSG_KIND_ASSET_LOCK,
+        MSG_KIND_ASSET_CLAIM,
+        MSG_KIND_ASSET_UNLOCK,
+        MSG_KIND_ASSET_STATUS,
+    }
+)
 
 #: Envelope kinds whose serving has side effects on the source network (a
 #: committed transaction, a registered/removed subscription, an event
-#: delivery). Caching layers must never replay these from a stored reply.
+#: delivery, an asset lock/claim/refund). Caching layers must never replay
+#: these from a stored reply.
 SIDE_EFFECTING_KINDS = frozenset(
     {
         MSG_KIND_TRANSACT_REQUEST,
         MSG_KIND_EVENT_SUBSCRIBE,
         MSG_KIND_EVENT_PUBLISH,
         MSG_KIND_EVENT_UNSUBSCRIBE,
+        MSG_KIND_ASSET_LOCK,
+        MSG_KIND_ASSET_CLAIM,
+        MSG_KIND_ASSET_UNLOCK,
     }
 )
 
@@ -271,6 +292,64 @@ class EventAck(Message):
     subscription_id = StringField(2)
     status = UintField(3)
     error = StringField(4)
+
+
+class AssetCommandMsg(Message):
+    """One hash-time-locked asset operation against a remote ledger.
+
+    The four :data:`ASSET_COMMAND_KINDS` envelope kinds all carry this
+    payload; the *kind* selects the verb (lock, claim, unlock, status) so
+    relays and caches can route on the envelope alone. ``address`` names
+    the network/ledger/contract holding the asset (no function — the verb
+    is the kind); ``auth`` authenticates the acting party exactly like a
+    query, and the source network's exposure control gates each verb as a
+    rule object on the asset contract.
+
+    Hashlock + timelock semantics (the HTLC contract): a *lock* escrows
+    ``asset_id`` for ``recipient`` under SHA-256 ``hashlock`` until the
+    absolute ledger time ``timeout``; a *claim* transfers it to the
+    recipient iff it reveals the matching ``preimage`` strictly before the
+    timeout; an *unlock* refunds the original owner at-or-after the
+    timeout. The two deadlines partition time, so an asset is never
+    claimable and refundable at once.
+    """
+
+    version = UintField(1)
+    address = MessageField(2, NetworkAddressMsg)
+    asset_id = StringField(3)
+    recipient = StringField(4)
+    hashlock = BytesField(5)
+    timeout = DoubleField(6)
+    preimage = BytesField(7)
+    auth = MessageField(8, AuthInfo)
+    nonce = StringField(9)
+
+
+class AssetAckMsg(Message):
+    """The reply to any asset-command envelope.
+
+    Carries the post-command lock record — state, hashlock, timeout,
+    parties, and (once a claim committed) the revealed ``preimage``, which
+    is public on-ledger knowledge exactly as in an HTLC — plus the commit
+    coordinates (``tx_id``, ``block_number``) for side-effecting verbs.
+    The ack is *transport* truth only: before acting on a remote lock, a
+    counterparty upgrades it to trusted data with a proof-carrying query
+    against the asset contract's ``GetLock`` function.
+    """
+
+    version = UintField(1)
+    nonce = StringField(2)
+    status = UintField(3)
+    error = StringField(4)
+    asset_id = StringField(5)
+    state = StringField(6)
+    owner = StringField(7)
+    recipient = StringField(8)
+    hashlock = BytesField(9)
+    timeout = DoubleField(10)
+    preimage = BytesField(11)
+    tx_id = StringField(12)
+    block_number = UintField(13)
 
 
 class RelayEnvelope(Message):

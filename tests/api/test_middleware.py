@@ -373,6 +373,32 @@ class TestMetricsKindBreakdown:
         # The historical flat counter keeps its shape.
         assert snapshot["by_kind"] == {MSG_KIND_QUERY_REQUEST: 2, 0: 1}
 
+    def test_snapshot_reports_latency_percentiles_per_kind(self):
+        clock = SimulatedClock()
+        metrics = MetricsInterceptor(clock=clock)
+        delays = iter([0.010] * 50 + [0.020] * 45 + [1.0] * 5)
+
+        def variable(ctx, call_next):
+            clock.advance(next(delays))
+            return call_next(ctx)
+
+        relay, _ = make_relay(metrics, variable)
+        for index in range(100):
+            relay.handle_request(make_request(nonce=f"n-{index}"))
+        query = metrics.snapshot()["kinds"]["query"]
+        assert query["seconds_p50"] == pytest.approx(0.020)
+        assert query["seconds_p95"] == pytest.approx(1.0)
+        assert query["seconds_max"] == pytest.approx(1.0)
+        assert query["seconds_p50"] <= query["seconds_p95"] <= query["seconds_max"]
+
+    def test_sample_window_bounds_memory(self):
+        clock = SimulatedClock()
+        metrics = MetricsInterceptor(clock=clock, sample_window=16)
+        relay, _ = make_relay(metrics)
+        for index in range(64):
+            relay.handle_request(make_request(nonce=f"n-{index}"))
+        assert len(metrics.kind_samples[MSG_KIND_QUERY_REQUEST]) == 16
+
     def test_eviction_respects_max_entries(self):
         cache = ResponseCacheInterceptor(
             ttl_seconds=60.0, max_entries=2, clock=SimulatedClock()

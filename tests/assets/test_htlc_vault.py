@@ -1,0 +1,167 @@
+"""Unit tests for the platform-neutral HTLC vault semantics."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.assets.htlc import (
+    STATE_AVAILABLE,
+    STATE_CLAIMED,
+    STATE_LOCKED,
+    STATE_REFUNDED,
+    HtlcVault,
+    make_hashlock,
+    new_preimage,
+)
+from repro.errors import AssetError
+
+
+class DictStorage:
+    def __init__(self) -> None:
+        self.data: dict[str, bytes] = {}
+
+    def get(self, key):
+        return self.data.get(key)
+
+    def put(self, key, value):
+        self.data[key] = value
+
+
+@pytest.fixture()
+def vault():
+    vault = HtlcVault(DictStorage())
+    vault.issue("GOLD-1", "alice", "{}")
+    return vault
+
+
+PREIMAGE = new_preimage()
+HASHLOCK = make_hashlock(PREIMAGE).hex()
+
+
+def lock_record(vault, asset_id="GOLD-1") -> dict:
+    return json.loads(vault.get_lock(asset_id))
+
+
+class TestIssueAndViews:
+    def test_issue_and_get_asset(self, vault):
+        assert json.loads(vault.get_asset("GOLD-1"))["owner"] == "alice"
+
+    def test_double_issue_rejected(self, vault):
+        with pytest.raises(AssetError, match="already issued"):
+            vault.issue("GOLD-1", "mallory", "{}")
+
+    def test_unissued_asset_errors(self, vault):
+        with pytest.raises(AssetError, match="no asset"):
+            vault.get_lock("GHOST")
+
+    def test_lock_record_available_before_any_lock(self, vault):
+        assert lock_record(vault)["state"] == STATE_AVAILABLE
+
+
+class TestLock:
+    def test_lock_writes_record(self, vault):
+        vault.lock("GOLD-1", "alice", "bob", HASHLOCK, timeout=200.0, now=100.0)
+        record = lock_record(vault)
+        assert record["state"] == STATE_LOCKED
+        assert record["recipient"] == "bob"
+        assert record["hashlock"] == HASHLOCK
+        assert record["timeout"] == 200.0
+
+    def test_only_owner_may_lock(self, vault):
+        with pytest.raises(AssetError, match="owned by"):
+            vault.lock("GOLD-1", "mallory", "bob", HASHLOCK, 200.0, 100.0)
+
+    def test_double_lock_rejected(self, vault):
+        vault.lock("GOLD-1", "alice", "bob", HASHLOCK, 200.0, 100.0)
+        with pytest.raises(AssetError, match="already locked"):
+            vault.lock("GOLD-1", "alice", "carol", HASHLOCK, 300.0, 100.0)
+
+    def test_past_timeout_rejected(self, vault):
+        with pytest.raises(AssetError, match="not in the future"):
+            vault.lock("GOLD-1", "alice", "bob", HASHLOCK, 100.0, 100.0)
+
+    def test_malformed_hashlock_rejected(self, vault):
+        with pytest.raises(AssetError, match="32-byte"):
+            vault.lock("GOLD-1", "alice", "bob", "abcd", 200.0, 100.0)
+
+
+class TestClaim:
+    @pytest.fixture()
+    def locked(self, vault):
+        vault.lock("GOLD-1", "alice", "bob", HASHLOCK, timeout=200.0, now=100.0)
+        return vault
+
+    def test_claim_transfers_ownership_and_reveals_preimage(self, locked):
+        locked.claim("GOLD-1", "bob", PREIMAGE.hex(), now=150.0)
+        assert json.loads(locked.get_asset("GOLD-1"))["owner"] == "bob"
+        record = lock_record(locked)
+        assert record["state"] == STATE_CLAIMED
+        assert record["preimage"] == PREIMAGE.hex()
+
+    def test_wrong_preimage_rejected(self, locked):
+        with pytest.raises(AssetError, match="does not hash"):
+            locked.claim("GOLD-1", "bob", new_preimage().hex(), now=150.0)
+
+    def test_only_recipient_may_claim(self, locked):
+        with pytest.raises(AssetError, match="locked for"):
+            locked.claim("GOLD-1", "mallory", PREIMAGE.hex(), now=150.0)
+
+    def test_claim_at_or_after_timeout_rejected(self, locked):
+        with pytest.raises(AssetError, match="claim window"):
+            locked.claim("GOLD-1", "bob", PREIMAGE.hex(), now=200.0)
+
+    def test_claimed_asset_lockable_by_new_owner(self, locked):
+        locked.claim("GOLD-1", "bob", PREIMAGE.hex(), now=150.0)
+        locked.lock("GOLD-1", "bob", "carol", HASHLOCK, 400.0, 210.0)
+        assert lock_record(locked)["state"] == STATE_LOCKED
+
+
+class TestRefund:
+    @pytest.fixture()
+    def locked(self, vault):
+        vault.lock("GOLD-1", "alice", "bob", HASHLOCK, timeout=200.0, now=100.0)
+        return vault
+
+    def test_refund_after_timeout(self, locked):
+        locked.refund("GOLD-1", "alice", now=200.0)
+        assert lock_record(locked)["state"] == STATE_REFUNDED
+        assert json.loads(locked.get_asset("GOLD-1"))["owner"] == "alice"
+
+    def test_refund_before_timeout_rejected(self, locked):
+        with pytest.raises(AssetError, match="refundable only from"):
+            locked.refund("GOLD-1", "alice", now=199.9)
+
+    def test_only_locker_may_refund(self, locked):
+        with pytest.raises(AssetError, match="placed by"):
+            locked.refund("GOLD-1", "bob", now=250.0)
+
+    def test_refunded_lock_not_claimable(self, locked):
+        locked.refund("GOLD-1", "alice", now=200.0)
+        with pytest.raises(AssetError, match="not locked"):
+            locked.claim("GOLD-1", "bob", PREIMAGE.hex(), now=250.0)
+
+
+class TestClaimRefundMutualExclusion:
+    """The atomicity core: at no ledger time are both paths open."""
+
+    @pytest.mark.parametrize("now", [100.0, 150.0, 199.999, 200.0, 201.0, 1e9])
+    def test_exactly_one_path_open_at_any_time(self, vault, now):
+        vault.lock("GOLD-1", "alice", "bob", HASHLOCK, timeout=200.0, now=100.0)
+        # A successful first verb settles the lock, so the second verb must
+        # fail either way — exactly one of the two may ever go through.
+        claimable = True
+        refundable = True
+        try:
+            vault.claim("GOLD-1", "bob", PREIMAGE.hex(), now=now)
+        except AssetError:
+            claimable = False
+        try:
+            vault.refund("GOLD-1", "alice", now=now)
+        except AssetError:
+            refundable = False
+        assert claimable != refundable, (
+            f"at now={now} claimable={claimable} refundable={refundable}: "
+            f"claim and refund windows must partition time"
+        )

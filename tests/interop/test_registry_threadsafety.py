@@ -1,0 +1,104 @@
+"""Discovery registries under concurrent relays (satellite of the asset PR).
+
+Concurrent exchange legs, batch fan-outs, and event pushes all hit the
+shared registry from different threads; these tests hammer the mutate +
+lookup paths and assert no lost updates, torn file writes, or exceptions.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.errors import DiscoveryError
+from repro.interop.discovery import AddressResolver, FileRegistry, InMemoryRegistry
+
+
+class FakeRelay:
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def handle_request(self, data: bytes) -> bytes:
+        return data
+
+
+def run_threads(workers):
+    threads = [threading.Thread(target=worker) for worker in workers]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
+class TestInMemoryRegistryThreadSafety:
+    def test_concurrent_register_and_lookup(self):
+        registry = InMemoryRegistry()
+        registry.register("net", FakeRelay("seed"))
+        errors: list[Exception] = []
+        stop = threading.Event()
+
+        def churn(index: int) -> None:
+            relay = FakeRelay(f"relay-{index}")
+            try:
+                for _ in range(300):
+                    registry.register("net", relay)
+                    assert registry.lookup("net")
+                    registry.unregister("net", relay)
+            except Exception as exc:  # noqa: BLE001 - collected for assertion
+                errors.append(exc)
+
+        def reader() -> None:
+            try:
+                while not stop.is_set():
+                    endpoints = registry.lookup("net")
+                    # The snapshot must always be internally consistent.
+                    assert all(hasattr(e, "handle_request") for e in endpoints)
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        reader_thread = threading.Thread(target=reader)
+        reader_thread.start()
+        run_threads([lambda i=i: churn(i) for i in range(8)])
+        stop.set()
+        reader_thread.join()
+        assert errors == []
+        # Every churner unregistered its relay: only the seed remains.
+        assert [relay.name for relay in registry.lookup("net")] == ["seed"]
+
+    def test_no_lost_registrations_across_threads(self):
+        registry = InMemoryRegistry()
+
+        def register_many(index: int) -> None:
+            for position in range(100):
+                registry.register("net", FakeRelay(f"{index}-{position}"))
+
+        run_threads([lambda i=i: register_many(i) for i in range(8)])
+        assert len(registry.lookup("net")) == 800
+
+
+class TestFileRegistryThreadSafety:
+    def test_concurrent_file_registration_loses_no_address(self, tmp_path):
+        resolver = AddressResolver()
+        registry = FileRegistry(tmp_path / "registry.json", resolver)
+
+        def register_many(index: int) -> None:
+            for position in range(25):
+                address = f"relay://{index}-{position}"
+                resolver.bind(address, FakeRelay(address))
+                registry.register(f"net-{index}", address)
+
+        run_threads([lambda i=i: register_many(i) for i in range(6)])
+        table = json.loads((tmp_path / "registry.json").read_text())
+        assert len(table) == 6
+        for index in range(6):
+            assert len(table[f"net-{index}"]) == 25
+            assert len(registry.lookup(f"net-{index}")) == 25
+
+    def test_lookup_unknown_network_still_raises(self, tmp_path):
+        resolver = AddressResolver()
+        registry = FileRegistry(tmp_path / "registry.json", resolver)
+        registry.register("net", "relay://a")
+        with pytest.raises(DiscoveryError):
+            registry.lookup("ghost")

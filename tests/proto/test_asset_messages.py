@@ -1,0 +1,165 @@
+"""Wire round-trips for the asset envelope family and its routing edges."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.interop.discovery import InMemoryRegistry
+from repro.interop.relay import RelayService
+from repro.proto.messages import (
+    ASSET_COMMAND_KINDS,
+    MSG_KIND_ASSET_ACK,
+    MSG_KIND_ASSET_CLAIM,
+    MSG_KIND_ASSET_LOCK,
+    MSG_KIND_ASSET_STATUS,
+    MSG_KIND_ASSET_UNLOCK,
+    MSG_KIND_ERROR,
+    PROTOCOL_VERSION,
+    SIDE_EFFECTING_KINDS,
+    STATUS_OK,
+    AssetAckMsg,
+    AssetCommandMsg,
+    AuthInfo,
+    NetworkAddressMsg,
+    RelayEnvelope,
+)
+
+
+def sample_command() -> AssetCommandMsg:
+    return AssetCommandMsg(
+        version=PROTOCOL_VERSION,
+        address=NetworkAddressMsg(
+            network="fabnet", ledger="trade", contract="assetscc", function=""
+        ),
+        asset_id="GOLD-1",
+        recipient="bob@quornet",
+        hashlock=b"\x11" * 32,
+        timeout=1234.5,
+        preimage=b"\x22" * 32,
+        auth=AuthInfo(
+            requesting_network="quornet",
+            requesting_org="op-org-1",
+            requestor="bob",
+            certificate=b"cert-bytes",
+            public_key=b"key-bytes",
+        ),
+        nonce="asset-nonce-1",
+    )
+
+
+class TestAssetCommandRoundTrip:
+    @pytest.mark.parametrize(
+        "kind",
+        sorted(ASSET_COMMAND_KINDS),
+        ids=["lock", "claim", "unlock", "status"],
+    )
+    def test_command_envelope_round_trip(self, kind):
+        command = sample_command()
+        envelope = RelayEnvelope(
+            version=PROTOCOL_VERSION,
+            kind=kind,
+            request_id="req-1",
+            source_network="quornet",
+            destination_network="fabnet",
+            payload=command.encode(),
+        )
+        decoded_envelope = RelayEnvelope.decode(envelope.encode())
+        assert decoded_envelope.kind == kind
+        decoded = AssetCommandMsg.decode(decoded_envelope.payload)
+        assert decoded.asset_id == "GOLD-1"
+        assert decoded.recipient == "bob@quornet"
+        assert decoded.hashlock == b"\x11" * 32
+        assert decoded.timeout == 1234.5
+        assert decoded.preimage == b"\x22" * 32
+        assert decoded.auth.requestor == "bob"
+        assert decoded.address.network == "fabnet"
+        assert decoded.nonce == "asset-nonce-1"
+
+    def test_ack_round_trip(self):
+        ack = AssetAckMsg(
+            version=PROTOCOL_VERSION,
+            nonce="asset-nonce-1",
+            status=STATUS_OK,
+            asset_id="GOLD-1",
+            state="claimed",
+            owner="alice@fabnet",
+            recipient="bob@quornet",
+            hashlock=b"\x11" * 32,
+            timeout=1234.5,
+            preimage=b"\x22" * 32,
+            tx_id="tx-9",
+            block_number=7,
+        )
+        decoded = AssetAckMsg.decode(ack.encode())
+        assert decoded.state == "claimed"
+        assert decoded.preimage == b"\x22" * 32
+        assert decoded.tx_id == "tx-9"
+        assert decoded.block_number == 7
+        assert decoded.timeout == 1234.5
+
+
+class TestKindTaxonomy:
+    def test_mutating_asset_kinds_are_side_effecting(self):
+        assert MSG_KIND_ASSET_LOCK in SIDE_EFFECTING_KINDS
+        assert MSG_KIND_ASSET_CLAIM in SIDE_EFFECTING_KINDS
+        assert MSG_KIND_ASSET_UNLOCK in SIDE_EFFECTING_KINDS
+
+    def test_status_is_read_only(self):
+        assert MSG_KIND_ASSET_STATUS not in SIDE_EFFECTING_KINDS
+        assert MSG_KIND_ASSET_ACK not in SIDE_EFFECTING_KINDS
+
+    def test_kind_values_are_distinct(self):
+        kinds = {
+            MSG_KIND_ASSET_LOCK,
+            MSG_KIND_ASSET_CLAIM,
+            MSG_KIND_ASSET_UNLOCK,
+            MSG_KIND_ASSET_STATUS,
+            MSG_KIND_ASSET_ACK,
+        }
+        assert len(kinds) == 5
+        assert all(kind >= 12 for kind in kinds)
+
+
+class TestUnknownAndMalformedKinds:
+    def test_unknown_kind_answered_with_error_envelope(self):
+        relay = RelayService("srcnet", InMemoryRegistry())
+        request = RelayEnvelope(
+            version=PROTOCOL_VERSION,
+            kind=99,
+            request_id="req-unknown",
+            source_network="elsewhere",
+            destination_network="srcnet",
+            payload=b"whatever",
+        )
+        reply = RelayEnvelope.decode(relay.handle_request(request.encode()))
+        assert reply.kind == MSG_KIND_ERROR
+        assert reply.request_id == "req-unknown"
+        assert "unexpected message kind 99" in reply.payload.decode()
+
+    def test_asset_kind_without_asset_driver_is_error_envelope(self):
+        relay = RelayService("srcnet", InMemoryRegistry())
+        request = RelayEnvelope(
+            version=PROTOCOL_VERSION,
+            kind=MSG_KIND_ASSET_LOCK,
+            request_id="req-asset",
+            source_network="elsewhere",
+            destination_network="srcnet",
+            payload=sample_command().encode(),
+        )
+        reply = RelayEnvelope.decode(relay.handle_request(request.encode()))
+        assert reply.kind == MSG_KIND_ERROR
+        assert "no asset-capable driver" in reply.payload.decode()
+
+    def test_undecodable_asset_payload_is_error_envelope(self):
+        relay = RelayService("srcnet", InMemoryRegistry())
+        request = RelayEnvelope(
+            version=PROTOCOL_VERSION,
+            kind=MSG_KIND_ASSET_CLAIM,
+            request_id="req-bad",
+            source_network="elsewhere",
+            destination_network="srcnet",
+            payload=b"\xff\xff\xff\xff",
+        )
+        reply = RelayEnvelope.decode(relay.handle_request(request.encode()))
+        assert reply.kind == MSG_KIND_ERROR
+        assert "undecodable asset command" in reply.payload.decode()
