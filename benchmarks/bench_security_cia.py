@@ -15,7 +15,7 @@ import pytest
 
 from repro.apps import build_trade_scenario
 from repro.errors import EndorsementError, ProofError, RelayUnavailableError
-from repro.interop.adversary import (
+from repro.testing import (
     DroppingRelay,
     EavesdroppingRelay,
     TamperingRelay,

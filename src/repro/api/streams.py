@@ -23,7 +23,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Iterator
 
-from repro.errors import ProtocolError
+from repro.errors import DiscoveryError, ProtocolError, RelayUnavailableError
 from repro.interop.client import InteropClient, RemoteQueryResult
 from repro.interop.events import RemoteEventNotification
 from repro.proto.messages import EventNotificationMsg
@@ -106,6 +106,9 @@ class VerifiedEventStream:
         self.subscription_id = ""
         self._pending: deque[RemoteEventNotification] = deque()
         self.rejected: list[RejectedEvent] = []
+        #: Verification attempts deferred by a transport outage (the
+        #: notification stays pending rather than being wrongly rejected).
+        self.deferrals = 0
         self.closed = False
 
     # -- delivery (called by the relay's event sink) -------------------------------
@@ -149,6 +152,14 @@ class VerifiedEventStream:
             notification = self._pending.popleft()
             try:
                 event = self._verify(notification)
+            except (RelayUnavailableError, DiscoveryError):
+                # A transport outage on the verification path disproves
+                # nothing: keep the notification pending (front of the
+                # queue, preserving order) and yield nothing for now —
+                # the next take() retries once the path recovers.
+                self._pending.appendleft(notification)
+                self.deferrals += 1
+                return None
             except Exception as exc:  # noqa: BLE001 - a forged notification
                 # must never crash the consumer: verifier.args/check choking
                 # on malformed payloads (e.g. undecodable bytes) is itself

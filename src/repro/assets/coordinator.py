@@ -30,8 +30,19 @@ import json
 from dataclasses import dataclass, field
 from enum import Enum
 
-from repro.assets.htlc import STATE_LOCKED, make_hashlock, new_preimage
-from repro.errors import AssetError, ExchangeStateError, ProtocolError
+from repro.assets.htlc import (
+    STATE_CLAIMED,
+    STATE_LOCKED,
+    make_hashlock,
+    new_preimage,
+)
+from repro.errors import (
+    AssetError,
+    DiscoveryError,
+    ExchangeStateError,
+    ProtocolError,
+    RelayError,
+)
 from repro.interop.client import InteropClient
 from repro.proto.messages import (
     MSG_KIND_ASSET_CLAIM,
@@ -403,13 +414,82 @@ class AssetExchangeCoordinator:
         self._advance(ExchangeState.COUNTER_VERIFIED)
         return record
 
+    def _claim_with_recovery(
+        self,
+        client: InteropClient,
+        spec: AssetSpec,
+        policy: str | None,
+        preimage: bytes,
+        step: str,
+    ) -> AssetAckMsg:
+        """Issue a claim, surviving a lost ack without double-claiming.
+
+        A transport failure on the claim round-trip (the relay crashed or
+        dropped the *reply*) does not mean the claim was lost: the command
+        may have committed before the path failed. Rather than blindly
+        re-claiming — which against an already-claimed lock reads as a
+        contract refusal and would wrongly fail the exchange — learn the
+        escrow's true state and decide: claimed with *this* preimage means
+        the claim landed (exactly once; the vault rejects a second claim),
+        still locked means the request itself was lost and is safe to
+        re-issue. Anything else is unrecoverable.
+
+        The readback is a *proof-carrying* ``GetLock`` query, not a status
+        ack: the relay that just failed is exactly the party the protocol
+        refuses to trust, and an unverified "claimed" answer from it could
+        trick this party into proceeding against a still-locked escrow.
+        Only attestation proofs are believed — here as everywhere.
+        """
+        command = self._command(client, spec, preimage=preimage)
+        try:
+            return client.relay.remote_asset(MSG_KIND_ASSET_CLAIM, command)
+        except (RelayError, DiscoveryError):
+            # May itself raise on an unreachable/tampering path; that
+            # propagates without a state change, so the step is retriable.
+            fetched = client.remote_query(
+                spec.query_address("GetLock"), [spec.asset_id], policy=policy
+            )
+            record = json.loads(fetched.data)
+            if (
+                record.get("state") == STATE_CLAIMED
+                and record.get("preimage") == preimage.hex()
+            ):
+                # The lost ack's claim committed: answer with the
+                # proof-verified post-claim record.
+                return AssetAckMsg(
+                    version=PROTOCOL_VERSION,
+                    nonce=command.nonce,
+                    status=STATUS_OK,
+                    asset_id=record.get("asset_id", spec.asset_id),
+                    state=record.get("state", ""),
+                    owner=record.get("owner", ""),
+                    recipient=record.get("recipient", ""),
+                    hashlock=(
+                        bytes.fromhex(record["hashlock"])
+                        if record.get("hashlock")
+                        else b""
+                    ),
+                    timeout=float(record.get("timeout", 0.0)),
+                    preimage=preimage,
+                )
+            if record.get("state") == STATE_LOCKED:
+                return client.relay.remote_asset(MSG_KIND_ASSET_CLAIM, command)
+            self._advance(ExchangeState.FAILED)
+            raise AssetError(
+                f"{step} ack lost and the escrow is unrecoverable "
+                f"(verified state {record.get('state')!r})"
+            )
+
     def claim_counter(self) -> AssetAckMsg:
         """Initiator claims the ask asset, revealing the preimage (step 5)."""
         self._require(ExchangeState.COUNTER_VERIFIED)
         ack = self._checked(
-            self._initiator.relay.remote_asset(
-                MSG_KIND_ASSET_CLAIM,
-                self._command(self._initiator, self.ask, preimage=self.preimage),
+            self._claim_with_recovery(
+                self._initiator,
+                self.ask,
+                self._ask_policy,
+                self.preimage,
+                "counter claim",
             ),
             "counter claim",
         )
@@ -440,11 +520,12 @@ class AssetExchangeCoordinator:
                 f"preimage (state {status.state!r})"
             )
         ack = self._checked(
-            self._responder.relay.remote_asset(
-                MSG_KIND_ASSET_CLAIM,
-                self._command(
-                    self._responder, self.offer, preimage=status.preimage
-                ),
+            self._claim_with_recovery(
+                self._responder,
+                self.offer,
+                self._offer_policy,
+                status.preimage,
+                "offer claim",
             ),
             "offer claim",
         )

@@ -39,6 +39,10 @@ class CordaNetwork:
         self._orgs: dict[str, Organization] = {}
         self._contracts: dict[str, ContractVerifier] = {}
         self.transactions: dict[str, CordaTransaction] = {}
+        #: Finality observers: called with each transaction after it is
+        #: recorded network-wide (the Corda analogue of Fabric's event hub;
+        #: used by the interop driver's event taps).
+        self._observers: list[Callable[[CordaTransaction], None]] = []
         notary_org = Organization("notary-org", network=name)
         self._orgs["notary-org"] = notary_org
         self.notary = Notary(notary_org.enroll("notary", role="peer"))
@@ -80,8 +84,31 @@ class CordaNetwork:
 
     # -- transaction resolution ---------------------------------------------------------
 
+    def add_transaction_observer(
+        self, observer: Callable[[CordaTransaction], None]
+    ) -> None:
+        """Register an observer fired after each network-wide finality."""
+        self._observers.append(observer)
+
+    def remove_transaction_observer(
+        self, observer: Callable[[CordaTransaction], None]
+    ) -> None:
+        """Deregister an observer (no-op if it is not registered)."""
+        if observer in self._observers:
+            self._observers.remove(observer)
+
+    def sequence_of(self, tx_id: str) -> int:
+        """Finality order of ``tx_id`` (the Corda stand-in for a block
+        number: notarization imposes a total order on this network)."""
+        for position, known in enumerate(self.transactions):
+            if known == tx_id:
+                return position
+        raise LedgerError(f"network {self.name!r} has no transaction {tx_id!r}")
+
     def record_transaction(self, transaction: CordaTransaction) -> None:
         self.transactions[transaction.tx_id] = transaction
+        for observer in list(self._observers):
+            observer(transaction)
 
     def resolve_inputs(self, transaction: CordaTransaction) -> list[LinearState]:
         resolved = []

@@ -132,6 +132,18 @@ class DriverError(InteropError):
     """A network driver could not translate or execute a request."""
 
 
+class UnsupportedCapabilityError(DriverError, RelayError):
+    """A verb was routed at a driver/relay that does not support it.
+
+    The capability gate *fails closed*: a network that has not opted into
+    transactions, events, or asset exchange answers with this typed error
+    rather than guessing. Subclasses both :class:`DriverError` (the local,
+    driver-side raise) and :class:`RelayError` (the client-side raise when
+    the refusal travels back as a capability-marked error envelope), so
+    existing handlers for either family keep working.
+    """
+
+
 class AccessDeniedError(InteropError):
     """The source network's exposure-control policy denied the request."""
 

@@ -16,8 +16,10 @@ Components (paper §3):
 - :mod:`repro.interop.policy` — verification-policy algebra.
 - :mod:`repro.interop.proofs` — attestation-based proof assembly and
   validation (pluggable proof schemes).
-- :mod:`repro.interop.adversary` — the threat-model harness used by the
-  security evaluation (malicious relays, byzantine peers, replay, DoS).
+- :mod:`repro.testing` — the threat-model harness used by the security
+  evaluation (malicious relays, byzantine peers, replay, DoS) plus the
+  seeded fault-injection and cross-driver conformance machinery
+  (:mod:`repro.interop.adversary` remains as a deprecation shim).
 """
 
 from repro.interop.policy import VerificationPolicy, parse_verification_policy

@@ -6,7 +6,7 @@ from abc import ABC, abstractmethod
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Sequence
 
-from repro.errors import DriverError
+from repro.errors import UnsupportedCapabilityError
 from repro.proto.messages import (
     PROTOCOL_VERSION,
     STATUS_ACCESS_DENIED,
@@ -97,9 +97,10 @@ class NetworkDriver(ABC):
         matching committed event. Returns an opaque tap handle for
         :meth:`close_event_tap`. Raises :class:`AccessDeniedError` when the
         source network's exposure control denies the subscription, and
-        :class:`DriverError` when the driver has no event capability.
+        :class:`UnsupportedCapabilityError` when the driver has no event
+        capability.
         """
-        raise DriverError(
+        raise UnsupportedCapabilityError(
             f"driver for network {self.network_id!r} does not support "
             f"event subscriptions"
         )
@@ -121,7 +122,7 @@ class NetworkDriver(ABC):
     def asset_port(self):
         port = self._asset_port
         if port is None:
-            raise DriverError(
+            raise UnsupportedCapabilityError(
                 f"driver for network {self.network_id!r} does not support "
                 f"asset operations (no asset ledger port attached)"
             )

@@ -4,33 +4,61 @@ Queries address states in node vaults; proofs are attestations from the
 nodes the verification policy selects — which may include the notary, as
 §5 anticipates ("a verification policy can be specified to include
 signatures from notaries").
+
+The driver carries the full §2 capability surface:
+
+- **transactions** (:meth:`CordaDriver.enable_transactions`): a remote
+  invocation runs a registered *flow handler* on a designated local
+  invoker node — the Corda analogue of Fabric's invoker identity — and
+  the attestations cover the *finalized* outcome (transaction id and
+  notarization order), each attester confirming the transaction is in its
+  own vault history;
+- **events** (:meth:`CordaDriver.enable_events`): a subscription taps the
+  network's finality observers; each notarized transaction whose command
+  matches the subscribed event name is pushed as a wire-shape
+  notification, exposure-gated by the platform port under the same
+  ``event:<name>`` rule objects as Fabric;
+- **assets** remain unsupported and *fail closed*: the relay answers
+  ``MSG_KIND_ASSET_*`` envelopes for a Corda network with a
+  capability-marked error that surfaces client-side as
+  :class:`repro.errors.UnsupportedCapabilityError`.
 """
 
 from __future__ import annotations
 
 import json
+from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.corda.network import CordaNetwork
 from repro.corda.node import CordaNode
+from repro.corda.states import LinearState
+from repro.corda.transactions import CordaTransaction
 from repro.crypto.certs import Certificate
 from repro.crypto.keys import PublicKey
 from repro.errors import AccessDeniedError, PolicyError, ReproError
 from repro.interop.contracts.ports import InteropPort
 from repro.interop.drivers.base import NetworkDriver
+from repro.interop.events import RemoteEventNotification
 from repro.interop.policy import parse_verification_policy
-from repro.interop.proofs import AttestationProofScheme
+from repro.interop.proofs import AttestationProofScheme, seal_result
 from repro.proto.address import CrossNetworkAddress
 from repro.proto.messages import (
     PROTOCOL_VERSION,
     STATUS_OK,
     Attestation,
+    EventSubscribeRequest,
     NetworkQuery,
     QueryResponse,
 )
+from repro.utils.encoding import canonical_json
 
 # A query handler resolves (node, args) -> plaintext result bytes.
 QueryHandler = Callable[[CordaNode, list[str]], bytes]
+
+# A flow handler drives one remote invocation on the invoker node and
+# returns (plaintext result bytes, the finalized transaction).
+FlowHandler = Callable[[CordaNetwork, CordaNode, list[str]], tuple[bytes, CordaTransaction]]
 
 
 def default_vault_query(node: CordaNode, args: list[str]) -> bytes:
@@ -43,6 +71,64 @@ def default_vault_query(node: CordaNode, args: list[str]) -> bytes:
         sort_keys=True,
         separators=(",", ":"),
     ).encode("utf-8")
+
+
+def default_record_state_flow(
+    network: CordaNetwork, node: CordaNode, args: list[str]
+) -> tuple[bytes, CordaTransaction]:
+    """Built-in flow ``vault/RecordState``: issue a fresh linear state.
+
+    Args: ``linear_id, kind, data_json[, participants_csv]`` — with no
+    explicit participants every node of the network participates (so the
+    state is visible to, and signable by, any attester a verification
+    policy may select).
+    """
+    if len(args) < 3:
+        raise ReproError(
+            "RecordState expects linear_id, kind, data_json[, participants]"
+        )
+    linear_id, kind, data_json = args[0], args[1], args[2]
+    if len(args) > 3 and args[3]:
+        participants = tuple(part for part in args[3].split(",") if part)
+    else:
+        participants = tuple(peer.name for peer in network.nodes)
+    state = LinearState(
+        linear_id=linear_id,
+        kind=kind,
+        data=json.loads(data_json),
+        participants=participants,
+    )
+    transaction = node.propose([], [state], "Record")
+    result = json.dumps(
+        {"linear_id": linear_id, "kind": kind, "tx_id": transaction.tx_id},
+        sort_keys=True,
+        separators=(",", ":"),
+    ).encode("utf-8")
+    return result, transaction
+
+
+@dataclass
+class CordaEventTap:
+    """A closeable listener on the network's finality observers.
+
+    Closing flips a flag the observer closure checks *and* detaches the
+    closure from the network (via :attr:`detach`), so subscription churn
+    never accumulates dead observers.
+    """
+
+    network_id: str
+    contract: str
+    event_name: str
+    active: bool = True
+    delivered: int = field(default=0)
+    #: Set by the driver: deregisters this tap's observer closure.
+    detach: Callable[[], None] | None = None
+
+    def close(self) -> None:
+        self.active = False
+        if self.detach is not None:
+            self.detach()
+            self.detach = None
 
 
 class CordaDriver(NetworkDriver):
@@ -58,11 +144,48 @@ class CordaDriver(NetworkDriver):
         self._handlers: dict[tuple[str, str], QueryHandler] = {
             ("vault", "GetState"): default_vault_query,
         }
+        self._flows: dict[tuple[str, str], FlowHandler] = {
+            ("vault", "RecordState"): default_record_state_flow,
+        }
+        self._invoker_node: str | None = None
 
     def register_handler(
         self, contract: str, function: str, handler: QueryHandler
     ) -> None:
         self._handlers[(contract, function)] = handler
+
+    def register_flow(
+        self, contract: str, function: str, handler: FlowHandler
+    ) -> None:
+        """Expose ``contract/function`` as a remotely-invokable flow."""
+        self._flows[(contract, function)] = handler
+
+    # -- capability enablement ----------------------------------------------------
+
+    def enable_transactions(self, invoker_node: str | CordaNode) -> None:
+        """Grant the transaction capability.
+
+        ``invoker_node`` is the designated local node that initiates flows
+        on behalf of authenticated foreign requestors (a governance choice,
+        mirroring Fabric's invoker identity — the foreign client is not a
+        member of this network).
+        """
+        name = (
+            invoker_node.name
+            if isinstance(invoker_node, CordaNode)
+            else invoker_node
+        )
+        self._network.node(name)  # fail fast on an unknown node
+        self._invoker_node = name
+        self.supports_transactions = True
+
+    def enable_events(self) -> None:
+        """Grant the event capability (subscriptions tap network finality).
+
+        Needs no reader identity: the Corda port holds the exposure rules
+        in node-attached service state, not on-ledger chaincode.
+        """
+        self.supports_events = True
 
     def _attesting_identity(self, peer_id: str):
         if peer_id == self._network.notary.identity.id:
@@ -169,3 +292,217 @@ class CordaDriver(NetworkDriver):
         else:
             response.result_plain = result_envelope
         return response
+
+    # -- transaction capability ---------------------------------------------------
+
+    def execute_transaction(self, query: NetworkQuery) -> QueryResponse:
+        """Run one remote invocation through a registered flow (§5).
+
+        The flow executes on the designated invoker node after the same
+        exposure/authentication gate as queries; the attestations cover
+        the finalized outcome — transaction id plus notarization order —
+        and every attesting node (or the notary) confirms the transaction
+        is in its *own* history before signing, mirroring the Fabric
+        driver's per-replica commit check.
+        """
+        if not self.supports_transactions or self._invoker_node is None:
+            return self._error(
+                query,
+                f"corda network {self.network_id!r} has no transaction "
+                f"capability enabled",
+            )
+        address_msg = query.address
+        if address_msg is None:
+            return self._error(query, "transaction request has no address")
+        address = CrossNetworkAddress(
+            network=address_msg.network.removesuffix("#tx"),
+            ledger=address_msg.ledger,
+            contract=address_msg.contract,
+            function=address_msg.function,
+        )
+        flow = self._flows.get((address.contract, address.function))
+        if flow is None:
+            return self._error(
+                query,
+                f"corda network {self.network_id!r} serves no flow "
+                f"{address.contract}/{address.function}",
+            )
+        try:
+            policy = parse_verification_policy(query.policy.expression)
+        except (PolicyError, AttributeError) as exc:
+            return self._error(query, f"malformed verification policy: {exc}")
+
+        auth = query.auth
+        try:
+            creator = (
+                Certificate.from_bytes(auth.certificate)
+                if auth and auth.certificate
+                else None
+            )
+            self._port.check_access(
+                auth.requesting_network if auth else "",
+                auth.requesting_org if auth else "",
+                address.contract,
+                address.function,
+                creator,
+            )
+        except AccessDeniedError as exc:
+            return self._denied(query, str(exc))
+        except ReproError as exc:
+            return self._error(query, str(exc))
+
+        available = [
+            (node.org, node.identity.id) for node in self._network.nodes
+        ]
+        available.append(
+            (self._network.notary.identity.org, self._network.notary.identity.id)
+        )
+        selection = policy.select_attesters(available)
+        if selection is None:
+            return self._error(
+                query,
+                f"policy {policy.expression()} cannot be satisfied by corda "
+                f"network {self.network_id!r}",
+            )
+
+        invoker = self._network.node(self._invoker_node)
+        try:
+            result, transaction = flow(self._network, invoker, list(query.args))
+        except ReproError as exc:
+            return self._error(query, f"source transaction failed: {exc}")
+
+        client_key = None
+        if query.confidential:
+            client_key = PublicKey.from_bytes(auth.public_key)
+        outcome = canonical_json(
+            {
+                "result": result.hex(),
+                "tx_id": transaction.tx_id,
+                "block_number": self._network.sequence_of(transaction.tx_id),
+                "validation_code": "VALID",
+            }
+        )
+        envelope = seal_result(outcome, client_key, query.confidential)
+        attestations: list[Attestation] = []
+        for org, peer_id in selection:
+            identity = self._attesting_identity(peer_id)
+            if peer_id == self._network.notary.identity.id:
+                # The notary attests over the network-wide record it
+                # itself imposed the finality order on.
+                committed = transaction.tx_id in self._network.transactions
+            else:
+                committed = (
+                    transaction.tx_id
+                    in self._network.node(identity.name).transactions
+                )
+            if not committed:
+                return self._error(
+                    query,
+                    f"node {peer_id!r} has not finalized {transaction.tx_id!r}",
+                )
+            attestations.append(
+                self._scheme.generate_attestation(
+                    peer_identity=identity,
+                    network=self.network_id,
+                    address=address,
+                    args=list(query.args),
+                    nonce=query.nonce,
+                    result_envelope=envelope,
+                    client_key=client_key,
+                    confidential=query.confidential,
+                    timestamp=self._network.clock.now(),
+                )
+            )
+        response = QueryResponse(
+            version=PROTOCOL_VERSION,
+            nonce=query.nonce,
+            status=STATUS_OK,
+            attestations=attestations,
+        )
+        if query.confidential:
+            response.result_cipher = envelope
+        else:
+            response.result_plain = envelope
+        return response
+
+    # -- event capability ---------------------------------------------------------
+
+    def _check_event_exposure(
+        self, request: EventSubscribeRequest, contract: str, event_name: str
+    ) -> None:
+        """Gate a subscription on the port's ``event:<name>`` rule objects."""
+        auth = request.auth
+        creator = (
+            Certificate.from_bytes(auth.certificate)
+            if auth and auth.certificate
+            else None
+        )
+        denial: AccessDeniedError | None = None
+        for rule_object in (f"event:{event_name}", "event:*"):
+            try:
+                self._port.check_access(
+                    auth.requesting_network if auth else "",
+                    auth.requesting_org if auth else "",
+                    contract,
+                    rule_object,
+                    creator,
+                )
+                return
+            except AccessDeniedError as exc:
+                denial = exc
+        raise denial if denial is not None else AccessDeniedError(
+            "event subscription carries no authentication"
+        )
+
+    def open_event_tap(self, request, listener):
+        """Exposure-check and tap network finality (§2 primitive iii).
+
+        Every notarized transaction whose command matches the subscribed
+        event name is normalized into a wire-shape notification: the
+        payload is the first output state's linear id (the stable handle a
+        subscriber feeds into its follow-up proof-carrying ``GetState``
+        query), the block number its notarization order.
+        """
+        if not self.supports_events:
+            from repro.errors import UnsupportedCapabilityError
+
+            raise UnsupportedCapabilityError(
+                f"corda network {self.network_id!r} has no event capability "
+                f"enabled"
+            )
+        address = request.address
+        contract = address.contract if address else ""
+        event_name = request.event_name
+        self._check_event_exposure(request, contract, event_name)
+        tap = CordaEventTap(
+            network_id=self.network_id, contract=contract, event_name=event_name
+        )
+
+        def _observe(transaction: CordaTransaction) -> None:
+            if not tap.active:
+                return
+            if event_name not in ("*", transaction.command):
+                return
+            payload = (
+                transaction.outputs[0].linear_id.encode("utf-8")
+                if transaction.outputs
+                else b""
+            )
+            tap.delivered += 1
+            listener(
+                RemoteEventNotification(
+                    source_network=self.network_id,
+                    chaincode=contract,
+                    name=transaction.command,
+                    payload=payload,
+                    block_number=self._network.sequence_of(transaction.tx_id),
+                    tx_id=transaction.tx_id,
+                )
+            )
+
+        self._network.add_transaction_observer(_observe)
+        tap.detach = lambda: self._network.remove_transaction_observer(_observe)
+        return tap
+
+    def close_event_tap(self, tap) -> None:
+        tap.close()

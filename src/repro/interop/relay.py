@@ -39,7 +39,7 @@ answered with ``MSG_KIND_ASSET_ACK``, again over the same path.
 
 from __future__ import annotations
 
-from collections import deque
+from collections import OrderedDict, deque
 from typing import Callable, Sequence
 
 from repro.errors import (
@@ -49,11 +49,14 @@ from repro.errors import (
     ProtocolError,
     RelayError,
     RelayUnavailableError,
+    UnsupportedCapabilityError,
 )
 from repro.interop.discovery import DiscoveryService
 from repro.interop.drivers.base import NetworkDriver
 from repro.proto.messages import (
     ASSET_COMMAND_KINDS,
+    ERROR_KIND_CAPABILITY,
+    ERROR_KIND_HEADER,
     INVOCATION_TRANSACTION,
     MSG_KIND_ASSET_ACK,
     MSG_KIND_ASSET_CLAIM,
@@ -73,6 +76,7 @@ from repro.proto.messages import (
     MSG_KIND_TRANSACT_RESPONSE,
     PROTOCOL_VERSION,
     SIDE_EFFECTING_HEADER,
+    SIDE_EFFECTING_KINDS,
     STATUS_ACCESS_DENIED,
     STATUS_ERROR,
     STATUS_OK,
@@ -139,6 +143,9 @@ class RelayStats:
         self.events_dropped = 0  # source side: undeliverable notifications
         self.asset_commands_sent = 0  # destination side: HTLC verbs issued
         self.asset_commands_served = 0  # source side: HTLC verbs executed
+        #: Source side: side-effecting envelopes answered from the
+        #: idempotency cache instead of being re-executed.
+        self.duplicates_suppressed = 0
 
 
 class RelayContext:
@@ -251,6 +258,12 @@ class RelayService:
         #: Destination side: local delivery callbacks for subscriptions
         #: opened by this relay's applications, by subscription id.
         self._event_sinks: dict[str, Callable[[EventNotificationMsg], None]] = {}
+        #: Exactly-once execution for side-effecting envelopes: a duplicate
+        #: delivery of the same ``request_id`` (relay retry, adversarial
+        #: replay, network-level duplication) is answered with the original
+        #: reply instead of re-executing the command. Bounded FIFO.
+        self._idempotency: OrderedDict[str, bytes] = OrderedDict()
+        self.idempotency_capacity = 1024
         self.stats = RelayStats()
         self.available = True  # toggled by availability experiments
         if rate_limiter is not None:
@@ -319,14 +332,23 @@ class RelayService:
 
     # -- source side: serve incoming requests -----------------------------------
 
-    def _error_envelope(self, request_id: str, message: str, retryable: bool) -> bytes:
+    def _error_envelope(
+        self,
+        request_id: str,
+        message: str,
+        retryable: bool,
+        error_kind: str = "",
+    ) -> bytes:
+        headers = {"retryable": "true" if retryable else "false"}
+        if error_kind:
+            headers[ERROR_KIND_HEADER] = error_kind
         return RelayEnvelope(
             version=PROTOCOL_VERSION,
             kind=MSG_KIND_ERROR,
             request_id=request_id,
             source_network=self.network_id,
             payload=message.encode("utf-8"),
-            headers={"retryable": "true" if retryable else "false"},
+            headers=headers,
         ).encode()
 
     def handle_request(self, data: bytes) -> bytes:
@@ -342,14 +364,52 @@ class RelayService:
             raise RelayUnavailableError(f"relay {self.relay_id!r} is down")
         return self._handler_chain()(RelayContext(self, data))
 
+    @staticmethod
+    def _is_side_effecting(envelope: RelayEnvelope) -> bool:
+        """Does serving this envelope mutate source-network state?"""
+        if envelope.kind in SIDE_EFFECTING_KINDS:
+            return True
+        return (
+            envelope.kind == MSG_KIND_BATCH_REQUEST
+            and envelope.headers.get(SIDE_EFFECTING_HEADER) == "true"
+        )
+
     def _dispatch(self, ctx: RelayContext) -> bytes:
-        """Terminal chain handler: route the context's envelope by kind."""
+        """Terminal chain handler: dedup, then route the envelope by kind.
+
+        Side-effecting envelopes are executed *exactly once per
+        request_id*: the §4–§5 adversary model lets any party in the path
+        duplicate a message (and the failover loop legitimately re-sends
+        one after a lost reply), so a transact/asset/event command whose
+        ``request_id`` was already served is answered with the recorded
+        reply instead of committing again.
+
+        Scope: the record is per-relay. Redundant paths *to one relay*
+        (or replays at it) are fully deduplicated; independent relay
+        instances fronting the same network do not share the record, so a
+        crash-after-execute followed by failover to a *different* relay
+        can still re-commit — deploy side-effecting traffic behind one
+        logical relay, or give replicas shared storage for this map.
+        """
         envelope = ctx.envelope  # one decode, shared with the interceptors
         if envelope is None:
             self.stats.requests_failed += 1
             return self._error_envelope(
                 "", f"undecodable envelope: {ctx.decode_error}", False
             )
+        if envelope.request_id and self._is_side_effecting(envelope):
+            replay = self._idempotency.get(envelope.request_id)
+            if replay is not None:
+                self.stats.duplicates_suppressed += 1
+                return replay
+            reply = self._route(envelope)
+            self._idempotency[envelope.request_id] = reply
+            while len(self._idempotency) > self.idempotency_capacity:
+                self._idempotency.popitem(last=False)
+            return reply
+        return self._route(envelope)
+
+    def _route(self, envelope: RelayEnvelope) -> bytes:
         if envelope.kind == MSG_KIND_QUERY_REQUEST:
             return self._serve_query(envelope)
         if envelope.kind == MSG_KIND_BATCH_REQUEST:
@@ -489,6 +549,7 @@ class RelayService:
                 f"relay {self.relay_id!r} has no transaction-capable driver "
                 f"for network {target!r}",
                 False,
+                error_kind=ERROR_KIND_CAPABILITY,
             )
         response = driver._execute_transaction_guarded(query)
         self.stats.requests_served += 1
@@ -527,6 +588,7 @@ class RelayService:
                 f"relay {self.relay_id!r} has no asset-capable driver for "
                 f"network {target!r}",
                 False,
+                error_kind=ERROR_KIND_CAPABILITY,
             )
         verbs = {
             MSG_KIND_ASSET_LOCK: driver.lock_asset,
@@ -614,6 +676,7 @@ class RelayService:
                 f"relay {self.relay_id!r} has no event-capable driver for "
                 f"network {target!r}",
                 False,
+                error_kind=ERROR_KIND_CAPABILITY,
             )
         subscription_id = request.subscription_id or random_id("sub-")
         if subscription_id in self._served_subscriptions:
@@ -985,6 +1048,13 @@ class RelayService:
                 if reply.headers.get("retryable") == "true":
                     failures.append(message)
                     continue
+                if reply.headers.get(ERROR_KIND_HEADER) == ERROR_KIND_CAPABILITY:
+                    # Fail-closed capability refusal: the network has no
+                    # driver for this verb, so no redundant relay can help.
+                    raise UnsupportedCapabilityError(
+                        f"network {target!r} does not support the requested "
+                        f"verb: {message}"
+                    )
                 raise RelayError(
                     f"relay for network {target!r} rejected the request: {message}"
                 )

@@ -80,6 +80,14 @@ SIDE_EFFECTING_KINDS = frozenset(
 #: payload to know the request is unsafe to serve from cache.
 SIDE_EFFECTING_HEADER = "side-effecting"
 
+#: Error-envelope header classifying *why* a request was refused, so the
+#: requesting relay can raise a typed error without parsing the message
+#: text. Currently one class: :data:`ERROR_KIND_CAPABILITY` marks a
+#: fail-closed capability refusal (the target network has no driver that
+#: supports the requested verb) — final, never worth failing over.
+ERROR_KIND_HEADER = "error-kind"
+ERROR_KIND_CAPABILITY = "capability"
+
 # NetworkQuery.invocation values: how the source network must run the
 # addressed function. The empty string (the wire default) means a
 # read-only evaluation; "transaction" routes through the source network's

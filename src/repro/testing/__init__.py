@@ -1,0 +1,116 @@
+"""Deterministic adversarial testing: fault injection + driver conformance.
+
+The §5 security evaluation needs two things the production packages do
+not provide: *adversaries* (malicious relays, byzantine peers — in
+:mod:`repro.testing.adversary`) and *reproducible chaos* (seeded fault
+schedules over the whole envelope protocol — in
+:mod:`repro.testing.faults`), plus a way to assert that every network
+driver upholds the protocol invariants under both
+(:mod:`repro.testing.conformance`).
+
+Everything here is deterministic from one integer seed; a failing
+scenario prints that seed so the exact adversarial run replays anywhere.
+"""
+
+from repro.testing.adversary import (
+    TAMPER_BOTH,
+    TAMPER_PROOF,
+    TAMPER_RESULT,
+    ByzantinePeerProxy,
+    CapturedExchange,
+    DroppingRelay,
+    EavesdroppingRelay,
+    FloodReport,
+    TamperingRelay,
+    corrupt_network_peer,
+    flip_bytes,
+    flood_relay,
+    restore_network_peer,
+)
+from repro.testing.conformance import (
+    ALL_VERBS,
+    OUTCOME_DEGRADED,
+    OUTCOME_FAIL_CLOSED,
+    OUTCOME_SERVED,
+    VERB_ASSETS,
+    VERB_BATCH,
+    VERB_QUERY,
+    VERB_SUBSCRIBE,
+    VERB_TRANSACT,
+    ConformanceError,
+    ConformanceReport,
+    ConformanceTarget,
+    DriverConformanceSuite,
+    ScenarioOutcome,
+    chaos_topology,
+    default_fault_plans,
+)
+from repro.testing.faults import (
+    ALL_FAULT_KINDS,
+    FAULT_CRASH_RESTART,
+    FAULT_DELAY,
+    FAULT_DROP,
+    FAULT_DUPLICATE,
+    FAULT_PARTITION,
+    FAULT_REORDER,
+    FAULT_TAMPER_PAYLOAD,
+    FAULT_TAMPER_PROOF,
+    TAMPER_FAULT_KINDS,
+    TRANSPORT_FAULT_KINDS,
+    ChaosEndpoint,
+    FaultPlan,
+    FaultSpec,
+    InjectionRecord,
+    flip_byte,
+)
+
+__all__ = [
+    # faults
+    "FaultPlan",
+    "FaultSpec",
+    "ChaosEndpoint",
+    "InjectionRecord",
+    "flip_byte",
+    "ALL_FAULT_KINDS",
+    "TRANSPORT_FAULT_KINDS",
+    "TAMPER_FAULT_KINDS",
+    "FAULT_DROP",
+    "FAULT_DELAY",
+    "FAULT_DUPLICATE",
+    "FAULT_REORDER",
+    "FAULT_TAMPER_PAYLOAD",
+    "FAULT_TAMPER_PROOF",
+    "FAULT_PARTITION",
+    "FAULT_CRASH_RESTART",
+    # conformance
+    "ConformanceTarget",
+    "DriverConformanceSuite",
+    "ConformanceReport",
+    "ConformanceError",
+    "ScenarioOutcome",
+    "chaos_topology",
+    "default_fault_plans",
+    "ALL_VERBS",
+    "VERB_QUERY",
+    "VERB_BATCH",
+    "VERB_TRANSACT",
+    "VERB_SUBSCRIBE",
+    "VERB_ASSETS",
+    "OUTCOME_SERVED",
+    "OUTCOME_DEGRADED",
+    "OUTCOME_FAIL_CLOSED",
+    # adversary (legacy wrappers, canonical home)
+    "TamperingRelay",
+    "DroppingRelay",
+    "EavesdroppingRelay",
+    "CapturedExchange",
+    "ByzantinePeerProxy",
+    "corrupt_network_peer",
+    "restore_network_peer",
+    "FloodReport",
+    "flood_relay",
+    "flip_bytes",
+    "TAMPER_RESULT",
+    "TAMPER_PROOF",
+    "TAMPER_BOTH",
+]

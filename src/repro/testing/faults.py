@@ -1,0 +1,383 @@
+"""Deterministic fault injection at the relay-envelope layer.
+
+The protocol's central claim is that the relay is *untrusted*: any party
+in the communication path may drop, delay, duplicate, reorder, or tamper
+with messages, and the protocol still preserves integrity — only
+attestation proofs are believed — while redundant relays preserve
+availability (§4–§5). This module turns that adversary model into a
+*schedule*: a :class:`FaultPlan` is a seeded, deterministic description
+of which faults hit which requests, and a :class:`ChaosEndpoint` is a
+relay-endpoint wrapper that executes the plan.
+
+Everything derives from one integer seed: the same seed, the same plan,
+and the same request sequence produce byte-identical injections, so any
+failing adversarial scenario is reproducible by quoting its seed. The
+query-only attack wrappers in :mod:`repro.testing.adversary` are the
+hand-rolled ancestors of this machinery; the chaos endpoint generalizes
+them across every envelope kind (queries, batches, transactions, event
+subscribe/publish, asset commands).
+
+Fault vocabulary:
+
+====================  =========================================================
+``drop``              the request is censored: never forwarded, the caller
+                      sees a transport failure
+``delay``             the request is served after a simulated latency (the
+                      shared clock advances when it supports it)
+``duplicate``         the request is delivered to the inner endpoint twice
+                      (network-level duplication of a message in flight)
+``reorder``           the reply is delivered mis-correlated — the caller
+                      receives a response belonging to an earlier request
+                      (out-of-order delivery on the reply path)
+``tamper-payload``    one byte of the payload is flipped (reply payload by
+                      default; request payload with ``direction="request"``,
+                      which for event publishes corrupts the notification
+                      *content* while keeping the framing valid)
+``tamper-proof``      the attestation proof inside a query/transact reply is
+                      corrupted (signature + sealed metadata), the §5
+                      integrity experiment
+``partition``         the endpoint is unreachable for ``duration``
+                      consecutive requests, then heals
+``crash-restart``     the endpoint executes the request (side effects land!)
+                      but crashes before replying, then restarts healthy —
+                      the classic duplicated-side-effect hazard
+====================  =========================================================
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import RelayUnavailableError
+from repro.proto.messages import (
+    MSG_KIND_EVENT_PUBLISH,
+    MSG_KIND_QUERY_RESPONSE,
+    MSG_KIND_TRANSACT_RESPONSE,
+    EventNotificationMsg,
+    QueryResponse,
+    RelayEnvelope,
+)
+
+FAULT_DROP = "drop"
+FAULT_DELAY = "delay"
+FAULT_DUPLICATE = "duplicate"
+FAULT_REORDER = "reorder"
+FAULT_TAMPER_PAYLOAD = "tamper-payload"
+FAULT_TAMPER_PROOF = "tamper-proof"
+FAULT_PARTITION = "partition"
+FAULT_CRASH_RESTART = "crash-restart"
+
+#: Every fault kind the chaos endpoint can inject, in canonical order.
+ALL_FAULT_KINDS = (
+    FAULT_DROP,
+    FAULT_DELAY,
+    FAULT_DUPLICATE,
+    FAULT_REORDER,
+    FAULT_TAMPER_PAYLOAD,
+    FAULT_TAMPER_PROOF,
+    FAULT_PARTITION,
+    FAULT_CRASH_RESTART,
+)
+
+#: Fault kinds that surface as transport failures (never as wrong data).
+TRANSPORT_FAULT_KINDS = frozenset(
+    {FAULT_DROP, FAULT_PARTITION, FAULT_CRASH_RESTART, FAULT_REORDER}
+)
+
+#: Fault kinds that mutate message content (the integrity experiments).
+TAMPER_FAULT_KINDS = frozenset({FAULT_TAMPER_PAYLOAD, FAULT_TAMPER_PROOF})
+
+
+def flip_byte(data: bytes, rng: random.Random) -> bytes:
+    """Corrupt one byte of ``data`` (keeping length, so framing survives)."""
+    if not data:
+        return data
+    position = rng.randrange(len(data))
+    corrupted = bytearray(data)
+    corrupted[position] ^= 0x41
+    return bytes(corrupted)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One rule of a fault plan: *what* to inject and *when* it applies.
+
+    A request matches the spec when its zero-based index falls in
+    ``[first, last]``, its envelope kind is in ``only_kinds`` (``None`` =
+    any), fewer than ``max_injections`` have fired, and a seeded coin at
+    ``rate`` comes up heads. ``duration`` sizes partition outages;
+    ``delay_seconds`` sizes delays; ``direction`` picks which leg a
+    tamper fault corrupts (``"reply"`` or ``"request"``).
+    """
+
+    kind: str
+    rate: float = 1.0
+    first: int = 0
+    last: int | None = None
+    max_injections: int | None = None
+    only_kinds: frozenset[int] | None = None
+    duration: int = 2
+    delay_seconds: float = 0.05
+    direction: str = "reply"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ALL_FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.direction not in ("reply", "request"):
+            raise ValueError(f"unknown tamper direction {self.direction!r}")
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate {self.rate} is not a probability")
+        if self.duration < 1:
+            raise ValueError("duration must be at least one request")
+
+
+class FaultPlan:
+    """A seeded, deterministic injection schedule.
+
+    One integer ``seed`` drives every random decision (rate coins, byte
+    positions, attestation victim selection), so replaying the same plan
+    against the same request sequence reproduces the run exactly.
+    :meth:`fork` hands out an independent same-seed copy — use one fork
+    per chaos endpoint so parallel endpoints each stay deterministic.
+    """
+
+    def __init__(
+        self, seed: int, specs: Sequence[FaultSpec], name: str = ""
+    ) -> None:
+        self.seed = int(seed)
+        self.specs = tuple(specs)
+        self.name = name or "+".join(spec.kind for spec in self.specs)
+        self.rng = random.Random(self.seed)
+        self._injections: dict[int, int] = {}
+
+    @classmethod
+    def single(cls, kind: str, seed: int, **spec_kwargs) -> "FaultPlan":
+        """A plan with one rule, named after its fault kind."""
+        return cls(seed, [FaultSpec(kind=kind, **spec_kwargs)], name=kind)
+
+    def fork(self) -> "FaultPlan":
+        """A fresh, independently-consumable copy with the same schedule."""
+        return FaultPlan(self.seed, self.specs, self.name)
+
+    def describe(self) -> str:
+        return f"plan {self.name!r} (seed={self.seed})"
+
+    def injections_of(self, spec: FaultSpec) -> int:
+        try:
+            return self._injections.get(self.specs.index(spec), 0)
+        except ValueError:
+            return 0
+
+    def decide(self, index: int, envelope_kind: int) -> FaultSpec | None:
+        """The fault (if any) to inject on request ``index``.
+
+        First matching rule wins; a rule's match consumes one of its
+        ``max_injections``. Deterministic given the same call sequence.
+        """
+        for position, spec in enumerate(self.specs):
+            if index < spec.first:
+                continue
+            if spec.last is not None and index > spec.last:
+                continue
+            if spec.only_kinds is not None and envelope_kind not in spec.only_kinds:
+                continue
+            if (
+                spec.max_injections is not None
+                and self._injections.get(position, 0) >= spec.max_injections
+            ):
+                continue
+            if spec.rate < 1.0 and self.rng.random() >= spec.rate:
+                continue
+            self._injections[position] = self._injections.get(position, 0) + 1
+            return spec
+        return None
+
+
+@dataclass(frozen=True)
+class InjectionRecord:
+    """One executed injection, for assertions and failure forensics."""
+
+    index: int
+    fault: str
+    envelope_kind: int
+    request_id: str
+
+
+class ChaosEndpoint:
+    """A relay endpoint wrapper executing a :class:`FaultPlan`.
+
+    Sits in the communication path exactly like the paper's malicious
+    relay: it sees serialized envelopes only, and everything it can do —
+    drop, delay, duplicate, reorder, corrupt — is below the protocol's
+    protection boundary, so a conforming deployment must survive it.
+    ``injected`` counts per-fault injections and ``log`` records each one
+    with the request index and peeked ``request_id``.
+    """
+
+    def __init__(self, inner, plan: FaultPlan, clock=None) -> None:
+        self._inner = inner
+        self.plan = plan
+        self._clock = clock
+        self._index = 0
+        self._down_for = 0
+        self._last_request_id = ""
+        self.requests_seen = 0
+        self.injected: dict[str, int] = {}
+        self.log: list[InjectionRecord] = []
+
+    # -- bookkeeping --------------------------------------------------------------
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.injected.values())
+
+    def _record(self, index: int, fault: str, kind: int, request_id: str) -> None:
+        self.injected[fault] = self.injected.get(fault, 0) + 1
+        self.log.append(
+            InjectionRecord(
+                index=index, fault=fault, envelope_kind=kind, request_id=request_id
+            )
+        )
+
+    # -- the endpoint surface -----------------------------------------------------
+
+    def handle_request(self, data: bytes) -> bytes:
+        index = self._index
+        self._index += 1
+        self.requests_seen += 1
+        try:
+            envelope = RelayEnvelope.decode(data)
+        except Exception:
+            envelope = None
+        kind = envelope.kind if envelope is not None else 0
+        request_id = envelope.request_id if envelope is not None else ""
+        previous_request_id = self._last_request_id
+        self._last_request_id = request_id
+
+        if self._down_for > 0:
+            # An open partition window swallows everything, plan or not.
+            self._down_for -= 1
+            self._record(index, FAULT_PARTITION, kind, request_id)
+            raise RelayUnavailableError(
+                f"chaos endpoint partitioned (request {index}, "
+                f"{self.plan.describe()})"
+            )
+
+        spec = self.plan.decide(index, kind)
+        if spec is None:
+            return self._inner.handle_request(data)
+        self._record(index, spec.kind, kind, request_id)
+
+        if spec.kind == FAULT_DROP:
+            raise RelayUnavailableError(
+                f"chaos endpoint dropped request {index} ({self.plan.describe()})"
+            )
+        if spec.kind == FAULT_PARTITION:
+            self._down_for = spec.duration - 1
+            raise RelayUnavailableError(
+                f"chaos endpoint partitioned (request {index}, "
+                f"{self.plan.describe()})"
+            )
+        if spec.kind == FAULT_DELAY:
+            if self._clock is not None and hasattr(self._clock, "advance"):
+                self._clock.advance(spec.delay_seconds)
+            return self._inner.handle_request(data)
+        if spec.kind == FAULT_DUPLICATE:
+            self._inner.handle_request(data)
+            return self._inner.handle_request(data)
+        if spec.kind == FAULT_CRASH_RESTART:
+            # The request executes — side effects land on the source
+            # network — but the reply is lost with the crash.
+            self._inner.handle_request(data)
+            raise RelayUnavailableError(
+                f"chaos endpoint crashed before replying (request {index}, "
+                f"{self.plan.describe()})"
+            )
+        if spec.kind == FAULT_REORDER:
+            reply = self._inner.handle_request(data)
+            return self._miscorrelate(reply, previous_request_id, index)
+        if spec.kind == FAULT_TAMPER_PAYLOAD:
+            if spec.direction == "request":
+                return self._inner.handle_request(self._tamper_request(data))
+            return self._tamper_payload(self._inner.handle_request(data))
+        if spec.kind == FAULT_TAMPER_PROOF:
+            return self._tamper_proof(self._inner.handle_request(data))
+        raise AssertionError(f"unhandled fault kind {spec.kind!r}")
+
+    # -- fault mechanics ----------------------------------------------------------
+
+    def _miscorrelate(
+        self, reply: bytes, previous_request_id: str, index: int
+    ) -> bytes:
+        """Deliver the reply as if it answered an *earlier* request."""
+        try:
+            envelope = RelayEnvelope.decode(reply)
+        except Exception:
+            return reply
+        envelope.request_id = previous_request_id or f"chaos-stale-{index}"
+        return envelope.encode()
+
+    def _tamper_payload(self, reply: bytes) -> bytes:
+        try:
+            envelope = RelayEnvelope.decode(reply)
+        except Exception:
+            return flip_byte(reply, self.plan.rng)
+        envelope.payload = flip_byte(envelope.payload, self.plan.rng)
+        return envelope.encode()
+
+    def _tamper_request(self, data: bytes) -> bytes:
+        """Corrupt a request in flight, keeping the framing decodable.
+
+        For event publishes the notification *content* is flipped (a
+        forged hint with valid framing — the interesting integrity case:
+        it reaches the subscriber and must die in verification); anything
+        else gets a raw payload flip.
+        """
+        try:
+            envelope = RelayEnvelope.decode(data)
+        except Exception:
+            return flip_byte(data, self.plan.rng)
+        if envelope.kind == MSG_KIND_EVENT_PUBLISH:
+            try:
+                message = EventNotificationMsg.decode(envelope.payload)
+                message.payload = flip_byte(message.payload, self.plan.rng)
+                envelope.payload = message.encode()
+                return envelope.encode()
+            except Exception:
+                pass
+        envelope.payload = flip_byte(envelope.payload, self.plan.rng)
+        return envelope.encode()
+
+    def _tamper_proof(self, reply: bytes) -> bytes:
+        """Corrupt the attestation proof inside a query/transact reply.
+
+        Generalizes :class:`repro.testing.adversary.TamperingRelay` to the
+        transaction kind; replies of other kinds pass through untouched
+        (they carry no attestations to corrupt).
+        """
+        rng = self.plan.rng
+        try:
+            envelope = RelayEnvelope.decode(reply)
+        except Exception:
+            return reply
+        if envelope.kind not in (MSG_KIND_QUERY_RESPONSE, MSG_KIND_TRANSACT_RESPONSE):
+            return reply
+        try:
+            response = QueryResponse.decode(envelope.payload)
+        except Exception:
+            return reply
+        if response.attestations:
+            victim = response.attestations[rng.randrange(len(response.attestations))]
+            if victim.metadata_cipher:
+                victim.metadata_cipher = flip_byte(victim.metadata_cipher, rng)
+            if victim.metadata_plain:
+                victim.metadata_plain = flip_byte(victim.metadata_plain, rng)
+            victim.signature = flip_byte(victim.signature, rng)
+        elif response.result_cipher:
+            response.result_cipher = flip_byte(response.result_cipher, rng)
+        elif response.result_plain:
+            response.result_plain = flip_byte(response.result_plain, rng)
+        envelope.payload = response.encode()
+        return envelope.encode()

@@ -238,10 +238,12 @@ class TestResponseCacheInterceptor:
         assert len(cache) == 0
         assert cache.misses == 2
 
-    def test_repeated_transact_envelope_is_re_executed(self):
-        """Regression: a replayed transaction must re-run, never be served
-        from cache — a cached reply would claim a commit that never
-        re-happened."""
+    def test_repeated_transact_envelope_bypasses_cache_and_dedups(self):
+        """Regression (two layers): a transaction envelope must never be
+        cached — a cached reply would claim a commit that never
+        re-happened — while a byte-identical *replay* of the same
+        envelope is absorbed by the relay's request-id idempotency layer:
+        answered with the recorded reply, executed exactly once."""
         from repro.proto.messages import (
             INVOCATION_TRANSACTION,
             MSG_KIND_TRANSACT_REQUEST,
@@ -268,20 +270,32 @@ class TestResponseCacheInterceptor:
             policy=VerificationPolicyMsg(expression="org:x"),
             invocation=INVOCATION_TRANSACTION,
         )
-        request = RelayEnvelope(
-            version=1,
-            kind=MSG_KIND_TRANSACT_REQUEST,
-            request_id="req-txn-1",
-            source_network="swt",
-            destination_network="stl",
-            payload=query.encode(),
-        ).encode()
+
+        def envelope_bytes(request_id: str) -> bytes:
+            return RelayEnvelope(
+                version=1,
+                kind=MSG_KIND_TRANSACT_REQUEST,
+                request_id=request_id,
+                source_network="swt",
+                destination_network="stl",
+                payload=query.encode(),
+            ).encode()
+
+        request = envelope_bytes("req-txn-1")
         first = relay.handle_request(request)
         second = relay.handle_request(request)  # identical raw bytes
         assert RelayEnvelope.decode(first).kind == MSG_KIND_TRANSACT_RESPONSE
-        assert driver.executed == 2  # re-executed, not replayed from cache
+        assert second == first  # the recorded reply, not a re-commit
+        assert driver.executed == 1  # exactly-once execution
+        assert relay.stats.duplicates_suppressed == 1
+        # A *fresh* transaction (new request id) is a new commit — neither
+        # the cache nor the idempotency layer may absorb it.
+        relay.handle_request(envelope_bytes("req-txn-2"))
+        assert driver.executed == 2
+        # And the cache never stored or served any of it.
         assert len(cache) == 0
-        assert (cache.hits, cache.misses, cache.bypassed) == (0, 0, 2)
+        assert (cache.hits, cache.misses) == (0, 0)
+        assert cache.bypassed == 3
 
     def test_side_effecting_header_bypasses_cache(self):
         """A batch envelope carrying transaction members is marked by the

@@ -1,0 +1,168 @@
+"""Asset exchange under an adversarial relay (§4–§5 extended to value).
+
+Two attack families against the HTLC choreography:
+
+- a malicious relay tampering the *counter-lock proof*: the initiator
+  must abort before revealing the preimage, and both escrows unwind —
+  the trust argument ("only attestation proofs are believed") is what
+  keeps a lying relay from inducing a one-sided transfer;
+- a relay losing the *claim ack* (crash after execution, or dropping the
+  request outright): the coordinator recovers from ledger truth without
+  ever double-claiming.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.assets import AssetExchangeCoordinator, AssetSpec
+from repro.assets.coordinator import ExchangeState
+from repro.errors import ReproError
+from repro.proto.messages import (
+    MSG_KIND_ASSET_CLAIM,
+    MSG_KIND_QUERY_REQUEST,
+)
+from repro.testing import (
+    FAULT_CRASH_RESTART,
+    FAULT_DROP,
+    FAULT_TAMPER_PROOF,
+    FaultPlan,
+    FaultSpec,
+    chaos_topology,
+)
+
+# Mirrors the exchange_scenario fixture wiring (tests/assets/conftest.py).
+OFFER_ADDRESS = "fabnet/trade/assetscc"
+ASK_ADDRESS = "quornet/state/asset-vault"
+OFFER_POLICY = "AND(org:traders-org, org:audit-org)"
+ASK_POLICY = "AND(org:op-org-1, org:op-org-2)"
+
+
+def make_coordinator(scenario) -> AssetExchangeCoordinator:
+    return AssetExchangeCoordinator(
+        initiator=scenario.alice_client,
+        responder=scenario.bob_client,
+        offer=AssetSpec.parse(OFFER_ADDRESS, "GOLD-1"),
+        ask=AssetSpec.parse(ASK_ADDRESS, "OIL-9"),
+        offer_policy=OFFER_POLICY,
+        ask_policy=ASK_POLICY,
+    )
+
+
+def quorum_claims(scenario) -> int:
+    return sum(
+        1
+        for block in scenario.quorum.blocks
+        for tx in block.transactions
+        if tx.function == "ClaimAsset"
+    )
+
+
+class TestTamperedCounterLockProof:
+    def test_initiator_aborts_before_claim_and_both_vaults_refund(self, exchange_scenario):
+        """A relay forging the counter-lock confirmation cannot make the
+        initiator reveal: verification fails, nothing is ever claimed,
+        and after the timelocks both assets return to their owners."""
+        scenario = exchange_scenario
+        coordinator = make_coordinator(scenario)
+        plan = FaultPlan(
+            31337,
+            [
+                FaultSpec(
+                    kind=FAULT_TAMPER_PROOF,
+                    only_kinds=frozenset({MSG_KIND_QUERY_REQUEST}),
+                )
+            ],
+            name="tamper-counter-lock-proof",
+        )
+        with chaos_topology(
+            scenario.registry,
+            ["quornet"],
+            plan,
+            clock=scenario.clock,
+            redundant=False,
+        ) as wrappers:
+            coordinator.lock_offer()
+            coordinator.verify_offer()  # offer proof comes from fabnet: clean
+            coordinator.lock_counter()
+            with pytest.raises(ReproError):
+                coordinator.verify_counter()  # tampered proof must not pass
+            assert wrappers["quornet"].injected[FAULT_TAMPER_PROOF] >= 1
+            assert coordinator.state is ExchangeState.FAILED
+            # The preimage never left the initiator: nothing is claimable.
+            assert coordinator.result.preimage is None
+            assert coordinator.result.counter_claim is None
+            assert coordinator.result.offer_claim is None
+
+            # Both escrows unwind once their timelocks expire.
+            scenario.clock.advance(601.0)
+            refunds = coordinator.refund()
+        assert len(refunds) == 2
+        assert coordinator.state is ExchangeState.REFUNDED
+        assert scenario.gold_owner() == "alice@fabnet"
+        assert scenario.oil_owner() == "bob@quornet"
+        assert quorum_claims(scenario) == 0
+
+
+class TestLostClaimAck:
+    def test_crash_after_claim_recovers_without_double_claim(self, exchange_scenario):
+        """The relay executes the claim but crashes before replying: the
+        coordinator reads the lock back, sees its own preimage revealed,
+        and completes — exactly one claim on the ledger."""
+        scenario = exchange_scenario
+        coordinator = make_coordinator(scenario)
+        plan = FaultPlan(
+            2024,
+            [
+                FaultSpec(
+                    kind=FAULT_CRASH_RESTART,
+                    only_kinds=frozenset({MSG_KIND_ASSET_CLAIM}),
+                    max_injections=1,
+                )
+            ],
+            name="crash-on-claim",
+        )
+        with chaos_topology(
+            scenario.registry,
+            ["quornet"],
+            plan,
+            clock=scenario.clock,
+            redundant=False,
+        ) as wrappers:
+            result = coordinator.run()
+            assert wrappers["quornet"].injected[FAULT_CRASH_RESTART] == 1
+        assert result.completed
+        assert result.counter_claim is not None
+        assert scenario.gold_owner() == "bob@quornet"
+        assert scenario.oil_owner() == "alice@fabnet"
+        assert quorum_claims(scenario) == 1  # recovered, never re-claimed
+
+    def test_dropped_claim_request_is_reissued_exactly_once(self, exchange_scenario):
+        """The claim request itself is censored: the readback shows the
+        escrow still locked, so re-issuing is safe — and happens once."""
+        scenario = exchange_scenario
+        coordinator = make_coordinator(scenario)
+        plan = FaultPlan(
+            555,
+            [
+                FaultSpec(
+                    kind=FAULT_DROP,
+                    only_kinds=frozenset({MSG_KIND_ASSET_CLAIM}),
+                    max_injections=1,
+                )
+            ],
+            name="drop-claim-request",
+        )
+        with chaos_topology(
+            scenario.registry,
+            ["quornet"],
+            plan,
+            clock=scenario.clock,
+            redundant=False,
+        ) as wrappers:
+            result = coordinator.run()
+            assert wrappers["quornet"].injected[FAULT_DROP] == 1
+        assert result.completed
+        assert scenario.gold_owner() == "bob@quornet"
+        assert scenario.oil_owner() == "alice@fabnet"
+        assert quorum_claims(scenario) == 1

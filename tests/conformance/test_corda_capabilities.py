@@ -1,0 +1,196 @@
+"""Corda capability parity (and Quorum's honest fail-closed surface).
+
+The matrix only works if "works on N networks" means every verb was
+really exercised on every network — so the Corda driver's new transact
+and subscribe capabilities get direct end-to-end coverage here, plus the
+fail-closed behavior on both platforms' unsupported verbs.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api.gateway import InteropGateway
+from repro.api.streams import EventVerifier
+from repro.errors import (
+    AccessDeniedError,
+    ProofError,
+    UnsupportedCapabilityError,
+)
+from repro.interop.transactions import RemoteTransactionClient
+from repro.proto.messages import MSG_KIND_ASSET_LOCK, MSG_KIND_ASSET_STATUS
+
+CORDA_POLICY = "AND(org:nodeA, org:nodeB)"
+
+
+class TestCordaTransactions:
+    def test_transact_attests_finalized_outcome(self, corda_target):
+        target = corda_target
+        tx_client = RemoteTransactionClient(target.client)
+        result = tx_client.remote_transact(
+            target.transact_address,
+            target.transact_args("CORDA-TX-1"),
+            policy=target.policy,
+        )
+        assert result.attesting_orgs == ["nodeA", "nodeB"]
+        assert result.tx_id.startswith("corda-tx-")
+        assert json.loads(result.result)["linear_id"] == "CORDA-TX-1"
+        # The state is really in both vaults (finality, not a claim).
+        driver = target.relay.driver_for(target.network_id)
+        for node_name in ("nodeA", "nodeB"):
+            node = driver._network.node(node_name)
+            _, state = node.lookup("CORDA-TX-1")
+            assert state.kind == "conformance"
+        assert target.commit_count("CORDA-TX-1") == 1
+
+    def test_notary_can_attest_transactions(self, corda_target):
+        """§5: Corda verification policies may include the notary."""
+        target = corda_target
+        tx_client = RemoteTransactionClient(target.client)
+        result = tx_client.remote_transact(
+            target.transact_address,
+            target.transact_args("CORDA-TX-NOTARY"),
+            policy="AND(org:nodeA, org:notary-org)",
+        )
+        assert result.attesting_orgs == ["nodeA", "notary-org"]
+
+    def test_unexposed_flow_denied(self, corda_target):
+        target = corda_target
+        driver = target.relay.driver_for(target.network_id)
+        driver.register_flow(
+            "vault", "SecretFlow", lambda network, node, args: (b"", None)
+        )
+        with pytest.raises(AccessDeniedError):
+            RemoteTransactionClient(target.client).remote_transact(
+                f"{target.network_id}/vault/vault/SecretFlow",
+                [],
+                policy=target.policy,
+            )
+
+    def test_unknown_flow_is_typed_error(self, corda_target):
+        from repro.errors import RelayError
+
+        target = corda_target
+        with pytest.raises(RelayError, match="serves no flow"):
+            RemoteTransactionClient(target.client).remote_transact(
+                f"{target.network_id}/vault/vault/NoSuchFlow",
+                [],
+                policy=target.policy,
+            )
+
+
+class TestCordaEvents:
+    def test_subscription_delivers_and_verifies(self, corda_target):
+        target = corda_target
+        gateway = InteropGateway.from_client(target.client)
+        stream = gateway.subscribe(
+            target.event_address, target.event_name, verifier=target.event_verifier()
+        )
+        try:
+            payload = target.trigger_event("CORDA-EV-1")
+            assert stream.pending_count == 1
+            event = stream.take()
+            assert event is not None
+            assert event.notification.payload == payload
+            assert event.notification.tx_id.startswith("corda-tx-")
+            # Trusted data comes from the follow-up proof-carrying query.
+            assert len(event.verification.proof) == 2
+            assert json.loads(event.data)["data"]["via"] == "event"
+        finally:
+            stream.close()
+
+    def test_closed_tap_stops_delivery_and_detaches(self, corda_target):
+        target = corda_target
+        network = target.relay.driver_for(target.network_id)._network
+        observers_before = len(network._observers)
+        gateway = InteropGateway.from_client(target.client)
+        stream = gateway.subscribe(
+            target.event_address, target.event_name, verifier=target.event_verifier()
+        )
+        assert len(network._observers) == observers_before + 1
+        stream.close()
+        target.trigger_event("CORDA-EV-CLOSED")
+        assert stream.pending_count == 0
+        # Subscription churn leaves no dead observer behind.
+        assert len(network._observers) == observers_before
+
+    def test_unexposed_event_denied(self, corda_target):
+        target = corda_target
+        gateway = InteropGateway.from_client(target.client)
+        with pytest.raises(AccessDeniedError):
+            gateway.subscribe(target.event_address, "UnexposedCommand")
+
+
+class TestFailClosedSurfaces:
+    def test_corda_assets_fail_closed_via_relay(self, corda_target):
+        target = corda_target
+        with pytest.raises(UnsupportedCapabilityError):
+            target.client.relay.remote_asset(
+                MSG_KIND_ASSET_LOCK,
+                target.asset_command(
+                    target.client,
+                    "GHOST-ASSET",
+                    recipient="nobody@nowhere",
+                    hashlock=b"\x00" * 32,
+                    timeout=1e12,
+                ),
+            )
+
+    def test_corda_assets_fail_closed_even_for_reads(self, corda_target):
+        target = corda_target
+        with pytest.raises(UnsupportedCapabilityError):
+            target.client.relay.remote_asset(
+                MSG_KIND_ASSET_STATUS,
+                target.asset_command(target.client, "GHOST-ASSET"),
+            )
+
+    def test_corda_driver_fails_closed_locally(self, corda_target):
+        driver = corda_target.relay.driver_for(corda_target.network_id)
+        assert not driver.supports_assets
+        with pytest.raises(UnsupportedCapabilityError):
+            driver.lock_asset(
+                corda_target.asset_command(corda_target.client, "GHOST-ASSET")
+            )
+
+    def test_quorum_transact_fails_closed(self, quorum_target):
+        target = quorum_target
+        with pytest.raises(UnsupportedCapabilityError):
+            RemoteTransactionClient(target.client).remote_transact(
+                f"{target.network_id}/state/document-registry/RegisterDocument",
+                ["DOC-X", "{}"],
+                policy=target.policy,
+            )
+
+    def test_quorum_subscribe_fails_closed(self, quorum_target):
+        target = quorum_target
+        gateway = InteropGateway.from_client(target.client)
+        with pytest.raises(UnsupportedCapabilityError):
+            gateway.subscribe(
+                f"{target.network_id}/state/document-registry", "DocumentRegistered"
+            )
+
+
+class TestCordaTransactIntegrity:
+    def test_tampered_transact_proof_detected(self, corda_target):
+        """The §5 integrity claim holds for the new verb: a malicious
+        relay corrupting a transact reply's attestations is caught by the
+        client's proof verification."""
+        from repro.testing import FaultPlan, FAULT_TAMPER_PROOF, chaos_topology
+
+        target = corda_target
+        plan = FaultPlan.single(FAULT_TAMPER_PROOF, 4242)
+        with chaos_topology(
+            target.registry,
+            [target.network_id],
+            plan,
+            clock=target.clock,
+            redundant=False,
+        ):
+            with pytest.raises(ProofError):
+                RemoteTransactionClient(target.client).remote_transact(
+                    target.transact_address,
+                    target.transact_args("CORDA-TX-TAMPERED"),
+                    policy=target.policy,
+                )

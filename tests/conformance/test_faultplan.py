@@ -1,0 +1,177 @@
+"""Determinism and mechanics of the fault-injection layer.
+
+The whole value of the harness is that a failing adversarial run is
+reproducible from one integer seed — so determinism itself is under
+test, alongside each fault's wire-level behavior against a stub
+endpoint.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RelayUnavailableError
+from repro.proto.messages import (
+    MSG_KIND_QUERY_REQUEST,
+    MSG_KIND_QUERY_RESPONSE,
+    PROTOCOL_VERSION,
+    RelayEnvelope,
+)
+from repro.testing import (
+    ALL_FAULT_KINDS,
+    FAULT_DROP,
+    FAULT_DUPLICATE,
+    FAULT_PARTITION,
+    FAULT_REORDER,
+    FAULT_TAMPER_PAYLOAD,
+    ChaosEndpoint,
+    FaultPlan,
+    FaultSpec,
+)
+
+
+class EchoEndpoint:
+    """Replies to every request with a response envelope echoing its id."""
+
+    def __init__(self) -> None:
+        self.served = 0
+
+    def handle_request(self, data: bytes) -> bytes:
+        self.served += 1
+        request = RelayEnvelope.decode(data)
+        return RelayEnvelope(
+            version=PROTOCOL_VERSION,
+            kind=MSG_KIND_QUERY_RESPONSE,
+            request_id=request.request_id,
+            source_network="echo",
+            payload=b"payload-" + request.request_id.encode(),
+        ).encode()
+
+
+def request_bytes(request_id: str) -> bytes:
+    return RelayEnvelope(
+        version=PROTOCOL_VERSION,
+        kind=MSG_KIND_QUERY_REQUEST,
+        request_id=request_id,
+        source_network="test",
+        destination_network="echo",
+        payload=b"q",
+    ).encode()
+
+
+def drive(endpoint: ChaosEndpoint, count: int) -> list[str]:
+    """Push ``count`` requests through; record outcomes as strings."""
+    outcomes = []
+    for index in range(count):
+        try:
+            reply = endpoint.handle_request(request_bytes(f"req-{index}"))
+            outcomes.append(f"ok:{RelayEnvelope.decode(reply).request_id}")
+        except RelayUnavailableError:
+            outcomes.append("unavailable")
+    return outcomes
+
+
+class TestDeterminism:
+    def test_same_seed_same_injection_log(self):
+        plan = FaultPlan(
+            42,
+            [FaultSpec(kind=FAULT_DROP, rate=0.4), FaultSpec(kind=FAULT_TAMPER_PAYLOAD, rate=0.5)],
+        )
+        runs = []
+        for _ in range(2):
+            chaos = ChaosEndpoint(EchoEndpoint(), plan.fork())
+            drive(chaos, 40)
+            runs.append([(r.index, r.fault) for r in chaos.log])
+        assert runs[0] == runs[1]
+        assert runs[0]  # something actually fired
+
+    def test_different_seeds_differ(self):
+        logs = []
+        for seed in (1, 2):
+            chaos = ChaosEndpoint(
+                EchoEndpoint(), FaultPlan.single(FAULT_DROP, seed, rate=0.5)
+            )
+            drive(chaos, 60)
+            logs.append([r.index for r in chaos.log])
+        assert logs[0] != logs[1]
+
+    def test_tamper_byte_positions_reproducible(self):
+        replies = []
+        for _ in range(2):
+            chaos = ChaosEndpoint(
+                EchoEndpoint(), FaultPlan.single(FAULT_TAMPER_PAYLOAD, 99)
+            )
+            replies.append(chaos.handle_request(request_bytes("req-0")))
+        assert replies[0] == replies[1]
+
+    def test_seed_quoted_in_failure_surface(self):
+        plan = FaultPlan.single(FAULT_DROP, 1234)
+        chaos = ChaosEndpoint(EchoEndpoint(), plan)
+        with pytest.raises(RelayUnavailableError, match="seed=1234"):
+            chaos.handle_request(request_bytes("req-0"))
+
+
+class TestFaultMechanics:
+    def test_drop_censors_without_forwarding(self):
+        inner = EchoEndpoint()
+        chaos = ChaosEndpoint(inner, FaultPlan.single(FAULT_DROP, 1))
+        assert drive(chaos, 3) == ["unavailable"] * 3
+        assert inner.served == 0
+
+    def test_partition_window_then_heals(self):
+        inner = EchoEndpoint()
+        chaos = ChaosEndpoint(
+            inner,
+            FaultPlan.single(FAULT_PARTITION, 1, duration=3, max_injections=1),
+        )
+        outcomes = drive(chaos, 5)
+        assert outcomes[:3] == ["unavailable"] * 3
+        assert outcomes[3:] == ["ok:req-3", "ok:req-4"]
+        assert chaos.injected[FAULT_PARTITION] == 3
+
+    def test_duplicate_delivers_twice(self):
+        inner = EchoEndpoint()
+        chaos = ChaosEndpoint(inner, FaultPlan.single(FAULT_DUPLICATE, 1, max_injections=1))
+        drive(chaos, 2)
+        assert inner.served == 3  # first request twice, second once
+
+    def test_reorder_miscorrelates_reply(self):
+        inner = EchoEndpoint()
+        chaos = ChaosEndpoint(inner, FaultPlan.single(FAULT_REORDER, 1, first=1))
+        outcomes = drive(chaos, 2)
+        # Request 1 executed, but its reply claims to answer request 0.
+        assert outcomes == ["ok:req-0", "ok:req-0"]
+        assert inner.served == 2
+
+    def test_window_and_kind_filters(self):
+        inner = EchoEndpoint()
+        chaos = ChaosEndpoint(
+            inner,
+            FaultPlan(
+                5,
+                [
+                    FaultSpec(
+                        kind=FAULT_DROP,
+                        first=2,
+                        last=3,
+                        only_kinds=frozenset({MSG_KIND_QUERY_REQUEST}),
+                    )
+                ],
+            ),
+        )
+        outcomes = drive(chaos, 5)
+        assert outcomes == ["ok:req-0", "ok:req-1", "unavailable", "unavailable", "ok:req-4"]
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            FaultSpec(kind="meteor-strike")
+        with pytest.raises(ValueError):
+            FaultSpec(kind=FAULT_DROP, rate=1.5)
+        with pytest.raises(ValueError):
+            FaultSpec(kind=FAULT_DROP, duration=0)
+        with pytest.raises(ValueError):
+            FaultSpec(kind=FAULT_TAMPER_PAYLOAD, direction="sideways")
+
+    def test_all_kinds_constructible(self):
+        for kind in ALL_FAULT_KINDS:
+            ChaosEndpoint(EchoEndpoint(), FaultPlan.single(kind, 7)).handle_request

@@ -1,0 +1,93 @@
+"""The cross-driver conformance matrix: platform × fault plan × seed.
+
+Every cell drives the full gateway verb surface (query, batch, transact,
+subscribe, assets) against one platform's driver while a seeded
+:class:`~repro.testing.ChaosEndpoint` injects one fault family into the
+relay path, and asserts the §4–§5 protocol invariants. A violation
+raises :class:`~repro.testing.ConformanceError`, whose message leads
+with the failing seed — rerun with ``CONFORMANCE_SEEDS=<seed>`` to
+replay the exact adversarial schedule.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.testing import (
+    ALL_FAULT_KINDS,
+    ALL_VERBS,
+    OUTCOME_FAIL_CLOSED,
+    OUTCOME_SERVED,
+    DriverConformanceSuite,
+    default_fault_plans,
+)
+
+SEEDS = [
+    int(part)
+    for part in os.environ.get("CONFORMANCE_SEEDS", "7").split(",")
+    if part.strip()
+]
+PLATFORMS = ("fabric", "quorum", "corda")
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("plan_index", range(len(ALL_FAULT_KINDS)), ids=ALL_FAULT_KINDS)
+@pytest.mark.parametrize("conformance_target", PLATFORMS, indirect=True)
+def test_matrix_cell(conformance_target, plan_index, seed):
+    """One (platform, fault plan) cell, all verbs, one seed."""
+    suite = DriverConformanceSuite(conformance_target, seed=seed)
+    plan = suite.plans[plan_index]
+    outcomes = suite.run_plan(plan)
+    assert len(outcomes) == len(ALL_VERBS)
+    # Verbs the platform supports must not fail closed; verbs it does not
+    # must (the suite itself enforces the finer-grained invariants and
+    # raises ConformanceError with the seed on violation).
+    for outcome in outcomes:
+        if outcome.verb == "transact":
+            supported = conformance_target.supports_transactions
+        elif outcome.verb == "subscribe":
+            supported = conformance_target.supports_events
+        elif outcome.verb == "assets":
+            supported = conformance_target.supports_assets
+        else:
+            supported = True
+        if supported:
+            assert outcome.outcome != OUTCOME_FAIL_CLOSED, (
+                f"seed={seed}: supported verb {outcome.verb} failed closed"
+            )
+        else:
+            assert outcome.outcome == OUTCOME_FAIL_CLOSED, (
+                f"seed={seed}: unsupported verb {outcome.verb} did not fail "
+                f"closed (got {outcome.outcome})"
+            )
+
+
+@pytest.mark.parametrize("conformance_target", PLATFORMS, indirect=True)
+def test_clean_baseline_serves_every_supported_verb(conformance_target):
+    """With no faults injected, every supported verb must be served.
+
+    Uses an empty fault plan (the chaos endpoint forwards everything), so
+    this doubles as the capability-parity check: Fabric serves all five
+    verbs, Corda serves everything but assets, Quorum everything but
+    transact/subscribe.
+    """
+    from repro.testing import FaultPlan
+
+    seed = SEEDS[0]
+    suite = DriverConformanceSuite(
+        conformance_target, seed=seed, plans=[FaultPlan(seed, [], name="none")]
+    )
+    report = suite.run()
+    supported = 2  # query + batch
+    supported += 1 if conformance_target.supports_transactions else 0
+    supported += 1 if conformance_target.supports_events else 0
+    supported += 1 if conformance_target.supports_assets else 0
+    assert report.count(OUTCOME_SERVED) == supported, report.summary()
+    assert report.count(OUTCOME_FAIL_CLOSED) == len(ALL_VERBS) - supported
+
+
+def test_default_plans_cover_at_least_six_distinct_families():
+    plans = default_fault_plans(SEEDS[0])
+    assert len({plan.name for plan in plans}) >= 6

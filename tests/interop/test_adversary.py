@@ -1,6 +1,6 @@
 """Security evaluation tests: the §5 CIA-triad attack matrix.
 
-Each test injects one adversary from :mod:`repro.interop.adversary` and
+Each test injects one adversary from :mod:`repro.testing.adversary` and
 asserts the protocol's claimed property: confidentiality (relay cannot
 read or exfiltrate), integrity (tampering is detected), availability
 (redundant relays / rate limiting mitigate DoS), plus replay protection
@@ -15,7 +15,7 @@ import pytest
 
 from repro.apps import build_trade_scenario
 from repro.errors import EndorsementError, ProofError, RelayUnavailableError
-from repro.interop.adversary import (
+from repro.testing import (
     DroppingRelay,
     EavesdroppingRelay,
     TamperingRelay,
