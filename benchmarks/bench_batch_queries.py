@@ -78,7 +78,7 @@ def _best_of(rounds: int, fn) -> tuple[float, object]:
     return best, last
 
 
-def test_batched_beats_sequential(scenario, source_metrics):
+def test_batched_beats_sequential(scenario, source_metrics, bench_report):
     """Acceptance: batched N-query latency < N sequential queries."""
     client = scenario.swt_seller_client.interop_client
     gateway = InteropGateway.from_client(client)
@@ -107,6 +107,14 @@ def test_batched_beats_sequential(scenario, source_metrics):
     print(f"\nE-batch — pipelined batch vs sequential ({N_QUERIES} queries, best of {ROUNDS})")
     print(format_table(rows, headers=["path", "latency", "speedup"]))
 
+    bench_report.record(
+        "batch",
+        "batched-vs-sequential",
+        queries=N_QUERIES,
+        sequential_s=sequential_s,
+        batched_s=batched_s,
+        speedup=sequential_s / batched_s,
+    )
     assert batched_s < sequential_s, (
         f"batched path ({batched_s:.4f}s) must beat {N_QUERIES} sequential "
         f"queries ({sequential_s:.4f}s)"

@@ -1,0 +1,247 @@
+"""E-transport — concurrent socket serving vs single-in-flight vs local.
+
+The transport acceptance experiment: 8 concurrent clients each pipeline
+queries at one source relay reached three ways:
+
+- ``local``          — the in-process :class:`LocalTransport` call, 8
+                       client threads sharing the relay object directly;
+- ``tcp-concurrent`` — a :class:`repro.net.RelayServer` with an 8-worker
+                       executor: the asyncio loop multiplexes connections
+                       and requests are served in parallel;
+- ``tcp-serial``     — the same server restricted to ``max_workers=1``:
+                       a relay that accepts concurrently but serves one
+                       request at a time (what a naive blocking
+                       accept-serve-reply loop would do).
+
+What is under test is the *transport and relay machinery*: envelope
+framing, connection pooling, the interceptor chain, and the executor's
+ability to overlap serving latency. The serving latency itself is
+injected — a ``SimulatedWorkInterceptor`` sleeps ``WORK_MS`` per request,
+standing in for the source network's endorsement/consensus round-trip,
+which the in-process ledger sim answers in microseconds. The protocol's
+cryptographic cost is intentionally excluded here (it is pure-Python CPU
+work, GIL-serialized in a single process, and already measured by
+``bench_batch_queries``/``bench_protocol_e2e``); a deployment overlaps
+*waits*, and that is exactly what a concurrent relay server must do.
+
+Acceptance: at 8 clients, tcp-concurrent throughput >= 2x tcp-serial.
+Results land in ``BENCH_transport.json`` (and ``--json PATH`` adds them
+to the combined session report).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.api.middleware import percentile
+from repro.interop.discovery import InMemoryRegistry
+from repro.interop.drivers.base import NetworkDriver
+from repro.interop.relay import RelayService
+from repro.net import RelayServer
+from repro.proto.messages import (
+    PROTOCOL_VERSION,
+    STATUS_OK,
+    NetworkAddressMsg,
+    NetworkQuery,
+    QueryResponse,
+)
+from repro.sim import format_table
+
+SOURCE = "bench-src"
+DESTINATION = "bench-dst"
+N_CLIENTS = 8
+QUERIES_PER_CLIENT = 4
+WORK_MS = 10.0
+ROUNDS = 3
+SUITE = "transport"
+DEFAULT_JSON = Path(__file__).resolve().parent.parent / "BENCH_transport.json"
+
+
+class BenchDriver(NetworkDriver):
+    """Answers instantly; the serve-latency interceptor supplies the wait."""
+
+    platform = "bench"
+
+    def execute_query(self, query: NetworkQuery) -> QueryResponse:
+        return QueryResponse(
+            version=PROTOCOL_VERSION,
+            nonce=query.nonce,
+            status=STATUS_OK,
+            result_plain=b"doc:" + query.nonce.encode(),
+        )
+
+
+class SimulatedWorkInterceptor:
+    """Adds ``seconds`` of wall-clock serving latency per request.
+
+    Models the endorsement/consensus round the source network performs
+    per query in a real deployment. A concurrent server overlaps these
+    waits across requests; a single-in-flight server stacks them.
+    """
+
+    def __init__(self, seconds: float) -> None:
+        self.seconds = seconds
+
+    def __call__(self, ctx, call_next):
+        time.sleep(self.seconds)
+        return call_next(ctx)
+
+
+@pytest.fixture(scope="module")
+def topology():
+    registry = InMemoryRegistry()
+    source_relay = RelayService(SOURCE, registry)
+    source_relay.register_driver(BenchDriver(SOURCE))
+    source_relay.use(SimulatedWorkInterceptor(WORK_MS / 1e3))
+    destination_relay = RelayService(DESTINATION, registry)
+    registry.register(SOURCE, source_relay)
+    registry.register(DESTINATION, destination_relay)
+    return registry, source_relay, destination_relay
+
+
+def make_query(tag: str) -> NetworkQuery:
+    return NetworkQuery(
+        version=PROTOCOL_VERSION,
+        address=NetworkAddressMsg(
+            network=SOURCE, ledger="ledger", contract="docs", function="Get"
+        ),
+        args=["K-1"],
+        nonce=tag,
+    )
+
+
+def drive_clients(destination_relay: RelayService) -> tuple[float, list[float]]:
+    """N threads x M sequential queries; returns (wall_s, per-request s)."""
+    latencies: list[float] = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(N_CLIENTS)
+
+    def worker(client_index: int) -> None:
+        barrier.wait(timeout=10.0)
+        mine = []
+        for sequence in range(QUERIES_PER_CLIENT):
+            query = make_query(f"n-{client_index}-{sequence}")
+            started = time.perf_counter()
+            response = destination_relay.remote_query(query)
+            mine.append(time.perf_counter() - started)
+            assert response.status == STATUS_OK
+            assert response.result_plain == b"doc:" + query.nonce.encode()
+        with lock:
+            latencies.extend(mine)
+
+    threads = [
+        threading.Thread(target=worker, args=(i,)) for i in range(N_CLIENTS)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return time.perf_counter() - started, latencies
+
+
+def swap_source_endpoints(registry: InMemoryRegistry, replacement) -> list:
+    original = registry.lookup(SOURCE)
+    for endpoint in original:
+        registry.unregister(SOURCE, endpoint)
+    registry.register(SOURCE, replacement)
+    return original
+
+
+def restore_source_endpoints(registry: InMemoryRegistry, original: list) -> None:
+    for endpoint in list(registry.lookup(SOURCE)):
+        registry.unregister(SOURCE, endpoint)
+    for endpoint in original:
+        registry.register(SOURCE, endpoint)
+
+
+def measure(destination_relay: RelayService) -> dict:
+    best_wall, best_latencies = float("inf"), []
+    for _ in range(ROUNDS):
+        wall, latencies = drive_clients(destination_relay)
+        if wall < best_wall:
+            best_wall, best_latencies = wall, latencies
+    ordered = sorted(best_latencies)
+    total = N_CLIENTS * QUERIES_PER_CLIENT
+    return {
+        "clients": N_CLIENTS,
+        "queries_per_client": QUERIES_PER_CLIENT,
+        "work_ms": WORK_MS,
+        "wall_s": best_wall,
+        "requests_per_s": total / best_wall,
+        "p50_ms": percentile(ordered, 0.50) * 1e3,
+        "p95_ms": percentile(ordered, 0.95) * 1e3,
+    }
+
+
+def test_concurrent_tcp_beats_single_in_flight(topology, bench_report):
+    """Acceptance: concurrent TCP serving >= 2x single-in-flight at 8
+    clients, with per-path requests/sec and p50/p95 recorded to JSON."""
+    registry, source_relay, destination_relay = topology
+
+    results: dict[str, dict] = {}
+    results["local"] = measure(destination_relay)
+
+    for label, workers in (("tcp-concurrent", 8), ("tcp-serial", 1)):
+        with RelayServer(source_relay, max_workers=workers) as server:
+            original = swap_source_endpoints(
+                registry, server.endpoint(timeout=30.0)
+            )
+            try:
+                results[label] = measure(destination_relay)
+            finally:
+                restore_source_endpoints(registry, original)
+
+    rows = [
+        (
+            label,
+            f"{metrics['requests_per_s']:8.1f} req/s",
+            f"{metrics['p50_ms']:7.2f} ms",
+            f"{metrics['p95_ms']:7.2f} ms",
+            f"{metrics['wall_s'] * 1e3:8.1f} ms",
+        )
+        for label, metrics in results.items()
+    ]
+    print(
+        f"\nE-transport — {N_CLIENTS} clients x {QUERIES_PER_CLIENT} queries, "
+        f"{WORK_MS:.0f}ms simulated serve latency (best of {ROUNDS})"
+    )
+    print(format_table(rows, headers=["path", "throughput", "p50", "p95", "wall"]))
+
+    for label, metrics in results.items():
+        bench_report.record(SUITE, label, **metrics)
+    speedup = (
+        results["tcp-concurrent"]["requests_per_s"]
+        / results["tcp-serial"]["requests_per_s"]
+    )
+    bench_report.record(
+        SUITE,
+        "speedup",
+        concurrent_over_serial=speedup,
+        acceptance_threshold=2.0,
+    )
+    target = bench_report.write_suite(SUITE, DEFAULT_JSON)
+    print(f"transport trajectory written to {target} "
+          f"(concurrent/serial speedup {speedup:.2f}x)")
+
+    assert speedup >= 2.0, (
+        f"concurrent TCP serving must beat single-in-flight by >= 2x at "
+        f"{N_CLIENTS} clients, measured {speedup:.2f}x"
+    )
+
+
+def test_bench_tcp_concurrent_throughput(benchmark, topology):
+    """Wall-clock of one concurrent-client wave over the TCP server."""
+    registry, source_relay, destination_relay = topology
+    with RelayServer(source_relay, max_workers=8) as server:
+        original = swap_source_endpoints(registry, server.endpoint(timeout=30.0))
+        try:
+            benchmark.pedantic(
+                lambda: drive_clients(destination_relay), rounds=3, iterations=1
+            )
+        finally:
+            restore_source_endpoints(registry, original)

@@ -4,13 +4,77 @@ Each ``bench_*.py`` file regenerates one artifact of the paper (see the
 experiment index in DESIGN.md). Benchmarks print their experiment tables
 to stdout; run with ``pytest benchmarks/ --benchmark-only -s`` to see them
 alongside the timing statistics.
+
+Machine-readable results: every suite can record metrics on the shared
+session-scoped :class:`BenchReport` (the ``bench_report`` fixture);
+passing ``--json PATH`` writes the combined report there at session end.
+Suites that track a perf trajectory in-repo (``BENCH_*.json``) also pass
+a default path to :meth:`BenchReport.write_suite` so the artifact appears
+even without the flag.
 """
 
 from __future__ import annotations
 
+import json
+import platform
+from pathlib import Path
+
 import pytest
 
 from repro.apps import build_trade_scenario
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--json",
+        action="store",
+        default=None,
+        metavar="PATH",
+        help="write machine-readable benchmark results (all suites) to PATH",
+    )
+
+
+class BenchReport:
+    """Accumulates named metric dicts; serializes to a stable JSON shape."""
+
+    SCHEMA = "repro-bench/1"
+
+    def __init__(self) -> None:
+        self.entries: list[dict] = []
+
+    def record(self, suite: str, name: str, **metrics) -> dict:
+        entry = {"suite": suite, "name": name, "metrics": metrics}
+        self.entries.append(entry)
+        return entry
+
+    def payload(self, suite: str | None = None) -> dict:
+        entries = [
+            entry for entry in self.entries if suite is None or entry["suite"] == suite
+        ]
+        return {
+            "schema": self.SCHEMA,
+            "python": platform.python_version(),
+            "entries": entries,
+        }
+
+    def write(self, path: str | Path, suite: str | None = None) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.payload(suite), indent=2, sort_keys=True) + "\n")
+        return path
+
+    def write_suite(self, suite: str, default_path: str | Path) -> Path:
+        """Write one suite's entries to its in-repo ``BENCH_*.json``."""
+        return self.write(default_path, suite=suite)
+
+
+@pytest.fixture(scope="session")
+def bench_report(request) -> BenchReport:
+    report = BenchReport()
+    yield report
+    path = request.config.getoption("--json")
+    if path and report.entries:
+        target = report.write(path)
+        print(f"\nbenchmark results written to {target}")
 
 
 @pytest.fixture(scope="module")

@@ -300,6 +300,40 @@ def main() -> None:
     print("would have unwound both escrows after their timelocks — the claim")
     print("and refund windows partition time, so nothing double-spends.")
 
+    # --- 8. Deployment: relays as network services on real sockets -----------
+    # So far every envelope travelled as an in-process call. In the paper's
+    # deployment each relay is a *service* other networks reach over the
+    # wire; repro.net supplies that transport without touching one protocol
+    # rule. Each relay goes behind an asyncio RelayServer speaking
+    # length-prefixed envelope frames; discovery hands back pooled
+    # TcpRelayEndpoints for tcp://host:port addresses; the failover loop,
+    # interceptors, proofs — everything above the socket — runs unchanged.
+    # (Run examples/tcp_relay_demo.py for the same topology as two separate
+    # OS processes.)
+    from repro.net import RelayServer
+
+    source_server = RelayServer(source_relay, max_workers=4).start()
+    dest_server = RelayServer(dest_relay, max_workers=4).start()
+    # Re-point discovery at the sockets: from here on, the ONLY path
+    # between the two relays is framed envelopes on TCP connections.
+    for network_id, server in (("source-net", source_server),
+                               ("dest-net", dest_server)):
+        for endpoint in list(registry.lookup(network_id)):
+            registry.unregister(network_id, endpoint)
+        registry.register(network_id, server.endpoint(timeout=10.0))
+
+    socket_result = client.remote_query("source-net/main/docs/Get", ["invoice-7"])
+    assert socket_result.data == result.data  # same data, same proofs
+    print(f"\nsocket deployment: {source_server.address} <-> {dest_server.address}")
+    print(f"re-fetched over TCP: {socket_result.data.decode()} "
+          f"[{len(socket_result.proof)} attestations]")
+    print("trust boundary: the socket is the UNTRUSTED edge — drop, delay,")
+    print("duplicate, or corrupt the frames and the protocol still only")
+    print("accepts data whose proofs verify end-to-end; transport failures")
+    print("surface as typed RelayUnavailableError and engage failover.")
+    source_server.stop()
+    dest_server.stop()
+
 
 if __name__ == "__main__":
     main()

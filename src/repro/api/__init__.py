@@ -14,6 +14,11 @@ streaming, and a composable relay middleware chain.
 - :class:`GatewaySession` — multiplexes the three primitives over one
   relay connection state: per-session auth, shared interceptor chain,
   shared CMDAC policy cache, subscription lifecycle.
+- :class:`AsyncGateway` — the async-native entry point for asyncio
+  services fronting socket relays (:mod:`repro.net`): ``await
+  aquery(...)`` / ``atransact(...)`` plus ``agather(...)`` batch
+  flushes, layered over the same session machinery via the loop's
+  executor (the async path can never drift from the sync protocol).
 - :class:`QueryBuilder` / :class:`TransactionBuilder` and their specs —
   fluent request description.
 - :class:`QuerySet` / :class:`QueryHandle`, :class:`TransactionSet` /
@@ -46,6 +51,7 @@ from repro.api.batch import (
     TransactionSet,
     TransactionSpec,
 )
+from repro.api.async_gateway import AsyncGateway
 from repro.api.builder import ExchangeBuilder, QueryBuilder, TransactionBuilder
 from repro.api.gateway import InteropGateway
 from repro.api.session import GatewaySession
@@ -66,6 +72,7 @@ from repro.api.middleware import (
 )
 
 __all__ = [
+    "AsyncGateway",
     "InteropGateway",
     "GatewaySession",
     "QueryBuilder",

@@ -1,0 +1,144 @@
+"""Async-native gateway surface over the same session machinery.
+
+With relays living on real sockets (:mod:`repro.net`), the natural
+application shape becomes an asyncio service that awaits cross-network
+calls instead of blocking a thread per request. :class:`AsyncGateway`
+layers that surface over the *existing* synchronous machinery — the same
+:class:`~repro.api.GatewaySession`, the same prepared-query/finalize
+halves, the same proof verification — by running each blocking call on
+the event loop's default executor. Nothing is re-implemented, so the
+async path can never drift from the protocol the sync path enforces.
+
+Example::
+
+    gateway = InteropGateway.from_client(client)
+    agw = AsyncGateway(gateway)
+
+    result = await agw.aquery(ADDR, ["PO-1"], policy=POLICY)
+
+    # N concurrent singles (each its own envelope, overlapped in flight):
+    results = await asyncio.gather(*[
+        agw.aquery(ADDR, [ref], policy=POLICY) for ref in refs
+    ])
+
+    # ... or one pipelined batch envelope per target network:
+    results = await agw.agather([(ADDR, [ref]) for ref in refs],
+                                policy=POLICY)
+
+    outcome = await agw.atransact(TX_ADDR, ["PO-2", "goods"], policy=POLICY)
+
+Concurrency note: with the PR-5 relay-side locking, concurrent ``aquery``
+calls through one gateway are safe end to end; the serving side bounds
+its own parallelism (the :class:`~repro.net.RelayServer` worker pool, the
+driver's ``batch_concurrency``, or a
+:class:`~repro.api.SerializingInterceptor` in front of a substrate that
+needs one).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Sequence
+
+from repro.api.gateway import InteropGateway
+from repro.interop.client import InteropClient, RemoteQueryResult
+
+
+class AsyncGateway:
+    """Awaitable facade over an :class:`InteropGateway`.
+
+    Wraps either a ready gateway or a bare legacy client. Every method is
+    a coroutine; blocking protocol work (crypto, transport round-trips)
+    runs on the loop's default thread-pool executor, so the event loop
+    stays free to multiplex other traffic.
+    """
+
+    def __init__(self, gateway: InteropGateway) -> None:
+        self._gateway = gateway
+        self._session = gateway.default_session
+
+    @classmethod
+    def from_client(cls, client: InteropClient) -> "AsyncGateway":
+        return cls(InteropGateway.from_client(client))
+
+    @property
+    def gateway(self) -> InteropGateway:
+        """The synchronous gateway this facade delegates to."""
+        return self._gateway
+
+    @staticmethod
+    async def _call(fn, *args, **kwargs):
+        loop = asyncio.get_running_loop()
+        if kwargs:
+            import functools
+
+            fn = functools.partial(fn, *args, **kwargs)
+            return await loop.run_in_executor(None, fn)
+        return await loop.run_in_executor(None, fn, *args)
+
+    # -- primitive i: query -------------------------------------------------------
+
+    async def aquery(
+        self,
+        address: str,
+        args: Sequence[str] = (),
+        policy: str | None = None,
+        confidential: bool = True,
+        verify_locally: bool = True,
+    ) -> RemoteQueryResult:
+        """One trusted cross-network query, awaited.
+
+        Same contract (and same typed errors) as
+        :meth:`InteropClient.remote_query`.
+        """
+        return await self._call(
+            self._gateway.client.remote_query,
+            address,
+            list(args),
+            policy,
+            confidential,
+            verify_locally,
+        )
+
+    async def agather(
+        self,
+        requests: Sequence[tuple[str, Sequence[str]]],
+        **options,
+    ) -> list[RemoteQueryResult]:
+        """N queries as pipelined batch envelopes, awaited together.
+
+        Members sharing a target network travel in ONE batch envelope
+        (one discovery lookup, one failover loop), exactly like the sync
+        gateway's ambient set; the whole flush runs off-loop. ``options``
+        forward to each member (``policy``, ``confidential``,
+        ``verify_locally``). Raises on the first failed member — for
+        per-member partial failure, fall back to ``asyncio.gather`` over
+        :meth:`aquery` calls with ``return_exceptions=True``.
+        """
+        normalized = [(address, list(args)) for address, args in requests]
+        return await self._call(
+            self._gateway.client.remote_query_batch, normalized, **options
+        )
+
+    # -- primitive ii: transact ---------------------------------------------------
+
+    async def atransact(
+        self,
+        address: str,
+        args: Sequence[str] = (),
+        policy: str | None = None,
+        confidential: bool = True,
+    ):
+        """One cross-network transaction, awaited.
+
+        Same contract as the legacy
+        :meth:`~repro.interop.transactions.RemoteTransactionClient.remote_transact`:
+        the result's attestations cover the committed tx id and block.
+        """
+        return await self._call(
+            self._session.transaction_client.remote_transact,
+            address,
+            list(args),
+            policy=policy,
+            confidential=confidential,
+        )

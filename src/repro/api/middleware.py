@@ -325,6 +325,13 @@ class ResponseCacheInterceptor(Interceptor):
     :data:`SIDE_EFFECTING_HEADER` marker that the sending relay sets on
     batch envelopes carrying transaction members — so the cache never
     needs to decode payloads.
+
+    Thread-safe: a concurrently-serving relay (:class:`repro.net.RelayServer`)
+    runs the chain on many worker threads, so the bounded entry map and
+    the hit/miss counters mutate under one lock. The lock is never held
+    across ``call_next`` — concurrent misses of the same key may both
+    execute (harmless for cacheable, side-effect-free envelopes; the
+    relay's idempotency record owns exactly-once for everything else).
     """
 
     def __init__(
@@ -333,6 +340,8 @@ class ResponseCacheInterceptor(Interceptor):
         max_entries: int = 256,
         clock: Clock | None = None,
     ) -> None:
+        import threading
+
         if ttl_seconds <= 0:
             raise ValueError("ttl_seconds must be positive")
         if max_entries < 1:
@@ -340,6 +349,7 @@ class ResponseCacheInterceptor(Interceptor):
         self.ttl_seconds = ttl_seconds
         self.max_entries = max_entries
         self._clock = clock or SystemClock()
+        self._mutex = threading.Lock()
         self._entries: OrderedDict[bytes, tuple[float, bytes]] = OrderedDict()
         self.hits = 0
         self.misses = 0
@@ -362,26 +372,30 @@ class ResponseCacheInterceptor(Interceptor):
 
     def handle(self, ctx: RelayContext, call_next: RelayHandler) -> bytes:
         if not self._cacheable(ctx):
-            self.bypassed += 1
+            with self._mutex:
+                self.bypassed += 1
             return call_next(ctx)
         key = sha256(ctx.raw)
         now = self._clock.now()
-        entry = self._entries.get(key)
-        if entry is not None:
-            expires, reply = entry
-            if now < expires:
-                self.hits += 1
-                self._entries.move_to_end(key)
-                return reply
-            del self._entries[key]
-        self.misses += 1
+        with self._mutex:
+            entry = self._entries.get(key)
+            if entry is not None:
+                expires, reply = entry
+                if now < expires:
+                    self.hits += 1
+                    self._entries.move_to_end(key)
+                    return reply
+                del self._entries[key]
+            self.misses += 1
         reply = call_next(ctx)
         if not _reply_is_error(ctx, reply):
-            self._entries[key] = (now + self.ttl_seconds, reply)
-            self._entries.move_to_end(key)
-            while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
+            with self._mutex:
+                self._entries[key] = (now + self.ttl_seconds, reply)
+                self._entries.move_to_end(key)
+                while len(self._entries) > self.max_entries:
+                    self._entries.popitem(last=False)
         return reply
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._mutex:
+            return len(self._entries)

@@ -8,8 +8,10 @@ plugged into the SWT Relay", §4.3):
 
 - :class:`InMemoryRegistry` — direct network-id -> relay registration.
 - :class:`FileRegistry` — a JSON file maps network ids to relay addresses;
-  an :class:`AddressResolver` (the transport) maps addresses to live relay
-  endpoints.
+  an :class:`AddressResolver` maps addresses to live relay endpoints
+  through the pluggable transport seam (:mod:`repro.net.transport`):
+  explicitly-bound addresses resolve in-process, and ``tcp://host:port``
+  addresses dial a real :class:`~repro.net.RelayServer` socket.
 
 A lookup returns *all* known relays for a network so callers can fail over
 across redundant relays — the paper's DoS mitigation (§5).
@@ -76,27 +78,56 @@ class InMemoryRegistry(DiscoveryService):
 
 
 class AddressResolver:
-    """The 'transport': resolves relay address strings to live endpoints.
+    """Resolves relay address strings to live endpoints via transports.
 
-    In a deployment this would be DNS + gRPC dialing; in the simulation it
-    is an explicit table, which keeps the address indirection (and its
-    failure modes) observable.
+    The resolver is a routing table over the pluggable
+    :class:`~repro.net.transport.RelayTransport` seam: explicit
+    :meth:`bind`-ings (the historical in-process simulation contract,
+    now a named :class:`~repro.net.LocalTransport`) are consulted first,
+    then the address's URI scheme picks a registered transport — by
+    default a :class:`~repro.net.TcpTransport`, so ``tcp://host:port``
+    entries in a registry file resolve to live pooled socket endpoints
+    with no further configuration. Deployments mount additional
+    transports (or replace the defaults) with :meth:`register_transport`.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, transports: "list | None" = None) -> None:
+        from repro.net.transport import LocalTransport, TcpTransport
+
         self._lock = threading.RLock()
-        self._endpoints: dict[str, RelayEndpoint] = {}
+        self._local = LocalTransport()
+        self._transports: dict[str, object] = {}
+        if transports is None:
+            transports = [TcpTransport()]
+        for transport in [self._local, *transports]:
+            self.register_transport(transport)
+
+    @property
+    def local(self):
+        """The in-process transport backing explicit :meth:`bind` calls."""
+        return self._local
+
+    def register_transport(self, transport) -> None:
+        """Route the transport's declared schemes to it (latest wins)."""
+        with self._lock:
+            for scheme in transport.schemes:
+                self._transports[scheme] = transport
 
     def bind(self, address: str, endpoint: RelayEndpoint) -> None:
-        with self._lock:
-            self._endpoints[address] = endpoint
+        """Pin ``address`` to an in-process endpoint (overrides schemes)."""
+        self._local.bind(address, endpoint)
 
     def resolve(self, address: str) -> RelayEndpoint:
+        from repro.net.transport import address_scheme
+
+        if self._local.known(address):
+            return self._local.connect(address)
+        scheme = address_scheme(address)
         with self._lock:
-            endpoint = self._endpoints.get(address)
-        if endpoint is None:
+            transport = self._transports.get(scheme)
+        if transport is None or transport is self._local:
             raise DiscoveryError(f"relay address {address!r} does not resolve")
-        return endpoint
+        return transport.connect(address)
 
 
 class FileRegistry(DiscoveryService):

@@ -35,10 +35,21 @@ Asset exchange (the §6 extension) adds the ``MSG_KIND_ASSET_LOCK`` /
 ``_CLAIM`` / ``_UNLOCK`` / ``_STATUS`` family: hash-time-locked commands
 routed to an asset-capable driver (:mod:`repro.assets.ports`) and
 answered with ``MSG_KIND_ASSET_ACK``, again over the same path.
+
+Concurrency: a relay may be served from many threads at once (a
+:class:`repro.net.RelayServer` runs :meth:`RelayService.handle_request`
+on a worker-thread executor), so all shared mutable state — the
+idempotency record, stats counters, the lazily-built interceptor chain,
+and the subscription/sink tables — is lock-guarded, and side-effecting
+envelopes execute exactly once per ``request_id`` even when duplicates
+collide on different serve threads. Drivers fronting substrates that
+cannot take concurrent load install a
+:class:`~repro.api.SerializingInterceptor`.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict, deque
 from typing import Callable, Sequence
 
@@ -109,24 +120,33 @@ class RateLimiter:
         self.max_requests = max_requests
         self.window_seconds = window_seconds
         self._clock = clock or SystemClock()
+        self._lock = threading.Lock()
         self._timestamps: deque[float] = deque()
         self.rejected = 0
 
     def allow(self) -> bool:
         now = self._clock.now()
-        while self._timestamps and now - self._timestamps[0] > self.window_seconds:
-            self._timestamps.popleft()
-        if len(self._timestamps) >= self.max_requests:
-            self.rejected += 1
-            return False
-        self._timestamps.append(now)
-        return True
+        with self._lock:
+            while self._timestamps and now - self._timestamps[0] > self.window_seconds:
+                self._timestamps.popleft()
+            if len(self._timestamps) >= self.max_requests:
+                self.rejected += 1
+                return False
+            self._timestamps.append(now)
+            return True
 
 
 class RelayStats:
-    """Operational counters for a relay."""
+    """Operational counters for a relay.
+
+    A concurrently-serving relay updates these from many threads, so all
+    mutations go through :meth:`bump` (a read-modify-write under one
+    lock); plain attribute reads stay cheap and are at worst one bump
+    stale, which is fine for operational counters.
+    """
 
     def __init__(self) -> None:
+        self._lock = threading.Lock()
         self.requests_served = 0
         self.requests_rejected = 0
         self.requests_failed = 0
@@ -146,6 +166,11 @@ class RelayStats:
         #: Source side: side-effecting envelopes answered from the
         #: idempotency cache instead of being re-executed.
         self.duplicates_suppressed = 0
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        """Atomically add ``amount`` to the counter called ``name``."""
+        with self._lock:
+            setattr(self, name, getattr(self, name) + amount)
 
 
 class RelayContext:
@@ -229,7 +254,7 @@ class RateLimitInterceptor:
 
     def __call__(self, ctx: RelayContext, call_next: RelayHandler) -> bytes:
         if not self.limiter.allow():
-            ctx.relay.stats.requests_rejected += 1
+            ctx.relay.stats.bump("requests_rejected")
             return ctx.error_reply("rate limit exceeded: request shed", retryable=True)
         return call_next(ctx)
 
@@ -253,6 +278,11 @@ class RelayService:
         self._drivers: dict[str, NetworkDriver] = {}
         self._interceptors: list[RelayInterceptor] = []
         self._chain: RelayHandler | None = None
+        #: Guards the lazy interceptor-chain build against concurrent
+        #: first requests (and against a concurrent ``use()``).
+        self._chain_lock = threading.Lock()
+        #: Guards the subscription/sink tables below.
+        self._subscriptions_lock = threading.RLock()
         #: Source side: live subscriptions this relay feeds, by id.
         self._served_subscriptions: dict[str, _ServedSubscription] = {}
         #: Destination side: local delivery callbacks for subscriptions
@@ -263,6 +293,13 @@ class RelayService:
         #: replay, network-level duplication) is answered with the original
         #: reply instead of re-executing the command. Bounded FIFO.
         self._idempotency: OrderedDict[str, bytes] = OrderedDict()
+        #: Guards the idempotency record; ``_in_flight`` additionally
+        #: maps request_ids being executed *right now* to an event their
+        #: concurrent duplicates wait on — check-then-execute without it
+        #: would let two simultaneous copies of one request both miss the
+        #: record and both commit.
+        self._idempotency_lock = threading.Lock()
+        self._in_flight: dict[str, threading.Event] = {}
         self.idempotency_capacity = 1024
         self.stats = RelayStats()
         self.available = True  # toggled by availability experiments
@@ -307,8 +344,9 @@ class RelayService:
         outermost); each receives ``(ctx, call_next)`` and must return
         serialized response bytes.
         """
-        self._interceptors.extend(interceptors)
-        self._chain = None
+        with self._chain_lock:
+            self._interceptors.extend(interceptors)
+            self._chain = None
         return self
 
     @property
@@ -316,12 +354,16 @@ class RelayService:
         return tuple(self._interceptors)
 
     def _handler_chain(self) -> RelayHandler:
-        if self._chain is None:
-            handler: RelayHandler = self._dispatch
-            for interceptor in reversed(self._interceptors):
-                handler = self._bind(interceptor, handler)
-            self._chain = handler
-        return self._chain
+        chain = self._chain
+        if chain is None:
+            with self._chain_lock:
+                if self._chain is None:
+                    handler: RelayHandler = self._dispatch
+                    for interceptor in reversed(self._interceptors):
+                        handler = self._bind(interceptor, handler)
+                    self._chain = handler
+                chain = self._chain
+        return chain
 
     @staticmethod
     def _bind(interceptor: RelayInterceptor, call_next: RelayHandler) -> RelayHandler:
@@ -393,21 +435,57 @@ class RelayService:
         """
         envelope = ctx.envelope  # one decode, shared with the interceptors
         if envelope is None:
-            self.stats.requests_failed += 1
+            self.stats.bump("requests_failed")
             return self._error_envelope(
                 "", f"undecodable envelope: {ctx.decode_error}", False
             )
         if envelope.request_id and self._is_side_effecting(envelope):
-            replay = self._idempotency.get(envelope.request_id)
-            if replay is not None:
-                self.stats.duplicates_suppressed += 1
-                return replay
+            return self._dispatch_exactly_once(envelope)
+        return self._route(envelope)
+
+    def _dispatch_exactly_once(self, envelope: RelayEnvelope) -> bytes:
+        """Serve a side-effecting envelope at most once per request_id.
+
+        Concurrent serving adds a hazard the sequential relay never had:
+        two byte-identical duplicates arriving on two serve threads can
+        *both* miss the idempotency record and both commit. The record
+        is therefore claimed under a lock before execution: the first
+        thread installs an in-flight marker and executes; concurrent
+        duplicates block on the marker and are answered with the
+        recorded reply (counted as suppressed), exactly like duplicates
+        arriving after completion.
+        """
+        request_id = envelope.request_id
+        while True:
+            with self._idempotency_lock:
+                replay = self._idempotency.get(request_id)
+                if replay is not None:
+                    self.stats.bump("duplicates_suppressed")
+                    return replay
+                marker = self._in_flight.get(request_id)
+                if marker is None:
+                    marker = threading.Event()
+                    self._in_flight[request_id] = marker
+                    break
+            # Another thread is executing this very request: wait for it
+            # and re-check (its reply lands in the record before the
+            # marker is set; a failed execution clears the marker so the
+            # duplicate retries the execution itself).
+            marker.wait()
+        try:
             reply = self._route(envelope)
-            self._idempotency[envelope.request_id] = reply
+        except BaseException:
+            with self._idempotency_lock:
+                self._in_flight.pop(request_id, None)
+            marker.set()
+            raise
+        with self._idempotency_lock:
+            self._idempotency[request_id] = reply
             while len(self._idempotency) > self.idempotency_capacity:
                 self._idempotency.popitem(last=False)
-            return reply
-        return self._route(envelope)
+            self._in_flight.pop(request_id, None)
+        marker.set()
+        return reply
 
     def _route(self, envelope: RelayEnvelope) -> bytes:
         if envelope.kind == MSG_KIND_QUERY_REQUEST:
@@ -424,7 +502,7 @@ class RelayService:
             return self._serve_event_unsubscribe(envelope)
         if envelope.kind in ASSET_COMMAND_KINDS:
             return self._serve_asset(envelope)
-        self.stats.requests_failed += 1
+        self.stats.bump("requests_failed")
         return self._error_envelope(
             envelope.request_id, f"unexpected message kind {envelope.kind}", False
         )
@@ -433,21 +511,21 @@ class RelayService:
         try:
             query = NetworkQuery.decode(envelope.payload)
         except Exception as exc:
-            self.stats.requests_failed += 1
+            self.stats.bump("requests_failed")
             return self._error_envelope(
                 envelope.request_id, f"undecodable query: {exc}", False
             )
         target = query.address.network if query.address else ""
         driver = self._drivers.get(target)
         if driver is None:
-            self.stats.requests_failed += 1
+            self.stats.bump("requests_failed")
             return self._error_envelope(
                 envelope.request_id,
                 f"relay {self.relay_id!r} has no driver for network {target!r}",
                 False,
             )
         response = driver.execute_query(query)
-        self.stats.requests_served += 1
+        self.stats.bump("requests_served")
         return RelayEnvelope(
             version=PROTOCOL_VERSION,
             kind=MSG_KIND_QUERY_RESPONSE,
@@ -470,7 +548,7 @@ class RelayService:
         try:
             batch = BatchQueryRequest.decode(envelope.payload)
         except Exception as exc:
-            self.stats.requests_failed += 1
+            self.stats.bump("requests_failed")
             return self._error_envelope(
                 envelope.request_id, f"undecodable batch: {exc}", False
             )
@@ -490,7 +568,7 @@ class RelayService:
             if driver is None:
                 # Stat parity with the singleton path: a member this relay
                 # cannot route counts as failed, not served.
-                self.stats.requests_failed += len(positions)
+                self.stats.bump("requests_failed", len(positions))
                 capability = "transaction-capable driver" if is_transaction else "driver"
                 for position in positions:
                     responses[position] = QueryResponse(
@@ -506,13 +584,13 @@ class RelayService:
             members = [queries[p] for p in positions]
             if is_transaction:
                 served = driver.execute_transaction_batch(members)
-                self.stats.transactions_served += len(positions)
+                self.stats.bump("transactions_served", len(positions))
             else:
                 served = driver.execute_batch(members)
             for position, response in zip(positions, served):
                 responses[position] = response
-            self.stats.requests_served += len(positions)
-        self.stats.batches_served += 1
+            self.stats.bump("requests_served", len(positions))
+        self.stats.bump("batches_served")
         reply = BatchQueryResponse(
             version=PROTOCOL_VERSION,
             responses=[r for r in responses if r is not None],
@@ -536,14 +614,14 @@ class RelayService:
         try:
             query = NetworkQuery.decode(envelope.payload)
         except Exception as exc:
-            self.stats.requests_failed += 1
+            self.stats.bump("requests_failed")
             return self._error_envelope(
                 envelope.request_id, f"undecodable transaction: {exc}", False
             )
         target = query.address.network if query.address else ""
         driver = self._transaction_driver(target)
         if driver is None:
-            self.stats.requests_failed += 1
+            self.stats.bump("requests_failed")
             return self._error_envelope(
                 envelope.request_id,
                 f"relay {self.relay_id!r} has no transaction-capable driver "
@@ -552,8 +630,8 @@ class RelayService:
                 error_kind=ERROR_KIND_CAPABILITY,
             )
         response = driver._execute_transaction_guarded(query)
-        self.stats.requests_served += 1
-        self.stats.transactions_served += 1
+        self.stats.bump("requests_served")
+        self.stats.bump("transactions_served")
         return RelayEnvelope(
             version=PROTOCOL_VERSION,
             kind=MSG_KIND_TRANSACT_RESPONSE,
@@ -575,14 +653,14 @@ class RelayService:
         try:
             command = AssetCommandMsg.decode(envelope.payload)
         except Exception as exc:
-            self.stats.requests_failed += 1
+            self.stats.bump("requests_failed")
             return self._error_envelope(
                 envelope.request_id, f"undecodable asset command: {exc}", False
             )
         target = command.address.network if command.address else ""
         driver = self._drivers.get(target)
         if driver is None or not driver.supports_assets:
-            self.stats.requests_failed += 1
+            self.stats.bump("requests_failed")
             return self._error_envelope(
                 envelope.request_id,
                 f"relay {self.relay_id!r} has no asset-capable driver for "
@@ -599,7 +677,7 @@ class RelayService:
         try:
             ack = verbs[envelope.kind](command)
         except AccessDeniedError as exc:
-            self.stats.requests_failed += 1
+            self.stats.bump("requests_failed")
             ack = AssetAckMsg(
                 version=PROTOCOL_VERSION,
                 nonce=command.nonce,
@@ -608,7 +686,7 @@ class RelayService:
                 asset_id=command.asset_id,
             )
         except Exception as exc:  # noqa: BLE001 - answered, not raised
-            self.stats.requests_failed += 1
+            self.stats.bump("requests_failed")
             ack = AssetAckMsg(
                 version=PROTOCOL_VERSION,
                 nonce=command.nonce,
@@ -617,8 +695,8 @@ class RelayService:
                 asset_id=command.asset_id,
             )
         else:
-            self.stats.requests_served += 1
-            self.stats.asset_commands_served += 1
+            self.stats.bump("requests_served")
+            self.stats.bump("asset_commands_served")
         return RelayEnvelope(
             version=PROTOCOL_VERSION,
             kind=MSG_KIND_ASSET_ACK,
@@ -663,14 +741,14 @@ class RelayService:
         try:
             request = EventSubscribeRequest.decode(envelope.payload)
         except Exception as exc:
-            self.stats.requests_failed += 1
+            self.stats.bump("requests_failed")
             return self._error_envelope(
                 envelope.request_id, f"undecodable subscription: {exc}", False
             )
         target = request.address.network if request.address else ""
         driver = self._drivers.get(target)
         if driver is None or not driver.supports_events:
-            self.stats.requests_failed += 1
+            self.stats.bump("requests_failed")
             return self._error_envelope(
                 envelope.request_id,
                 f"relay {self.relay_id!r} has no event-capable driver for "
@@ -679,20 +757,24 @@ class RelayService:
                 error_kind=ERROR_KIND_CAPABILITY,
             )
         subscription_id = request.subscription_id or random_id("sub-")
-        if subscription_id in self._served_subscriptions:
-            self.stats.requests_failed += 1
-            return self._event_ack(
-                envelope,
-                "",
-                status=STATUS_ERROR,
-                error=f"subscription id {subscription_id!r} already in use",
-            )
         subscriber_network = envelope.source_network
         record = _ServedSubscription(
             subscription_id=subscription_id,
             subscriber_network=subscriber_network,
             driver=driver,
         )
+        # Claim the id under the lock *before* tapping: two concurrent
+        # subscribes proposing one id must not both open taps.
+        with self._subscriptions_lock:
+            if subscription_id in self._served_subscriptions:
+                self.stats.bump("requests_failed")
+                return self._event_ack(
+                    envelope,
+                    "",
+                    status=STATUS_ERROR,
+                    error=f"subscription id {subscription_id!r} already in use",
+                )
+            self._served_subscriptions[subscription_id] = record
 
         def push(notification) -> None:
             self._publish_event(record, notification)
@@ -700,32 +782,58 @@ class RelayService:
         try:
             record.tap = driver.open_event_tap(request, push)
         except AccessDeniedError as exc:
-            self.stats.requests_failed += 1
+            self._release_claim(subscription_id, record)
+            self.stats.bump("requests_failed")
             return self._event_ack(
                 envelope, "", status=STATUS_ACCESS_DENIED, error=str(exc)
             )
         except Exception as exc:  # noqa: BLE001 - answered, not raised
-            self.stats.requests_failed += 1
+            self._release_claim(subscription_id, record)
+            self.stats.bump("requests_failed")
             return self._event_ack(envelope, "", status=STATUS_ERROR, error=str(exc))
-        self._served_subscriptions[subscription_id] = record
-        self.stats.requests_served += 1
-        self.stats.subscriptions_served += 1
+        # A concurrent unsubscribe (a duplicated/reordered frame is part
+        # of the threat model) may have popped our record while the tap
+        # was opening — its pop found no tap to close, so WE must close
+        # the one we just opened or it would push events forever.
+        with self._subscriptions_lock:
+            still_ours = self._served_subscriptions.get(subscription_id) is record
+        if not still_ours:
+            driver.close_event_tap(record.tap)
+            self.stats.bump("requests_failed")
+            return self._event_ack(
+                envelope,
+                "",
+                status=STATUS_ERROR,
+                error=f"subscription {subscription_id!r} torn down concurrently",
+            )
+        self.stats.bump("requests_served")
+        self.stats.bump("subscriptions_served")
         return self._event_ack(envelope, subscription_id)
+
+    def _release_claim(self, subscription_id: str, record: "_ServedSubscription") -> None:
+        """Drop a claimed subscription id, but only if it is still ours —
+        a concurrent unsubscribe-then-resubscribe may have replaced the
+        record, and popping someone else's healthy subscription would
+        orphan their tap."""
+        with self._subscriptions_lock:
+            if self._served_subscriptions.get(subscription_id) is record:
+                del self._served_subscriptions[subscription_id]
 
     def _serve_event_unsubscribe(self, envelope: RelayEnvelope) -> bytes:
         try:
             request = EventUnsubscribeRequest.decode(envelope.payload)
         except Exception as exc:
-            self.stats.requests_failed += 1
+            self.stats.bump("requests_failed")
             return self._error_envelope(
                 envelope.request_id, f"undecodable unsubscribe: {exc}", False
             )
         self._drop_served_subscription(request.subscription_id)
-        self.stats.requests_served += 1
+        self.stats.bump("requests_served")
         return self._event_ack(envelope, request.subscription_id)
 
     def _drop_served_subscription(self, subscription_id: str) -> None:
-        record = self._served_subscriptions.pop(subscription_id, None)
+        with self._subscriptions_lock:
+            record = self._served_subscriptions.pop(subscription_id, None)
         if record is not None and record.tap is not None:
             record.driver.close_event_tap(record.tap)
 
@@ -757,14 +865,14 @@ class RelayService:
                 EventAck.decode,
             )
         except (RelayError, DiscoveryError):
-            self.stats.events_dropped += 1
+            self.stats.bump("events_dropped")
             return
         if ack.status != STATUS_OK:
             # The subscriber side no longer knows this subscription.
-            self.stats.events_dropped += 1
+            self.stats.bump("events_dropped")
             self._drop_served_subscription(record.subscription_id)
             return
-        self.stats.events_published += 1
+        self.stats.bump("events_published")
 
     # -- destination side: local event sinks --------------------------------------
 
@@ -775,25 +883,28 @@ class RelayService:
     ) -> None:
         """Route inbound ``MSG_KIND_EVENT_PUBLISH`` for ``subscription_id``
         to ``callback`` (installed by :class:`repro.api.GatewaySession`)."""
-        self._event_sinks[subscription_id] = callback
+        with self._subscriptions_lock:
+            self._event_sinks[subscription_id] = callback
 
     def unregister_event_sink(self, subscription_id: str) -> None:
-        self._event_sinks.pop(subscription_id, None)
+        with self._subscriptions_lock:
+            self._event_sinks.pop(subscription_id, None)
 
     def _serve_event_publish(self, envelope: RelayEnvelope) -> bytes:
         try:
             message = EventNotificationMsg.decode(envelope.payload)
         except Exception as exc:
-            self.stats.requests_failed += 1
+            self.stats.bump("requests_failed")
             return self._error_envelope(
                 envelope.request_id, f"undecodable notification: {exc}", False
             )
-        sink = self._event_sinks.get(message.subscription_id)
+        with self._subscriptions_lock:
+            sink = self._event_sinks.get(message.subscription_id)
         if sink is None:
             # Answered with a non-OK ack (not an error envelope) so the
             # source relay prunes the dead subscription instead of failing
             # over to another relay of this network.
-            self.stats.requests_failed += 1
+            self.stats.bump("requests_failed")
             return self._event_ack(
                 envelope,
                 message.subscription_id,
@@ -804,8 +915,8 @@ class RelayService:
                 ),
             )
         sink(message)
-        self.stats.requests_served += 1
-        self.stats.events_delivered += 1
+        self.stats.bump("requests_served")
+        self.stats.bump("events_delivered")
         return self._event_ack(envelope, message.subscription_id)
 
     # -- destination side: query remote networks -----------------------------------
@@ -818,7 +929,7 @@ class RelayService:
         across redundant remote relays on transport failure or shedding.
         """
         target = self._require_target(query)
-        self.stats.queries_sent += 1
+        self.stats.bump("queries_sent")
         return self._exchange(
             target,
             MSG_KIND_QUERY_REQUEST,
@@ -862,9 +973,9 @@ class RelayService:
                 1 for member in members
                 if member.invocation == INVOCATION_TRANSACTION
             )
-            self.stats.queries_sent += len(members) - transactions
-            self.stats.transactions_sent += transactions
-            self.stats.batches_sent += 1
+            self.stats.bump("queries_sent", len(members) - transactions)
+            self.stats.bump("transactions_sent", transactions)
+            self.stats.bump("batches_sent")
             # Mark envelopes carrying committed work so caching layers
             # (which route on the envelope alone) never replay them.
             headers = {SIDE_EFFECTING_HEADER: "true"} if transactions else None
@@ -890,7 +1001,7 @@ class RelayService:
         the payload.
         """
         target = self._require_target(query)
-        self.stats.transactions_sent += 1
+        self.stats.bump("transactions_sent")
         return self._exchange(
             target,
             MSG_KIND_TRANSACT_REQUEST,
@@ -914,7 +1025,7 @@ class RelayService:
         target = command.address.network if command.address else ""
         if not target:
             raise ProtocolError("asset command has no target network address")
-        self.stats.asset_commands_sent += 1
+        self.stats.bump("asset_commands_sent")
         headers = (
             {SIDE_EFFECTING_HEADER: "true"}
             if kind != MSG_KIND_ASSET_STATUS
@@ -951,7 +1062,8 @@ class RelayService:
             raise ProtocolError("subscription has no target network address")
         if not request.subscription_id:
             request.subscription_id = random_id("sub-")
-        self._event_sinks[request.subscription_id] = sink
+        with self._subscriptions_lock:
+            self._event_sinks[request.subscription_id] = sink
         try:
             ack = self._exchange(
                 target,
@@ -967,14 +1079,16 @@ class RelayService:
                     f"subscription to network {target!r} failed: {ack.error}"
                 )
         except BaseException:
-            self._event_sinks.pop(request.subscription_id, None)
+            with self._subscriptions_lock:
+                self._event_sinks.pop(request.subscription_id, None)
             raise
         if ack.subscription_id != request.subscription_id:
             # A source predating subscriber-proposed ids assigned its own.
-            self._event_sinks[ack.subscription_id] = self._event_sinks.pop(
-                request.subscription_id
-            )
-        self.stats.subscriptions_opened += 1
+            with self._subscriptions_lock:
+                self._event_sinks[ack.subscription_id] = self._event_sinks.pop(
+                    request.subscription_id
+                )
+        self.stats.bump("subscriptions_opened")
         return ack.subscription_id
 
     def remote_unsubscribe(self, source_network: str, subscription_id: str) -> None:
@@ -1032,7 +1146,7 @@ class RelayService:
         failures: list[str] = []
         for position, endpoint in enumerate(endpoints):
             if position > 0:
-                self.stats.failovers += 1
+                self.stats.bump("failovers")
             try:
                 reply_bytes = endpoint.handle_request(envelope_bytes)
             except (RelayUnavailableError, DoSError, RelayError, DiscoveryError) as exc:

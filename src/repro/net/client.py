@@ -1,0 +1,221 @@
+"""The socket-side client adapter: a RelayEndpoint over TCP frames.
+
+:class:`TcpRelayEndpoint` makes a remote
+:class:`~repro.net.server.RelayServer` look exactly like the in-process
+endpoints the relay machinery already speaks to: one blocking
+``handle_request(bytes) -> bytes`` call. Underneath, each request is one
+length-prefixed frame on a pooled TCP connection, with one request in
+flight per connection (so replies need no transport-level correlation —
+envelope ``request_id`` correlation still applies end to end).
+
+Failure translation is the whole point of the adapter: connect failures,
+resets, timeouts, mid-frame EOFs, and un-frameable replies all surface as
+the typed :class:`~repro.errors.RelayUnavailableError` the failover loop
+in :meth:`RelayService._exchange` already treats as "advance to the next
+redundant relay". The transport can fail, but it fails exactly like a
+dead in-process relay — no caller changes.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from collections import deque
+
+from repro.errors import DecodeError, RelayUnavailableError
+from repro.net.framing import DEFAULT_MAX_FRAME_BYTES, FrameDecoder, encode_frame
+
+
+class _PooledConnection:
+    """One dialed socket, strictly one request in flight at a time."""
+
+    def __init__(self, sock: socket.socket, max_frame_bytes: int) -> None:
+        self.sock = sock
+        self.decoder = FrameDecoder(max_frame_bytes)
+        #: Whether the current/last round-trip saw any reply bytes —
+        #: the structural input to the caller's stale-pool retry decision.
+        self.got_reply_bytes = False
+
+    def round_trip(self, data: bytes, timeout: float) -> bytes:
+        # One deadline for the WHOLE round-trip: each socket operation
+        # gets only the remaining budget, so a server dribbling one byte
+        # per almost-timeout cannot keep the caller blocked forever.
+        deadline = time.monotonic() + timeout
+        self.got_reply_bytes = False
+        self.sock.settimeout(timeout)
+        self.sock.sendall(encode_frame(data))
+        while True:
+            frame = self.decoder.next_frame()
+            if frame is not None:
+                return frame
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise socket.timeout(
+                    f"no complete reply frame within {timeout}s"
+                )
+            self.sock.settimeout(remaining)
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                raise ConnectionResetError("server closed the connection")
+            self.got_reply_bytes = True
+            self.decoder.feed(chunk)
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:  # pragma: no cover - close is best-effort
+            pass
+
+
+class TcpRelayEndpoint:
+    """A remote relay reached over TCP, presented as a local endpoint.
+
+    Connections are pooled: a request borrows an idle connection (dialing
+    a fresh one when none is idle), and returns it on success. Up to
+    ``max_pool_size`` idle connections are kept warm; a connection that
+    saw any failure is discarded, never reused — stream framing cannot be
+    resynchronized after an error. Thread-safe: concurrent callers each
+    borrow their own connection, which is how a destination relay issues
+    parallel queries (batch fan-out, exchange legs) over one endpoint.
+
+    ``timeout`` bounds each request round-trip (connect + send + reply).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 10.0,
+        max_pool_size: int = 8,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    ) -> None:
+        if timeout <= 0:
+            raise ValueError("timeout must be positive")
+        if max_pool_size < 1:
+            raise ValueError("max_pool_size must be >= 1")
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.max_pool_size = max_pool_size
+        self.max_frame_bytes = max_frame_bytes
+        self._lock = threading.Lock()
+        self._idle: deque[_PooledConnection] = deque()
+        self._closed = False
+        #: Operational counters (reads are advisory).
+        self.requests_sent = 0
+        self.connections_dialed = 0
+        self.transport_failures = 0
+
+    @property
+    def address(self) -> str:
+        return f"tcp://{self.host}:{self.port}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"TcpRelayEndpoint({self.address})"
+
+    # -- the RelayEndpoint surface ------------------------------------------------
+
+    def handle_request(self, data: bytes) -> bytes:
+        """One framed round-trip; raises :class:`RelayUnavailableError`
+        on any transport-level failure so the failover loop engages.
+
+        An idle pooled connection may have been closed server-side while
+        it sat in the pool (server restart, OS idle reaping); when one
+        fails *before any reply byte arrived*, the request is retried
+        once on a freshly dialed connection instead of bubbling a
+        spurious failure out of a healthy deployment.
+        """
+        if self._closed:
+            raise RelayUnavailableError(
+                f"endpoint for {self.address} has been closed"
+            )
+        connection, from_pool = self._borrow()
+        try:
+            reply = connection.round_trip(data, self.timeout)
+        except DecodeError as exc:
+            # The server sent bytes that do not frame (or exceed the
+            # frame bound): the stream is poisoned. Typed and retryable.
+            self._discard(connection)
+            raise RelayUnavailableError(
+                f"relay at {self.address} sent an undecodable frame: {exc}"
+            ) from exc
+        except (OSError, ConnectionError) as exc:
+            self._discard(connection)
+            stale = (
+                from_pool
+                and isinstance(exc, ConnectionError)
+                and not connection.got_reply_bytes
+            )
+            if not stale:
+                raise RelayUnavailableError(
+                    f"relay at {self.address} is unreachable: {exc}"
+                ) from exc
+            connection = self._dial()  # raises typed on dial failure
+            try:
+                reply = connection.round_trip(data, self.timeout)
+            except DecodeError as retry_exc:
+                self._discard(connection)
+                raise RelayUnavailableError(
+                    f"relay at {self.address} sent an undecodable frame: "
+                    f"{retry_exc}"
+                ) from retry_exc
+            except (OSError, ConnectionError) as retry_exc:
+                self._discard(connection)
+                raise RelayUnavailableError(
+                    f"relay at {self.address} is unreachable: {retry_exc}"
+                ) from retry_exc
+        with self._lock:
+            self.requests_sent += 1
+        if connection.decoder.buffered or connection.decoder.next_frame() is not None:
+            # A conforming server answers one frame per request; surplus
+            # bytes mean the stream is out of step — never reuse it.
+            self._discard(connection)
+        else:
+            self._give_back(connection)
+        return reply
+
+    # -- pool management ----------------------------------------------------------
+
+    def _borrow(self) -> tuple[_PooledConnection, bool]:
+        """An idle connection (``True``) or a fresh dial (``False``)."""
+        with self._lock:
+            if self._idle:
+                return self._idle.popleft(), True
+        return self._dial(), False
+
+    def _dial(self) -> _PooledConnection:
+        try:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+        except OSError as exc:
+            with self._lock:
+                self.transport_failures += 1
+            raise RelayUnavailableError(
+                f"cannot connect to relay at {self.address}: {exc}"
+            ) from exc
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        with self._lock:
+            self.connections_dialed += 1
+        return _PooledConnection(sock, self.max_frame_bytes)
+
+    def _give_back(self, connection: _PooledConnection) -> None:
+        with self._lock:
+            if not self._closed and len(self._idle) < self.max_pool_size:
+                self._idle.append(connection)
+                return
+        connection.close()
+
+    def _discard(self, connection: _PooledConnection) -> None:
+        with self._lock:
+            self.transport_failures += 1
+        connection.close()
+
+    def close(self) -> None:
+        """Close all idle pooled connections; in-flight ones finish solo."""
+        with self._lock:
+            self._closed = True
+            idle, self._idle = list(self._idle), deque()
+        for connection in idle:
+            connection.close()

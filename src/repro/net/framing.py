@@ -1,0 +1,176 @@
+"""Length-prefixed envelope framing for stream transports.
+
+A TCP stream has no message boundaries, so serialized
+:class:`~repro.proto.messages.RelayEnvelope` bytes travel as *frames*:
+a varint length prefix (the same encoding :mod:`repro.wire` uses inside
+messages) followed by exactly that many payload bytes. The framing layer
+sits *below* the protocol's protection boundary — a frame is opaque
+ciphertext-or-not bytes; integrity comes from the proofs inside, never
+from the transport.
+
+Decoding is defensive, because the peer is untrusted:
+
+- a declared length above ``max_frame_bytes`` is rejected *before* any
+  payload is read (an attacker cannot make the server buffer gigabytes);
+- a prefix that cannot be a varint (more than 10 continuation bytes) is
+  rejected as garbage immediately;
+- a truncated frame is never silently delivered: either the decoder
+  waits for more bytes (streaming) or :meth:`FrameDecoder.finish` /
+  :func:`read_frame` raise a typed :class:`~repro.errors.DecodeError`.
+
+All rejections are typed :class:`DecodeError`\\ s — a malformed stream can
+fail, but it can never hang a reader or smuggle a mis-framed message.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+
+from repro.errors import DecodeError
+from repro.wire.varint import MAX_VARINT_LEN, decode_varint, encode_varint
+
+#: Default upper bound on one frame's payload. Generous for envelopes
+#: (a batch of large confidential results stays well under it) while
+#: bounding what one malicious peer can make a server buffer.
+DEFAULT_MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+
+def encode_frame(payload: bytes) -> bytes:
+    """One wire frame: ``varint(len(payload)) || payload``."""
+    return encode_varint(len(payload)) + payload
+
+
+class FrameDecoder:
+    """Incremental frame decoder for a byte stream.
+
+    Feed arbitrary chunks with :meth:`feed`; completed frames queue up and
+    pop via :meth:`next_frame` (or iterate :meth:`frames`). The decoder
+    never blocks and never buffers beyond one frame plus the inbound
+    chunk: a hostile prefix fails fast, an incomplete frame simply waits.
+
+    Call :meth:`finish` at end-of-stream: leftover bytes mean the peer
+    died (or lied) mid-frame, which is a :class:`DecodeError`, not data.
+    """
+
+    def __init__(self, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES) -> None:
+        if max_frame_bytes < 1:
+            raise ValueError("max_frame_bytes must be >= 1")
+        self.max_frame_bytes = max_frame_bytes
+        self._buffer = bytearray()
+        self._frames: deque[bytes] = deque()
+        self.frames_decoded = 0
+
+    @property
+    def buffered(self) -> int:
+        """Bytes held waiting for a frame to complete."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> int:
+        """Absorb ``data``; returns how many new frames completed.
+
+        Raises :class:`DecodeError` on an impossible prefix or an
+        oversized declared length (the stream is then poisoned — discard
+        the connection, there is no way to resynchronize).
+        """
+        self._buffer.extend(data)
+        completed = 0
+        while True:
+            frame = self._try_decode()
+            if frame is None:
+                return completed
+            self._frames.append(frame)
+            self.frames_decoded += 1
+            completed += 1
+
+    def _try_decode(self) -> bytes | None:
+        if not self._buffer:
+            return None
+        # Find the varint terminator (first byte without the continuation
+        # bit) structurally, so "honest partial prefix" vs "garbage" never
+        # depends on another module's exception wording.
+        prefix_length = None
+        for position in range(min(len(self._buffer), MAX_VARINT_LEN)):
+            if not self._buffer[position] & 0x80:
+                prefix_length = position + 1
+                break
+        if prefix_length is None:
+            if len(self._buffer) < MAX_VARINT_LEN:
+                return None  # an honest partial prefix: wait for more bytes
+            raise DecodeError("garbage frame prefix: varint longer than 10 bytes")
+        try:
+            length, offset = decode_varint(bytes(self._buffer[:prefix_length]))
+        except DecodeError as exc:  # e.g. a length overflowing 64 bits
+            raise DecodeError(f"garbage frame prefix: {exc}") from exc
+        if length > self.max_frame_bytes:
+            raise DecodeError(
+                f"declared frame length {length} exceeds the "
+                f"{self.max_frame_bytes}-byte limit"
+            )
+        if len(self._buffer) - offset < length:
+            return None  # prefix complete, payload still in flight
+        payload = bytes(self._buffer[offset : offset + length])
+        del self._buffer[: offset + length]
+        return payload
+
+    def next_frame(self) -> bytes | None:
+        """Pop the oldest completed frame (``None`` when none is ready)."""
+        if self._frames:
+            return self._frames.popleft()
+        return None
+
+    def frames(self):
+        """Drain all completed frames."""
+        while self._frames:
+            yield self._frames.popleft()
+
+    def finish(self) -> None:
+        """Assert a clean end-of-stream (no bytes stuck mid-frame)."""
+        if self._buffer:
+            raise DecodeError(
+                f"stream ended mid-frame with {len(self._buffer)} undelivered "
+                f"byte(s)"
+            )
+
+
+async def read_frame(
+    reader: asyncio.StreamReader,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+) -> bytes | None:
+    """Read one frame from an asyncio stream.
+
+    Returns ``None`` on a clean end-of-stream at a frame boundary; raises
+    :class:`DecodeError` for a garbage/oversized prefix or a connection
+    that dies mid-frame. The declared length is validated *before* the
+    payload is read.
+    """
+    prefix = bytearray()
+    while True:
+        byte = await reader.read(1)
+        if not byte:
+            if not prefix:
+                return None  # clean EOF between frames
+            raise DecodeError("stream ended inside a frame length prefix")
+        prefix += byte
+        if not byte[0] & 0x80:
+            break
+        if len(prefix) >= MAX_VARINT_LEN:
+            raise DecodeError("garbage frame prefix: varint longer than 10 bytes")
+    length, _ = decode_varint(bytes(prefix))
+    if length > max_frame_bytes:
+        raise DecodeError(
+            f"declared frame length {length} exceeds the "
+            f"{max_frame_bytes}-byte limit"
+        )
+    try:
+        return await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise DecodeError(
+            f"stream ended mid-frame: got {len(exc.partial)} of {length} "
+            f"payload byte(s)"
+        ) from exc
+
+
+def write_frame(writer: asyncio.StreamWriter, payload: bytes) -> None:
+    """Queue one frame on an asyncio stream (call ``await writer.drain()``)."""
+    writer.write(encode_frame(payload))

@@ -1,0 +1,322 @@
+"""The relay as a real network service: an asyncio TCP frame server.
+
+:class:`RelayServer` is the deployment shape the paper implies — "the
+relay service serves requests for authentic data" (§3.2) *from remote
+parties over the wire*. It listens on a socket, speaks the
+length-prefixed envelope framing of :mod:`repro.net.framing`, and serves
+requests **concurrently**: the asyncio loop multiplexes connections and
+frame I/O, while each request's actual serving — the existing synchronous
+:meth:`RelayService.handle_request` path (interceptor chain, dispatch,
+driver, proof collection) — runs on a bounded worker-thread executor.
+Nothing about the relay's protocol behavior changes; the server is a
+transport shell around the very same object the in-process tests drive.
+
+Failure semantics mirror the in-process contract:
+
+- protocol-level failures are *answered* (error envelopes travel back as
+  ordinary frames — a remote relay cannot catch our exceptions);
+- a relay that is down (:class:`RelayUnavailableError`) or a client that
+  sends unframeable bytes gets its connection closed, which the peer's
+  :class:`~repro.net.client.TcpRelayEndpoint` surfaces as the same typed
+  :class:`RelayUnavailableError` the failover loop already handles.
+
+The server owns a private event loop on a daemon thread, so synchronous
+deployments (and tests) just call :meth:`start` / :meth:`stop`; asyncio
+applications embed it with :meth:`start_async` / :meth:`stop_async`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.errors import DecodeError, RelayUnavailableError
+from repro.net.framing import DEFAULT_MAX_FRAME_BYTES, read_frame, write_frame
+
+
+class RelayServerStats:
+    """Operational counters for one server (all guarded by one lock)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.connections_accepted = 0
+        self.connections_closed = 0
+        self.frames_served = 0
+        self.frames_rejected = 0
+        self.in_flight = 0
+        self.in_flight_peak = 0
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            setattr(self, name, getattr(self, name) + amount)
+
+    def enter_flight(self) -> None:
+        with self._lock:
+            self.in_flight += 1
+            self.in_flight_peak = max(self.in_flight_peak, self.in_flight)
+
+    def leave_flight(self) -> None:
+        with self._lock:
+            self.in_flight -= 1
+
+
+class RelayServer:
+    """Serves one :class:`RelayService` on a TCP socket, concurrently.
+
+    ``max_workers`` sizes the executor that runs the synchronous serve
+    path: it is the server's concurrency ceiling. ``max_workers=1``
+    degenerates to single-in-flight serving (useful as a benchmark
+    baseline, or for fronting a substrate that cannot take concurrent
+    load *without* installing a
+    :class:`~repro.api.SerializingInterceptor`). Frames pipelined on one
+    connection are served concurrently too; replies are written in
+    completion order, each as one atomic frame (the client's
+    one-in-flight-per-connection discipline means ordering never
+    matters to a conforming peer).
+    """
+
+    def __init__(
+        self,
+        service,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_workers: int = 8,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        max_pipeline_depth: int = 32,
+    ) -> None:
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        if max_pipeline_depth < 1:
+            raise ValueError("max_pipeline_depth must be >= 1")
+        self.service = service
+        self._requested_host = host
+        self._requested_port = port
+        self.max_workers = max_workers
+        self.max_frame_bytes = max_frame_bytes
+        #: Per-connection bound on frames in flight: past it the read
+        #: loop stops pulling bytes, so TCP flow control pushes back on
+        #: the peer instead of the server buffering unbounded frames —
+        #: without this, pipelining would bypass ``max_frame_bytes`` as
+        #: a memory bound (N frames x 8 MB each, all queued).
+        self.max_pipeline_depth = max_pipeline_depth
+        self.stats = RelayServerStats()
+        self._executor: ThreadPoolExecutor | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+        self._startup_error: BaseException | None = None
+        self.host: str | None = None
+        self.port: int | None = None
+
+    # -- addressing ---------------------------------------------------------------
+
+    @property
+    def address(self) -> str:
+        """The bound ``tcp://host:port`` address (after start)."""
+        if self.host is None or self.port is None:
+            raise RuntimeError("server is not started")
+        return f"tcp://{self.host}:{self.port}"
+
+    def endpoint(self, timeout: float = 10.0, **kwargs):
+        """A fresh :class:`TcpRelayEndpoint` dialed at this server."""
+        from repro.net.client import TcpRelayEndpoint
+
+        if self.host is None or self.port is None:
+            raise RuntimeError("server is not started")
+        return TcpRelayEndpoint(self.host, self.port, timeout=timeout, **kwargs)
+
+    # -- async lifecycle ----------------------------------------------------------
+
+    async def start_async(self) -> "RelayServer":
+        """Bind and start accepting on the current event loop."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._loop = asyncio.get_running_loop()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.max_workers,
+            thread_name_prefix=f"relay-{self.service.network_id}",
+        )
+        self._server = await asyncio.start_server(
+            self._handle_connection, self._requested_host, self._requested_port
+        )
+        bound = self._server.sockets[0].getsockname()
+        self.host, self.port = bound[0], bound[1]
+        self._started.set()
+        return self
+
+    async def stop_async(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._executor is not None:
+            self._executor.shutdown(wait=False)
+            self._executor = None
+
+    # -- sync lifecycle (private loop on a daemon thread) -------------------------
+
+    def start(self) -> "RelayServer":
+        """Start on a private background event loop; returns when bound.
+
+        A stopped server can be started again; it binds a fresh socket
+        (and, with ``port=0``, gets a fresh ephemeral port).
+        """
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._started.clear()
+        self._startup_error = None
+        self.host = self.port = None
+        self._thread = threading.Thread(
+            target=self._run_loop,
+            name=f"relay-server-{self.service.network_id}",
+            daemon=True,
+        )
+        self._thread.start()
+        self._started.wait(timeout=10.0)
+        if self._startup_error is not None:
+            error, self._startup_error = self._startup_error, None
+            self._thread.join(timeout=10.0)
+            self._thread = None
+            raise RuntimeError(f"relay server failed to start: {error}") from error
+        if not self._started.is_set():
+            raise RuntimeError("relay server did not start within 10s")
+        return self
+
+    def _run_loop(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        stop = loop.create_future()
+        self._stop_future = stop
+        try:
+            loop.run_until_complete(self.start_async())
+        except BaseException as exc:  # noqa: BLE001 - reported to start()
+            self._startup_error = exc
+            self._started.set()
+            loop.close()
+            return
+        try:
+            loop.run_until_complete(stop)
+            loop.run_until_complete(self.stop_async())
+            # Let cancelled connection tasks unwind before closing the loop.
+            pending = [t for t in asyncio.all_tasks(loop) if not t.done()]
+            for task in pending:
+                task.cancel()
+            if pending:
+                loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True)
+                )
+        finally:
+            loop.close()
+
+    def stop(self) -> None:
+        """Stop a :meth:`start`-ed server and join its loop thread."""
+        if self._thread is None:
+            return
+        loop = self._loop
+        if loop is not None and not loop.is_closed():
+            def _finish() -> None:
+                if not self._stop_future.done():
+                    self._stop_future.set_result(None)
+
+            try:
+                loop.call_soon_threadsafe(_finish)
+            except RuntimeError:  # pragma: no cover - loop already gone
+                pass
+        self._thread.join(timeout=10.0)
+        self._thread = None
+        self._loop = None
+        self._started.clear()
+        self.host = self.port = None
+
+    def __enter__(self) -> "RelayServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- the serve path -----------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.stats.bump("connections_accepted")
+        write_lock = asyncio.Lock()
+        pipeline_slots = asyncio.Semaphore(self.max_pipeline_depth)
+        tasks: set[asyncio.Task] = set()
+        try:
+            while True:
+                # Backpressure: don't even read the next frame while the
+                # connection already has max_pipeline_depth in flight.
+                await pipeline_slots.acquire()
+                try:
+                    frame = await read_frame(reader, self.max_frame_bytes)
+                except DecodeError:
+                    # Unframeable inbound bytes: the stream cannot be
+                    # resynchronized — drop the connection. The peer sees
+                    # a typed transport failure, not silent misbehavior.
+                    pipeline_slots.release()
+                    self.stats.bump("frames_rejected")
+                    break
+                if frame is None:
+                    pipeline_slots.release()
+                    break  # clean EOF
+                task = asyncio.ensure_future(
+                    self._serve_frame(frame, writer, write_lock)
+                )
+                tasks.add(task)
+
+                def finished(done: asyncio.Task, slots=pipeline_slots) -> None:
+                    tasks.discard(done)
+                    slots.release()
+
+                task.add_done_callback(finished)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+            self.stats.bump("connections_closed")
+
+    async def _serve_frame(
+        self,
+        frame: bytes,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        self.stats.enter_flight()
+        try:
+            reply = await loop.run_in_executor(
+                self._executor, self.service.handle_request, frame
+            )
+        except RelayUnavailableError:
+            # The relay models itself as down: over the wire that is a
+            # dead service, so the connection dies with it.
+            self.stats.bump("frames_rejected")
+            writer.close()
+            return
+        except Exception:  # noqa: BLE001 - a serve bug must not hang peers
+            self.stats.bump("frames_rejected")
+            writer.close()
+            return
+        finally:
+            self.stats.leave_flight()
+        # Counted when serving completes, before the reply flushes: a
+        # client that has read its reply must never observe a count that
+        # hasn't included it yet.
+        self.stats.bump("frames_served")
+        async with write_lock:
+            if writer.is_closing():
+                return
+            write_frame(writer, reply)
+            try:
+                await writer.drain()
+            except (ConnectionError, OSError):
+                return

@@ -1,0 +1,182 @@
+"""The pluggable transport seam between discovery and live relays.
+
+The paper's relay is a *network service*: a discovery lookup yields
+addresses, and something must turn an address into a live
+:class:`~repro.interop.discovery.RelayEndpoint`. That something is a
+:class:`RelayTransport` — the explicit, pluggable boundary this module
+names. Two implementations ship:
+
+- :class:`LocalTransport` — the original in-process call: an explicit
+  ``address -> endpoint`` table, zero copies, zero sockets. This is what
+  :class:`~repro.interop.discovery.AddressResolver` has always been; it
+  now has a name and sits behind the same seam as real transports.
+- :class:`TcpTransport` — dials ``tcp://host:port`` addresses and hands
+  back pooled :class:`~repro.net.client.TcpRelayEndpoint` adapters that
+  speak length-prefixed envelope frames to a
+  :class:`~repro.net.server.RelayServer`.
+
+The seam is *below* the trust boundary: a transport moves opaque
+serialized envelopes, and nothing about the protocol's guarantees —
+proof verification, nonce binding, replay protection — depends on which
+transport carried the bytes. Swapping ``relay://`` for ``tcp://`` in a
+registry file is a deployment decision, not a protocol change.
+"""
+
+from __future__ import annotations
+
+import threading
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING
+
+from repro.errors import DiscoveryError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.interop.discovery import RelayEndpoint
+
+
+def address_scheme(address: str) -> str:
+    """The ``scheme`` of ``scheme://rest`` (empty when there is none)."""
+    scheme, separator, _ = address.partition("://")
+    return scheme if separator else ""
+
+
+def parse_tcp_address(address: str) -> tuple[str, int]:
+    """Split ``tcp://host:port`` into ``(host, port)``.
+
+    Raises :class:`DiscoveryError` on anything malformed — a registry
+    file is operator-edited configuration, so bad entries must fail with
+    a message naming the offending address.
+    """
+    scheme, separator, rest = address.partition("://")
+    if not separator or scheme != "tcp":
+        raise DiscoveryError(f"address {address!r} is not a tcp:// address")
+    host, colon, port_text = rest.rpartition(":")
+    if not colon or not host:
+        raise DiscoveryError(
+            f"tcp address {address!r} must look like tcp://host:port"
+        )
+    # Bracketed IPv6 literals: tcp://[::1]:9000.
+    if host.startswith("[") and host.endswith("]"):
+        host = host[1:-1]
+    try:
+        port = int(port_text)
+    except ValueError as exc:
+        raise DiscoveryError(
+            f"tcp address {address!r} has a non-numeric port"
+        ) from exc
+    if not (0 < port < 65536):
+        raise DiscoveryError(f"tcp address {address!r} has an invalid port")
+    return host, port
+
+
+class RelayTransport(ABC):
+    """One way of turning relay addresses into live endpoints.
+
+    Implementations declare which URI ``schemes`` they serve and produce
+    a :class:`RelayEndpoint` per address. ``connect`` may be called from
+    any thread and must be idempotent-cheap: resolvers call it on every
+    lookup, so connection state (pools, dialed sockets) belongs inside
+    the returned endpoint, cached per address.
+    """
+
+    #: URI schemes this transport serves (e.g. ``("tcp",)``).
+    schemes: tuple[str, ...] = ()
+
+    @abstractmethod
+    def connect(self, address: str) -> "RelayEndpoint":
+        """A live endpoint for ``address``; raises :class:`DiscoveryError`
+        when the address is malformed or unknown."""
+
+    def close(self) -> None:
+        """Release any transport-held connection state (optional)."""
+
+
+class LocalTransport(RelayTransport):
+    """The in-process transport: an explicit address -> endpoint table.
+
+    This is the simulation's original "transport" — a direct Python call
+    on the destination relay object — now named and mounted behind the
+    :class:`RelayTransport` seam. Useful schemes are ``relay://`` and
+    ``local://``, but any address explicitly bound resolves regardless of
+    scheme, matching the historical :class:`AddressResolver` contract.
+    """
+
+    schemes = ("relay", "local")
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._endpoints: dict[str, "RelayEndpoint"] = {}
+
+    def bind(self, address: str, endpoint: "RelayEndpoint") -> None:
+        """Map ``address`` to a live endpoint (rebinding replaces)."""
+        with self._lock:
+            self._endpoints[address] = endpoint
+
+    def unbind(self, address: str) -> None:
+        with self._lock:
+            self._endpoints.pop(address, None)
+
+    def known(self, address: str) -> bool:
+        with self._lock:
+            return address in self._endpoints
+
+    def connect(self, address: str) -> "RelayEndpoint":
+        with self._lock:
+            endpoint = self._endpoints.get(address)
+        if endpoint is None:
+            raise DiscoveryError(f"relay address {address!r} does not resolve")
+        return endpoint
+
+
+class TcpTransport(RelayTransport):
+    """Dials ``tcp://host:port`` relays; endpoints are cached per address.
+
+    Endpoint options (``timeout``, ``max_pool_size``, ``max_frame_bytes``)
+    are fixed per transport instance and shared by every endpoint it
+    hands out; deployments needing per-relay tuning mount several
+    transports on distinct resolvers.
+    """
+
+    schemes = ("tcp",)
+
+    def __init__(
+        self,
+        timeout: float = 10.0,
+        max_pool_size: int = 8,
+        max_frame_bytes: int | None = None,
+    ) -> None:
+        from repro.net.framing import DEFAULT_MAX_FRAME_BYTES
+
+        self._timeout = timeout
+        self._max_pool_size = max_pool_size
+        self._max_frame_bytes = (
+            max_frame_bytes if max_frame_bytes is not None else DEFAULT_MAX_FRAME_BYTES
+        )
+        self._lock = threading.RLock()
+        self._endpoints: dict[str, "RelayEndpoint"] = {}
+
+    def connect(self, address: str) -> "RelayEndpoint":
+        host, port = parse_tcp_address(address)
+        with self._lock:
+            endpoint = self._endpoints.get(address)
+            if endpoint is None:
+                from repro.net.client import TcpRelayEndpoint
+
+                endpoint = TcpRelayEndpoint(
+                    host,
+                    port,
+                    timeout=self._timeout,
+                    max_pool_size=self._max_pool_size,
+                    max_frame_bytes=self._max_frame_bytes,
+                )
+                self._endpoints[address] = endpoint
+        return endpoint
+
+    def close(self) -> None:
+        with self._lock:
+            endpoints = list(self._endpoints.values())
+            self._endpoints.clear()
+        for endpoint in endpoints:
+            close = getattr(endpoint, "close", None)
+            if close is not None:
+                close()

@@ -1,0 +1,341 @@
+"""Hammer tests: the relay's invariants under genuinely concurrent serving.
+
+A socket relay (:class:`repro.net.RelayServer`) runs
+:meth:`RelayService.handle_request` on many worker threads at once, which
+exposes every latent race the sequential relay never hit: two duplicates
+of one side-effecting envelope both missing the idempotency record, the
+lazy interceptor-chain build racing itself, counters dropping updates,
+two subscribes claiming one id. These tests fire real thread storms at
+one relay instance and assert the §4-§5 invariants hold *exactly*, not
+just usually: exactly-once execution, every request accounted for, one
+tap per subscription id.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.api.middleware import MetricsInterceptor, ResponseCacheInterceptor
+from repro.interop.discovery import InMemoryRegistry
+from repro.interop.drivers.base import NetworkDriver
+from repro.interop.relay import RelayService
+from repro.proto.messages import (
+    MSG_KIND_ASSET_ACK,
+    MSG_KIND_ASSET_LOCK,
+    MSG_KIND_EVENT_ACK,
+    MSG_KIND_EVENT_SUBSCRIBE,
+    MSG_KIND_QUERY_REQUEST,
+    MSG_KIND_QUERY_RESPONSE,
+    MSG_KIND_TRANSACT_REQUEST,
+    MSG_KIND_TRANSACT_RESPONSE,
+    PROTOCOL_VERSION,
+    STATUS_OK,
+    AssetAckMsg,
+    AssetCommandMsg,
+    EventAck,
+    EventSubscribeRequest,
+    NetworkAddressMsg,
+    NetworkQuery,
+    QueryResponse,
+    RelayEnvelope,
+)
+
+NETWORK = "hammer-net"
+
+
+class CountingDriver(NetworkDriver):
+    """Thread-safe scorekeeper: counts executions per query nonce/asset."""
+
+    platform = "hammer"
+    supports_transactions = True
+    supports_events = True
+    supports_assets = True
+
+    def __init__(self) -> None:
+        super().__init__(NETWORK)
+        self._lock = threading.Lock()
+        self.query_executions: Counter[str] = Counter()
+        self.commit_executions: Counter[str] = Counter()
+        self.lock_executions: Counter[str] = Counter()
+        self.taps_opened = 0
+
+    def execute_query(self, query: NetworkQuery) -> QueryResponse:
+        with self._lock:
+            self.query_executions[query.nonce] += 1
+        return QueryResponse(
+            version=PROTOCOL_VERSION,
+            nonce=query.nonce,
+            status=STATUS_OK,
+            result_plain=b"data:" + query.nonce.encode(),
+        )
+
+    def execute_transaction(self, query: NetworkQuery) -> QueryResponse:
+        with self._lock:
+            self.commit_executions[query.nonce] += 1
+        return QueryResponse(
+            version=PROTOCOL_VERSION,
+            nonce=query.nonce,
+            status=STATUS_OK,
+            result_plain=b"committed:" + query.nonce.encode(),
+        )
+
+    def lock_asset(self, command: AssetCommandMsg) -> AssetAckMsg:
+        with self._lock:
+            self.lock_executions[command.asset_id] += 1
+        return AssetAckMsg(
+            version=PROTOCOL_VERSION,
+            nonce=command.nonce,
+            status=STATUS_OK,
+            asset_id=command.asset_id,
+            state="locked",
+        )
+
+    def open_event_tap(self, request, listener):
+        with self._lock:
+            self.taps_opened += 1
+        return object()
+
+
+def make_relay() -> tuple[RelayService, CountingDriver]:
+    registry = InMemoryRegistry()
+    relay = RelayService(NETWORK, registry)
+    driver = CountingDriver()
+    relay.register_driver(driver)
+    registry.register(NETWORK, relay)
+    return relay, driver
+
+
+def envelope(kind: int, request_id: str, payload: bytes) -> bytes:
+    return RelayEnvelope(
+        version=PROTOCOL_VERSION,
+        kind=kind,
+        request_id=request_id,
+        source_network="elsewhere",
+        destination_network=NETWORK,
+        payload=payload,
+    ).encode()
+
+
+def transact_envelope(request_id: str, nonce: str) -> bytes:
+    query = NetworkQuery(
+        version=PROTOCOL_VERSION,
+        address=NetworkAddressMsg(
+            network=NETWORK, ledger="l", contract="c", function="Commit"
+        ),
+        args=["v"],
+        nonce=nonce,
+    )
+    return envelope(MSG_KIND_TRANSACT_REQUEST, request_id, query.encode())
+
+
+def lock_envelope(request_id: str, asset_id: str) -> bytes:
+    command = AssetCommandMsg(
+        version=PROTOCOL_VERSION,
+        address=NetworkAddressMsg(network=NETWORK, ledger="l", contract="vault"),
+        asset_id=asset_id,
+        recipient="them@elsewhere",
+        hashlock=b"\x01" * 32,
+        timeout=1e12,
+        nonce="an-" + request_id,
+    )
+    return envelope(MSG_KIND_ASSET_LOCK, request_id, command.encode())
+
+
+def query_envelope(request_id: str, nonce: str) -> bytes:
+    query = NetworkQuery(
+        version=PROTOCOL_VERSION,
+        address=NetworkAddressMsg(
+            network=NETWORK, ledger="l", contract="c", function="Get"
+        ),
+        args=["k"],
+        nonce=nonce,
+    )
+    return envelope(MSG_KIND_QUERY_REQUEST, request_id, query.encode())
+
+
+def _storm(relay: RelayService, requests: list[bytes], workers: int = 16) -> list[bytes]:
+    """Serve all requests at once across a thread pool (with a start
+    barrier so the first wave genuinely collides)."""
+    barrier = threading.Barrier(min(workers, len(requests)) or 1)
+    results: list[bytes | None] = [None] * len(requests)
+
+    def serve(index: int) -> None:
+        try:
+            barrier.wait(timeout=0.5)
+        except threading.BrokenBarrierError:
+            pass  # a final partial wave just runs without colliding
+        results[index] = relay.handle_request(requests[index])
+
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        list(pool.map(serve, range(len(requests))))
+    assert all(reply is not None for reply in results)
+    return results  # type: ignore[return-value]
+
+
+class TestExactlyOnceUnderConcurrency:
+    def test_duplicate_transactions_commit_once(self):
+        relay, driver = make_relay()
+        copies = 16
+        requests = [transact_envelope("req-tx-1", "nonce-tx-1")] * copies
+        replies = _storm(relay, requests, workers=copies)
+        # Exactly-once on the ledger...
+        assert driver.commit_executions["nonce-tx-1"] == 1
+        # ... and every duplicate answered with the SAME recorded reply.
+        assert len(set(replies)) == 1
+        decoded = RelayEnvelope.decode(replies[0])
+        assert decoded.kind == MSG_KIND_TRANSACT_RESPONSE
+        assert relay.stats.duplicates_suppressed == copies - 1
+        assert relay.stats.transactions_served == 1
+
+    def test_mixed_duplicate_storm_each_commits_once(self):
+        """N distinct side-effecting requests x M duplicates each, fired
+        interleaved across one thread pool: each executes exactly once."""
+        relay, driver = make_relay()
+        distinct, copies = 8, 6
+        requests: list[bytes] = []
+        for i in range(distinct):
+            requests += [transact_envelope(f"req-tx-{i}", f"nonce-{i}")] * copies
+            requests += [lock_envelope(f"req-lk-{i}", f"ASSET-{i}")] * copies
+        # Interleave duplicates so they hit different threads at once.
+        requests = requests[::2] + requests[1::2]
+        _storm(relay, requests, workers=16)
+        for i in range(distinct):
+            assert driver.commit_executions[f"nonce-{i}"] == 1, f"tx {i} re-committed"
+            assert driver.lock_executions[f"ASSET-{i}"] == 1, f"lock {i} re-executed"
+        total = len(requests)
+        executed = distinct * 2
+        assert relay.stats.duplicates_suppressed == total - executed
+        # Every request is accounted for: served once + suppressed copies.
+        assert relay.stats.requests_served == executed
+
+    def test_failed_execution_is_not_replayed_as_success(self):
+        """A duplicate arriving while the first copy is failing must not
+        be answered from a half-recorded state; the error reply is what
+        gets recorded and replayed."""
+        relay, driver = make_relay()
+
+        original = driver.execute_transaction
+        calls = {"n": 0}
+        lock = threading.Lock()
+
+        def flaky(query):
+            with lock:
+                calls["n"] += 1
+                first = calls["n"] == 1
+            if first:
+                raise RuntimeError("transient commit failure")
+            return original(query)
+
+        driver.execute_transaction = flaky  # type: ignore[method-assign]
+        requests = [transact_envelope("req-flaky", "nonce-flaky")] * 8
+        replies = _storm(relay, requests, workers=8)
+        # The driver guard answers the failure as an error *response*
+        # envelope, which the idempotency layer records: still at most
+        # one execution attempt is recorded and replayed consistently.
+        assert len(set(replies)) == 1
+        assert calls["n"] == 1
+
+    def test_concurrent_subscribes_open_one_tap(self):
+        relay, driver = make_relay()
+        request = EventSubscribeRequest(
+            version=PROTOCOL_VERSION,
+            address=NetworkAddressMsg(network=NETWORK, ledger="l", contract="c"),
+            event_name="Stored",
+            subscription_id="sub-contested",
+        )
+        requests = [
+            envelope(MSG_KIND_EVENT_SUBSCRIBE, f"req-sub-{i}", request.encode())
+            for i in range(12)
+        ]
+        replies = _storm(relay, requests, workers=12)
+        acks = [EventAck.decode(RelayEnvelope.decode(r).payload) for r in replies]
+        winners = [ack for ack in acks if ack.status == STATUS_OK]
+        # Distinct request_ids bypass idempotency, so the subscription
+        # table itself must arbitrate: exactly one tap, one winner.
+        assert driver.taps_opened == 1
+        assert len(winners) == 1
+        assert winners[0].subscription_id == "sub-contested"
+
+    def test_unsubscribe_racing_tap_open_leaks_no_tap(self):
+        """An unsubscribe landing while open_event_tap is in flight pops a
+        record that has no tap yet; the subscriber side must then close
+        the tap it just opened instead of leaking a live feed."""
+        relay, driver = make_relay()
+        closed = []
+        driver.close_event_tap = closed.append  # type: ignore[method-assign]
+        original_open = driver.open_event_tap
+
+        def racing_open(request, listener):
+            tap = original_open(request, listener)
+            # Deterministically interleave: the unsubscribe wins the race
+            # while the tap open is still in flight.
+            relay._drop_served_subscription("sub-raced")
+            return tap
+
+        driver.open_event_tap = racing_open  # type: ignore[method-assign]
+        request = EventSubscribeRequest(
+            version=PROTOCOL_VERSION,
+            address=NetworkAddressMsg(network=NETWORK, ledger="l", contract="c"),
+            event_name="Stored",
+            subscription_id="sub-raced",
+        )
+        reply = relay.handle_request(
+            envelope(MSG_KIND_EVENT_SUBSCRIBE, "req-raced", request.encode())
+        )
+        ack = EventAck.decode(RelayEnvelope.decode(reply).payload)
+        assert ack.status != STATUS_OK  # subscriber learns it is not live
+        assert len(closed) == 1  # the orphaned tap was closed, not leaked
+        with relay._subscriptions_lock:
+            assert "sub-raced" not in relay._served_subscriptions
+
+
+class TestInterceptorsUnderConcurrency:
+    def test_chain_build_races_and_counters_stay_consistent(self):
+        relay, driver = make_relay()
+        metrics = MetricsInterceptor()
+        cache = ResponseCacheInterceptor(ttl_seconds=60.0, max_entries=64)
+        relay.use(metrics, cache)  # chain built lazily on first request
+
+        copies = 10
+        cacheable = [query_envelope(f"req-q-{i}", f"nq-{i}") for i in range(6)]
+        requests = (
+            cacheable * copies
+            + [transact_envelope("req-mx-tx", "nonce-mx")] * copies
+        )
+        requests = requests[::3] + requests[1::3] + requests[2::3]
+        _storm(relay, requests, workers=16)
+
+        # Side effects: the transaction committed exactly once; the
+        # cache never absorbed it (idempotency did).
+        assert driver.commit_executions["nonce-mx"] == 1
+        assert cache.bypassed == copies
+        # Queries executed at most once per distinct envelope *after* the
+        # cache warmed; concurrent same-key misses may each execute, so
+        # the bound is [1, copies] with hits+misses exactly accounting.
+        for i in range(6):
+            assert 1 <= driver.query_executions[f"nq-{i}"] <= copies
+        assert cache.hits + cache.misses == 6 * copies
+        # Metrics dropped nothing despite 16-way mutation.
+        snapshot = metrics.snapshot()
+        assert snapshot["requests_total"] == len(requests)
+        assert snapshot["kinds"]["query"]["requests"] == 6 * copies
+        assert snapshot["kinds"]["transact"]["requests"] == copies
+        assert snapshot["errors_total"] == 0
+
+    def test_stats_bump_is_atomic(self):
+        relay, _ = make_relay()
+        workers = 16
+        per_worker = 200
+
+        def bump_many():
+            for _ in range(per_worker):
+                relay.stats.bump("requests_served")
+
+        threads = [threading.Thread(target=bump_many) for _ in range(workers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert relay.stats.requests_served == workers * per_worker

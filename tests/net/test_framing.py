@@ -1,0 +1,165 @@
+"""Frame codec: round-trips, fuzzing, and defensive rejection.
+
+The framing layer faces the untrusted edge, so the properties under test
+are adversarial: any payload round-trips through any chunking of the
+stream; truncation, oversize, and garbage are *typed* failures
+(:class:`DecodeError`) decided without buffering the claimed payload —
+never a hang, never a silently mis-framed message.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DecodeError
+from repro.net.framing import (
+    DEFAULT_MAX_FRAME_BYTES,
+    FrameDecoder,
+    encode_frame,
+    read_frame,
+)
+from repro.wire.varint import encode_varint
+
+
+payloads = st.lists(st.binary(min_size=0, max_size=512), min_size=0, max_size=20)
+
+
+class TestRoundTrip:
+    @given(payloads)
+    def test_all_at_once(self, items):
+        decoder = FrameDecoder()
+        stream = b"".join(encode_frame(item) for item in items)
+        completed = decoder.feed(stream)
+        assert completed == len(items)
+        assert list(decoder.frames()) == items
+        decoder.finish()  # clean boundary
+
+    @given(payloads, st.integers(min_value=1, max_value=7))
+    def test_arbitrary_chunking(self, items, chunk_size):
+        """Frame boundaries never align with read boundaries on a stream."""
+        decoder = FrameDecoder()
+        stream = b"".join(encode_frame(item) for item in items)
+        out = []
+        for start in range(0, len(stream), chunk_size):
+            decoder.feed(stream[start : start + chunk_size])
+            out.extend(decoder.frames())
+        assert out == items
+        decoder.finish()
+
+    @given(st.binary(min_size=0, max_size=2048))
+    def test_single_frame_identity(self, payload):
+        decoder = FrameDecoder()
+        assert decoder.feed(encode_frame(payload)) == 1
+        assert decoder.next_frame() == payload
+        assert decoder.next_frame() is None
+
+    def test_empty_frame(self):
+        decoder = FrameDecoder()
+        decoder.feed(encode_frame(b""))
+        assert decoder.next_frame() == b""
+
+
+class TestDefensiveRejection:
+    def test_truncated_frame_waits_then_fails_finish(self):
+        decoder = FrameDecoder()
+        frame = encode_frame(b"x" * 100)
+        assert decoder.feed(frame[:50]) == 0  # incomplete: waits, no hang
+        assert decoder.next_frame() is None
+        with pytest.raises(DecodeError, match="mid-frame"):
+            decoder.finish()
+
+    def test_truncated_prefix_waits_then_fails_finish(self):
+        decoder = FrameDecoder()
+        # A 300-byte length takes a 2-byte varint; feed only the first.
+        prefix = encode_varint(300)
+        decoder.feed(prefix[:1])
+        assert decoder.next_frame() is None
+        with pytest.raises(DecodeError):
+            decoder.finish()
+
+    def test_oversized_length_rejected_before_payload(self):
+        decoder = FrameDecoder(max_frame_bytes=1024)
+        with pytest.raises(DecodeError, match="exceeds"):
+            # Only the prefix is fed: rejection must not need the body.
+            decoder.feed(encode_varint(1 << 20))
+
+    def test_garbage_prefix_rejected(self):
+        decoder = FrameDecoder()
+        with pytest.raises(DecodeError, match="garbage"):
+            decoder.feed(b"\xff" * 16)  # can never terminate as a varint
+
+    def test_length_overflowing_64_bits_rejected(self):
+        decoder = FrameDecoder()
+        with pytest.raises(DecodeError):
+            decoder.feed(b"\xff" * 9 + b"\x7f" + b"payload")
+
+    @given(st.binary(min_size=1, max_size=64))
+    @settings(max_examples=200)
+    def test_fuzz_never_hangs_or_escapes_typed_errors(self, junk):
+        """Arbitrary bytes either wait, deliver frames, or raise DecodeError."""
+        decoder = FrameDecoder(max_frame_bytes=4096)
+        try:
+            decoder.feed(junk)
+            list(decoder.frames())
+            decoder.finish()
+        except DecodeError:
+            pass  # the only acceptable failure type
+
+
+class TestAsyncReadFrame:
+    def run(self, coro):
+        return asyncio.new_event_loop().run_until_complete(coro)
+
+    def feed_reader(self, data: bytes, eof: bool = True) -> asyncio.StreamReader:
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        if eof:
+            reader.feed_eof()
+        return reader
+
+    def test_reads_frames_then_clean_eof(self):
+        async def scenario():
+            reader = self.feed_reader(encode_frame(b"one") + encode_frame(b"two"))
+            assert await read_frame(reader) == b"one"
+            assert await read_frame(reader) == b"two"
+            assert await read_frame(reader) is None
+
+        self.run(scenario())
+
+    def test_eof_inside_prefix_is_typed(self):
+        async def scenario():
+            reader = self.feed_reader(encode_varint(300)[:1])
+            with pytest.raises(DecodeError, match="length prefix"):
+                await read_frame(reader)
+
+        self.run(scenario())
+
+    def test_eof_mid_payload_is_typed(self):
+        async def scenario():
+            reader = self.feed_reader(encode_frame(b"x" * 100)[:40])
+            with pytest.raises(DecodeError, match="mid-frame"):
+                await read_frame(reader)
+
+        self.run(scenario())
+
+    def test_oversized_rejected_without_reading_payload(self):
+        async def scenario():
+            # The declared length is absurd and the payload never arrives;
+            # rejection must come from the prefix alone (no hang).
+            reader = self.feed_reader(encode_varint(DEFAULT_MAX_FRAME_BYTES + 1),
+                                      eof=False)
+            with pytest.raises(DecodeError, match="exceeds"):
+                await read_frame(reader)
+
+        self.run(scenario())
+
+    def test_garbage_prefix_rejected(self):
+        async def scenario():
+            reader = self.feed_reader(b"\xff" * 16)
+            with pytest.raises(DecodeError, match="garbage"):
+                await read_frame(reader)
+
+        self.run(scenario())

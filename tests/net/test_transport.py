@@ -1,0 +1,316 @@
+"""The transport seam: addresses, endpoints, servers, and failure modes.
+
+These tests drive the transport layer with a protocol-free echo service
+(the envelope protocol's own behavior over sockets is covered by
+``tests/conformance/test_socket_transport.py``); here the contract under
+test is the seam itself: scheme routing, pooling, timeouts, concurrency,
+and the promise that every transport failure surfaces as the typed
+:class:`RelayUnavailableError` the failover loop expects.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.errors import DiscoveryError, RelayUnavailableError
+from repro.interop.discovery import AddressResolver, FileRegistry
+from repro.net import (
+    LocalTransport,
+    RelayServer,
+    TcpRelayEndpoint,
+    TcpTransport,
+    address_scheme,
+    encode_frame,
+    parse_tcp_address,
+)
+
+
+class EchoService:
+    """A stand-in RelayService: echoes, optionally slowly or down."""
+
+    def __init__(self, network_id: str = "echo") -> None:
+        self.network_id = network_id
+        self.available = True
+        self.delay = 0.0
+        self.served = 0
+        self._lock = threading.Lock()
+
+    def handle_request(self, data: bytes) -> bytes:
+        if not self.available:
+            raise RelayUnavailableError("echo relay is down")
+        if self.delay:
+            time.sleep(self.delay)
+        with self._lock:
+            self.served += 1
+        return b"echo:" + data
+
+
+@pytest.fixture()
+def echo_server():
+    service = EchoService()
+    with RelayServer(service, max_workers=4) as server:
+        yield service, server
+
+
+class TestAddressing:
+    def test_scheme_extraction(self):
+        assert address_scheme("tcp://h:1") == "tcp"
+        assert address_scheme("relay://stl-1") == "relay"
+        assert address_scheme("no-scheme") == ""
+
+    def test_parse_tcp_address(self):
+        assert parse_tcp_address("tcp://10.0.0.7:9100") == ("10.0.0.7", 9100)
+        assert parse_tcp_address("tcp://[::1]:9100") == ("::1", 9100)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "relay://stl-1",
+            "tcp://nohost",
+            "tcp://:9100",
+            "tcp://host:port",
+            "tcp://host:0",
+            "tcp://host:70000",
+        ],
+    )
+    def test_parse_tcp_address_rejects(self, bad):
+        with pytest.raises(DiscoveryError):
+            parse_tcp_address(bad)
+
+
+class TestLocalTransport:
+    def test_bind_and_connect(self):
+        transport = LocalTransport()
+        sentinel = object()
+        transport.bind("relay://stl-1", sentinel)
+        assert transport.connect("relay://stl-1") is sentinel
+        with pytest.raises(DiscoveryError):
+            transport.connect("relay://unknown")
+        transport.unbind("relay://stl-1")
+        with pytest.raises(DiscoveryError):
+            transport.connect("relay://stl-1")
+
+
+class TestAddressResolver:
+    def test_explicit_bind_wins(self, echo_server):
+        _, server = echo_server
+        resolver = AddressResolver()
+        sentinel = EchoService("pinned")
+        # Even a tcp:// address, when explicitly bound, stays in-process:
+        resolver.bind(server.address, sentinel)
+        assert resolver.resolve(server.address) is sentinel
+
+    def test_tcp_scheme_dials(self, echo_server):
+        _, server = echo_server
+        resolver = AddressResolver()
+        endpoint = resolver.resolve(server.address)
+        assert endpoint.handle_request(b"ping") == b"echo:ping"
+        # Cached per address: a second lookup reuses the pooled endpoint.
+        assert resolver.resolve(server.address) is endpoint
+
+    def test_unknown_scheme_and_unbound_address_fail(self):
+        resolver = AddressResolver()
+        with pytest.raises(DiscoveryError):
+            resolver.resolve("grpc://host:1")
+        with pytest.raises(DiscoveryError):
+            resolver.resolve("relay://never-bound")
+
+    def test_file_registry_mixes_local_and_tcp(self, echo_server, tmp_path):
+        """A registry file can point one network at a socket and another
+        at an in-process relay — the transport seam is per-address."""
+        _, server = echo_server
+        resolver = AddressResolver()
+        local_relay = EchoService("local")
+        resolver.bind("relay://local-1", local_relay)
+        path = tmp_path / "registry.json"
+        path.write_text(json.dumps({
+            "sockets": [server.address],
+            "inproc": ["relay://local-1"],
+        }))
+        registry = FileRegistry(path, resolver)
+        (socket_endpoint,) = registry.lookup("sockets")
+        assert socket_endpoint.handle_request(b"hi") == b"echo:hi"
+        assert registry.lookup("inproc") == [local_relay]
+
+
+class TestTcpEndpoint:
+    def test_round_trip_and_pool_reuse(self, echo_server):
+        _, server = echo_server
+        endpoint = server.endpoint(timeout=5.0)
+        for i in range(5):
+            assert endpoint.handle_request(b"m%d" % i) == b"echo:m%d" % i
+        assert endpoint.connections_dialed == 1  # sequential reuse
+        endpoint.close()
+
+    def test_concurrent_callers_get_own_connections(self, echo_server):
+        service, server = echo_server
+        service.delay = 0.05
+        endpoint = server.endpoint(timeout=5.0)
+        replies: list[bytes] = []
+        lock = threading.Lock()
+
+        def worker(i: int) -> None:
+            reply = endpoint.handle_request(b"c%d" % i)
+            with lock:
+                replies.append(reply)
+
+        started = time.perf_counter()
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - started
+        assert sorted(replies) == [b"echo:c%d" % i for i in range(4)]
+        assert endpoint.connections_dialed == 4
+        # Four 50ms requests overlapped (well under 4 x 50ms serial).
+        assert elapsed < 0.18, f"requests did not overlap: {elapsed:.3f}s"
+        endpoint.close()
+
+    def test_connect_refused_is_typed(self):
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        free_port = probe.getsockname()[1]
+        probe.close()
+        endpoint = TcpRelayEndpoint("127.0.0.1", free_port, timeout=1.0)
+        with pytest.raises(RelayUnavailableError, match="cannot connect"):
+            endpoint.handle_request(b"x")
+
+    def test_request_timeout_is_typed(self, echo_server):
+        service, server = echo_server
+        service.delay = 2.0
+        endpoint = server.endpoint(timeout=0.2)
+        with pytest.raises(RelayUnavailableError, match="unreachable"):
+            endpoint.handle_request(b"slow")
+        endpoint.close()
+
+    def test_unavailable_relay_surfaces_as_typed_transport_failure(
+        self, echo_server
+    ):
+        service, server = echo_server
+        service.available = False
+        endpoint = server.endpoint(timeout=2.0)
+        with pytest.raises(RelayUnavailableError):
+            endpoint.handle_request(b"x")
+        # ... and recovers once the relay is back.
+        service.available = True
+        assert endpoint.handle_request(b"y") == b"echo:y"
+        endpoint.close()
+
+    def test_closed_endpoint_refuses(self, echo_server):
+        _, server = echo_server
+        endpoint = server.endpoint()
+        endpoint.close()
+        with pytest.raises(RelayUnavailableError, match="closed"):
+            endpoint.handle_request(b"x")
+
+    def test_stale_pooled_connection_redials_once(self):
+        """A connection the server closed while idle in the pool must not
+        surface as a caller-visible failure — one fresh redial absorbs it."""
+        service = EchoService()
+        server = RelayServer(service).start()
+        port = server.port
+        endpoint = TcpRelayEndpoint("127.0.0.1", port, timeout=5.0)
+        assert endpoint.handle_request(b"one") == b"echo:one"  # pools a conn
+        server.stop()  # kills the pooled connection server-side
+        server = RelayServer(service, port=port).start()  # same address
+        try:
+            assert endpoint.handle_request(b"two") == b"echo:two"
+            assert endpoint.connections_dialed == 2  # exactly one redial
+        finally:
+            endpoint.close()
+            server.stop()
+
+    def test_dead_server_with_stale_pool_still_fails_typed(self):
+        service = EchoService()
+        server = RelayServer(service).start()
+        endpoint = server.endpoint(timeout=1.0)
+        assert endpoint.handle_request(b"one") == b"echo:one"
+        server.stop()  # nothing listening anymore: redial must fail typed
+        with pytest.raises(RelayUnavailableError):
+            endpoint.handle_request(b"two")
+        endpoint.close()
+
+
+class TestRelayServer:
+    def test_concurrent_serving_overlaps(self, echo_server):
+        service, server = echo_server
+        service.delay = 0.05
+        endpoint = server.endpoint(timeout=5.0)
+        threads = [
+            threading.Thread(target=endpoint.handle_request, args=(b"x",))
+            for _ in range(4)
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - started
+        assert elapsed < 0.18
+        assert server.stats.in_flight_peak >= 2
+        assert server.stats.frames_served >= 4
+        endpoint.close()
+
+    def test_single_worker_serializes(self):
+        service = EchoService()
+        service.delay = 0.05
+        with RelayServer(service, max_workers=1) as server:
+            endpoint = server.endpoint(timeout=5.0)
+            threads = [
+                threading.Thread(target=endpoint.handle_request, args=(b"x",))
+                for _ in range(4)
+            ]
+            started = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            elapsed = time.perf_counter() - started
+            assert elapsed >= 0.18, "single worker must serve one at a time"
+            endpoint.close()
+
+    def test_garbage_frame_closes_connection(self, echo_server):
+        _, server = echo_server
+        raw = socket.create_connection((server.host, server.port), timeout=3.0)
+        raw.sendall(b"\xff" * 32)
+        raw.settimeout(3.0)
+        assert raw.recv(1024) == b""  # server hung up, no reply bytes
+        raw.close()
+
+    def test_oversized_frame_closes_connection(self):
+        service = EchoService()
+        with RelayServer(service, max_frame_bytes=1024) as server:
+            raw = socket.create_connection((server.host, server.port), timeout=3.0)
+            raw.sendall(encode_frame(b"z" * 2048))
+            raw.settimeout(3.0)
+            assert raw.recv(1024) == b""
+            raw.close()
+            assert service.served == 0  # rejected before serving
+
+    def test_stop_then_start_rebinds_cleanly(self):
+        service = EchoService()
+        server = RelayServer(service)
+        server.start()
+        first_address = server.address
+        assert server.endpoint(timeout=3.0).handle_request(b"a") == b"echo:a"
+        server.stop()
+        server.start()  # restart must wait for the NEW bind, not the old one
+        assert server.endpoint(timeout=3.0).handle_request(b"b") == b"echo:b"
+        assert server.address != ""  # bound (port=0 means a fresh port)
+        assert first_address  # old address was real too
+        server.stop()
+
+    def test_tcp_transport_reuses_endpoint_per_address(self, echo_server):
+        _, server = echo_server
+        transport = TcpTransport(timeout=5.0)
+        first = transport.connect(server.address)
+        second = transport.connect(server.address)
+        assert first is second
+        assert first.handle_request(b"t") == b"echo:t"
+        transport.close()
