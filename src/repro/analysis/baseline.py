@@ -1,0 +1,156 @@
+"""Baseline suppression for intentional, rationale-tagged findings.
+
+Some findings are the design (the :class:`SerializingInterceptor` exists
+to hold a lock across ``call_next``). Those are recorded in a baseline
+file — JSON, one entry per accepted finding, each with a **mandatory
+rationale** — and suppressed by the CLI/meta-test. Matching is by
+``(rule, path, symbol)``, *not* line number, so ordinary edits that move
+code around do not resurrect suppressed findings; a rename or refactor
+that changes the qualname retires the entry, which then shows up as
+**stale** and must be deleted (stale entries are warnings by default and
+failures under ``--fail-stale``, which CI uses).
+
+Format::
+
+    {
+      "version": 1,
+      "entries": [
+        {
+          "rule": "REP102",
+          "path": "src/repro/api/middleware.py",
+          "symbol": "SerializingInterceptor.handle",
+          "rationale": "serializing the chain is this interceptor's purpose"
+        }
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.core import Finding
+
+BASELINE_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """The baseline file is malformed (wrong shape or missing rationale)."""
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    rule: str
+    path: str
+    symbol: str
+    rationale: str
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        return (self.rule, self.path, self.symbol)
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "symbol": self.symbol,
+            "rationale": self.rationale,
+        }
+
+
+@dataclass
+class BaselineResult:
+    active: list[Finding]
+    suppressed: list[Finding]
+    stale: list[BaselineEntry]
+
+
+class Baseline:
+    def __init__(self, entries: list[BaselineEntry]) -> None:
+        self.entries = entries
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls([])
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        try:
+            data = json.loads(Path(path).read_text(encoding="utf-8"))
+        except OSError as exc:
+            raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise BaselineError(f"baseline {path} is not valid JSON: {exc}") from exc
+        if not isinstance(data, dict) or not isinstance(data.get("entries"), list):
+            raise BaselineError(
+                f"baseline {path} must be an object with an 'entries' list"
+            )
+        entries: list[BaselineEntry] = []
+        for position, raw in enumerate(data["entries"]):
+            if not isinstance(raw, dict):
+                raise BaselineError(f"baseline entry [{position}] is not an object")
+            missing = [k for k in ("rule", "path", "symbol", "rationale") if not raw.get(k)]
+            if missing:
+                raise BaselineError(
+                    f"baseline entry [{position}] is missing {', '.join(missing)} "
+                    f"— every suppression must name its finding AND justify it"
+                )
+            entries.append(
+                BaselineEntry(
+                    rule=str(raw["rule"]),
+                    path=str(raw["path"]).replace("\\", "/"),
+                    symbol=str(raw["symbol"]),
+                    rationale=str(raw["rationale"]),
+                )
+            )
+        return cls(entries)
+
+    def apply(self, findings: list[Finding]) -> BaselineResult:
+        """Split findings into active/suppressed; report stale entries.
+
+        Entry paths are repo-relative; a run started from another
+        directory reports absolute paths, so an entry also matches any
+        finding whose path *ends with* it at a ``/`` boundary.
+        """
+        active: list[Finding] = []
+        suppressed: list[Finding] = []
+        used: set[tuple[str, str, str]] = set()
+        for finding in findings:
+            entry = self._match(finding)
+            if entry is not None:
+                suppressed.append(finding)
+                used.add(entry.key)
+            else:
+                active.append(finding)
+        stale = [entry for entry in self.entries if entry.key not in used]
+        return BaselineResult(active=active, suppressed=suppressed, stale=stale)
+
+    def _match(self, finding: Finding) -> BaselineEntry | None:
+        for entry in self.entries:
+            if entry.rule != finding.rule or entry.symbol != finding.symbol:
+                continue
+            if finding.path == entry.path or finding.path.endswith("/" + entry.path):
+                return entry
+        return None
+
+    @staticmethod
+    def render(findings: list[Finding], rationale: str = "TODO: justify") -> dict:
+        """A baseline document accepting ``findings`` (for --write-baseline)."""
+        seen: set[tuple[str, str, str]] = set()
+        entries = []
+        for finding in findings:
+            key = (finding.rule, finding.path, finding.symbol)
+            if key in seen:
+                continue
+            seen.add(key)
+            entries.append(
+                BaselineEntry(
+                    rule=finding.rule,
+                    path=finding.path,
+                    symbol=finding.symbol,
+                    rationale=rationale,
+                ).to_dict()
+            )
+        return {"version": BASELINE_VERSION, "entries": entries}

@@ -1,0 +1,9 @@
+"""The checker suite — importing this package registers every checker."""
+
+from repro.analysis.checkers import (  # noqa: F401 - registration imports
+    async_safety,
+    capabilities,
+    error_taxonomy,
+    locks,
+    wire_kinds,
+)

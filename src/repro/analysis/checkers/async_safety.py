@@ -1,0 +1,96 @@
+"""REP201 — no blocking calls inside ``async def`` frames.
+
+The asyncio relay server (:mod:`repro.net.server`) multiplexes every
+connection on one event loop; a single blocking call inside a coroutine
+(``time.sleep``, a sync socket operation, a bare ``Lock.acquire``, a
+threading ``Event.wait``) stalls *every* connection, not just the
+offender. The repo's pattern for running the synchronous serve path from
+async code is ``loop.run_in_executor(...)`` — which this rule does not
+flag, because the blocking name is passed as a reference, not called.
+
+Async-native counterparts are fine when awaited: ``await
+asyncio.sleep(...)`` and ``await <asyncio primitive>.acquire()`` are the
+event-loop-friendly forms, so a blocking-named call that is the direct
+operand of an ``await`` is never flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import (
+    Checker,
+    Finding,
+    FunctionInfo,
+    ModuleSource,
+    Project,
+    iter_functions,
+    register,
+)
+from repro.analysis.checkers.locks import blocking_call_label
+
+
+class _AsyncScanner(ast.NodeVisitor):
+    def __init__(self, module: ModuleSource, info: FunctionInfo, findings: list[Finding]) -> None:
+        self.module = module
+        self.info = info
+        self.findings = findings
+
+    # Nested defs are their own frames (scanned separately; a nested sync
+    # def inside a coroutine typically targets run_in_executor).
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        pass
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        pass
+
+    def visit_Await(self, node: ast.Await) -> None:
+        # The awaited call itself is async-native; scan only its
+        # arguments (a blocking call nested in an argument still blocks).
+        value = node.value
+        if isinstance(value, ast.Call):
+            for arg in value.args:
+                self.visit(arg)
+            for keyword in value.keywords:
+                self.visit(keyword.value)
+        else:
+            self.visit(value)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        label = blocking_call_label(node)
+        if label is not None:
+            self.findings.append(
+                Finding(
+                    rule="REP201",
+                    path=self.module.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    symbol=self.info.qualname,
+                    message=(
+                        f"blocking call {label!r} inside `async def "
+                        f"{self.info.node.name}` stalls the event loop — "
+                        f"await the async form or run_in_executor it"
+                    ),
+                )
+            )
+        self.generic_visit(node)
+
+
+@register
+class AsyncSafetyChecker(Checker):
+    rule_ids = ("REP201",)
+    invariant = "no blocking call runs on an event-loop thread"
+
+    def run(self, project: Project) -> list[Finding]:
+        findings: list[Finding] = []
+        for module in project.modules:
+            for info in iter_functions(module):
+                if not info.is_async:
+                    continue
+                scanner = _AsyncScanner(module, info, findings)
+                for stmt in info.node.body:
+                    scanner.visit(stmt)
+        return findings

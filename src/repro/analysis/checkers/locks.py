@@ -1,0 +1,273 @@
+"""REP101/REP102 — lock discipline over the repo's shared mutable state.
+
+The relay is served from many threads at once (PR 5's ``RelayServer``
+runs the sync serve path on a worker-thread executor), so the codebase
+carries two hand-enforced concurrency invariants:
+
+- **REP101**: every *write* to a registered shared-state attribute (the
+  relay's subscription/sink tables, the idempotency record, interceptor
+  maps, stats counters, connection pools, discovery registries — see
+  :data:`repro.analysis.invariants.GUARDED_STATE`) happens lexically
+  inside ``with self.<its lock>:``. Reads are deliberately not flagged —
+  the repo's documented contract is "writes serialize, reads may be one
+  update stale".
+
+- **REP102**: no *sync* lock is held across a blocking operation —
+  ``call_next`` (the rest of the interceptor chain, which may drive proof
+  collection or a ledger commit), ``handle_request`` (a full relay
+  round-trip), socket I/O, ``time.sleep``, ``Event.wait``, bare
+  ``Lock.acquire`` — or an ``await`` expression. Holding a threading
+  lock across any of these turns one slow peer into a relay-wide stall
+  (and across ``await``, into a guaranteed cross-thread deadlock).
+
+Both rules treat a nested ``def``/``lambda`` as a deferred-execution
+boundary: code inside it does not run while the enclosing ``with`` holds
+the lock, so it is scanned separately (as its own function) with no lock
+held. ``async with`` items are asyncio primitives, not thread locks, and
+are intentionally not tracked — awaiting while holding an asyncio lock
+is normal single-threaded asyncio.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import (
+    Checker,
+    Finding,
+    FunctionInfo,
+    ModuleSource,
+    Project,
+    dotted_name,
+    iter_functions,
+    last_segment,
+    register,
+)
+from repro.analysis.invariants import (
+    BLOCKING_ATTRS,
+    BLOCKING_NAMES,
+    GUARDED_STATE,
+    LOCK_NAME_HINTS,
+    MUTATOR_METHODS,
+)
+
+
+def is_lock_expr(node: ast.AST) -> str | None:
+    """The dotted name of a sync-lock context expression, else ``None``."""
+    name = dotted_name(node)
+    if name is None:
+        return None
+    tail = last_segment(name).lower()
+    if any(hint in tail for hint in LOCK_NAME_HINTS):
+        return name
+    return None
+
+
+def _self_attr(node: ast.AST) -> str | None:
+    """``X`` when ``node`` is exactly ``self.X``, else ``None``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def blocking_call_label(node: ast.Call) -> str | None:
+    """A human label when ``node`` is a blocking call, else ``None``."""
+    func = node.func
+    if isinstance(func, ast.Name) and func.id in BLOCKING_NAMES:
+        return func.id
+    if isinstance(func, ast.Attribute) and func.attr in BLOCKING_ATTRS:
+        receiver = dotted_name(func.value)
+        return f"{receiver}.{func.attr}" if receiver else func.attr
+    return None
+
+
+class _FunctionScanner(ast.NodeVisitor):
+    """Scans ONE function body tracking which sync locks are held."""
+
+    def __init__(
+        self,
+        module: ModuleSource,
+        info: FunctionInfo,
+        guarded: dict[str, str],
+        findings: list[Finding],
+        emit_writes: bool,
+        emit_blocking: bool,
+    ) -> None:
+        self.module = module
+        self.info = info
+        self.guarded = guarded  # attr -> required lock attr (this class)
+        self.findings = findings
+        self.emit_writes = emit_writes
+        self.emit_blocking = emit_blocking
+        self.held: list[str] = []  # dotted lock names, innermost last
+
+    # -- boundaries ---------------------------------------------------------------
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass  # deferred execution: scanned as its own function
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        pass
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        pass
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        pass
+
+    # -- lock tracking ------------------------------------------------------------
+
+    def visit_With(self, node: ast.With) -> None:
+        acquired: list[str] = []
+        for item in node.items:
+            self.visit(item.context_expr)
+            lock = is_lock_expr(item.context_expr)
+            if lock is not None:
+                acquired.append(lock)
+        self.held.extend(acquired)
+        for stmt in node.body:
+            self.visit(stmt)
+        if acquired:
+            del self.held[-len(acquired):]
+
+    # `async with` holds asyncio primitives, not thread locks: scan the
+    # body without extending the held set.
+
+    # -- blocking operations ------------------------------------------------------
+
+    def visit_Await(self, node: ast.Await) -> None:
+        if self.emit_blocking and self.held:
+            self._flag_blocking(node, "await")
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self.emit_blocking and self.held:
+            label = blocking_call_label(node)
+            if label is not None:
+                self._flag_blocking(node, label)
+        if self.emit_writes:
+            self._check_mutator_call(node)
+        self.generic_visit(node)
+
+    def _flag_blocking(self, node: ast.AST, label: str) -> None:
+        self.findings.append(
+            Finding(
+                rule="REP102",
+                path=self.module.path,
+                line=node.lineno,
+                col=node.col_offset,
+                symbol=self.info.qualname,
+                message=(
+                    f"lock {self.held[-1]!r} held across blocking "
+                    f"operation {label!r} — a slow callee stalls every "
+                    f"thread contending for the lock"
+                ),
+            )
+        )
+
+    # -- shared-state writes ------------------------------------------------------
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_write_target(target)
+        self.visit(node.value)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_write_target(node.target)
+        self.visit(node.value)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._check_write_target(node.target)
+            self.visit(node.value)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._check_write_target(target)
+
+    def _check_write_target(self, target: ast.AST) -> None:
+        if not self.emit_writes:
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._check_write_target(element)
+            return
+        if isinstance(target, ast.Starred):
+            self._check_write_target(target.value)
+            return
+        attr: str | None = None
+        node = target
+        if isinstance(target, ast.Subscript):
+            # self.X[k] = v  /  del self.X[k]
+            attr = _self_attr(target.value)
+        else:
+            attr = _self_attr(target)
+        if attr is not None and attr in self.guarded:
+            self._require_lock(node, attr, f"write to self.{attr}")
+
+    def _check_mutator_call(self, node: ast.Call) -> None:
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr in MUTATOR_METHODS):
+            return
+        attr = _self_attr(func.value)
+        if attr is not None and attr in self.guarded:
+            self._require_lock(node, attr, f"self.{attr}.{func.attr}(...)")
+
+    def _require_lock(self, node: ast.AST, attr: str, what: str) -> None:
+        required = self.guarded[attr]
+        if any(last_segment(lock) == required for lock in self.held):
+            return
+        self.findings.append(
+            Finding(
+                rule="REP101",
+                path=self.module.path,
+                line=node.lineno,
+                col=node.col_offset,
+                symbol=self.info.qualname,
+                message=(
+                    f"{what} outside `with self.{required}:` — "
+                    f"{self.info.class_name}.{attr} is registered shared "
+                    f"state mutated by concurrent serve threads"
+                ),
+            )
+        )
+
+
+@register
+class LockDisciplineChecker(Checker):
+    """Runs both lock rules in one pass over every function."""
+
+    rule_ids = ("REP101", "REP102")
+    invariant = (
+        "registered shared state mutates only under its lock, and no sync "
+        "lock is held across call_next, relay/socket I/O, sleeps, or await"
+    )
+
+    def __init__(self, guarded_state: dict[str, dict[str, str]] | None = None) -> None:
+        self.guarded_state = guarded_state if guarded_state is not None else GUARDED_STATE
+
+    def run(self, project: Project) -> list[Finding]:
+        findings: list[Finding] = []
+        for module in project.modules:
+            for info in iter_functions(module):
+                guarded = (
+                    self.guarded_state.get(info.class_name, {})
+                    if info.class_name
+                    else {}
+                )
+                emit_writes = bool(guarded) and info.node.name != "__init__"
+                scanner = _FunctionScanner(
+                    module,
+                    info,
+                    guarded,
+                    findings,
+                    emit_writes=emit_writes,
+                    emit_blocking=True,
+                )
+                for stmt in info.node.body:
+                    scanner.visit(stmt)
+        return findings

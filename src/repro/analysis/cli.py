@@ -1,0 +1,160 @@
+"""``python -m repro.analysis`` — run the invariant checkers.
+
+Usage::
+
+    python -m repro.analysis [paths ...]
+        [--baseline FILE] [--fail-stale] [--json FILE]
+        [--rules REP101,REP401] [--list-rules] [--write-baseline FILE]
+
+Exit codes: 0 clean (baselined findings and, without ``--fail-stale``,
+stale entries don't fail the run), 1 active findings (or stale entries
+under ``--fail-stale``), 2 bad invocation / unreadable baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis.baseline import Baseline, BaselineError, BaselineResult
+from repro.analysis.core import Finding, Project, all_checkers, run_analysis
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="AST-based invariant checkers for this repository.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files/directories to analyze (default: src)",
+    )
+    parser.add_argument("--baseline", help="JSON suppression file (entries need rationales)")
+    parser.add_argument(
+        "--fail-stale",
+        action="store_true",
+        help="exit 1 when the baseline has stale entries (CI mode)",
+    )
+    parser.add_argument("--json", dest="json_out", help="write a machine-readable report here")
+    parser.add_argument(
+        "--rules",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument("--list-rules", action="store_true", help="print the rule table and exit")
+    parser.add_argument(
+        "--write-baseline",
+        help="write a baseline accepting every current finding, then exit 0",
+    )
+    return parser
+
+
+def _select_checkers(rules: str | None):
+    suite = all_checkers()
+    if not rules:
+        return suite
+    wanted = {rule.strip().upper() for rule in rules.split(",") if rule.strip()}
+    selected = [c for c in suite if wanted & set(c.rule_ids)]
+    known = {rule for checker in suite for rule in checker.rule_ids}
+    unknown = wanted - known
+    if unknown:
+        raise SystemExit(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+    return selected
+
+
+def _report(
+    findings: list[Finding],
+    result: BaselineResult,
+    parse_errors: list[str],
+) -> dict:
+    counts: dict[str, int] = {}
+    for finding in result.active:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    return {
+        "version": 1,
+        "counts": counts,
+        "findings": [f.to_dict() for f in result.active],
+        "suppressed": [f.to_dict() for f in result.suppressed],
+        "stale_baseline": [e.to_dict() for e in result.stale],
+        "parse_errors": parse_errors,
+        "total": len(findings),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _parser().parse_args(argv)
+
+    if args.list_rules:
+        for checker in all_checkers():
+            ids = ", ".join(checker.rule_ids)
+            print(f"{ids}: {checker.invariant}")
+        return 0
+
+    try:
+        checkers = _select_checkers(args.rules)
+    except SystemExit as exc:
+        print(exc, file=sys.stderr)
+        return 2
+
+    project = Project.from_paths(args.paths)
+    if not project.modules:
+        print(f"no python files under: {', '.join(args.paths)}", file=sys.stderr)
+        return 2
+    findings = run_analysis(project, checkers)
+
+    if args.write_baseline:
+        document = Baseline.render(findings)
+        Path(args.write_baseline).write_text(
+            json.dumps(document, indent=2) + "\n", encoding="utf-8"
+        )
+        print(
+            f"wrote {len(document['entries'])} baseline entr"
+            f"{'y' if len(document['entries']) == 1 else 'ies'} to "
+            f"{args.write_baseline} — fill in each rationale"
+        )
+        return 0
+
+    baseline = Baseline.empty()
+    if args.baseline:
+        try:
+            baseline = Baseline.load(args.baseline)
+        except BaselineError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+    result = baseline.apply(findings)
+
+    if args.json_out:
+        Path(args.json_out).write_text(
+            json.dumps(_report(findings, result, project.errors), indent=2) + "\n",
+            encoding="utf-8",
+        )
+
+    for error in project.errors:
+        print(f"parse error: {error}", file=sys.stderr)
+    for finding in result.active:
+        print(finding.render())
+    for entry in result.stale:
+        print(
+            f"stale baseline entry: {entry.rule} {entry.path} [{entry.symbol}] "
+            f"— no such finding anymore; delete it",
+            file=sys.stderr,
+        )
+
+    counts: dict[str, int] = {}
+    for finding in result.active:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    summary = ", ".join(f"{rule}: {n}" for rule, n in sorted(counts.items())) or "none"
+    print(
+        f"analyzed {len(project.modules)} file(s): "
+        f"{len(result.active)} finding(s) ({summary}), "
+        f"{len(result.suppressed)} baselined, {len(result.stale)} stale "
+        f"baseline entr{'y' if len(result.stale) == 1 else 'ies'}"
+    )
+    if result.active:
+        return 1
+    if result.stale and args.fail_stale:
+        return 1
+    return 0

@@ -1,0 +1,223 @@
+"""The repo-specific invariant registries the checkers consume.
+
+This module is the single place where "what the rules protect" is
+declared; the checkers themselves are generic AST machinery. When a
+ROADMAP item adds new shared state (a StateStore, a relay-fleet health
+table, a proof-verification cache), register it here and the existing
+rules start guarding it — no new checker code.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# REP101 — lock discipline: registered shared-state attributes and the
+# lock that must be held to mutate them. Keyed by class name; values map
+# attribute -> required lock attribute (both as seen on ``self``).
+# ``__init__`` is exempt (construction precedes sharing).
+# ---------------------------------------------------------------------------
+
+GUARDED_STATE: dict[str, dict[str, str]] = {
+    # repro/interop/relay.py
+    "RelayService": {
+        "_served_subscriptions": "_subscriptions_lock",
+        "_event_sinks": "_subscriptions_lock",
+        "_idempotency": "_idempotency_lock",
+        "_in_flight": "_idempotency_lock",
+        "_interceptors": "_chain_lock",
+        "_chain": "_chain_lock",
+    },
+    "RelayStats": {
+        name: "_lock"
+        for name in (
+            "requests_served",
+            "requests_rejected",
+            "requests_failed",
+            "queries_sent",
+            "failovers",
+            "batches_served",
+            "batches_sent",
+            "transactions_sent",
+            "transactions_served",
+            "subscriptions_opened",
+            "subscriptions_served",
+            "events_published",
+            "events_delivered",
+            "events_dropped",
+            "asset_commands_sent",
+            "asset_commands_served",
+            "duplicates_suppressed",
+        )
+    },
+    "RateLimiter": {"_timestamps": "_lock", "rejected": "_lock"},
+    # repro/api/middleware.py
+    "MetricsInterceptor": {
+        name: "_mutex"
+        for name in (
+            "requests_total",
+            "errors_total",
+            "bytes_in",
+            "bytes_out",
+            "seconds_total",
+            "seconds_max",
+            "by_kind",
+            "kind_detail",
+            "kind_samples",
+        )
+    },
+    "ResponseCacheInterceptor": {
+        "_entries": "_mutex",
+        "hits": "_mutex",
+        "misses": "_mutex",
+        "bypassed": "_mutex",
+    },
+    # repro/net/server.py
+    "RelayServerStats": {
+        name: "_lock"
+        for name in (
+            "connections_accepted",
+            "connections_closed",
+            "frames_served",
+            "frames_rejected",
+            "in_flight",
+            "in_flight_peak",
+        )
+    },
+    # repro/net/client.py
+    "TcpRelayEndpoint": {
+        "_idle": "_lock",
+        "_closed": "_lock",
+        "requests_sent": "_lock",
+        "connections_dialed": "_lock",
+        "transport_failures": "_lock",
+    },
+    # repro/interop/discovery.py
+    "InMemoryRegistry": {"_relays": "_lock"},
+    # repro/net/transport.py
+    "LocalTransport": {"_endpoints": "_lock"},
+    "AddressResolver": {"_transports": "_lock"},
+}
+
+#: Attribute-call names that mutate their receiver (``self.x.append(...)``
+#: counts as a write to ``x``).
+MUTATOR_METHODS = frozenset(
+    {
+        "add",
+        "append",
+        "appendleft",
+        "clear",
+        "discard",
+        "extend",
+        "insert",
+        "move_to_end",
+        "pop",
+        "popitem",
+        "popleft",
+        "remove",
+        "setdefault",
+        "update",
+    }
+)
+
+# ---------------------------------------------------------------------------
+# REP102 / REP201 — blocking operations. A *sync* lock must never be held
+# across any of these, and none of them may run inside an ``async def``
+# frame (they stall the event loop / every other coroutine).
+# ---------------------------------------------------------------------------
+
+#: Callable *attribute* names treated as blocking wherever they appear.
+BLOCKING_ATTRS = frozenset(
+    {
+        "sleep",  # time.sleep / clock.sleep
+        "sendall",
+        "recv",
+        "recv_into",
+        "accept",
+        "connect",
+        "create_connection",
+        "handle_request",  # a full relay round-trip (possibly over TCP)
+        "round_trip",
+        "wait",  # threading.Event.wait
+        "acquire",  # bare Lock.acquire (use `with lock:` instead)
+    }
+)
+
+#: Plain names treated as blocking calls (continuation of the chain).
+BLOCKING_NAMES = frozenset({"call_next"})
+
+#: Receivers whose otherwise-blocking attributes are async-native and
+#: therefore fine when awaited (``await asyncio.sleep`` et al.).
+ASYNC_NATIVE_ROOTS = frozenset({"asyncio"})
+
+#: A `with` context expression is treated as a sync lock when its dotted
+#: name's last segment contains one of these substrings.
+LOCK_NAME_HINTS = ("lock", "mutex")
+
+# ---------------------------------------------------------------------------
+# REP401 — typed-error taxonomy: layers where a broad `except Exception`
+# must either re-raise typed, answer an error envelope, or carry a
+# `# noqa: BLE001 <rationale>` tag.
+# ---------------------------------------------------------------------------
+
+ERROR_TAXONOMY_LAYERS = (
+    "repro/interop/",
+    "repro/net/",
+    "repro/api/",
+    "repro/assets/",
+)
+
+#: Helper calls whose return value IS the error answer (an error envelope
+#: or a non-OK protocol ack) — `return self._error_envelope(...)` inside
+#: a broad handler is the relay's documented way to surface failure to a
+#: remote peer that cannot catch our exceptions.
+ERROR_ANSWER_HELPERS = frozenset(
+    {
+        "_error_envelope",
+        "error_reply",
+        "_event_ack",
+        "_error",
+        "_denied",
+    }
+)
+
+# ---------------------------------------------------------------------------
+# REP501 — capability fail-closed: a class granting `supports_X` must
+# implement the full verb set of X somewhere in its (project-local) MRO.
+# ---------------------------------------------------------------------------
+
+CAPABILITY_VERBS: dict[str, tuple[str, ...]] = {
+    "supports_transactions": ("execute_transaction",),
+    "supports_events": ("open_event_tap", "close_event_tap"),
+    "supports_assets": (
+        "lock_asset",
+        "claim_asset",
+        "unlock_asset",
+        "asset_status",
+    ),
+}
+
+#: Verb definitions that DON'T count as implementations: the abstract
+#: driver's defaults for these decline or no-op (that is the fail-closed
+#: default), so a subclass granting the capability must override them.
+#: The base's asset verbs are real implementations (they delegate to the
+#: attached AssetLedgerPort), hence their absence here.
+DECLINING_DEFAULTS: dict[str, frozenset[str]] = {
+    "NetworkDriver": frozenset(
+        {"execute_transaction", "open_event_tap", "close_event_tap"}
+    ),
+}
+
+# ---------------------------------------------------------------------------
+# REP301 — wire-kind registry: canonical module locations.
+# ---------------------------------------------------------------------------
+
+MESSAGES_MODULE = "repro/proto/messages.py"
+PROTO_EXPORTS_MODULE = "repro/proto/__init__.py"
+RELAY_MODULE = "repro/interop/relay.py"
+
+#: The classification sets every MSG_KIND_* constant must fall into
+#: (exactly one of them).
+KIND_CLASS_SETS = ("SIDE_EFFECTING_KINDS", "READ_ONLY_KINDS", "REPLY_KINDS")
+
+#: Set names whose membership in a relay dispatch test (``kind in X``)
+#: marks every member as dispatched.
+DISPATCH_SET_NAMES = ("ASSET_COMMAND_KINDS", "SIDE_EFFECTING_KINDS", "READ_ONLY_KINDS")

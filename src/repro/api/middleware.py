@@ -145,7 +145,7 @@ def _reply_is_error(ctx: RelayContext, reply: bytes) -> bool:
             verdict = AssetAckMsg.decode(envelope.payload).status != STATUS_OK
         else:
             verdict = envelope.kind == MSG_KIND_ERROR
-    except Exception:
+    except Exception:  # noqa: BLE001 - an unparseable reply counts as an error outcome, which is the verdict itself
         verdict = True
     ctx.metadata[_REPLY_VERDICT_KEY] = (reply, verdict)
     return verdict

@@ -198,7 +198,7 @@ class RelayContext:
         if self._envelope is self._UNSET:
             try:
                 self._envelope = RelayEnvelope.decode(self.raw)
-            except Exception as exc:
+            except Exception as exc:  # noqa: BLE001 - best-effort peek: undecodable bytes are recorded for _dispatch to answer
                 self._envelope = None
                 self.decode_error = exc
         return self._envelope  # type: ignore[return-value]
@@ -1154,7 +1154,7 @@ class RelayService:
                 continue
             try:
                 reply = RelayEnvelope.decode(reply_bytes)
-            except Exception as exc:
+            except Exception as exc:  # noqa: BLE001 - adversarial reply bytes: any parse failure is a failover signal
                 failures.append(f"undecodable reply envelope: {exc}")
                 continue
             if reply.kind == MSG_KIND_ERROR:
@@ -1183,7 +1183,7 @@ class RelayService:
                 continue
             try:
                 return decode_reply(reply.payload)
-            except Exception as exc:
+            except Exception as exc:  # noqa: BLE001 - adversarial reply payload: any parse failure is a failover signal
                 failures.append(f"undecodable reply payload: {exc}")
                 continue
         raise RelayUnavailableError(

@@ -75,6 +75,40 @@ SIDE_EFFECTING_KINDS = frozenset(
     }
 )
 
+#: Request kinds whose serving reads but never mutates source-network
+#: state — safe to cache, replay, and retry freely. A batch is read-only
+#: *as a kind*; one carrying transaction members is marked with
+#: :data:`SIDE_EFFECTING_HEADER` by the sending relay, and caching layers
+#: must honor the header, not just the kind.
+READ_ONLY_KINDS = frozenset(
+    {
+        MSG_KIND_QUERY_REQUEST,
+        MSG_KIND_BATCH_REQUEST,
+        MSG_KIND_ASSET_STATUS,
+    }
+)
+
+#: Reply kinds: these travel back correlated to a request and are never
+#: dispatched by :meth:`RelayService._route`.
+#:
+#: Together the three sets form the repo's wire-kind registry — every
+#: ``MSG_KIND_*`` constant belongs to exactly one of
+#: :data:`SIDE_EFFECTING_KINDS`, :data:`READ_ONLY_KINDS`, or
+#: :data:`REPLY_KINDS`, and every request kind must have a dispatch
+#: branch in the relay. ``python -m repro.analysis`` (rule REP301)
+#: enforces the partition, the export list, and dispatch reachability;
+#: adding a kind without classifying it here fails CI.
+REPLY_KINDS = frozenset(
+    {
+        MSG_KIND_QUERY_RESPONSE,
+        MSG_KIND_BATCH_RESPONSE,
+        MSG_KIND_TRANSACT_RESPONSE,
+        MSG_KIND_EVENT_ACK,
+        MSG_KIND_ASSET_ACK,
+        MSG_KIND_ERROR,
+    }
+)
+
 #: Envelope header marking a (batch) request that carries side-effecting
 #: members; set by the sending relay so intermediaries need not decode the
 #: payload to know the request is unsafe to serve from cache.

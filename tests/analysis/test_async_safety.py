@@ -1,0 +1,94 @@
+"""REP201 fixture tests: blocking calls inside ``async def`` bodies."""
+
+import textwrap
+
+from repro.analysis.checkers.async_safety import AsyncSafetyChecker
+from repro.analysis.core import Project
+
+
+def run(source):
+    project = Project.from_sources(
+        {"src/repro/net/fixture.py": textwrap.dedent(source)}
+    )
+    return AsyncSafetyChecker().run(project)
+
+
+def test_time_sleep_in_async_def_fires():
+    findings = run(
+        """
+        import time
+
+        async def pump():
+            time.sleep(0.5)
+        """
+    )
+    assert [f.rule for f in findings] == ["REP201"]
+    assert findings[0].symbol == "pump"
+    assert "time.sleep" in findings[0].message
+
+
+def test_socket_and_lock_calls_fire():
+    findings = run(
+        """
+        class Endpoint:
+            async def send(self, sock, data):
+                sock.sendall(data)
+
+            async def guard(self):
+                self._lock.acquire()
+        """
+    )
+    assert sorted(f.symbol for f in findings) == ["Endpoint.guard", "Endpoint.send"]
+    assert {f.rule for f in findings} == {"REP201"}
+
+
+def test_awaited_calls_are_clean():
+    findings = run(
+        """
+        import asyncio
+
+        async def pump(slots, downstream):
+            await slots.acquire()
+            await asyncio.sleep(0.5)
+            return await downstream()
+        """
+    )
+    assert findings == []
+
+
+def test_args_of_awaited_call_still_scanned():
+    findings = run(
+        """
+        import time
+
+        async def pump(gather):
+            await gather(time.sleep(1.0))
+        """
+    )
+    assert [f.rule for f in findings] == ["REP201"]
+
+
+def test_nested_sync_def_is_deferred_execution():
+    findings = run(
+        """
+        import time
+
+        async def pump(loop):
+            def blocking():
+                time.sleep(1.0)
+            return await loop.run_in_executor(None, blocking)
+        """
+    )
+    assert findings == []
+
+
+def test_sync_function_is_out_of_scope():
+    findings = run(
+        """
+        import time
+
+        def pump():
+            time.sleep(1.0)
+        """
+    )
+    assert findings == []

@@ -1,0 +1,229 @@
+"""Baseline round-trip + CLI behavior (exit codes, JSON report, rules filter)."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis.baseline import Baseline, BaselineEntry, BaselineError
+from repro.analysis.cli import main
+from repro.analysis.core import Finding
+
+FINDING = Finding(
+    rule="REP102",
+    path="src/repro/api/middleware.py",
+    line=42,
+    col=8,
+    message="lock held across call_next",
+    symbol="SerializingInterceptor.handle",
+)
+
+
+# -- baseline mechanics ----------------------------------------------------------
+
+
+def test_roundtrip_render_load_apply(tmp_path):
+    document = Baseline.render([FINDING], rationale="serialization is the point")
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps(document))
+
+    baseline = Baseline.load(path)
+    assert [e.rationale for e in baseline.entries] == ["serialization is the point"]
+
+    result = baseline.apply([FINDING])
+    assert result.active == []
+    assert result.suppressed == [FINDING]
+    assert result.stale == []
+
+
+def test_matching_ignores_line_numbers():
+    moved = Finding(
+        rule=FINDING.rule,
+        path=FINDING.path,
+        line=999,
+        col=0,
+        message=FINDING.message,
+        symbol=FINDING.symbol,
+    )
+    baseline = Baseline(
+        [BaselineEntry(FINDING.rule, FINDING.path, FINDING.symbol, "why")]
+    )
+    result = baseline.apply([moved])
+    assert result.active == [] and result.suppressed == [moved]
+
+
+def test_matching_tolerates_absolute_paths():
+    # Runs started outside the repo root report absolute paths; the
+    # repo-relative entry must still suppress them.
+    absolute = Finding(
+        rule=FINDING.rule,
+        path="/home/ci/checkout/" + FINDING.path,
+        line=FINDING.line,
+        col=FINDING.col,
+        message=FINDING.message,
+        symbol=FINDING.symbol,
+    )
+    baseline = Baseline(
+        [BaselineEntry(FINDING.rule, FINDING.path, FINDING.symbol, "why")]
+    )
+    result = baseline.apply([absolute])
+    assert result.active == [] and result.stale == []
+    # …but a mere substring (no `/` boundary) must NOT match.
+    lookalike = Finding(
+        rule=FINDING.rule,
+        path="not-" + FINDING.path,
+        line=1,
+        col=0,
+        message=FINDING.message,
+        symbol=FINDING.symbol,
+    )
+    assert baseline.apply([lookalike]).active == [lookalike]
+
+
+def test_stale_entry_is_reported():
+    baseline = Baseline(
+        [BaselineEntry("REP401", "src/repro/net/server.py", "gone.symbol", "why")]
+    )
+    result = baseline.apply([FINDING])
+    assert result.active == [FINDING]
+    assert [e.symbol for e in result.stale] == ["gone.symbol"]
+
+
+def test_missing_rationale_is_rejected(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(
+        json.dumps(
+            {
+                "version": 1,
+                "entries": [
+                    {"rule": "REP102", "path": "a.py", "symbol": "X.h", "rationale": ""}
+                ],
+            }
+        )
+    )
+    with pytest.raises(BaselineError, match="rationale"):
+        Baseline.load(path)
+
+
+def test_malformed_baseline_is_rejected(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text("[]")
+    with pytest.raises(BaselineError, match="entries"):
+        Baseline.load(path)
+
+
+# -- CLI -------------------------------------------------------------------------
+
+DIRTY_MODULE = textwrap.dedent(
+    """
+    def dispatch(envelope):
+        try:
+            return decode(envelope)
+        except Exception:
+            return None
+    """
+)
+
+
+def write_dirty_tree(tmp_path):
+    pkg = tmp_path / "src" / "repro" / "interop"
+    pkg.mkdir(parents=True)
+    (pkg / "fixture.py").write_text(DIRTY_MODULE)
+    return tmp_path / "src"
+
+
+def test_cli_clean_tree_exits_zero(tmp_path, capsys):
+    pkg = tmp_path / "src" / "repro" / "interop"
+    pkg.mkdir(parents=True)
+    (pkg / "fixture.py").write_text("def ok():\n    return 1\n")
+    assert main([str(tmp_path / "src")]) == 0
+    assert "0 finding(s)" in capsys.readouterr().out
+
+
+def test_cli_active_finding_exits_one(tmp_path, capsys):
+    src = write_dirty_tree(tmp_path)
+    assert main([str(src)]) == 1
+    out = capsys.readouterr().out
+    assert "REP401" in out and "fixture.py:5" in out
+
+
+def test_cli_json_report(tmp_path):
+    src = write_dirty_tree(tmp_path)
+    report_path = tmp_path / "report.json"
+    assert main([str(src), "--json", str(report_path)]) == 1
+    report = json.loads(report_path.read_text())
+    assert report["counts"] == {"REP401": 1}
+    assert report["findings"][0]["rule"] == "REP401"
+    assert report["findings"][0]["symbol"] == "dispatch"
+    assert report["stale_baseline"] == []
+
+
+def test_cli_write_baseline_then_suppress(tmp_path, capsys):
+    src = write_dirty_tree(tmp_path)
+    baseline_path = tmp_path / "baseline.json"
+
+    # 1. Accept the current findings into a baseline…
+    assert main([str(src), "--write-baseline", str(baseline_path)]) == 0
+    document = json.loads(baseline_path.read_text())
+    assert len(document["entries"]) == 1
+    # …the generated rationale is a placeholder the author must replace.
+    document["entries"][0]["rationale"] = "legacy shim, tracked in ROADMAP"
+    baseline_path.write_text(json.dumps(document))
+
+    # 2. With the baseline the same tree is clean.
+    capsys.readouterr()
+    assert main([str(src), "--baseline", str(baseline_path)]) == 0
+    assert "1 baselined" in capsys.readouterr().out
+
+    # 3. Fix the code: the entry goes stale — warning by default…
+    (tmp_path / "src" / "repro" / "interop" / "fixture.py").write_text(
+        "def ok():\n    return 1\n"
+    )
+    assert main([str(src), "--baseline", str(baseline_path)]) == 0
+    assert "stale baseline entry" in capsys.readouterr().err
+
+    # 4. …and a failure in CI mode.
+    assert main([str(src), "--baseline", str(baseline_path), "--fail-stale"]) == 1
+
+
+def test_cli_unfilled_rationale_placeholder_is_rejected(tmp_path):
+    src = write_dirty_tree(tmp_path)
+    baseline_path = tmp_path / "baseline.json"
+    assert main([str(src), "--write-baseline", str(baseline_path)]) == 0
+    # The placeholder rationale loads fine (it is non-empty) but marks
+    # unfinished work; spot-check it is present so authors notice.
+    document = json.loads(baseline_path.read_text())
+    assert document["entries"][0]["rationale"].startswith("TODO")
+
+
+def test_cli_rules_filter(tmp_path, capsys):
+    src = write_dirty_tree(tmp_path)
+    # Only lock rules requested: the REP401 finding is not reported.
+    assert main([str(src), "--rules", "REP101,REP102"]) == 0
+    capsys.readouterr()
+    # Unknown rule ids are a usage error.
+    assert main([str(src), "--rules", "REP999"]) == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_cli_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in ("REP101", "REP102", "REP201", "REP301", "REP401", "REP501"):
+        assert rule in out
+
+
+def test_cli_missing_tree_exits_two(tmp_path, capsys):
+    assert main([str(tmp_path / "nowhere")]) == 2
+    assert "no python files" in capsys.readouterr().err
+
+
+def test_cli_parse_error_is_reported_not_fatal(tmp_path, capsys):
+    pkg = tmp_path / "src" / "repro" / "interop"
+    pkg.mkdir(parents=True)
+    (pkg / "broken.py").write_text("def broken(:\n")
+    (pkg / "fixture.py").write_text(DIRTY_MODULE)
+    assert main([str(tmp_path / "src")]) == 1
+    captured = capsys.readouterr()
+    assert "parse error" in captured.err
+    assert "REP401" in captured.out

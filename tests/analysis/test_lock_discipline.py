@@ -1,0 +1,234 @@
+"""REP101/REP102 fixture tests: one passing + one failing case per rule,
+plus the control-flow subtleties the checker must model (with-blocks,
+nested defs as deferred execution, async-with, tuple targets)."""
+
+import textwrap
+
+from repro.analysis.checkers.locks import LockDisciplineChecker
+from repro.analysis.core import Project
+
+REGISTRY = {"Table": {"_rows": "_lock", "count": "_lock"}}
+
+
+def run(source, registry=REGISTRY):
+    project = Project.from_sources(
+        {"src/repro/interop/fixture.py": textwrap.dedent(source)}
+    )
+    return LockDisciplineChecker(guarded_state=registry).run(project)
+
+
+# -- REP101: unguarded shared-state writes --------------------------------------
+
+
+def test_unguarded_write_fires():
+    findings = run(
+        """
+        class Table:
+            def put(self, key, value):
+                self._rows[key] = value
+        """
+    )
+    assert [f.rule for f in findings] == ["REP101"]
+    assert findings[0].line == 4
+    assert findings[0].symbol == "Table.put"
+    assert "_lock" in findings[0].message
+
+
+def test_guarded_write_is_clean():
+    findings = run(
+        """
+        class Table:
+            def put(self, key, value):
+                with self._lock:
+                    self._rows[key] = value
+        """
+    )
+    assert findings == []
+
+
+def test_init_is_exempt():
+    findings = run(
+        """
+        class Table:
+            def __init__(self):
+                self._rows = {}
+                self.count = 0
+        """
+    )
+    assert findings == []
+
+
+def test_mutator_method_counts_as_write():
+    findings = run(
+        """
+        class Table:
+            def drop(self, key):
+                self._rows.pop(key, None)
+        """
+    )
+    assert [f.rule for f in findings] == ["REP101"]
+    assert "self._rows.pop(...)" in findings[0].message
+
+
+def test_augmented_and_tuple_targets():
+    findings = run(
+        """
+        class Table:
+            def bump(self):
+                self.count += 1
+
+            def swap(self):
+                old, self._rows = self._rows, {}
+        """
+    )
+    assert [f.rule for f in findings] == ["REP101", "REP101"]
+    assert {f.symbol for f in findings} == {"Table.bump", "Table.swap"}
+
+
+def test_wrong_lock_does_not_satisfy():
+    findings = run(
+        """
+        class Table:
+            def put(self, key, value):
+                with self._other_lock:
+                    self._rows[key] = value
+        """
+    )
+    assert [f.rule for f in findings] == ["REP101"]
+
+
+def test_unregistered_class_is_ignored():
+    findings = run(
+        """
+        class Elsewhere:
+            def put(self, key, value):
+                self._rows[key] = value
+        """
+    )
+    assert findings == []
+
+
+def test_default_registry_guards_relay_state():
+    """The shipped registry must cover RelayService's idempotency record."""
+    project = Project.from_sources(
+        {
+            "src/repro/interop/fixture.py": textwrap.dedent(
+                """
+                class RelayService:
+                    def forget(self, request_id):
+                        self._idempotency.pop(request_id, None)
+                """
+            )
+        }
+    )
+    findings = LockDisciplineChecker().run(project)
+    assert [f.rule for f in findings] == ["REP101"]
+    assert "_idempotency_lock" in findings[0].message
+
+
+# -- REP102: lock held across blocking operations -------------------------------
+
+
+def test_lock_across_call_next_fires():
+    findings = run(
+        """
+        class Chain:
+            def handle(self, ctx, call_next):
+                with self._lock:
+                    return call_next(ctx)
+        """
+    )
+    assert [f.rule for f in findings] == ["REP102"]
+    assert "call_next" in findings[0].message
+
+
+def test_lock_across_sleep_and_socket_fires():
+    findings = run(
+        """
+        import time
+
+        class Chain:
+            def slow(self):
+                with self._mutex:
+                    time.sleep(1.0)
+
+            def network(self, sock, data):
+                with self._lock:
+                    sock.sendall(data)
+        """
+    )
+    assert sorted(f.rule for f in findings) == ["REP102", "REP102"]
+
+
+def test_call_next_outside_lock_is_clean():
+    findings = run(
+        """
+        class Chain:
+            def handle(self, ctx, call_next):
+                with self._lock:
+                    cached = self._rows.get(ctx)
+                if cached is not None:
+                    return cached
+                return call_next(ctx)
+        """
+    )
+    assert findings == []
+
+
+def test_await_under_sync_lock_fires():
+    findings = run(
+        """
+        class Chain:
+            async def handle(self, ctx):
+                with self._lock:
+                    return await self.downstream(ctx)
+        """
+    )
+    assert [f.rule for f in findings] == ["REP102"]
+    assert "'await'" in findings[0].message
+
+
+def test_async_with_is_not_a_sync_lock():
+    findings = run(
+        """
+        class Chain:
+            async def handle(self, ctx):
+                async with self._write_lock:
+                    return await self.downstream(ctx)
+        """
+    )
+    assert findings == []
+
+
+def test_nested_def_is_deferred_execution():
+    findings = run(
+        """
+        class Chain:
+            def handle(self, ctx, call_next):
+                with self._lock:
+                    def later():
+                        return call_next(ctx)
+                    self._rows[ctx] = later
+                return self._rows[ctx]
+        """
+    )
+    assert findings == []
+
+
+def test_default_registry_flags_relay_lock_across_round_trip():
+    """Regression shape: the idempotency lock held across a round-trip."""
+    project = Project.from_sources(
+        {
+            "src/repro/interop/fixture.py": textwrap.dedent(
+                """
+                class RelayService:
+                    def bad(self, endpoint, data):
+                        with self._idempotency_lock:
+                            return endpoint.handle_request(data)
+                """
+            )
+        }
+    )
+    findings = LockDisciplineChecker().run(project)
+    assert [f.rule for f in findings] == ["REP102"]
+    assert "handle_request" in findings[0].message
