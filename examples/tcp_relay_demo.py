@@ -18,6 +18,13 @@ Run::
 
     PYTHONPATH=src python examples/tcp_relay_demo.py
 
+With ``--state-dir DIR`` the source relay journals its state to a
+:class:`repro.store.SqliteStore` rooted there, and the demo adds a
+second act: commit a cross-network transaction, ``kill()`` the relay
+process mid-conversation, respawn it on the same state directory, and
+replay the captured transaction envelope — the restarted relay answers
+byte-for-byte from its durable record instead of executing twice.
+
 (The child is spawned automatically; ``--serve`` is its internal mode.)
 """
 
@@ -46,7 +53,7 @@ DEST_ORG = "consumer-org"
 POLICY = "AND(org:producer-org, org:auditor-org)"
 
 
-def serve(host: str) -> None:
+def serve(host: str, state_dir: str | None = None) -> None:
     """Build the source network and serve its relay forever on a socket."""
     from repro.fabric import NetworkBuilder
     from repro.interop.bootstrap import create_fabric_relay, enable_fabric_interop
@@ -87,8 +94,14 @@ def serve(host: str) -> None:
     source.gateway.submit(
         admin, "ecc", "AddAccessRule", [DEST_NETWORK, DEST_ORG, "docs", "Get"]
     )
+    source.gateway.submit(
+        admin, "ecc", "AddAccessRule", [DEST_NETWORK, DEST_ORG, "docs", "Put"]
+    )
 
-    relay = create_fabric_relay(source, InMemoryRegistry())
+    # ``--state-dir`` makes this relay durable: its exactly-once record
+    # and served subscriptions live in a SqliteStore that a respawned
+    # process re-opens (create_fabric_relay recovers it automatically).
+    relay = create_fabric_relay(source, InMemoryRegistry(), state_dir=state_dir)
     server = RelayServer(relay, host=host, port=0, max_workers=4).start()
 
     # Hand the parent what it needs: our address and our MSP roots (in a
@@ -108,7 +121,35 @@ def serve(host: str) -> None:
 # ---------------------------------------------------------------------------
 
 
-def main() -> None:
+def spawn_source(destination, state_dir: str | None):
+    """Spawn the source-relay process; returns (child, address, config_hex)."""
+    command = [sys.executable, __file__, "--serve", "127.0.0.1"]
+    if state_dir:
+        command += ["--state-dir", state_dir]
+    child = subprocess.Popen(
+        command,
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+    assert child.stdin is not None and child.stdout is not None
+    child.stdin.write(destination.export_config().encode().hex() + "\n")
+    child.stdin.flush()
+
+    source_config_hex = ""
+    address = ""
+    for line in child.stdout:
+        if line.startswith(SOURCE_MSP_ROOT_PREFIX):
+            source_config_hex = line[len(SOURCE_MSP_ROOT_PREFIX):].strip()
+        elif line.startswith(READY_PREFIX):
+            address = line[len(READY_PREFIX):].strip()
+            break
+    if not address:
+        raise RuntimeError("source relay process never became ready")
+    return child, address, source_config_hex
+
+
+def main(state_dir: str | None = None) -> None:
     from repro.fabric import NetworkBuilder
     from repro.interop.bootstrap import enable_fabric_interop
     from repro.interop.client import InteropClient
@@ -130,27 +171,8 @@ def main() -> None:
     enable_fabric_interop(destination, dest_admin)
 
     # --- spawn the source-network relay as a separate OS process ----------
-    child = subprocess.Popen(
-        [sys.executable, __file__, "--serve", "127.0.0.1"],
-        stdin=subprocess.PIPE,
-        stdout=subprocess.PIPE,
-        text=True,
-    )
+    child, address, source_config_hex = spawn_source(destination, state_dir)
     try:
-        assert child.stdin is not None and child.stdout is not None
-        child.stdin.write(destination.export_config().encode().hex() + "\n")
-        child.stdin.flush()
-
-        source_config_hex = ""
-        address = ""
-        for line in child.stdout:
-            if line.startswith(SOURCE_MSP_ROOT_PREFIX):
-                source_config_hex = line[len(SOURCE_MSP_ROOT_PREFIX):].strip()
-            elif line.startswith(READY_PREFIX):
-                address = line[len(READY_PREFIX):].strip()
-                break
-        if not address:
-            raise RuntimeError("source relay process never became ready")
         print(f"source relay process {child.pid} serving at {address}")
 
         # §3.3 on our side: record the source network's configuration and
@@ -193,6 +215,47 @@ def main() -> None:
         print("attestations verified against the source MSP roots recorded on")
         print("the destination ledger. Kill -9 the child and the same query")
         print("raises a typed RelayUnavailableError instead.")
+
+        # --- act two (--state-dir): crash the relay, replay the past -------
+        if state_dir:
+            from repro.interop.transactions import RemoteTransactionClient
+            from repro.proto.messages import (
+                MSG_KIND_TRANSACT_REQUEST,
+                PROTOCOL_VERSION,
+                RelayEnvelope,
+            )
+
+            prepared = RemoteTransactionClient(client).prepare_transaction(
+                "source-net/main/docs/Put",
+                ["receipt-9", '{"paid": true}'],
+            )
+            raw = RelayEnvelope(
+                version=PROTOCOL_VERSION,
+                kind=MSG_KIND_TRANSACT_REQUEST,
+                request_id="demo-receipt-9",
+                source_network=DEST_NETWORK,
+                destination_network="source-net",
+                payload=prepared.query.encode(),
+            ).encode()
+            first = resolver.resolve(address).handle_request(raw)
+            print(f"\ncommitted receipt-9 via request_id=demo-receipt-9 "
+                  f"({len(first)}-byte reply)")
+
+            child.kill()
+            child.wait(timeout=10)
+            print(f"killed relay process {child.pid} (simulated crash)")
+
+            child, address, _ = spawn_source(destination, state_dir)
+            registry_file.write_text(json.dumps({"source-net": [address]}))
+            print(f"respawned as {child.pid} at {address} "
+                  f"on the same --state-dir")
+
+            second = resolver.resolve(address).handle_request(raw)
+            assert second == first, "replay must be answered from the record"
+            print("\nreplayed the SAME captured envelope: the restarted relay")
+            print("answered byte-for-byte from its durable exactly-once record")
+            print("— the transaction did not execute a second time. Without")
+            print("--state-dir that record dies with the process.")
         registry_file.unlink()
     finally:
         if child.stdin is not None:
@@ -203,8 +266,15 @@ def main() -> None:
 if __name__ == "__main__":
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--serve", metavar="HOST", help=argparse.SUPPRESS)
+    parser.add_argument(
+        "--state-dir",
+        metavar="DIR",
+        default=None,
+        help="journal the source relay's state to a SqliteStore rooted "
+        "here and demo crash + replay recovery (e.g. /tmp/relay-state)",
+    )
     arguments = parser.parse_args()
     if arguments.serve:
-        serve(arguments.serve)
+        serve(arguments.serve, state_dir=arguments.state_dir)
     else:
-        main()
+        main(state_dir=arguments.state_dir)

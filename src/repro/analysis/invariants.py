@@ -22,6 +22,7 @@ GUARDED_STATE: dict[str, dict[str, str]] = {
         "_served_subscriptions": "_subscriptions_lock",
         "_event_sinks": "_subscriptions_lock",
         "_idempotency": "_idempotency_lock",
+        "_idempotency_seq": "_idempotency_lock",
         "_in_flight": "_idempotency_lock",
         "_interceptors": "_chain_lock",
         "_chain": "_chain_lock",
@@ -90,6 +91,18 @@ GUARDED_STATE: dict[str, dict[str, str]] = {
         "connections_dialed": "_lock",
         "transport_failures": "_lock",
     },
+    # repro/store/memory.py
+    "MemoryStore": {"_data": "_lock"},
+    # repro/store/sqlite.py — the WAL handle, sqlite connection, image
+    # and pending-ops cache are all shared by concurrent serve threads.
+    "SqliteStore": {
+        "_data": "_lock",
+        "_pending": "_lock",
+        "_wal": "_lock",
+        "_conn": "_lock",
+    },
+    # repro/store/wal.py
+    "WriteAheadLog": {"_file": "_lock"},
     # repro/interop/discovery.py
     "InMemoryRegistry": {"_relays": "_lock"},
     # repro/net/transport.py
@@ -163,6 +176,7 @@ ERROR_TAXONOMY_LAYERS = (
     "repro/net/",
     "repro/api/",
     "repro/assets/",
+    "repro/store/",
 )
 
 #: Helper calls whose return value IS the error answer (an error envelope

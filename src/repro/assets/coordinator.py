@@ -44,6 +44,7 @@ from repro.errors import (
     RelayError,
 )
 from repro.interop.client import InteropClient
+from repro.store import StateStore
 from repro.proto.messages import (
     MSG_KIND_ASSET_CLAIM,
     MSG_KIND_ASSET_LOCK,
@@ -57,6 +58,9 @@ from repro.proto.messages import (
     NetworkAddressMsg,
 )
 from repro.utils.ids import random_id
+
+#: :class:`~repro.store.StateStore` namespace for exchange journals.
+NS_EXCHANGES = "assets/exchanges"
 
 
 class ExchangeState(Enum):
@@ -190,6 +194,16 @@ class AssetExchangeCoordinator:
     claims across networks). ``offer_policy`` / ``ask_policy`` are the
     verification policies for the proof-carrying lock confirmations
     (``None`` = look up the CMDAC-recorded policy, as for queries).
+
+    Crash recovery: pass a :class:`~repro.store.StateStore` and every
+    state-machine transition is journaled under ``exchange_id``. A
+    restarted process rebuilds the coordinator with :meth:`resume`, then
+    calls :meth:`recover` to resolve the one step the journal cannot —
+    "did the command I issued right before the crash land?" — through
+    proof-carrying ``GetLock`` readbacks against the ledgers themselves
+    (the relay that just crashed is exactly the party not trusted for
+    that answer), and :meth:`run` continues from wherever the machine
+    stopped.
     """
 
     def __init__(
@@ -203,6 +217,8 @@ class AssetExchangeCoordinator:
         offer_policy: str | None = None,
         ask_policy: str | None = None,
         verify_margin: float | None = None,
+        store: StateStore | None = None,
+        exchange_id: str | None = None,
     ) -> None:
         if offer.network != initiator.network_id:
             raise ProtocolError(
@@ -257,6 +273,212 @@ class AssetExchangeCoordinator:
         self.result = ExchangeResult(
             state=self.state, hashlock=self.hashlock, preimage=None
         )
+        self.exchange_id = exchange_id or random_id("exch-")
+        self._store = store
+        self._journal()
+
+    # -- durability ---------------------------------------------------------------
+
+    def _journal(self) -> None:
+        """Persist everything a resumed coordinator needs (no-op without
+        a store). Written after every transition and flag change."""
+        if self._store is None:
+            return
+        record = {
+            "state": self.state.value,
+            "offer": [
+                self.offer.network,
+                self.offer.ledger,
+                self.offer.contract,
+                self.offer.asset_id,
+            ],
+            "ask": [
+                self.ask.network,
+                self.ask.ledger,
+                self.ask.contract,
+                self.ask.asset_id,
+            ],
+            "offer_timeout": self.offer_timeout,
+            "counter_timeout": self.counter_timeout,
+            "verify_margin": self.verify_margin,
+            "preimage": self.preimage.hex(),
+            "hashlock": self.hashlock.hex(),
+            "verified_hashlock": self._verified_hashlock.hex(),
+            "offer_deadline": self.offer_deadline,
+            "counter_deadline": self.counter_deadline,
+            "counter_refunded": self._counter_refunded,
+            "offer_refunded": self._offer_refunded,
+            "offer_locked": self.result.offer_lock is not None,
+            "counter_locked": self.result.counter_lock is not None,
+            "counter_claimed": self.result.counter_claim is not None,
+            "offer_claimed": self.result.offer_claim is not None,
+            "preimage_revealed": self.result.preimage is not None,
+        }
+        self._store.put(
+            NS_EXCHANGES, self.exchange_id, json.dumps(record).encode("utf-8")
+        )
+
+    @staticmethod
+    def _journaled_ack(asset_id: str) -> AssetAckMsg:
+        """Stand-in ack for a leg the journal records as landed: the
+        original wire ack died with the crashed process, but the flags
+        (and :meth:`refund`'s decisions) only need *that* it landed."""
+        return AssetAckMsg(
+            version=PROTOCOL_VERSION,
+            nonce="journaled",
+            status=STATUS_OK,
+            asset_id=asset_id,
+        )
+
+    @classmethod
+    def resume(
+        cls,
+        initiator: InteropClient,
+        responder: InteropClient,
+        store: StateStore,
+        exchange_id: str,
+        offer_policy: str | None = None,
+        ask_policy: str | None = None,
+    ) -> "AssetExchangeCoordinator":
+        """Rebuild a coordinator from its journal after a crash.
+
+        The journal restores the secret, the verified hashlock, the
+        deadlines, and the state machine position; call :meth:`recover`
+        next to resolve whether the command in flight at the crash
+        landed, then :meth:`run` (or :meth:`refund`) to continue.
+        """
+        raw = store.get(NS_EXCHANGES, exchange_id)
+        if raw is None:
+            raise ExchangeStateError(
+                f"no journaled exchange {exchange_id!r} in the store"
+            )
+        record = json.loads(raw.decode("utf-8"))
+        coordinator = cls(
+            initiator,
+            responder,
+            AssetSpec(*record["offer"]),
+            AssetSpec(*record["ask"]),
+            offer_timeout=record["offer_timeout"],
+            counter_timeout=record["counter_timeout"],
+            offer_policy=offer_policy,
+            ask_policy=ask_policy,
+            verify_margin=record["verify_margin"],
+            exchange_id=exchange_id,
+        )
+        coordinator.preimage = bytes.fromhex(record["preimage"])
+        coordinator.hashlock = bytes.fromhex(record["hashlock"])
+        coordinator._verified_hashlock = bytes.fromhex(
+            record["verified_hashlock"]
+        )
+        coordinator.state = ExchangeState(record["state"])
+        coordinator.offer_deadline = record["offer_deadline"]
+        coordinator.counter_deadline = record["counter_deadline"]
+        coordinator._counter_refunded = record["counter_refunded"]
+        coordinator._offer_refunded = record["offer_refunded"]
+        result = coordinator.result
+        result.state = coordinator.state
+        result.hashlock = coordinator.hashlock
+        if record["offer_locked"]:
+            result.offer_lock = cls._journaled_ack(coordinator.offer.asset_id)
+        if record["counter_locked"]:
+            result.counter_lock = cls._journaled_ack(coordinator.ask.asset_id)
+        if record["counter_claimed"]:
+            result.counter_claim = cls._journaled_ack(coordinator.ask.asset_id)
+        if record["offer_claimed"]:
+            result.offer_claim = cls._journaled_ack(coordinator.offer.asset_id)
+        if record["preimage_revealed"]:
+            result.preimage = coordinator.preimage
+        # Attach the store only now: a crash inside resume() itself must
+        # never regress the journal to the constructor's CREATED image.
+        coordinator._store = store
+        coordinator._journal()
+        return coordinator
+
+    def _peek_lock(
+        self, viewer: InteropClient, spec: AssetSpec, policy: str | None
+    ) -> dict:
+        """Proof-verified ``GetLock`` readback, returned raw (recovery
+        decides; unlike :meth:`_verify_lock` nothing FAILs here — the
+        readback itself raising leaves the step retriable)."""
+        fetched = viewer.remote_query(
+            spec.query_address("GetLock"), [spec.asset_id], policy=policy
+        )
+        return json.loads(fetched.data)
+
+    def recover(self) -> ExchangeState:
+        """Re-derive the next safe step after :meth:`resume`.
+
+        The journal is written *after* each command's ack, so a crash
+        leaves exactly one ambiguity: the command issued right before it
+        may have committed without being journaled. For each such state
+        the relevant party reads the escrow through a proof-carrying
+        ``GetLock`` query — never the relay's word — and fast-forwards
+        the machine if the ledger shows the step landed with *this*
+        exchange's terms. States with no in-flight command return
+        unchanged; a readback failure raises without a state change, so
+        recovery is retriable.
+        """
+        if self.state is ExchangeState.CREATED:
+            # lock_offer may have landed: the responder (who holds the
+            # offer network's foreign config) checks the offer escrow.
+            record = self._peek_lock(
+                self._responder, self.offer, self._offer_policy
+            )
+            if (
+                record.get("state") == STATE_LOCKED
+                and record.get("hashlock") == self.hashlock.hex()
+                and record.get("recipient") == self.responder_party
+            ):
+                self.offer_deadline = float(record.get("timeout", 0.0))
+                self.result.offer_lock = self._journaled_ack(
+                    self.offer.asset_id
+                )
+                self._advance(ExchangeState.OFFER_LOCKED)
+        if self.state is ExchangeState.OFFER_VERIFIED:
+            # lock_counter may have landed: the initiator checks the ask
+            # escrow for the hashlock the responder verified.
+            record = self._peek_lock(self._initiator, self.ask, self._ask_policy)
+            if (
+                record.get("state") == STATE_LOCKED
+                and record.get("hashlock") == self._verified_hashlock.hex()
+                and record.get("recipient") == self.initiator_party
+            ):
+                self.counter_deadline = float(record.get("timeout", 0.0))
+                self.result.counter_lock = self._journaled_ack(
+                    self.ask.asset_id
+                )
+                self._advance(ExchangeState.COUNTER_LOCKED)
+        if self.state is ExchangeState.COUNTER_VERIFIED:
+            # claim_counter may have landed — and if it did, the preimage
+            # is PUBLIC: the machine must move past the reveal, not retry
+            # into a refund window.
+            record = self._peek_lock(self._initiator, self.ask, self._ask_policy)
+            if record.get("state") == STATE_CLAIMED:
+                if record.get("preimage") != self.preimage.hex():
+                    self._advance(ExchangeState.FAILED)
+                    raise AssetError(
+                        "ask escrow was claimed with a foreign preimage; "
+                        "the exchange cannot proceed"
+                    )
+                self.result.counter_claim = self._journaled_ack(
+                    self.ask.asset_id
+                )
+                self.result.preimage = self.preimage
+                self._advance(ExchangeState.COUNTER_CLAIMED)
+        if self.state is ExchangeState.COUNTER_CLAIMED:
+            # claim_offer may have landed: the responder checks its claim.
+            record = self._peek_lock(
+                self._responder, self.offer, self._offer_policy
+            )
+            if (
+                record.get("state") == STATE_CLAIMED
+                and record.get("preimage") == self.preimage.hex()
+            ):
+                self.result.offer_claim = self._journaled_ack(
+                    self.offer.asset_id
+                )
+                self._advance(ExchangeState.COMPLETED)
+        return self.state
 
     # -- identity helpers ---------------------------------------------------------
 
@@ -315,6 +537,7 @@ class AssetExchangeCoordinator:
             )
         self.state = new_state
         self.result.state = new_state
+        self._journal()
 
     def _require(self, *states: ExchangeState) -> None:
         if self.state not in states:
@@ -534,13 +757,28 @@ class AssetExchangeCoordinator:
         return ack
 
     def run(self) -> ExchangeResult:
-        """Drive the full happy path; returns the populated result."""
-        self.lock_offer()
-        self.verify_offer()
-        self.lock_counter()
-        self.verify_counter()
-        self.claim_counter()
-        self.claim_offer()
+        """Drive the exchange to completion from the *current* state.
+
+        On a fresh coordinator this is the full happy path; on a
+        journal-resumed one (see :meth:`resume` / :meth:`recover`) it
+        continues from wherever the state machine stopped.
+        """
+        if self.state is ExchangeState.CREATED:
+            self.lock_offer()
+        if self.state is ExchangeState.OFFER_LOCKED:
+            self.verify_offer()
+        if self.state is ExchangeState.OFFER_VERIFIED:
+            self.lock_counter()
+        if self.state is ExchangeState.COUNTER_LOCKED:
+            self.verify_counter()
+        if self.state is ExchangeState.COUNTER_VERIFIED:
+            self.claim_counter()
+        if self.state is ExchangeState.COUNTER_CLAIMED:
+            self.claim_offer()
+        if self.state is not ExchangeState.COMPLETED:
+            raise ExchangeStateError(
+                f"exchange cannot proceed from state {self.state.value!r}"
+            )
         return self.result
 
     # -- unhappy paths ------------------------------------------------------------
@@ -592,6 +830,7 @@ class AssetExchangeCoordinator:
             if ack.status != STATUS_OK:
                 raise AssetError(f"counter refund refused: {ack.error}")
             self._counter_refunded = True
+            self._journal()  # a crash here must not re-refund this leg
             self.result.refunds.append(ack)
             acks.append(ack)
         if (
@@ -605,6 +844,7 @@ class AssetExchangeCoordinator:
             if ack.status != STATUS_OK:
                 raise AssetError(f"offer refund refused: {ack.error}")
             self._offer_refunded = True
+            self._journal()
             self.result.refunds.append(ack)
             acks.append(ack)
         self._advance(ExchangeState.REFUNDED)

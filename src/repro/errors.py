@@ -169,6 +169,25 @@ class DoSError(RelayError):
 
 
 # ---------------------------------------------------------------------------
+# Durable state (repro.store)
+# ---------------------------------------------------------------------------
+
+
+class StoreError(ReproError):
+    """A durable state-store operation failed."""
+
+
+class StoreCorruptionError(StoreError):
+    """Persisted state is unreadable beyond the WAL's torn-tail tolerance
+    (bad magic, mid-file CRC damage, an undecodable checkpoint row)."""
+
+
+class StoreMigrationError(StoreError):
+    """Stored schema version cannot be migrated to the running version
+    (no registered hook for a step, or the store is from the future)."""
+
+
+# ---------------------------------------------------------------------------
 # Asset exchange (HTLC subsystem)
 # ---------------------------------------------------------------------------
 

@@ -16,6 +16,7 @@ is that adaptation path:
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Sequence
 
 from repro.fabric.identity import Identity
@@ -37,6 +38,7 @@ from repro.interop.discovery import DiscoveryService, InMemoryRegistry
 from repro.interop.policy import all_orgs_policy
 from repro.interop.proofs import AttestationProofScheme
 from repro.interop.relay import RateLimiter, RelayService
+from repro.store import open_store
 from repro.crypto.keys import PublicKey
 from repro.proto.address import CrossNetworkAddress
 from repro.utils.encoding import from_canonical_json
@@ -118,6 +120,7 @@ def create_fabric_relay(
     relay_id: str | None = None,
     register: bool = True,
     middleware: Sequence | None = None,
+    state_dir: "str | Path | None" = None,
 ) -> RelayService:
     """Stand up a relay service fronting ``network``.
 
@@ -125,7 +128,11 @@ def create_fabric_relay(
     registered for discovery; deploy several relays for one network to get
     the paper's redundant-relay DoS mitigation. ``middleware`` installs
     interceptors (see :mod:`repro.api.middleware`) after the legacy
-    ``rate_limiter`` shim, in the given order.
+    ``rate_limiter`` shim, in the given order. ``state_dir`` is the
+    ``--state-dir`` deployment option: ``None`` keeps the volatile
+    default, a path makes the relay durable (``repro.store.open_store``)
+    and immediately :meth:`~RelayService.recover`\\ s any state already
+    journaled there.
     """
     relay = RelayService(
         network_id=network.name,
@@ -133,10 +140,13 @@ def create_fabric_relay(
         clock=network.clock,
         rate_limiter=rate_limiter,
         relay_id=relay_id,
+        store=open_store(state_dir),
     )
     if middleware:
         relay.use(*middleware)
     relay.register_driver(FabricDriver(network))
+    if state_dir is not None:
+        relay.recover()  # re-open event taps journaled by a predecessor
     if register and isinstance(discovery, InMemoryRegistry):
         discovery.register(network.name, relay)
     return relay

@@ -49,6 +49,7 @@ cannot take concurrent load install a
 
 from __future__ import annotations
 
+import json
 import threading
 from collections import OrderedDict, deque
 from typing import Callable, Sequence
@@ -103,8 +104,13 @@ from repro.proto.messages import (
     QueryResponse,
     RelayEnvelope,
 )
+from repro.store import MemoryStore, StateStore
 from repro.utils.clock import Clock, SystemClock
 from repro.utils.ids import random_id
+
+#: :class:`~repro.store.StateStore` namespaces the relay owns.
+NS_IDEMPOTENCY = "relay/idempotency"
+NS_SUBSCRIPTIONS = "relay/subscriptions"
 
 
 class RateLimiter:
@@ -260,7 +266,26 @@ class RateLimitInterceptor:
 
 
 class RelayService:
-    """One network's relay: serves local apps and answers remote relays."""
+    """One network's relay: serves local apps and answers remote relays.
+
+    Durability: every piece of state a restarted relay must remember
+    lives behind the ``store`` seam (:class:`repro.store.StateStore`) —
+    the exactly-once idempotency record and the served-subscription
+    table. The default :class:`~repro.store.MemoryStore` preserves
+    process-lifetime semantics; wiring a
+    :class:`~repro.store.SqliteStore` makes a crashed relay answer
+    replayed side-effecting envelopes from the durable record and
+    (after :meth:`recover`) re-open its event taps.
+
+    Bounded eviction: the idempotency record keeps at most
+    ``idempotency_capacity`` replies, evicted strictly
+    oldest-recorded-first (FIFO by a monotonic sequence number that is
+    persisted with each reply, so the eviction order — and therefore
+    *which* duplicates are still suppressed — is identical before and
+    after a restart). An evicted request_id's replay re-routes to the
+    driver like a fresh request; deploy the capacity above the
+    adversary's replay window.
+    """
 
     def __init__(
         self,
@@ -269,7 +294,11 @@ class RelayService:
         clock: Clock | None = None,
         rate_limiter: RateLimiter | None = None,
         relay_id: str | None = None,
+        store: StateStore | None = None,
+        idempotency_capacity: int = 1024,
     ) -> None:
+        if idempotency_capacity < 1:
+            raise ValueError("idempotency_capacity must be >= 1")
         self.network_id = network_id
         self.relay_id = relay_id or f"relay-{network_id}"
         self._discovery = discovery
@@ -300,13 +329,106 @@ class RelayService:
         #: record and both commit.
         self._idempotency_lock = threading.Lock()
         self._in_flight: dict[str, threading.Event] = {}
-        self.idempotency_capacity = 1024
+        #: Kept as a plain (mutable) attribute for operational tuning;
+        #: the constructor parameter is the supported wiring path.
+        self.idempotency_capacity = idempotency_capacity
+        #: Durable home for the idempotency record and the subscription
+        #: table; MemoryStore by default (state dies with the process).
+        self._store = store if store is not None else MemoryStore()
+        #: Monotonic recording order for idempotency entries; persisted
+        #: with each reply so FIFO eviction survives a restart.
+        self._idempotency_seq = 0
+        self._load_durable_state()
         self.stats = RelayStats()
         self.available = True  # toggled by availability experiments
         if rate_limiter is not None:
             # Legacy shim: the constructor-injected limiter becomes the
             # first interceptor of the chain.
             self.use(RateLimitInterceptor(rate_limiter))
+
+    def _load_durable_state(self) -> None:
+        """Rebuild the in-memory idempotency record from the store.
+
+        Entries are ordered by their persisted sequence number so the
+        restarted relay's FIFO eviction continues exactly where the
+        crashed one stopped; anything beyond capacity (a restart with a
+        smaller capacity) is dropped oldest-first, from disk too.
+        """
+        entries: list[tuple[int, str, bytes]] = []
+        for key, value in self._store.scan(NS_IDEMPOTENCY):
+            if len(value) < 8:
+                continue  # unreadable row: treat as evicted
+            entries.append((int.from_bytes(value[:8], "big"), key, value[8:]))
+        entries.sort()
+        overflow = (
+            entries[: -self.idempotency_capacity]
+            if len(entries) > self.idempotency_capacity
+            else []
+        )
+        with self._idempotency_lock:
+            for _, key, reply in entries[len(overflow):]:
+                self._idempotency[key] = reply
+            if entries:
+                self._idempotency_seq = entries[-1][0] + 1
+        if overflow:
+            with self._store.batch() as batch:
+                for _, key, _ in overflow:
+                    batch.delete(NS_IDEMPOTENCY, key)
+
+    def recover(self) -> list[str]:
+        """Re-open event taps for durably-recorded subscriptions.
+
+        The idempotency record is reloaded at construction; what cannot
+        be reloaded automatically are the *taps* — live hooks into a
+        driver's event hub. Call this after the application has
+        re-registered its drivers: each persisted served subscription
+        whose target driver is event-capable again is re-tapped (the
+        subscriber's sink callbacks live in *its* relay process and are
+        untouched). Records whose driver is not registered yet stay
+        durable for a later call; records that no longer decode or whose
+        tap the source now denies are dropped. Returns the re-opened
+        subscription ids.
+        """
+        restored: list[str] = []
+        for subscription_id, raw in self._store.scan(NS_SUBSCRIPTIONS):
+            try:
+                persisted = json.loads(raw.decode("utf-8"))
+                request = EventSubscribeRequest.decode(
+                    bytes.fromhex(persisted["request"])
+                )
+                subscriber_network = persisted["subscriber_network"]
+                target_network = persisted["target_network"]
+            except Exception:  # noqa: BLE001 - one corrupt record is dropped, never fatal to the rest of recovery
+                self._store.delete(NS_SUBSCRIPTIONS, subscription_id)
+                continue
+            driver = self._drivers.get(target_network)
+            if driver is None or not driver.supports_events:
+                continue  # left durable: the driver may register later
+            record = _ServedSubscription(
+                subscription_id=subscription_id,
+                subscriber_network=subscriber_network,
+                driver=driver,
+            )
+            with self._subscriptions_lock:
+                if subscription_id in self._served_subscriptions:
+                    continue  # already live (double recover())
+                self._served_subscriptions[subscription_id] = record
+
+            def push(notification, _record=record) -> None:
+                self._publish_event(_record, notification)
+
+            try:
+                record.tap = driver.open_event_tap(request, push)
+            except Exception:  # noqa: BLE001 - exposure rules may have changed since the crash: drop, don't half-restore
+                self._release_claim(subscription_id, record)
+                self._store.delete(NS_SUBSCRIPTIONS, subscription_id)
+                continue
+            restored.append(subscription_id)
+        return restored
+
+    @property
+    def store(self) -> StateStore:
+        return self._store
 
     @property
     def clock(self) -> Clock:
@@ -474,17 +596,36 @@ class RelayService:
             marker.wait()
         try:
             reply = self._route(envelope)
+            with self._idempotency_lock:
+                sequence = self._idempotency_seq
+                self._idempotency_seq += 1
+            # Durability point, deliberately outside the lock (the store
+            # fsyncs): the reply must be on disk BEFORE any caller can
+            # observe it, or a crash between answering and recording
+            # would let the replay re-execute after restart.
+            self._store.put(
+                NS_IDEMPOTENCY,
+                request_id,
+                sequence.to_bytes(8, "big") + reply,
+            )
         except BaseException:
             with self._idempotency_lock:
                 self._in_flight.pop(request_id, None)
             marker.set()
             raise
+        evicted: list[str] = []
         with self._idempotency_lock:
             self._idempotency[request_id] = reply
             while len(self._idempotency) > self.idempotency_capacity:
-                self._idempotency.popitem(last=False)
+                evicted.append(self._idempotency.popitem(last=False)[0])
             self._in_flight.pop(request_id, None)
         marker.set()
+        if evicted:
+            # Mirror FIFO eviction to the store so a restart rebuilds the
+            # same bounded window (never more than capacity on disk).
+            with self._store.batch() as batch:
+                for stale in evicted:
+                    batch.delete(NS_IDEMPOTENCY, stale)
         return reply
 
     def _route(self, envelope: RelayEnvelope) -> bytes:
@@ -806,9 +947,37 @@ class RelayService:
                 status=STATUS_ERROR,
                 error=f"subscription {subscription_id!r} torn down concurrently",
             )
+        self._persist_subscription(subscription_id, subscriber_network, request)
         self.stats.bump("requests_served")
         self.stats.bump("subscriptions_served")
         return self._event_ack(envelope, subscription_id)
+
+    def _persist_subscription(
+        self,
+        subscription_id: str,
+        subscriber_network: str,
+        request: EventSubscribeRequest,
+    ) -> None:
+        """Record a served subscription so :meth:`recover` can re-tap it.
+
+        The raw subscribe request is stored (with the assigned id) so
+        recovery re-runs the driver's own exposure gate — a subscription
+        the source would no longer permit is not silently resurrected.
+        """
+        request.subscription_id = subscription_id
+        self._store.put(
+            NS_SUBSCRIPTIONS,
+            subscription_id,
+            json.dumps(
+                {
+                    "subscriber_network": subscriber_network,
+                    "target_network": request.address.network
+                    if request.address
+                    else "",
+                    "request": request.encode().hex(),
+                }
+            ).encode("utf-8"),
+        )
 
     def _release_claim(self, subscription_id: str, record: "_ServedSubscription") -> None:
         """Drop a claimed subscription id, but only if it is still ours —
@@ -834,6 +1003,9 @@ class RelayService:
     def _drop_served_subscription(self, subscription_id: str) -> None:
         with self._subscriptions_lock:
             record = self._served_subscriptions.pop(subscription_id, None)
+        # Unconditional: an unsubscribe arriving before recover() re-taps
+        # must still clear the durable row, or it would resurrect later.
+        self._store.delete(NS_SUBSCRIPTIONS, subscription_id)
         if record is not None and record.tap is not None:
             record.driver.close_event_tap(record.tap)
 

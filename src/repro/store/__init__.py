@@ -1,0 +1,55 @@
+"""Durable relay state: the pluggable :class:`StateStore` subsystem.
+
+The paper's relay is "minimally trusted" but maximally *relied upon* —
+it is the hop every cross-network request, event, and HTLC command rides
+through. This package gives the state that must survive a relay or
+coordinator crash (the exactly-once idempotency record, served
+subscriptions, exchange journals) one pluggable home:
+
+- :class:`MemoryStore` — the default; exactly today's process-lifetime
+  behavior and performance.
+- :class:`SqliteStore` — append-only WAL with fsync-on-commit and
+  torn-tail-tolerant replay, checkpointed into sqlite; schema-versioned
+  with explicit migration hooks.
+
+Wiring is one call: :func:`open_store` maps a ``--state-dir`` style
+option (``None`` = volatile) onto the right backend.
+"""
+
+from pathlib import Path
+
+from repro.store.base import (
+    OP_DELETE,
+    OP_PUT,
+    StateStore,
+    StoreOp,
+    WriteBatch,
+    apply_ops_to_map,
+)
+from repro.store.memory import MemoryStore
+from repro.store.sqlite import SqliteStore
+from repro.store.wal import WriteAheadLog
+
+__all__ = [
+    "OP_DELETE",
+    "OP_PUT",
+    "MemoryStore",
+    "SqliteStore",
+    "StateStore",
+    "StoreOp",
+    "WriteAheadLog",
+    "WriteBatch",
+    "apply_ops_to_map",
+    "open_store",
+]
+
+
+def open_store(
+    state_dir: "str | Path | None", fsync: bool = True
+) -> StateStore:
+    """The ``--state-dir`` wiring seam: ``None`` opens a volatile
+    :class:`MemoryStore`, a path opens (creating if needed) a durable
+    :class:`SqliteStore` rooted there."""
+    if state_dir is None:
+        return MemoryStore()
+    return SqliteStore(state_dir, fsync=fsync)

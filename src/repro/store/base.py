@@ -1,0 +1,158 @@
+"""The :class:`StateStore` seam — durable state behind one small interface.
+
+The paper's relay is the trust-critical middleware hop, and everything it
+must remember across a crash (the exactly-once idempotency record, the
+served-subscription table, an exchange coordinator's journal) reduces to
+a namespaced key/value map with atomic multi-key commits. This module
+defines that seam; :mod:`repro.store.memory` keeps today's in-process
+behavior and :mod:`repro.store.sqlite` layers it over an append-only WAL
+with an sqlite checkpoint for real durability. State owners program
+against :class:`StateStore` only — which backend is wired in is a
+deployment decision (``--state-dir``), never a code path.
+
+Model:
+
+- keys live in string *namespaces* (``"relay/idempotency"``), values are
+  opaque bytes — serialization stays with the state owner;
+- :meth:`StateStore.apply` commits a batch of operations atomically: a
+  crash mid-commit yields all of the batch or none of it;
+- every persistent backend carries a *schema version* header and refuses
+  state from the future; upgrades run through explicit migration hooks
+  (:class:`repro.store.sqlite.SqliteStore`).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.errors import StoreError
+
+#: Operation codes (also the WAL opcode byte values).
+OP_PUT = 0
+OP_DELETE = 1
+
+
+@dataclass(frozen=True)
+class StoreOp:
+    """One key/value operation inside an atomic batch."""
+
+    op: int
+    namespace: str
+    key: str
+    value: bytes = b""
+
+    def __post_init__(self) -> None:
+        if self.op not in (OP_PUT, OP_DELETE):
+            raise StoreError(f"unknown store opcode {self.op}")
+        if not self.namespace:
+            raise StoreError("store operation has an empty namespace")
+        if not self.key:
+            raise StoreError("store operation has an empty key")
+        if not isinstance(self.value, bytes):
+            raise StoreError(
+                f"store values are bytes, got {type(self.value).__name__}"
+            )
+
+    @classmethod
+    def put(cls, namespace: str, key: str, value: bytes) -> "StoreOp":
+        return cls(op=OP_PUT, namespace=namespace, key=key, value=value)
+
+    @classmethod
+    def delete(cls, namespace: str, key: str) -> "StoreOp":
+        return cls(op=OP_DELETE, namespace=namespace, key=key)
+
+
+class WriteBatch:
+    """Collects operations for one atomic :meth:`StateStore.apply`."""
+
+    def __init__(self) -> None:
+        self.ops: list[StoreOp] = []
+
+    def put(self, namespace: str, key: str, value: bytes) -> "WriteBatch":
+        self.ops.append(StoreOp.put(namespace, key, value))
+        return self
+
+    def delete(self, namespace: str, key: str) -> "WriteBatch":
+        self.ops.append(StoreOp.delete(namespace, key))
+        return self
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+
+class StateStore(ABC):
+    """Namespaced key/value storage with atomic batches.
+
+    Thread-safe: one store may be shared by every state owner in a relay
+    process (each owner keeps to its own namespaces).
+    """
+
+    #: The schema version this code writes. Persistent backends stamp it
+    #: into their on-disk header and migrate older state forward.
+    SCHEMA_VERSION = 1
+
+    #: Does state survive :meth:`close` + reopen (a process restart)?
+    persistent = False
+
+    @abstractmethod
+    def get(self, namespace: str, key: str) -> bytes | None:
+        """The value under (namespace, key), or ``None``."""
+
+    @abstractmethod
+    def scan(self, namespace: str, prefix: str = "") -> list[tuple[str, bytes]]:
+        """All (key, value) pairs in ``namespace`` whose key starts with
+        ``prefix``, sorted by key."""
+
+    @abstractmethod
+    def apply(self, ops: Sequence[StoreOp]) -> None:
+        """Commit a batch atomically (all ops or none)."""
+
+    def put(self, namespace: str, key: str, value: bytes) -> None:
+        self.apply([StoreOp.put(namespace, key, value)])
+
+    def delete(self, namespace: str, key: str) -> None:
+        self.apply([StoreOp.delete(namespace, key)])
+
+    @contextmanager
+    def batch(self) -> Iterator[WriteBatch]:
+        """Collect ops and commit them atomically on clean exit::
+
+            with store.batch() as batch:
+                batch.put("ns", "a", b"1").delete("ns", "b")
+
+        An exception inside the block commits nothing.
+        """
+        pending = WriteBatch()
+        yield pending
+        if pending.ops:
+            self.apply(pending.ops)
+
+    def close(self) -> None:
+        """Release backend resources; the store is unusable afterwards."""
+
+
+def apply_ops_to_map(
+    data: dict[str, dict[str, bytes]], ops: Sequence[StoreOp]
+) -> None:
+    """Replay ``ops`` onto a dict-of-dicts image (shared by the in-memory
+    backend and WAL replay, so both agree on semantics by construction)."""
+    for operation in ops:
+        if operation.op == OP_PUT:
+            data.setdefault(operation.namespace, {})[operation.key] = operation.value
+        else:
+            space = data.get(operation.namespace)
+            if space is not None:
+                space.pop(operation.key, None)
+
+
+__all__ = [
+    "OP_DELETE",
+    "OP_PUT",
+    "StateStore",
+    "StoreOp",
+    "WriteBatch",
+    "apply_ops_to_map",
+]

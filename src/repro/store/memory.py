@@ -1,0 +1,45 @@
+"""The in-process :class:`StateStore` — today's behavior, made explicit.
+
+Default backend everywhere: state lives exactly as long as the process,
+which is what every pre-durability test and benchmark assumes. Because
+state owners write through the same seam regardless of backend, a test
+can also model "restart the relay, keep the state" by handing the *same*
+``MemoryStore`` object to the restarted service — the durable/volatile
+distinction then reduces to which store object survives the restart.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Sequence
+
+from repro.store.base import StateStore, StoreOp, apply_ops_to_map
+
+
+class MemoryStore(StateStore):
+    """Dict-backed store; atomicity is one lock around each batch."""
+
+    persistent = False
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._data: dict[str, dict[str, bytes]] = {}
+
+    def get(self, namespace: str, key: str) -> bytes | None:
+        with self._lock:
+            space = self._data.get(namespace)
+            return space.get(key) if space is not None else None
+
+    def scan(self, namespace: str, prefix: str = "") -> list[tuple[str, bytes]]:
+        with self._lock:
+            space = self._data.get(namespace, {})
+            return sorted(
+                (key, value)
+                for key, value in space.items()
+                if key.startswith(prefix)
+            )
+
+    def apply(self, ops: Sequence[StoreOp]) -> None:
+        ops = list(ops)  # materialize (and validate) before mutating
+        with self._lock:
+            apply_ops_to_map(self._data, ops)

@@ -1,0 +1,240 @@
+"""Durable :class:`StateStore`: append-only WAL + sqlite checkpoint.
+
+Layout of a state directory::
+
+    <state_dir>/state.db    sqlite checkpoint (kv table + schema meta)
+    <state_dir>/state.wal   append-only commit log since the checkpoint
+
+Write path: a batch is framed and fsync'd into the WAL *first* (that
+fsync is the commit point), then applied to the in-memory image; once the
+WAL grows past ``checkpoint_bytes`` the accumulated operations are folded
+into sqlite in one transaction and the WAL is truncated. Reads never
+touch disk — the full image stays in memory (relay state is small: a
+bounded idempotency record, subscription rows, exchange journals).
+
+Recovery on open replays checkpoint + WAL tail, tolerating a torn final
+frame (:mod:`repro.store.wal`), so the store state a reopening process
+sees is exactly the prefix of batches whose ``apply()`` returned.
+
+Schema migrations are explicit hooks, not guesses: the on-disk version is
+read from the ``meta`` table, and each upgrade step ``n -> n+1`` must
+have a registered callable (``migrations={n + 1: fn}``) that rewrites the
+sqlite image; the WAL is checkpointed *before* migrating so hooks only
+ever see a consistent sqlite state. A store from the future (on-disk
+version above the running code's) refuses to open rather than guess.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import threading
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.errors import StoreCorruptionError, StoreMigrationError
+from repro.store.base import (
+    OP_PUT,
+    StateStore,
+    StoreOp,
+    apply_ops_to_map,
+)
+from repro.store.wal import WriteAheadLog
+
+#: Fold the WAL into sqlite once it grows past this many bytes.
+DEFAULT_CHECKPOINT_BYTES = 1 << 20
+
+#: Upgrade hook: receives the open sqlite connection inside the upgrade
+#: transaction and rewrites the image from version n-1 to n.
+Migration = Callable[[sqlite3.Connection], None]
+
+
+class SqliteStore(StateStore):
+    """The durable backend; see the module docstring for the design."""
+
+    persistent = True
+
+    def __init__(
+        self,
+        directory: str | Path,
+        fsync: bool = True,
+        checkpoint_bytes: int = DEFAULT_CHECKPOINT_BYTES,
+        schema_version: int | None = None,
+        migrations: dict[int, Migration] | None = None,
+    ) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.fsync = fsync
+        self.checkpoint_bytes = checkpoint_bytes
+        self.schema_version = (
+            schema_version if schema_version is not None else self.SCHEMA_VERSION
+        )
+        self._migrations = dict(migrations or {})
+        self._lock = threading.RLock()
+        self._conn = sqlite3.connect(
+            str(self.directory / "state.db"), check_same_thread=False
+        )
+        self._conn.execute(
+            "PRAGMA synchronous = " + ("FULL" if fsync else "OFF")
+        )
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS meta (key TEXT PRIMARY KEY, value TEXT)"
+        )
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS kv ("
+            " namespace TEXT NOT NULL, key TEXT NOT NULL, value BLOB NOT NULL,"
+            " PRIMARY KEY (namespace, key))"
+        )
+        self._conn.commit()
+        stored = self._stored_version()
+        if stored is None:
+            stored = self.schema_version
+            self._set_version(stored)
+        if stored > self.schema_version:
+            self._conn.close()
+            raise StoreMigrationError(
+                f"state at {self.directory} has schema version {stored}, "
+                f"newer than this code's {self.schema_version}"
+            )
+        #: Full image of the store; reads are served from here.
+        self._data: dict[str, dict[str, bytes]] = {}
+        self._load_checkpoint()
+        self._wal = WriteAheadLog(
+            self.directory / "state.wal", fsync=fsync, schema_version=stored
+        )
+        if self._wal.schema_version != stored:
+            raise StoreCorruptionError(
+                f"WAL schema version {self._wal.schema_version} does not "
+                f"match checkpoint version {stored} at {self.directory}"
+            )
+        #: Committed-but-not-checkpointed operations.
+        self._pending: list[StoreOp] = list()
+        for batch in self._wal.recovered:
+            apply_ops_to_map(self._data, batch)
+            self._pending.extend(batch)
+        # Fold the recovered tail in before migrating, so migration hooks
+        # always see one consistent sqlite image and a bare WAL.
+        if self._pending:
+            self._checkpoint_locked()
+        if stored < self.schema_version:
+            self._migrate(stored)
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def _stored_version(self) -> int | None:
+        row = self._conn.execute(
+            "SELECT value FROM meta WHERE key = 'schema_version'"
+        ).fetchone()
+        return int(row[0]) if row is not None else None
+
+    def _set_version(self, version: int) -> None:
+        self._conn.execute(
+            "INSERT OR REPLACE INTO meta (key, value) VALUES "
+            "('schema_version', ?)",
+            (str(version),),
+        )
+        self._conn.commit()
+
+    def _load_checkpoint(self) -> None:
+        try:
+            rows = self._conn.execute(
+                "SELECT namespace, key, value FROM kv"
+            ).fetchall()
+        except sqlite3.DatabaseError as exc:
+            raise StoreCorruptionError(
+                f"unreadable checkpoint at {self.directory}: {exc}"
+            ) from exc
+        for namespace, key, value in rows:
+            if isinstance(value, str):
+                # sqlite string operators (||, replace, ...) in migration
+                # hooks silently coerce BLOB to TEXT; values are bytes.
+                value = value.encode("utf-8")
+            self._data.setdefault(namespace, {})[key] = bytes(value)
+
+    def _migrate(self, stored: int) -> None:
+        for step in range(stored + 1, self.schema_version + 1):
+            hook = self._migrations.get(step)
+            if hook is None:
+                raise StoreMigrationError(
+                    f"no migration registered for schema step "
+                    f"{step - 1} -> {step} at {self.directory}"
+                )
+            with self._conn:  # one transaction: rewrite + version stamp
+                hook(self._conn)
+                self._conn.execute(
+                    "INSERT OR REPLACE INTO meta (key, value) VALUES "
+                    "('schema_version', ?)",
+                    (str(step),),
+                )
+        # Hooks rewrote sqlite directly: reload the image and restamp the
+        # (empty, just-checkpointed) WAL with the new version.
+        with self._lock:
+            self._data.clear()
+            self._load_checkpoint()
+            self._wal.truncate(schema_version=self.schema_version)
+
+    def close(self) -> None:
+        """Checkpoint and release the connection + WAL handle."""
+        with self._lock:
+            self._checkpoint_locked()
+            self._conn.close()
+            self._wal.close()
+
+    # -- reads --------------------------------------------------------------------
+
+    def get(self, namespace: str, key: str) -> bytes | None:
+        with self._lock:
+            space = self._data.get(namespace)
+            return space.get(key) if space is not None else None
+
+    def scan(self, namespace: str, prefix: str = "") -> list[tuple[str, bytes]]:
+        with self._lock:
+            space = self._data.get(namespace, {})
+            return sorted(
+                (key, value)
+                for key, value in space.items()
+                if key.startswith(prefix)
+            )
+
+    # -- writes -------------------------------------------------------------------
+
+    def apply(self, ops: Sequence[StoreOp]) -> None:
+        ops = list(ops)
+        if not ops:
+            return
+        with self._lock:
+            self._wal.append(ops)  # the commit point (fsync'd)
+            apply_ops_to_map(self._data, ops)
+            self._pending.extend(ops)
+            if self._wal.size_bytes >= self.checkpoint_bytes:
+                self._checkpoint_locked()
+
+    def checkpoint(self) -> None:
+        """Fold the WAL into sqlite now (normally size-triggered)."""
+        with self._lock:
+            self._checkpoint_locked()
+
+    def _checkpoint_locked(self) -> None:
+        # Callers hold self._lock already; it is an RLock, so re-entering
+        # here keeps the invariant locally visible (and checkable).
+        with self._lock:
+            if not self._pending:
+                return
+            with self._conn:  # one transaction: all pending ops or none
+                for operation in self._pending:
+                    if operation.op == OP_PUT:
+                        self._conn.execute(
+                            "INSERT OR REPLACE INTO kv (namespace, key, value)"
+                            " VALUES (?, ?, ?)",
+                            (
+                                operation.namespace,
+                                operation.key,
+                                operation.value,
+                            ),
+                        )
+                    else:
+                        self._conn.execute(
+                            "DELETE FROM kv WHERE namespace = ? AND key = ?",
+                            (operation.namespace, operation.key),
+                        )
+            self._pending.clear()
+            self._wal.truncate()

@@ -1,0 +1,205 @@
+"""Append-only write-ahead log with torn-tail-tolerant replay.
+
+Durability layer under :class:`repro.store.sqlite.SqliteStore`: every
+committed batch is framed, CRC-checked, and (by default) fsync'd before
+the commit is acknowledged, so a crash at any instruction boundary loses
+at most the batch that was never acknowledged. The frame format makes the
+failure modes distinguishable:
+
+.. code-block:: text
+
+    file   := magic "RPROWAL1" | version u8 | record*
+    record := length u32le | crc32(payload) u32le | payload
+    payload:= varint(op_count) | op*
+    op     := opcode u8 | varint-len namespace | varint-len key
+              | [varint-len value]          (puts only)
+
+Replay walks records until the first frame that is truncated or fails its
+CRC — that is the *torn tail* (the one batch a crash mid-write can
+leave), and it is dropped without ever touching earlier records. Opening
+the log truncates the tail away so appends resume from the last durable
+byte. Damage *behind* a valid-looking tail cannot be told apart from a
+torn tail by construction (everything after the first bad frame is
+unreachable), which is exactly the at-most-one-batch loss contract.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import zlib
+from pathlib import Path
+from typing import Sequence
+
+from repro.errors import DecodeError, StoreCorruptionError
+from repro.store.base import OP_DELETE, OP_PUT, StoreOp
+from repro.wire.varint import decode_varint, encode_varint
+
+MAGIC = b"RPROWAL1"
+HEADER_LEN = len(MAGIC) + 1  # magic + schema-version byte
+_FRAME_HEADER_LEN = 8  # u32 length + u32 crc32
+#: Ceiling on one frame; a length field beyond this is damage, not data.
+MAX_RECORD_BYTES = 64 * 1024 * 1024
+
+
+def encode_ops(ops: Sequence[StoreOp]) -> bytes:
+    """Serialize one batch into a frame payload."""
+    out = bytearray(encode_varint(len(ops)))
+    for operation in ops:
+        out.append(operation.op)
+        for text in (operation.namespace, operation.key):
+            raw = text.encode("utf-8")
+            out += encode_varint(len(raw))
+            out += raw
+        if operation.op == OP_PUT:
+            out += encode_varint(len(operation.value))
+            out += operation.value
+    return bytes(out)
+
+
+def decode_ops(payload: bytes) -> list[StoreOp]:
+    """Inverse of :func:`encode_ops`; raises :class:`DecodeError` on any
+    malformation (replay treats that as a torn frame)."""
+    count, offset = decode_varint(payload, 0)
+    ops: list[StoreOp] = []
+    for _ in range(count):
+        if offset >= len(payload):
+            raise DecodeError("truncated WAL op")
+        opcode = payload[offset]
+        offset += 1
+        if opcode not in (OP_PUT, OP_DELETE):
+            raise DecodeError(f"unknown WAL opcode {opcode}")
+        fields: list[str] = []
+        for _field in range(2):
+            length, offset = decode_varint(payload, offset)
+            if offset + length > len(payload):
+                raise DecodeError("truncated WAL string")
+            fields.append(payload[offset : offset + length].decode("utf-8"))
+            offset += length
+        value = b""
+        if opcode == OP_PUT:
+            length, offset = decode_varint(payload, offset)
+            if offset + length > len(payload):
+                raise DecodeError("truncated WAL value")
+            value = payload[offset : offset + length]
+            offset += length
+        ops.append(StoreOp(op=opcode, namespace=fields[0], key=fields[1], value=value))
+    if offset != len(payload):
+        raise DecodeError(f"{len(payload) - offset} trailing bytes in WAL frame")
+    return ops
+
+
+def _frame(ops: Sequence[StoreOp]) -> bytes:
+    payload = encode_ops(ops)
+    header = len(payload).to_bytes(4, "little") + (
+        zlib.crc32(payload) & 0xFFFFFFFF
+    ).to_bytes(4, "little")
+    return header + payload
+
+
+def replay_bytes(blob: bytes) -> tuple[int, list[list[StoreOp]], int]:
+    """Walk a WAL image; return ``(schema_version, batches, good_end)``.
+
+    ``good_end`` is the offset just past the last intact frame — a torn
+    or damaged tail after it is reported by exclusion, never raised.
+    Raises :class:`StoreCorruptionError` only for a bad header (wrong
+    file, not a crash artifact).
+    """
+    if len(blob) < HEADER_LEN:
+        raise StoreCorruptionError(
+            f"WAL header truncated ({len(blob)} bytes, need {HEADER_LEN})"
+        )
+    if blob[: len(MAGIC)] != MAGIC:
+        raise StoreCorruptionError(
+            f"bad WAL magic {blob[:len(MAGIC)]!r}; not a repro WAL file"
+        )
+    version = blob[len(MAGIC)]
+    batches: list[list[StoreOp]] = []
+    offset = HEADER_LEN
+    while offset + _FRAME_HEADER_LEN <= len(blob):
+        length = int.from_bytes(blob[offset : offset + 4], "little")
+        crc = int.from_bytes(blob[offset + 4 : offset + 8], "little")
+        start = offset + _FRAME_HEADER_LEN
+        if length > MAX_RECORD_BYTES or start + length > len(blob):
+            break  # torn tail: frame never fully reached the disk
+        payload = blob[start : start + length]
+        if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+            break  # torn tail: frame bytes are damaged
+        try:
+            batches.append(decode_ops(payload))
+        except DecodeError:
+            break  # CRC collided with garbage; still the torn-tail contract
+        offset = start + length
+    return version, batches, offset
+
+
+class WriteAheadLog:
+    """One append-only log file, shared-safe behind a lock.
+
+    Opening replays the existing file (tolerantly — see module docstring),
+    exposes the recovered batches via :attr:`recovered`, truncates any
+    torn tail, and appends from there. ``fsync=False`` trades the
+    power-loss guarantee for speed (process-crash durability only).
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        fsync: bool = True,
+        schema_version: int = 1,
+    ) -> None:
+        self.path = Path(path)
+        self.fsync = fsync
+        self._lock = threading.Lock()
+        self.recovered: list[list[StoreOp]] = []
+        self.schema_version = schema_version
+        if self.path.exists() and self.path.stat().st_size > 0:
+            blob = self.path.read_bytes()
+            version, batches, good_end = replay_bytes(blob)
+            self.schema_version = version
+            self.recovered = batches
+            self._file = open(self.path, "r+b")
+            if good_end < len(blob):
+                self._file.truncate(good_end)
+            self._file.seek(good_end)
+        else:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._file = open(self.path, "w+b")
+            self._file.write(MAGIC + bytes([schema_version]))
+            self._file.flush()
+            self._sync()
+
+    def _sync(self) -> None:
+        if self.fsync:
+            os.fsync(self._file.fileno())
+
+    def append(self, ops: Sequence[StoreOp]) -> None:
+        """Frame + write + (fsync) one batch; durable on return."""
+        frame = _frame(ops)
+        with self._lock:
+            self._file.write(frame)
+            self._file.flush()
+            self._sync()
+
+    def truncate(self, schema_version: int | None = None) -> None:
+        """Drop every record (after a checkpoint made them redundant),
+        optionally restamping the header's schema version."""
+        with self._lock:
+            if schema_version is not None:
+                self.schema_version = schema_version
+            self._file.seek(0)
+            self._file.truncate(0)
+            self._file.write(MAGIC + bytes([self.schema_version]))
+            self._file.flush()
+            self._sync()
+
+    @property
+    def size_bytes(self) -> int:
+        with self._lock:
+            return self._file.tell()
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._file.closed:
+                self._file.flush()
+                self._file.close()

@@ -44,6 +44,7 @@ from repro.testing.conformance import (
     ScenarioOutcome,
     chaos_topology,
     default_fault_plans,
+    restart_relay,
 )
 from repro.testing.faults import (
     ALL_FAULT_KINDS,
@@ -90,6 +91,7 @@ __all__ = [
     "ScenarioOutcome",
     "chaos_topology",
     "default_fault_plans",
+    "restart_relay",
     "ALL_VERBS",
     "VERB_QUERY",
     "VERB_BATCH",

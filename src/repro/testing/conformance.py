@@ -68,6 +68,7 @@ from repro.proto.messages import (
     AuthInfo,
     NetworkAddressMsg,
 )
+from repro.store import StateStore
 from repro.testing.faults import (
     ALL_FAULT_KINDS,
     FAULT_CRASH_RESTART,
@@ -207,6 +208,64 @@ def chaos_topology(
                 registry.unregister(network_id, endpoint)
             for endpoint in endpoints:
                 registry.register(network_id, endpoint)
+
+
+def restart_relay(
+    target: "ConformanceTarget",
+    store: "StateStore | None" = None,
+    recover: bool = True,
+) -> RelayService:
+    """Model an OS-level crash + restart of the target's *source* relay.
+
+    The old :class:`RelayService` object is discarded wholesale (nothing
+    in-memory survives, exactly like a killed process); a fresh one is
+    built with the same identity, capacity, drivers, and interceptor
+    chain — the things an application re-creates at boot — registered in
+    the discovery registry in the old one's place, and installed as
+    ``target.relay``.
+
+    ``store`` selects what survives: ``None`` restarts with implicit
+    empty state (the pre-durability behavior, still the MemoryStore
+    default — kept expressible so the old fail-closed assertions stay
+    tested), while passing the crashed relay's re-opened
+    :class:`~repro.store.StateStore` restarts *with* durable state.
+    ``recover`` additionally re-opens persisted event taps
+    (:meth:`RelayService.recover`).
+    """
+    crashed = target.relay
+    # The crash kills the process's live hub hooks: close the crashed
+    # relay's event taps on the (surviving, shared) driver objects, or
+    # their push closures would keep feeding subscribers from beyond the
+    # grave and recovery would double-deliver.
+    for record in list(crashed._served_subscriptions.values()):
+        if record.tap is not None:
+            try:
+                record.driver.close_event_tap(record.tap)
+            except Exception:  # noqa: BLE001 - a half-dead tap is already what the crash model wants
+                pass
+    restarted = RelayService(
+        crashed.network_id,
+        crashed._discovery,
+        clock=crashed._clock,
+        relay_id=crashed.relay_id,
+        store=store,
+        idempotency_capacity=crashed.idempotency_capacity,
+    )
+    # Drivers are process objects the app re-registers at boot; keep the
+    # same instances (``#tx`` pseudo-network aliases included).
+    for network_id, driver in crashed._drivers.items():
+        restarted._drivers[network_id] = driver
+    if crashed.interceptors:
+        restarted.use(*crashed.interceptors)
+    registry = target.registry
+    for endpoint in list(registry.lookup(target.network_id)):
+        if endpoint is crashed:
+            registry.unregister(target.network_id, endpoint)
+    registry.register(target.network_id, restarted)
+    target.relay = restarted
+    if recover:
+        restarted.recover()
+    return restarted
 
 
 @dataclass

@@ -1,0 +1,117 @@
+"""Shared fixture for coordinator crash-recovery: the same ready
+Fabric↔Quorum deployment as ``tests/assets`` (``GOLD-1`` owned by
+``alice@fabnet``, ``OIL-9`` by ``bob@quornet``, one shared
+:class:`SimulatedClock`), rebuilt here so the store suite stays
+self-contained.
+"""
+
+from __future__ import annotations
+
+import json
+from types import SimpleNamespace
+
+import pytest
+
+from repro.assets import FabricAssetChaincode, QuorumAssetContract
+from repro.fabric import NetworkBuilder
+from repro.interop import InMemoryRegistry, InteropClient, RelayService
+from repro.interop.bootstrap import (
+    create_fabric_relay,
+    enable_fabric_interop,
+    record_foreign_network,
+)
+from repro.interop.contracts.ports import InteropPort
+from repro.interop.drivers.quorum_driver import QuorumDriver
+from repro.quorum import QuorumNetwork
+from repro.utils.clock import SimulatedClock
+
+OFFER_ADDRESS = "fabnet/trade/assetscc"
+ASK_ADDRESS = "quornet/state/asset-vault"
+OFFER_POLICY = "AND(org:traders-org, org:audit-org)"
+ASK_POLICY = "AND(org:op-org-1, org:op-org-2)"
+
+
+@pytest.fixture()
+def exchange_scenario():
+    clock = SimulatedClock(1_000.0)
+
+    fabric = (
+        NetworkBuilder("fabnet", channel="trade", clock=clock)
+        .add_org("traders-org")
+        .add_org("audit-org")
+        .add_peer("peer0", "traders-org")
+        .add_peer("peer0", "audit-org")
+        .add_client("admin", "traders-org")
+        .add_client("alice", "traders-org")
+        .build()
+    )
+    fabric_admin = fabric.org("traders-org").member("admin")
+    alice = fabric.org("traders-org").member("alice")
+    enable_fabric_interop(fabric, fabric_admin)
+    fabric.deploy_chaincode(
+        FabricAssetChaincode(),
+        "AND('traders-org.peer', 'audit-org.peer')",
+        initializer=fabric_admin,
+    )
+    fabric.gateway.submit(
+        fabric_admin, "assetscc", "Issue", ["GOLD-1", "alice@fabnet", "{}"]
+    )
+
+    quorum = QuorumNetwork("quornet", clock=clock)
+    quorum.deploy_contract(QuorumAssetContract())
+    quorum.add_peer("peer1", "op-org-1")
+    quorum.add_peer("peer2", "op-org-2")
+    bob = quorum.enroll_client("bob", "op-org-1")
+    quorum_invoker = quorum.enroll_client("asset-invoker", "op-org-1")
+    quorum.submit_transaction(
+        quorum_invoker, "asset-vault", "Issue", ["OIL-9", "bob@quornet", "{}"]
+    )
+    quorum_port = InteropPort("quornet")
+    quorum_port.record_network_config(fabric.export_config())
+    for function in ("LockAsset", "ClaimAsset", "UnlockAsset", "GetLock"):
+        quorum_port.add_access_rule("fabnet", "traders-org", "asset-vault", function)
+
+    registry = InMemoryRegistry()
+    fabric_relay = create_fabric_relay(fabric, registry)
+    fabric_invoker = fabric.org("traders-org").enroll("asset-invoker", role="client")
+    fabric_relay.driver_for("fabnet").enable_assets(fabric_invoker)
+
+    quorum_relay = RelayService("quornet", registry, clock=clock)
+    quorum_driver = QuorumDriver(quorum, quorum_port)
+    quorum_driver.enable_assets(quorum_invoker)
+    quorum_relay.register_driver(quorum_driver)
+    registry.register("quornet", quorum_relay)
+
+    for function in ("ClaimAsset", "UnlockAsset", "GetLock"):
+        fabric.gateway.submit(
+            fabric_admin,
+            "ecc",
+            "AddAccessRule",
+            ["quornet", "op-org-1", "assetscc", function],
+        )
+    record_foreign_network(
+        fabric, fabric_admin, quorum, verification_policy=ASK_POLICY
+    )
+
+    def gold_owner() -> str:
+        raw = fabric.gateway.evaluate(fabric_admin, "assetscc", "GetAsset", ["GOLD-1"])
+        return json.loads(raw)["owner"]
+
+    def oil_owner() -> str:
+        raw = quorum.peers[0].storage_snapshot("asset-vault")["asset/OIL-9"]
+        return json.loads(raw.decode())["owner"]
+
+    return SimpleNamespace(
+        clock=clock,
+        fabric=fabric,
+        fabric_admin=fabric_admin,
+        fabric_relay=fabric_relay,
+        quorum=quorum,
+        quorum_port=quorum_port,
+        quorum_relay=quorum_relay,
+        registry=registry,
+        alice_client=InteropClient(alice, fabric_relay, "fabnet", gateway=fabric.gateway),
+        bob_client=InteropClient(bob, quorum_relay, "quornet"),
+        gold_owner=gold_owner,
+        oil_owner=oil_owner,
+    )

@@ -1,0 +1,362 @@
+"""Relay durability: idempotency record + subscription table survive
+a crash when backed by a :class:`~repro.store.SqliteStore`.
+
+These are unit-level tests against minimal in-test drivers (the full
+three-platform matrix lives in ``tests/conformance/test_crash_recovery``):
+a "crash" is modeled as dropping the relay object, closing its store,
+and rebuilding both from the state directory — exactly what a restarted
+process does.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.interop.discovery import InMemoryRegistry
+from repro.interop.drivers.base import NetworkDriver
+from repro.interop.relay import NS_IDEMPOTENCY, NS_SUBSCRIPTIONS, RelayService
+from repro.proto.messages import (
+    MSG_KIND_ERROR,
+    MSG_KIND_EVENT_SUBSCRIBE,
+    MSG_KIND_EVENT_UNSUBSCRIBE,
+    MSG_KIND_TRANSACT_REQUEST,
+    MSG_KIND_TRANSACT_RESPONSE,
+    PROTOCOL_VERSION,
+    STATUS_OK,
+    EventSubscribeRequest,
+    EventUnsubscribeRequest,
+    NetworkAddressMsg,
+    NetworkQuery,
+    RelayEnvelope,
+)
+from repro.store import MemoryStore, SqliteStore
+
+SOURCE = "srcnet"
+SUBSCRIBER = "destnet"
+
+
+class CountingTransactDriver(NetworkDriver):
+    """Commits are observable so double-execution is visible."""
+
+    supports_transactions = True
+
+    def __init__(self, network_id: str = SOURCE) -> None:
+        super().__init__(network_id)
+        self.commits: list[str] = []
+
+    def execute_query(self, query: NetworkQuery):
+        raise AssertionError("queries are not part of these scenarios")
+
+    def execute_transaction(self, query: NetworkQuery):
+        from repro.proto.messages import QueryResponse
+
+        self.commits.append(query.args[0])
+        return QueryResponse(
+            version=PROTOCOL_VERSION,
+            nonce=query.nonce,
+            status=STATUS_OK,
+            result_plain=f"committed-{len(self.commits)}".encode("utf-8"),
+        )
+
+
+class TapRecordingEventDriver(NetworkDriver):
+    """An event hub whose taps are plain dicts we can emit through."""
+
+    supports_events = True
+
+    def __init__(self, network_id: str = SOURCE) -> None:
+        super().__init__(network_id)
+        self.taps: dict[int, tuple[EventSubscribeRequest, object]] = {}
+        self._next = 0
+
+    def execute_query(self, query: NetworkQuery):
+        raise AssertionError("queries are not part of these scenarios")
+
+    def open_event_tap(self, request: EventSubscribeRequest, listener):
+        self._next += 1
+        self.taps[self._next] = (request, listener)
+        return self._next
+
+    def close_event_tap(self, tap) -> None:
+        self.taps.pop(tap, None)
+
+    def emit(self, name: str, payload: bytes) -> None:
+        for _, listener in list(self.taps.values()):
+            listener(
+                SimpleNamespace(
+                    chaincode="cc",
+                    name=name,
+                    payload=payload,
+                    block_number=1,
+                    tx_id="tx-1",
+                )
+            )
+
+
+def transact_envelope(tag: str, request_id: str) -> bytes:
+    return RelayEnvelope(
+        version=PROTOCOL_VERSION,
+        kind=MSG_KIND_TRANSACT_REQUEST,
+        request_id=request_id,
+        source_network=SUBSCRIBER,
+        destination_network=SOURCE,
+        payload=NetworkQuery(
+            version=PROTOCOL_VERSION,
+            address=NetworkAddressMsg(
+                network=SOURCE, ledger="ledger", contract="cc", function="Put"
+            ),
+            args=[tag],
+            nonce=f"nonce-{request_id}",
+        ).encode(),
+    ).encode()
+
+
+def make_relay(store, capacity: int = 1024):
+    registry = InMemoryRegistry()
+    driver = CountingTransactDriver()
+    relay = RelayService(
+        SOURCE, registry, store=store, idempotency_capacity=capacity
+    )
+    relay.register_driver(driver)
+    registry.register(SOURCE, relay)
+    return relay, driver
+
+
+class TestDurableIdempotency:
+    def test_replay_answered_from_disk_after_restart(self, tmp_path):
+        """THE acceptance scenario: the relay executes a side-effecting
+        envelope, crashes, restarts on the same state directory — the
+        byte-identical replay gets the recorded reply, zero re-commits."""
+        raw = transact_envelope("DUR-1", "req-dur-1")
+        store = SqliteStore(tmp_path / "relay", fsync=False)
+        relay, driver = make_relay(store)
+        first = relay.handle_request(raw)
+        assert RelayEnvelope.decode(first).kind == MSG_KIND_TRANSACT_RESPONSE
+        assert driver.commits == ["DUR-1"]
+        store.close()  # crash: relay + store objects die here
+
+        restarted_store = SqliteStore(tmp_path / "relay", fsync=False)
+        restarted, fresh_driver = make_relay(restarted_store)
+        second = restarted.handle_request(raw)
+        assert second == first  # the recorded reply, byte for byte
+        assert fresh_driver.commits == []  # nothing re-executed
+        assert restarted.stats.duplicates_suppressed == 1
+        restarted_store.close()
+
+    def test_fifo_eviction_order_survives_restart(self, tmp_path):
+        """The restarted relay continues evicting exactly where the
+        crashed one stopped: oldest-persisted goes first."""
+        store = SqliteStore(tmp_path / "relay", fsync=False)
+        relay, driver = make_relay(store, capacity=2)
+        raws = [
+            transact_envelope(f"EV-{i}", f"req-ev-{i}") for i in range(3)
+        ]
+        for raw in raws:
+            relay.handle_request(raw)
+        # Capacity 2: req-ev-0 was evicted, from the store too.
+        assert [key for key, _ in store.scan(NS_IDEMPOTENCY)] == [
+            "req-ev-1",
+            "req-ev-2",
+        ]
+        store.close()
+
+        restarted_store = SqliteStore(tmp_path / "relay", fsync=False)
+        restarted, fresh_driver = make_relay(restarted_store, capacity=2)
+        restarted.handle_request(raws[1])  # suppressed from disk
+        assert fresh_driver.commits == []
+        restarted.handle_request(raws[0])  # evicted: re-routes for real
+        assert fresh_driver.commits == ["EV-0"]
+        # ...and that re-execution pushed out the oldest survivor
+        # (scan is key-sorted; FIFO order lives in the sequence prefix).
+        assert [key for key, _ in restarted_store.scan(NS_IDEMPOTENCY)] == [
+            "req-ev-0",
+            "req-ev-2",
+        ]
+        restarted_store.close()
+
+    def test_restart_with_smaller_capacity_trims_disk(self, tmp_path):
+        store = SqliteStore(tmp_path / "relay", fsync=False)
+        relay, _ = make_relay(store, capacity=4)
+        for index in range(4):
+            relay.handle_request(
+                transact_envelope(f"TRIM-{index}", f"req-trim-{index}")
+            )
+        store.close()
+
+        restarted_store = SqliteStore(tmp_path / "relay", fsync=False)
+        restarted, _ = make_relay(restarted_store, capacity=2)
+        assert [key for key, _ in restarted_store.scan(NS_IDEMPOTENCY)] == [
+            "req-trim-2",
+            "req-trim-3",
+        ]
+        assert len(restarted._idempotency) == 2
+        restarted_store.close()
+
+    def test_memory_store_expresses_restart_with_state(self):
+        """The volatile default still supports handing one store object
+        to a successor relay — state survives the *relay* object, not
+        the process (conformance's restart-with-state path)."""
+        shared = MemoryStore()
+        raw = transact_envelope("MEM-1", "req-mem-1")
+        relay, driver = make_relay(shared)
+        first = relay.handle_request(raw)
+        assert driver.commits == ["MEM-1"]
+
+        restarted, fresh_driver = make_relay(shared)
+        assert restarted.handle_request(raw) == first
+        assert fresh_driver.commits == []
+
+    def test_answered_error_is_durably_pinned_too(self, tmp_path):
+        """Exactly-once covers unsuccessful outcomes: an *answered* error
+        (here: no capable driver) is the request's recorded reply, and a
+        post-restart replay of the same request_id gets that same answer
+        — a retry is a new intent and carries a new request_id."""
+        store = SqliteStore(tmp_path / "relay", fsync=False)
+        registry = InMemoryRegistry()
+        relay = RelayService(SOURCE, registry, store=store)
+        raw = transact_envelope("LATE-1", "req-late-1")
+        reply = relay.handle_request(raw)
+        assert RelayEnvelope.decode(reply).kind == MSG_KIND_ERROR
+        store.close()
+
+        restarted_store = SqliteStore(tmp_path / "relay", fsync=False)
+        restarted, fresh_driver = make_relay(restarted_store)
+        assert restarted.handle_request(raw) == reply
+        assert fresh_driver.commits == []
+        fresh = restarted.handle_request(
+            transact_envelope("LATE-1", "req-late-2")
+        )
+        assert RelayEnvelope.decode(fresh).kind == MSG_KIND_TRANSACT_RESPONSE
+        assert fresh_driver.commits == ["LATE-1"]
+        restarted_store.close()
+
+
+def subscribe_envelope(subscription_id: str, request_id: str) -> bytes:
+    return RelayEnvelope(
+        version=PROTOCOL_VERSION,
+        kind=MSG_KIND_EVENT_SUBSCRIBE,
+        request_id=request_id,
+        source_network=SUBSCRIBER,
+        destination_network=SOURCE,
+        payload=EventSubscribeRequest(
+            version=PROTOCOL_VERSION,
+            address=NetworkAddressMsg(
+                network=SOURCE, ledger="ledger", contract="cc"
+            ),
+            event_name="*",
+            subscription_id=subscription_id,
+        ).encode(),
+    ).encode()
+
+
+def make_event_topology(tmp_path, registry=None):
+    """Source relay (durable) + subscriber relay with a collecting sink."""
+    registry = registry or InMemoryRegistry()
+    store = SqliteStore(tmp_path / "relay", fsync=False)
+    driver = TapRecordingEventDriver()
+    source = RelayService(SOURCE, registry, store=store)
+    source.register_driver(driver)
+    registry.register(SOURCE, source)
+    subscriber = RelayService(SUBSCRIBER, registry)
+    registry.register(SUBSCRIBER, subscriber)
+    delivered: list = []
+    return SimpleNamespace(
+        registry=registry,
+        store=store,
+        driver=driver,
+        source=source,
+        subscriber=subscriber,
+        delivered=delivered,
+    )
+
+
+class TestDurableSubscriptions:
+    def test_recover_retaps_subscription_after_restart(self, tmp_path):
+        topo = make_event_topology(tmp_path)
+        topo.source.handle_request(subscribe_envelope("sub-dur-1", "req-sub-1"))
+        topo.subscriber.register_event_sink("sub-dur-1", topo.delivered.append)
+        assert len(topo.driver.taps) == 1
+        topo.store.close()  # source relay crashes
+
+        # Restart: new store, new relay, re-registered driver, recover().
+        restarted_store = SqliteStore(tmp_path / "relay", fsync=False)
+        fresh_driver = TapRecordingEventDriver()
+        restarted = RelayService(SOURCE, topo.registry, store=restarted_store)
+        restarted.register_driver(fresh_driver)
+        restored = restarted.recover()
+        assert restored == ["sub-dur-1"]
+        assert len(fresh_driver.taps) == 1
+
+        fresh_driver.emit("Stored", b"after-restart")
+        assert [n.payload for n in topo.delivered] == [b"after-restart"]
+        assert restarted.stats.events_published == 1
+        restarted_store.close()
+
+    def test_recover_waits_for_missing_driver(self, tmp_path):
+        topo = make_event_topology(tmp_path)
+        topo.source.handle_request(subscribe_envelope("sub-dur-2", "req-sub-2"))
+        topo.store.close()
+
+        restarted_store = SqliteStore(tmp_path / "relay", fsync=False)
+        restarted = RelayService(SOURCE, topo.registry, store=restarted_store)
+        assert restarted.recover() == []  # no driver yet: left durable
+        assert len(restarted_store.scan(NS_SUBSCRIPTIONS)) == 1
+
+        late_driver = TapRecordingEventDriver()
+        restarted.register_driver(late_driver)
+        assert restarted.recover() == ["sub-dur-2"]
+        assert restarted.recover() == []  # already live: no double tap
+        assert len(late_driver.taps) == 1
+        restarted_store.close()
+
+    def test_unsubscribe_clears_durable_record(self, tmp_path):
+        topo = make_event_topology(tmp_path)
+        topo.source.handle_request(subscribe_envelope("sub-dur-3", "req-sub-3"))
+        unsubscribe = RelayEnvelope(
+            version=PROTOCOL_VERSION,
+            kind=MSG_KIND_EVENT_UNSUBSCRIBE,
+            request_id="req-unsub-3",
+            source_network=SUBSCRIBER,
+            destination_network=SOURCE,
+            payload=EventUnsubscribeRequest(
+                version=PROTOCOL_VERSION, subscription_id="sub-dur-3"
+            ).encode(),
+        ).encode()
+        topo.source.handle_request(unsubscribe)
+        assert topo.store.scan(NS_SUBSCRIPTIONS) == []
+        topo.store.close()
+
+        restarted_store = SqliteStore(tmp_path / "relay", fsync=False)
+        fresh_driver = TapRecordingEventDriver()
+        restarted = RelayService(SOURCE, topo.registry, store=restarted_store)
+        restarted.register_driver(fresh_driver)
+        assert restarted.recover() == []
+        assert fresh_driver.taps == {}
+        restarted_store.close()
+
+    def test_corrupt_subscription_record_dropped_not_fatal(self, tmp_path):
+        topo = make_event_topology(tmp_path)
+        topo.source.handle_request(subscribe_envelope("sub-dur-4", "req-sub-4"))
+        topo.store.put(NS_SUBSCRIPTIONS, "sub-junk", b"\xff not json")
+        topo.store.close()
+
+        restarted_store = SqliteStore(tmp_path / "relay", fsync=False)
+        fresh_driver = TapRecordingEventDriver()
+        restarted = RelayService(SOURCE, topo.registry, store=restarted_store)
+        restarted.register_driver(fresh_driver)
+        assert restarted.recover() == ["sub-dur-4"]  # healthy one survives
+        assert restarted_store.get(NS_SUBSCRIPTIONS, "sub-junk") is None
+        restarted_store.close()
+
+
+class TestConstructorContract:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RelayService(SOURCE, InMemoryRegistry(), idempotency_capacity=0)
+
+    def test_default_store_is_volatile_memory(self):
+        relay = RelayService(SOURCE, InMemoryRegistry())
+        assert isinstance(relay.store, MemoryStore)
+        assert relay.store.persistent is False

@@ -1,0 +1,200 @@
+"""Backend conformance for the :class:`repro.store.StateStore` seam.
+
+Both backends must agree on the read/write/batch semantics; only
+durability across process boundaries (modeled as close + reopen of the
+same directory) separates them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StoreCorruptionError, StoreError, StoreMigrationError
+from repro.store import (
+    MemoryStore,
+    SqliteStore,
+    StateStore,
+    StoreOp,
+    open_store,
+)
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def store(request, tmp_path):
+    if request.param == "memory":
+        backend: StateStore = MemoryStore()
+    else:
+        backend = SqliteStore(tmp_path / "state", fsync=False)
+    yield backend
+    backend.close()
+
+
+class TestCommonSemantics:
+    def test_put_get_delete_roundtrip(self, store):
+        assert store.get("ns", "k") is None
+        store.put("ns", "k", b"v1")
+        assert store.get("ns", "k") == b"v1"
+        store.put("ns", "k", b"v2")  # overwrite
+        assert store.get("ns", "k") == b"v2"
+        store.delete("ns", "k")
+        assert store.get("ns", "k") is None
+        store.delete("ns", "k")  # idempotent
+
+    def test_namespaces_are_disjoint(self, store):
+        store.put("a", "k", b"in-a")
+        store.put("b", "k", b"in-b")
+        assert store.get("a", "k") == b"in-a"
+        assert store.get("b", "k") == b"in-b"
+        store.delete("a", "k")
+        assert store.get("b", "k") == b"in-b"
+
+    def test_scan_is_sorted_and_prefix_filtered(self, store):
+        store.put("ns", "b", b"2")
+        store.put("ns", "a", b"1")
+        store.put("ns", "ab", b"3")
+        store.put("other", "a", b"x")
+        assert store.scan("ns") == [("a", b"1"), ("ab", b"3"), ("b", b"2")]
+        assert store.scan("ns", prefix="a") == [("a", b"1"), ("ab", b"3")]
+        assert store.scan("missing") == []
+
+    def test_batch_commits_atomically_on_clean_exit(self, store):
+        with store.batch() as batch:
+            batch.put("ns", "x", b"1").put("ns", "y", b"2").delete("ns", "x")
+        assert store.get("ns", "x") is None
+        assert store.get("ns", "y") == b"2"
+
+    def test_batch_discarded_on_exception(self, store):
+        store.put("ns", "kept", b"original")
+        with pytest.raises(RuntimeError):
+            with store.batch() as batch:
+                batch.put("ns", "kept", b"clobbered")
+                batch.put("ns", "new", b"never")
+                raise RuntimeError("crash mid-batch")
+        assert store.get("ns", "kept") == b"original"
+        assert store.get("ns", "new") is None
+
+    def test_malformed_ops_rejected(self, store):
+        with pytest.raises(StoreError):
+            StoreOp.put("", "k", b"v")
+        with pytest.raises(StoreError):
+            StoreOp.put("ns", "", b"v")
+        with pytest.raises(StoreError):
+            StoreOp.put("ns", "k", "not-bytes")
+        with pytest.raises(StoreError):
+            StoreOp(op=7, namespace="ns", key="k")
+
+
+class TestDurabilityBoundary:
+    def test_memory_store_state_dies_with_the_object(self, tmp_path):
+        first = MemoryStore()
+        first.put("ns", "k", b"v")
+        first.close()
+        assert MemoryStore().get("ns", "k") is None
+        assert first.persistent is False
+
+    def test_sqlite_store_survives_reopen(self, tmp_path):
+        directory = tmp_path / "state"
+        store = SqliteStore(directory, fsync=False)
+        store.put("ns", "k", b"v")
+        store.put("ns", "gone", b"x")
+        store.delete("ns", "gone")
+        store.close()
+        reopened = SqliteStore(directory, fsync=False)
+        try:
+            assert reopened.persistent is True
+            assert reopened.get("ns", "k") == b"v"
+            assert reopened.get("ns", "gone") is None
+        finally:
+            reopened.close()
+
+    def test_sqlite_recovers_wal_tail_without_close(self, tmp_path):
+        """No close(), no checkpoint — the fsync'd WAL alone carries the
+        committed batches across the 'crash'."""
+        directory = tmp_path / "state"
+        store = SqliteStore(directory, fsync=False, checkpoint_bytes=1 << 30)
+        store.put("ns", "a", b"1")
+        store.put("ns", "b", b"2")
+        # Simulated crash: drop the object without close()/checkpoint().
+        store._conn.close()
+        store._wal._file.close()
+        reopened = SqliteStore(directory, fsync=False)
+        try:
+            assert reopened.scan("ns") == [("a", b"1"), ("b", b"2")]
+        finally:
+            reopened.close()
+
+    def test_size_triggered_checkpoint_folds_wal_into_sqlite(self, tmp_path):
+        directory = tmp_path / "state"
+        store = SqliteStore(directory, fsync=False, checkpoint_bytes=64)
+        for index in range(8):
+            store.put("ns", f"k{index}", b"x" * 16)
+        assert store._wal.size_bytes < 64 + 16 * 8  # truncated at least once
+        rows = store._conn.execute("SELECT COUNT(*) FROM kv").fetchone()[0]
+        assert rows > 0
+        store.close()
+        reopened = SqliteStore(directory, fsync=False)
+        try:
+            assert len(reopened.scan("ns")) == 8
+        finally:
+            reopened.close()
+
+
+class TestMigrations:
+    def test_migration_hook_rewrites_image(self, tmp_path):
+        directory = tmp_path / "state"
+        v1 = SqliteStore(directory, fsync=False, schema_version=1)
+        v1.put("ns", "k", b"payload")
+        v1.close()
+
+        def upgrade(conn):
+            conn.execute("UPDATE kv SET value = CAST(value || '-v2' AS BLOB)")
+
+        v2 = SqliteStore(
+            directory, fsync=False, schema_version=2, migrations={2: upgrade}
+        )
+        try:
+            assert v2.get("ns", "k") == b"payload-v2"
+        finally:
+            v2.close()
+        # The stamped version sticks: reopening at 2 runs no hooks.
+        again = SqliteStore(directory, fsync=False, schema_version=2)
+        try:
+            assert again.get("ns", "k") == b"payload-v2"
+        finally:
+            again.close()
+
+    def test_missing_migration_step_refuses_to_open(self, tmp_path):
+        directory = tmp_path / "state"
+        SqliteStore(directory, fsync=False, schema_version=1).close()
+        with pytest.raises(StoreMigrationError):
+            SqliteStore(directory, fsync=False, schema_version=3, migrations={})
+
+    def test_future_schema_version_refuses_to_open(self, tmp_path):
+        directory = tmp_path / "state"
+        SqliteStore(directory, fsync=False, schema_version=5).close()
+        with pytest.raises(StoreMigrationError):
+            SqliteStore(directory, fsync=False, schema_version=1)
+
+    def test_wal_checkpoint_version_mismatch_is_corruption(self, tmp_path):
+        directory = tmp_path / "state"
+        SqliteStore(directory, fsync=False).close()
+        wal_path = directory / "state.wal"
+        blob = bytearray(wal_path.read_bytes())
+        blob[8] = 9  # header version byte
+        wal_path.write_bytes(bytes(blob))
+        with pytest.raises(StoreCorruptionError):
+            SqliteStore(directory, fsync=False, schema_version=9)
+
+
+class TestOpenStore:
+    def test_none_means_volatile_memory(self):
+        store = open_store(None)
+        assert isinstance(store, MemoryStore)
+
+    def test_path_means_durable_sqlite(self, tmp_path):
+        store = open_store(tmp_path / "state", fsync=False)
+        try:
+            assert isinstance(store, SqliteStore)
+            assert store.persistent is True
+        finally:
+            store.close()
