@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Ops-plane smoke test: boot a relay, hit its probes, validate the scrape.
+
+CI's ``ops`` job runs this after the ops test suite: it starts a
+:class:`repro.net.RelayServer` with its probe port open, drives a few
+queries over the real TCP frame socket, then acts as the monitoring
+stack would —
+
+- ``GET /healthz`` must answer 200 ``{"status": "alive"}``;
+- ``GET /readyz`` must answer 200 with every readiness check passing;
+- ``GET /metrics`` must parse under the strict test-suite exposition
+  grammar (:func:`repro.testing.parse_exposition`) and contain the
+  request counters, the per-kind latency histogram, relay/server stats,
+  and store counters for the traffic just driven.
+
+The raw scrape is written to ``--out`` (default ``ops-scrape.txt``) and
+uploaded as a CI artifact, so every green build carries an example of
+what a Prometheus server sees.
+
+Run::
+
+    PYTHONPATH=src python examples/ops_probe_smoke.py --out ops-scrape.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import urllib.request
+from pathlib import Path
+
+from repro.api.middleware import MetricsInterceptor
+from repro.interop.discovery import InMemoryRegistry
+from repro.interop.drivers.base import NetworkDriver
+from repro.interop.relay import RelayService
+from repro.net import RelayServer
+from repro.ops.metrics import EXPOSITION_CONTENT_TYPE
+from repro.proto.messages import (
+    PROTOCOL_VERSION,
+    STATUS_OK,
+    NetworkAddressMsg,
+    NetworkQuery,
+    QueryResponse,
+)
+from repro.testing import parse_exposition
+
+SOURCE = "smoke-src"
+DESTINATION = "smoke-dst"
+N_QUERIES = 5
+
+#: Families the scrape must expose for the traffic this script drives.
+REQUIRED_FAMILIES = (
+    "repro_relay_requests_total",
+    "repro_relay_request_seconds",
+    "repro_relay_stats_total",
+    "repro_relay_idempotency_entries",
+    "repro_store_ops_total",
+    "repro_relay_server_total",
+    "repro_relay_server_in_flight",
+)
+
+
+class SmokeDriver(NetworkDriver):
+    platform = "smoke"
+
+    def execute_query(self, query: NetworkQuery) -> QueryResponse:
+        return QueryResponse(
+            version=PROTOCOL_VERSION,
+            nonce=query.nonce,
+            status=STATUS_OK,
+            result_plain=b"doc:" + query.nonce.encode(),
+        )
+
+
+def get(url: str) -> tuple[int, str, bytes]:
+    with urllib.request.urlopen(url, timeout=10.0) as response:
+        return (
+            response.status,
+            response.headers.get("Content-Type", ""),
+            response.read(),
+        )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out",
+        metavar="PATH",
+        default="ops-scrape.txt",
+        help="write the validated /metrics payload here (CI artifact)",
+    )
+    arguments = parser.parse_args()
+
+    registry = InMemoryRegistry()
+    source_relay = RelayService(SOURCE, registry, relay_id="relay-smoke-src")
+    source_relay.register_driver(SmokeDriver(SOURCE))
+    source_relay.use(MetricsInterceptor())
+    destination_relay = RelayService(DESTINATION, registry)
+    registry.register(DESTINATION, destination_relay)
+
+    with RelayServer(source_relay, max_workers=4, probe_port=0) as server:
+        registry.register(SOURCE, server.endpoint(timeout=10.0))
+        print(f"relay serving at {server.address}, probe at {server.probe.url}")
+
+        for sequence in range(N_QUERIES):
+            query = NetworkQuery(
+                version=PROTOCOL_VERSION,
+                address=NetworkAddressMsg(
+                    network=SOURCE,
+                    ledger="ledger",
+                    contract="docs",
+                    function="Get",
+                ),
+                args=["K-1"],
+                nonce=f"smoke-{sequence}",
+            )
+            response = destination_relay.remote_query(query)
+            assert response.status == STATUS_OK
+
+        status, content_type, body = get(f"{server.probe.url}/healthz")
+        assert status == 200, f"/healthz answered {status}"
+        assert json.loads(body) == {"status": "alive"}
+        print("healthz: alive")
+
+        status, _, body = get(f"{server.probe.url}/readyz")
+        payload = json.loads(body)
+        assert status == 200, f"/readyz answered {status}: {payload}"
+        assert payload["ready"] is True
+        failing = [check for check in payload["checks"] if not check["ok"]]
+        assert not failing, f"failing readiness checks: {failing}"
+        print(f"readyz : ready ({len(payload['checks'])} checks pass)")
+
+        status, content_type, body = get(f"{server.probe.url}/metrics")
+        assert status == 200, f"/metrics answered {status}"
+        assert content_type == EXPOSITION_CONTENT_TYPE, content_type
+        scrape = body.decode("utf-8")
+        families = parse_exposition(scrape)  # raises on any grammar violation
+        missing = [name for name in REQUIRED_FAMILIES if name not in families]
+        assert not missing, f"scrape is missing families: {missing}"
+
+        requests_served = sum(
+            sample.value
+            for sample in families["repro_relay_requests_total"].samples
+        )
+        assert requests_served == N_QUERIES, (
+            f"expected {N_QUERIES} served requests in the scrape, "
+            f"saw {requests_served}"
+        )
+        latency = families["repro_relay_request_seconds"]
+        assert latency.kind == "histogram"
+
+    target = Path(arguments.out)
+    target.write_text(scrape)
+    print(
+        f"metrics: {len(families)} families, {requests_served:.0f} requests "
+        f"counted — exposition valid, scrape written to {target}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

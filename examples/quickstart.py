@@ -392,6 +392,45 @@ def main() -> None:
     print("between lock and claim resumes instead of stranding escrows.")
     restarted_relay.store.close()
 
+    # --- 10. Observability: one trace id, scraped metrics, probes ------------
+    # Deployments start the relay with --metrics-port and --json-logs
+    # (see examples/tcp_relay_demo.py). The first opens an HTTP probe
+    # listener next to the frame socket: GET /healthz (liveness),
+    # /readyz (store open + drivers attached + executor accepting, the
+    # eviction signal a fleet balancer watches) and /metrics (Prometheus
+    # text exposition fed by the interceptor chain, relay/server stats,
+    # and store counters). The second routes every "repro.*" logger
+    # through one JSON formatter. Each request carries a trace id in its
+    # envelope headers across every hop — the same id appears in log
+    # records from the client session, both relays, the TCP frame
+    # server, and the driver, and comes back in error replies too.
+    import urllib.request
+
+    from repro.api.middleware import MetricsInterceptor
+    from repro.ops import activate, capture_logs, new_trace
+
+    for endpoint in list(registry.lookup("source-net")):
+        registry.unregister("source-net", endpoint)
+    source_relay.use(MetricsInterceptor())  # bound when the probe starts
+    ops_server = RelayServer(source_relay, max_workers=4, probe_port=0).start()
+    registry.register("source-net", ops_server.endpoint(timeout=10.0))
+
+    with capture_logs() as captured:
+        with activate(new_trace()) as trace:
+            client.remote_query("source-net/main/docs/Get", ["invoice-7"])
+    layers = sorted({r["logger"] for r in captured.with_trace(trace.trace_id)})
+    print(f"\ntrace {trace.trace_id} crossed layers: {', '.join(layers)}")
+
+    with urllib.request.urlopen(f"{ops_server.probe.url}/readyz", timeout=5.0) as rsp:
+        print(f"readyz           : {rsp.read().decode()}")
+    with urllib.request.urlopen(f"{ops_server.probe.url}/metrics", timeout=5.0) as rsp:
+        scrape = rsp.read().decode()
+    print("scrape excerpt   :")
+    for line in scrape.splitlines():
+        if line.startswith("repro_relay_requests_total"):
+            print(f"  {line}")
+    ops_server.stop()
+
 
 if __name__ == "__main__":
     main()

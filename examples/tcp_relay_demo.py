@@ -25,6 +25,14 @@ process mid-conversation, respawn it on the same state directory, and
 replay the captured transaction envelope — the restarted relay answers
 byte-for-byte from its durable record instead of executing twice.
 
+With ``--metrics-port PORT`` (0 picks a free port) the source relay
+opens its ops probe next to the frame socket and the parent scrapes
+``/readyz`` and ``/metrics`` across the process boundary, like a
+Prometheus server would. ``--json-logs`` switches the source relay to
+one-JSON-line-per-record logging on stderr with the trace-id of the
+request each record served — grep for the id of a query you issued and
+every hop is there.
+
 (The child is spawned automatically; ``--serve`` is its internal mode.)
 """
 
@@ -43,6 +51,7 @@ from pathlib import Path
 
 SOURCE_MSP_ROOT_PREFIX = "MSP-ROOT "
 READY_PREFIX = "READY "
+PROBE_PREFIX = "PROBE "
 
 # The destination network's identity configuration must be recorded on
 # the source ledger (§3.3 initialization). Processes cannot share Python
@@ -53,13 +62,28 @@ DEST_ORG = "consumer-org"
 POLICY = "AND(org:producer-org, org:auditor-org)"
 
 
-def serve(host: str, state_dir: str | None = None) -> None:
+def serve(
+    host: str,
+    state_dir: str | None = None,
+    metrics_port: int | None = None,
+    json_logs: bool = False,
+) -> None:
     """Build the source network and serve its relay forever on a socket."""
+    from repro.api.middleware import MetricsInterceptor
     from repro.fabric import NetworkBuilder
     from repro.interop.bootstrap import create_fabric_relay, enable_fabric_interop
     from repro.interop.discovery import InMemoryRegistry
     from repro.net import RelayServer
     from repro.proto.messages import NetworkConfigMsg
+
+    if json_logs:
+        # One JSON line per record on stderr, trace-id field included —
+        # what a deployment ships to its log pipeline.
+        import logging
+
+        from repro.ops import configure_json_logging
+
+        configure_json_logging(level=logging.DEBUG)  # show per-hop records
 
     sys.path.insert(0, str(Path(__file__).resolve().parent))
     from quickstart import DocumentChaincode  # the §5 ~tens-of-SLOC contract
@@ -101,12 +125,19 @@ def serve(host: str, state_dir: str | None = None) -> None:
     # ``--state-dir`` makes this relay durable: its exactly-once record
     # and served subscriptions live in a SqliteStore that a respawned
     # process re-opens (create_fabric_relay recovers it automatically).
-    relay = create_fabric_relay(source, InMemoryRegistry(), state_dir=state_dir)
-    server = RelayServer(relay, host=host, port=0, max_workers=4).start()
+    middleware = [MetricsInterceptor()] if metrics_port is not None else None
+    relay = create_fabric_relay(
+        source, InMemoryRegistry(), state_dir=state_dir, middleware=middleware
+    )
+    server = RelayServer(
+        relay, host=host, port=0, max_workers=4, probe_port=metrics_port
+    ).start()
 
     # Hand the parent what it needs: our address and our MSP roots (in a
     # real deployment these travel out of band / via governance).
     print(SOURCE_MSP_ROOT_PREFIX + source.export_config().encode().hex(), flush=True)
+    if server.probe is not None:
+        print(PROBE_PREFIX + server.probe.url, flush=True)
     print(READY_PREFIX + server.address, flush=True)
     try:
         sys.stdin.read()  # serve until the parent closes our stdin
@@ -121,11 +152,21 @@ def serve(host: str, state_dir: str | None = None) -> None:
 # ---------------------------------------------------------------------------
 
 
-def spawn_source(destination, state_dir: str | None):
-    """Spawn the source-relay process; returns (child, address, config_hex)."""
+def spawn_source(
+    destination,
+    state_dir: str | None,
+    metrics_port: int | None = None,
+    json_logs: bool = False,
+):
+    """Spawn the source-relay process; returns (child, address, config_hex,
+    probe_url)."""
     command = [sys.executable, __file__, "--serve", "127.0.0.1"]
     if state_dir:
         command += ["--state-dir", state_dir]
+    if metrics_port is not None:
+        command += ["--metrics-port", str(metrics_port)]
+    if json_logs:
+        command += ["--json-logs"]
     child = subprocess.Popen(
         command,
         stdin=subprocess.PIPE,
@@ -138,18 +179,25 @@ def spawn_source(destination, state_dir: str | None):
 
     source_config_hex = ""
     address = ""
+    probe_url = ""
     for line in child.stdout:
         if line.startswith(SOURCE_MSP_ROOT_PREFIX):
             source_config_hex = line[len(SOURCE_MSP_ROOT_PREFIX):].strip()
+        elif line.startswith(PROBE_PREFIX):
+            probe_url = line[len(PROBE_PREFIX):].strip()
         elif line.startswith(READY_PREFIX):
             address = line[len(READY_PREFIX):].strip()
             break
     if not address:
         raise RuntimeError("source relay process never became ready")
-    return child, address, source_config_hex
+    return child, address, source_config_hex, probe_url
 
 
-def main(state_dir: str | None = None) -> None:
+def main(
+    state_dir: str | None = None,
+    metrics_port: int | None = None,
+    json_logs: bool = False,
+) -> None:
     from repro.fabric import NetworkBuilder
     from repro.interop.bootstrap import enable_fabric_interop
     from repro.interop.client import InteropClient
@@ -171,9 +219,14 @@ def main(state_dir: str | None = None) -> None:
     enable_fabric_interop(destination, dest_admin)
 
     # --- spawn the source-network relay as a separate OS process ----------
-    child, address, source_config_hex = spawn_source(destination, state_dir)
+    child, address, source_config_hex, probe_url = spawn_source(
+        destination, state_dir, metrics_port=metrics_port, json_logs=json_logs
+    )
     try:
         print(f"source relay process {child.pid} serving at {address}")
+        if probe_url:
+            print(f"ops probe listening at {probe_url} "
+                  f"(/healthz /readyz /metrics)")
 
         # §3.3 on our side: record the source network's configuration and
         # a verification policy, so proofs validate against *ledger*
@@ -216,6 +269,20 @@ def main(state_dir: str | None = None) -> None:
         print("the destination ledger. Kill -9 the child and the same query")
         print("raises a typed RelayUnavailableError instead.")
 
+        # --- ops plane (--metrics-port): scrape the child like Prometheus --
+        if probe_url:
+            import urllib.request
+
+            with urllib.request.urlopen(f"{probe_url}/readyz", timeout=5.0) as rsp:
+                ready = json.loads(rsp.read())
+            with urllib.request.urlopen(f"{probe_url}/metrics", timeout=5.0) as rsp:
+                scrape = rsp.read().decode()
+            print(f"\nreadyz across the process boundary: ready={ready['ready']} "
+                  f"({len(ready['checks'])} checks)")
+            for line in scrape.splitlines():
+                if line.startswith("repro_relay_requests_total"):
+                    print(f"scraped          : {line}")
+
         # --- act two (--state-dir): crash the relay, replay the past -------
         if state_dir:
             from repro.interop.transactions import RemoteTransactionClient
@@ -245,7 +312,7 @@ def main(state_dir: str | None = None) -> None:
             child.wait(timeout=10)
             print(f"killed relay process {child.pid} (simulated crash)")
 
-            child, address, _ = spawn_source(destination, state_dir)
+            child, address, _, _ = spawn_source(destination, state_dir)
             registry_file.write_text(json.dumps({"source-net": [address]}))
             print(f"respawned as {child.pid} at {address} "
                   f"on the same --state-dir")
@@ -273,8 +340,33 @@ if __name__ == "__main__":
         help="journal the source relay's state to a SqliteStore rooted "
         "here and demo crash + replay recovery (e.g. /tmp/relay-state)",
     )
+    parser.add_argument(
+        "--metrics-port",
+        metavar="PORT",
+        type=int,
+        default=None,
+        help="open the source relay's ops probe (GET /healthz /readyz "
+        "/metrics, Prometheus text exposition) on this port; 0 picks a "
+        "free one. The parent scrapes it across the process boundary.",
+    )
+    parser.add_argument(
+        "--json-logs",
+        action="store_true",
+        help="emit one JSON log line per record (trace-id field included) "
+        "on the source relay's stderr, as a deployment would ship to its "
+        "log pipeline",
+    )
     arguments = parser.parse_args()
     if arguments.serve:
-        serve(arguments.serve, state_dir=arguments.state_dir)
+        serve(
+            arguments.serve,
+            state_dir=arguments.state_dir,
+            metrics_port=arguments.metrics_port,
+            json_logs=arguments.json_logs,
+        )
     else:
-        main(state_dir=arguments.state_dir)
+        main(
+            state_dir=arguments.state_dir,
+            metrics_port=arguments.metrics_port,
+            json_logs=arguments.json_logs,
+        )

@@ -91,8 +91,23 @@ GUARDED_STATE: dict[str, dict[str, str]] = {
         "connections_dialed": "_lock",
         "transport_failures": "_lock",
     },
+    # repro/ops/metrics.py — serve threads report into instruments while
+    # the probe thread scrapes them; the registry map itself is shared.
+    "_Instrument": {"_series": "_lock"},
+    "Counter": {"_series": "_lock"},
+    "Gauge": {"_series": "_lock"},
+    "Histogram": {"_series": "_lock"},
+    "MetricsRegistry": {"_metrics": "_lock", "_collectors": "_lock"},
+    # repro/ops/health.py
+    "HealthProbe": {"_checks": "_lock"},
+    # repro/ops/logging.py
+    "JsonLogCapture": {"records": "_records_lock"},
     # repro/store/memory.py
-    "MemoryStore": {"_data": "_lock"},
+    "MemoryStore": {
+        "_data": "_lock",
+        "batches_applied": "_lock",
+        "ops_applied": "_lock",
+    },
     # repro/store/sqlite.py — the WAL handle, sqlite connection, image
     # and pending-ops cache are all shared by concurrent serve threads.
     "SqliteStore": {
@@ -100,9 +115,16 @@ GUARDED_STATE: dict[str, dict[str, str]] = {
         "_pending": "_lock",
         "_wal": "_lock",
         "_conn": "_lock",
+        "batches_applied": "_lock",
+        "checkpoints": "_lock",
     },
     # repro/store/wal.py
-    "WriteAheadLog": {"_file": "_lock"},
+    "WriteAheadLog": {
+        "_file": "_lock",
+        "appends": "_lock",
+        "bytes_appended": "_lock",
+        "truncations": "_lock",
+    },
     # repro/interop/discovery.py
     "InMemoryRegistry": {"_relays": "_lock"},
     # repro/net/transport.py
@@ -177,6 +199,7 @@ ERROR_TAXONOMY_LAYERS = (
     "repro/api/",
     "repro/assets/",
     "repro/store/",
+    "repro/ops/",
 )
 
 #: Helper calls whose return value IS the error answer (an error envelope

@@ -18,10 +18,12 @@ target's members.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.errors import InteropError
+from repro.ops.trace import ensure_trace
 from repro.interop.client import InteropClient, RemoteQueryResult
 from repro.interop.transactions import (
     RemoteTransactionClient,
@@ -31,6 +33,8 @@ from repro.proto.address import parse_address
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.api.builder import QueryBuilder, TransactionBuilder
+
+logger = logging.getLogger("repro.api")
 
 
 @dataclass
@@ -157,6 +161,14 @@ class BatchExecutor:
         self._policy_cache = policy_cache
 
     def execute(self, handles: list[QueryHandle]) -> None:
+        # One trace for the whole flush: every member batch envelope (and
+        # the serving relays' logs) correlates to this flush call.
+        with ensure_trace():
+            self._execute_traced(handles)
+
+    def _execute_traced(self, handles: list[QueryHandle]) -> None:
+        if logger.isEnabledFor(logging.DEBUG):
+            logger.debug("flushing query set", extra={"members": len(handles)})
         policy_cache = self._policy_cache if self._policy_cache is not None else {}
         by_target: dict[str, list[tuple[QueryHandle, object]]] = {}
         for handle in handles:
@@ -324,6 +336,12 @@ class TransactionExecutor:
         self._policy_cache = policy_cache
 
     def execute(self, handles: list[TransactionHandle]) -> None:
+        with ensure_trace():
+            self._execute_traced(handles)
+
+    def _execute_traced(self, handles: list[TransactionHandle]) -> None:
+        if logger.isEnabledFor(logging.DEBUG):
+            logger.debug("flushing transaction set", extra={"members": len(handles)})
         policy_cache = self._policy_cache if self._policy_cache is not None else {}
         client = self._tx_client.client
         by_target: dict[str, list[tuple[TransactionHandle, object]]] = {}

@@ -197,12 +197,43 @@ class MetricsInterceptor(Interceptor):
         self.kind_detail: dict[int, dict[str, float]] = {}
         #: Per-kind latency samples (seconds), newest-last, bounded.
         self.kind_samples: dict[int, deque[float]] = {}
+        #: Registry instruments, wired by :meth:`bind_registry`
+        #: (:func:`repro.ops.exporters.register_relay` calls it). The
+        #: instruments carry their own locks; unbound, nothing changes.
+        self._m_requests = None
+        self._m_errors = None
+        self._m_latency = None
+
+    def bind_registry(self, registry) -> None:
+        """Mirror this interceptor's observations into a
+        :class:`~repro.ops.MetricsRegistry` (Prometheus export)."""
+        self._m_requests = registry.counter(
+            "repro_relay_requests_total",
+            "Requests served through the relay interceptor chain.",
+            ("relay_id", "kind"),
+        )
+        self._m_errors = registry.counter(
+            "repro_relay_errors_total",
+            "Requests answered with an error outcome.",
+            ("relay_id", "kind"),
+        )
+        self._m_latency = registry.histogram(
+            "repro_relay_request_seconds",
+            "Serve latency through the interceptor chain, per message kind.",
+            ("relay_id", "kind"),
+        )
 
     def handle(self, ctx: RelayContext, call_next: RelayHandler) -> bytes:
         started = self._clock.now()
         reply = call_next(ctx)
         elapsed = self._clock.now() - started
         is_error = _reply_is_error(ctx, reply)
+        if self._m_requests is not None:
+            labels = {"relay_id": ctx.relay.relay_id, "kind": kind_name(ctx.kind)}
+            self._m_requests.inc(**labels)
+            self._m_latency.observe(elapsed, **labels)
+            if is_error:
+                self._m_errors.inc(**labels)
         with self._mutex:
             self.requests_total += 1
             self.bytes_in += len(ctx.raw)
@@ -272,8 +303,16 @@ class MetricsInterceptor(Interceptor):
 
 
 class RequestLoggingInterceptor(Interceptor):
-    """Structured per-request records, kept in memory and mirrored to
-    the ``repro.relay`` :mod:`logging` logger."""
+    """Per-request records as a thin adapter over the ops logging plane.
+
+    Each served request emits one structured record on the
+    ``repro.relay`` logger — the ops plane's JSON formatter renders it
+    (and its :class:`~repro.ops.logging.TraceContextFilter` stamps the
+    active trace id, since the interceptor chain runs inside
+    :meth:`RelayService.handle_request`'s trace activation). The bounded
+    in-memory ``records`` deque is kept for tests and quick inspection;
+    it holds the same field set the log record carries.
+    """
 
     def __init__(
         self,
@@ -298,14 +337,7 @@ class RequestLoggingInterceptor(Interceptor):
             "bytes_out": len(reply),
         }
         self.records.append(record)
-        self._log.debug(
-            "%s served %s request %s: %s in %.6fs",
-            record["relay_id"],
-            record["kind"],
-            record["request_id"] or "<unknown>",
-            record["outcome"],
-            record["seconds"],
-        )
+        self._log.debug("request served", extra=dict(record, kind_label=kind_name(ctx.kind)))
         return reply
 
 

@@ -25,6 +25,8 @@ the source relays.
 
 from __future__ import annotations
 
+import logging
+
 from repro.api.batch import (
     QueryHandle,
     QuerySet,
@@ -37,12 +39,15 @@ from repro.errors import AddressError
 from repro.interop.client import InteropClient
 from repro.interop.relay import RelayService
 from repro.interop.transactions import RemoteTransactionClient
+from repro.ops.trace import ensure_trace
 from repro.proto.messages import (
     PROTOCOL_VERSION,
     AuthInfo,
     EventSubscribeRequest,
     NetworkAddressMsg,
 )
+
+logger = logging.getLogger("repro.api")
 
 
 class GatewaySession:
@@ -175,9 +180,15 @@ class GatewaySession:
             verifier=verifier,
             on_close=self._close_stream,
         )
-        stream.subscription_id = self.relay.remote_subscribe(
-            request, stream._deliver
-        )
+        with ensure_trace():
+            if logger.isEnabledFor(logging.DEBUG):
+                logger.debug(
+                    "subscribing to remote events",
+                    extra={"address": address, "event_name": event_name},
+                )
+            stream.subscription_id = self.relay.remote_subscribe(
+                request, stream._deliver
+            )
         self._streams.append(stream)
         return stream
 

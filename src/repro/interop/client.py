@@ -9,6 +9,7 @@ application chaincode (which will have the CMDAC validate it).
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 
 from repro.errors import AccessDeniedError, ProofError, ProtocolError, RelayError
@@ -35,7 +36,11 @@ from repro.proto.messages import (
     QueryResponse,
     VerificationPolicyMsg,
 )
+from repro.ops.trace import ensure_trace
 from repro.utils.ids import random_id
+
+#: Client-session structured logging (see :mod:`repro.ops.logging`).
+logger = logging.getLogger("repro.api")
 
 
 @dataclass
@@ -265,11 +270,17 @@ class InteropClient:
         failures, and :class:`ProofError` if the response or proof fails
         client-side checks.
         """
-        prepared = self.prepare_query(
-            address_text, args, policy, confidential, verify_locally
-        )
-        response = self._relay.remote_query(prepared.query)
-        return self.finalize_response(prepared, response)
+        with ensure_trace():
+            if logger.isEnabledFor(logging.DEBUG):
+                logger.debug(
+                    "remote query",
+                    extra={"address": address_text, "confidential": confidential},
+                )
+            prepared = self.prepare_query(
+                address_text, args, policy, confidential, verify_locally
+            )
+            response = self._relay.remote_query(prepared.query)
+            return self.finalize_response(prepared, response)
 
     def remote_query_batch(
         self, requests: list[tuple[str, list[str]]], **options
@@ -283,15 +294,18 @@ class InteropClient:
         use the gateway's :class:`~repro.api.QuerySet` for per-member
         partial-failure handling.
         """
-        prepared = [
-            self.prepare_query(address_text, args, **options)
-            for address_text, args in requests
-        ]
-        responses = self._relay.remote_query_batch([p.query for p in prepared])
-        return [
-            self.finalize_response(p, response)
-            for p, response in zip(prepared, responses)
-        ]
+        with ensure_trace():
+            if logger.isEnabledFor(logging.DEBUG):
+                logger.debug("remote query batch", extra={"members": len(requests)})
+            prepared = [
+                self.prepare_query(address_text, args, **options)
+                for address_text, args in requests
+            ]
+            responses = self._relay.remote_query_batch([p.query for p in prepared])
+            return [
+                self.finalize_response(p, response)
+                for p, response in zip(prepared, responses)
+            ]
 
     def _verify_locally(
         self,

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import logging
 from abc import ABC, abstractmethod
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Sequence
@@ -15,6 +16,8 @@ from repro.proto.messages import (
     NetworkQuery,
     QueryResponse,
 )
+
+_logger = logging.getLogger("repro.driver")
 
 
 class NetworkDriver(ABC):
@@ -78,6 +81,11 @@ class NetworkDriver(ABC):
         return [self._execute_transaction_guarded(query) for query in queries]
 
     def _execute_transaction_guarded(self, query: NetworkQuery) -> QueryResponse:
+        if _logger.isEnabledFor(logging.DEBUG):
+            _logger.debug(
+                "driver executing transaction",
+                extra={"network_id": self.network_id, "nonce": query.nonce},
+            )
         try:
             return self.execute_transaction(query)
         except Exception as exc:  # noqa: BLE001 - a batch member must not escape

@@ -10,6 +10,8 @@ satisfying the verification policy."
 
 from __future__ import annotations
 
+import logging
+
 from repro.errors import PolicyError
 from repro.fabric.network import FabricNetwork
 from repro.fabric.peer import Proposal
@@ -27,6 +29,10 @@ from repro.utils.ids import random_id
 
 INTEROP_TRANSIENT_KEY = "interop"
 INTEROP_PLUGIN = "interop"
+
+#: Driver-layer structured logging; records carry the serving relay's
+#: active trace (driver code runs on the relay's serve thread).
+logger = logging.getLogger("repro.driver")
 
 _ACCESS_DENIED_MARKER = "AccessDeniedError"
 
@@ -125,6 +131,16 @@ class FabricDriver(NetworkDriver):
 
     def execute_query(self, query: NetworkQuery) -> QueryResponse:
         address = query.address
+        if logger.isEnabledFor(logging.DEBUG):
+            logger.debug(
+                "driver executing query",
+                extra={
+                    "network_id": self.network_id,
+                    "contract": address.contract if address else "",
+                    "function": address.function if address else "",
+                    "nonce": query.nonce,
+                },
+            )
         if address is None or address.ledger != self._network.channel:
             return self._error(
                 query,

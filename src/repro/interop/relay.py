@@ -50,6 +50,7 @@ cannot take concurrent load install a
 from __future__ import annotations
 
 import json
+import logging
 import threading
 from collections import OrderedDict, deque
 from typing import Callable, Sequence
@@ -104,6 +105,7 @@ from repro.proto.messages import (
     QueryResponse,
     RelayEnvelope,
 )
+from repro.ops.trace import activate, ensure_trace, from_headers, inject, new_trace, reply_headers
 from repro.store import MemoryStore, StateStore
 from repro.utils.clock import Clock, SystemClock
 from repro.utils.ids import random_id
@@ -111,6 +113,11 @@ from repro.utils.ids import random_id
 #: :class:`~repro.store.StateStore` namespaces the relay owns.
 NS_IDEMPOTENCY = "relay/idempotency"
 NS_SUBSCRIPTIONS = "relay/subscriptions"
+
+#: Structured relay-layer logging (see :mod:`repro.ops.logging`); the
+#: active :class:`~repro.ops.trace.TraceContext` is stamped on every
+#: record by the ops log filter.
+logger = logging.getLogger("repro.relay")
 
 
 class RateLimiter:
@@ -148,8 +155,29 @@ class RelayStats:
     A concurrently-serving relay updates these from many threads, so all
     mutations go through :meth:`bump` (a read-modify-write under one
     lock); plain attribute reads stay cheap and are at worst one bump
-    stale, which is fine for operational counters.
+    stale, which is fine for operational counters. Exporters read the
+    whole set atomically through :meth:`snapshot`.
     """
+
+    _COUNTER_NAMES = (
+        "requests_served",
+        "requests_rejected",
+        "requests_failed",
+        "queries_sent",
+        "failovers",
+        "batches_served",
+        "batches_sent",
+        "transactions_sent",
+        "transactions_served",
+        "subscriptions_opened",
+        "subscriptions_served",
+        "events_published",
+        "events_delivered",
+        "events_dropped",
+        "asset_commands_sent",
+        "asset_commands_served",
+        "duplicates_suppressed",
+    )
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
@@ -177,6 +205,11 @@ class RelayStats:
         """Atomically add ``amount`` to the counter called ``name``."""
         with self._lock:
             setattr(self, name, getattr(self, name) + amount)
+
+    def snapshot(self) -> dict[str, int]:
+        """All counters, read atomically (one lock acquisition)."""
+        with self._lock:
+            return {name: getattr(self, name) for name in self._COUNTER_NAMES}
 
 
 class RelayContext:
@@ -434,6 +467,18 @@ class RelayService:
     def clock(self) -> Clock:
         return self._clock
 
+    @property
+    def idempotency_size(self) -> int:
+        """Entries currently held in the exactly-once record (exported
+        as a gauge by :func:`repro.ops.exporters.register_relay`)."""
+        with self._idempotency_lock:
+            return len(self._idempotency)
+
+    @property
+    def driver_networks(self) -> tuple[str, ...]:
+        """The network ids this relay holds drivers for (readiness)."""
+        return tuple(self._drivers)
+
     def register_driver(self, driver: NetworkDriver) -> None:
         """Attach a driver for a network this relay fronts (usually its own)."""
         self._drivers[driver.network_id] = driver
@@ -504,6 +549,9 @@ class RelayService:
         error_kind: str = "",
     ) -> bytes:
         headers = {"retryable": "true" if retryable else "false"}
+        # Even a rejection (rate-limit shed, undecodable request) carries
+        # the caller's trace id back, so it correlates to the request.
+        headers.update(reply_headers())
         if error_kind:
             headers[ERROR_KIND_HEADER] = error_kind
         return RelayEnvelope(
@@ -523,10 +571,30 @@ class RelayService:
         failure) — a remote relay cannot catch our exceptions across the
         wire. Raises :class:`RelayUnavailableError` only to model a dead
         relay.
+
+        Trace correlation: the envelope's trace headers (if the caller
+        stamped any) are re-activated for the whole serve — interceptors,
+        the dispatcher, and the driver all run (and log) under the
+        caller's trace id; an untraced envelope gets a fresh root so the
+        serve is still internally correlated.
         """
         if not self.available:
             raise RelayUnavailableError(f"relay {self.relay_id!r} is down")
-        return self._handler_chain()(RelayContext(self, data))
+        ctx = RelayContext(self, data)
+        envelope = ctx.envelope  # decode once; interceptors reuse it
+        inbound = from_headers(envelope.headers) if envelope is not None else None
+        with activate(inbound or new_trace()):
+            if logger.isEnabledFor(logging.DEBUG):
+                logger.debug(
+                    "serving inbound envelope",
+                    extra={
+                        "relay_id": self.relay_id,
+                        "request_id": ctx.request_id,
+                        "kind": ctx.kind,
+                        "bytes_in": len(data),
+                    },
+                )
+            return self._handler_chain()(ctx)
 
     @staticmethod
     def _is_side_effecting(envelope: RelayEnvelope) -> bool:
@@ -674,6 +742,7 @@ class RelayService:
             source_network=self.network_id,
             destination_network=envelope.source_network,
             payload=response.encode(),
+            headers=reply_headers(),
         ).encode()
 
     def _serve_batch(self, envelope: RelayEnvelope) -> bytes:
@@ -743,6 +812,7 @@ class RelayService:
             source_network=self.network_id,
             destination_network=envelope.source_network,
             payload=reply.encode(),
+            headers=reply_headers(),
         ).encode()
 
     def _serve_transact(self, envelope: RelayEnvelope) -> bytes:
@@ -780,6 +850,7 @@ class RelayService:
             source_network=self.network_id,
             destination_network=envelope.source_network,
             payload=response.encode(),
+            headers=reply_headers(),
         ).encode()
 
     def _serve_asset(self, envelope: RelayEnvelope) -> bytes:
@@ -845,6 +916,7 @@ class RelayService:
             source_network=self.network_id,
             destination_network=envelope.source_network,
             payload=ack.encode(),
+            headers=reply_headers(),
         ).encode()
 
     # -- source side: event subscriptions ----------------------------------------
@@ -869,6 +941,7 @@ class RelayService:
             source_network=self.network_id,
             destination_network=envelope.source_network,
             payload=ack.encode(),
+            headers=reply_headers(),
         ).encode()
 
     def _serve_event_subscribe(self, envelope: RelayEnvelope) -> bytes:
@@ -1303,18 +1376,50 @@ class RelayService:
         mis-correlated replies) advance to the next endpoint; a
         non-retryable error envelope raises :class:`RelayError`
         immediately.
+
+        Trace correlation: runs under the caller's active trace (opening
+        a fresh root when there is none — a bare ``remote_query`` is
+        still correlated end to end) and stamps a per-hop child span into
+        the outbound envelope headers, so the serving relay, its TCP
+        server, and its driver all log the same trace id.
         """
         endpoints = self._discovery.lookup(target)  # may raise DiscoveryError
         request_id = random_id("req-")
-        envelope_bytes = RelayEnvelope(
-            version=PROTOCOL_VERSION,
-            kind=kind,
-            request_id=request_id,
-            source_network=self.network_id,
-            destination_network=target,
-            payload=payload,
-            headers=headers or {},
-        ).encode()
+        with ensure_trace():
+            envelope_bytes = RelayEnvelope(
+                version=PROTOCOL_VERSION,
+                kind=kind,
+                request_id=request_id,
+                source_network=self.network_id,
+                destination_network=target,
+                payload=payload,
+                headers=inject(headers),
+            ).encode()
+            if logger.isEnabledFor(logging.DEBUG):
+                logger.debug(
+                    "forwarding envelope",
+                    extra={
+                        "relay_id": self.relay_id,
+                        "request_id": request_id,
+                        "kind": kind,
+                        "target_network": target,
+                        "endpoints": len(endpoints),
+                    },
+                )
+            return self._exchange_over(
+                endpoints, target, request_id, envelope_bytes, expect_reply_kind,
+                decode_reply,
+            )
+
+    def _exchange_over(
+        self,
+        endpoints,
+        target: str,
+        request_id: str,
+        envelope_bytes: bytes,
+        expect_reply_kind: int,
+        decode_reply: Callable[[bytes], object],
+    ):
         failures: list[str] = []
         for position, endpoint in enumerate(endpoints):
             if position > 0:

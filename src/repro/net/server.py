@@ -28,11 +28,25 @@ applications embed it with :meth:`start_async` / :meth:`stop_async`.
 from __future__ import annotations
 
 import asyncio
+import logging
 import threading
 from concurrent.futures import ThreadPoolExecutor
 
 from repro.errors import DecodeError, RelayUnavailableError
 from repro.net.framing import DEFAULT_MAX_FRAME_BYTES, read_frame, write_frame
+from repro.ops.trace import TRACE_ID_HEADER
+
+#: Transport-layer structured logging (see :mod:`repro.ops.logging`).
+logger = logging.getLogger("repro.net")
+
+_STAT_NAMES = (
+    "connections_accepted",
+    "connections_closed",
+    "frames_served",
+    "frames_rejected",
+    "in_flight",
+    "in_flight_peak",
+)
 
 
 class RelayServerStats:
@@ -60,6 +74,11 @@ class RelayServerStats:
         with self._lock:
             self.in_flight -= 1
 
+    def snapshot(self) -> dict[str, int]:
+        """All counters, read atomically (one lock acquisition)."""
+        with self._lock:
+            return {name: getattr(self, name) for name in _STAT_NAMES}
+
 
 class RelayServer:
     """Serves one :class:`RelayService` on a TCP socket, concurrently.
@@ -84,12 +103,23 @@ class RelayServer:
         max_workers: int = 8,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
         max_pipeline_depth: int = 32,
+        probe_port: int | None = None,
+        registry=None,
     ) -> None:
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         if max_pipeline_depth < 1:
             raise ValueError("max_pipeline_depth must be >= 1")
         self.service = service
+        #: ``probe_port`` opens the ops plane: an HTTP listener on its own
+        #: port (0 = ephemeral) serving ``/metrics``, ``/healthz`` and
+        #: ``/readyz`` next to the frame socket. ``registry`` shares a
+        #: :class:`~repro.ops.MetricsRegistry` across servers; omitted, a
+        #: private one is created. ``None`` keeps the probe plane off.
+        self.probe_port = probe_port
+        self.registry = registry
+        self.probe = None  # the live OpsProbeServer while started
+        self._ops_wired = False  # exporters register once, not per (re)start
         self._requested_host = host
         self._requested_port = port
         self.max_workers = max_workers
@@ -143,10 +173,44 @@ class RelayServer:
         )
         bound = self._server.sockets[0].getsockname()
         self.host, self.port = bound[0], bound[1]
+        if self.probe_port is not None:
+            await self._start_probe()
         self._started.set()
         return self
 
+    async def _start_probe(self) -> None:
+        """Stand up the ops probe listener next to the frame socket.
+
+        Lazy imports: :mod:`repro.ops.exporters` pulls in the api and
+        relay layers, which import :mod:`repro.ops` themselves — by serve
+        time everything is loaded, at module-import time it would cycle.
+        """
+        from repro.ops import MetricsRegistry, OpsProbeServer, relay_checks
+        from repro.ops.exporters import register_relay, register_server
+
+        if self.registry is None:
+            self.registry = MetricsRegistry()
+        if not self._ops_wired:
+            register_server(self.registry, self)
+            register_relay(self.registry, self.service)
+            self._ops_wired = True
+        health = relay_checks(self.service)
+        health.add_check(
+            "executor_accepting",
+            lambda: (self._executor is not None, f"{self.max_workers} workers"),
+        )
+        self.probe = OpsProbeServer(
+            registry=self.registry,
+            health=health,
+            host=self._requested_host,
+            port=self.probe_port,
+        )
+        await self.probe.start_async()
+
     async def stop_async(self) -> None:
+        if self.probe is not None:
+            await self.probe.stop_async()
+            self.probe = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -284,6 +348,35 @@ class RelayServer:
                 pass
             self.stats.bump("connections_closed")
 
+    def _log_frame(self, frame: bytes) -> None:
+        """DEBUG-gated trace-correlated frame log (best-effort peek).
+
+        The serve itself runs on an executor thread where
+        ``handle_request`` activates the envelope's trace; this log runs
+        on the asyncio loop *outside* that context, so the trace id is
+        read straight off the envelope headers and passed explicitly.
+        """
+        from repro.proto.messages import RelayEnvelope
+
+        try:
+            envelope = RelayEnvelope.decode(frame)
+        except Exception:  # noqa: BLE001 - undecodable frames are _dispatch's problem; the peek never rejects
+            logger.debug(
+                "frame received (undecodable envelope)",
+                extra={"relay_id": self.service.relay_id, "bytes_in": len(frame)},
+            )
+            return
+        logger.debug(
+            "frame received",
+            extra={
+                "relay_id": self.service.relay_id,
+                "request_id": envelope.request_id,
+                "kind": envelope.kind,
+                "bytes_in": len(frame),
+                "trace_id": envelope.headers.get(TRACE_ID_HEADER, ""),
+            },
+        )
+
     async def _serve_frame(
         self,
         frame: bytes,
@@ -291,6 +384,8 @@ class RelayServer:
         write_lock: asyncio.Lock,
     ) -> None:
         loop = asyncio.get_running_loop()
+        if logger.isEnabledFor(logging.DEBUG):
+            self._log_frame(frame)
         self.stats.enter_flight()
         try:
             reply = await loop.run_in_executor(

@@ -1,0 +1,122 @@
+"""Bridges from the existing stats objects into the metrics registry.
+
+The relay grew its counters long before the ops plane existed —
+:class:`~repro.interop.relay.RelayStats`,
+:class:`~repro.net.server.RelayServerStats`, the
+:class:`~repro.interop.relay.RateLimiter`, the store backends'
+:meth:`~repro.store.StateStore.counters`. Rather than rewriting them all
+as registry instruments, this module registers *collectors* that read
+each object's atomic ``snapshot()`` at scrape time and present the
+values as Prometheus families. Hot paths keep their one-lock bump;
+only a scrape pays the snapshot cost.
+
+Kept out of ``repro.ops.__init__`` on purpose: importing this module
+pulls in :mod:`repro.api.middleware` and :mod:`repro.interop.relay`,
+which themselves import :mod:`repro.ops.trace` — callers import
+``repro.ops.exporters`` explicitly (the :class:`~repro.net.RelayServer`
+does so lazily at start).
+"""
+
+from __future__ import annotations
+
+from repro.api.middleware import MetricsInterceptor
+from repro.interop.relay import RateLimitInterceptor, RelayService
+from repro.ops.metrics import MetricFamily, MetricsRegistry, counter_family, gauge_family
+
+
+def register_relay(registry: MetricsRegistry, relay: RelayService) -> None:
+    """Export one relay's operational state through ``registry``.
+
+    Binds any installed :class:`MetricsInterceptor` to the registry's
+    per-kind latency histograms, and registers a scrape-time collector
+    over the relay's stats, rate limiter, store counters, and
+    idempotency-record size. Every family is labelled ``relay_id`` so
+    several relays can share one registry.
+    """
+    limiters = []
+    for interceptor in relay.interceptors:
+        if isinstance(interceptor, MetricsInterceptor):
+            interceptor.bind_registry(registry)
+        if isinstance(interceptor, RateLimitInterceptor):
+            limiters.append(interceptor.limiter)
+    relay_label = ("relay_id", relay.relay_id)
+
+    def collect() -> "list[MetricFamily]":
+        families = [
+            counter_family(
+                "repro_relay_stats_total",
+                "Relay service operational counters (RelayStats).",
+                tuple(
+                    ((relay_label, ("counter", name)), value)
+                    for name, value in relay.stats.snapshot().items()
+                ),
+            ),
+            gauge_family(
+                "repro_relay_idempotency_entries",
+                "Entries in the relay's exactly-once idempotency record.",
+                (((relay_label,), relay.idempotency_size),),
+            ),
+        ]
+        if limiters:
+            families.append(
+                counter_family(
+                    "repro_relay_rate_limited_total",
+                    "Requests shed by the relay's rate limiter.",
+                    (((relay_label,), sum(l.rejected for l in limiters)),),
+                )
+            )
+        counters = relay.store.counters()
+        if counters:
+            families.append(
+                counter_family(
+                    "repro_store_ops_total",
+                    "State-store operation counters (WAL appends, "
+                    "checkpoints, applied batches).",
+                    tuple(
+                        ((relay_label, ("op", name)), value)
+                        for name, value in sorted(counters.items())
+                    ),
+                )
+            )
+        return families
+
+    registry.register_collector(collect)
+
+
+def register_server(registry: MetricsRegistry, server) -> None:
+    """Export one :class:`~repro.net.RelayServer`'s frame-level stats."""
+    relay_label = ("relay_id", server.service.relay_id)
+    monotonic = (
+        "connections_accepted",
+        "connections_closed",
+        "frames_served",
+        "frames_rejected",
+    )
+
+    def collect() -> "list[MetricFamily]":
+        snapshot = server.stats.snapshot()
+        return [
+            counter_family(
+                "repro_relay_server_total",
+                "TCP frame-server counters (RelayServerStats).",
+                tuple(
+                    ((relay_label, ("counter", name)), snapshot[name])
+                    for name in monotonic
+                ),
+            ),
+            gauge_family(
+                "repro_relay_server_in_flight",
+                "Frames currently being served.",
+                (((relay_label,), snapshot["in_flight"]),),
+            ),
+            gauge_family(
+                "repro_relay_server_in_flight_peak",
+                "Peak concurrently-served frames since start.",
+                (((relay_label,), snapshot["in_flight_peak"]),),
+            ),
+        ]
+
+    registry.register_collector(collect)
+
+
+__all__ = ["register_relay", "register_server"]

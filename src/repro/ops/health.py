@@ -1,0 +1,87 @@
+"""Liveness and readiness checks for relay deployments.
+
+Liveness is implicit (the probe listener answering at all); readiness is
+a conjunction of named checks — for a relay: the service accepting
+requests, at least one driver attached, and the state store answering
+reads. ROADMAP item 1's endpoint eviction is designed to poll exactly
+this surface.
+
+Checks run *outside* the probe's lock (a slow store read must not block
+concurrent check registration), and a crashing check reports not-ready
+with its error rather than taking the probe down.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+#: A check returns ``bool`` or ``(bool, detail)``.
+CheckFn = Callable[[], "bool | tuple[bool, str]"]
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """One readiness check's outcome."""
+
+    name: str
+    ok: bool
+    detail: str = ""
+
+
+class HealthProbe:
+    """A named set of readiness checks with an aggregate verdict."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._checks: "OrderedDict[str, CheckFn]" = OrderedDict()
+
+    def add_check(self, name: str, check: CheckFn) -> None:
+        """Register (or replace) the check called ``name``."""
+        with self._lock:
+            self._checks[name] = check
+
+    def ready(self) -> Tuple[bool, Tuple[CheckResult, ...]]:
+        """Run every check; ``(all_ok, per-check results)``."""
+        with self._lock:
+            checks = list(self._checks.items())
+        results = []
+        for name, check in checks:
+            try:
+                outcome = check()
+            except Exception as error:  # noqa: BLE001 - a crashing check means not-ready, never a crashed probe
+                results.append(CheckResult(name=name, ok=False, detail=repr(error)))
+                continue
+            if isinstance(outcome, tuple):
+                ok, detail = outcome
+            else:
+                ok, detail = bool(outcome), ""
+            results.append(CheckResult(name=name, ok=bool(ok), detail=detail))
+        return all(result.ok for result in results), tuple(results)
+
+
+def relay_checks(service) -> HealthProbe:
+    """The standard readiness checks for a :class:`RelayService`:
+    service accepting, ≥1 driver attached, store answering reads."""
+    probe = HealthProbe()
+
+    def _available() -> "tuple[bool, str]":
+        return bool(service.available), "accepting" if service.available else "draining"
+
+    def _drivers() -> "tuple[bool, str]":
+        networks = service.driver_networks
+        return bool(networks), ",".join(sorted(networks)) or "none attached"
+
+    def _store() -> "tuple[bool, str]":
+        service.store.get("ops/readiness", "probe")  # any read proves the store is open
+        return True, type(service.store).__name__
+
+    probe.add_check("relay_available", _available)
+    probe.add_check("drivers_attached", _drivers)
+    probe.add_check("store_open", _store)
+    return probe
+
+
+__all__ = ["CheckFn", "CheckResult", "HealthProbe", "relay_checks"]

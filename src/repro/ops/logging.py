@@ -1,0 +1,175 @@
+"""Structured JSON logging with trace correlation.
+
+Every layer logs through a named logger under the ``repro`` root —
+``repro.api`` (client verbs), ``repro.relay`` (service + interceptors),
+``repro.net`` (TCP framing), ``repro.driver`` (ledger drivers),
+``repro.store`` (durability). :func:`configure_json_logging` installs one
+:class:`JsonLogFormatter` handler on that root, and a
+:class:`TraceContextFilter` stamps the active :class:`TraceContext` into
+every record, so a single ``trace_id`` field correlates the client
+session, the relay service, the TCP server, and the driver lines of one
+request.
+
+Tests (and the conformance matrix) observe the same stream through
+:class:`JsonLogCapture` / :func:`capture_logs` instead of parsing stderr.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+import threading
+from contextlib import contextmanager
+from typing import Iterator, TextIO
+
+from repro.ops.trace import current_trace
+
+#: The logger namespace root every repro layer logs under.
+ROOT_LOGGER = "repro"
+
+#: LogRecord attributes that are plumbing, not payload; anything else on
+#: a record (``extra=`` fields) is emitted as a JSON field.
+_RESERVED = frozenset(
+    logging.LogRecord(
+        name="", level=0, pathname="", lineno=0, msg="", args=(), exc_info=None
+    ).__dict__
+) | {"message", "asctime", "taskName"}
+
+
+class TraceContextFilter(logging.Filter):
+    """Stamp the active trace into each record (unless already set).
+
+    Layers that log *about* an envelope from outside its serve context
+    (the TCP server peeking at a frame) pass ``extra={"trace_id": ...}``
+    explicitly; everyone else inherits the contextvar.
+    """
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        if getattr(record, "trace_id", ""):
+            return True
+        context = current_trace()
+        record.trace_id = context.trace_id if context else ""
+        record.span_id = context.span_id if context else ""
+        return True
+
+
+class JsonLogFormatter(logging.Formatter):
+    """One JSON object per line: ts, level, logger, message, trace ids,
+    plus any ``extra=`` fields the call site attached."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+            "trace_id": getattr(record, "trace_id", ""),
+            "span_id": getattr(record, "span_id", ""),
+        }
+        for key, value in record.__dict__.items():
+            if key in _RESERVED or key in payload:
+                continue
+            try:
+                json.dumps(value)
+            except (TypeError, ValueError):
+                value = repr(value)
+            payload[key] = value
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True, default=repr)
+
+
+def configure_json_logging(
+    stream: TextIO | None = None,
+    level: int = logging.INFO,
+    logger_name: str = ROOT_LOGGER,
+) -> logging.Handler:
+    """Install (idempotently) the JSON handler on the ``repro`` root.
+
+    Prior handlers installed by this function are replaced, so repeated
+    configuration (tests, demos re-running in one process) never
+    double-emits. Returns the installed handler.
+    """
+    logger = logging.getLogger(logger_name)
+    for handler in list(logger.handlers):
+        if getattr(handler, "_repro_ops_handler", False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream) if stream is not None else logging.StreamHandler()
+    handler._repro_ops_handler = True  # type: ignore[attr-defined]
+    handler.setFormatter(JsonLogFormatter())
+    handler.addFilter(TraceContextFilter())
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    logger.propagate = False
+    return handler
+
+
+class JsonLogCapture(logging.Handler):
+    """Collect records as parsed JSON dicts (tests / conformance)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.setFormatter(JsonLogFormatter())
+        self.addFilter(TraceContextFilter())
+        self._records_lock = threading.Lock()
+        self.records: list[dict] = []
+
+    def emit(self, record: logging.LogRecord) -> None:
+        line = self.format(record)
+        parsed = json.loads(line)
+        with self._records_lock:
+            self.records.append(parsed)
+
+    def snapshot(self) -> list[dict]:
+        """A point-in-time copy of the captured records."""
+        with self._records_lock:
+            return list(self.records)
+
+    def with_trace(self, trace_id: str) -> list[dict]:
+        """Captured records stamped with ``trace_id``."""
+        return [r for r in self.snapshot() if r.get("trace_id") == trace_id]
+
+    def loggers(self, trace_id: str | None = None) -> set[str]:
+        """The distinct logger names seen (optionally per trace)."""
+        records = self.with_trace(trace_id) if trace_id else self.snapshot()
+        return {r["logger"] for r in records}
+
+
+@contextmanager
+def capture_logs(
+    logger_name: str = ROOT_LOGGER, level: int = logging.DEBUG
+) -> Iterator[JsonLogCapture]:
+    """Attach a :class:`JsonLogCapture` to ``logger_name`` for the block,
+    restoring the logger's prior level/propagation afterwards."""
+    logger = logging.getLogger(logger_name)
+    capture = JsonLogCapture()
+    previous_level = logger.level
+    previous_propagate = logger.propagate
+    logger.addHandler(capture)
+    logger.setLevel(level)
+    logger.propagate = False
+    try:
+        yield capture
+    finally:
+        logger.removeHandler(capture)
+        logger.setLevel(previous_level)
+        logger.propagate = previous_propagate
+
+
+def render_to_string(level: int = logging.DEBUG) -> "tuple[logging.Handler, io.StringIO]":
+    """Configure JSON logging into an in-memory buffer (demos/smoke)."""
+    buffer = io.StringIO()
+    handler = configure_json_logging(stream=buffer, level=level)
+    return handler, buffer
+
+
+__all__ = [
+    "JsonLogCapture",
+    "JsonLogFormatter",
+    "ROOT_LOGGER",
+    "TraceContextFilter",
+    "capture_logs",
+    "configure_json_logging",
+    "render_to_string",
+]

@@ -1,0 +1,143 @@
+"""The probe listener: ``/metrics``, ``/healthz``, ``/readyz`` over HTTP.
+
+A deliberately tiny HTTP/1.1 responder (GET only, ``Connection: close``)
+on a dedicated port, so operational scrapes never share a socket with
+the length-prefixed relay frame protocol — a scraper cannot perturb
+frame framing, and the relay being saturated does not hide the probes.
+
+Runs on the caller's event loop; :class:`~repro.net.server.RelayServer`
+embeds one next to its frame listener when constructed with
+``probe_port``. Metric rendering and readiness checks execute on the
+default executor, keeping the loop free for frame I/O.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.ops.health import HealthProbe
+from repro.ops.metrics import EXPOSITION_CONTENT_TYPE, MetricsRegistry
+
+#: Cap on probe request head size / read latency: probes are tiny and
+#: local; anything slow or large is a misdirected client.
+_READ_TIMEOUT_S = 5.0
+_MAX_HEADER_LINES = 64
+
+_STATUS_TEXT = {200: "OK", 404: "Not Found", 405: "Method Not Allowed", 503: "Service Unavailable"}
+
+
+class OpsProbeServer:
+    """Serves one registry + health probe on its own TCP port."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        health: HealthProbe | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.health = health if health is not None else HealthProbe()
+        self._requested_host = host
+        self._requested_port = port
+        self._server: asyncio.base_events.Server | None = None
+        self.host: str | None = None
+        self.port: int | None = None
+
+    @property
+    def url(self) -> str:
+        """The bound ``http://host:port`` base URL (after start)."""
+        if self.host is None or self.port is None:
+            raise RuntimeError("probe server is not started")
+        return f"http://{self.host}:{self.port}"
+
+    async def start_async(self) -> "OpsProbeServer":
+        if self._server is not None:
+            raise RuntimeError("probe server already started")
+        self._server = await asyncio.start_server(
+            self._handle, self._requested_host, self._requested_port
+        )
+        bound = self._server.sockets[0].getsockname()
+        self.host, self.port = bound[0], bound[1]
+        return self
+
+    async def stop_async(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.host = self.port = None
+
+    # -- request handling ---------------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request_line = await asyncio.wait_for(
+                reader.readline(), timeout=_READ_TIMEOUT_S
+            )
+            for _ in range(_MAX_HEADER_LINES):  # drain headers up to blank line
+                line = await asyncio.wait_for(
+                    reader.readline(), timeout=_READ_TIMEOUT_S
+                )
+                if line in (b"\r\n", b"\n", b""):
+                    break
+            status, content_type, body = await self._route(request_line)
+            await self._respond(writer, status, content_type, body)
+        except (ConnectionError, OSError, asyncio.TimeoutError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _route(self, request_line: bytes) -> "tuple[int, str, bytes]":
+        try:
+            method, path, _ = request_line.decode("latin-1").split(None, 2)
+        except ValueError:
+            return 404, "text/plain; charset=utf-8", b"malformed request\n"
+        path = path.split("?", 1)[0]
+        if method != "GET":
+            return 405, "text/plain; charset=utf-8", b"GET only\n"
+        loop = asyncio.get_running_loop()
+        if path == "/metrics":
+            text = await loop.run_in_executor(None, self.registry.render)
+            return 200, EXPOSITION_CONTENT_TYPE, text.encode("utf-8")
+        if path == "/healthz":
+            body = json.dumps({"status": "alive"}) + "\n"
+            return 200, "application/json", body.encode("utf-8")
+        if path == "/readyz":
+            ready, results = await loop.run_in_executor(None, self.health.ready)
+            body = json.dumps(
+                {
+                    "ready": ready,
+                    "checks": [
+                        {"name": r.name, "ok": r.ok, "detail": r.detail}
+                        for r in results
+                    ],
+                },
+                sort_keys=True,
+            ) + "\n"
+            return (200 if ready else 503), "application/json", body.encode("utf-8")
+        return 404, "text/plain; charset=utf-8", b"unknown probe path\n"
+
+    @staticmethod
+    async def _respond(
+        writer: asyncio.StreamWriter, status: int, content_type: str, body: bytes
+    ) -> None:
+        head = (
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n"
+            f"\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+
+
+__all__ = ["OpsProbeServer"]

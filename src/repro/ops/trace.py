@@ -1,0 +1,159 @@
+"""Trace correlation: one id follows a request across every layer.
+
+The relay path crosses four trust/process boundaries — application
+client, destination relay, (TCP) transport, source relay, driver — and
+an operator debugging "why was THIS query slow/denied" needs the hops to
+correlate. A :class:`TraceContext` is a ``trace_id`` (constant for the
+whole request tree) plus a ``span_id`` (fresh per hop); it travels
+
+- **in process** via a :mod:`contextvars` variable (thread- and
+  task-local, so a concurrently-serving relay never cross-pollutes
+  requests), and
+- **on the wire** via two plain envelope headers
+  (:data:`TRACE_ID_HEADER` / :data:`SPAN_ID_HEADER`) — headers are an
+  existing :class:`~repro.proto.RelayEnvelope` map field, so tracing
+  changes nothing about the wire schema and old peers simply ignore it.
+
+Lifecycle: the gateway/session (or any client verb) opens a root trace
+with :func:`ensure_trace`; :meth:`RelayService._exchange` stamps the
+active trace (with a fresh hop span) into the outbound envelope;
+:meth:`RelayService.handle_request` re-activates the envelope's trace on
+its serve thread so interceptors, the dispatcher, and the driver all log
+under it; every reply — including error envelopes and rate-limit sheds —
+carries the caller's trace id back.
+"""
+
+from __future__ import annotations
+
+import contextvars
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+from repro.utils.ids import random_id
+
+#: Envelope header names the trace rides in (plain map entries; peers
+#: that predate tracing ignore them).
+TRACE_ID_HEADER = "trace-id"
+SPAN_ID_HEADER = "span-id"
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One hop's view of a request tree: ``trace_id`` is shared by every
+    hop, ``span_id`` identifies this hop, ``parent_span_id`` its caller."""
+
+    trace_id: str
+    span_id: str
+    parent_span_id: str = ""
+
+    def child(self) -> "TraceContext":
+        """A fresh hop under the same trace (outbound envelope stamping)."""
+        return TraceContext(
+            trace_id=self.trace_id,
+            span_id=random_id("span-"),
+            parent_span_id=self.span_id,
+        )
+
+    def headers(self) -> dict[str, str]:
+        """The two wire headers carrying this context."""
+        return {TRACE_ID_HEADER: self.trace_id, SPAN_ID_HEADER: self.span_id}
+
+
+#: The active trace of the current thread/task (``None`` outside a trace).
+_ACTIVE: contextvars.ContextVar[TraceContext | None] = contextvars.ContextVar(
+    "repro_ops_trace", default=None
+)
+
+
+def current_trace() -> TraceContext | None:
+    """The active :class:`TraceContext`, or ``None``."""
+    return _ACTIVE.get()
+
+
+def new_trace() -> TraceContext:
+    """A fresh root context (does not activate it)."""
+    return TraceContext(trace_id=random_id("trace-"), span_id=random_id("span-"))
+
+
+def from_headers(headers: Mapping[str, str]) -> TraceContext | None:
+    """Rebuild the caller's context from envelope headers (``None`` when
+    the envelope carries no trace — an untraced or legacy peer)."""
+    trace_id = headers.get(TRACE_ID_HEADER, "")
+    if not trace_id:
+        return None
+    return TraceContext(
+        trace_id=trace_id,
+        span_id=headers.get(SPAN_ID_HEADER, "") or random_id("span-"),
+    )
+
+
+@contextmanager
+def activate(context: TraceContext) -> Iterator[TraceContext]:
+    """Make ``context`` the active trace for the block.
+
+    Always resets on exit — serve threads are pooled and reused, so a
+    leaked contextvar would attribute the NEXT request's logs to this
+    trace.
+    """
+    token = _ACTIVE.set(context)
+    try:
+        yield context
+    finally:
+        _ACTIVE.reset(token)
+
+
+@contextmanager
+def ensure_trace() -> Iterator[TraceContext]:
+    """The active trace if there is one, else a fresh root for the block.
+
+    The client-verb entry points (query/transact/subscribe flushes) wrap
+    themselves in this, so nested verbs (a batch flush inside a session
+    dispatch) share one trace instead of fragmenting into several.
+    """
+    existing = _ACTIVE.get()
+    if existing is not None:
+        yield existing
+        return
+    with activate(new_trace()) as context:
+        yield context
+
+
+def inject(headers: Mapping[str, str] | None) -> dict[str, str]:
+    """Outbound-envelope headers with the active trace stamped in.
+
+    The stamp is a *child* span — each relay→relay / relay→driver hop
+    gets its own span id under the shared trace id. With no active trace
+    the headers pass through unstamped (callers that want correlation
+    open one with :func:`ensure_trace` first).
+    """
+    out = dict(headers or {})
+    context = _ACTIVE.get()
+    if context is not None:
+        out.update(context.child().headers())
+    return out
+
+
+def reply_headers() -> dict[str, str]:
+    """Headers stamping a *reply* with the serving hop's trace context.
+
+    Used by every reply path of the relay — normal responses, error
+    envelopes, and rate-limit sheds alike — so a caller can correlate
+    even a rejection to its in-flight trace.
+    """
+    context = _ACTIVE.get()
+    return context.headers() if context is not None else {}
+
+
+__all__ = [
+    "SPAN_ID_HEADER",
+    "TRACE_ID_HEADER",
+    "TraceContext",
+    "activate",
+    "current_trace",
+    "ensure_trace",
+    "from_headers",
+    "inject",
+    "new_trace",
+    "reply_headers",
+]

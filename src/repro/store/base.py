@@ -133,6 +133,15 @@ class StateStore(ABC):
     def close(self) -> None:
         """Release backend resources; the store is unusable afterwards."""
 
+    def counters(self) -> dict[str, int]:
+        """Operational counters for the ops plane (name -> monotonic
+        count). Backends override with what they actually track —
+        applied batches, WAL appends, checkpoints; the default exports
+        nothing. Exported as ``repro_store_ops_total`` by
+        :func:`repro.ops.exporters.register_relay`.
+        """
+        return {}
+
 
 def apply_ops_to_map(
     data: dict[str, dict[str, bytes]], ops: Sequence[StoreOp]

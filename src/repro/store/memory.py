@@ -24,6 +24,8 @@ class MemoryStore(StateStore):
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._data: dict[str, dict[str, bytes]] = {}
+        self.batches_applied = 0
+        self.ops_applied = 0
 
     def get(self, namespace: str, key: str) -> bytes | None:
         with self._lock:
@@ -43,3 +45,12 @@ class MemoryStore(StateStore):
         ops = list(ops)  # materialize (and validate) before mutating
         with self._lock:
             apply_ops_to_map(self._data, ops)
+            self.batches_applied += 1
+            self.ops_applied += len(ops)
+
+    def counters(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "batches_applied": self.batches_applied,
+                "ops_applied": self.ops_applied,
+            }

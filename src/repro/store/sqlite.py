@@ -108,6 +108,8 @@ class SqliteStore(StateStore):
             )
         #: Committed-but-not-checkpointed operations.
         self._pending: list[StoreOp] = list()
+        self.batches_applied = 0
+        self.checkpoints = 0
         for batch in self._wal.recovered:
             apply_ops_to_map(self._data, batch)
             self._pending.extend(batch)
@@ -205,8 +207,18 @@ class SqliteStore(StateStore):
             self._wal.append(ops)  # the commit point (fsync'd)
             apply_ops_to_map(self._data, ops)
             self._pending.extend(ops)
+            self.batches_applied += 1
             if self._wal.size_bytes >= self.checkpoint_bytes:
                 self._checkpoint_locked()
+
+    def counters(self) -> dict[str, int]:
+        with self._lock:
+            out = {
+                "batches_applied": self.batches_applied,
+                "checkpoints": self.checkpoints,
+            }
+        out.update(self._wal.counters())
+        return out
 
     def checkpoint(self) -> None:
         """Fold the WAL into sqlite now (normally size-triggered)."""
@@ -238,3 +250,4 @@ class SqliteStore(StateStore):
                         )
             self._pending.clear()
             self._wal.truncate()
+            self.checkpoints += 1

@@ -153,6 +153,9 @@ class WriteAheadLog:
         self._lock = threading.Lock()
         self.recovered: list[list[StoreOp]] = []
         self.schema_version = schema_version
+        self.appends = 0
+        self.bytes_appended = 0
+        self.truncations = 0
         if self.path.exists() and self.path.stat().st_size > 0:
             blob = self.path.read_bytes()
             version, batches, good_end = replay_bytes(blob)
@@ -180,6 +183,8 @@ class WriteAheadLog:
             self._file.write(frame)
             self._file.flush()
             self._sync()
+            self.appends += 1
+            self.bytes_appended += len(frame)
 
     def truncate(self, schema_version: int | None = None) -> None:
         """Drop every record (after a checkpoint made them redundant),
@@ -192,6 +197,16 @@ class WriteAheadLog:
             self._file.write(MAGIC + bytes([self.schema_version]))
             self._file.flush()
             self._sync()
+            self.truncations += 1
+
+    def counters(self) -> dict[str, int]:
+        """Monotonic append/truncate counters (ops-plane export)."""
+        with self._lock:
+            return {
+                "wal_appends": self.appends,
+                "wal_bytes_appended": self.bytes_appended,
+                "wal_truncations": self.truncations,
+            }
 
     @property
     def size_bytes(self) -> int:

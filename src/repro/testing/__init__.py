@@ -46,6 +46,11 @@ from repro.testing.conformance import (
     default_fault_plans,
     restart_relay,
 )
+from repro.testing.prometheus import (
+    ParsedFamily,
+    ParsedSample,
+    parse_exposition,
+)
 from repro.testing.faults import (
     ALL_FAULT_KINDS,
     FAULT_CRASH_RESTART,
@@ -66,6 +71,10 @@ from repro.testing.faults import (
 )
 
 __all__ = [
+    # prometheus (strict exposition reader for the ops plane)
+    "parse_exposition",
+    "ParsedFamily",
+    "ParsedSample",
     # faults
     "FaultPlan",
     "FaultSpec",

@@ -56,6 +56,8 @@ from repro.interop.client import InteropClient
 from repro.interop.discovery import InMemoryRegistry
 from repro.interop.relay import RelayService
 from repro.interop.transactions import RemoteTransactionClient
+from repro.ops.logging import capture_logs
+from repro.ops.trace import activate, new_trace
 from repro.proto.messages import (
     MSG_KIND_ASSET_CLAIM,
     MSG_KIND_ASSET_LOCK,
@@ -493,12 +495,34 @@ class DriverConformanceSuite:
             target.registry, [target.network_id], plan, clock=target.clock
         ) as wrappers:
             chaos = wrappers[target.network_id]
-            try:
-                result = target.client.remote_query(
-                    target.query_address, target.query_args, policy=target.policy
+            # Trace correlation is part of the protocol surface under
+            # test: the query runs under an explicit trace, and a served
+            # outcome must show that trace arriving at the serving relay
+            # even with the fault plan in the path.
+            with capture_logs("repro.relay") as relay_logs:
+                with activate(new_trace()) as trace:
+                    try:
+                        result = target.client.remote_query(
+                            target.query_address,
+                            target.query_args,
+                            policy=target.policy,
+                        )
+                    except Exception as exc:  # noqa: BLE001 - classified below
+                        return self._classify_failure(
+                            exc, VERB_QUERY, plan, "query"
+                        )
+            served_under_trace = [
+                record
+                for record in relay_logs.with_trace(trace.trace_id)
+                if record["message"] == "serving inbound envelope"
+            ]
+            if not served_under_trace:
+                raise self._fail(
+                    f"served query's trace id {trace.trace_id} never reached "
+                    f"the serving relay's log records",
+                    VERB_QUERY,
+                    plan,
                 )
-            except Exception as exc:  # noqa: BLE001 - classified below
-                return self._classify_failure(exc, VERB_QUERY, plan, "query")
             if not target.expected_query(result.data):
                 raise self._fail(
                     f"query returned unverified/wrong data: {result.data[:80]!r}",

@@ -1,0 +1,342 @@
+"""Strict Prometheus text-exposition (0.0.4) parser for tests.
+
+:func:`parse_exposition` re-parses what :meth:`repro.ops.MetricsRegistry.render`
+produced and enforces the exposition line grammar harder than a real
+scraper would: every family must carry a ``# HELP`` then ``# TYPE`` pair
+immediately before its contiguous sample block, label values must
+round-trip the ``\\\\`` / ``\\"`` / ``\\n`` escapes, histograms must emit
+monotonically non-decreasing cumulative buckets ending in ``+Inf`` whose
+count equals ``_count``, and the payload must end with a newline. Any
+violation raises :class:`ValueError` carrying the 1-based line number —
+so a conformance failure points at the exact offending line of the
+scrape.
+
+This module deliberately lives in :mod:`repro.testing` (not
+:mod:`repro.ops`): it is the *adversarial reader* for the ops plane's
+writer, and keeping them apart means a rendering bug cannot hide inside
+a shared helper.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Sample-name suffixes a histogram family may (and must) emit.
+_HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+_KNOWN_KINDS = frozenset({"counter", "gauge", "histogram", "summary", "untyped"})
+
+
+@dataclass(frozen=True)
+class ParsedSample:
+    """One sample line: ``name{labels} value``."""
+
+    name: str
+    labels: tuple[tuple[str, str], ...]
+    value: float
+
+    def label_dict(self) -> dict[str, str]:
+        return dict(self.labels)
+
+
+@dataclass
+class ParsedFamily:
+    """One ``# HELP``/``# TYPE``-headed family and its sample block."""
+
+    name: str
+    kind: str
+    help: str
+    samples: list[ParsedSample] = field(default_factory=list)
+
+    def series_labels(self) -> set[tuple[tuple[str, str], ...]]:
+        """Distinct label sets, with histogram ``le`` stripped."""
+        out = set()
+        for sample in self.samples:
+            out.add(tuple(p for p in sample.labels if p[0] != "le"))
+        return out
+
+
+class _LineError(ValueError):
+    pass
+
+
+def _err(line_no: int, message: str) -> ValueError:
+    return ValueError(f"exposition line {line_no}: {message}")
+
+
+def _parse_value(text: str, line_no: int) -> float:
+    text = text.strip()
+    if text in ("+Inf", "Inf"):
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    try:
+        return float(text)
+    except ValueError:
+        raise _err(line_no, f"unparseable sample value {text!r}")
+
+
+def _unescape_label_value(raw: str, line_no: int) -> str:
+    out: list[str] = []
+    index = 0
+    while index < len(raw):
+        char = raw[index]
+        if char == "\\":
+            if index + 1 >= len(raw):
+                raise _err(line_no, "dangling backslash in label value")
+            escape = raw[index + 1]
+            if escape == "\\":
+                out.append("\\")
+            elif escape == '"':
+                out.append('"')
+            elif escape == "n":
+                out.append("\n")
+            else:
+                raise _err(line_no, f"unknown label escape \\{escape}")
+            index += 2
+        else:
+            out.append(char)
+            index += 1
+    return "".join(out)
+
+
+def _parse_labels(raw: str, line_no: int) -> tuple[tuple[str, str], ...]:
+    """Parse the inside of ``{...}`` respecting quoted/escaped values."""
+    pairs: list[tuple[str, str]] = []
+    seen: set[str] = set()
+    index = 0
+    length = len(raw)
+    while index < length:
+        # label name
+        eq = raw.find("=", index)
+        if eq < 0:
+            raise _err(line_no, f"label pair missing '=': {raw[index:]!r}")
+        name = raw[index:eq].strip()
+        if not _LABEL_NAME_RE.match(name):
+            raise _err(line_no, f"invalid label name {name!r}")
+        if name in seen:
+            raise _err(line_no, f"duplicate label name {name!r}")
+        seen.add(name)
+        # opening quote
+        index = eq + 1
+        if index >= length or raw[index] != '"':
+            raise _err(line_no, f"label {name!r} value is not quoted")
+        index += 1
+        start = index
+        while index < length:
+            if raw[index] == "\\":
+                index += 2
+                continue
+            if raw[index] == '"':
+                break
+            index += 1
+        if index >= length:
+            raise _err(line_no, f"label {name!r} value is unterminated")
+        pairs.append((name, _unescape_label_value(raw[start:index], line_no)))
+        index += 1  # past closing quote
+        if index < length:
+            if raw[index] != ",":
+                raise _err(
+                    line_no, f"expected ',' between labels, got {raw[index]!r}"
+                )
+            index += 1
+    return tuple(pairs)
+
+
+def _parse_sample_line(line: str, line_no: int) -> ParsedSample:
+    brace = line.find("{")
+    if brace >= 0:
+        close = line.rfind("}")
+        if close < brace:
+            raise _err(line_no, "unbalanced '{' in sample line")
+        name = line[:brace]
+        labels = _parse_labels(line[brace + 1 : close], line_no)
+        value_text = line[close + 1 :]
+    else:
+        parts = line.split(None, 1)
+        if len(parts) != 2:
+            raise _err(line_no, f"sample line has no value: {line!r}")
+        name, value_text = parts
+        labels = ()
+    name = name.strip()
+    if not _NAME_RE.match(name):
+        raise _err(line_no, f"invalid sample name {name!r}")
+    return ParsedSample(
+        name=name, labels=labels, value=_parse_value(value_text, line_no)
+    )
+
+
+def _base_family_name(sample_name: str, kind: str) -> str:
+    if kind == "histogram":
+        for suffix in _HISTOGRAM_SUFFIXES:
+            if sample_name.endswith(suffix):
+                return sample_name[: -len(suffix)]
+    return sample_name
+
+
+def _check_histogram(family: ParsedFamily, line_no: int) -> None:
+    """Per-series: buckets are cumulative, end at +Inf, and match _count."""
+    buckets: dict[tuple, list[tuple[float, float]]] = {}
+    sums: dict[tuple, float] = {}
+    counts: dict[tuple, float] = {}
+    for sample in family.samples:
+        series = tuple(p for p in sample.labels if p[0] != "le")
+        if sample.name == family.name + "_bucket":
+            le = sample.label_dict().get("le")
+            if le is None:
+                raise _err(
+                    line_no, f"{sample.name} sample is missing its 'le' label"
+                )
+            bound = math.inf if le == "+Inf" else float(le)
+            buckets.setdefault(series, []).append((bound, sample.value))
+        elif sample.name == family.name + "_sum":
+            sums[series] = sample.value
+        elif sample.name == family.name + "_count":
+            counts[series] = sample.value
+    if not buckets:
+        raise _err(line_no, f"histogram {family.name} has no _bucket samples")
+    for series, series_buckets in buckets.items():
+        label_text = dict(series) or "{}"
+        if series not in counts:
+            raise _err(
+                line_no, f"histogram {family.name}{label_text} has no _count"
+            )
+        if series not in sums:
+            raise _err(
+                line_no, f"histogram {family.name}{label_text} has no _sum"
+            )
+        bounds = [bound for bound, _ in series_buckets]
+        if bounds != sorted(bounds):
+            raise _err(
+                line_no,
+                f"histogram {family.name}{label_text} buckets are not in "
+                f"ascending 'le' order",
+            )
+        if not math.isinf(bounds[-1]):
+            raise _err(
+                line_no,
+                f"histogram {family.name}{label_text} has no '+Inf' bucket",
+            )
+        cumulative = [value for _, value in series_buckets]
+        for previous, current in zip(cumulative, cumulative[1:]):
+            if current < previous:
+                raise _err(
+                    line_no,
+                    f"histogram {family.name}{label_text} buckets are not "
+                    f"cumulative ({current} < {previous})",
+                )
+        if cumulative[-1] != counts[series]:
+            raise _err(
+                line_no,
+                f"histogram {family.name}{label_text} '+Inf' bucket "
+                f"({cumulative[-1]}) does not equal _count ({counts[series]})",
+            )
+
+
+def parse_exposition(text: str) -> dict[str, ParsedFamily]:
+    """Parse and validate one exposition payload; returns families by name.
+
+    Raises :class:`ValueError` (message prefixed with the 1-based line
+    number) on any grammar or semantic violation.
+    """
+    if not text:
+        raise ValueError("exposition payload is empty")
+    if not text.endswith("\n"):
+        raise ValueError("exposition payload does not end with a newline")
+    families: dict[str, ParsedFamily] = {}
+    pending_help: tuple[str, str, int] | None = None  # (name, help, line)
+    current: ParsedFamily | None = None
+    current_start = 0
+    for line_no, line in enumerate(text.split("\n")[:-1], start=1):
+        if not line.strip():
+            raise _err(line_no, "blank line inside the exposition payload")
+        if line.startswith("# HELP "):
+            rest = line[len("# HELP ") :]
+            parts = rest.split(" ", 1)
+            name = parts[0]
+            if not _NAME_RE.match(name):
+                raise _err(line_no, f"invalid family name {name!r} in HELP")
+            if current is not None:
+                _finish_family(families, current, current_start)
+                current = None
+            if name in families:
+                raise _err(line_no, f"family {name!r} declared twice")
+            pending_help = (name, parts[1] if len(parts) > 1 else "", line_no)
+            continue
+        if line.startswith("# TYPE "):
+            rest = line[len("# TYPE ") :]
+            parts = rest.split(" ", 1)
+            if len(parts) != 2:
+                raise _err(line_no, "TYPE line missing a metric kind")
+            name, kind = parts[0], parts[1].strip()
+            if kind not in _KNOWN_KINDS:
+                raise _err(line_no, f"unknown metric kind {kind!r}")
+            if pending_help is None or pending_help[0] != name:
+                raise _err(
+                    line_no,
+                    f"TYPE for {name!r} is not immediately preceded by its "
+                    f"HELP line",
+                )
+            current = ParsedFamily(name=name, kind=kind, help=pending_help[1])
+            current_start = line_no
+            pending_help = None
+            continue
+        if line.startswith("#"):
+            raise _err(line_no, f"unexpected comment line {line!r}")
+        if pending_help is not None:
+            raise _err(
+                line_no,
+                f"HELP for {pending_help[0]!r} is not followed by its TYPE "
+                f"line",
+            )
+        if current is None:
+            raise _err(line_no, f"sample before any HELP/TYPE header: {line!r}")
+        sample = _parse_sample_line(line, line_no)
+        if _base_family_name(sample.name, current.kind) != current.name:
+            raise _err(
+                line_no,
+                f"sample {sample.name!r} does not belong to family "
+                f"{current.name!r} (samples must be contiguous under their "
+                f"header)",
+            )
+        current.samples.append(sample)
+    if pending_help is not None:
+        raise _err(pending_help[2], f"HELP for {pending_help[0]!r} has no TYPE")
+    if current is not None:
+        _finish_family(families, current, current_start)
+    if not families:
+        raise ValueError("exposition payload declares no metric families")
+    return families
+
+
+def _finish_family(
+    families: dict[str, ParsedFamily], family: ParsedFamily, start_line: int
+) -> None:
+    if not family.samples:
+        raise _err(start_line, f"family {family.name!r} has no samples")
+    if family.kind == "histogram":
+        _check_histogram(family, start_line)
+    else:
+        seen: set[tuple] = set()
+        for sample in family.samples:
+            if sample.name != family.name:
+                raise _err(
+                    start_line,
+                    f"sample {sample.name!r} inside non-histogram family "
+                    f"{family.name!r}",
+                )
+            if sample.labels in seen:
+                raise _err(
+                    start_line,
+                    f"duplicate series {dict(sample.labels)!r} in family "
+                    f"{family.name!r}",
+                )
+            seen.add(sample.labels)
+    families[family.name] = family

@@ -1,0 +1,98 @@
+"""Health probe semantics and the standard relay readiness checks."""
+
+from __future__ import annotations
+
+from repro.interop.discovery import InMemoryRegistry
+from repro.interop.drivers.base import NetworkDriver
+from repro.interop.relay import RelayService
+from repro.ops.health import CheckResult, HealthProbe, relay_checks
+from repro.proto.messages import (
+    PROTOCOL_VERSION,
+    STATUS_OK,
+    NetworkQuery,
+    QueryResponse,
+)
+
+
+class StubDriver(NetworkDriver):
+    platform = "stub"
+
+    def execute_query(self, query: NetworkQuery) -> QueryResponse:
+        return QueryResponse(
+            version=PROTOCOL_VERSION, nonce=query.nonce, status=STATUS_OK
+        )
+
+
+class TestHealthProbe:
+    def test_all_checks_pass(self):
+        probe = HealthProbe()
+        probe.add_check("a", lambda: True)
+        probe.add_check("b", lambda: (True, "detail-b"))
+        ready, results = probe.ready()
+        assert ready is True
+        assert results == (
+            CheckResult(name="a", ok=True),
+            CheckResult(name="b", ok=True, detail="detail-b"),
+        )
+
+    def test_one_failing_check_fails_readiness(self):
+        probe = HealthProbe()
+        probe.add_check("a", lambda: True)
+        probe.add_check("b", lambda: (False, "draining"))
+        ready, results = probe.ready()
+        assert ready is False
+        assert results[1].detail == "draining"
+
+    def test_crashing_check_reports_not_ready_instead_of_raising(self):
+        probe = HealthProbe()
+        probe.add_check("boom", lambda: 1 / 0)
+        ready, (result,) = probe.ready()
+        assert ready is False
+        assert "ZeroDivisionError" in result.detail
+
+    def test_replacing_a_check_keeps_one_entry(self):
+        probe = HealthProbe()
+        probe.add_check("a", lambda: False)
+        probe.add_check("a", lambda: True)
+        ready, results = probe.ready()
+        assert ready is True
+        assert len(results) == 1
+
+    def test_empty_probe_is_ready(self):
+        assert HealthProbe().ready() == (True, ())
+
+
+class TestRelayChecks:
+    def make_relay(self, with_driver: bool = True) -> RelayService:
+        registry = InMemoryRegistry()
+        relay = RelayService("opsnet", registry)
+        if with_driver:
+            relay.register_driver(StubDriver("opsnet"))
+        return relay
+
+    def test_healthy_relay_is_ready(self):
+        probe = relay_checks(self.make_relay())
+        ready, results = probe.ready()
+        assert ready is True
+        assert {r.name for r in results} == {
+            "relay_available",
+            "drivers_attached",
+            "store_open",
+        }
+
+    def test_draining_relay_is_not_ready(self):
+        relay = self.make_relay()
+        relay.available = False
+        probe = relay_checks(relay)
+        ready, results = probe.ready()
+        assert ready is False
+        by_name = {r.name: r for r in results}
+        assert by_name["relay_available"].detail == "draining"
+        assert by_name["drivers_attached"].ok is True
+
+    def test_driverless_relay_is_not_ready(self):
+        probe = relay_checks(self.make_relay(with_driver=False))
+        ready, results = probe.ready()
+        assert ready is False
+        by_name = {r.name: r for r in results}
+        assert by_name["drivers_attached"].ok is False

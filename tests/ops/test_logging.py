@@ -1,0 +1,144 @@
+"""Structured JSON logging: record shape, trace stamping, capture."""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+
+from repro.ops.logging import (
+    JsonLogFormatter,
+    TraceContextFilter,
+    capture_logs,
+    configure_json_logging,
+)
+from repro.ops.trace import activate, new_trace
+
+
+def make_record(message: str = "hello", **extra) -> logging.LogRecord:
+    record = logging.LogRecord(
+        name="repro.test",
+        level=logging.INFO,
+        pathname=__file__,
+        lineno=1,
+        msg=message,
+        args=(),
+        exc_info=None,
+    )
+    for key, value in extra.items():
+        setattr(record, key, value)
+    return record
+
+
+class TestFormatter:
+    def test_core_fields(self):
+        payload = json.loads(JsonLogFormatter().format(make_record()))
+        assert payload["message"] == "hello"
+        assert payload["logger"] == "repro.test"
+        assert payload["level"] == "INFO"
+        assert isinstance(payload["ts"], float)
+        assert payload["trace_id"] == ""
+
+    def test_extra_fields_are_emitted(self):
+        record = make_record(relay_id="relay-1", bytes_in=42)
+        payload = json.loads(JsonLogFormatter().format(record))
+        assert payload["relay_id"] == "relay-1"
+        assert payload["bytes_in"] == 42
+
+    def test_unserializable_extras_degrade_to_repr(self):
+        record = make_record(weird=object())
+        payload = json.loads(JsonLogFormatter().format(record))
+        assert payload["weird"].startswith("<object object")
+
+    def test_exception_is_attached(self):
+        try:
+            raise ValueError("boom")
+        except ValueError:
+            import sys
+
+            record = make_record()
+            record.exc_info = sys.exc_info()
+        payload = json.loads(JsonLogFormatter().format(record))
+        assert "ValueError: boom" in payload["exc"]
+
+
+class TestTraceStamping:
+    def test_filter_stamps_the_active_trace(self):
+        record = make_record()
+        context = new_trace()
+        with activate(context):
+            TraceContextFilter().filter(record)
+        assert record.trace_id == context.trace_id
+        assert record.span_id == context.span_id
+
+    def test_explicit_trace_id_wins(self):
+        record = make_record(trace_id="trace-explicit")
+        with activate(new_trace()):
+            TraceContextFilter().filter(record)
+        assert record.trace_id == "trace-explicit"
+
+    def test_no_trace_stamps_empty(self):
+        record = make_record()
+        TraceContextFilter().filter(record)
+        assert record.trace_id == ""
+        assert record.span_id == ""
+
+
+class TestConfigure:
+    def test_emits_one_json_line_per_record(self):
+        buffer = io.StringIO()
+        handler = configure_json_logging(stream=buffer, level=logging.DEBUG)
+        try:
+            context = new_trace()
+            with activate(context):
+                logging.getLogger("repro.api").debug(
+                    "remote query", extra={"address": "net/l/c/F"}
+                )
+            (line,) = buffer.getvalue().strip().splitlines()
+            payload = json.loads(line)
+            assert payload["message"] == "remote query"
+            assert payload["address"] == "net/l/c/F"
+            assert payload["trace_id"] == context.trace_id
+        finally:
+            logging.getLogger("repro").removeHandler(handler)
+            logging.getLogger("repro").setLevel(logging.NOTSET)
+            logging.getLogger("repro").propagate = True
+
+    def test_reconfiguration_replaces_the_prior_handler(self):
+        first_buffer = io.StringIO()
+        second_buffer = io.StringIO()
+        configure_json_logging(stream=first_buffer, level=logging.DEBUG)
+        handler = configure_json_logging(stream=second_buffer, level=logging.DEBUG)
+        try:
+            logging.getLogger("repro.relay").debug("once")
+            assert first_buffer.getvalue() == ""  # old handler was removed
+            assert second_buffer.getvalue().count("\n") == 1
+        finally:
+            logging.getLogger("repro").removeHandler(handler)
+            logging.getLogger("repro").setLevel(logging.NOTSET)
+            logging.getLogger("repro").propagate = True
+
+
+class TestCapture:
+    def test_capture_collects_parsed_records(self):
+        with capture_logs() as capture:
+            context = new_trace()
+            with activate(context):
+                logging.getLogger("repro.relay").debug(
+                    "serving", extra={"request_id": "req-1"}
+                )
+            logging.getLogger("repro.net").debug("frame received")
+        by_trace = capture.with_trace(context.trace_id)
+        assert len(by_trace) == 1
+        assert by_trace[0]["request_id"] == "req-1"
+        assert capture.loggers() == {"repro.relay", "repro.net"}
+        assert capture.loggers(context.trace_id) == {"repro.relay"}
+
+    def test_capture_restores_logger_state(self):
+        logger = logging.getLogger("repro")
+        level_before = logger.level
+        handlers_before = list(logger.handlers)
+        with capture_logs():
+            pass
+        assert logger.level == level_before
+        assert logger.handlers == handlers_before

@@ -1,0 +1,222 @@
+"""Metrics instruments and registry: semantics, bounds, and rendering."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.ops.metrics import (
+    DEFAULT_BUCKETS,
+    OVERFLOW_LABEL_VALUE,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter_family,
+    format_value,
+    gauge_family,
+)
+from repro.testing import parse_exposition
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        counter = Counter("repro_test_total", "t", ("kind",))
+        counter.inc(kind="query")
+        counter.inc(2.5, kind="query")
+        counter.inc(kind="batch")
+        assert counter.value(kind="query") == 3.5
+        assert counter.value(kind="batch") == 1.0
+        assert counter.value(kind="never") == 0.0
+
+    def test_negative_increment_rejected(self):
+        counter = Counter("repro_test_total", "t")
+        with pytest.raises(ValueError, match="only increase"):
+            counter.inc(-1.0)
+
+    def test_wrong_label_set_rejected(self):
+        counter = Counter("repro_test_total", "t", ("kind",))
+        with pytest.raises(ValueError, match="takes labels"):
+            counter.inc(other="x")
+        with pytest.raises(ValueError, match="takes labels"):
+            counter.inc()
+
+    def test_labelless_counter_renders_a_zero_sample(self):
+        family = Counter("repro_zero_total", "t").family()
+        assert family.samples == (((), 0.0),)
+
+    def test_invalid_names_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("0bad", "t")
+        with pytest.raises(ValueError):
+            Counter("repro_ok_total", "t", ("bad-label",))
+        with pytest.raises(ValueError):
+            Counter("repro_ok_total", "t", ("__reserved",))
+        with pytest.raises(ValueError):
+            Counter("repro_ok_total", "t", ("dup", "dup"))
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("repro_test_gauge", "t")
+        gauge.set(10.0)
+        gauge.dec(3.0)
+        gauge.inc(1.0)
+        assert gauge.value() == 8.0
+
+
+class TestHistogram:
+    def test_observations_land_in_the_right_buckets(self):
+        histogram = Histogram(
+            "repro_test_seconds", "t", buckets=(0.01, 0.1, 1.0)
+        )
+        for value in (0.005, 0.05, 0.5, 5.0):
+            histogram.observe(value)
+        family = histogram.family()
+        ((pairs, cumulative, total),) = family.samples
+        assert pairs == ()
+        assert cumulative == (1, 2, 3, 4)  # cumulative, +Inf last
+        assert total == pytest.approx(5.555)
+
+    def test_boundary_value_is_le_inclusive(self):
+        histogram = Histogram("repro_test_seconds", "t", buckets=(0.1, 1.0))
+        histogram.observe(0.1)  # le="0.1" must include exactly 0.1
+        ((_, cumulative, _),) = histogram.family().samples
+        assert cumulative == (1, 1, 1)
+
+    def test_bucket_validation(self):
+        with pytest.raises(ValueError):
+            Histogram("repro_x_seconds", "t", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("repro_x_seconds", "t", buckets=(0.1, 0.1))
+        # A trailing +Inf is tolerated (it is implicit).
+        histogram = Histogram(
+            "repro_x_seconds", "t", buckets=(0.1, float("inf"))
+        )
+        assert histogram.buckets == (0.1,)
+
+
+class TestBoundedLabelSets:
+    def test_overflow_folds_into_other(self):
+        counter = Counter("repro_test_total", "t", ("request_id",), max_series=2)
+        counter.inc(request_id="req-1")
+        counter.inc(request_id="req-2")
+        for i in range(50):
+            counter.inc(request_id=f"req-flood-{i}")
+        family = counter.family()
+        assert len(family.samples) == 3  # 2 real + _other, never 52
+        folded = dict(family.samples)[(("request_id", OVERFLOW_LABEL_VALUE),)]
+        assert folded == 50.0
+
+    def test_existing_series_keep_updating_after_overflow(self):
+        counter = Counter("repro_test_total", "t", ("kind",), max_series=1)
+        counter.inc(kind="query")
+        counter.inc(kind="flood")
+        counter.inc(kind="query")
+        assert counter.value(kind="query") == 2.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_the_same_instrument(self):
+        registry = MetricsRegistry()
+        first = registry.counter("repro_a_total", "t", ("kind",))
+        second = registry.counter("repro_a_total", "t", ("kind",))
+        assert first is second
+
+    def test_conflicting_registration_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_a_total", "t", ("kind",))
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("repro_a_total", "t", ("kind",))
+        with pytest.raises(ValueError, match="already registered"):
+            registry.counter("repro_a_total", "t", ("other",))
+
+    def test_collector_families_merge_by_name(self):
+        registry = MetricsRegistry()
+        registry.register_collector(
+            lambda: [
+                counter_family(
+                    "repro_stats_total", "t", [((("relay_id", "r1"),), 1.0)]
+                )
+            ]
+        )
+        registry.register_collector(
+            lambda: [
+                counter_family(
+                    "repro_stats_total", "t", [((("relay_id", "r2"),), 2.0)]
+                )
+            ]
+        )
+        (family,) = registry.collect()
+        assert len(family.samples) == 2
+
+    def test_kind_conflict_across_collectors_raises(self):
+        registry = MetricsRegistry()
+        registry.register_collector(
+            lambda: [counter_family("repro_x_total", "t", [((), 1.0)])]
+        )
+        registry.register_collector(
+            lambda: [gauge_family("repro_x_total", "t", [((), 1.0)])]
+        )
+        with pytest.raises(ValueError, match="conflicting"):
+            registry.collect()
+
+    def test_render_parses_under_the_strict_grammar(self):
+        registry = MetricsRegistry()
+        requests = registry.counter("repro_requests_total", "served", ("kind",))
+        requests.inc(kind="query")
+        requests.inc(kind='odd"kind\nwith\\escapes')
+        in_flight = registry.gauge("repro_in_flight", "now serving")
+        in_flight.set(3)
+        latency = registry.histogram(
+            "repro_latency_seconds", "serve latency", ("kind",)
+        )
+        latency.observe(0.004, kind="query")
+        latency.observe(0.2, kind="query")
+        families = parse_exposition(registry.render())
+        assert families["repro_requests_total"].kind == "counter"
+        label_values = {
+            sample.label_dict()["kind"]
+            for sample in families["repro_requests_total"].samples
+        }
+        assert 'odd"kind\nwith\\escapes' in label_values  # escapes round-trip
+        assert families["repro_in_flight"].samples[0].value == 3
+        histogram = families["repro_latency_seconds"]
+        assert histogram.kind == "histogram"
+        buckets = [
+            sample
+            for sample in histogram.samples
+            if sample.name.endswith("_bucket")
+        ]
+        assert len(buckets) == len(DEFAULT_BUCKETS) + 1  # per-bound + +Inf
+
+    def test_empty_labeled_families_are_not_rendered(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_silent_total", "t", ("kind",))
+        registry.counter("repro_live_total", "t").inc()
+        families = parse_exposition(registry.render())
+        assert "repro_silent_total" not in families
+        assert "repro_live_total" in families
+
+    def test_concurrent_updates_do_not_lose_counts(self):
+        counter = Counter("repro_test_total", "t", ("kind",))
+        threads = [
+            threading.Thread(
+                target=lambda: [counter.inc(kind="query") for _ in range(1000)]
+            )
+            for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value(kind="query") == 8000.0
+
+
+class TestFormatting:
+    def test_format_value(self):
+        assert format_value(3.0) == "3"
+        assert format_value(0.25) == "0.25"
+        assert format_value(float("inf")) == "+Inf"
+        assert format_value(float("-inf")) == "-Inf"

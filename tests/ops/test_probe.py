@@ -1,0 +1,185 @@
+"""The probe port on a live RelayServer: /metrics, /healthz, /readyz."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api.middleware import MetricsInterceptor
+from repro.interop.discovery import InMemoryRegistry
+from repro.interop.drivers.base import NetworkDriver
+from repro.interop.relay import RelayService
+from repro.net import RelayServer
+from repro.ops.metrics import EXPOSITION_CONTENT_TYPE
+from repro.proto.messages import (
+    PROTOCOL_VERSION,
+    STATUS_OK,
+    NetworkAddressMsg,
+    NetworkQuery,
+    QueryResponse,
+)
+from repro.testing import parse_exposition
+
+SOURCE = "probe-src"
+DESTINATION = "probe-dst"
+
+
+class ProbeDriver(NetworkDriver):
+    platform = "probe"
+
+    def execute_query(self, query: NetworkQuery) -> QueryResponse:
+        return QueryResponse(
+            version=PROTOCOL_VERSION,
+            nonce=query.nonce,
+            status=STATUS_OK,
+            result_plain=b"doc:" + query.nonce.encode(),
+        )
+
+
+def get(url: str, timeout: float = 5.0):
+    """GET, returning (status, content_type, body) even for error codes."""
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            return (
+                response.status,
+                response.headers.get("Content-Type", ""),
+                response.read(),
+            )
+    except urllib.error.HTTPError as error:
+        return error.code, error.headers.get("Content-Type", ""), error.read()
+
+
+@pytest.fixture()
+def probed_topology():
+    registry = InMemoryRegistry()
+    source_relay = RelayService(SOURCE, registry, relay_id="relay-probe-src")
+    source_relay.register_driver(ProbeDriver(SOURCE))
+    source_relay.use(MetricsInterceptor())
+    destination_relay = RelayService(DESTINATION, registry)
+    registry.register(DESTINATION, destination_relay)
+    with RelayServer(source_relay, max_workers=2, probe_port=0) as server:
+        registry.register(SOURCE, server.endpoint(timeout=10.0))
+        yield registry, source_relay, destination_relay, server
+
+
+def drive_query(destination_relay, tag: str) -> None:
+    query = NetworkQuery(
+        version=PROTOCOL_VERSION,
+        address=NetworkAddressMsg(
+            network=SOURCE, ledger="ledger", contract="docs", function="Get"
+        ),
+        args=["K-1"],
+        nonce=tag,
+    )
+    response = destination_relay.remote_query(query)
+    assert response.status == STATUS_OK
+
+
+class TestProbeEndpoints:
+    def test_healthz_is_alive(self, probed_topology):
+        *_, server = probed_topology
+        status, content_type, body = get(f"{server.probe.url}/healthz")
+        assert status == 200
+        assert content_type.startswith("application/json")
+        assert json.loads(body) == {"status": "alive"}
+
+    def test_readyz_reflects_relay_state(self, probed_topology):
+        _, source_relay, _, server = probed_topology
+        status, _, body = get(f"{server.probe.url}/readyz")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["ready"] is True
+        names = {check["name"] for check in payload["checks"]}
+        assert names == {
+            "relay_available",
+            "drivers_attached",
+            "store_open",
+            "executor_accepting",
+        }
+        # Flip the relay to draining: readiness must go 503, liveness stays.
+        source_relay.available = False
+        status, _, body = get(f"{server.probe.url}/readyz")
+        assert status == 503
+        assert json.loads(body)["ready"] is False
+        assert get(f"{server.probe.url}/healthz")[0] == 200
+        source_relay.available = True
+        assert get(f"{server.probe.url}/readyz")[0] == 200
+
+    def test_metrics_expose_relay_traffic(self, probed_topology):
+        _, source_relay, destination_relay, server = probed_topology
+        for sequence in range(3):
+            drive_query(destination_relay, f"probe-{sequence}")
+        status, content_type, body = get(f"{server.probe.url}/metrics")
+        assert status == 200
+        assert content_type == EXPOSITION_CONTENT_TYPE
+        families = parse_exposition(body.decode("utf-8"))
+        # Interceptor instruments: per-kind counters + latency histogram.
+        requests = families["repro_relay_requests_total"]
+        (sample,) = requests.samples
+        assert sample.label_dict() == {
+            "relay_id": "relay-probe-src",
+            "kind": "query",
+        }
+        assert sample.value == 3.0
+        latency = families["repro_relay_request_seconds"]
+        assert latency.kind == "histogram"
+        counts = [
+            s.value
+            for s in latency.samples
+            if s.name.endswith("_count")
+        ]
+        assert counts == [3.0]
+        # Collector families: relay stats, server stats, store counters.
+        stats = families["repro_relay_stats_total"]
+        by_counter = {
+            s.label_dict()["counter"]: s.value for s in stats.samples
+        }
+        assert by_counter["requests_served"] == 3.0
+        server_stats = families["repro_relay_server_total"]
+        served = {
+            s.label_dict()["counter"]: s.value for s in server_stats.samples
+        }
+        assert served["frames_served"] >= 3.0
+        assert "repro_relay_idempotency_entries" in families
+
+    def test_scrapes_do_not_perturb_serving(self, probed_topology):
+        _, _, destination_relay, server = probed_topology
+        for sequence in range(2):
+            get(f"{server.probe.url}/metrics")
+            drive_query(destination_relay, f"interleaved-{sequence}")
+        families = parse_exposition(
+            get(f"{server.probe.url}/metrics")[2].decode("utf-8")
+        )
+        stats = families["repro_relay_stats_total"]
+        by_counter = {
+            s.label_dict()["counter"]: s.value for s in stats.samples
+        }
+        assert by_counter["requests_served"] == 2.0
+
+    def test_unknown_path_404_and_post_405(self, probed_topology):
+        *_, server = probed_topology
+        assert get(f"{server.probe.url}/nope")[0] == 404
+        request = urllib.request.Request(
+            f"{server.probe.url}/metrics", data=b"x", method="POST"
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=5.0) as response:
+                status = response.status
+        except urllib.error.HTTPError as error:
+            status = error.code
+        assert status == 405
+
+    def test_probe_stops_with_the_server(self):
+        registry = InMemoryRegistry()
+        relay = RelayService(SOURCE, registry)
+        relay.register_driver(ProbeDriver(SOURCE))
+        server = RelayServer(relay, max_workers=1, probe_port=0).start()
+        url = server.probe.url
+        assert get(f"{url}/healthz")[0] == 200
+        server.stop()
+        assert server.probe is None
+        with pytest.raises((urllib.error.URLError, ConnectionError, OSError)):
+            urllib.request.urlopen(f"{url}/healthz", timeout=2.0)

@@ -1,0 +1,232 @@
+"""The strict exposition reader itself: accept the grammar, reject drift."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.testing import parse_exposition
+
+GOOD = (
+    "# HELP repro_requests_total Requests served.\n"
+    "# TYPE repro_requests_total counter\n"
+    'repro_requests_total{kind="query"} 7\n'
+    'repro_requests_total{kind="batch"} 2\n'
+    "# HELP repro_in_flight Requests in flight.\n"
+    "# TYPE repro_in_flight gauge\n"
+    "repro_in_flight 3\n"
+    "# HELP repro_latency_seconds Serve latency.\n"
+    "# TYPE repro_latency_seconds histogram\n"
+    'repro_latency_seconds_bucket{kind="query",le="0.01"} 1\n'
+    'repro_latency_seconds_bucket{kind="query",le="0.1"} 4\n'
+    'repro_latency_seconds_bucket{kind="query",le="+Inf"} 5\n'
+    'repro_latency_seconds_sum{kind="query"} 0.42\n'
+    'repro_latency_seconds_count{kind="query"} 5\n'
+)
+
+
+class TestAccepts:
+    def test_full_payload(self):
+        families = parse_exposition(GOOD)
+        assert set(families) == {
+            "repro_requests_total",
+            "repro_in_flight",
+            "repro_latency_seconds",
+        }
+        counter = families["repro_requests_total"]
+        assert counter.help == "Requests served."
+        assert {s.label_dict()["kind"]: s.value for s in counter.samples} == {
+            "query": 7.0,
+            "batch": 2.0,
+        }
+
+    def test_label_escapes_round_trip(self):
+        payload = (
+            "# HELP repro_x_total t\n"
+            "# TYPE repro_x_total counter\n"
+            'repro_x_total{kind="a\\"b\\\\c\\nd"} 1\n'
+        )
+        (sample,) = parse_exposition(payload)["repro_x_total"].samples
+        assert sample.label_dict()["kind"] == 'a"b\\c\nd'
+
+    def test_special_values(self):
+        payload = (
+            "# HELP repro_g gauge\n"
+            "# TYPE repro_g gauge\n"
+            "repro_g +Inf\n"
+        )
+        (sample,) = parse_exposition(payload)["repro_g"].samples
+        assert math.isinf(sample.value)
+
+
+def _expect_rejection(payload: str, match: str):
+    with pytest.raises(ValueError, match=match):
+        parse_exposition(payload)
+
+
+class TestRejects:
+    def test_missing_final_newline(self):
+        _expect_rejection(GOOD.rstrip("\n"), "end with a newline")
+
+    def test_empty_payload(self):
+        _expect_rejection("", "empty")
+
+    def test_sample_without_header(self):
+        _expect_rejection("repro_x_total 1\n", "line 1.*before any HELP/TYPE")
+
+    def test_type_without_help(self):
+        _expect_rejection(
+            "# TYPE repro_x_total counter\nrepro_x_total 1\n",
+            "line 1.*not immediately preceded",
+        )
+
+    def test_help_without_type(self):
+        _expect_rejection("# HELP repro_x_total t\n", "has no TYPE")
+
+    def test_help_type_name_mismatch(self):
+        _expect_rejection(
+            "# HELP repro_a_total t\n# TYPE repro_b_total counter\n",
+            "not immediately preceded",
+        )
+
+    def test_duplicate_family(self):
+        _expect_rejection(
+            "# HELP repro_x_total t\n# TYPE repro_x_total counter\n"
+            "repro_x_total 1\n"
+            "# HELP repro_x_total t\n# TYPE repro_x_total counter\n"
+            "repro_x_total 2\n",
+            "declared twice",
+        )
+
+    def test_unknown_kind(self):
+        _expect_rejection(
+            "# HELP repro_x_total t\n# TYPE repro_x_total countr\n",
+            "unknown metric kind",
+        )
+
+    def test_foreign_sample_inside_family_block(self):
+        _expect_rejection(
+            "# HELP repro_x_total t\n# TYPE repro_x_total counter\n"
+            "repro_y_total 1\n",
+            "does not belong to family",
+        )
+
+    def test_duplicate_series(self):
+        _expect_rejection(
+            "# HELP repro_x_total t\n# TYPE repro_x_total counter\n"
+            'repro_x_total{k="a"} 1\nrepro_x_total{k="a"} 2\n',
+            "duplicate series",
+        )
+
+    def test_unquoted_label_value(self):
+        _expect_rejection(
+            "# HELP repro_x_total t\n# TYPE repro_x_total counter\n"
+            "repro_x_total{k=a} 1\n",
+            "not quoted",
+        )
+
+    def test_bad_label_escape(self):
+        _expect_rejection(
+            "# HELP repro_x_total t\n# TYPE repro_x_total counter\n"
+            'repro_x_total{k="a\\t"} 1\n',
+            "unknown label escape",
+        )
+
+    def test_duplicate_label_name(self):
+        _expect_rejection(
+            "# HELP repro_x_total t\n# TYPE repro_x_total counter\n"
+            'repro_x_total{k="a",k="b"} 1\n',
+            "duplicate label name",
+        )
+
+    def test_blank_line_rejected(self):
+        _expect_rejection(
+            "# HELP repro_x_total t\n# TYPE repro_x_total counter\n\n"
+            "repro_x_total 1\n",
+            "blank line",
+        )
+
+    def test_unparseable_value(self):
+        _expect_rejection(
+            "# HELP repro_x_total t\n# TYPE repro_x_total counter\n"
+            "repro_x_total banana\n",
+            "unparseable sample value",
+        )
+
+
+HISTOGRAM_HEAD = (
+    "# HELP repro_h_seconds t\n# TYPE repro_h_seconds histogram\n"
+)
+
+
+class TestHistogramGrammar:
+    def test_missing_inf_bucket(self):
+        _expect_rejection(
+            HISTOGRAM_HEAD
+            + 'repro_h_seconds_bucket{le="0.1"} 1\n'
+            + "repro_h_seconds_sum 0.1\n"
+            + "repro_h_seconds_count 1\n",
+            "no '\\+Inf' bucket",
+        )
+
+    def test_non_cumulative_buckets(self):
+        _expect_rejection(
+            HISTOGRAM_HEAD
+            + 'repro_h_seconds_bucket{le="0.1"} 5\n'
+            + 'repro_h_seconds_bucket{le="+Inf"} 3\n'
+            + "repro_h_seconds_sum 0.1\n"
+            + "repro_h_seconds_count 3\n",
+            "not cumulative",
+        )
+
+    def test_out_of_order_bounds(self):
+        _expect_rejection(
+            HISTOGRAM_HEAD
+            + 'repro_h_seconds_bucket{le="1.0"} 1\n'
+            + 'repro_h_seconds_bucket{le="0.1"} 1\n'
+            + 'repro_h_seconds_bucket{le="+Inf"} 1\n'
+            + "repro_h_seconds_sum 0.1\n"
+            + "repro_h_seconds_count 1\n",
+            "ascending",
+        )
+
+    def test_inf_bucket_must_equal_count(self):
+        _expect_rejection(
+            HISTOGRAM_HEAD
+            + 'repro_h_seconds_bucket{le="+Inf"} 4\n'
+            + "repro_h_seconds_sum 0.1\n"
+            + "repro_h_seconds_count 5\n",
+            "does not equal _count",
+        )
+
+    def test_missing_sum_or_count(self):
+        _expect_rejection(
+            HISTOGRAM_HEAD
+            + 'repro_h_seconds_bucket{le="+Inf"} 1\n'
+            + "repro_h_seconds_count 1\n",
+            "has no _sum",
+        )
+        _expect_rejection(
+            HISTOGRAM_HEAD
+            + 'repro_h_seconds_bucket{le="+Inf"} 1\n'
+            + "repro_h_seconds_sum 0.5\n",
+            "has no _count",
+        )
+
+    def test_bucket_without_le_label(self):
+        _expect_rejection(
+            HISTOGRAM_HEAD
+            + "repro_h_seconds_bucket 1\n"
+            + "repro_h_seconds_sum 0.5\n"
+            + "repro_h_seconds_count 1\n",
+            "missing its 'le' label",
+        )
+
+    def test_histogram_with_no_buckets(self):
+        _expect_rejection(
+            HISTOGRAM_HEAD
+            + "repro_h_seconds_sum 0.5\n"
+            + "repro_h_seconds_count 1\n",
+            "no _bucket samples",
+        )

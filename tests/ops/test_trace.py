@@ -1,0 +1,117 @@
+"""Trace-context unit behavior: propagation, hops, and hygiene."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.ops.trace import (
+    SPAN_ID_HEADER,
+    TRACE_ID_HEADER,
+    TraceContext,
+    activate,
+    current_trace,
+    ensure_trace,
+    from_headers,
+    inject,
+    new_trace,
+    reply_headers,
+)
+
+
+class TestContextShape:
+    def test_new_trace_has_distinct_ids(self):
+        context = new_trace()
+        assert context.trace_id.startswith("trace-")
+        assert context.span_id.startswith("span-")
+        assert context.trace_id != context.span_id
+        assert context.parent_span_id == ""
+
+    def test_child_keeps_trace_id_and_links_parent(self):
+        root = new_trace()
+        child = root.child()
+        assert child.trace_id == root.trace_id
+        assert child.span_id != root.span_id
+        assert child.parent_span_id == root.span_id
+
+    def test_headers_round_trip(self):
+        root = new_trace()
+        rebuilt = from_headers(root.headers())
+        assert rebuilt is not None
+        assert rebuilt.trace_id == root.trace_id
+        assert rebuilt.span_id == root.span_id
+
+    def test_from_headers_without_trace_is_none(self):
+        assert from_headers({}) is None
+        assert from_headers({"retryable": "true"}) is None
+
+    def test_from_headers_synthesizes_missing_span(self):
+        rebuilt = from_headers({TRACE_ID_HEADER: "trace-x"})
+        assert rebuilt is not None
+        assert rebuilt.trace_id == "trace-x"
+        assert rebuilt.span_id  # fresh, never empty
+
+
+class TestActivation:
+    def test_activate_sets_and_resets(self):
+        assert current_trace() is None
+        context = new_trace()
+        with activate(context):
+            assert current_trace() is context
+        assert current_trace() is None
+
+    def test_activate_resets_on_exception(self):
+        try:
+            with activate(new_trace()):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert current_trace() is None
+
+    def test_ensure_trace_opens_root_once(self):
+        with ensure_trace() as outer:
+            with ensure_trace() as inner:
+                assert inner is outer  # nested verbs share one trace
+        assert current_trace() is None
+
+    def test_ensure_trace_reuses_activated_context(self):
+        context = new_trace()
+        with activate(context):
+            with ensure_trace() as seen:
+                assert seen is context
+
+    def test_threads_do_not_share_the_active_trace(self):
+        seen: list = []
+        with activate(new_trace()):
+            thread = threading.Thread(target=lambda: seen.append(current_trace()))
+            thread.start()
+            thread.join()
+        assert seen == [None]
+
+
+class TestWireStamps:
+    def test_inject_stamps_a_child_span(self):
+        context = new_trace()
+        with activate(context):
+            headers = inject({"existing": "1"})
+        assert headers["existing"] == "1"
+        assert headers[TRACE_ID_HEADER] == context.trace_id
+        assert headers[SPAN_ID_HEADER] != context.span_id  # fresh hop
+
+    def test_inject_without_trace_passes_through(self):
+        headers = inject({"k": "v"})
+        assert headers == {"k": "v"}
+        assert inject(None) == {}
+
+    def test_inject_copies_instead_of_mutating(self):
+        original = {"k": "v"}
+        with activate(new_trace()):
+            stamped = inject(original)
+        assert TRACE_ID_HEADER not in original
+        assert TRACE_ID_HEADER in stamped
+
+    def test_reply_headers_echo_the_serving_context(self):
+        context = new_trace()
+        with activate(context):
+            headers = reply_headers()
+        assert headers == context.headers()
+        assert reply_headers() == {}  # no active trace -> no stamp
