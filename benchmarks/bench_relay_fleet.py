@@ -1,0 +1,309 @@
+"""E-fleet — req/s scaling across relay replicas behind one network id.
+
+Successor to ``bench_redundant_relays``: that experiment proved N
+registered relays give *availability* (a survivor answers); this one
+measures whether they give *scale*. N replica relays front one source
+network, each a real :class:`repro.net.RelayServer` with a deliberately
+small worker pool (2) and 10 ms of simulated serve latency, so a single
+replica saturates early and adding replicas is the only way up. A
+destination relay reaches them through :class:`BalancedDiscovery` —
+power-of-two-choices spreading reads across the pool — while 16 client
+threads pipeline queries.
+
+Second experiment: the paper's §5 redundancy story under churn. With the
+fleet serving a full storm, one replica is killed mid-run; the
+:class:`ReadinessMonitor` (polling the real ``/readyz`` probes) evicts
+it and the failover loop absorbs the in-flight race. Acceptance: zero
+caller-visible errors.
+
+Acceptance: req/s scales >= 2.5x from 1 -> 4 replicas at ``work_ms=10``.
+Results land in ``BENCH_fleet.json``. CI runs a reduced matrix via
+``FLEET_REPLICAS=1,2`` (the scaling assertion only fires when both the
+1- and 4-replica rows are measured).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+
+import pytest
+
+from repro.api.middleware import percentile
+from repro.interop.discovery import InMemoryRegistry
+from repro.interop.relay import RelayService
+from repro.net import BalancedDiscovery, ReadinessMonitor, RelayServer
+from repro.proto.messages import (
+    PROTOCOL_VERSION,
+    STATUS_OK,
+    NetworkAddressMsg,
+    NetworkQuery,
+)
+from repro.sim import format_table
+
+from benchmarks.bench_transport_throughput import (
+    BenchDriver,
+    SimulatedWorkInterceptor,
+)
+
+SOURCE = "fleet-src"
+DESTINATION = "fleet-dst"
+N_CLIENTS = 16
+QUERIES_PER_CLIENT = 6
+WORK_MS = 10.0
+WORKERS_PER_REPLICA = 2
+ROUNDS = 2
+SUITE = "fleet"
+DEFAULT_JSON = Path(__file__).resolve().parent.parent / "BENCH_fleet.json"
+
+
+def replica_counts() -> list[int]:
+    """The replica matrix — overridable for CI (``FLEET_REPLICAS=1,2``)."""
+    raw = os.environ.get("FLEET_REPLICAS", "1,2,4,8")
+    counts = sorted({int(part) for part in raw.split(",") if part.strip()})
+    if not counts or any(count < 1 for count in counts):
+        raise ValueError(f"bad FLEET_REPLICAS: {raw!r}")
+    return counts
+
+
+@contextmanager
+def fleet(replica_count: int, probe: bool = False):
+    """N replica servers fronting SOURCE + a balanced destination relay.
+
+    Every replica is an independent :class:`RelayService` (its own
+    idempotency record, as separate processes would have) behind its own
+    :class:`RelayServer`; the destination discovers their ``tcp://``
+    endpoints through one :class:`BalancedDiscovery` pool.
+    """
+    inner = InMemoryRegistry()
+    servers: list[RelayServer] = []
+    endpoints = []
+    try:
+        for index in range(replica_count):
+            replica = RelayService(SOURCE, inner, relay_id=f"fleet-{index}")
+            replica.register_driver(BenchDriver(SOURCE))
+            replica.use(SimulatedWorkInterceptor(WORK_MS / 1e3))
+            server = RelayServer(
+                replica,
+                max_workers=WORKERS_PER_REPLICA,
+                probe_port=0 if probe else None,
+            ).start()
+            servers.append(server)
+            endpoint = server.endpoint(timeout=10.0)
+            endpoints.append(endpoint)
+            inner.register(SOURCE, endpoint)
+        balanced = BalancedDiscovery(inner)
+        destination = RelayService(DESTINATION, balanced)
+        yield destination, balanced, servers, endpoints
+    finally:
+        for endpoint in endpoints:
+            endpoint.close()
+        for server in servers:
+            server.stop()
+
+
+def make_query(tag: str) -> NetworkQuery:
+    return NetworkQuery(
+        version=PROTOCOL_VERSION,
+        address=NetworkAddressMsg(
+            network=SOURCE, ledger="ledger", contract="docs", function="Get"
+        ),
+        args=["K-1"],
+        nonce=tag,
+    )
+
+
+def drive_clients(
+    destination: RelayService,
+    queries_per_client: int = QUERIES_PER_CLIENT,
+    on_progress=None,
+) -> tuple[float, list[float], list[Exception]]:
+    """N threads x M sequential queries; returns (wall_s, latencies, errors)."""
+    latencies: list[float] = []
+    errors: list[Exception] = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(N_CLIENTS)
+    progress = {"done": 0}
+
+    def worker(client_index: int) -> None:
+        barrier.wait(timeout=10.0)
+        mine = []
+        for sequence in range(queries_per_client):
+            query = make_query(f"n-{client_index}-{sequence}")
+            started = time.perf_counter()
+            try:
+                response = destination.remote_query(query)
+                assert response.status == STATUS_OK
+                assert response.result_plain == b"doc:" + query.nonce.encode()
+            except Exception as exc:  # noqa: BLE001 - the experiment counts caller-visible errors
+                with lock:
+                    errors.append(exc)
+                continue
+            mine.append(time.perf_counter() - started)
+            with lock:
+                progress["done"] += 1
+                if on_progress is not None:
+                    on_progress(progress["done"])
+        with lock:
+            latencies.extend(mine)
+
+    threads = [
+        threading.Thread(target=worker, args=(i,)) for i in range(N_CLIENTS)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return time.perf_counter() - started, latencies, errors
+
+
+def measure(destination: RelayService) -> dict:
+    best_wall, best_latencies = float("inf"), []
+    for _ in range(ROUNDS):
+        wall, latencies, errors = drive_clients(destination)
+        assert not errors, errors
+        if wall < best_wall:
+            best_wall, best_latencies = wall, latencies
+    ordered = sorted(best_latencies)
+    total = N_CLIENTS * QUERIES_PER_CLIENT
+    return {
+        "clients": N_CLIENTS,
+        "queries_per_client": QUERIES_PER_CLIENT,
+        "work_ms": WORK_MS,
+        "workers_per_replica": WORKERS_PER_REPLICA,
+        "wall_s": best_wall,
+        "requests_per_s": total / best_wall,
+        "p50_ms": percentile(ordered, 0.50) * 1e3,
+        "p95_ms": percentile(ordered, 0.95) * 1e3,
+    }
+
+
+def test_fleet_throughput_scales_with_replicas(bench_report):
+    """Acceptance: req/s scales >= 2.5x from 1 -> 4 replicas (when both
+    are in the matrix), with per-count rows recorded to JSON."""
+    results: dict[int, dict] = {}
+    for count in replica_counts():
+        with fleet(count) as (destination, balanced, _servers, _endpoints):
+            metrics = measure(destination)
+            snapshot = balanced.pools()[0]
+            # p2c really spread the wave: every replica took traffic.
+            assert all(
+                member["requests"] > 0
+                for member in snapshot["members"].values()
+            ), snapshot
+            metrics["replicas"] = count
+            results[count] = metrics
+
+    rows = [
+        (
+            f"{count} replica{'s' if count > 1 else ''}",
+            f"{metrics['requests_per_s']:8.1f} req/s",
+            f"{metrics['p50_ms']:7.2f} ms",
+            f"{metrics['p95_ms']:7.2f} ms",
+        )
+        for count, metrics in sorted(results.items())
+    ]
+    print(
+        f"\nE-fleet — {N_CLIENTS} clients x {QUERIES_PER_CLIENT} queries, "
+        f"{WORK_MS:.0f}ms work, {WORKERS_PER_REPLICA} workers/replica "
+        f"(best of {ROUNDS})"
+    )
+    print(format_table(rows, headers=["fleet", "throughput", "p50", "p95"]))
+
+    for count, metrics in sorted(results.items()):
+        bench_report.record(SUITE, f"replicas-{count}", **metrics)
+
+    if 1 in results and 4 in results:
+        scaling = results[4]["requests_per_s"] / results[1]["requests_per_s"]
+        bench_report.record(
+            SUITE,
+            "scaling",
+            one_to_four=scaling,
+            acceptance_threshold=2.5,
+        )
+        print(f"1 -> 4 replica scaling: {scaling:.2f}x (acceptance >= 2.5x)")
+        target = bench_report.write_suite(SUITE, DEFAULT_JSON)
+        print(f"fleet trajectory written to {target}")
+        assert scaling >= 2.5, (
+            f"4 replicas must serve >= 2.5x the req/s of 1, "
+            f"measured {scaling:.2f}x"
+        )
+    else:
+        target = bench_report.write_suite(SUITE, DEFAULT_JSON)
+        print(f"fleet trajectory written to {target} (reduced matrix, "
+              f"scaling assertion skipped)")
+
+
+def test_kill_one_replica_mid_run_zero_caller_errors(bench_report):
+    """Acceptance: killing a replica mid-storm is invisible to callers —
+    the readiness monitor (polling real ``/readyz`` probes) evicts it,
+    failover absorbs the in-flight race, survivors take the traffic."""
+    counts = replica_counts()
+    count = max((c for c in counts if c >= 2), default=2)
+    total = N_CLIENTS * QUERIES_PER_CLIENT
+    with fleet(count, probe=True) as (destination, balanced, servers, endpoints):
+        pool = balanced.pool(SOURCE)
+        balanced.lookup(SOURCE)  # populate the pool before monitoring
+        monitor = ReadinessMonitor(
+            pool,
+            probe_urls={
+                endpoint.address: server.probe.url
+                for endpoint, server in zip(endpoints, servers)
+            },
+            interval=0.05,
+            timeout=1.0,
+        ).start()
+        victim = servers[0]
+        victim_address = endpoints[0].address
+        killed = threading.Event()
+
+        def on_progress(done: int) -> None:
+            # Pull the trigger mid-storm, from inside a caller thread.
+            if done >= total // 4 and not killed.is_set():
+                killed.set()
+                threading.Thread(target=victim.stop, daemon=True).start()
+
+        try:
+            wall, latencies, errors = drive_clients(
+                destination, on_progress=on_progress
+            )
+        finally:
+            monitor.stop()
+
+        assert killed.is_set(), "storm finished before the kill fired"
+        assert errors == [], (
+            f"{len(errors)} caller-visible error(s) after replica kill: "
+            f"{errors[:3]}"
+        )
+        assert len(latencies) == total
+        snapshot = pool.snapshot()
+        assert snapshot["members"][victim_address]["evicted"], (
+            "monitor never evicted the killed replica"
+        )
+        survivors_served = sum(
+            member["requests"]
+            for key, member in snapshot["members"].items()
+            if key != victim_address
+        )
+        assert survivors_served > 0
+        bench_report.record(
+            SUITE,
+            "kill-one-replica",
+            replicas=count,
+            requests=total,
+            caller_errors=len(errors),
+            evictions=snapshot["evictions"],
+            wall_s=wall,
+            requests_per_s=total / wall,
+        )
+        target = bench_report.write_suite(SUITE, DEFAULT_JSON)
+        print(
+            f"\nE-fleet/kill — {count} replicas, replica 0 killed mid-run: "
+            f"{len(errors)} caller errors, {snapshot['evictions']} eviction(s), "
+            f"{total / wall:.1f} req/s through the churn"
+        )
+        print(f"fleet trajectory written to {target}")

@@ -431,6 +431,76 @@ def main() -> None:
             print(f"  {line}")
     ops_server.stop()
 
+    # --- 11. Fleet: N replicas, one network id, balanced + health-evicted ----
+    # One relay per network is a bottleneck AND a single point of failure
+    # (the paper's §5 DoS concern). A fleet runs N replica relays for the
+    # same network id; BalancedDiscovery wraps any DiscoveryService and
+    # turns each lookup into a managed pool: read-only envelopes spread
+    # by power-of-two-choices on live in-flight counts, side-effecting
+    # ones stick to a replica by consistent hash of their request_id (so
+    # idempotent replays land on the SAME replica and exactly-once holds
+    # fleet-wide even though each replica keeps its own record). A
+    # ReadinessMonitor polls every replica's /readyz probe and benches
+    # not-ready members — they drop to the END of the failover order, so
+    # a fully-benched fleet degrades to plain failover, never an outage.
+    import time
+
+    from repro.net import BalancedDiscovery, ReadinessMonitor
+
+    for endpoint in list(registry.lookup("source-net")):
+        registry.unregister("source-net", endpoint)
+    replica_servers = [
+        RelayServer(
+            create_fabric_relay(source, InMemoryRegistry()),
+            max_workers=4,
+            probe_port=0,
+        ).start()
+        for _ in range(2)
+    ]
+    fleet_endpoints = [s.endpoint(timeout=10.0) for s in replica_servers]
+    for endpoint in fleet_endpoints:
+        registry.register("source-net", endpoint)
+
+    balanced = BalancedDiscovery(registry)
+    fleet_relay = RelayService("dest-net", balanced)
+    fleet_client = InteropClient(
+        app, fleet_relay, "dest-net", gateway=destination.gateway
+    )
+    monitor = ReadinessMonitor(
+        balanced.pool("source-net"),
+        probe_urls={
+            endpoint.address: server.probe.url
+            for endpoint, server in zip(fleet_endpoints, replica_servers)
+        },
+        interval=0.1,
+    ).start()
+    try:
+        for i in range(12):
+            fleet_client.remote_query("source-net/main/docs/Get", ["invoice-7"])
+        snapshot = balanced.pools()[0]
+        spread = {
+            key.rsplit(":", 1)[-1]: member["requests"]
+            for key, member in sorted(snapshot["members"].items())
+        }
+        print(f"\nfleet of 2       : 12 queries balanced across ports {spread}")
+
+        replica_servers[0].stop()  # the crash; its /readyz now refuses
+        victim = fleet_endpoints[0].address
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            if balanced.pools()[0]["members"][victim]["evicted"]:
+                break
+            time.sleep(0.05)
+        for i in range(6):
+            fleet_client.remote_query("source-net/main/docs/Get", ["invoice-7"])
+        print("replica 0 killed : monitor evicted it off /readyz; 6 more")
+        print("queries served by the survivor — zero caller-visible errors.")
+    finally:
+        monitor.stop()
+        balanced.close()
+        for server in replica_servers:
+            server.stop()
+
 
 if __name__ == "__main__":
     main()

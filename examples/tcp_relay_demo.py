@@ -67,8 +67,18 @@ def serve(
     state_dir: str | None = None,
     metrics_port: int | None = None,
     json_logs: bool = False,
+    replicas: int = 1,
 ) -> None:
-    """Build the source network and serve its relay forever on a socket."""
+    """Build the source network and serve its relay(s) on socket(s).
+
+    With ``replicas > 1`` the ONE source network is fronted by N
+    independent relay services, each behind its own
+    :class:`~repro.net.RelayServer` and ops probe — the fleet topology:
+    many relay processes-worth of serving capacity, one network
+    identity, one set of MSP roots for proofs to verify against. The
+    parent may send ``KILL <i>`` on stdin to crash replica ``i``
+    mid-conversation.
+    """
     from repro.api.middleware import MetricsInterceptor
     from repro.fabric import NetworkBuilder
     from repro.interop.bootstrap import create_fabric_relay, enable_fabric_interop
@@ -122,29 +132,56 @@ def serve(
         admin, "ecc", "AddAccessRule", [DEST_NETWORK, DEST_ORG, "docs", "Put"]
     )
 
-    # ``--state-dir`` makes this relay durable: its exactly-once record
+    # ``--state-dir`` makes the relay durable: its exactly-once record
     # and served subscriptions live in a SqliteStore that a respawned
     # process re-opens (create_fabric_relay recovers it automatically).
-    middleware = [MetricsInterceptor()] if metrics_port is not None else None
-    relay = create_fabric_relay(
-        source, InMemoryRegistry(), state_dir=state_dir, middleware=middleware
-    )
-    server = RelayServer(
-        relay, host=host, port=0, max_workers=4, probe_port=metrics_port
-    ).start()
+    # A fleet always opens probes (port 0) — the parent's readiness
+    # monitor needs /readyz to drive eviction.
+    want_ops = metrics_port is not None or replicas > 1
+    servers = []
+    for index in range(replicas):
+        replica_state = (
+            str(Path(state_dir) / f"replica-{index}") if state_dir else None
+        )
+        middleware = [MetricsInterceptor()] if want_ops else None
+        relay = create_fabric_relay(
+            source,
+            InMemoryRegistry(),
+            state_dir=replica_state,
+            middleware=middleware,
+        )
+        probe_port = metrics_port if (replicas == 1 and index == 0) else (
+            0 if want_ops else None
+        )
+        servers.append(
+            RelayServer(
+                relay, host=host, port=0, max_workers=4, probe_port=probe_port
+            ).start()
+        )
 
-    # Hand the parent what it needs: our address and our MSP roots (in a
-    # real deployment these travel out of band / via governance).
+    # Hand the parent what it needs: our addresses and our MSP roots (in
+    # a real deployment these travel out of band / via governance).
     print(SOURCE_MSP_ROOT_PREFIX + source.export_config().encode().hex(), flush=True)
-    if server.probe is not None:
-        print(PROBE_PREFIX + server.probe.url, flush=True)
-    print(READY_PREFIX + server.address, flush=True)
+    for server in servers:
+        if server.probe is not None:
+            print(PROBE_PREFIX + server.probe.url, flush=True)
+    print(
+        READY_PREFIX + " ".join(server.address for server in servers),
+        flush=True,
+    )
     try:
-        sys.stdin.read()  # serve until the parent closes our stdin
+        # Serve until the parent closes our stdin; a "KILL <i>" line
+        # crashes replica i (the fleet demo's churn injection).
+        for line in sys.stdin:
+            command = line.strip().split()
+            if len(command) == 2 and command[0] == "KILL":
+                servers[int(command[1])].stop()
+                print(f"KILLED {command[1]}", flush=True)
     except KeyboardInterrupt:
         pass
     finally:
-        server.stop()
+        for server in servers:
+            server.stop()
 
 
 # ---------------------------------------------------------------------------
@@ -157,9 +194,11 @@ def spawn_source(
     state_dir: str | None,
     metrics_port: int | None = None,
     json_logs: bool = False,
+    replicas: int = 1,
 ):
-    """Spawn the source-relay process; returns (child, address, config_hex,
-    probe_url)."""
+    """Spawn the source-relay process; returns (child, addresses,
+    config_hex, probe_urls) — one address (and, when the ops plane is
+    on, one probe url) per replica."""
     command = [sys.executable, __file__, "--serve", "127.0.0.1"]
     if state_dir:
         command += ["--state-dir", state_dir]
@@ -167,6 +206,8 @@ def spawn_source(
         command += ["--metrics-port", str(metrics_port)]
     if json_logs:
         command += ["--json-logs"]
+    if replicas != 1:
+        command += ["--replicas", str(replicas)]
     child = subprocess.Popen(
         command,
         stdin=subprocess.PIPE,
@@ -178,25 +219,26 @@ def spawn_source(
     child.stdin.flush()
 
     source_config_hex = ""
-    address = ""
-    probe_url = ""
+    addresses: list[str] = []
+    probe_urls: list[str] = []
     for line in child.stdout:
         if line.startswith(SOURCE_MSP_ROOT_PREFIX):
             source_config_hex = line[len(SOURCE_MSP_ROOT_PREFIX):].strip()
         elif line.startswith(PROBE_PREFIX):
-            probe_url = line[len(PROBE_PREFIX):].strip()
+            probe_urls.append(line[len(PROBE_PREFIX):].strip())
         elif line.startswith(READY_PREFIX):
-            address = line[len(READY_PREFIX):].strip()
+            addresses = line[len(READY_PREFIX):].strip().split()
             break
-    if not address:
+    if not addresses:
         raise RuntimeError("source relay process never became ready")
-    return child, address, source_config_hex, probe_url
+    return child, addresses, source_config_hex, probe_urls
 
 
 def main(
     state_dir: str | None = None,
     metrics_port: int | None = None,
     json_logs: bool = False,
+    replicas: int = 1,
 ) -> None:
     from repro.fabric import NetworkBuilder
     from repro.interop.bootstrap import enable_fabric_interop
@@ -204,8 +246,10 @@ def main(
     from repro.interop.contracts.cmdac import CMDAC_NAME
     from repro.interop.discovery import AddressResolver, FileRegistry
     from repro.interop.relay import RelayService
+    from repro.net import BalancedDiscovery, ReadinessMonitor
     from repro.proto.messages import NetworkConfigMsg
     import tempfile
+    import time
 
     destination = (
         NetworkBuilder(DEST_NETWORK)
@@ -218,12 +262,22 @@ def main(
     dest_admin = destination.org(DEST_ORG).member("admin")
     enable_fabric_interop(destination, dest_admin)
 
-    # --- spawn the source-network relay as a separate OS process ----------
-    child, address, source_config_hex, probe_url = spawn_source(
-        destination, state_dir, metrics_port=metrics_port, json_logs=json_logs
+    # --- spawn the source-network relay(s) as a separate OS process -------
+    child, addresses, source_config_hex, probe_urls = spawn_source(
+        destination,
+        state_dir,
+        metrics_port=metrics_port,
+        json_logs=json_logs,
+        replicas=replicas,
     )
+    address = addresses[0]
+    probe_url = probe_urls[0] if probe_urls else ""
     try:
-        print(f"source relay process {child.pid} serving at {address}")
+        if len(addresses) == 1:
+            print(f"source relay process {child.pid} serving at {address}")
+        else:
+            print(f"source relay process {child.pid} serving "
+                  f"{len(addresses)} replicas at {', '.join(addresses)}")
         if probe_url:
             print(f"ops probe listening at {probe_url} "
                   f"(/healthz /readyz /metrics)")
@@ -245,15 +299,18 @@ def main(
             [source_config.network_id, POLICY],
         )
 
-        # --- discovery: a registry FILE naming a tcp:// address ----------
+        # --- discovery: a registry FILE naming tcp:// address(es) --------
         # Exactly the paper's PoC shape ("a local file-based registry was
-        # plugged into the SWT Relay", §4.3) — except the address now
-        # crosses a process boundary.
+        # plugged into the SWT Relay", §4.3) — except the addresses now
+        # cross a process boundary. With --replicas the registry names
+        # the whole fleet and a BalancedDiscovery pool spreads traffic
+        # over it.
         registry_file = Path(tempfile.mkstemp(suffix=".json")[1])
-        registry_file.write_text(json.dumps({"source-net": [address]}))
+        registry_file.write_text(json.dumps({"source-net": addresses}))
         resolver = AddressResolver()  # tcp:// dialing is built in
         registry = FileRegistry(registry_file, resolver)
-        relay = RelayService(DEST_NETWORK, registry)
+        balanced = BalancedDiscovery(registry) if len(addresses) > 1 else None
+        relay = RelayService(DEST_NETWORK, balanced or registry)
 
         # --- a trusted cross-process, cross-network query -----------------
         app = destination.org(DEST_ORG).member("app")
@@ -283,8 +340,53 @@ def main(
                 if line.startswith("repro_relay_requests_total"):
                     print(f"scraped          : {line}")
 
+        # --- fleet act (--replicas N): balance, kill one, keep serving ----
+        if balanced is not None:
+            monitor = ReadinessMonitor(
+                balanced.pool("source-net"),
+                probe_urls=dict(zip(addresses, probe_urls)),
+                interval=0.1,
+                timeout=2.0,
+            ).start()
+            try:
+                for sequence in range(12):
+                    client.remote_query(
+                        "source-net/main/docs/Get", ["invoice-7"]
+                    )
+                snapshot = balanced.pools()[0]
+                spread = {
+                    key.rsplit(":", 1)[-1]: member["requests"]
+                    for key, member in sorted(snapshot["members"].items())
+                }
+                print(f"\n12 queries p2c-balanced across {len(addresses)} "
+                      f"replicas (requests per port): {spread}")
+
+                # Churn: crash replica 0 inside the child process, let the
+                # readiness monitor evict it, and keep querying — the
+                # callers never see the difference.
+                assert child.stdin is not None and child.stdout is not None
+                child.stdin.write("KILL 0\n")
+                child.stdin.flush()
+                child.stdout.readline()  # the KILLED ack
+                deadline = time.monotonic() + 10.0
+                while time.monotonic() < deadline:
+                    members = balanced.pools()[0]["members"]
+                    if members[addresses[0]]["evicted"]:
+                        break
+                    time.sleep(0.05)
+                for sequence in range(12):
+                    client.remote_query(
+                        "source-net/main/docs/Get", ["invoice-7"]
+                    )
+                snapshot = balanced.pools()[0]
+                print(f"killed replica 0 mid-conversation: monitor evicted "
+                      f"it ({snapshot['evictions']} eviction), 12 more "
+                      f"queries served by the survivors with zero errors")
+            finally:
+                monitor.stop()
+
         # --- act two (--state-dir): crash the relay, replay the past -------
-        if state_dir:
+        if state_dir and len(addresses) == 1:
             from repro.interop.transactions import RemoteTransactionClient
             from repro.proto.messages import (
                 MSG_KIND_TRANSACT_REQUEST,
@@ -312,7 +414,8 @@ def main(
             child.wait(timeout=10)
             print(f"killed relay process {child.pid} (simulated crash)")
 
-            child, address, _, _ = spawn_source(destination, state_dir)
+            child, addresses, _, _ = spawn_source(destination, state_dir)
+            address = addresses[0]
             registry_file.write_text(json.dumps({"source-net": [address]}))
             print(f"respawned as {child.pid} at {address} "
                   f"on the same --state-dir")
@@ -350,6 +453,15 @@ if __name__ == "__main__":
         "free one. The parent scrapes it across the process boundary.",
     )
     parser.add_argument(
+        "--replicas",
+        metavar="N",
+        type=int,
+        default=1,
+        help="serve the source network through N relay replicas (one "
+        "process, N sockets + probes) and demo client-side balancing, "
+        "readiness-driven eviction, and a mid-conversation replica kill",
+    )
+    parser.add_argument(
         "--json-logs",
         action="store_true",
         help="emit one JSON log line per record (trace-id field included) "
@@ -363,10 +475,12 @@ if __name__ == "__main__":
             state_dir=arguments.state_dir,
             metrics_port=arguments.metrics_port,
             json_logs=arguments.json_logs,
+            replicas=arguments.replicas,
         )
     else:
         main(
             state_dir=arguments.state_dir,
             metrics_port=arguments.metrics_port,
             json_logs=arguments.json_logs,
+            replicas=arguments.replicas,
         )

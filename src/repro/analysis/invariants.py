@@ -127,9 +127,22 @@ GUARDED_STATE: dict[str, dict[str, str]] = {
     },
     # repro/interop/discovery.py
     "InMemoryRegistry": {"_relays": "_lock"},
+    "FileRegistry": {"addresses_skipped": "_lock"},
     # repro/net/transport.py
     "LocalTransport": {"_endpoints": "_lock"},
     "AddressResolver": {"_transports": "_lock"},
+    # repro/net/balancer.py — pool membership, the hash ring, balancing
+    # counters and per-member in-flight accounting are all touched by
+    # concurrent request threads plus the readiness monitor thread.
+    "EndpointPool": {
+        "_members": "_lock",
+        "_ring": "_lock",
+        "p2c_decisions": "_lock",
+        "sticky_decisions": "_lock",
+        "evictions": "_lock",
+        "restores": "_lock",
+    },
+    "BalancedDiscovery": {"_pools": "_lock", "_monitors": "_lock"},
 }
 
 #: Attribute-call names that mutate their receiver (``self.x.append(...)``

@@ -19,13 +19,22 @@ across redundant relays — the paper's DoS mitigation (§5).
 
 from __future__ import annotations
 
+import itertools
 import json
+import logging
+import os
 import threading
 from abc import ABC, abstractmethod
 from pathlib import Path
 from typing import Protocol
 
 from repro.errors import DiscoveryError
+
+logger = logging.getLogger("repro.discovery")
+
+#: Distinguishes temp files written by concurrent registrations within
+#: one process; the pid in the name distinguishes across processes.
+_TMP_COUNTER = itertools.count()
 
 
 class RelayEndpoint(Protocol):
@@ -150,6 +159,9 @@ class FileRegistry(DiscoveryService):
         self._lock = threading.RLock()
         self._path = Path(path)
         self._resolver = resolver
+        #: Addresses skipped by :meth:`lookup` because they failed to
+        #: resolve (exported by :mod:`repro.ops.exporters`).
+        self.addresses_skipped = 0
 
     def _load(self) -> dict[str, list[str]]:
         try:
@@ -165,7 +177,14 @@ class FileRegistry(DiscoveryService):
         return table
 
     def register(self, network_id: str, address: str) -> None:
-        """Append an address to the registry file (creating it if needed)."""
+        """Append an address to the registry file (creating it if needed).
+
+        The write is atomic: the new table goes to a temp file in the
+        same directory and is ``os.replace``d over the registry, so a
+        crash mid-write (or a concurrent reader process) can never
+        observe partial JSON — the file is always the old table or the
+        new one, never a torn mix.
+        """
         with self._lock:
             table: dict[str, list[str]] = {}
             if self._path.exists():
@@ -173,9 +192,34 @@ class FileRegistry(DiscoveryService):
             table.setdefault(network_id, [])
             if address not in table[network_id]:
                 table[network_id].append(address)
-            self._path.write_text(json.dumps(table, indent=2, sort_keys=True))
+            self._replace_file(json.dumps(table, indent=2, sort_keys=True))
+
+    def _replace_file(self, payload: str) -> None:
+        # Same directory as the target so os.replace stays a same-
+        # filesystem rename (the atomicity guarantee).
+        tmp = self._path.with_name(
+            f".{self._path.name}.{os.getpid()}.{next(_TMP_COUNTER)}.tmp"
+        )
+        try:
+            tmp.write_text(payload, encoding="utf-8")
+            os.replace(tmp, self._path)
+        except BaseException:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            raise
 
     def lookup(self, network_id: str) -> list[RelayEndpoint]:
+        """Live endpoints for every *resolvable* registered address.
+
+        A malformed or stale entry must not take down lookups for a
+        network that still has healthy relays (that would defeat the
+        paper's §5 redundancy story), so unresolvable addresses are
+        skipped with a logged warning and counted in
+        ``addresses_skipped``; :class:`DiscoveryError` is raised only
+        when *no* address resolves.
+        """
         with self._lock:
             table = self._load()
         addresses = table.get(network_id)
@@ -183,4 +227,31 @@ class FileRegistry(DiscoveryService):
             raise DiscoveryError(
                 f"network {network_id!r} not present in registry {self._path}"
             )
-        return [self._resolver.resolve(address) for address in addresses]
+        endpoints: list[RelayEndpoint] = []
+        failures: list[str] = []
+        for address in addresses:
+            try:
+                endpoints.append(self._resolver.resolve(address))
+            except DiscoveryError as exc:
+                failures.append(f"{address!r}: {exc}")
+                with self._lock:
+                    self.addresses_skipped += 1
+                logger.warning(
+                    "skipping unresolvable relay address",
+                    extra={
+                        "network_id": network_id,
+                        "address": address,
+                        "error": str(exc),
+                    },
+                )
+        if not endpoints:
+            raise DiscoveryError(
+                f"no relay address for network {network_id!r} resolves: "
+                + "; ".join(failures)
+            )
+        return endpoints
+
+    def counters(self) -> dict[str, int]:
+        """Monotonic discovery counters (for metrics exporters)."""
+        with self._lock:
+            return {"addresses_skipped": self.addresses_skipped}

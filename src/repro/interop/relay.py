@@ -468,6 +468,12 @@ class RelayService:
         return self._clock
 
     @property
+    def discovery(self) -> DiscoveryService:
+        """The discovery service this relay resolves targets through
+        (exporters read pool/counter state off it when present)."""
+        return self._discovery
+
+    @property
     def idempotency_size(self) -> int:
         """Entries currently held in the exactly-once record (exported
         as a gauge by :func:`repro.ops.exporters.register_relay`)."""
@@ -1382,9 +1388,27 @@ class RelayService:
         still correlated end to end) and stamps a per-hop child span into
         the outbound envelope headers, so the serving relay, its TCP
         server, and its driver all log the same trace id.
+
+        Fleet-aware discovery: when the discovery service offers the
+        optional ``lookup_for`` extension (see
+        :class:`repro.net.balancer.BalancedDiscovery`), the request id
+        and side-effecting flag are passed through so the pool can order
+        candidates per request — load-spread for reads, consistent-hash
+        sticky for side effects (idempotency replays must land on the
+        replica holding their exactly-once record). The failover walk
+        below is unchanged either way.
         """
-        endpoints = self._discovery.lookup(target)  # may raise DiscoveryError
         request_id = random_id("req-")
+        side_effecting = kind in SIDE_EFFECTING_KINDS or bool(
+            headers and headers.get(SIDE_EFFECTING_HEADER) == "true"
+        )
+        lookup_for = getattr(self._discovery, "lookup_for", None)
+        if callable(lookup_for):
+            endpoints = lookup_for(  # may raise DiscoveryError
+                target, request_id=request_id, side_effecting=side_effecting
+            )
+        else:
+            endpoints = self._discovery.lookup(target)  # may raise DiscoveryError
         with ensure_trace():
             envelope_bytes = RelayEnvelope(
                 version=PROTOCOL_VERSION,

@@ -17,7 +17,12 @@ sockets without touching a single protocol rule:
 - :mod:`repro.net.server` — :class:`RelayServer`, an asyncio TCP
   server that serves the existing synchronous
   :class:`~repro.interop.relay.RelayService` concurrently on a
-  worker-thread executor.
+  worker-thread executor;
+- :mod:`repro.net.balancer` — :class:`BalancedDiscovery` /
+  :class:`EndpointPool`, client-side load balancing over redundant
+  relay replicas (power-of-two-choices for reads, consistent-hash
+  stickiness for side effects) with ``/readyz``-driven
+  :class:`ReadinessMonitor` eviction.
 
 Trust boundary: the socket is the *untrusted edge*. Everything a
 malicious peer can do to a frame — drop, delay, duplicate, corrupt — is
@@ -25,6 +30,12 @@ below the protocol's protection boundary; proofs verify end to end, so
 transported data is exactly as trustworthy as in-process data.
 """
 
+from repro.net.balancer import (
+    BalancedDiscovery,
+    EndpointPool,
+    ReadinessMonitor,
+    endpoint_key,
+)
 from repro.net.client import TcpRelayEndpoint
 from repro.net.framing import (
     DEFAULT_MAX_FRAME_BYTES,
@@ -43,9 +54,13 @@ from repro.net.transport import (
 )
 
 __all__ = [
+    "BalancedDiscovery",
     "DEFAULT_MAX_FRAME_BYTES",
+    "EndpointPool",
     "FrameDecoder",
     "LocalTransport",
+    "ReadinessMonitor",
+    "endpoint_key",
     "RelayServer",
     "RelayServerStats",
     "RelayTransport",

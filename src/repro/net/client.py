@@ -37,13 +37,17 @@ class _PooledConnection:
         #: the structural input to the caller's stale-pool retry decision.
         self.got_reply_bytes = False
 
-    def round_trip(self, data: bytes, timeout: float) -> bytes:
-        # One deadline for the WHOLE round-trip: each socket operation
-        # gets only the remaining budget, so a server dribbling one byte
-        # per almost-timeout cannot keep the caller blocked forever.
-        deadline = time.monotonic() + timeout
+    def round_trip(self, data: bytes, deadline: float) -> bytes:
+        # The caller threads ONE monotonic deadline through dial, send,
+        # and every receive: each socket operation gets only the
+        # remaining budget, so neither a server dribbling one byte per
+        # almost-timeout nor a dial-then-retry sequence can stack fresh
+        # full timeouts on top of each other.
         self.got_reply_bytes = False
-        self.sock.settimeout(timeout)
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise socket.timeout("request deadline exhausted before send")
+        self.sock.settimeout(remaining)
         self.sock.sendall(encode_frame(data))
         while True:
             frame = self.decoder.next_frame()
@@ -52,7 +56,7 @@ class _PooledConnection:
             remaining = deadline - time.monotonic()
             if remaining <= 0:
                 raise socket.timeout(
-                    f"no complete reply frame within {timeout}s"
+                    "no complete reply frame within the request deadline"
                 )
             self.sock.settimeout(remaining)
             chunk = self.sock.recv(65536)
@@ -111,6 +115,13 @@ class TcpRelayEndpoint:
     def address(self) -> str:
         return f"tcp://{self.host}:{self.port}"
 
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called (a closed endpoint fails
+        every request; transports use this to evict-and-redial)."""
+        with self._lock:
+            return self._closed
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"TcpRelayEndpoint({self.address})"
 
@@ -125,14 +136,20 @@ class TcpRelayEndpoint:
         fails *before any reply byte arrived*, the request is retried
         once on a freshly dialed connection instead of bubbling a
         spurious failure out of a healthy deployment.
+
+        One monotonic deadline (``now + timeout``) covers the whole call
+        — dial, round-trip, and any stale-pool retry all draw from the
+        same budget, so the worst case is ~``timeout``, never a multiple
+        of it.
         """
         if self._closed:
             raise RelayUnavailableError(
                 f"endpoint for {self.address} has been closed"
             )
-        connection, from_pool = self._borrow()
+        deadline = time.monotonic() + self.timeout
+        connection, from_pool = self._borrow(deadline)
         try:
-            reply = connection.round_trip(data, self.timeout)
+            reply = connection.round_trip(data, deadline)
         except DecodeError as exc:
             # The server sent bytes that do not frame (or exceed the
             # frame bound): the stream is poisoned. Typed and retryable.
@@ -151,9 +168,9 @@ class TcpRelayEndpoint:
                 raise RelayUnavailableError(
                     f"relay at {self.address} is unreachable: {exc}"
                 ) from exc
-            connection = self._dial()  # raises typed on dial failure
+            connection = self._dial(deadline)  # raises typed on dial failure
             try:
-                reply = connection.round_trip(data, self.timeout)
+                reply = connection.round_trip(data, deadline)
             except DecodeError as retry_exc:
                 self._discard(connection)
                 raise RelayUnavailableError(
@@ -177,17 +194,27 @@ class TcpRelayEndpoint:
 
     # -- pool management ----------------------------------------------------------
 
-    def _borrow(self) -> tuple[_PooledConnection, bool]:
+    def _borrow(self, deadline: float | None = None) -> tuple[_PooledConnection, bool]:
         """An idle connection (``True``) or a fresh dial (``False``)."""
         with self._lock:
             if self._idle:
                 return self._idle.popleft(), True
-        return self._dial(), False
+        return self._dial(deadline), False
 
-    def _dial(self) -> _PooledConnection:
+    def _dial(self, deadline: float | None = None) -> _PooledConnection:
+        connect_timeout = self.timeout
+        if deadline is not None:
+            connect_timeout = deadline - time.monotonic()
+            if connect_timeout <= 0:
+                with self._lock:
+                    self.transport_failures += 1
+                raise RelayUnavailableError(
+                    f"cannot connect to relay at {self.address}: "
+                    "request deadline exhausted"
+                )
         try:
             sock = socket.create_connection(
-                (self.host, self.port), timeout=self.timeout
+                (self.host, self.port), timeout=connect_timeout
             )
         except OSError as exc:
             with self._lock:

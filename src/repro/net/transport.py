@@ -159,6 +159,13 @@ class TcpTransport(RelayTransport):
         host, port = parse_tcp_address(address)
         with self._lock:
             endpoint = self._endpoints.get(address)
+            if endpoint is not None and getattr(endpoint, "closed", False):
+                # A close()d endpoint fails every request forever; caching
+                # it would make the address permanently unreachable even
+                # though the relay behind it may be perfectly healthy.
+                # Evict and redial.
+                self._endpoints.pop(address, None)
+                endpoint = None
             if endpoint is None:
                 from repro.net.client import TcpRelayEndpoint
 

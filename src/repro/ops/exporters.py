@@ -32,6 +32,12 @@ def register_relay(registry: MetricsRegistry, relay: RelayService) -> None:
     over the relay's stats, rate limiter, store counters, and
     idempotency-record size. Every family is labelled ``relay_id`` so
     several relays can share one registry.
+
+    When the relay's discovery service keeps fleet state
+    (:class:`~repro.net.balancer.BalancedDiscovery` pools, the
+    :class:`~repro.interop.discovery.FileRegistry` skipped-address
+    counter), that state is exported too: per-replica in-flight gauges,
+    eviction/restore counters, and balance-decision counters.
     """
     limiters = []
     for interceptor in relay.interceptors:
@@ -78,9 +84,96 @@ def register_relay(registry: MetricsRegistry, relay: RelayService) -> None:
                     ),
                 )
             )
+        families.extend(_discovery_families(relay.discovery, relay_label))
         return families
 
     registry.register_collector(collect)
+
+
+def _discovery_families(discovery, relay_label) -> "list[MetricFamily]":
+    """Fleet/discovery families for services that keep such state.
+
+    Duck-typed against the optional ``counters()`` / ``pools()``
+    surfaces (:class:`~repro.interop.discovery.FileRegistry`,
+    :class:`~repro.net.balancer.BalancedDiscovery`) so plain registries
+    export nothing and cost nothing.
+    """
+    families: "list[MetricFamily]" = []
+    counters = getattr(discovery, "counters", None)
+    if callable(counters):
+        values = counters()
+        if values:
+            families.append(
+                counter_family(
+                    "repro_discovery_total",
+                    "Discovery-layer counters (e.g. unresolvable "
+                    "addresses skipped during lookup).",
+                    tuple(
+                        ((relay_label, ("counter", name)), value)
+                        for name, value in sorted(values.items())
+                    ),
+                )
+            )
+    pools = getattr(discovery, "pools", None)
+    if not callable(pools):
+        return families
+    in_flight = []
+    evicted = []
+    decisions = []
+    churn = []
+    for snapshot in pools():
+        network_label = ("network", snapshot["network"])
+        for key, member in sorted(snapshot["members"].items()):
+            labels = (relay_label, network_label, ("replica", key))
+            in_flight.append((labels, member["in_flight"]))
+            evicted.append((labels, 1 if member["evicted"] else 0))
+        decisions.extend(
+            ((relay_label, network_label, ("strategy", strategy)), snapshot[field])
+            for strategy, field in (
+                ("p2c", "p2c_decisions"),
+                ("sticky", "sticky_decisions"),
+            )
+        )
+        churn.extend(
+            ((relay_label, network_label, ("event", event)), snapshot[event])
+            for event in ("evictions", "restores")
+        )
+    if in_flight:
+        families.append(
+            gauge_family(
+                "repro_fleet_in_flight",
+                "Requests currently in flight per replica endpoint.",
+                tuple(in_flight),
+            )
+        )
+        families.append(
+            gauge_family(
+                "repro_fleet_evicted",
+                "1 when the replica is evicted from rotation "
+                "(failed /readyz), else 0.",
+                tuple(evicted),
+            )
+        )
+    if decisions:
+        families.append(
+            counter_family(
+                "repro_fleet_balance_total",
+                "Balancing decisions per strategy (p2c = "
+                "power-of-two-choices reads, sticky = consistent-hash "
+                "side effects).",
+                tuple(decisions),
+            )
+        )
+    if churn:
+        families.append(
+            counter_family(
+                "repro_fleet_churn_total",
+                "Health-driven pool membership events "
+                "(evictions and restores).",
+                tuple(churn),
+            )
+        )
+    return families
 
 
 def register_server(registry: MetricsRegistry, server) -> None:

@@ -1,0 +1,197 @@
+"""Fleet semantics: N relay replicas behind one network identity.
+
+These tests stand up several real :class:`RelayService` replicas for one
+network — each with its *own* idempotency record, as separate processes
+would have — behind a :class:`BalancedDiscovery`, and assert the
+protocol invariants the fleet layer must preserve:
+
+- duplicate side-effecting envelopes stay *sticky* to one replica, so
+  exactly-once execution holds fleet-wide even though the record is
+  per-replica;
+- read traffic spreads while every reply stays correct;
+- a replica dying mid-storm is absorbed by eviction + failover with zero
+  caller-visible errors.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from collections import Counter
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.interop.discovery import InMemoryRegistry
+from repro.interop.relay import RelayService
+from repro.net.balancer import BalancedDiscovery
+from repro.proto.messages import (
+    MSG_KIND_TRANSACT_RESPONSE,
+    PROTOCOL_VERSION,
+    NetworkAddressMsg,
+    NetworkQuery,
+    RelayEnvelope,
+)
+from tests.interop.test_relay_concurrency import (
+    NETWORK,
+    CountingDriver,
+    transact_envelope,
+)
+
+
+def make_fleet(replica_count: int, seed: int = 7):
+    """``replica_count`` independent relays fronting ``NETWORK``, plus a
+    destination relay that discovers them through a balanced pool."""
+    inner = InMemoryRegistry()
+    replicas: list[RelayService] = []
+    drivers: list[CountingDriver] = []
+    for index in range(replica_count):
+        replica = RelayService(NETWORK, inner, relay_id=f"replica-{index}")
+        driver = CountingDriver()
+        replica.register_driver(driver)
+        inner.register(NETWORK, replica)
+        replicas.append(replica)
+        drivers.append(driver)
+    balanced = BalancedDiscovery(inner, rng=random.Random(seed))
+    dest = RelayService("client-net", balanced)
+    return dest, balanced, inner, replicas, drivers
+
+
+def make_query(nonce: str) -> NetworkQuery:
+    return NetworkQuery(
+        version=PROTOCOL_VERSION,
+        address=NetworkAddressMsg(
+            network=NETWORK, ledger="l", contract="c", function="Get"
+        ),
+        args=["k"],
+        nonce=nonce,
+    )
+
+
+class TestFleetStickiness:
+    def test_duplicate_side_effecting_envelope_lands_on_one_replica(self):
+        """The idempotency record is per-replica; consistent hashing on
+        ``request_id`` is what keeps duplicates exactly-once fleet-wide."""
+        _, balanced, _, replicas, drivers = make_fleet(4)
+        envelope_bytes = transact_envelope("req-sticky-1", "nonce-1")
+        replies = []
+        for _ in range(6):  # six copies, six fresh lookups
+            candidates = balanced.lookup_for(
+                NETWORK, request_id="req-sticky-1", side_effecting=True
+            )
+            replies.append(candidates[0].handle_request(envelope_bytes))
+        # Executed exactly once across the WHOLE fleet ...
+        commits = Counter()
+        for driver in drivers:
+            commits.update(driver.commit_executions)
+        assert commits == {"nonce-1": 1}
+        # ... every duplicate suppressed on the same replica ...
+        suppressed = [r.stats.duplicates_suppressed for r in replicas]
+        assert sorted(suppressed) == [0, 0, 0, 5]
+        # ... and every copy answered with the identical recorded reply.
+        assert len(set(replies)) == 1
+        reply = RelayEnvelope.decode(replies[0])
+        assert reply.kind == MSG_KIND_TRANSACT_RESPONSE
+
+    def test_distinct_request_ids_spread_across_replicas(self):
+        _, balanced, _, _, drivers = make_fleet(4)
+        for i in range(120):
+            rid = f"req-{i}"
+            candidates = balanced.lookup_for(
+                NETWORK, request_id=rid, side_effecting=True
+            )
+            candidates[0].handle_request(transact_envelope(rid, f"nonce-{i}"))
+        per_replica = [sum(d.commit_executions.values()) for d in drivers]
+        assert sum(per_replica) == 120
+        assert all(count > 0 for count in per_replica), per_replica
+
+    def test_relay_exchange_routes_transact_sticky_and_query_spread(self):
+        """``RelayService._exchange`` feeds request context through the
+        optional ``lookup_for`` — side-effecting verbs flagged, reads
+        not."""
+        calls: list[tuple[str, bool]] = []
+
+        class SpyDiscovery(BalancedDiscovery):
+            def lookup_for(self, network_id, request_id="", side_effecting=False):
+                calls.append((request_id, side_effecting))
+                return super().lookup_for(
+                    network_id, request_id=request_id, side_effecting=side_effecting
+                )
+
+        inner = InMemoryRegistry()
+        replica = RelayService(NETWORK, inner)
+        replica.register_driver(CountingDriver())
+        inner.register(NETWORK, replica)
+        dest = RelayService("client-net", SpyDiscovery(inner))
+
+        dest.remote_query(make_query("n-read"))
+        dest.remote_transact(make_query("n-write"))
+        assert len(calls) == 2
+        read_call, write_call = calls
+        assert read_call[1] is False
+        assert write_call[1] is True
+        assert read_call[0].startswith("req-") and write_call[0].startswith("req-")
+
+
+class TestFleetAvailability:
+    def test_replica_death_mid_storm_is_invisible_to_callers(self):
+        """Kill one of four replicas while a concurrent query storm is in
+        flight: eviction narrows rotation, failover absorbs the race,
+        and not one caller sees an error."""
+        dest, balanced, _, replicas, drivers = make_fleet(4)
+        pool = balanced.pool(NETWORK)
+        errors: list[Exception] = []
+        barrier = threading.Barrier(8)
+        victim = replicas[0]
+
+        def caller(worker: int) -> None:
+            barrier.wait(timeout=5.0)
+            for i in range(20):
+                if worker == 0 and i == 5:
+                    # Mid-storm: the victim starts refusing everything
+                    # (a crashing process), and—as the readiness monitor
+                    # would—the pool evicts it a beat later.
+                    victim.available = False
+                    pool.evict("replica-0")
+                try:
+                    response = dest.remote_query(make_query(f"n-{worker}-{i}"))
+                    assert response.nonce == f"n-{worker}-{i}"
+                except Exception as exc:  # noqa: BLE001 - collected and asserted empty below
+                    errors.append(exc)
+
+        with ThreadPoolExecutor(max_workers=8) as executor:
+            list(executor.map(caller, range(8)))
+
+        assert errors == [], errors
+        served = sum(sum(d.query_executions.values()) for d in drivers)
+        assert served == 8 * 20
+        # Survivors took the traffic the victim dropped.
+        survivor_share = sum(
+            sum(d.query_executions.values()) for d in drivers[1:]
+        )
+        assert survivor_share > 0
+
+    def test_evicted_replica_rejoins_rotation_after_restore(self):
+        dest, balanced, _, replicas, drivers = make_fleet(2)
+        pool = balanced.pool(NETWORK)
+        pool.evict("replica-0")
+        replicas[0].available = False
+        for i in range(10):
+            dest.remote_query(make_query(f"down-{i}"))
+        assert sum(drivers[0].query_executions.values()) == 0
+
+        replicas[0].available = True
+        pool.restore("replica-0")
+        for i in range(40):
+            dest.remote_query(make_query(f"up-{i}"))
+        assert sum(drivers[0].query_executions.values()) > 0
+
+    def test_all_replicas_evicted_degrades_to_failover_not_outage(self):
+        dest, balanced, _, _, drivers = make_fleet(2)
+        balanced.lookup(NETWORK)  # populate the pool
+        pool = balanced.pool(NETWORK)
+        for key in pool.member_keys():
+            pool.evict(key)
+        response = dest.remote_query(make_query("n-last-resort"))
+        assert response.nonce == "n-last-resort"
+        assert sum(sum(d.query_executions.values()) for d in drivers) == 1

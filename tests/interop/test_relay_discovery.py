@@ -99,6 +99,83 @@ class TestFileRegistry:
         with pytest.raises(DiscoveryError, match="does not resolve"):
             FileRegistry(path, AddressResolver()).lookup("stl")
 
+    def test_register_survives_interrupted_write(self, tmp_path, monkeypatch):
+        """A crash mid-write must never corrupt the registry file.
+
+        Regression: ``register`` used to ``write_text`` the registry in
+        place, so an interrupted write left torn JSON behind and every
+        subsequent lookup (from any process) failed. The write now goes
+        to a temp file + ``os.replace``, so the interrupted write hits
+        only the temp file and the registry keeps its old valid table.
+        """
+        from pathlib import Path
+
+        resolver = AddressResolver()
+        sentinel = object()
+        resolver.bind("relay://stl-1", sentinel)  # type: ignore[arg-type]
+        path = tmp_path / "registry.json"
+        path.write_text(json.dumps({"stl": ["relay://stl-1"]}))
+        registry = FileRegistry(path, resolver)
+
+        real_write_text = Path.write_text
+
+        def torn_write(self, text, *args, **kwargs):
+            # Simulate power loss / SIGKILL partway through the write:
+            # half the payload lands, then the "process" dies.
+            real_write_text(self, text[: len(text) // 2], *args, **kwargs)
+            raise OSError("simulated crash mid-write")
+
+        monkeypatch.setattr(Path, "write_text", torn_write)
+        with pytest.raises(OSError, match="simulated crash"):
+            registry.register("stl", "relay://stl-2")
+        monkeypatch.undo()
+
+        # The registry file is still the complete pre-crash table ...
+        assert json.loads(path.read_text()) == {"stl": ["relay://stl-1"]}
+        # ... lookups keep working, and no temp droppings remain.
+        assert registry.lookup("stl") == [sentinel]
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_register_cleans_up_temp_file_on_success(self, tmp_path):
+        registry = FileRegistry(tmp_path / "registry.json", AddressResolver())
+        registry.register("stl", "relay://stl-1")
+        assert [p.name for p in tmp_path.iterdir()] == ["registry.json"]
+
+    def test_lookup_skips_unresolvable_address(self, tmp_path, caplog):
+        """One bad entry must not take down a network with healthy relays.
+
+        Regression: ``lookup`` used to resolve all-or-nothing, so a
+        single stale/malformed address raised :class:`DiscoveryError`
+        even though resolvable redundant relays existed — defeating the
+        paper's §5 redundancy story.
+        """
+        import logging
+
+        resolver = AddressResolver()
+        first, second = object(), object()
+        resolver.bind("relay://stl-1", first)  # type: ignore[arg-type]
+        resolver.bind("relay://stl-3", second)  # type: ignore[arg-type]
+        path = tmp_path / "registry.json"
+        path.write_text(
+            json.dumps({"stl": ["relay://stl-1", "relay://stl-gone", "relay://stl-3"]})
+        )
+        registry = FileRegistry(path, resolver)
+        with caplog.at_level(logging.WARNING, logger="repro.discovery"):
+            assert registry.lookup("stl") == [first, second]
+        assert registry.counters()["addresses_skipped"] == 1
+        assert any(
+            "skipping unresolvable relay address" in record.message
+            for record in caplog.records
+        )
+
+    def test_lookup_raises_only_when_no_address_resolves(self, tmp_path):
+        path = tmp_path / "registry.json"
+        path.write_text(json.dumps({"stl": ["relay://gone-1", "relay://gone-2"]}))
+        registry = FileRegistry(path, AddressResolver())
+        with pytest.raises(DiscoveryError, match="gone-1.*gone-2"):
+            registry.lookup("stl")
+        assert registry.counters()["addresses_skipped"] == 2
+
     def test_file_edits_visible_without_restart(self, tmp_path):
         resolver = AddressResolver()
         sentinel = object()

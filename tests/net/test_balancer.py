@@ -1,0 +1,365 @@
+"""The fleet layer: endpoint pools, balancing strategies, health eviction.
+
+Unit tests drive :class:`EndpointPool` / :class:`BalancedDiscovery` with
+seeded RNGs and fake endpoints for determinism; the lifecycle tests at
+the bottom run a real :class:`RelayServer` with its ``/readyz`` probe
+and assert the :class:`ReadinessMonitor` evicts and restores replicas as
+the probe flips.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+
+import pytest
+
+from repro.errors import DiscoveryError, RelayUnavailableError
+from repro.interop.discovery import InMemoryRegistry
+from repro.net.balancer import (
+    BalancedDiscovery,
+    EndpointPool,
+    ReadinessMonitor,
+    endpoint_key,
+)
+
+
+class FakeEndpoint:
+    """A scriptable in-process endpoint with per-member scorekeeping."""
+
+    def __init__(self, name: str, fail: bool = False) -> None:
+        self.relay_id = name
+        self.fail = fail
+        self.served = 0
+        #: When set, requests block on this event (to pin in-flight > 0).
+        self.hold: threading.Event | None = None
+        self._lock = threading.Lock()
+
+    def handle_request(self, data: bytes) -> bytes:
+        if self.hold is not None:
+            self.hold.wait(5.0)
+        if self.fail:
+            raise RelayUnavailableError(f"{self.relay_id} is down")
+        with self._lock:
+            self.served += 1
+        return b"ok:" + self.relay_id.encode()
+
+
+def make_pool(names, seed=7) -> tuple[EndpointPool, dict[str, FakeEndpoint]]:
+    endpoints = {name: FakeEndpoint(name) for name in names}
+    pool = EndpointPool("fleet-net", rng=random.Random(seed))
+    pool.update(list(endpoints.values()))
+    return pool, endpoints
+
+
+class TestEndpointKey:
+    def test_prefers_address_then_relay_id(self):
+        class Addressed:
+            address = "tcp://h:1"
+            relay_id = "r-1"
+
+        assert endpoint_key(Addressed()) == "tcp://h:1"
+        assert endpoint_key(FakeEndpoint("r-2")) == "r-2"
+        anon = object()
+        assert endpoint_key(anon) == f"endpoint-{id(anon):x}"
+
+
+class TestPowerOfTwoChoices:
+    def test_busier_member_never_heads_the_order(self):
+        """With one member visibly loaded and the rest idle, p2c must
+        never put the loaded one first: either the sampled pair excludes
+        it, or the idle partner of the pair wins."""
+        pool, endpoints = make_pool(["a", "b", "c"])
+        endpoints["a"].hold = hold = threading.Event()
+        # Pin one request in flight on "a" through the pool's wrapper.
+        (head,) = [
+            c for c in pool.candidates() if c.key == "a"
+        ]
+        pinned = threading.Thread(target=head.handle_request, args=(b"x",))
+        pinned.start()
+        try:
+            deadline = time.monotonic() + 2.0
+            while time.monotonic() < deadline:
+                if pool.snapshot()["members"]["a"]["in_flight"] == 1:
+                    break
+                time.sleep(0.005)
+            assert pool.snapshot()["members"]["a"]["in_flight"] == 1
+            heads = {pool.candidates()[0].key for _ in range(100)}
+            assert "a" not in heads
+            assert heads == {"b", "c"}
+        finally:
+            hold.set()
+            pinned.join(timeout=5.0)
+        assert pool.snapshot()["members"]["a"]["in_flight"] == 0
+
+    def test_idle_pool_spreads_first_choice(self):
+        pool, _ = make_pool(["a", "b", "c", "d"])
+        heads = [pool.candidates()[0].key for _ in range(200)]
+        # All members lead sometimes — no fixed-first starvation.
+        assert set(heads) == {"a", "b", "c", "d"}
+        assert pool.snapshot()["p2c_decisions"] == 200
+
+    def test_ordering_always_contains_every_member(self):
+        pool, _ = make_pool(["a", "b", "c"])
+        for _ in range(20):
+            assert sorted(c.key for c in pool.candidates()) == ["a", "b", "c"]
+
+
+class TestConsistentHashing:
+    def test_same_request_id_same_head_every_time(self):
+        pool, _ = make_pool(["a", "b", "c", "d"])
+        heads = {
+            pool.candidates(request_id="req-42", side_effecting=True)[0].key
+            for _ in range(20)
+        }
+        assert len(heads) == 1
+        assert pool.snapshot()["sticky_decisions"] == 20
+
+    def test_placement_is_stable_across_pool_instances(self):
+        """The ring hash is keyed, not process-salted: a rebuilt pool
+        (client restart) maps every request id to the same replica."""
+        pool_a, _ = make_pool(["a", "b", "c", "d"], seed=1)
+        pool_b, _ = make_pool(["a", "b", "c", "d"], seed=999)
+        for i in range(50):
+            rid = f"req-{i}"
+            assert (
+                pool_a.candidates(request_id=rid, side_effecting=True)[0].key
+                == pool_b.candidates(request_id=rid, side_effecting=True)[0].key
+            )
+
+    def test_scale_out_remaps_only_a_fraction(self):
+        pool_small, _ = make_pool(["a", "b", "c", "d"])
+        pool_big, _ = make_pool(["a", "b", "c", "d", "e"])
+        ids = [f"req-{i}" for i in range(300)]
+        before = {
+            rid: pool_small.candidates(request_id=rid, side_effecting=True)[0].key
+            for rid in ids
+        }
+        after = {
+            rid: pool_big.candidates(request_id=rid, side_effecting=True)[0].key
+            for rid in ids
+        }
+        moved = sum(1 for rid in ids if before[rid] != after[rid])
+        # Ideal is 1/5 of keys; consistent hashing should stay well under
+        # the ~4/5 a modulo rehash would move.
+        assert moved / len(ids) < 0.45
+        # Every id that moved went TO the new member, nowhere else.
+        assert all(after[rid] == "e" for rid in ids if before[rid] != after[rid])
+
+    def test_member_loss_remaps_only_its_keys(self):
+        pool, endpoints = make_pool(["a", "b", "c", "d"])
+        ids = [f"req-{i}" for i in range(200)]
+        before = {
+            rid: pool.candidates(request_id=rid, side_effecting=True)[0].key
+            for rid in ids
+        }
+        pool.update([e for name, e in endpoints.items() if name != "b"])
+        for rid in ids:
+            head = pool.candidates(request_id=rid, side_effecting=True)[0].key
+            if before[rid] != "b":
+                assert head == before[rid]
+
+    def test_blank_request_id_falls_back_to_p2c(self):
+        pool, _ = make_pool(["a", "b"])
+        pool.candidates(request_id="", side_effecting=True)
+        assert pool.snapshot()["p2c_decisions"] == 1
+        assert pool.snapshot()["sticky_decisions"] == 0
+
+
+class TestEvictionAndMembership:
+    def test_evicted_member_moves_to_tail_but_stays_reachable(self):
+        pool, _ = make_pool(["a", "b", "c"])
+        head = pool.candidates(request_id="req-1", side_effecting=True)[0].key
+        assert pool.evict(head)
+        order = [c.key for c in pool.candidates(request_id="req-1", side_effecting=True)]
+        assert order[-1] == head  # last resort, not gone
+        assert len(order) == 3
+        assert pool.restore(head)
+        assert (
+            pool.candidates(request_id="req-1", side_effecting=True)[0].key == head
+        )
+        snapshot = pool.snapshot()
+        assert snapshot["evictions"] == 1 and snapshot["restores"] == 1
+
+    def test_fully_evicted_pool_still_serves(self):
+        pool, _ = make_pool(["a", "b"])
+        for key in pool.member_keys():
+            pool.evict(key)
+        candidates = pool.candidates()
+        assert len(candidates) == 2
+        assert candidates[0].handle_request(b"x").startswith(b"ok:")
+
+    def test_evict_and_restore_are_idempotent(self):
+        pool, _ = make_pool(["a"])
+        assert pool.evict("a") and not pool.evict("a")
+        assert pool.restore("a") and not pool.restore("a")
+        assert not pool.evict("ghost") and not pool.restore("ghost")
+        snapshot = pool.snapshot()
+        assert snapshot["evictions"] == 1 and snapshot["restores"] == 1
+
+    def test_update_preserves_state_and_prunes_departures(self):
+        pool, endpoints = make_pool(["a", "b", "c"])
+        pool.evict("b")
+        # Same membership re-announced: eviction state survives.
+        pool.update(list(endpoints.values()))
+        assert pool.snapshot()["members"]["b"]["evicted"]
+        # "c" leaves the registry: it leaves the pool.
+        pool.update([endpoints["a"], endpoints["b"]])
+        assert sorted(pool.member_keys()) == ["a", "b"]
+
+    def test_in_flight_accounting_and_failure_counts(self):
+        pool, endpoints = make_pool(["a"])
+        endpoints["a"].fail = True
+        (candidate,) = pool.candidates()
+        with pytest.raises(RelayUnavailableError):
+            candidate.handle_request(b"x")
+        member = pool.snapshot()["members"]["a"]
+        assert member["in_flight"] == 0  # decremented on the error path
+        assert member["failures"] == 1 and member["requests"] == 1
+
+
+class TestBalancedDiscovery:
+    def make_fleet(self, names, seed=7):
+        inner = InMemoryRegistry()
+        endpoints = {name: FakeEndpoint(name) for name in names}
+        for endpoint in endpoints.values():
+            inner.register("fleet-net", endpoint)
+        return BalancedDiscovery(inner, rng=random.Random(seed)), endpoints, inner
+
+    def test_lookup_keeps_the_discovery_contract(self):
+        balanced, _, _ = self.make_fleet(["a", "b"])
+        assert len(balanced.lookup("fleet-net")) == 2
+        with pytest.raises(DiscoveryError):
+            balanced.lookup("ghost")
+
+    def test_membership_follows_the_inner_registry(self):
+        balanced, endpoints, inner = self.make_fleet(["a", "b"])
+        balanced.lookup("fleet-net")
+        inner.unregister("fleet-net", endpoints["b"])
+        assert [c.key for c in balanced.lookup("fleet-net")] == ["a"]
+
+    def test_concurrent_callers_rotate_across_the_pool(self):
+        """Satellite coverage: pool rotation under concurrent callers —
+        every replica takes a meaningful share of a 200-request storm."""
+        balanced, endpoints, _ = self.make_fleet(["a", "b", "c", "d"])
+        errors: list[Exception] = []
+
+        def caller(worker: int) -> None:
+            for i in range(25):
+                try:
+                    candidates = balanced.lookup_for(
+                        "fleet-net", request_id=f"req-{worker}-{i}"
+                    )
+                    candidates[0].handle_request(b"payload")
+                except Exception as exc:  # noqa: BLE001 - collected and asserted empty below
+                    errors.append(exc)
+
+        threads = [threading.Thread(target=caller, args=(w,)) for w in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        served = {name: e.served for name, e in endpoints.items()}
+        assert sum(served.values()) == 200
+        assert all(count >= 20 for count in served.values()), served
+        snapshot = balanced.pools()[0]
+        assert all(
+            m["in_flight"] == 0 for m in snapshot["members"].values()
+        )
+
+    def test_counters_pass_through_from_inner(self):
+        class CountingInner(InMemoryRegistry):
+            def counters(self):
+                return {"addresses_skipped": 3}
+
+        balanced = BalancedDiscovery(CountingInner())
+        assert balanced.counters() == {"addresses_skipped": 3}
+        plain = BalancedDiscovery(InMemoryRegistry())
+        assert plain.counters() == {}
+
+
+class TestReadinessMonitor:
+    def test_custom_check_drives_evict_then_restore(self):
+        pool, _ = make_pool(["a", "b"])
+        ready = {"a": True, "b": False}
+        monitor = ReadinessMonitor(pool, check=lambda key, _ep: ready[key])
+        assert monitor.poll_once() == {"a": True, "b": False}
+        assert pool.snapshot()["members"]["b"]["evicted"]
+        ready["b"] = True
+        monitor.poll_once()
+        assert not pool.snapshot()["members"]["b"]["evicted"]
+        assert pool.snapshot()["restores"] == 1
+
+    def test_members_without_signal_are_left_alone(self):
+        pool, _ = make_pool(["a", "b"])
+        monitor = ReadinessMonitor(
+            pool, check=lambda key, _ep: False if key == "a" else None
+        )
+        assert monitor.poll_once() == {"a": False}
+        members = pool.snapshot()["members"]
+        assert members["a"]["evicted"] and not members["b"]["evicted"]
+        # No probe url configured either: the HTTP path also stays silent.
+        quiet = ReadinessMonitor(pool, probe_urls={})
+        assert quiet.poll_once() == {}
+
+    def test_crashing_check_means_not_ready_not_dead_monitor(self):
+        pool, _ = make_pool(["a"])
+
+        def bad_check(key, _ep):
+            raise RuntimeError("probe exploded")
+
+        monitor = ReadinessMonitor(pool, check=bad_check)
+        assert monitor.poll_once() == {"a": False}
+        assert pool.snapshot()["members"]["a"]["evicted"]
+
+    def test_background_thread_polls_and_stops(self):
+        pool, _ = make_pool(["a"])
+        polls = threading.Semaphore(0)
+
+        def check(key, _ep):
+            polls.release()
+            return True
+
+        with ReadinessMonitor(pool, check=check, interval=0.02):
+            assert polls.acquire(timeout=2.0)
+            assert polls.acquire(timeout=2.0)  # it keeps polling
+
+    def test_readyz_lifecycle_against_a_real_relay_server(self):
+        """Satellite coverage: eviction→restore against a real
+        ``RelayServer`` flipping ``/readyz`` — the monitor consumes the
+        exact HTTP surface PR 8 shipped."""
+        from repro.interop.relay import RelayService
+        from repro.net.server import RelayServer
+        from tests.interop.test_relay_concurrency import CountingDriver, NETWORK
+
+        inner = InMemoryRegistry()
+        service = RelayService(NETWORK, inner)
+        service.register_driver(CountingDriver())
+        with RelayServer(service, probe_port=0) as server:
+            endpoint = server.endpoint(timeout=5.0)
+            try:
+                balanced = BalancedDiscovery(inner)
+                inner.register("fleet-net", endpoint)
+                balanced.lookup("fleet-net")
+                pool = balanced.pool("fleet-net")
+                monitor = ReadinessMonitor(
+                    pool,
+                    probe_urls={endpoint.address: server.probe.url},
+                    timeout=2.0,
+                )
+                assert monitor.poll_once() == {endpoint.address: True}
+                assert not pool.snapshot()["members"][endpoint.address]["evicted"]
+
+                service.available = False  # drain: /readyz flips to 503
+                assert monitor.poll_once() == {endpoint.address: False}
+                assert pool.snapshot()["members"][endpoint.address]["evicted"]
+                assert pool.snapshot()["evictions"] == 1
+
+                service.available = True  # back: probe restores it
+                assert monitor.poll_once() == {endpoint.address: True}
+                assert not pool.snapshot()["members"][endpoint.address]["evicted"]
+                assert pool.snapshot()["restores"] == 1
+            finally:
+                endpoint.close()

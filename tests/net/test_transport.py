@@ -236,6 +236,89 @@ class TestTcpEndpoint:
             endpoint.handle_request(b"two")
         endpoint.close()
 
+    def test_one_deadline_covers_stale_retry(self):
+        """The whole request — first attempt, redial, retry — runs on ONE
+        monotonic deadline, never stacked fresh timeouts.
+
+        Regression: the stale-pool retry used to dial and round-trip on a
+        fresh full ``timeout`` each, so a request whose pooled connection
+        died slowly and whose retry hit a dribbling server blocked for a
+        multiple of the configured timeout. Staged here: the pooled
+        connection burns 0.6s before dying byte-less (stale → retry
+        engages), then the redialed connection only ever dribbles an
+        incomplete frame. Pre-fix total ≈ 0.6s + a fresh 1.0s retry
+        budget; post-fix the retry inherits the remaining 0.4s.
+        """
+        from repro.net import FrameDecoder
+
+        hold, timeout = 0.6, 1.0
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(4)
+        port = listener.getsockname()[1]
+        stop = threading.Event()
+        # An incomplete frame to dribble: a long-payload frame fed one
+        # byte at a time never completes, but never trips DecodeError.
+        blob = encode_frame(b"y" * 50_000)
+
+        def read_request(conn) -> bool:
+            decoder = FrameDecoder(1 << 20)
+            while not stop.is_set():
+                if decoder.next_frame() is not None:
+                    return True
+                chunk = conn.recv(4096)
+                if not chunk:
+                    return False
+                decoder.feed(chunk)
+            return False
+
+        def serve():
+            # Connection 1: answer one request properly (primes the
+            # pool), then on the next request hold 0.6s and die silent.
+            conn1, _ = listener.accept()
+            if read_request(conn1):
+                conn1.sendall(encode_frame(b"echo:one"))
+            read_request(conn1)
+            stop.wait(hold)
+            conn1.close()
+            # Connection 2 (the stale retry's redial): dribble forever.
+            conn2, _ = listener.accept()
+            read_request(conn2)
+            for byte in blob:
+                if stop.wait(0.15):
+                    break
+                try:
+                    conn2.sendall(bytes([byte]))
+                except OSError:
+                    break
+            conn2.close()
+
+        server_thread = threading.Thread(target=serve, daemon=True)
+        server_thread.start()
+        endpoint = TcpRelayEndpoint("127.0.0.1", port, timeout=timeout)
+        try:
+            assert endpoint.handle_request(b"one") == b"echo:one"
+            started = time.monotonic()
+            with pytest.raises(RelayUnavailableError):
+                endpoint.handle_request(b"two")
+            elapsed = time.monotonic() - started
+            assert elapsed < timeout * 1.45, (
+                f"request blocked {elapsed:.2f}s — stale retry stacked a "
+                f"fresh timeout on top of the {timeout}s budget"
+            )
+        finally:
+            stop.set()
+            endpoint.close()
+            listener.close()
+            server_thread.join(timeout=5.0)
+
+    def test_dial_respects_exhausted_deadline(self, echo_server):
+        _, server = echo_server
+        endpoint = TcpRelayEndpoint(server.host, server.port, timeout=1.0)
+        with pytest.raises(RelayUnavailableError, match="deadline exhausted"):
+            endpoint._dial(time.monotonic() - 0.001)
+        endpoint.close()
+
 
 class TestRelayServer:
     def test_concurrent_serving_overlaps(self, echo_server):
@@ -313,4 +396,23 @@ class TestRelayServer:
         second = transport.connect(server.address)
         assert first is second
         assert first.handle_request(b"t") == b"echo:t"
+        transport.close()
+
+    def test_tcp_transport_redials_closed_endpoint(self, echo_server):
+        """A close()d endpoint must not poison its address forever.
+
+        Regression: the per-address cache used to hand the same closed
+        endpoint back on every connect, so once anything closed it the
+        address was permanently unreachable ("endpoint has been closed")
+        even though the relay behind it was healthy.
+        """
+        _, server = echo_server
+        transport = TcpTransport(timeout=5.0)
+        first = transport.connect(server.address)
+        assert first.handle_request(b"a") == b"echo:a"
+        first.close()
+        assert first.closed
+        second = transport.connect(server.address)
+        assert second is not first
+        assert second.handle_request(b"b") == b"echo:b"
         transport.close()
