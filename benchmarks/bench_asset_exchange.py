@@ -1,12 +1,21 @@
-"""E-assets — concurrent Fabric↔Quorum atomic exchanges through two relays.
+"""E-assets — atomic exchanges and N-party cycles through real relays.
 
-The HTLC subsystem's throughput experiment: N independent asset pairs
-(one on each network) swapped by N concurrent
-:class:`~repro.assets.AssetExchangeCoordinator` runs, every leg riding
-``MSG_KIND_ASSET_*`` envelopes plus two proof-carrying lock-verification
-queries per exchange. Reports exchanges/sec and the p50/p95/max
-lock→claim latency (first escrow to final claim, the window in which
-value is at risk), alongside the source relays' per-kind metrics.
+The HTLC subsystem's throughput experiment, in two parts:
+
+- *exchanges*: N independent asset pairs (one on each network) swapped by
+  N concurrent :class:`~repro.assets.AssetExchangeCoordinator` runs, every
+  leg riding ``MSG_KIND_ASSET_*`` envelopes plus two proof-carrying
+  lock-verification queries per exchange;
+- *cycles*: one :class:`~repro.assets.CycleCoordinator` driving an
+  N-network ring (each leg on its own Quorum network, ring governance
+  wired port-to-port), swept over ring sizes to chart cycles/sec and the
+  p95 lock→final-claim window against N.
+
+Both report the lock→claim latency (first escrow to final claim, the
+window in which value is at risk) and feed the shared
+:class:`BenchReport`; the ``assets`` suite is written to
+``BENCH_assets.json`` so the trajectory is tracked in-repo (and uploaded
+as a CI artifact).
 
 Each relay is fronted by a :class:`SerializingInterceptor` (the in-process
 substrates are not thread-safe), so concurrency buys overlap *across* the
@@ -18,6 +27,8 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from types import SimpleNamespace
 
 import pytest
 
@@ -35,11 +46,19 @@ from repro.interop.contracts.ports import InteropPort
 from repro.interop.drivers.quorum_driver import QuorumDriver
 from repro.quorum import QuorumNetwork
 from repro.sim import format_table
+from repro.utils.clock import SimulatedClock
+
+SUITE = "assets"
+DEFAULT_JSON = Path(__file__).resolve().parent.parent / "BENCH_assets.json"
 
 N_EXCHANGES = 8
 WORKERS = 4
 OFFER_POLICY = "AND(org:traders-org, org:audit-org)"
 ASK_POLICY = "AND(org:op-org-1, org:op-org-2)"
+
+#: Ring sizes the cycle sweep charts, and completed cycles per size.
+CYCLE_SIZES = (2, 3, 4, 5)
+CYCLE_RUNS = 3
 
 
 @pytest.fixture(scope="module")
@@ -162,7 +181,7 @@ def print_relay_kinds(metrics: MetricsInterceptor, title: str) -> None:
     print(format_table(rows, headers=["kind", "requests", "errors", "p50", "p95", "max"]))
 
 
-def test_concurrent_exchanges_throughput(asset_scenario):
+def test_concurrent_exchanges_throughput(asset_scenario, bench_report):
     """Acceptance: N concurrent exchanges all complete; report throughput."""
     started = time.perf_counter()
     with ThreadPoolExecutor(max_workers=WORKERS) as executor:
@@ -198,3 +217,140 @@ def test_concurrent_exchanges_throughput(asset_scenario):
     print_relay_kinds(
         asset_scenario["quorum_metrics"], "quornet relay per-kind metrics"
     )
+    bench_report.record(
+        SUITE,
+        "exchange-2party",
+        exchanges=N_EXCHANGES,
+        workers=WORKERS,
+        exchanges_per_s=N_EXCHANGES / wall,
+        lock_to_claim_p50_ms=percentile(latencies, 0.50) * 1e3,
+        lock_to_claim_p95_ms=percentile(latencies, 0.95) * 1e3,
+        lock_to_claim_max_ms=latencies[-1] * 1e3,
+    )
+
+
+# -- N-party cycles --------------------------------------------------------------
+
+
+def build_quorum_ring(n: int, runs: int):
+    """``n`` Quorum networks wired into a swap ring.
+
+    Party ``i`` lives on its own network with its own two-org endorsement
+    (so each leg's proof-carrying readbacks attest under a real AND
+    policy), and ring governance mirrors the cycle protocol: each vault's
+    port admits exactly its downstream neighbour for ``ClaimAsset`` and
+    ``GetLock``. ``runs`` asset generations are pre-issued per leg.
+    """
+    clock = SimulatedClock(1_000.0)
+    registry = InMemoryRegistry()
+    nodes = []
+    for index in range(n):
+        name = f"ring{index}"
+        network = QuorumNetwork(name, clock=clock)
+        network.deploy_contract(QuorumAssetContract())
+        network.add_peer("peerA", f"org-a-{index}")
+        network.add_peer("peerB", f"org-b-{index}")
+        party = network.enroll_client(f"party{index}", f"org-a-{index}")
+        invoker = network.enroll_client("asset-invoker", f"org-a-{index}")
+        for run in range(runs):
+            network.submit_transaction(
+                invoker,
+                "asset-vault",
+                "Issue",
+                [f"CY-{index}-{run}", f"party{index}@{name}", "{}"],
+            )
+        port = InteropPort(name)
+        relay = RelayService(name, registry, clock=clock)
+        driver = QuorumDriver(network, port)
+        driver.enable_assets(invoker)
+        relay.register_driver(driver)
+        registry.register(name, relay)
+        nodes.append(
+            SimpleNamespace(
+                name=name,
+                network=network,
+                port=port,
+                relay=relay,
+                org=f"org-a-{index}",
+                policy=f"AND(org:org-a-{index}, org:org-b-{index})",
+                client=InteropClient(party, relay, name),
+            )
+        )
+    for index, node in enumerate(nodes):
+        downstream = nodes[(index + 1) % n]
+        node.port.record_network_config(downstream.network.export_config())
+        for function in ("ClaimAsset", "GetLock"):
+            node.port.add_access_rule(
+                downstream.name, downstream.org, "asset-vault", function
+            )
+    return nodes
+
+
+def run_cycle(nodes, run: int) -> float:
+    """One full N-party cycle; returns its lock→final-claim latency (s)."""
+    builder = InteropGateway.from_client(nodes[0].client).exchange_cycle()
+    for index, node in enumerate(nodes):
+        builder.leg(
+            f"{node.name}/state/asset-vault",
+            f"CY-{index}-{run}",
+            party=None if index == 0 else node.client,
+            policy=node.policy,
+        )
+    builder.with_window(timeout=7_200.0, hop_gap=120.0)
+    started = time.perf_counter()
+    result = builder.run()
+    elapsed = time.perf_counter() - started
+    assert result.completed
+    return elapsed
+
+
+def test_cycle_throughput_vs_ring_size(bench_report):
+    """Acceptance: the cycle sweep completes atomically at every ring
+    size; cycles/sec and the p95 lock→final-claim window are recorded to
+    ``BENCH_assets.json`` (alongside the 2-party exchange entries)."""
+    rows = []
+    for size in CYCLE_SIZES:
+        nodes = build_quorum_ring(size, CYCLE_RUNS)
+        started = time.perf_counter()
+        latencies = sorted(run_cycle(nodes, run) for run in range(CYCLE_RUNS))
+        wall = time.perf_counter() - started
+        # Every asset moved one hop around the ring: party i's asset is
+        # now owned by party i+1 — the atomicity acceptance, per size.
+        for index, node in enumerate(nodes):
+            claimer = nodes[(index + 1) % size]
+            for run in range(CYCLE_RUNS):
+                raw = node.network.peers[0].storage_snapshot("asset-vault")[
+                    f"asset/CY-{index}-{run}"
+                ]
+                assert f'"{claimer.client.identity.name}@' in raw.decode()
+        p95 = percentile(latencies, 0.95)
+        rows.append(
+            (
+                str(size),
+                f"{CYCLE_RUNS / wall:8.2f}",
+                f"{percentile(latencies, 0.50) * 1e3:9.2f} ms",
+                f"{p95 * 1e3:9.2f} ms",
+                f"{latencies[-1] * 1e3:9.2f} ms",
+            )
+        )
+        bench_report.record(
+            SUITE,
+            f"cycle-{size}party",
+            legs=size,
+            cycles=CYCLE_RUNS,
+            cycles_per_s=CYCLE_RUNS / wall,
+            lock_to_claim_p50_ms=percentile(latencies, 0.50) * 1e3,
+            lock_to_claim_p95_ms=p95 * 1e3,
+            lock_to_claim_max_ms=latencies[-1] * 1e3,
+        )
+    print(
+        f"\nE-assets — N-party cyclic swaps ({CYCLE_RUNS} cycles per ring size)"
+    )
+    print(
+        format_table(
+            rows,
+            headers=["legs", "cycles/s", "p50", "p95", "max"],
+        )
+    )
+    target = bench_report.write_suite(SUITE, DEFAULT_JSON)
+    print(f"assets trajectory written to {target}")

@@ -501,6 +501,89 @@ def main() -> None:
         for server in replica_servers:
             server.stop()
 
+    # --- 12. Three-party cycle: Fabric -> Quorum -> Corda -> Fabric ----------
+    # The two-party swap of §7 generalises to a ring settled by ONE
+    # preimage: the trader wants the dealer's oil, the dealer wants a
+    # collector's artwork on a Corda network, the collector wants the
+    # trader's gold. Every leg locks under the same hashlock with
+    # per-hop DECREMENTED timelocks (leg i expires hop_gap earlier than
+    # leg i-1); claims then cascade backward from the preimage holder,
+    # each claim publishing on-ledger exactly the secret the upstream
+    # neighbour needs. The decrement is the safety margin: a downstream
+    # claim inside its own window leaves every upstream window open.
+    from repro.assets.contracts import issue_corda_asset
+    from repro.corda import CordaNetwork
+    from repro.interop.drivers.corda_driver import CordaDriver
+    from repro.store import MemoryStore
+
+    # §§8–11 re-pointed source-net discovery at (now stopped) sockets;
+    # restore the in-process relay for this walkthrough.
+    for endpoint in list(registry.lookup("source-net")):
+        registry.unregister("source-net", endpoint)
+    registry.register("source-net", source_relay)
+
+    # Fresh assets on the two existing networks...
+    source.gateway.submit(
+        source_admin, "assetscc", "Issue", ["GOLD-2", "trader@source-net", "{}"]
+    )
+    commodity.submit_transaction(
+        commodity_invoker, "asset-vault", "Issue",
+        ["OIL-10", "dealer@commodity-net", "{}"],
+    )
+    # ...and a third, Corda-based art network joins the ring.
+    art = CordaNetwork("art-net")
+    collector_node = art.add_node("carol")
+    art.add_node("dana")
+    art_port = InteropPort("art-net")
+    art_relay = RelayService("art-net", registry)
+    art_driver = CordaDriver(art, art_port)
+    art_driver.enable_assets("carol")
+    art_relay.register_driver(art_driver)
+    registry.register("art-net", art_relay)
+    issue_corda_asset(art, collector_node, "ART-7", "carol@art-net")
+
+    # Ring governance: each vault admits its DOWNSTREAM neighbour (the
+    # party that verifies and claims it). source-net already admits the
+    # dealer from §7; the two new edges:
+    record_foreign_network(
+        source, source_admin, art,
+        verification_policy="AND(org:carol, org:dana)",
+    )
+    commodity_port.record_network_config(art.export_config())
+    art_port.record_network_config(source.export_config())
+    for fn in ("ClaimAsset", "GetLock"):
+        commodity_port.add_access_rule("art-net", "carol", "asset-vault", fn)
+        art_port.add_access_rule("source-net", "producer-org", "asset-vault", fn)
+
+    collector_client = InteropClient(collector_node.identity, art_relay, "art-net")
+    ring = (
+        InteropGateway.from_client(trader_client)     # trader is party 0
+        .exchange_cycle()
+        .leg("source-net/main/assetscc", "GOLD-2",
+             policy="AND(org:producer-org, org:auditor-org)")
+        .leg("commodity-net/state/asset-vault", "OIL-10", party=dealer_client,
+             policy="AND(org:dealer-org, org:exchange-org)")
+        .leg("art-net/vault/asset-vault", "ART-7", party=collector_client,
+             policy="AND(org:carol, org:dana)")
+        .with_window(timeout=7_200.0, hop_gap=120.0)  # leg i expires 120s earlier
+        .journal_to(MemoryStore())  # point at a SqliteStore (§9) to survive crashes
+        .run()
+    )
+    gold2 = json.loads(source.gateway.evaluate(
+        source_admin, "assetscc", "GetAsset", ["GOLD-2"]))
+    oil10 = json.loads(commodity.peers[0].storage_snapshot(
+        "asset-vault")["asset/OIL-10"].decode())
+    _, art_state = collector_node.lookup("ART-7")
+    print(f"\nthree-party ring : {ring.state.value} "
+          f"(one hashlock {ring.hashlock.hex()[:16]}…)")
+    print(f"GOLD-2 owner     : {gold2['owner']}  (was trader@source-net)")
+    print(f"OIL-10 owner     : {oil10['owner']}  (was dealer@commodity-net)")
+    print(f"ART-7 owner      : {art_state.data['asset']['owner']}  (was carol@art-net)")
+    print("every asset moved ONE hop around the ring, atomically; had any")
+    print("leg stalled, the decremented windows guarantee each escrow is")
+    print("refundable in turn — and the journal makes the coordinator")
+    print("recoverable mid-cycle via CycleCoordinator.recover(store, id).")
+
 
 if __name__ == "__main__":
     main()

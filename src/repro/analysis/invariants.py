@@ -143,6 +143,29 @@ GUARDED_STATE: dict[str, dict[str, str]] = {
         "restores": "_lock",
     },
     "BalancedDiscovery": {"_pools": "_lock", "_monitors": "_lock"},
+    # repro/assets/metrics.py — one ExchangeMetrics is shared by every
+    # concurrently-running exchange/cycle coordinator plus the ops scrape.
+    "ExchangeMetrics": {
+        "_started": "_lock",
+        "_settled": "_lock",
+        "_transitions": "_lock",
+        "_refund_legs": "_lock",
+        "_aborts": "_lock",
+        "_latencies": "_lock",
+    },
+    # repro/pubchain/chain.py — the block tree, fork-choice tip, and the
+    # replay caches are shared by submitters, miners, and driver reads.
+    "SimulatedPublicChain": {
+        "_blocks": "_lock",
+        "_tip": "_lock",
+        "_block_nonce": "_lock",
+        "_writesets": "_lock",
+        "_tx_height": "_lock",
+        "_state_cache": "_lock",
+        "_orgs": "_lock",
+        "_observers": "_lock",
+        "_contracts": "_lock",
+    },
 }
 
 #: Attribute-call names that mutate their receiver (``self.x.append(...)``
@@ -213,6 +236,7 @@ ERROR_TAXONOMY_LAYERS = (
     "repro/assets/",
     "repro/store/",
     "repro/ops/",
+    "repro/pubchain/",
 )
 
 #: Helper calls whose return value IS the error answer (an error envelope

@@ -30,6 +30,9 @@ streaming, and a composable relay middleware chain.
 - :class:`ExchangeBuilder` — ``gateway.exchange()``: two-party atomic
   asset exchange via hash-time-locked contracts (:mod:`repro.assets`),
   with proof-verified lock confirmations riding the same query plane.
+- :class:`CycleBuilder` — ``gateway.exchange_cycle()``: the N-party
+  generalization — an A→B→…→A ring of escrows under one hashlock with
+  per-hop decremented timelocks and journaled crash recovery.
 - :mod:`repro.api.middleware` — relay interceptors: rate limiting
   (refactored from the relay core), metrics, request logging, response
   caching (which never serves side-effecting envelopes). Install with
@@ -52,7 +55,12 @@ from repro.api.batch import (
     TransactionSpec,
 )
 from repro.api.async_gateway import AsyncGateway
-from repro.api.builder import ExchangeBuilder, QueryBuilder, TransactionBuilder
+from repro.api.builder import (
+    CycleBuilder,
+    ExchangeBuilder,
+    QueryBuilder,
+    TransactionBuilder,
+)
 from repro.api.gateway import InteropGateway
 from repro.api.session import GatewaySession
 from repro.api.streams import (
@@ -86,6 +94,7 @@ __all__ = [
     "TransactionHandle",
     "TransactionExecutor",
     "ExchangeBuilder",
+    "CycleBuilder",
     "EventVerifier",
     "VerifiedEvent",
     "VerifiedEventStream",

@@ -224,6 +224,7 @@ class ExchangeBuilder:
         self._counter_timeout = 300.0
         self._offer_policy: str | None = None
         self._ask_policy: str | None = None
+        self._metrics = None
 
     # -- fluent mutators ----------------------------------------------------------
 
@@ -258,6 +259,11 @@ class ExchangeBuilder:
         self._ask_policy = ask
         return self
 
+    def with_metrics(self, metrics) -> "ExchangeBuilder":
+        """Report into a shared :class:`repro.assets.ExchangeMetrics`."""
+        self._metrics = metrics
+        return self
+
     # -- terminal operations ------------------------------------------------------
 
     def build(self):
@@ -277,6 +283,124 @@ class ExchangeBuilder:
             counter_timeout=self._counter_timeout,
             offer_policy=self._offer_policy,
             ask_policy=self._ask_policy,
+            metrics=self._metrics,
+        )
+
+    def run(self):
+        """Build and drive the full happy path; returns the result."""
+        return self.build().run()
+
+
+class CycleBuilder:
+    """Fluent description of one N-party cyclic atomic swap.
+
+    Assembles a :class:`repro.assets.CycleCoordinator`::
+
+        cycle = (
+            gateway.exchange_cycle()
+            .leg("fabnet/trade/assetscc", "GOLD-1")          # my escrow
+            .leg("quornet/state/asset-vault", "OIL-9", party=bob)
+            .leg("cordanet/vault/asset-vault", "ART-7", party=carol)
+            .with_window(timeout=900.0, hop_gap=150.0)
+            .journal_to(store)
+            .build()
+        )
+        result = cycle.run()     # or drive lock_next()/claim_next()
+
+    Legs are declared in ring order; the first leg belongs to this
+    session's identity (party 0, who holds the secret), every later leg
+    names its escrowing party (an
+    :class:`~repro.interop.client.InteropClient` or anything exposing
+    ``.client``). Asset addresses are ``network/ledger/contract``, and
+    each leg's asset must live on its party's own network.
+    """
+
+    def __init__(self, client: InteropClient) -> None:
+        self._initiator = client
+        self._legs: list[tuple[str, str, InteropClient, str | None]] = []
+        self._timeout = 900.0
+        self._hop_gap = 150.0
+        self._verify_margin: float | None = None
+        self._store = None
+        self._cycle_id: str | None = None
+        self._metrics = None
+
+    # -- fluent mutators ----------------------------------------------------------
+
+    def leg(
+        self,
+        address: str,
+        asset_id: str,
+        party=None,
+        policy: str | None = None,
+    ) -> "CycleBuilder":
+        """Append one leg of the ring: an asset escrowed by ``party``.
+
+        ``party`` defaults to this session's client for the first leg
+        (and is required afterwards); ``policy`` is the verification
+        policy for proof-carrying readbacks of this leg's network
+        (``None`` = the CMDAC-recorded policy).
+        """
+        if party is None:
+            if self._legs:
+                raise RuntimeError(
+                    "every leg after the first must name its party"
+                )
+            client = self._initiator
+        else:
+            client = getattr(party, "client", party)
+        self._legs.append((address, asset_id, client, policy))
+        return self
+
+    def with_window(self, timeout: float, hop_gap: float) -> "CycleBuilder":
+        """Leg 0's lock lifetime and the per-hop timelock decrement."""
+        self._timeout = float(timeout)
+        self._hop_gap = float(hop_gap)
+        return self
+
+    def with_margin(self, verify_margin: float) -> "CycleBuilder":
+        """Minimum remaining lock lifetime a party requires before acting."""
+        self._verify_margin = float(verify_margin)
+        return self
+
+    def journal_to(self, store, cycle_id: str | None = None) -> "CycleBuilder":
+        """Journal every transition to ``store`` (a
+        :class:`repro.store.StateStore`) so the cycle survives a crash."""
+        self._store = store
+        if cycle_id is not None:
+            self._cycle_id = cycle_id
+        return self
+
+    def with_metrics(self, metrics) -> "CycleBuilder":
+        """Report into a shared :class:`repro.assets.ExchangeMetrics`."""
+        self._metrics = metrics
+        return self
+
+    # -- terminal operations ------------------------------------------------------
+
+    def build(self):
+        """Assemble the coordinator (validates the ring and its windows)."""
+        from repro.assets.coordinator import AssetSpec
+        from repro.assets.cycles import CycleCoordinator
+
+        if len(self._legs) < 2:
+            raise RuntimeError(
+                f"a cycle needs at least two leg(...) calls, got "
+                f"{len(self._legs)}"
+            )
+        return CycleCoordinator(
+            parties=[client for _, _, client, _ in self._legs],
+            specs=[
+                AssetSpec.parse(address, asset_id)
+                for address, asset_id, _, _ in self._legs
+            ],
+            cycle_timeout=self._timeout,
+            hop_gap=self._hop_gap,
+            policies=[policy for _, _, _, policy in self._legs],
+            verify_margin=self._verify_margin,
+            store=self._store,
+            cycle_id=self._cycle_id,
+            metrics=self._metrics,
         )
 
     def run(self):

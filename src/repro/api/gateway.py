@@ -39,7 +39,12 @@ gateway wraps a client and exposes it via :attr:`client`.
 from __future__ import annotations
 
 from repro.api.batch import QueryHandle, QuerySet, TransactionSet
-from repro.api.builder import ExchangeBuilder, QueryBuilder, TransactionBuilder
+from repro.api.builder import (
+    CycleBuilder,
+    ExchangeBuilder,
+    QueryBuilder,
+    TransactionBuilder,
+)
 from repro.api.session import GatewaySession
 from repro.api.streams import EventVerifier, VerifiedEventStream
 from repro.fabric.gateway import Gateway
@@ -172,6 +177,17 @@ class InteropGateway:
         same discovery, failover, and interceptor path as queries.
         """
         return self._session.exchange()
+
+    def exchange_cycle(self) -> CycleBuilder:
+        """Fluent builder for an N-party cyclic atomic swap (A→B→…→A).
+
+        The gateway's identity is party 0: it escrows the ring's first
+        leg, holds the one secret every leg is armed with, and opens the
+        backward claim walk after proof-verifying that the hashlock
+        survived the whole ring. Timelocks decrement by a fixed hop gap
+        so each claimant's upstream window outlives its own.
+        """
+        return self._session.exchange_cycle()
 
     # -- legacy passthroughs ------------------------------------------------------
 

@@ -33,7 +33,12 @@ from repro.api.batch import (
     TransactionHandle,
     TransactionSet,
 )
-from repro.api.builder import ExchangeBuilder, QueryBuilder, TransactionBuilder
+from repro.api.builder import (
+    CycleBuilder,
+    ExchangeBuilder,
+    QueryBuilder,
+    TransactionBuilder,
+)
 from repro.api.streams import EventVerifier, VerifiedEventStream
 from repro.errors import AddressError
 from repro.interop.client import InteropClient
@@ -202,6 +207,15 @@ class GatewaySession:
         :class:`repro.api.ExchangeBuilder` for the full surface.
         """
         return ExchangeBuilder(self._client)
+
+    def exchange_cycle(self) -> CycleBuilder:
+        """Fluent builder for an N-party cyclic atomic swap.
+
+        This session's identity is *party 0*: it escrows the first leg,
+        holds the cycle secret, and opens the backward claim walk. See
+        :class:`repro.api.CycleBuilder` for the full surface.
+        """
+        return CycleBuilder(self._client)
 
     def _close_stream(self, stream: VerifiedEventStream) -> None:
         self.relay.remote_unsubscribe(

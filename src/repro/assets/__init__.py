@@ -16,16 +16,26 @@ discovery, failover, interceptors, and the proof plane all unchanged.
 - :mod:`repro.assets.coordinator` — :class:`AssetExchangeCoordinator`,
   the explicit exchange state machine: lock → proof-verify → counter-lock
   → proof-verify → claim → claim, plus abort and timeout-refund paths.
+- :mod:`repro.assets.cycles` — :class:`CycleCoordinator`, the N-party
+  generalization: an A→B→C→…→A ring of escrows under one hashlock, with
+  per-hop decremented timelocks and journaled crash recovery.
+- :mod:`repro.assets.metrics` — :class:`ExchangeMetrics`, the shared
+  lock-guarded counters both coordinators report into (exported as the
+  ``repro_assets_*`` Prometheus families by ``repro.ops``).
 
-Applications reach it through ``gateway.exchange()`` (see
-:class:`repro.api.ExchangeBuilder`).
+Applications reach it through ``gateway.exchange()`` and
+``gateway.exchange_cycle()`` (see :class:`repro.api.ExchangeBuilder` /
+:class:`repro.api.CycleBuilder`).
 """
 
 from repro.assets.contracts import (
+    CORDA_ASSET_CONTRACT,
     FABRIC_ASSET_CHAINCODE,
     QUORUM_ASSET_CONTRACT,
     FabricAssetChaincode,
     QuorumAssetContract,
+    issue_corda_asset,
+    register_corda_asset_contract,
 )
 from repro.assets.coordinator import (
     AssetExchangeCoordinator,
@@ -33,6 +43,7 @@ from repro.assets.coordinator import (
     ExchangeResult,
     ExchangeState,
 )
+from repro.assets.cycles import CycleCoordinator, CycleResult, CycleState
 from repro.assets.htlc import (
     STATE_AVAILABLE,
     STATE_CLAIMED,
@@ -42,9 +53,12 @@ from repro.assets.htlc import (
     make_hashlock,
     new_preimage,
 )
+from repro.assets.metrics import ExchangeMetrics
 from repro.assets.ports import (
     AssetLedgerPort,
+    CordaAssetLedgerPort,
     FabricAssetLedgerPort,
+    PubChainAssetLedgerPort,
     QuorumAssetLedgerPort,
 )
 
@@ -52,12 +66,19 @@ __all__ = [
     "AssetExchangeCoordinator",
     "AssetLedgerPort",
     "AssetSpec",
+    "CordaAssetLedgerPort",
+    "CORDA_ASSET_CONTRACT",
+    "CycleCoordinator",
+    "CycleResult",
+    "CycleState",
+    "ExchangeMetrics",
     "ExchangeResult",
     "ExchangeState",
     "FabricAssetChaincode",
     "FabricAssetLedgerPort",
     "FABRIC_ASSET_CHAINCODE",
     "HtlcVault",
+    "PubChainAssetLedgerPort",
     "QuorumAssetContract",
     "QuorumAssetLedgerPort",
     "QUORUM_ASSET_CONTRACT",
@@ -65,6 +86,8 @@ __all__ = [
     "STATE_CLAIMED",
     "STATE_LOCKED",
     "STATE_REFUNDED",
+    "issue_corda_asset",
     "make_hashlock",
     "new_preimage",
+    "register_corda_asset_contract",
 ]

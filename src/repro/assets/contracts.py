@@ -26,14 +26,21 @@ from __future__ import annotations
 
 import json
 
-from repro.assets.htlc import HtlcVault
-from repro.errors import EVMError
+from repro.assets.htlc import (
+    STATE_CLAIMED,
+    STATE_LOCKED,
+    STATE_REFUNDED,
+    HtlcVault,
+    make_hashlock,
+)
+from repro.errors import AssetError, EVMError
 from repro.fabric.chaincode import Chaincode, ChaincodeStub, require_args
 from repro.quorum.contracts import CallContext, QuorumContract
 
-#: Default deployment names for the two platforms.
+#: Default deployment names for the three vault-hosting platforms.
 FABRIC_ASSET_CHAINCODE = "assetscc"
 QUORUM_ASSET_CONTRACT = "asset-vault"
+CORDA_ASSET_CONTRACT = "asset-vault"
 
 #: The vault's view functions (safe to serve from any single peer).
 VIEW_FUNCTIONS = frozenset({"GetLock", "GetAsset"})
@@ -177,3 +184,189 @@ class QuorumAssetContract(QuorumContract):
     def _require(args: list[str], count: int, function: str) -> None:
         if len(args) != count:
             raise EVMError(f"{function} expects {count} argument(s), got {len(args)}")
+
+
+# ---------------------------------------------------------------------------
+# Corda: the HTLC vault as linear states under notary-checked contract rules
+# ---------------------------------------------------------------------------
+#
+# Corda has no shared world state to host :class:`HtlcVault` storage in;
+# instead each asset is one :class:`~repro.corda.states.LinearState`
+# (``linear_id`` = asset id, ``kind`` = the contract name) whose ``data``
+# carries the same two records the KV vaults store::
+#
+#     {"asset": {"asset_id", "owner", "metadata"},
+#      "lock":  {...the HtlcVault lock record...} | None}
+#
+# Transitions are proposed as flows (``AssetIssue`` / ``AssetLock`` /
+# ``AssetClaim`` / ``AssetUnlock``) and the verifiers below re-impose the
+# vault's exact window semantics — claim strictly before the timeout,
+# refund at or after it — at *every signer* plus the notary, whose
+# uniqueness check is what makes double-claim/double-refund structurally
+# impossible (the lock state is consumed exactly once).
+
+
+def _corda_asset_records(state) -> tuple[dict, dict | None]:
+    """Unpack and sanity-check one asset state's (asset, lock) records."""
+    data = state.data or {}
+    asset = data.get("asset")
+    lock = data.get("lock")
+    if not isinstance(asset, dict) or asset.get("asset_id") != state.linear_id:
+        raise AssetError(
+            f"state {state.linear_id!r} carries no well-formed asset record"
+        )
+    if lock is not None and not isinstance(lock, dict):
+        raise AssetError(f"state {state.linear_id!r} carries a malformed lock")
+    return asset, lock
+
+
+def _single_transition(inputs: list, outputs: list, command: str) -> tuple:
+    if len(inputs) != 1 or len(outputs) != 1:
+        raise AssetError(f"{command} must consume and produce exactly one state")
+    before, after = inputs[0], outputs[0]
+    if before.linear_id != after.linear_id or before.kind != after.kind:
+        raise AssetError(f"{command} must evolve the same asset state")
+    return before, after
+
+
+def _require_same_lock_terms(old_lock: dict, new_lock: dict, command: str) -> None:
+    for field in ("asset_id", "owner", "recipient", "hashlock", "timeout", "created_at"):
+        if old_lock.get(field) != new_lock.get(field):
+            raise AssetError(f"{command} may not rewrite the lock's {field!r}")
+
+
+def register_corda_asset_contract(network) -> None:
+    """Register the HTLC vault's contract rules on a Corda network.
+
+    The verifiers close over the network clock, so the time windows are
+    judged against the same ledger time the other platforms' vaults use.
+    Registration is idempotent (re-registering replaces the verifiers).
+    """
+    clock = network.clock
+
+    def verify_issue(inputs: list, outputs: list, command: str) -> None:
+        if inputs or len(outputs) != 1:
+            raise AssetError("AssetIssue must mint exactly one fresh state")
+        asset, lock = _corda_asset_records(outputs[0])
+        if not asset.get("owner"):
+            raise AssetError("issue requires a non-empty owner")
+        if lock is not None:
+            raise AssetError("a freshly issued asset cannot carry a lock")
+
+    def verify_lock(inputs: list, outputs: list, command: str) -> None:
+        before, after = _single_transition(inputs, outputs, command)
+        in_asset, in_lock = _corda_asset_records(before)
+        out_asset, out_lock = _corda_asset_records(after)
+        asset_id = before.linear_id
+        if in_lock is not None and in_lock.get("state") == STATE_LOCKED:
+            raise AssetError(f"asset {asset_id!r} is already locked")
+        if out_asset != in_asset:
+            raise AssetError("a lock may not change the asset record")
+        if out_lock is None or out_lock.get("state") != STATE_LOCKED:
+            raise AssetError(f"AssetLock must produce a {STATE_LOCKED!r} lock")
+        if out_lock.get("owner") != in_asset.get("owner"):
+            raise AssetError(
+                f"asset {asset_id!r} is owned by {in_asset.get('owner')!r}, not "
+                f"{out_lock.get('owner')!r}"
+            )
+        if not out_lock.get("recipient"):
+            raise AssetError("lock requires a recipient")
+        try:
+            hashlock = bytes.fromhex(out_lock.get("hashlock", ""))
+        except ValueError as exc:
+            raise AssetError(f"hashlock is not valid hex: {exc}") from exc
+        if len(hashlock) != 32:
+            raise AssetError("hashlock must be a 32-byte SHA-256 digest")
+        if out_lock.get("preimage"):
+            raise AssetError("a fresh lock cannot reveal a preimage")
+        now = clock.now()
+        timeout = float(out_lock.get("timeout", 0.0))
+        if timeout <= now:
+            raise AssetError(
+                f"lock timeout {timeout} is not in the future (ledger time {now})"
+            )
+
+    def verify_claim(inputs: list, outputs: list, command: str) -> None:
+        before, after = _single_transition(inputs, outputs, command)
+        _in_asset, in_lock = _corda_asset_records(before)
+        out_asset, out_lock = _corda_asset_records(after)
+        asset_id = before.linear_id
+        if in_lock is None or in_lock.get("state") != STATE_LOCKED:
+            raise AssetError(f"asset {asset_id!r} is not locked")
+        now = clock.now()
+        if now >= float(in_lock["timeout"]):
+            raise AssetError(
+                f"claim window for asset {asset_id!r} closed at ledger time "
+                f"{in_lock['timeout']} (now {now}); only a refund is possible"
+            )
+        if out_lock is None or out_lock.get("state") != STATE_CLAIMED:
+            raise AssetError(f"AssetClaim must produce a {STATE_CLAIMED!r} lock")
+        _require_same_lock_terms(in_lock, out_lock, command)
+        try:
+            preimage = bytes.fromhex(out_lock.get("preimage", ""))
+        except ValueError as exc:
+            raise AssetError(f"preimage is not valid hex: {exc}") from exc
+        if make_hashlock(preimage).hex() != in_lock["hashlock"]:
+            raise AssetError(
+                f"preimage does not hash to the lock's hashlock for asset "
+                f"{asset_id!r}"
+            )
+        if out_asset.get("owner") != in_lock["recipient"]:
+            raise AssetError(
+                f"a claim must transfer asset {asset_id!r} to the lock's "
+                f"recipient {in_lock['recipient']!r}"
+            )
+
+    def verify_unlock(inputs: list, outputs: list, command: str) -> None:
+        before, after = _single_transition(inputs, outputs, command)
+        in_asset, in_lock = _corda_asset_records(before)
+        out_asset, out_lock = _corda_asset_records(after)
+        asset_id = before.linear_id
+        if in_lock is None or in_lock.get("state") != STATE_LOCKED:
+            raise AssetError(f"asset {asset_id!r} is not locked")
+        now = clock.now()
+        if now < float(in_lock["timeout"]):
+            raise AssetError(
+                f"lock on asset {asset_id!r} is refundable only from ledger "
+                f"time {in_lock['timeout']} (now {now}); the claim window is open"
+            )
+        if out_asset != in_asset:
+            raise AssetError("a refund may not change the asset record")
+        if out_lock is None or out_lock.get("state") != STATE_REFUNDED:
+            raise AssetError(f"AssetUnlock must produce a {STATE_REFUNDED!r} lock")
+        _require_same_lock_terms(in_lock, out_lock, command)
+        if out_lock.get("preimage"):
+            raise AssetError("a refund cannot reveal a preimage")
+
+    network.register_contract("AssetIssue", verify_issue)
+    network.register_contract("AssetLock", verify_lock)
+    network.register_contract("AssetClaim", verify_claim)
+    network.register_contract("AssetUnlock", verify_unlock)
+
+
+def issue_corda_asset(
+    network,
+    proposer,
+    asset_id: str,
+    owner: str,
+    metadata: str = "",
+    contract: str = CORDA_ASSET_CONTRACT,
+):
+    """Mint ``asset_id`` to ``owner`` as a network-wide linear state.
+
+    Every node participates, so any policy-selected attester can serve the
+    proof-carrying ``GetLock`` view from its *own* vault. Returns the
+    issuing :class:`~repro.corda.transactions.CordaTransaction`.
+    """
+    from repro.corda.states import LinearState
+
+    state = LinearState(
+        linear_id=asset_id,
+        kind=contract,
+        data={
+            "asset": {"asset_id": asset_id, "owner": owner, "metadata": metadata},
+            "lock": None,
+        },
+        participants=tuple(node.name for node in network.nodes),
+    )
+    return proposer.propose([], [state], "AssetIssue")

@@ -43,6 +43,7 @@ from repro.errors import (
     ProtocolError,
     RelayError,
 )
+from repro.assets.metrics import KIND_EXCHANGE, ExchangeMetrics
 from repro.interop.client import InteropClient
 from repro.store import StateStore
 from repro.proto.messages import (
@@ -219,6 +220,7 @@ class AssetExchangeCoordinator:
         verify_margin: float | None = None,
         store: StateStore | None = None,
         exchange_id: str | None = None,
+        metrics: ExchangeMetrics | None = None,
     ) -> None:
         if offer.network != initiator.network_id:
             raise ProtocolError(
@@ -275,7 +277,11 @@ class AssetExchangeCoordinator:
         )
         self.exchange_id = exchange_id or random_id("exch-")
         self._store = store
+        self._started_at: float | None = None
+        self._metrics = metrics
         self._journal()
+        if metrics is not None:
+            metrics.exchange_started(KIND_EXCHANGE)
 
     # -- durability ---------------------------------------------------------------
 
@@ -313,6 +319,7 @@ class AssetExchangeCoordinator:
             "counter_claimed": self.result.counter_claim is not None,
             "offer_claimed": self.result.offer_claim is not None,
             "preimage_revealed": self.result.preimage is not None,
+            "started_at": self._started_at,
         }
         self._store.put(
             NS_EXCHANGES, self.exchange_id, json.dumps(record).encode("utf-8")
@@ -339,6 +346,7 @@ class AssetExchangeCoordinator:
         exchange_id: str,
         offer_policy: str | None = None,
         ask_policy: str | None = None,
+        metrics: ExchangeMetrics | None = None,
     ) -> "AssetExchangeCoordinator":
         """Rebuild a coordinator from its journal after a crash.
 
@@ -388,9 +396,12 @@ class AssetExchangeCoordinator:
             result.offer_claim = cls._journaled_ack(coordinator.offer.asset_id)
         if record["preimage_revealed"]:
             result.preimage = coordinator.preimage
-        # Attach the store only now: a crash inside resume() itself must
-        # never regress the journal to the constructor's CREATED image.
+        coordinator._started_at = record.get("started_at")
+        # Attach the store (and metrics) only now: a crash inside resume()
+        # itself must never regress the journal to the constructor's
+        # CREATED image, and a resumed exchange is not a *new* start.
         coordinator._store = store
+        coordinator._metrics = metrics
         coordinator._journal()
         return coordinator
 
@@ -538,6 +549,8 @@ class AssetExchangeCoordinator:
         self.state = new_state
         self.result.state = new_state
         self._journal()
+        if self._metrics is not None:
+            self._metrics.state_entered(KIND_EXCHANGE, new_state.value)
 
     def _require(self, *states: ExchangeState) -> None:
         if self.state not in states:
@@ -558,7 +571,8 @@ class AssetExchangeCoordinator:
     def lock_offer(self) -> AssetAckMsg:
         """Initiator escrows the offer asset for the responder (step 1)."""
         self._require(ExchangeState.CREATED)
-        deadline = self._clock.now() + self.offer_timeout
+        self._started_at = self._clock.now()
+        deadline = self._started_at + self.offer_timeout
         ack = self._checked(
             self._initiator.relay.remote_asset(
                 MSG_KIND_ASSET_LOCK,
@@ -754,6 +768,10 @@ class AssetExchangeCoordinator:
         )
         self.result.offer_claim = ack
         self._advance(ExchangeState.COMPLETED)
+        if self._metrics is not None and self._started_at is not None:
+            self._metrics.latency_recorded(
+                KIND_EXCHANGE, self._clock.now() - self._started_at
+            )
         return ack
 
     def run(self) -> ExchangeResult:
@@ -792,6 +810,8 @@ class AssetExchangeCoordinator:
         """
         self._require(*_PRE_REVEAL_STATES)
         self._advance(ExchangeState.ABORTED)
+        if self._metrics is not None:
+            self._metrics.abort_recorded(KIND_EXCHANGE)
 
     def refund(self) -> list[AssetAckMsg]:
         """Unwind every standing (locked, unclaimed) escrow after its
@@ -833,6 +853,8 @@ class AssetExchangeCoordinator:
             self._journal()  # a crash here must not re-refund this leg
             self.result.refunds.append(ack)
             acks.append(ack)
+            if self._metrics is not None:
+                self._metrics.refund_recorded(KIND_EXCHANGE)
         if (
             self.result.offer_lock is not None
             and self.result.offer_claim is None
@@ -847,6 +869,8 @@ class AssetExchangeCoordinator:
             self._journal()
             self.result.refunds.append(ack)
             acks.append(ack)
+            if self._metrics is not None:
+                self._metrics.refund_recorded(KIND_EXCHANGE)
         self._advance(ExchangeState.REFUNDED)
         return acks
 

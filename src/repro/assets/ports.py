@@ -23,9 +23,14 @@ import json
 import threading
 from abc import ABC, abstractmethod
 
-from repro.assets.contracts import FABRIC_ASSET_CHAINCODE, QUORUM_ASSET_CONTRACT
+from repro.assets.contracts import (
+    CORDA_ASSET_CONTRACT,
+    FABRIC_ASSET_CHAINCODE,
+    QUORUM_ASSET_CONTRACT,
+)
+from repro.assets.htlc import STATE_AVAILABLE, STATE_CLAIMED, STATE_LOCKED, STATE_REFUNDED
 from repro.crypto.certs import Certificate, validate_chain
-from repro.errors import AccessDeniedError, AssetError
+from repro.errors import AccessDeniedError, AssetError, LedgerError
 from repro.fabric.identity import Identity
 from repro.fabric.network import FabricNetwork
 from repro.interop.contracts.cmdac import org_roots_from_config
@@ -231,6 +236,325 @@ class FabricAssetLedgerPort(AssetLedgerPort):
 
     def claim_asset(self, command: AssetCommandMsg) -> AssetAckMsg:
         self._check(command.auth, "ClaimAsset")
+        return self._commit_and_read(
+            command,
+            "ClaimAsset",
+            [command.asset_id, acting_party(command.auth), command.preimage.hex()],
+        )
+
+    def unlock_asset(self, command: AssetCommandMsg) -> AssetAckMsg:
+        self._check(command.auth, "UnlockAsset")
+        return self._commit_and_read(
+            command, "UnlockAsset", [command.asset_id, acting_party(command.auth)]
+        )
+
+    def asset_status(self, command: AssetCommandMsg) -> AssetAckMsg:
+        self._check(command.auth, "GetLock")
+        return self._ack(command, self._read_lock(command.asset_id))
+
+
+class CordaAssetLedgerPort(AssetLedgerPort):
+    """Drives the HTLC vault as Corda linear states (notary-backed escrow).
+
+    Each verb is a flow the designated ``invoker`` node proposes: consume
+    the asset's current state, produce the successor carrying the updated
+    lock record. The contract rules registered by
+    :func:`repro.assets.contracts.register_corda_asset_contract` re-impose
+    the vault's window semantics at every signer, and the notary's
+    uniqueness check consumes the lock state exactly once — double
+    claim/refund is rejected as a double spend rather than by a flag.
+
+    The port is the authentication boundary (as on the other platforms):
+    it binds the authenticated acting party to the lock's owner/recipient
+    before proposing, since the on-ledger verifier sees records, not
+    requestors.
+    """
+
+    def __init__(
+        self,
+        network: "CordaNetwork",
+        port: InteropPort,
+        invoker: "CordaNode",
+        contract: str = CORDA_ASSET_CONTRACT,
+    ) -> None:
+        self._network = network
+        self._port = port
+        self._invoker = invoker
+        self.contract = contract
+        self._commit_lock = threading.Lock()
+
+    def _check(self, auth: AuthInfo | None, function: str) -> None:
+        creator = authenticated_certificate(auth)
+        if auth.requesting_network == self._network.name:
+            validate_local_member(
+                creator, self._network.export_config(), self._network.name
+            )
+            return
+        self._port.check_access(
+            auth.requesting_network,
+            auth.requesting_org,
+            self.contract,
+            function,
+            creator,
+        )
+
+    def _state(self, asset_id: str):
+        try:
+            ref, state = self._invoker.lookup(asset_id)
+        except LedgerError as exc:
+            raise AssetError(f"no asset {asset_id!r} in this vault") from exc
+        if state.kind != self.contract:
+            raise AssetError(
+                f"state {asset_id!r} is a {state.kind!r} state, not an asset of "
+                f"{self.contract!r}"
+            )
+        return ref, state
+
+    def _evolve(self, ref, state, asset: dict, lock: dict, command: str):
+        from repro.corda.states import LinearState
+
+        successor = LinearState(
+            linear_id=state.linear_id,
+            kind=state.kind,
+            data={"asset": asset, "lock": lock},
+            participants=state.participants,
+        )
+        return self._invoker.propose([ref], [successor], command)
+
+    def _record_of(self, state) -> dict:
+        """The state's lock record, synthesized as *available* if unlocked
+        (byte-compatible with :meth:`repro.assets.htlc.HtlcVault.get_lock`)."""
+        asset = state.data["asset"]
+        lock = state.data.get("lock")
+        if lock is None:
+            lock = {
+                "asset_id": state.linear_id,
+                "owner": asset["owner"],
+                "recipient": "",
+                "hashlock": "",
+                "timeout": 0.0,
+                "state": STATE_AVAILABLE,
+                "preimage": "",
+                "created_at": 0.0,
+            }
+        return lock
+
+    def lock_asset(self, command: AssetCommandMsg) -> AssetAckMsg:
+        self._check(command.auth, "LockAsset")
+        party = acting_party(command.auth)
+        with self._commit_lock:
+            ref, state = self._state(command.asset_id)
+            asset = dict(state.data["asset"])
+            if asset.get("owner") != party:
+                raise AssetError(
+                    f"asset {command.asset_id!r} is owned by "
+                    f"{asset.get('owner')!r}, not {party!r}"
+                )
+            record = {
+                "asset_id": command.asset_id,
+                "owner": party,
+                "recipient": command.recipient,
+                "hashlock": command.hashlock.hex(),
+                "timeout": command.timeout,
+                "state": STATE_LOCKED,
+                "preimage": "",
+                "created_at": self._network.clock.now(),
+            }
+            tx = self._evolve(ref, state, asset, record, "AssetLock")
+        return self._ack(
+            command, record, tx.tx_id, self._network.sequence_of(tx.tx_id)
+        )
+
+    def claim_asset(self, command: AssetCommandMsg) -> AssetAckMsg:
+        self._check(command.auth, "ClaimAsset")
+        party = acting_party(command.auth)
+        with self._commit_lock:
+            ref, state = self._state(command.asset_id)
+            lock = state.data.get("lock")
+            if lock is None or lock.get("state") != STATE_LOCKED:
+                current = lock["state"] if lock else STATE_AVAILABLE
+                raise AssetError(
+                    f"asset {command.asset_id!r} is not locked (state {current!r})"
+                )
+            if lock["recipient"] != party:
+                raise AssetError(
+                    f"asset {command.asset_id!r} is locked for "
+                    f"{lock['recipient']!r}, not {party!r}"
+                )
+            record = dict(lock)
+            record["state"] = STATE_CLAIMED
+            record["preimage"] = command.preimage.hex()
+            asset = dict(state.data["asset"])
+            asset["owner"] = lock["recipient"]
+            tx = self._evolve(ref, state, asset, record, "AssetClaim")
+        return self._ack(
+            command, record, tx.tx_id, self._network.sequence_of(tx.tx_id)
+        )
+
+    def unlock_asset(self, command: AssetCommandMsg) -> AssetAckMsg:
+        self._check(command.auth, "UnlockAsset")
+        party = acting_party(command.auth)
+        with self._commit_lock:
+            ref, state = self._state(command.asset_id)
+            lock = state.data.get("lock")
+            if lock is None or lock.get("state") != STATE_LOCKED:
+                current = lock["state"] if lock else STATE_AVAILABLE
+                raise AssetError(
+                    f"asset {command.asset_id!r} is not locked (state {current!r})"
+                )
+            if lock["owner"] != party:
+                raise AssetError(
+                    f"lock on asset {command.asset_id!r} was placed by "
+                    f"{lock['owner']!r}, not {party!r}"
+                )
+            record = dict(lock)
+            record["state"] = STATE_REFUNDED
+            asset = dict(state.data["asset"])
+            tx = self._evolve(ref, state, asset, record, "AssetUnlock")
+        return self._ack(
+            command, record, tx.tx_id, self._network.sequence_of(tx.tx_id)
+        )
+
+    def asset_status(self, command: AssetCommandMsg) -> AssetAckMsg:
+        self._check(command.auth, "GetLock")
+        _ref, state = self._state(command.asset_id)
+        return self._ack(command, self._record_of(state))
+
+    # -- proof-carrying views (registered as driver query handlers) ----------------
+
+    def get_lock_view(self, node, args: list[str]) -> bytes:
+        """``GetLock`` served from the *queried node's own* vault."""
+        if len(args) != 1:
+            raise AssetError("GetLock expects exactly one argument (asset_id)")
+        state = self._node_state(node, args[0])
+        return json.dumps(self._record_of(state), sort_keys=True).encode("utf-8")
+
+    def get_asset_view(self, node, args: list[str]) -> bytes:
+        if len(args) != 1:
+            raise AssetError("GetAsset expects exactly one argument (asset_id)")
+        state = self._node_state(node, args[0])
+        return json.dumps(state.data["asset"], sort_keys=True).encode("utf-8")
+
+    def _node_state(self, node, asset_id: str):
+        try:
+            _ref, state = node.lookup(asset_id)
+        except LedgerError as exc:
+            raise AssetError(f"no asset {asset_id!r} in this vault") from exc
+        if state.kind != self.contract:
+            raise AssetError(
+                f"state {asset_id!r} is a {state.kind!r} state, not an asset of "
+                f"{self.contract!r}"
+            )
+        return state
+
+
+class PubChainAssetLedgerPort(AssetLedgerPort):
+    """Drives the HTLC vault hosted on a :class:`SimulatedPublicChain`.
+
+    The chain reuses Quorum's contract machinery, so the deployed vault is
+    the shared :class:`~repro.assets.contracts.QuorumAssetContract`;
+    governance gates mirror the Quorum port. What is new is *finality*: a
+    claim acts on an observed lock, so before submitting one this port
+    re-reads the lock and demands it be settled under the chain's
+    :class:`~repro.pubchain.FinalityPolicy` — a lock below confirmation
+    depth raises :class:`~repro.errors.FinalityPendingError`, and a lock
+    orphaned by a reorg raises :class:`~repro.errors.ReorgDetectedError`
+    (both travel back as non-OK acks; the proof-carrying ``GetLock`` query
+    path surfaces the same conditions as typed wire statuses).
+    """
+
+    def __init__(
+        self,
+        chain,
+        ecc_port: InteropPort,
+        invoker: Identity,
+        contract: str = QUORUM_ASSET_CONTRACT,
+        finality=None,
+    ) -> None:
+        from repro.pubchain.finality import FinalityPolicy
+
+        self._chain = chain
+        self._ecc_port = ecc_port
+        self._invoker = invoker
+        self.contract = contract
+        self._finality = finality or FinalityPolicy()
+        self._commit_lock = threading.Lock()
+        chain.submit_transaction(
+            invoker, contract, "AuthorizeInvoker", [invoker.name]
+        )
+
+    def _check(self, auth: AuthInfo | None, function: str) -> None:
+        creator = authenticated_certificate(auth)
+        if auth.requesting_network == self._chain.name:
+            validate_local_member(
+                creator, self._chain.export_config(), self._chain.name
+            )
+            return
+        self._ecc_port.check_access(
+            auth.requesting_network,
+            auth.requesting_org,
+            self.contract,
+            function,
+            creator,
+        )
+
+    def _commit_and_read(
+        self, command: AssetCommandMsg, function: str, args: list[str]
+    ) -> AssetAckMsg:
+        with self._commit_lock:
+            tx = self._chain.submit_transaction(
+                self._invoker, self.contract, function, args
+            )
+            record = self._read_lock(command.asset_id)
+        return self._ack(command, record, tx.tx_id, self._chain.height_of(tx.tx_id))
+
+    def _read_lock_with_keys(self, asset_id: str) -> tuple[dict, frozenset]:
+        raw, read_keys = self._chain.view(
+            self._invoker, self.contract, "GetLock", [asset_id]
+        )
+        return json.loads(raw), read_keys
+
+    def _read_lock(self, asset_id: str) -> dict:
+        record, _read_keys = self._read_lock_with_keys(asset_id)
+        return record
+
+    def _require_settled_lock(self, asset_id: str) -> None:
+        """Refuse to act on a pending or reorged-out lock record."""
+        from repro.errors import FinalityPendingError, ReorgDetectedError
+        from repro.pubchain.finality import VERB_ASSETS
+
+        _record, read_keys = self._read_lock_with_keys(asset_id)
+        reorged = self._chain.reorged_keys(self.contract, read_keys)
+        if reorged:
+            raise ReorgDetectedError(
+                f"lock on asset {asset_id!r} was orphaned by a chain reorg on "
+                f"{self._chain.name!r}; re-verify before claiming"
+            )
+        depth = self._chain.confirmation_depth(self.contract, read_keys)
+        required = self._finality.required(VERB_ASSETS)
+        if depth is not None and depth < required:
+            raise FinalityPendingError(
+                f"lock on asset {asset_id!r} has {depth} of {required} required "
+                f"confirmation(s) on {self._chain.name!r}; pending, not claimable"
+            )
+
+    def lock_asset(self, command: AssetCommandMsg) -> AssetAckMsg:
+        self._check(command.auth, "LockAsset")
+        return self._commit_and_read(
+            command,
+            "LockAsset",
+            [
+                command.asset_id,
+                acting_party(command.auth),
+                command.recipient,
+                command.hashlock.hex(),
+                repr(command.timeout),
+            ],
+        )
+
+    def claim_asset(self, command: AssetCommandMsg) -> AssetAckMsg:
+        self._check(command.auth, "ClaimAsset")
+        self._require_settled_lock(command.asset_id)
         return self._commit_and_read(
             command,
             "ClaimAsset",

@@ -198,3 +198,32 @@ class AssetError(InteropError):
 
 class ExchangeStateError(AssetError):
     """An exchange step was attempted from an incompatible state."""
+
+
+# ---------------------------------------------------------------------------
+# Probabilistic finality (repro.pubchain)
+# ---------------------------------------------------------------------------
+
+
+class FinalityError(InteropError):
+    """A record cannot (yet) be treated as final on a probabilistic chain.
+
+    Raised by the verification side of the public-chain driver, never by
+    the ledger itself: a transaction can be *included* at any depth, but
+    the :class:`repro.pubchain.FinalityPolicy` decides when its effects
+    are trustworthy enough to attest across networks.
+    """
+
+
+class FinalityPendingError(FinalityError):
+    """The record is on the canonical chain but below the required
+    confirmation depth — *pending*, not verified. Retry after more blocks
+    accumulate; nothing is wrong with the record itself."""
+
+
+class ReorgDetectedError(FinalityError):
+    """A chain reorganization orphaned a record this query depends on.
+
+    The state previously observable (e.g. an HTLC lock) is no longer on
+    the canonical chain and has not been re-included — the caller must
+    re-verify from scratch rather than act on stale observations."""

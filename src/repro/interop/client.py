@@ -12,7 +12,14 @@ from __future__ import annotations
 import logging
 from dataclasses import dataclass
 
-from repro.errors import AccessDeniedError, ProofError, ProtocolError, RelayError
+from repro.errors import (
+    AccessDeniedError,
+    FinalityPendingError,
+    ProofError,
+    ProtocolError,
+    RelayError,
+    ReorgDetectedError,
+)
 from repro.fabric.gateway import Gateway
 from repro.fabric.identity import Identity
 from repro.interop.contracts.cmdac import CMDAC_NAME
@@ -30,6 +37,8 @@ from repro.proto.messages import (
     PROTOCOL_VERSION,
     STATUS_ACCESS_DENIED,
     STATUS_OK,
+    STATUS_PENDING_FINALITY,
+    STATUS_REORG,
     AuthInfo,
     NetworkAddressMsg,
     NetworkQuery,
@@ -215,6 +224,16 @@ class InteropClient:
             raise AccessDeniedError(
                 f"source network denied the query {address_text!r}: "
                 f"{response.error}"
+            )
+        if response.status == STATUS_PENDING_FINALITY:
+            raise FinalityPendingError(
+                f"remote query {address_text!r} is below its required "
+                f"confirmation depth: {response.error}"
+            )
+        if response.status == STATUS_REORG:
+            raise ReorgDetectedError(
+                f"remote query {address_text!r} depends on a reorged-out "
+                f"record: {response.error}"
             )
         if response.status != STATUS_OK:
             raise RelayError(

@@ -18,10 +18,15 @@ The driver carries the full §2 capability surface:
   matches the subscribed event name is pushed as a wire-shape
   notification, exposure-gated by the platform port under the same
   ``event:<name>`` rule objects as Fabric;
-- **assets** remain unsupported and *fail closed*: the relay answers
-  ``MSG_KIND_ASSET_*`` envelopes for a Corda network with a
-  capability-marked error that surfaces client-side as
-  :class:`repro.errors.UnsupportedCapabilityError`.
+- **assets** (:meth:`CordaDriver.enable_assets`): the HTLC vault as
+  notary-backed escrow — each asset is a linear state whose lock record
+  evolves under the contract rules of
+  :func:`repro.assets.contracts.register_corda_asset_contract`, with the
+  notary's uniqueness check ruling out double claim/refund, and
+  ``GetLock``/``GetAsset`` registered as proof-carrying query handlers so
+  counterparties verify locks exactly as on Fabric/Quorum. Without
+  enablement the relay keeps failing closed with a capability-marked
+  error (:class:`repro.errors.UnsupportedCapabilityError`).
 """
 
 from __future__ import annotations
@@ -178,6 +183,37 @@ class CordaDriver(NetworkDriver):
         self._network.node(name)  # fail fast on an unknown node
         self._invoker_node = name
         self.supports_transactions = True
+
+    def enable_assets(
+        self, invoker_node: str | CordaNode, contract: str | None = None
+    ) -> None:
+        """Grant the asset capability: HTLC flows propose under ``invoker_node``.
+
+        Registers the vault's contract rules on the network (idempotent),
+        attaches a :class:`repro.assets.ports.CordaAssetLedgerPort`, and
+        exposes ``GetLock``/``GetAsset`` as query handlers under
+        ``contract`` (default
+        :data:`repro.assets.contracts.CORDA_ASSET_CONTRACT`) so remote
+        coordinators can fetch proof-carrying lock records.
+        """
+        from repro.assets.contracts import (
+            CORDA_ASSET_CONTRACT,
+            register_corda_asset_contract,
+        )
+        from repro.assets.ports import CordaAssetLedgerPort
+
+        name = (
+            invoker_node.name
+            if isinstance(invoker_node, CordaNode)
+            else invoker_node
+        )
+        node = self._network.node(name)  # fail fast on an unknown node
+        contract = contract or CORDA_ASSET_CONTRACT
+        register_corda_asset_contract(self._network)
+        port = CordaAssetLedgerPort(self._network, self._port, node, contract)
+        self.attach_asset_port(port)
+        self.register_handler(contract, "GetLock", port.get_lock_view)
+        self.register_handler(contract, "GetAsset", port.get_asset_view)
 
     def enable_events(self) -> None:
         """Grant the event capability (subscriptions tap network finality).

@@ -19,9 +19,28 @@ does so lazily at start).
 
 from __future__ import annotations
 
+import bisect
+
 from repro.api.middleware import MetricsInterceptor
 from repro.interop.relay import RateLimitInterceptor, RelayService
 from repro.ops.metrics import MetricFamily, MetricsRegistry, counter_family, gauge_family
+
+#: Lock→final-claim latency bounds (seconds). Exchanges settle on ledger
+#: round-trips, not in-process calls, so the grid runs from sub-second
+#: single-hop swaps out to ten-minute N-party cycles near their timelock.
+ASSET_LATENCY_BUCKETS = (
+    0.1,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    30.0,
+    60.0,
+    120.0,
+    300.0,
+    600.0,
+)
 
 
 def register_relay(registry: MetricsRegistry, relay: RelayService) -> None:
@@ -176,6 +195,87 @@ def _discovery_families(discovery, relay_label) -> "list[MetricFamily]":
     return families
 
 
+def register_assets(registry: MetricsRegistry, metrics) -> None:
+    """Export exchange/cycle activity as the ``repro_assets_*`` families.
+
+    ``metrics`` is a shared :class:`~repro.assets.metrics.ExchangeMetrics`
+    (duck-typed: anything with its ``snapshot()``). Like the other
+    exporters this registers a scrape-time collector over the snapshot —
+    the coordinators keep their one-lock bump on the hot path, and the
+    lock→claim histogram is rebuilt from the recorded latencies at each
+    scrape. Every family is labelled ``kind`` (``exchange`` for two-party
+    swaps, ``cycle`` for N-party rings); transition counters add the
+    ``state`` entered.
+    """
+
+    def collect() -> "list[MetricFamily]":
+        snapshot = metrics.snapshot()
+
+        def kind_samples(table: dict) -> tuple:
+            return tuple(
+                ((("kind", kind),), value) for kind, value in sorted(table.items())
+            )
+
+        families = [
+            gauge_family(
+                "repro_assets_active",
+                "Exchanges/cycles started but not yet settled "
+                "(completed, refunded, or failed).",
+                kind_samples(snapshot["active"]),
+            ),
+            counter_family(
+                "repro_assets_started_total",
+                "Exchanges/cycles ever started.",
+                kind_samples(snapshot["started"]),
+            ),
+            counter_family(
+                "repro_assets_transitions_total",
+                "Coordinator state-machine transitions, by state entered.",
+                tuple(
+                    ((("kind", key.split(":", 1)[0]), ("state", key.split(":", 1)[1])), value)
+                    for key, value in sorted(snapshot["transitions"].items())
+                ),
+            ),
+            counter_family(
+                "repro_assets_refund_legs_total",
+                "Individual locked legs refunded during unwinds.",
+                kind_samples(snapshot["refund_legs"]),
+            ),
+            counter_family(
+                "repro_assets_aborts_total",
+                "Exchanges/cycles aborted by a coordinator decision "
+                "(timeout, tampered proof, stalled party).",
+                kind_samples(snapshot["aborts"]),
+            ),
+        ]
+        histogram_samples = []
+        for kind, latencies in sorted(snapshot["latencies"].items()):
+            counts = [0] * (len(ASSET_LATENCY_BUCKETS) + 1)
+            for seconds in latencies:
+                counts[bisect.bisect_left(ASSET_LATENCY_BUCKETS, seconds)] += 1
+            cumulative, running = [], 0
+            for count in counts:
+                running += count
+                cumulative.append(running)
+            histogram_samples.append(
+                ((("kind", kind),), tuple(cumulative), float(sum(latencies)))
+            )
+        if histogram_samples:
+            families.append(
+                MetricFamily(
+                    name="repro_assets_lock_to_claim_seconds",
+                    kind="histogram",
+                    help="First lock to final claim, per completed "
+                    "exchange/cycle.",
+                    samples=tuple(histogram_samples),
+                    buckets=ASSET_LATENCY_BUCKETS,
+                )
+            )
+        return families
+
+    registry.register_collector(collect)
+
+
 def register_server(registry: MetricsRegistry, server) -> None:
     """Export one :class:`~repro.net.RelayServer`'s frame-level stats."""
     relay_label = ("relay_id", server.service.relay_id)
@@ -212,4 +312,4 @@ def register_server(registry: MetricsRegistry, server) -> None:
     registry.register_collector(collect)
 
 
-__all__ = ["register_relay", "register_server"]
+__all__ = ["ASSET_LATENCY_BUCKETS", "register_assets", "register_relay", "register_server"]

@@ -129,10 +129,17 @@ ERROR_KIND_CAPABILITY = "capability"
 INVOCATION_QUERY = ""
 INVOCATION_TRANSACTION = "transaction"
 
-# QueryResponse.status values.
+# QueryResponse.status values. The two finality statuses are produced
+# only by probabilistic-finality drivers (repro.pubchain): PENDING marks
+# a record below its required confirmation depth (retry later — nothing
+# is wrong with the record), REORG marks a record orphaned by a chain
+# reorganization (re-verify from scratch). Clients surface them as
+# repro.errors.FinalityPendingError / ReorgDetectedError.
 STATUS_OK = 0
 STATUS_ACCESS_DENIED = 1
 STATUS_ERROR = 2
+STATUS_PENDING_FINALITY = 3
+STATUS_REORG = 4
 
 
 class NetworkAddressMsg(Message):

@@ -1,0 +1,23 @@
+"""Public-chain simulation: probabilistic finality for the interop layer.
+
+The fourth driver family. :class:`SimulatedPublicChain` is a Nakamoto-style
+block tree (longest-chain fork choice, seeded natural forks, deterministic
+``force_reorg``); :class:`FinalityPolicy` states how many confirmations a
+record needs before the relay will attest it; :class:`PubChainDriver`
+enforces that policy at proof-generation time, answering the typed
+``STATUS_PENDING_FINALITY`` / ``STATUS_REORG`` protocol outcomes instead
+of ever attesting unsettled state.
+"""
+
+from repro.pubchain.chain import PublicBlock, SimulatedPublicChain
+from repro.pubchain.driver import PubChainDriver
+from repro.pubchain.finality import VERB_ASSETS, VERB_QUERY, FinalityPolicy
+
+__all__ = [
+    "FinalityPolicy",
+    "PubChainDriver",
+    "PublicBlock",
+    "SimulatedPublicChain",
+    "VERB_ASSETS",
+    "VERB_QUERY",
+]

@@ -1,0 +1,485 @@
+"""A public-chain-flavored ledger: fork choice, reorgs, confirmation depth.
+
+This is the substrate behind the fourth driver: a single simulated chain
+whose blocks form a *tree*, with the canonical branch chosen by the
+longest-chain rule (ties keep the current tip, so adoption is stable).
+Unlike the permissioned substrates, nothing here is final at commit time:
+
+- ``submit_transaction`` mines the transaction into a block on the
+  canonical tip — or, with probability ``fork_rate`` (seeded), onto the
+  tip's *parent*, producing a natural short fork whose transaction is
+  orphaned the moment the canonical branch stays ahead;
+- ``mine`` appends empty confirmation blocks (depth accumulates);
+- ``force_reorg`` deterministically rebuilds a heavier branch from an
+  ancestor, orphaning the last ``depth`` blocks — orphaned transactions
+  are *not* re-mined, so state they wrote (e.g. an HTLC lock) vanishes
+  from the canonical chain, exactly the hazard a
+  :class:`~repro.pubchain.FinalityPolicy` exists to catch.
+
+Contract execution reuses the Quorum machinery (:class:`QuorumContract`,
+:class:`CallContext`, :class:`QuorumTransaction`), so the HTLC vault
+contract is hosted unmodified. Canonical state is *derived*: replaying the
+canonical branch from genesis (cached per block, extended incrementally),
+skipping transactions that no longer apply on the current branch — a
+replayed double-claim after a reorg simply reverts.
+
+Observers play the role peers play on permissioned networks: identities
+that can serve (and sign) views of canonical state for the attestation
+proof scheme. They hold no replicas — the chain itself is the replica.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass, field
+
+from repro.crypto.hashing import sha256
+from repro.errors import EVMError, LedgerError, MembershipError, ReproError
+from repro.fabric.identity import Identity, Organization
+from repro.proto.messages import NetworkConfigMsg, OrganizationConfigMsg, PeerConfigMsg
+from repro.quorum.contracts import CallContext, QuorumContract
+from repro.quorum.network import QuorumTransaction
+from repro.utils.clock import Clock, SystemClock
+from repro.utils.encoding import canonical_json
+from repro.utils.ids import random_id
+
+
+@dataclass(frozen=True)
+class PublicBlock:
+    """One mined block: a node in the block tree."""
+
+    height: int
+    parent: str  # parent block hash (hex); "" only for genesis
+    transactions: tuple[QuorumTransaction, ...]
+    miner: str
+    nonce: int
+
+    def hash_hex(self) -> str:
+        return sha256(
+            canonical_json(
+                {
+                    "height": self.height,
+                    "parent": self.parent,
+                    "transactions": [tx.to_bytes().hex() for tx in self.transactions],
+                    "miner": self.miner,
+                    "nonce": self.nonce,
+                }
+            )
+        ).hex()
+
+
+class _TrackingStorage:
+    """A dict proxy recording which keys a contract call reads/writes.
+
+    The write set feeds orphan detection (which transaction last wrote a
+    key, on which branch); the read set lets the driver assess finality of
+    exactly the state a view depended on.
+    """
+
+    def __init__(self, base: dict[str, bytes]) -> None:
+        self._base = base
+        self.reads: set[str] = set()
+        self.writes: set[str] = set()
+
+    def get(self, key: str, default=None):
+        self.reads.add(key)
+        return self._base.get(key, default)
+
+    def __getitem__(self, key: str):
+        self.reads.add(key)
+        return self._base[key]
+
+    def __contains__(self, key: str) -> bool:
+        self.reads.add(key)
+        return key in self._base
+
+    def __setitem__(self, key: str, value: bytes) -> None:
+        self.writes.add(key)
+        self._base[key] = value
+
+    def __iter__(self):
+        # A full scan depends on every present key.
+        self.reads.update(self._base)
+        return iter(self._base)
+
+    def __len__(self) -> int:
+        return len(self._base)
+
+    def keys(self):
+        self.reads.update(self._base)
+        return self._base.keys()
+
+    def items(self):
+        self.reads.update(self._base)
+        return self._base.items()
+
+
+@dataclass
+class _BranchState:
+    """Replayed state at one block (immutable once cached)."""
+
+    storage: dict[str, dict[str, bytes]] = field(default_factory=dict)
+    #: (address, key) -> (tx_id, block height) of the last canonical write.
+    writers: dict[tuple[str, str], tuple[str, int]] = field(default_factory=dict)
+    #: Transactions that applied successfully on this branch.
+    applied: set[str] = field(default_factory=set)
+
+
+class SimulatedPublicChain:
+    """The simulated public chain (Nakamoto-style longest-chain ledger)."""
+
+    def __init__(
+        self,
+        name: str,
+        clock: Clock | None = None,
+        seed: int = 0,
+        fork_rate: float = 0.0,
+        auto_confirm: int = 0,
+    ) -> None:
+        self.name = name
+        self.clock = clock or SystemClock()
+        #: Extra empty confirmation blocks mined after every transaction
+        #: block — lets a deployment pre-bake depth K = auto_confirm + 1.
+        self.auto_confirm = auto_confirm
+        self.fork_rate = fork_rate
+        self._rng = random.Random(seed)
+        self._orgs: dict[str, Organization] = {}
+        self._observers: list[Identity] = []
+        self._contracts: dict[str, QuorumContract] = {}
+        genesis = PublicBlock(
+            height=0, parent="", transactions=(), miner="genesis", nonce=0
+        )
+        self._blocks: dict[str, PublicBlock] = {genesis.hash_hex(): genesis}
+        self._tip = genesis.hash_hex()
+        self._block_nonce = 0
+        #: tx_id -> (contract address, keys written) captured at mine time.
+        self._writesets: dict[str, tuple[str, frozenset[str]]] = {}
+        self._tx_height: dict[str, int] = {}
+        self._state_cache: dict[str, _BranchState] = {}
+        self._lock = threading.RLock()
+
+    # -- membership ---------------------------------------------------------------
+
+    def add_observer(self, name: str, org_id: str) -> Identity:
+        """Enroll an identity that serves signed views of canonical state."""
+        with self._lock:
+            org = self._orgs.get(org_id)
+            if org is None:
+                org = Organization(org_id, network=self.name)
+                self._orgs[org_id] = org
+            identity = org.enroll(name, role="peer")
+            self._observers.append(identity)
+            return identity
+
+    def enroll_client(self, name: str, org_id: str) -> Identity:
+        org = self._orgs.get(org_id)
+        if org is None:
+            raise MembershipError(f"no organization {org_id!r} on {self.name!r}")
+        return org.enroll(name, role="client")
+
+    @property
+    def observers(self) -> list[Identity]:
+        return list(self._observers)
+
+    def observer(self, observer_id: str) -> Identity:
+        for identity in self._observers:
+            if identity.id == observer_id or identity.name == observer_id:
+                return identity
+        raise MembershipError(
+            f"public chain {self.name!r} has no observer {observer_id!r}"
+        )
+
+    # -- contracts ----------------------------------------------------------------
+
+    def deploy_contract(self, contract: QuorumContract) -> None:
+        if not contract.address:
+            raise EVMError("contract must declare an address")
+        with self._lock:
+            self._contracts[contract.address] = contract
+
+    # -- block tree ---------------------------------------------------------------
+
+    @property
+    def tip(self) -> PublicBlock:
+        with self._lock:
+            return self._blocks[self._tip]
+
+    def tip_height(self) -> int:
+        return self.tip.height
+
+    def block(self, block_hash: str) -> PublicBlock:
+        block = self._blocks.get(block_hash)
+        if block is None:
+            raise LedgerError(f"no block {block_hash!r} on {self.name!r}")
+        return block
+
+    def canonical_branch(self) -> list[PublicBlock]:
+        """Genesis → tip along the canonical chain."""
+        with self._lock:
+            return self._branch(self._tip)
+
+    def _branch(self, tip_hash: str) -> list[PublicBlock]:
+        branch: list[PublicBlock] = []
+        cursor = tip_hash
+        while cursor:
+            block = self._blocks[cursor]
+            branch.append(block)
+            cursor = block.parent
+        branch.reverse()
+        return branch
+
+    def _mine_block(
+        self, parent_hash: str, transactions: tuple[QuorumTransaction, ...]
+    ) -> PublicBlock:
+        with self._lock:  # reentrant: callers already hold it
+            parent = self._blocks[parent_hash]
+            self._block_nonce += 1
+            block = PublicBlock(
+                height=parent.height + 1,
+                parent=parent_hash,
+                transactions=transactions,
+                miner=f"miner-{self.name}",
+                nonce=self._block_nonce,
+            )
+            block_hash = block.hash_hex()
+            self._blocks[block_hash] = block
+            # Longest-chain fork choice; a tie keeps the current tip, so a
+            # competing branch must actually get *ahead* to reorg the chain.
+            if block.height > self._blocks[self._tip].height:
+                self._tip = block_hash
+            return block
+
+    def mine(self, count: int = 1) -> int:
+        """Append empty confirmation blocks on the canonical tip."""
+        with self._lock:
+            for _ in range(max(0, count)):
+                self._mine_block(self._tip, ())
+            return self._blocks[self._tip].height
+
+    def force_reorg(self, depth: int, extra: int = 1) -> list[str]:
+        """Deterministically reorg the last ``depth`` canonical blocks.
+
+        Builds ``depth + extra`` empty blocks from the ancestor at
+        ``tip_height - depth``; the new branch ends ``extra`` blocks ahead,
+        so fork choice adopts it and every transaction in the displaced
+        suffix is orphaned (returned, for assertions). Orphaned
+        transactions are *not* re-mined — this is the adversarial case the
+        finality policy guards, not a polite migration.
+        """
+        with self._lock:
+            tip = self._blocks[self._tip]
+            if depth < 1 or depth > tip.height:
+                raise LedgerError(
+                    f"cannot reorg {depth} block(s) at height {tip.height}"
+                )
+            displaced = self._branch(self._tip)[-depth:]
+            ancestor = self._branch(self._tip)[-depth - 1]
+            cursor = ancestor.hash_hex()
+            for _ in range(depth + max(1, extra)):
+                cursor = self._mine_block(cursor, ()).hash_hex()
+            orphaned = [
+                tx.tx_id for block in displaced for tx in block.transactions
+            ]
+            return orphaned
+
+    # -- transaction submission ---------------------------------------------------
+
+    def submit_transaction(
+        self, sender: Identity, address: str, function: str, args: list[str]
+    ) -> QuorumTransaction:
+        """Validate against the parent branch, mine into a new block.
+
+        A transaction that violates contract rules on its branch raises
+        here and is never mined. With ``fork_rate`` > 0 the seeded RNG may
+        mine the block onto the tip's *parent* instead of the tip,
+        producing a same-height fork whose transaction is orphaned unless
+        the fork overtakes — the probabilistic-finality hazard in miniature.
+        """
+        with self._lock:
+            contract = self._contracts.get(address)
+            if contract is None:
+                raise EVMError(f"no contract at address {address!r}")
+            tx = QuorumTransaction(
+                tx_id=random_id("ptx-"),
+                address=address,
+                function=function,
+                args=tuple(args),
+                sender=sender.id,
+                sender_org=sender.org,
+                timestamp=self.clock.now(),
+            )
+            parent_hash = self._tip
+            parent_block = self._blocks[parent_hash]
+            if (
+                self.fork_rate
+                and parent_block.parent
+                and self._rng.random() < self.fork_rate
+            ):
+                parent_hash = parent_block.parent
+            parent_state = self._state_for(parent_hash)
+            scratch = dict(parent_state.storage.get(address, {}))
+            tracker = _TrackingStorage(scratch)
+            ctx = CallContext(
+                sender=tx.sender, sender_org=tx.sender_org, timestamp=tx.timestamp
+            )
+            contract.execute(tx.function, list(tx.args), tracker, ctx)
+            self._writesets[tx.tx_id] = (address, frozenset(tracker.writes))
+            block = self._mine_block(parent_hash, (tx,))
+            self._tx_height[tx.tx_id] = block.height
+            for _ in range(self.auto_confirm):
+                self._mine_block(self._tip, ())
+            return tx
+
+    def height_of(self, tx_id: str) -> int:
+        """The height of the block a transaction was mined into."""
+        with self._lock:
+            height = self._tx_height.get(tx_id)
+            if height is None:
+                raise LedgerError(f"no mined transaction {tx_id!r} on {self.name!r}")
+            return height
+
+    # -- canonical state ----------------------------------------------------------
+
+    def _state_for(self, block_hash: str) -> _BranchState:
+        """The replayed state at ``block_hash`` (cached, built incrementally).
+
+        Cached states are treated as immutable: extending a parent state
+        copies each contract's storage before applying the child block.
+        """
+        with self._lock:  # reentrant: callers already hold it
+            missing: list[str] = []
+            cursor = block_hash
+            while cursor and cursor not in self._state_cache:
+                missing.append(cursor)
+                cursor = self._blocks[cursor].parent
+            state = self._state_cache.get(cursor) if cursor else None
+            if state is None:
+                state = _BranchState()
+            for pending in reversed(missing):
+                block = self._blocks[pending]
+                state = _BranchState(
+                    storage={addr: dict(kv) for addr, kv in state.storage.items()},
+                    writers=dict(state.writers),
+                    applied=set(state.applied),
+                )
+                for tx in block.transactions:
+                    contract = self._contracts.get(tx.address)
+                    if contract is None:
+                        continue
+                    scratch = dict(state.storage.get(tx.address, {}))
+                    tracker = _TrackingStorage(scratch)
+                    ctx = CallContext(
+                        sender=tx.sender,
+                        sender_org=tx.sender_org,
+                        timestamp=tx.timestamp,
+                    )
+                    try:
+                        contract.execute(tx.function, list(tx.args), tracker, ctx)
+                    except ReproError:
+                        # Valid on the branch it was mined on, invalid here
+                        # (e.g. a duplicate claim after a reorg) — reverted.
+                        continue
+                    state.storage[tx.address] = scratch
+                    state.applied.add(tx.tx_id)
+                    for key in tracker.writes:
+                        state.writers[(tx.address, key)] = (tx.tx_id, block.height)
+                self._state_cache[pending] = state
+            return state
+
+    def view(
+        self, sender: Identity, address: str, function: str, args: list[str]
+    ) -> tuple[bytes, frozenset[str]]:
+        """Evaluate a view against canonical state; returns (result, keys read).
+
+        The read set is the provenance the driver assesses finality over:
+        a view is only as final as the least-confirmed canonical write —
+        and not trustworthy at all if a read key's latest write was
+        orphaned by a reorg.
+        """
+        with self._lock:
+            contract = self._contracts.get(address)
+            if contract is None:
+                raise EVMError(f"no contract at address {address!r}")
+            state = self._state_for(self._tip)
+            reader = _TrackingStorage(dict(state.storage.get(address, {})))
+            ctx = CallContext(
+                sender=sender.id, sender_org=sender.org, timestamp=self.clock.now()
+            )
+            result = contract.call(function, list(args), reader, ctx)
+            return result, frozenset(reader.reads)
+
+    # -- finality assessment ------------------------------------------------------
+
+    def reorged_keys(self, address: str, keys) -> dict[str, str]:
+        """Keys whose latest observable write was orphaned: key -> tx_id.
+
+        A key is *reorged* when some mined transaction wrote it but is no
+        longer applied on the canonical branch, and the canonical branch
+        has no newer write for it (a later canonical re-write supersedes
+        the orphan — detection is monotonic, it clears once the state is
+        re-established at equal-or-greater height).
+        """
+        with self._lock:
+            state = self._state_for(self._tip)
+            problems: dict[str, str] = {}
+            for key in keys:
+                canonical = state.writers.get((address, key))
+                for tx_id, (written_address, written_keys) in self._writesets.items():
+                    if written_address != address or key not in written_keys:
+                        continue
+                    if tx_id in state.applied:
+                        continue
+                    height = self._tx_height.get(tx_id, 0)
+                    if canonical is None or canonical[1] <= height:
+                        problems[key] = tx_id
+                        break
+            return problems
+
+    def confirmation_depth(self, address: str, keys) -> int | None:
+        """Confirmations of the least-buried canonical write among ``keys``.
+
+        A transaction in the tip block has depth 1. Returns ``None`` when
+        no read key has a canonical writer (the view observed only absence
+        of state, which no amount of waiting would change).
+        """
+        with self._lock:
+            state = self._state_for(self._tip)
+            tip_height = self._blocks[self._tip].height
+            depths = [
+                tip_height - writer[1] + 1
+                for key in keys
+                if (writer := state.writers.get((address, key))) is not None
+            ]
+            return min(depths) if depths else None
+
+    # -- interop configuration export ---------------------------------------------
+
+    def export_config(self) -> NetworkConfigMsg:
+        organizations = []
+        for org_id in sorted(self._orgs):
+            org = self._orgs[org_id]
+            peers = [
+                PeerConfigMsg(
+                    peer_id=identity.id,
+                    org=org_id,
+                    endpoint=f"sim://{self.name}/{identity.id}",
+                    certificate=identity.certificate.to_bytes(),
+                )
+                for identity in self._observers
+                if identity.org == org_id
+            ]
+            organizations.append(
+                OrganizationConfigMsg(
+                    org_id=org_id,
+                    msp_id=org.msp.msp_id,
+                    root_certificate=org.msp.root_certificate.to_bytes(),
+                    peers=peers,
+                )
+            )
+        return NetworkConfigMsg(
+            network_id=self.name,
+            platform="pubchain",
+            organizations=organizations,
+            ledgers=["chain"],
+        )

@@ -1,0 +1,46 @@
+"""Finality policy: how many confirmations make a record trustworthy.
+
+Permissioned chains (Fabric/Corda/Quorum) have deterministic finality —
+a committed transaction is final. Public chains only offer *probabilistic*
+finality: a block can be orphaned by a heavier fork, so relays bridging to
+them must wait for a confirmation depth K before attesting state (the
+interoperability surveys arXiv:2212.09227 / arXiv:2601.02949 name this as
+the capability relay schemes must add beyond enterprise chains).
+
+A :class:`FinalityPolicy` is enforced by :class:`repro.pubchain.PubChainDriver`
+at *proof-generation* time: a record below depth answers
+``STATUS_PENDING_FINALITY`` (typed as :class:`repro.errors.FinalityPendingError`
+client-side), and a record whose writing transaction was orphaned by a
+reorg answers ``STATUS_REORG`` (:class:`repro.errors.ReorgDetectedError`) —
+never a fake success, never a silent stale read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+#: Verb classes a policy can override independently. ``"query"`` covers
+#: plain data reads; ``"assets"`` covers HTLC verbs (lock/claim/unlock and
+#: the proof-carrying GetLock readbacks), which typically demand a deeper
+#: margin because value moves on their strength.
+VERB_QUERY = "query"
+VERB_ASSETS = "assets"
+
+
+@dataclass(frozen=True)
+class FinalityPolicy:
+    """Confirmation-depth requirements for one public chain.
+
+    ``confirmations`` is the default depth K (a transaction in the tip
+    block has depth 1); ``per_verb`` overrides K for specific verb classes,
+    e.g. ``{"assets": 6}`` to demand six confirmations before an HTLC lock
+    counts as verified while plain queries settle for the default.
+    """
+
+    confirmations: int = 1
+    per_verb: Mapping[str, int] = field(default_factory=dict)
+
+    def required(self, verb: str) -> int:
+        """The confirmation depth required for ``verb`` (always >= 1)."""
+        return max(1, int(self.per_verb.get(verb, self.confirmations)))

@@ -309,6 +309,9 @@ class ConformanceTarget:
     issue_asset: Callable[[str, str], str] | None = None
     read_lock: Callable[[str], dict] | None = None
     counter_client: InteropClient | None = None
+    #: The underlying ledger object, for scenario-specific manipulation the
+    #: verb hooks cannot express (e.g. a public chain's mine/force_reorg).
+    substrate: object | None = None
 
     def __post_init__(self) -> None:
         if not self.destination_network_id:

@@ -19,6 +19,8 @@ from types import SimpleNamespace
 import pytest
 
 from repro.assets import FabricAssetChaincode, QuorumAssetContract
+from repro.assets.contracts import issue_corda_asset
+from repro.corda import CordaNetwork
 from repro.fabric import NetworkBuilder
 from repro.interop import InMemoryRegistry, InteropClient, RelayService
 from repro.interop.bootstrap import (
@@ -27,14 +29,17 @@ from repro.interop.bootstrap import (
     record_foreign_network,
 )
 from repro.interop.contracts.ports import InteropPort
+from repro.interop.drivers.corda_driver import CordaDriver
 from repro.interop.drivers.quorum_driver import QuorumDriver
 from repro.quorum import QuorumNetwork
 from repro.utils.clock import SimulatedClock
 
 OFFER_ADDRESS = "fabnet/trade/assetscc"
 ASK_ADDRESS = "quornet/state/asset-vault"
+CORDA_ADDRESS = "cordanet/vault/asset-vault"
 OFFER_POLICY = "AND(org:traders-org, org:audit-org)"
 ASK_POLICY = "AND(org:op-org-1, org:op-org-2)"
+CORDA_POLICY = "AND(org:carol, org:dana)"
 
 
 @pytest.fixture()
@@ -124,4 +129,129 @@ def exchange_scenario():
         bob_client=InteropClient(bob, quorum_relay, "quornet"),
         gold_owner=gold_owner,
         oil_owner=oil_owner,
+    )
+
+
+@pytest.fixture()
+def cycle_scenario():
+    """A ready three-network ring: Fabric → Quorum → Corda → Fabric.
+
+    One asset per network — ``GOLD-1`` (alice@fabnet), ``OIL-9``
+    (bob@quornet), ``ART-7`` (carol@cordanet) — with every downstream
+    party granted ``GetLock``/``ClaimAsset`` on its upstream vault, as a
+    cyclic swap requires. All three networks share one clock.
+    """
+    clock = SimulatedClock(1_000.0)
+
+    # -- Fabric network (party 0) ------------------------------------------
+    fabric = (
+        NetworkBuilder("fabnet", channel="trade", clock=clock)
+        .add_org("traders-org")
+        .add_org("audit-org")
+        .add_peer("peer0", "traders-org")
+        .add_peer("peer0", "audit-org")
+        .add_client("admin", "traders-org")
+        .add_client("alice", "traders-org")
+        .build()
+    )
+    fabric_admin = fabric.org("traders-org").member("admin")
+    alice = fabric.org("traders-org").member("alice")
+    enable_fabric_interop(fabric, fabric_admin)
+    fabric.deploy_chaincode(
+        FabricAssetChaincode(),
+        "AND('traders-org.peer', 'audit-org.peer')",
+        initializer=fabric_admin,
+    )
+    fabric.gateway.submit(
+        fabric_admin, "assetscc", "Issue", ["GOLD-1", "alice@fabnet", "{}"]
+    )
+
+    # -- Quorum network (party 1) ------------------------------------------
+    quorum = QuorumNetwork("quornet", clock=clock)
+    quorum.deploy_contract(QuorumAssetContract())
+    quorum.add_peer("peer1", "op-org-1")
+    quorum.add_peer("peer2", "op-org-2")
+    bob = quorum.enroll_client("bob", "op-org-1")
+    quorum_invoker = quorum.enroll_client("asset-invoker", "op-org-1")
+    quorum.submit_transaction(
+        quorum_invoker, "asset-vault", "Issue", ["OIL-9", "bob@quornet", "{}"]
+    )
+
+    # -- Corda network (party 2) -------------------------------------------
+    corda = CordaNetwork("cordanet", clock=clock)
+    carol_node = corda.add_node("carol")
+    corda.add_node("dana")
+
+    # -- relays + discovery ------------------------------------------------
+    registry = InMemoryRegistry()
+    fabric_relay = create_fabric_relay(fabric, registry)
+    fabric_invoker = fabric.org("traders-org").enroll("asset-invoker", role="client")
+    fabric_relay.driver_for("fabnet").enable_assets(fabric_invoker)
+
+    quorum_port = InteropPort("quornet")
+    quorum_relay = RelayService("quornet", registry, clock=clock)
+    quorum_driver = QuorumDriver(quorum, quorum_port)
+    quorum_driver.enable_assets(quorum_invoker)
+    quorum_relay.register_driver(quorum_driver)
+    registry.register("quornet", quorum_relay)
+
+    corda_port = InteropPort("cordanet")
+    corda_relay = RelayService("cordanet", registry, clock=clock)
+    corda_driver = CordaDriver(corda, corda_port)
+    corda_driver.enable_assets("carol")
+    corda_relay.register_driver(corda_driver)
+    registry.register("cordanet", corda_relay)
+    issue_corda_asset(corda, carol_node, "ART-7", "carol@cordanet")
+
+    # -- ring governance: each vault admits its downstream neighbour -------
+    # fabnet (leg 0) is verified/claimed by bob@quornet.
+    for function in ("ClaimAsset", "GetLock"):
+        fabric.gateway.submit(
+            fabric_admin,
+            "ecc",
+            "AddAccessRule",
+            ["quornet", "op-org-1", "assetscc", function],
+        )
+    record_foreign_network(fabric, fabric_admin, quorum, verification_policy=ASK_POLICY)
+    record_foreign_network(fabric, fabric_admin, corda, verification_policy=CORDA_POLICY)
+    # quornet (leg 1) is verified/claimed by carol@cordanet.
+    quorum_port.record_network_config(corda.export_config())
+    for function in ("ClaimAsset", "GetLock"):
+        quorum_port.add_access_rule("cordanet", "carol", "asset-vault", function)
+    # cordanet (leg 2) is verified/claimed by alice@fabnet.
+    corda_port.record_network_config(fabric.export_config())
+    for function in ("ClaimAsset", "GetLock"):
+        corda_port.add_access_rule("fabnet", "traders-org", "asset-vault", function)
+
+    def gold_owner() -> str:
+        raw = fabric.gateway.evaluate(fabric_admin, "assetscc", "GetAsset", ["GOLD-1"])
+        return json.loads(raw)["owner"]
+
+    def oil_owner() -> str:
+        raw = quorum.peers[0].storage_snapshot("asset-vault")["asset/OIL-9"]
+        return json.loads(raw.decode())["owner"]
+
+    def art_owner() -> str:
+        _, state = carol_node.lookup("ART-7")
+        return state.data["asset"]["owner"]
+
+    return SimpleNamespace(
+        clock=clock,
+        fabric=fabric,
+        fabric_admin=fabric_admin,
+        fabric_relay=fabric_relay,
+        quorum=quorum,
+        quorum_port=quorum_port,
+        quorum_relay=quorum_relay,
+        corda=corda,
+        corda_port=corda_port,
+        corda_relay=corda_relay,
+        carol_node=carol_node,
+        registry=registry,
+        alice_client=InteropClient(alice, fabric_relay, "fabnet", gateway=fabric.gateway),
+        bob_client=InteropClient(bob, quorum_relay, "quornet"),
+        carol_client=InteropClient(carol_node.identity, corda_relay, "cordanet"),
+        gold_owner=gold_owner,
+        oil_owner=oil_owner,
+        art_owner=art_owner,
     )

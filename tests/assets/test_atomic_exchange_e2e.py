@@ -33,17 +33,19 @@ OFFER_POLICY = "AND(org:traders-org, org:audit-org)"
 ASK_POLICY = "AND(org:op-org-1, org:op-org-2)"
 
 
-def build_exchange(scenario, offer_timeout=600.0, counter_timeout=300.0):
+def build_exchange(scenario, offer_timeout=600.0, counter_timeout=300.0, metrics=None):
     gateway = InteropGateway.from_client(scenario.alice_client)
-    return (
+    builder = (
         gateway.exchange()
         .offer(OFFER_ADDRESS, "GOLD-1")
         .ask(ASK_ADDRESS, "OIL-9")
         .with_counterparty(scenario.bob_client)
         .with_timeouts(offer=offer_timeout, counter=counter_timeout)
         .with_policies(offer=OFFER_POLICY, ask=ASK_POLICY)
-        .build()
     )
+    if metrics is not None:
+        builder.with_metrics(metrics)
+    return builder.build()
 
 
 class TestHappyPath:
@@ -295,3 +297,57 @@ class TestGovernance:
         scenario.quorum_relay._drivers["quornet"].supports_assets = False
         with pytest.raises(RelayError, match="no asset-capable driver"):
             scenario.alice_client.relay.remote_asset(MSG_KIND_ASSET_LOCK, command)
+
+
+class TestExchangeMetrics:
+    def test_completed_exchange_reports_through_shared_metrics(
+        self, exchange_scenario
+    ):
+        """The two-party coordinator feeds the same ExchangeMetrics the
+        cycles use, end to end through ``repro.ops``: one registry scrape
+        shows the completed swap's transitions and its lock→claim latency."""
+        from repro.assets.metrics import ExchangeMetrics
+        from repro.ops.exporters import register_assets
+        from repro.ops.metrics import MetricsRegistry
+        from repro.testing import parse_exposition
+
+        scenario = exchange_scenario
+        metrics = ExchangeMetrics()
+        registry = MetricsRegistry()
+        register_assets(registry, metrics)
+
+        exchange = build_exchange(scenario, metrics=metrics)
+        result = exchange.run()
+        assert result.completed
+
+        snapshot = metrics.snapshot()
+        assert snapshot["started"] == {"exchange": 1}
+        assert snapshot["active"] == {"exchange": 0}
+        assert snapshot["transitions"]["exchange:completed"] == 1
+        [latency] = snapshot["latencies"]["exchange"]
+        assert latency >= 0.0
+
+        families = parse_exposition(registry.render())
+        [active] = families["repro_assets_active"].samples
+        assert active.label_dict() == {"kind": "exchange"}
+        assert active.value == 0
+        histogram = families["repro_assets_lock_to_claim_seconds"]
+        [count] = [s for s in histogram.samples if s.name.endswith("_count")]
+        assert count.value == 1
+
+    def test_refunded_exchange_counts_both_legs(self, exchange_scenario):
+        from repro.assets.metrics import ExchangeMetrics
+
+        scenario = exchange_scenario
+        metrics = ExchangeMetrics()
+        exchange = build_exchange(scenario, metrics=metrics)
+        exchange.lock_offer()
+        exchange.verify_offer()
+        exchange.lock_counter()
+        scenario.clock.advance(601.0)
+        exchange.refund()
+
+        snapshot = metrics.snapshot()
+        assert snapshot["refund_legs"] == {"exchange": 2}
+        assert snapshot["transitions"]["exchange:refunded"] == 1
+        assert metrics.active("exchange") == 0

@@ -1,0 +1,225 @@
+"""Property sweep of the HTLC timelock boundaries (hypothesis).
+
+The vault's example-based tests pin individual boundary cases; this
+module sweeps the rules the whole asset subsystem leans on:
+
+- the claim and refund windows *partition* time around the timeout —
+  at every instant exactly one of the two paths is open, including the
+  boundary instant itself (claim strictly before, refund at-or-after);
+- settled locks are settled forever: after a claim no refund succeeds at
+  any time, and vice versa (no double spend under any schedule);
+- the per-hop decremented windows of an N-party cycle keep the backward
+  claim cascade safe even when each leg's ledger clock is adversarially
+  skewed, as long as the hop gap exceeds twice the skew bound — and the
+  margin is tight: a gap *inside* the skew bound admits a losing schedule.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.assets.htlc import (
+    STATE_CLAIMED,
+    STATE_LOCKED,
+    STATE_REFUNDED,
+    HtlcVault,
+    make_hashlock,
+)
+from repro.errors import AssetError
+
+PREIMAGE = b"property-sweep-preimage"
+HASHLOCK_HEX = make_hashlock(PREIMAGE).hex()
+
+
+class MemoryStorage:
+    def __init__(self) -> None:
+        self._data: dict[str, bytes] = {}
+
+    def get(self, key: str):
+        return self._data.get(key)
+
+    def put(self, key: str, value: bytes) -> None:
+        self._data[key] = value
+
+
+def locked_vault(timeout: float, created_at: float = 0.0) -> HtlcVault:
+    vault = HtlcVault(MemoryStorage())
+    vault.issue("A-1", "alice", "")
+    vault.lock("A-1", "alice", "bob", HASHLOCK_HEX, timeout, created_at)
+    return vault
+
+
+def lock_state(vault: HtlcVault) -> str:
+    import json
+
+    return json.loads(vault.get_lock("A-1"))["state"]
+
+
+#: Ledger times as integers scaled to quarter-seconds: hypothesis then
+#: probes exact boundary equality (t == timeout) without float noise.
+TICK = 0.25
+times = st.integers(min_value=1, max_value=4_000)
+
+
+class TestWindowPartition:
+    @given(timeout_ticks=times, now_ticks=times)
+    @settings(max_examples=80, deadline=None)
+    def test_exactly_one_path_open_at_every_instant(
+        self, timeout_ticks, now_ticks
+    ):
+        timeout, now = timeout_ticks * TICK, now_ticks * TICK
+        claim_ok = refund_ok = False
+        vault = locked_vault(timeout)
+        try:
+            vault.claim("A-1", "bob", PREIMAGE.hex(), now)
+            claim_ok = True
+        except AssetError:
+            pass
+        vault = locked_vault(timeout)
+        try:
+            vault.refund("A-1", "alice", now)
+            refund_ok = True
+        except AssetError:
+            pass
+        # The partition: strictly-before claims, at-or-after refunds.
+        assert claim_ok == (now < timeout)
+        assert refund_ok == (now >= timeout)
+        assert claim_ok != refund_ok
+
+    @given(timeout_ticks=times)
+    @settings(max_examples=30, deadline=None)
+    def test_boundary_instant_belongs_to_refund(self, timeout_ticks):
+        timeout = timeout_ticks * TICK
+        vault = locked_vault(timeout)
+        with pytest.raises(AssetError, match="only a refund"):
+            vault.claim("A-1", "bob", PREIMAGE.hex(), timeout)
+        vault.refund("A-1", "alice", timeout)
+        assert lock_state(vault) == STATE_REFUNDED
+
+
+class TestSettledForever:
+    @given(timeout_ticks=times, claim_delta=times, later=times)
+    @settings(max_examples=60, deadline=None)
+    def test_claimed_lock_never_refunds(self, timeout_ticks, claim_delta, later):
+        timeout = timeout_ticks * TICK
+        claim_at = max(0.0, timeout - claim_delta * TICK)
+        vault = locked_vault(timeout)
+        vault.claim("A-1", "bob", PREIMAGE.hex(), claim_at)
+        with pytest.raises(AssetError, match="not locked"):
+            vault.refund("A-1", "alice", timeout + later * TICK)
+        assert lock_state(vault) == STATE_CLAIMED
+
+    @given(timeout_ticks=times, later=times)
+    @settings(max_examples=60, deadline=None)
+    def test_refunded_lock_never_claims(self, timeout_ticks, later):
+        timeout = timeout_ticks * TICK
+        vault = locked_vault(timeout)
+        vault.refund("A-1", "alice", timeout)
+        with pytest.raises(AssetError, match="not locked"):
+            # Even the *correct* preimage, even back inside the window.
+            vault.claim("A-1", "bob", PREIMAGE.hex(), timeout - TICK)
+        assert lock_state(vault) == STATE_REFUNDED
+
+    @given(timeout_ticks=times, now_ticks=times, junk=st.binary(min_size=1, max_size=48))
+    @settings(max_examples=60, deadline=None)
+    def test_wrong_preimage_never_claims(self, timeout_ticks, now_ticks, junk):
+        if junk == PREIMAGE:
+            return
+        timeout, now = timeout_ticks * TICK, now_ticks * TICK
+        vault = locked_vault(timeout)
+        with pytest.raises(AssetError):
+            vault.claim("A-1", "bob", junk.hex(), now)
+        assert lock_state(vault) == STATE_LOCKED
+
+
+def cycle_vaults(n: int, deadline0: float, hop_gap: float, now: float):
+    """One vault per leg, locked with the per-hop decremented deadlines
+    the :class:`~repro.assets.cycles.CycleCoordinator` computes:
+    ``deadline_i = deadline_0 - i * hop_gap``."""
+    vaults = []
+    for index in range(n):
+        vault = HtlcVault(MemoryStorage())
+        vault.issue("A-1", f"party-{index}", "")
+        vault.lock(
+            "A-1",
+            f"party-{index}",
+            f"party-{(index + 1) % n}",
+            HASHLOCK_HEX,
+            deadline0 - index * hop_gap,
+            now,
+        )
+        vaults.append(vault)
+    return vaults
+
+
+class TestDecrementedWindowsUnderSkew:
+    @given(
+        n=st.integers(min_value=2, max_value=6),
+        skew_bound_ticks=st.integers(min_value=0, max_value=40),
+        margin_ticks=st.integers(min_value=1, max_value=40),
+        data=st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_gap_beyond_twice_the_skew_keeps_cascade_safe(
+        self, n, skew_bound_ticks, margin_ticks, data
+    ):
+        """The cycle safety margin: each leg's ledger clock may be off by
+        up to ``skew``; if the hop gap exceeds ``2 * skew``, then party N-1
+        claiming strictly inside its own (skewed) window guarantees every
+        upstream leg's window is still open when the preimage cascades —
+        the structural reason a stalled or adversarial clock cannot strand
+        an inner leg after its downstream neighbour was claimed."""
+        skew = skew_bound_ticks * TICK
+        hop_gap = 2 * skew + margin_ticks * TICK
+        deadline0 = 10_000.0
+        skews = [
+            data.draw(
+                st.integers(min_value=-skew_bound_ticks, max_value=skew_bound_ticks),
+                label=f"skew-{index}",
+            )
+            * TICK
+            for index in range(n)
+        ]
+        vaults = cycle_vaults(n, deadline0, hop_gap, now=0.0)
+
+        # The last leg claims strictly inside its own ledger's window.
+        last_deadline = deadline0 - (n - 1) * hop_gap
+        true_time = data.draw(
+            st.floats(
+                min_value=0.0,
+                max_value=last_deadline - skews[n - 1] - TICK,
+            ),
+            label="claim-time",
+        )
+        for index in range(n - 1, -1, -1):
+            ledger_now = true_time + skews[index]
+            vaults[index].claim(
+                "A-1", f"party-{(index + 1) % n}", PREIMAGE.hex(), ledger_now
+            )
+            assert lock_state(vaults[index]) == STATE_CLAIMED
+
+    @given(skew_bound_ticks=st.integers(min_value=2, max_value=40))
+    @settings(max_examples=30, deadline=None)
+    def test_gap_inside_the_skew_bound_admits_a_losing_schedule(
+        self, skew_bound_ticks
+    ):
+        """The margin is tight, not paranoia: with ``hop_gap < 2 * skew``
+        an adversarial skew assignment lets the downstream leg be claimed
+        while the upstream ledger already refuses the cascading claim —
+        exactly the stranding the coordinator's window rule prevents."""
+        skew = skew_bound_ticks * TICK
+        hop_gap = skew  # < 2 * skew
+        deadline0 = 10_000.0
+        vaults = cycle_vaults(2, deadline0, hop_gap, now=0.0)
+        leg1_deadline = deadline0 - hop_gap
+        # Leg 1's clock runs slow (-skew): at true time just before its
+        # deadline *appears* open; leg 0's runs fast (+skew).
+        true_time = leg1_deadline + skew - TICK
+        vaults[1].claim("A-1", "party-0", PREIMAGE.hex(), true_time - skew)
+        with pytest.raises(AssetError, match="only a refund"):
+            vaults[0].claim("A-1", "party-1", PREIMAGE.hex(), true_time + skew)
+        # The stranded leg still has its refund path — funds are not lost,
+        # atomicity is (which is why the coordinator enforces the gap).
+        vaults[0].refund("A-1", "party-0", true_time + skew)

@@ -1,4 +1,4 @@
-"""Conformance targets: one per platform (Fabric, Quorum, Corda).
+"""Conformance targets: one per platform (Fabric, Quorum, Corda, pubchain).
 
 Each target is a self-contained deployment — a source network fronted by
 its relay, plus a bare destination organization whose clients reach it
@@ -6,15 +6,24 @@ through a private discovery registry — wired exactly as the paper's §3.3
 initialization prescribes (mutually recorded configurations, exposure
 rules for every verb the platform supports).
 
-Capability matrix the targets realize:
+Capability matrix the targets realize (every cell either conforms or
+fails closed with a typed ``UnsupportedCapabilityError`` — no skips):
 
-============  =====  =====  ========  =========  ======
-platform      query  batch  transact  subscribe  assets
-============  =====  =====  ========  =========  ======
-fabric        yes    yes    yes       yes        yes
+============  =====  =====  ===========  ===========  ======
+platform      query  batch  transact     subscribe    assets
+============  =====  =====  ===========  ===========  ======
+fabric        yes    yes    yes          yes          yes
 quorum        yes    yes    fail-closed  fail-closed  yes
-corda         yes    yes    yes       yes        fail-closed
-============  =====  =====  ========  =========  ======
+corda         yes    yes    yes          yes          yes
+pubchain      yes    yes    fail-closed  fail-closed  yes
+============  =====  =====  ===========  ===========  ======
+
+The pubchain target's served verbs are additionally gated by its
+:class:`~repro.pubchain.FinalityPolicy`: the default build pre-bakes
+``auto_confirm`` deep enough that the happy path settles instantly, and
+``build_pubchain_target(auto_confirm=0)`` hands finality tests a chain
+whose confirmations only accrue under explicit ``mine()`` calls (the
+chain object rides on ``target.substrate``).
 
 Seeds come from ``CONFORMANCE_SEEDS`` (comma-separated integers; default
 a single fixed seed so the tier-1 run stays fast — CI's conformance job
@@ -30,7 +39,12 @@ from types import SimpleNamespace
 import pytest
 
 from repro.api.streams import EventVerifier
-from repro.assets.contracts import FabricAssetChaincode, QuorumAssetContract
+from repro.assets.contracts import (
+    FabricAssetChaincode,
+    QuorumAssetContract,
+    issue_corda_asset,
+)
+from repro.assets.htlc import STATE_AVAILABLE
 from repro.corda import CordaNetwork, LinearState
 from repro.fabric import NetworkBuilder
 from repro.fabric.chaincode import Chaincode, require_args
@@ -50,6 +64,13 @@ from repro.interop.events import enable_relay_events
 from repro.interop.relay import RelayService
 from repro.interop.transactions import enable_remote_transactions
 from repro.proto.messages import NetworkConfigMsg, OrganizationConfigMsg
+from repro.pubchain import (
+    VERB_ASSETS,
+    VERB_QUERY,
+    FinalityPolicy,
+    PubChainDriver,
+    SimulatedPublicChain,
+)
 from repro.quorum import DocumentRegistryContract, QuorumNetwork
 from repro.quorum.contracts import CallContext
 from repro.testing import ConformanceTarget
@@ -385,13 +406,42 @@ def build_corda_target() -> ConformanceTarget:
     port.record_network_config(destination.config)
     for function in ("GetState", "RecordState", "event:Record"):
         port.add_access_rule(destination.network_id, "dest-org", "vault", function)
+    for function in ("LockAsset", "ClaimAsset", "UnlockAsset", "GetLock"):
+        port.add_access_rule(
+            destination.network_id, "dest-org", "asset-vault", function
+        )
 
     relay = RelayService("cordanetc", destination.registry, clock=clock)
     driver = CordaDriver(network, port)
     driver.enable_transactions("nodeA")
     driver.enable_events()
+    driver.enable_assets("nodeA")
     relay.register_driver(driver)
     destination.registry.register("cordanetc", relay)
+
+    def issue_asset(tag: str, owner_party: str) -> str:
+        asset_id = f"ASSET-{tag}"
+        issue_corda_asset(network, node_a, asset_id, owner_party)
+        return asset_id
+
+    def read_lock(asset_id: str) -> dict:
+        _ref, state = node_a.lookup(asset_id)
+        lock = state.data.get("lock")
+        if lock is None:
+            # Synthesize the *available* record exactly as the port's
+            # GetLock view does for an unlocked asset.
+            asset = state.data["asset"]
+            lock = {
+                "asset_id": asset_id,
+                "owner": asset["owner"],
+                "recipient": "",
+                "hashlock": "",
+                "timeout": 0.0,
+                "state": STATE_AVAILABLE,
+                "preimage": "",
+                "created_at": 0.0,
+            }
+        return lock
 
     def commit_count(tag: str) -> int:
         return sum(
@@ -438,7 +488,103 @@ def build_corda_target() -> ConformanceTarget:
             args=lambda notification: [notification.payload.decode("utf-8")],
             policy=CORDA_POLICY,
         ),
+        asset_contract_address="cordanetc/vault/asset-vault",
+        issue_asset=issue_asset,
+        read_lock=read_lock,
         counter_client=destination.counter_client,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Public-chain target
+# ---------------------------------------------------------------------------
+
+PUBCHAIN_POLICY = "AND(org:pub-org-1, org:pub-org-2)"
+
+
+def build_pubchain_target(
+    auto_confirm: int = 2,
+    finality: FinalityPolicy | None = None,
+    fork_rate: float = 0.0,
+    seed: int = 11,
+) -> ConformanceTarget:
+    """The fourth driver column: probabilistic finality behind the relay.
+
+    The default build mines ``auto_confirm`` empty confirmation blocks
+    after every transaction, deep enough for the default policy (K=2 for
+    queries, K=3 for asset verbs) that the conformance scenarios settle
+    instantly. Finality tests pass ``auto_confirm=0`` and drive
+    ``target.substrate.mine()`` / ``force_reorg()`` by hand.
+    """
+    clock = SimulatedClock(5_000.0)
+    destination = make_destination()
+    chain = SimulatedPublicChain(
+        "pubnetc",
+        clock=clock,
+        seed=seed,
+        fork_rate=fork_rate,
+        auto_confirm=auto_confirm,
+    )
+    chain.add_observer("obs1", "pub-org-1")
+    chain.add_observer("obs2", "pub-org-2")
+    admin = chain.enroll_client("admin", "pub-org-1")
+    invoker = chain.enroll_client("asset-invoker", "pub-org-1")
+    chain.deploy_contract(DocumentRegistryContract())
+    chain.deploy_contract(QuorumAssetContract())
+    finality = finality or FinalityPolicy(
+        confirmations=2, per_verb={VERB_ASSETS: 3}
+    )
+    chain.submit_transaction(
+        admin, "document-registry", "RegisterDocument", ["SEED", '{"value": "genesis"}']
+    )
+    # Settle the genesis record regardless of auto_confirm so the clean
+    # baseline query is final from the first block.
+    chain.mine(max(finality.required(VERB_QUERY), finality.required(VERB_ASSETS)))
+
+    port = InteropPort("pubnetc")
+    port.record_network_config(destination.config)
+    for contract, function in (
+        ("document-registry", "GetDocument"),
+        ("asset-vault", "LockAsset"),
+        ("asset-vault", "ClaimAsset"),
+        ("asset-vault", "UnlockAsset"),
+        ("asset-vault", "GetLock"),
+    ):
+        port.add_access_rule(destination.network_id, "dest-org", contract, function)
+
+    relay = RelayService("pubnetc", destination.registry, clock=clock)
+    driver = PubChainDriver(chain, port, finality)
+    driver.enable_assets(invoker)
+    relay.register_driver(driver)
+    destination.registry.register("pubnetc", relay)
+
+    def issue_asset(tag: str, owner_party: str) -> str:
+        asset_id = f"ASSET-{tag}"
+        chain.submit_transaction(
+            invoker, "asset-vault", "Issue", [asset_id, owner_party, "{}"]
+        )
+        return asset_id
+
+    def read_lock(asset_id: str) -> dict:
+        raw, _read_keys = chain.view(invoker, "asset-vault", "GetLock", [asset_id])
+        return json.loads(raw)
+
+    return ConformanceTarget(
+        platform="pubchain",
+        network_id="pubnetc",
+        client=destination.client,
+        registry=destination.registry,
+        relay=relay,
+        policy=PUBCHAIN_POLICY,
+        query_address="pubnetc/chain/document-registry/GetDocument",
+        query_args=["SEED"],
+        expected_query=lambda data: json.loads(data)["value"] == "genesis",
+        clock=clock,
+        asset_contract_address="pubnetc/chain/asset-vault",
+        issue_asset=issue_asset,
+        read_lock=read_lock,
+        counter_client=destination.counter_client,
+        substrate=chain,
     )
 
 
@@ -446,6 +592,7 @@ _BUILDERS = {
     "fabric": build_fabric_target,
     "quorum": build_quorum_target,
     "corda": build_corda_target,
+    "pubchain": build_pubchain_target,
 }
 
 
@@ -462,6 +609,11 @@ def quorum_target():
 @pytest.fixture(scope="module")
 def corda_target():
     return build_corda_target()
+
+
+@pytest.fixture(scope="module")
+def pubchain_target():
+    return build_pubchain_target()
 
 
 @pytest.fixture(scope="module")

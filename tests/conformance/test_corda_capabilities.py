@@ -1,9 +1,11 @@
-"""Corda capability parity (and Quorum's honest fail-closed surface).
+"""Corda capability parity (and the honest fail-closed surfaces).
 
 The matrix only works if "works on N networks" means every verb was
-really exercised on every network — so the Corda driver's new transact
-and subscribe capabilities get direct end-to-end coverage here, plus the
-fail-closed behavior on both platforms' unsupported verbs.
+really exercised on every network — so the Corda driver's transact,
+subscribe, and asset capabilities get direct end-to-end coverage here,
+plus the typed fail-closed behavior on the unsupported verbs of Quorum
+and the public chain, and on any driver whose asset capability was never
+enabled.
 """
 
 from __future__ import annotations
@@ -124,35 +126,106 @@ class TestCordaEvents:
 
 
 class TestFailClosedSurfaces:
-    def test_corda_assets_fail_closed_via_relay(self, corda_target):
-        target = corda_target
+    @pytest.fixture(scope="class")
+    def bare_corda_relay(self, corda_target):
+        """A Corda network whose driver never ran ``enable_assets``,
+        reachable from the destination through the same registry — the
+        matrix's closed cells are a per-deployment choice, not an
+        accident of test wiring."""
+        from repro.corda import CordaNetwork
+        from repro.interop.contracts.ports import InteropPort
+        from repro.interop.drivers.corda_driver import CordaDriver
+        from repro.interop.relay import RelayService
+        from repro.utils.clock import SimulatedClock
+
+        network = CordaNetwork("barenetc", clock=SimulatedClock(5_000.0))
+        network.add_node("nodeA")
+        relay = RelayService("barenetc", corda_target.registry)
+        driver = CordaDriver(network, InteropPort("barenetc"))
+        relay.register_driver(driver)
+        corda_target.registry.register("barenetc", relay)
+        return driver
+
+    def _bare_command(self, corda_target, kind_args=None):
+        from repro.proto.messages import (
+            PROTOCOL_VERSION,
+            AssetCommandMsg,
+            AuthInfo,
+            NetworkAddressMsg,
+        )
+
+        identity = corda_target.client.identity
+        return AssetCommandMsg(
+            version=PROTOCOL_VERSION,
+            address=NetworkAddressMsg(
+                network="barenetc",
+                ledger="vault",
+                contract="asset-vault",
+                function="",
+            ),
+            asset_id="GHOST-ASSET",
+            auth=AuthInfo(
+                requesting_network=corda_target.client.network_id,
+                requesting_org=identity.org,
+                requestor=identity.name,
+                certificate=identity.certificate.to_bytes(),
+                public_key=identity.keypair.public.to_bytes(),
+            ),
+            nonce="conf-asset-bare",
+            **(kind_args or {}),
+        )
+
+    def test_assets_fail_closed_without_enablement_via_relay(
+        self, corda_target, bare_corda_relay
+    ):
         with pytest.raises(UnsupportedCapabilityError):
-            target.client.relay.remote_asset(
+            corda_target.client.relay.remote_asset(
                 MSG_KIND_ASSET_LOCK,
-                target.asset_command(
-                    target.client,
-                    "GHOST-ASSET",
-                    recipient="nobody@nowhere",
-                    hashlock=b"\x00" * 32,
-                    timeout=1e12,
+                self._bare_command(
+                    corda_target,
+                    {
+                        "recipient": "nobody@nowhere",
+                        "hashlock": b"\x00" * 32,
+                        "timeout": 1e12,
+                    },
                 ),
             )
 
-    def test_corda_assets_fail_closed_even_for_reads(self, corda_target):
-        target = corda_target
+    def test_assets_fail_closed_without_enablement_even_for_reads(
+        self, corda_target, bare_corda_relay
+    ):
         with pytest.raises(UnsupportedCapabilityError):
-            target.client.relay.remote_asset(
-                MSG_KIND_ASSET_STATUS,
-                target.asset_command(target.client, "GHOST-ASSET"),
+            corda_target.client.relay.remote_asset(
+                MSG_KIND_ASSET_STATUS, self._bare_command(corda_target)
             )
 
-    def test_corda_driver_fails_closed_locally(self, corda_target):
-        driver = corda_target.relay.driver_for(corda_target.network_id)
-        assert not driver.supports_assets
+    def test_driver_without_enablement_fails_closed_locally(
+        self, corda_target, bare_corda_relay
+    ):
+        assert not bare_corda_relay.supports_assets
         with pytest.raises(UnsupportedCapabilityError):
-            driver.lock_asset(
-                corda_target.asset_command(corda_target.client, "GHOST-ASSET")
-            )
+            bare_corda_relay.lock_asset(self._bare_command(corda_target))
+
+    def test_corda_assets_now_conform_via_relay(self, corda_target):
+        """The cell that used to fail closed: a lock through the relay
+        lands as notary-backed escrow in the vault."""
+        from repro.assets.htlc import STATE_LOCKED, make_hashlock
+        from repro.proto.messages import STATUS_OK
+
+        target = corda_target
+        asset_id = target.issue_asset("CAP-PARITY", target.party(target.client))
+        ack = target.client.relay.remote_asset(
+            MSG_KIND_ASSET_LOCK,
+            target.asset_command(
+                target.client,
+                asset_id,
+                recipient=target.party(target.counter_client),
+                hashlock=make_hashlock(b"capability-parity"),
+                timeout=target.clock.now() + 600.0,
+            ),
+        )
+        assert ack.status == STATUS_OK
+        assert target.read_lock(asset_id)["state"] == STATE_LOCKED
 
     def test_quorum_transact_fails_closed(self, quorum_target):
         target = quorum_target
@@ -169,6 +242,24 @@ class TestFailClosedSurfaces:
         with pytest.raises(UnsupportedCapabilityError):
             gateway.subscribe(
                 f"{target.network_id}/state/document-registry", "DocumentRegistered"
+            )
+
+    def test_pubchain_transact_fails_closed(self, pubchain_target):
+        """A public chain gives no foreign relay a commit pipeline."""
+        target = pubchain_target
+        with pytest.raises(UnsupportedCapabilityError):
+            RemoteTransactionClient(target.client).remote_transact(
+                f"{target.network_id}/chain/document-registry/RegisterDocument",
+                ["DOC-X", "{}"],
+                policy=target.policy,
+            )
+
+    def test_pubchain_subscribe_fails_closed(self, pubchain_target):
+        target = pubchain_target
+        gateway = InteropGateway.from_client(target.client)
+        with pytest.raises(UnsupportedCapabilityError):
+            gateway.subscribe(
+                f"{target.network_id}/chain/document-registry", "DocumentRegistered"
             )
 
 

@@ -8,9 +8,9 @@ the re-opened state directory, and replay the captured bytes.
 - Platforms that serve the verb (fabric, corda) must answer the replay
   from the durable record — one ledger commit, ``duplicates_suppressed``
   bumped, byte-identical reply.
-- Platforms that fail closed (quorum has no transaction driver) must
-  *stay* failed closed: the recorded capability error is the durable
-  answer after restart too.
+- Platforms that fail closed (quorum and the public chain have no
+  transaction driver) must *stay* failed closed: the recorded capability
+  error is the durable answer after restart too.
 - Restarting with NO store (the pre-durability default) keeps the old
   semantics: nothing survives, the replay re-routes.
 """
@@ -23,6 +23,8 @@ from repro.assets.htlc import STATE_LOCKED, make_hashlock
 from repro.interop.relay import NS_IDEMPOTENCY
 from repro.interop.transactions import RemoteTransactionClient
 from repro.proto.messages import (
+    ERROR_KIND_CAPABILITY,
+    ERROR_KIND_HEADER,
     MSG_KIND_ASSET_ACK,
     MSG_KIND_ASSET_LOCK,
     MSG_KIND_ERROR,
@@ -36,7 +38,7 @@ from repro.proto.messages import (
 from repro.store import SqliteStore
 from repro.testing import restart_relay
 
-PLATFORMS = ["fabric", "quorum", "corda"]
+PLATFORMS = ["fabric", "quorum", "corda", "pubchain"]
 
 
 def transact_envelope(target, tag: str, request_id: str) -> bytes:
@@ -136,8 +138,10 @@ class TestDurableReplayMatrix:
     ):
         """The HTLC leg of the same contract: a lock executed right
         before the crash answers its replay from the durable record
-        (one escrow, the original OK ack) — and a platform that fails
-        closed on assets (corda) keeps refusing after the restart."""
+        (one escrow, the original OK ack) — and a platform without the
+        asset capability would keep refusing after the restart (all four
+        current platforms serve assets, so the refusal branch is the
+        suite's contract for future columns)."""
         target = durable_target
         platform = target.platform
         request_id = f"req-crash-{platform}-lock"
@@ -187,15 +191,17 @@ class TestDurableReplayMatrix:
     def test_durable_record_is_bounded_on_disk_too(
         self, durable_target, tmp_path
     ):
+        """The record stays bounded whatever fills it: served transact
+        answers on fabric/corda, durable fail-closed capability refusals
+        on quorum/pubchain (no skips — a platform without the verb must
+        still bound what it records about refusing it)."""
         target = durable_target
-        if target.transact_address is None:
-            pytest.skip("needs a served transact verb to fill the record")
         relay = target.relay
         original_capacity = relay.idempotency_capacity
         relay.idempotency_capacity = 4
         try:
             platform = target.platform
-            for index in range(6):
+            replies = [
                 relay.handle_request(
                     transact_envelope(
                         target,
@@ -203,6 +209,17 @@ class TestDurableReplayMatrix:
                         f"req-crash-{platform}-b{index}",
                     )
                 )
+                for index in range(6)
+            ]
+            if target.transact_address is None:
+                # Every filler was a typed capability refusal, not a skip.
+                for raw in replies:
+                    envelope = RelayEnvelope.decode(raw)
+                    assert envelope.kind == MSG_KIND_ERROR
+                    assert (
+                        envelope.headers.get(ERROR_KIND_HEADER)
+                        == ERROR_KIND_CAPABILITY
+                    )
             assert len(relay._idempotency) <= 4
             assert len(relay.store.scan(NS_IDEMPOTENCY)) <= 4
         finally:

@@ -1,0 +1,170 @@
+"""Probabilistic finality in the conformance matrix (pubchain column).
+
+The §4 proof scheme assumes the attested record is *final*; a public
+chain only offers probabilistic finality, so the fourth driver gates
+proof generation on its :class:`~repro.pubchain.FinalityPolicy`. These
+tests pin the two acceptance properties end to end through the relay:
+
+1. A lock (or any record) at confirmation depth < K is **pending, not
+   verified** — the proof-carrying query raises the typed
+   :class:`~repro.errors.FinalityPendingError` and only turns into an
+   attested success once the chain buries the write K deep.
+2. A seeded reorg that orphans a lock is **detected before claim** — the
+   readback raises :class:`~repro.errors.ReorgDetectedError` and the
+   claim itself is refused, so value never moves on vanished state.
+
+Targets are built with ``auto_confirm=0``: confirmations accrue only
+under explicit ``mine()`` calls, making depth a test-controlled input.
+The chain object rides on ``target.substrate``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from conftest import build_pubchain_target
+from repro.assets.htlc import STATE_AVAILABLE, STATE_LOCKED, make_hashlock
+from repro.errors import FinalityPendingError, ReorgDetectedError
+from repro.proto.messages import (
+    MSG_KIND_ASSET_CLAIM,
+    MSG_KIND_ASSET_LOCK,
+    STATUS_OK,
+)
+
+SECRET = b"finality-conformance-secret"
+
+
+@pytest.fixture()
+def manual_target():
+    """A pubchain target whose confirmations only accrue via ``mine()``
+    (default policy: K=2 for queries, K=3 for asset verbs)."""
+    return build_pubchain_target(auto_confirm=0)
+
+
+def lock_via_relay(target, asset_id: str):
+    return target.client.relay.remote_asset(
+        MSG_KIND_ASSET_LOCK,
+        target.asset_command(
+            target.client,
+            asset_id,
+            recipient=target.party(target.counter_client),
+            hashlock=make_hashlock(SECRET),
+            timeout=target.clock.now() + 600.0,
+        ),
+    )
+
+
+def verify_lock(target, asset_id: str):
+    """The counterparty's proof-carrying GetLock readback."""
+    return target.counter_client.remote_query(
+        f"{target.asset_contract_address}/GetLock",
+        [asset_id],
+        policy=target.policy,
+    )
+
+
+class TestPendingFinality:
+    def test_lock_below_depth_is_pending_not_verified(self, manual_target):
+        target = manual_target
+        chain = target.substrate
+        asset_id = target.issue_asset("FIN-PEND", target.party(target.client))
+        chain.mine(3)  # settle the issue; only the lock's depth is at stake
+
+        lock_via_relay(target, asset_id)  # mined at the tip: depth 1 of 3
+        for confirmations in (1, 2):
+            with pytest.raises(FinalityPendingError, match="pending"):
+                verify_lock(target, asset_id)
+            assert chain.confirmation_depth(
+                "asset-vault", {f"lock/{asset_id}"}
+            ) == confirmations
+            chain.mine(1)
+
+        # Depth 3 == K: the very same readback now verifies, with proof.
+        result = verify_lock(target, asset_id)
+        record = json.loads(result.data)
+        assert record["state"] == STATE_LOCKED
+        assert len(result.proof) == 2  # AND(pub-org-1, pub-org-2) attested
+
+    def test_pending_lock_is_not_claimable(self, manual_target):
+        """The side-effecting path honors the same gate: a claim riding a
+        depth-1 lock is refused, and the escrow is untouched."""
+        target = manual_target
+        chain = target.substrate
+        asset_id = target.issue_asset("FIN-CLAIM", target.party(target.client))
+        chain.mine(3)
+        lock_via_relay(target, asset_id)
+
+        ack = target.client.relay.remote_asset(
+            MSG_KIND_ASSET_CLAIM,
+            target.asset_command(target.counter_client, asset_id, preimage=SECRET),
+        )
+        assert ack.status != STATUS_OK  # refused, not executed
+        assert "pending" in ack.error
+        record = target.read_lock(asset_id)
+        assert record["state"] == STATE_LOCKED
+        assert record["preimage"] == ""  # the secret never hit the chain
+
+    def test_fresh_query_record_is_pending_too(self, manual_target):
+        """The gate is not asset-specific: a depth-1 document answers
+        pending under the query-verb K as well."""
+        target = manual_target
+        chain = target.substrate
+        chain.submit_transaction(
+            chain.enroll_client("writer", "pub-org-1"),
+            "document-registry",
+            "RegisterDocument",
+            ["FRESH", '{"value": "new"}'],
+        )
+        with pytest.raises(FinalityPendingError):
+            target.client.remote_query(
+                target.query_address, ["FRESH"], policy=target.policy
+            )
+        chain.mine(1)  # depth 2 == K for queries
+        result = target.client.remote_query(
+            target.query_address, ["FRESH"], policy=target.policy
+        )
+        assert json.loads(result.data)["value"] == "new"
+
+
+class TestReorgDetection:
+    def test_reorg_orphaning_a_lock_is_detected_before_claim(
+        self, manual_target
+    ):
+        target = manual_target
+        chain = target.substrate
+        asset_id = target.issue_asset("FIN-REORG", target.party(target.client))
+        chain.mine(3)
+
+        ack = lock_via_relay(target, asset_id)
+        orphaned = chain.force_reorg(1)  # the lock block loses fork choice
+        assert ack.tx_id in orphaned
+
+        # Readback: typed reorg detection, not a stale "locked" answer.
+        with pytest.raises(ReorgDetectedError, match="reorg"):
+            verify_lock(target, asset_id)
+        # Claim: refused outright — value never moves on vanished state.
+        ack = target.client.relay.remote_asset(
+            MSG_KIND_ASSET_CLAIM,
+            target.asset_command(target.counter_client, asset_id, preimage=SECRET),
+        )
+        assert ack.status != STATUS_OK
+        assert "reorg" in ack.error
+        # Canonical truth: the replayed branch carries no lock at all.
+        assert target.read_lock(asset_id)["state"] == STATE_AVAILABLE
+
+    def test_canonical_rewrite_clears_detection(self, manual_target):
+        """Detection is monotonic, not sticky: re-locking on the canonical
+        branch and burying it K deep re-opens verification."""
+        target = manual_target
+        chain = target.substrate
+        asset_id = target.issue_asset("FIN-RELOCK", target.party(target.client))
+        chain.mine(3)
+        lock_via_relay(target, asset_id)
+        chain.force_reorg(1)
+
+        lock_via_relay(target, asset_id)  # the owner re-escrows
+        chain.mine(2)  # bury it to depth 3 == K
+        result = verify_lock(target, asset_id)
+        assert json.loads(result.data)["state"] == STATE_LOCKED

@@ -29,7 +29,7 @@ SEEDS = [
     for part in os.environ.get("CONFORMANCE_SEEDS", "7").split(",")
     if part.strip()
 ]
-PLATFORMS = ("fabric", "quorum", "corda")
+PLATFORMS = ("fabric", "quorum", "corda", "pubchain")
 
 
 @pytest.mark.parametrize("seed", SEEDS)
@@ -69,9 +69,10 @@ def test_clean_baseline_serves_every_supported_verb(conformance_target):
     """With no faults injected, every supported verb must be served.
 
     Uses an empty fault plan (the chaos endpoint forwards everything), so
-    this doubles as the capability-parity check: Fabric serves all five
-    verbs, Corda serves everything but assets, Quorum everything but
-    transact/subscribe.
+    this doubles as the capability-parity check: Fabric and Corda serve
+    all five verbs; Quorum and the public chain serve query/batch/assets
+    and fail closed on transact/subscribe. Nothing skips — every cell is
+    either served or a typed ``UnsupportedCapabilityError`` refusal.
     """
     from repro.testing import FaultPlan
 

@@ -1,0 +1,126 @@
+"""The ``repro_assets_*`` exporter: ExchangeMetrics → Prometheus families.
+
+Pure snapshot-to-families coverage: a shared
+:class:`~repro.assets.metrics.ExchangeMetrics` is fed by hand the way
+the coordinators feed it, ``register_assets`` attaches the scrape-time
+collector, and the rendered exposition is validated through the strict
+parser. End-to-end feeding (a real exchange driving the same counters)
+lives with the asset tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.assets.metrics import KIND_CYCLE, KIND_EXCHANGE, ExchangeMetrics
+from repro.ops.exporters import ASSET_LATENCY_BUCKETS, register_assets
+from repro.ops.metrics import MetricsRegistry
+from repro.testing import parse_exposition
+
+
+@pytest.fixture()
+def wired():
+    metrics = ExchangeMetrics()
+    registry = MetricsRegistry()
+    register_assets(registry, metrics)
+    return metrics, registry
+
+
+def scrape(registry: MetricsRegistry):
+    return parse_exposition(registry.render())
+
+
+class TestAssetFamilies:
+    def test_active_gauge_tracks_started_minus_settled(self, wired):
+        metrics, registry = wired
+        metrics.exchange_started(KIND_EXCHANGE)
+        metrics.exchange_started(KIND_EXCHANGE)
+        metrics.exchange_started(KIND_CYCLE)
+        metrics.state_entered(KIND_EXCHANGE, "completed")
+
+        families = scrape(registry)
+        active = {
+            sample.label_dict()["kind"]: sample.value
+            for sample in families["repro_assets_active"].samples
+        }
+        assert families["repro_assets_active"].kind == "gauge"
+        assert active == {"exchange": 1, "cycle": 1}
+        started = {
+            sample.label_dict()["kind"]: sample.value
+            for sample in families["repro_assets_started_total"].samples
+        }
+        assert started == {"exchange": 2, "cycle": 1}
+
+    def test_transitions_split_kind_and_state_labels(self, wired):
+        metrics, registry = wired
+        metrics.state_entered(KIND_CYCLE, "locking")
+        metrics.state_entered(KIND_CYCLE, "locked")
+        metrics.state_entered(KIND_CYCLE, "locked")
+
+        family = scrape(registry)["repro_assets_transitions_total"]
+        assert family.kind == "counter"
+        by_labels = {
+            (sample.label_dict()["kind"], sample.label_dict()["state"]): sample.value
+            for sample in family.samples
+        }
+        assert by_labels == {("cycle", "locking"): 1, ("cycle", "locked"): 2}
+
+    def test_refunds_and_aborts_export(self, wired):
+        metrics, registry = wired
+        metrics.abort_recorded(KIND_CYCLE)
+        metrics.refund_recorded(KIND_CYCLE, legs=3)
+        metrics.refund_recorded(KIND_EXCHANGE)
+
+        families = scrape(registry)
+        refunds = {
+            sample.label_dict()["kind"]: sample.value
+            for sample in families["repro_assets_refund_legs_total"].samples
+        }
+        assert refunds == {"cycle": 3, "exchange": 1}
+        [abort] = families["repro_assets_aborts_total"].samples
+        assert abort.label_dict() == {"kind": "cycle"}
+        assert abort.value == 1
+
+    def test_latency_histogram_buckets_and_sum(self, wired):
+        metrics, registry = wired
+        metrics.latency_recorded(KIND_CYCLE, 0.3)
+        metrics.latency_recorded(KIND_CYCLE, 45.0)
+        metrics.latency_recorded(KIND_CYCLE, 10_000.0)  # beyond the last bound
+
+        family = scrape(registry)["repro_assets_lock_to_claim_seconds"]
+        assert family.kind == "histogram"
+        buckets = {
+            sample.label_dict()["le"]: sample.value
+            for sample in family.samples
+            if sample.name.endswith("_bucket")
+        }
+        assert buckets["0.5"] == 1  # only the 0.3s cycle
+        assert buckets["30"] == 1  # 45s is past the 30s bound
+        assert buckets["60"] == 2
+        assert buckets["600"] == 2  # the 10000s outlier only lands in +Inf
+        assert buckets["+Inf"] == 3
+        [count] = [s for s in family.samples if s.name.endswith("_count")]
+        [total] = [s for s in family.samples if s.name.endswith("_sum")]
+        assert count.value == 3
+        assert total.value == pytest.approx(10_045.3)
+
+    def test_empty_metrics_render_no_families(self, wired):
+        """Nothing reported yet ⇒ the asset collector contributes no
+        headers at all (a bare HELP/TYPE block fails strict readers)."""
+        _, registry = wired
+        assert "repro_assets" not in registry.render()
+
+    def test_bucket_grid_covers_subsecond_to_ten_minutes(self):
+        assert ASSET_LATENCY_BUCKETS[0] <= 0.1
+        assert ASSET_LATENCY_BUCKETS[-1] >= 600.0
+
+    def test_coexists_with_relay_families_in_one_registry(self, wired):
+        """One registry serves both the relay exporter's families and the
+        asset families — the deployment shape the ops plane documents."""
+        metrics, registry = wired
+        metrics.exchange_started(KIND_EXCHANGE)
+        counter = registry.counter("repro_other_total", "unrelated instrument")
+        counter.inc()
+        families = scrape(registry)
+        assert "repro_other_total" in families
+        assert "repro_assets_started_total" in families

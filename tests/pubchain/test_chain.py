@@ -1,0 +1,234 @@
+"""The simulated public chain: fork choice, reorgs, depth, replay.
+
+Unit coverage for the substrate under the fourth driver — the block-tree
+mechanics the conformance finality tests exercise end to end are pinned
+here in isolation: longest-chain adoption (ties keep the tip), the
+deterministic ``force_reorg`` displacing exactly the suffix it names,
+monotonic orphan detection, least-buried confirmation depth, and the
+canonical replay that reverts transactions invalid on the current branch.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import EVMError, LedgerError
+from repro.pubchain import FinalityPolicy, SimulatedPublicChain
+from repro.pubchain.finality import VERB_ASSETS, VERB_QUERY
+from repro.quorum.contracts import DocumentRegistryContract
+from repro.quorum.network import QuorumTransaction
+from repro.utils.clock import SimulatedClock
+
+ADDRESS = DocumentRegistryContract.address
+
+
+def make_chain(**kwargs) -> SimulatedPublicChain:
+    chain = SimulatedPublicChain(
+        "pubnet-unit", clock=SimulatedClock(1_000.0), **kwargs
+    )
+    chain.add_observer("obs1", "org-1")
+    chain.deploy_contract(DocumentRegistryContract())
+    return chain
+
+
+def enroll_once(chain, name: str):
+    cache = chain.__dict__.setdefault("_test_identities", {})
+    if name not in cache:
+        cache[name] = chain.enroll_client(name, "org-1")
+    return cache[name]
+
+
+def register(chain, doc_id: str, value: str = "v"):
+    sender = enroll_once(chain, "writer")
+    return chain.submit_transaction(
+        sender, ADDRESS, "RegisterDocument", [doc_id, json.dumps({"value": value})]
+    )
+
+
+def get_document(chain, doc_id: str) -> dict:
+    sender = enroll_once(chain, "reader")
+    result, _ = chain.view(sender, ADDRESS, "GetDocument", [doc_id])
+    return json.loads(result)
+
+
+class TestForkChoice:
+    def test_tie_keeps_current_tip(self):
+        """A same-height competing block must *overtake* to reorg: on a
+        tie the chain keeps its tip, so adoption is stable."""
+        chain = make_chain()
+        chain.mine(1)
+        tip_before = chain.tip.hash_hex()
+        chain.fork_rate = 1.0  # the next submission mines onto tip's parent
+        tx = register(chain, "TIED")
+        assert chain.tip.hash_hex() == tip_before  # the fork only tied
+        assert chain.height_of(tx.tx_id) == chain.tip_height()
+        # The canonical branch never saw the forked write.
+        with pytest.raises(EVMError, match="no document"):
+            get_document(chain, "TIED")
+        assert chain.reorged_keys(ADDRESS, {"doc/TIED"}) == {"doc/TIED": tx.tx_id}
+
+    def test_heavier_branch_is_adopted(self):
+        chain = make_chain()
+        register(chain, "OLD-TIP")
+        height_before = chain.tip_height()
+        displaced = chain.canonical_branch()[-1].hash_hex()
+        chain.force_reorg(1, extra=2)
+        assert chain.tip_height() == height_before + 2
+        assert displaced not in (
+            block.hash_hex() for block in chain.canonical_branch()
+        )
+
+
+class TestForceReorg:
+    def test_returns_exactly_the_displaced_transactions(self):
+        chain = make_chain()
+        settled = register(chain, "SETTLED")
+        chain.mine(3)
+        victim_a = register(chain, "VICTIM-A")
+        victim_b = register(chain, "VICTIM-B")
+        orphaned = chain.force_reorg(2)
+        assert sorted(orphaned) == sorted([victim_a.tx_id, victim_b.tx_id])
+        assert settled.tx_id not in orphaned
+
+    def test_orphaned_write_vanishes_from_canonical_state(self):
+        chain = make_chain()
+        register(chain, "GONE")
+        chain.force_reorg(1)
+        with pytest.raises(EVMError, match="no document"):
+            get_document(chain, "GONE")
+
+    def test_depth_bounds_are_enforced(self):
+        chain = make_chain()
+        chain.mine(2)
+        with pytest.raises(LedgerError, match="cannot reorg"):
+            chain.force_reorg(0)
+        with pytest.raises(LedgerError, match="cannot reorg"):
+            chain.force_reorg(3)  # deeper than the whole chain
+
+
+class TestReorgedKeys:
+    def test_orphaned_key_maps_to_its_transaction(self):
+        chain = make_chain()
+        tx = register(chain, "R1")
+        chain.force_reorg(1)
+        assert chain.reorged_keys(ADDRESS, {"doc/R1"}) == {"doc/R1": tx.tx_id}
+
+    def test_canonical_rewrite_clears_detection(self):
+        """Detection is monotonic: once the canonical branch re-establishes
+        the key at equal-or-greater height, the orphan is superseded."""
+        chain = make_chain()
+        register(chain, "R2")
+        chain.force_reorg(1)
+        assert chain.reorged_keys(ADDRESS, {"doc/R2"})
+        register(chain, "R2", value="rewritten")
+        assert chain.reorged_keys(ADDRESS, {"doc/R2"}) == {}
+        assert get_document(chain, "R2")["value"] == "rewritten"
+
+    def test_untouched_keys_are_clean(self):
+        chain = make_chain()
+        register(chain, "R3")
+        chain.mine(2)
+        assert chain.reorged_keys(ADDRESS, {"doc/R3", "doc/NEVER"}) == {}
+
+
+class TestConfirmationDepth:
+    def test_tip_block_has_depth_one_and_mining_buries(self):
+        chain = make_chain()
+        register(chain, "D1")
+        assert chain.confirmation_depth(ADDRESS, {"doc/D1"}) == 1
+        chain.mine(4)
+        assert chain.confirmation_depth(ADDRESS, {"doc/D1"}) == 5
+
+    def test_none_when_no_canonical_writer(self):
+        """A view that observed only *absence* of state has no depth —
+        no amount of waiting makes a missing record final."""
+        chain = make_chain()
+        chain.mine(3)
+        assert chain.confirmation_depth(ADDRESS, {"doc/NOPE"}) is None
+
+    def test_depth_is_least_buried_write(self):
+        chain = make_chain()
+        register(chain, "OLD")
+        chain.mine(5)
+        register(chain, "NEW")
+        depth = chain.confirmation_depth(ADDRESS, {"doc/OLD", "doc/NEW"})
+        assert depth == 1  # the fresh write dominates
+
+    def test_height_of_unknown_transaction_raises(self):
+        chain = make_chain()
+        with pytest.raises(LedgerError, match="no mined transaction"):
+            chain.height_of("ptx-never")
+
+
+class TestCanonicalReplay:
+    def test_invalid_transaction_on_branch_reverts(self):
+        """Replay robustness: a transaction mined into the canonical
+        branch that violates contract rules there (the double-write shape
+        a reorg can produce) reverts cleanly — first write wins, nothing
+        corrupts, and the reverted transaction never counts as applied."""
+        chain = make_chain()
+        first = register(chain, "DUP")
+        sender = enroll_once(chain, "forger")
+        rogue = QuorumTransaction(
+            tx_id="ptx-rogue-dup",
+            address=ADDRESS,
+            function="RegisterDocument",
+            args=("DUP", '{"value": "second"}'),
+            sender=sender.id,
+            sender_org=sender.org,
+            timestamp=chain.clock.now(),
+        )
+        with chain._lock:  # hand-mined: skips submit-time validation
+            block = chain._mine_block(chain._tip, (rogue,))
+            chain._tx_height[rogue.tx_id] = block.height
+            chain._writesets[rogue.tx_id] = (ADDRESS, frozenset({"doc/DUP"}))
+
+        assert get_document(chain, "DUP")["value"] == "v"  # first write won
+        # The reverted write is not a canonical writer, so the key's depth
+        # still tracks the *applied* transaction, not the reverted one.
+        assert chain.confirmation_depth(ADDRESS, {"doc/DUP"}) == 2
+        assert chain.height_of(first.tx_id) == 1
+
+    def test_auto_confirm_prebakes_depth(self):
+        chain = make_chain(auto_confirm=2)
+        register(chain, "BAKED")
+        assert chain.confirmation_depth(ADDRESS, {"doc/BAKED"}) == 3
+
+
+class TestSeededForks:
+    def test_same_seed_same_fork_schedule(self):
+        """``fork_rate`` draws from the seeded RNG: two chains with the
+        same seed orphan the same submissions, so adversarial runs replay."""
+
+        def run(seed: int) -> list[str]:
+            chain = make_chain(seed=seed, fork_rate=0.5)
+            chain.mine(1)
+            orphans = []
+            for index in range(8):
+                doc_id = f"SEEDED-{index}"
+                register(chain, doc_id)
+                if chain.reorged_keys(ADDRESS, {f"doc/{doc_id}"}):
+                    orphans.append(doc_id)
+            return orphans
+
+        assert run(41) == run(41)
+        runs = {tuple(run(seed)) for seed in (41, 42, 43, 44)}
+        assert len(runs) > 1  # the rate is really probabilistic, not all-or-nothing
+
+
+class TestFinalityPolicy:
+    def test_required_defaults_overrides_and_floor(self):
+        policy = FinalityPolicy(confirmations=2, per_verb={VERB_ASSETS: 6})
+        assert policy.required(VERB_QUERY) == 2
+        assert policy.required(VERB_ASSETS) == 6
+        assert policy.required("unknown-verb") == 2
+        # Depth never drops below one: the write must at least be mined.
+        assert FinalityPolicy(confirmations=0).required(VERB_QUERY) == 1
+        assert FinalityPolicy(per_verb={VERB_QUERY: -3}).required(VERB_QUERY) == 1
+
+    def test_policy_is_frozen(self):
+        policy = FinalityPolicy()
+        with pytest.raises(AttributeError):
+            policy.confirmations = 9  # type: ignore[misc]
